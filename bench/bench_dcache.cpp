@@ -1,0 +1,195 @@
+// Exercises the Section 3 software D-cache design: fast/slow hit and miss
+// behaviour across cache sizes, the prediction-policy comparison the paper
+// proposes (same-location / stride / second-chance), the pinned-scalar
+// specialization (Figure 10 top), and the guaranteed "slow hit" latency.
+#include "bench/bench_util.h"
+#include "dcache/dcache.h"
+#include "minicc/compiler.h"
+#include "net/channel.h"
+#include "softcache/mc.h"
+
+using namespace sc;
+
+namespace {
+
+struct Kernel {
+  const char* name;
+  const char* source;
+};
+
+// Data-access kernels with different locality profiles.
+const Kernel kKernels[] = {
+    {"seq_scan", R"(
+      int data[4096];
+      int main() {
+        for (int i = 0; i < 4096; i++) data[i] = i;
+        int sum = 0;
+        for (int pass = 0; pass < 6; pass++)
+          for (int i = 0; i < 4096; i++) sum += data[i];
+        return sum % 251;
+      }
+    )"},
+    {"ptr_chase", R"(
+      int next_idx[2048];
+      int main() {
+        for (int i = 0; i < 2048; i++) next_idx[i] = (i * 811 + 3) % 2048;
+        int pos = 0;
+        int acc = 0;
+        for (int step = 0; step < 30000; step++) { pos = next_idx[pos]; acc += pos; }
+        return acc % 251;
+      }
+    )"},
+    {"hot_set", R"(
+      int hot[64];
+      int cold[8192];
+      int main() {
+        for (int i = 0; i < 8192; i++) cold[i] = i;
+        int sum = 0;
+        for (int step = 0; step < 40000; step++) {
+          hot[step & 63] += step;
+          if ((step & 1023) == 0) sum += cold[(step * 7) & 8191];
+        }
+        for (int i = 0; i < 64; i++) sum += hot[i];
+        return sum % 251;
+      }
+    )"},
+};
+
+struct Result {
+  dcache::DCacheStats stats;
+  uint64_t cycles = 0;
+  uint32_t guaranteed = 0;
+};
+
+Result RunKernel(const char* source, const dcache::DCacheConfig& config) {
+  auto img = minicc::CompileMiniC(source);
+  SC_CHECK(img.ok()) << img.error().ToString();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  softcache::MemoryController mc(*img, softcache::Style::kSparc, 64);
+  net::Channel channel;
+  dcache::DataCache cache(machine, mc, channel, config);
+  cache.Attach();
+  const vm::RunResult run = machine.Run(2'000'000'000);
+  SC_CHECK(run.reason == vm::StopReason::kHalted) << run.fault_message;
+  cache.FlushAll();
+  return Result{cache.stats(), run.cycles, cache.GuaranteedLatencyCycles()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Section 3: software data cache (scache + dcache) design",
+                     "Section 3 / Figure 10 (paper design)");
+
+  std::printf("capacity sweep (last-index prediction, 32 B blocks):\n");
+  std::printf("%-10s %8s %10s %10s %10s %10s %10s\n", "kernel", "blocks",
+              "fast-hit", "slow-hit", "miss", "wrbacks", "pred-acc");
+  bench::PrintRule();
+  for (const Kernel& kernel : kKernels) {
+    for (const uint32_t blocks : {16u, 64u, 256u}) {
+      dcache::DCacheConfig config;
+      config.dcache_blocks = blocks;
+      const Result r = RunKernel(kernel.source, config);
+      const double pred_acc =
+          r.stats.prediction_probes == 0
+              ? 0.0
+              : static_cast<double>(r.stats.prediction_hits) /
+                    static_cast<double>(r.stats.prediction_probes);
+      std::printf("%-10s %8u %9.2f%% %9.2f%% %9.2f%% %10llu %9.2f%%\n",
+                  kernel.name, blocks, 100.0 * r.stats.fast_hit_rate(),
+                  100.0 * static_cast<double>(r.stats.slow_hits) /
+                      static_cast<double>(r.stats.fast_hits + r.stats.slow_hits +
+                                          r.stats.misses),
+                  100.0 * r.stats.miss_rate(),
+                  static_cast<unsigned long long>(r.stats.writebacks),
+                  100.0 * pred_acc);
+    }
+  }
+
+  std::printf("\nprediction-policy comparison (64 blocks):\n");
+  std::printf("%-10s %-14s %10s %10s %14s\n", "kernel", "policy", "fast-hit",
+              "slow-hit", "extra cycles");
+  bench::PrintRule();
+  const struct {
+    const char* label;
+    dcache::Prediction policy;
+  } kPolicies[] = {
+      {"none", dcache::Prediction::kNone},
+      {"last-index", dcache::Prediction::kLastIndex},
+      {"stride", dcache::Prediction::kStride},
+      {"second-chance", dcache::Prediction::kSecondChance},
+  };
+  for (const Kernel& kernel : kKernels) {
+    for (const auto& policy : kPolicies) {
+      dcache::DCacheConfig config;
+      config.prediction = policy.policy;
+      const Result r = RunKernel(kernel.source, config);
+      std::printf("%-10s %-14s %9.2f%% %9.2f%% %14llu\n", kernel.name,
+                  policy.label, 100.0 * r.stats.fast_hit_rate(),
+                  100.0 * static_cast<double>(r.stats.slow_hits) /
+                      static_cast<double>(r.stats.fast_hits + r.stats.slow_hits +
+                                          r.stats.misses),
+                  static_cast<unsigned long long>(r.stats.cycles));
+    }
+  }
+
+  std::printf("\npinned-scalar specialization (Figure 10 top):\n");
+  const char* scalar_kernel = R"(
+    int counter = 0;
+    int limit = 60000;
+    int main() { while (counter < limit) counter += 1; return counter % 251; }
+  )";
+  for (const bool pin : {false, true}) {
+    dcache::DCacheConfig config;
+    config.pin_scalar_globals = pin;
+    const Result r = RunKernel(scalar_kernel, config);
+    std::printf("  pin=%d: pinned-hits=%llu extra-cycles=%llu\n", pin ? 1 : 0,
+                static_cast<unsigned long long>(r.stats.pinned_hits),
+                static_cast<unsigned long long>(r.stats.cycles));
+  }
+
+  std::printf("\nwrite policy (hot_set kernel, 64 blocks):\n");
+  for (const bool wt : {false, true}) {
+    dcache::DCacheConfig config;
+    config.write_through = wt;
+    const Result r = RunKernel(kKernels[2].source, config);
+    std::printf("  %-13s writebacks=%-8llu extra-cycles=%llu\n",
+                wt ? "write-through" : "write-back",
+                static_cast<unsigned long long>(r.stats.writebacks),
+                static_cast<unsigned long long>(r.stats.cycles));
+  }
+
+  std::printf("\nbanked local SRAM (novel capability 3: parallel accesses):\n");
+  std::printf("%-10s %8s %14s %16s\n", "kernel", "banks", "conflicts",
+              "parallelizable");
+  bench::PrintRule();
+  for (const Kernel& kernel : kKernels) {
+    for (const uint32_t banks : {2u, 4u, 8u}) {
+      dcache::DCacheConfig config;
+      config.banks = banks;
+      const Result r = RunKernel(kernel.source, config);
+      const double parallel_fraction =
+          1.0 - static_cast<double>(r.stats.bank_conflicts) /
+                    static_cast<double>(r.stats.accesses);
+      std::printf("%-10s %8u %14llu %15.1f%%\n", kernel.name, banks,
+                  static_cast<unsigned long long>(r.stats.bank_conflicts),
+                  100.0 * parallel_fraction);
+    }
+  }
+
+  std::printf("\nguaranteed latency (the 'slow hit' bound, Section 3):\n");
+  std::printf("%8s %22s\n", "blocks", "worst on-chip latency");
+  for (const uint32_t blocks : {16u, 64u, 256u, 1024u}) {
+    dcache::DCacheConfig config;
+    config.dcache_blocks = blocks;
+    const Result r = RunKernel("int main() { return 0; }", config);
+    std::printf("%8u %19u cyc\n", blocks, r.guaranteed);
+  }
+  std::printf(
+      "\npaper: the design trades per-access cost for a *bounded* on-chip\n"
+      "latency — any cached datum is found within the binary-search bound\n"
+      "without consulting the server; predictions make the common case a\n"
+      "single probe.\n");
+  return 0;
+}

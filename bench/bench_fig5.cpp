@@ -1,0 +1,93 @@
+// Reproduces Figure 5: relative execution time of the software instruction
+// cache on 129.compress, normalized to the "ideal" (no software cache) run.
+//
+// Paper bars: ideal 1.0; 48 KB tcache ("infinite") 1.17; 24 KB tcache 1.19;
+// 1 KB tcache off the chart ("unknown", > 2) — the system still runs when
+// the working set does not fit, just slowly.
+#include "bench/bench_util.h"
+#include "util/stats.h"
+
+using namespace sc;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5: relative execution time, software I-cache (129.compress)",
+      "Figure 5 (Section 2.2)");
+
+  const auto* spec = workloads::FindWorkload("compress95");
+  SC_CHECK(spec != nullptr);
+  const image::Image img = workloads::CompileWorkload(*spec);
+  // Input large enough that the initial cache-fill time is insignificant.
+  const auto input = workloads::MakeInput("compress95", 8);
+
+  const bench::NativeRun native = bench::RunNativeWorkload(img, input);
+  const double ideal_cycles = static_cast<double>(native.result.cycles);
+
+  struct Config {
+    const char* label;
+    uint32_t tcache_bytes;
+  };
+  const Config kConfigs[] = {
+      {"48KB (infinite)", 48 * 1024},
+      {"24KB tcache", 24 * 1024},
+      {"1KB tcache", 1024},
+  };
+
+  std::printf("%-18s %10s %12s %10s %10s  %s\n", "tcache", "rel.time",
+              "blocks", "evictions", "missrate", "");
+  bench::PrintRule();
+  std::printf("%-18s %10.2f %12s %10s %10s  %s\n", "ideal", 1.0, "-", "-", "-",
+              bench::Bar(1.0, 2.5).c_str());
+
+  for (const Config& config : kConfigs) {
+    softcache::SoftCacheConfig sc_config;
+    sc_config.style = softcache::Style::kSparc;
+    sc_config.tcache_bytes = config.tcache_bytes;
+    const bench::CachedRun run = bench::RunCachedWorkload(img, input, sc_config);
+    const double rel =
+        static_cast<double>(run.result.cycles) / ideal_cycles;
+    const double miss_rate = static_cast<double>(run.stats.blocks_translated) /
+                             static_cast<double>(run.result.instructions);
+    std::printf("%-18s %10.2f %12llu %10llu %9.4f%%  %s\n", config.label, rel,
+                static_cast<unsigned long long>(run.stats.blocks_translated),
+                static_cast<unsigned long long>(run.stats.evictions),
+                100.0 * miss_rate, bench::Bar(rel, 2.5).c_str());
+  }
+
+  // Generalization of the 19%-overhead claim: steady-state relative time
+  // for the whole benchmark suite with a fitting cache.
+  std::printf("\nall workloads, 48 KB tcache:\n");
+  std::printf("%-12s %10s %12s %12s %12s\n", "app", "rel.time", "steady rel.",
+              "instr ovhd", "blocks");
+  bench::PrintRule();
+  for (const auto& wl : workloads::AllWorkloads()) {
+    const image::Image wl_img = workloads::CompileWorkload(wl);
+    const auto wl_input = workloads::MakeInput(wl.name, 2);
+    const bench::NativeRun wl_native = bench::RunNativeWorkload(wl_img, wl_input);
+    softcache::SoftCacheConfig config;
+    config.tcache_bytes = 48 * 1024;
+    const bench::CachedRun run = bench::RunCachedWorkload(wl_img, wl_input, config);
+    // "steady rel." excludes the one-time miss/transfer cycles — the paper's
+    // "startup time of the cache is insignificant" regime, independent of
+    // input length.
+    const double steady =
+        static_cast<double>(run.result.cycles - run.stats.miss_cycles) /
+        static_cast<double>(wl_native.result.cycles);
+    std::printf("%-12s %10.2f %12.2f %11.2f%% %12llu\n", wl.name.c_str(),
+                static_cast<double>(run.result.cycles) /
+                    static_cast<double>(wl_native.result.cycles),
+                steady,
+                100.0 *
+                    (static_cast<double>(run.result.instructions) /
+                         static_cast<double>(wl_native.result.instructions) -
+                     1.0),
+                static_cast<unsigned long long>(run.stats.blocks_translated));
+  }
+
+  std::printf(
+      "\npaper: 1.17 / 1.19 slowdown when the working set fits (the cost of\n"
+      "the extra per-block exit jumps), catastrophic but *functional* when\n"
+      "it does not (1 KB bar). Expect the same ordering above: the two large\n"
+      "caches nearly tie slightly above 1.0, the 1 KB cache thrashes.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 1: dynamically- and statically-linked text segment sizes.
+//
+// Paper (UltraSPARC, gcc -O4):
+//   App          Dynamic .text   Static .text
+//   129.compress      21 KB          193 KB
+//   adpcmenc           1 KB          139 KB   (static col listed as "139B",
+//                                             an apparent typo for KB)
+//   hextobdd          23 KB          205 KB
+//   mpeg2enc         135 KB          590 KB
+//
+// Here "dynamic" is the bytes of distinct instructions actually fetched and
+// "static" the full linked text segment (program + MiniC runtime). Our
+// binaries are an order of magnitude smaller than SPEC/MediaBench builds,
+// but the claim under test is the *ratio*: the touched code is a small
+// fraction of the linked code, so a cache-sized memory suffices (Figure 2).
+#include "bench/bench_util.h"
+#include "profile/profiler.h"
+#include "util/stats.h"
+
+using namespace sc;
+
+int main() {
+  bench::PrintHeader("Table 1: dynamic vs static text segment sizes",
+                     "Table 1 (Section 2.2)");
+  std::printf("%-12s %14s %14s %10s\n", "app", "dynamic .text", "static .text",
+              "dyn/static");
+  bench::PrintRule();
+
+  const char* kApps[] = {"compress95", "adpcm_enc", "hextobdd", "mpeg2enc"};
+  for (const char* name : kApps) {
+    const auto* spec = workloads::FindWorkload(name);
+    SC_CHECK(spec != nullptr);
+    const image::Image img = workloads::CompileWorkload(*spec);
+    profile::Profiler profiler(img);
+    bench::RunNativeWorkload(img, workloads::MakeInput(name, 2), &profiler);
+    const uint64_t dynamic = profiler.DynamicTextBytes();
+    const uint64_t static_text = profiler.StaticTextBytes();
+    std::printf("%-12s %14s %14s %9.2f%%\n", name,
+                util::HumanBytes(dynamic).c_str(),
+                util::HumanBytes(static_text).c_str(),
+                100.0 * static_cast<double>(dynamic) /
+                    static_cast<double>(static_text));
+  }
+  std::printf(
+      "\npaper: dynamic text is a small fraction of static text for every\n"
+      "benchmark (e.g. compress 21/193 KB); the same holds above, so the\n"
+      "physical instruction memory can be sized far below the program.\n");
+  return 0;
+}

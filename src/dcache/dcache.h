@@ -1,0 +1,195 @@
+// Software data cache — an implementation of the paper's Section 3 design.
+//
+// The paper only sketches this design ("a paper design for a software data
+// cache"); this module realizes it on the VM's DataHook interface:
+//
+//   * scache — the stack cache: a circular buffer over the stack address
+//     range. Because stack use is LIFO and contiguous, presence checks hoist
+//     to frame entry/exit; per-access tag checks are eliminated. Capacity
+//     overflow (deep recursion) spills frame lines to the server and
+//     re-fetches them on return — the modeled "presence check" events.
+//   * dcache — the general-purpose cache: fully associative, fixed-size
+//     blocks kept in sorted tag order. Each access first probes a predicted
+//     index (per load/store site, keyed by PC); a tag match there is a fast
+//     hit. On predictor miss, a binary search over the sorted tags finds the
+//     block — a "slow hit", the latency the design can guarantee without
+//     consulting the server. A true miss fetches the block from the MC over
+//     the channel (write-back, FIFO replacement).
+//   * pinned scalars — accesses to 4-byte global objects (identified through
+//     the symbol table, standing in for the rewriter's constant-address
+//     specialization of Figure 10 top) are redirected to a permanently
+//     resident pinned region: zero tag-check cost after the first touch.
+//
+// Cycle costs follow the instruction sequences of Figure 10: a fast hit
+// executes the 9-instruction predicted probe; a slow hit adds a binary
+// search; a pinned access costs nothing beyond the original load/store.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "image/image.h"
+#include "net/channel.h"
+#include "softcache/mc.h"
+#include "vm/machine.h"
+
+namespace sc::dcache {
+
+enum class Prediction : uint8_t {
+  kNone,          // always binary-search (every hit is a slow hit)
+  kLastIndex,     // per-site: predict the index that hit last time
+  kStride,        // per-site: predict last index + observed stride
+  kSecondChance,  // last index, then index+1, then binary search
+};
+
+struct DCacheConfig {
+  uint32_t dcache_blocks = 64;
+  uint32_t block_bytes = 32;        // power of two
+  uint32_t scache_bytes = 4096;     // power of two; circular stack buffer
+  uint32_t scache_line_bytes = 64;  // spill/fill granularity
+  bool pin_scalar_globals = true;
+  Prediction prediction = Prediction::kLastIndex;
+  // Write policy: write-back (default) holds dirty blocks locally until
+  // eviction/flush; write-through pushes every store to the server
+  // immediately (simpler invalidation, more traffic).
+  bool write_through = false;
+  // Local SRAM banking for the parallel-access analysis (the paper's novel
+  // capability 3: "execute multiple load/store operations in parallel").
+  uint32_t banks = 4;
+
+  // Cycle costs of the rewritten access sequences (Figure 10).
+  uint32_t fast_hit_cycles = 8;      // predicted probe sequence (minus the load)
+  uint32_t slow_hit_step_cycles = 6; // per binary-search iteration
+  uint32_t slow_hit_base_cycles = 10;
+  uint32_t miss_trap_cycles = 40;    // handler entry + replacement bookkeeping
+  uint32_t reorg_cycles_per_word = 1;  // keeping the array sorted
+  uint32_t scache_line_switch_cycles = 6;  // presence check at frame events
+
+  // Base of the local-memory arrays (dcache blocks, then scache buffer,
+  // then the pinned region). Must not overlap the I-cache regions when both
+  // are in use.
+  uint32_t local_base = 0;  // 0 = place at image::kLocalBase
+};
+
+struct DCacheStats {
+  uint64_t accesses = 0;
+  uint64_t pinned_hits = 0;
+  uint64_t fast_hits = 0;
+  uint64_t slow_hits = 0;
+  uint64_t misses = 0;
+  uint64_t writebacks = 0;
+  uint64_t scache_accesses = 0;
+  uint64_t scache_line_switches = 0;
+  uint64_t scache_spills = 0;
+  uint64_t scache_fills = 0;
+  uint64_t prediction_hits = 0;    // predictor produced the right index
+  uint64_t prediction_probes = 0;
+  uint64_t write_throughs = 0;     // stores pushed straight to the server
+  // Bank analysis: consecutive accesses hitting the same local SRAM bank
+  // (would serialize on banked hardware; distinct banks could go parallel).
+  uint64_t bank_conflicts = 0;
+  uint64_t cycles = 0;             // total extra cycles charged
+
+  double fast_hit_rate() const {
+    const uint64_t cached = fast_hits + slow_hits + misses;
+    return cached == 0 ? 0.0 : static_cast<double>(fast_hits) / static_cast<double>(cached);
+  }
+  double miss_rate() const {
+    const uint64_t cached = fast_hits + slow_hits + misses;
+    return cached == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(cached);
+  }
+};
+
+class DataCache : public vm::DataHook {
+ public:
+  // `mc` provides the authoritative memory (fetch/writeback protocol);
+  // `channel` prices the transfers.
+  DataCache(vm::Machine& machine, softcache::MemoryController& mc,
+            net::Channel& channel, const DCacheConfig& config);
+
+  // Installs this cache as the machine's data hook covering all of data,
+  // heap and stack. Call once before running.
+  void Attach();
+
+  // vm::DataHook
+  uint32_t Translate(vm::Machine& m, uint32_t vaddr, uint32_t size,
+                     bool is_store) override;
+
+  // Writes every dirty block (and dirty scache lines) back to the MC.
+  void FlushAll();
+
+  const DCacheStats& stats() const { return stats_; }
+  // Worst-case latency of an on-chip access: the slow-hit bound the paper
+  // calls the "guaranteed memory latency".
+  uint32_t GuaranteedLatencyCycles() const;
+
+  uint32_t local_limit() const { return pinned_base_ + pinned_bytes_; }
+
+ private:
+  struct Block {
+    uint32_t tag = 0;      // vaddr / block_bytes
+    uint32_t slot = 0;     // which storage slot in local memory holds it
+    bool dirty = false;
+  };
+
+  uint32_t TranslateDcache(uint32_t vaddr, bool is_store);
+  // Write-through stores are committed to the server on the *next* hook
+  // entry (the VM performs the store after Translate returns) and at flush.
+  void CommitPendingWriteThrough();
+  uint32_t TranslateScache(uint32_t vaddr, bool is_store);
+  uint32_t TranslatePinned(uint32_t vaddr, bool is_store, bool* handled);
+  // Binary search over sorted_; returns index or -1.
+  int FindBlock(uint32_t tag) const;
+  void FetchBlock(uint32_t tag, uint32_t slot);
+  void WritebackSlot(uint32_t slot, uint32_t tag);
+  void Charge(uint64_t cycles) {
+    machine_.Charge(cycles);
+    stats_.cycles += cycles;
+  }
+
+  vm::Machine& machine_;
+  softcache::MemoryController& mc_;
+  net::Channel& channel_;
+  DCacheConfig config_;
+  DCacheStats stats_;
+
+  uint32_t data_lo_ = 0;   // cached data range: [data_lo_, stack_lo_)
+  uint32_t stack_lo_ = 0;  // stack range: [stack_lo_, kStackTop]
+
+  uint32_t dcache_base_ = 0;   // local storage for dcache blocks
+  uint32_t scache_base_ = 0;   // local circular stack buffer
+  uint32_t pinned_base_ = 0;   // local pinned-scalar region
+  uint32_t pinned_bytes_ = 0;
+
+  // Sorted by tag (the paper's sorted block array).
+  std::vector<Block> sorted_;
+  std::vector<uint32_t> fifo_slots_;  // slot replacement order
+  std::vector<bool> slot_used_;
+
+  // Per-site predictions, keyed by the PC of the load/store.
+  struct SitePrediction {
+    int32_t last_index = -1;
+    int32_t stride = 0;
+  };
+  std::unordered_map<uint32_t, SitePrediction> predictions_;
+
+  // scache line bookkeeping: tag per line slot (vaddr / line_bytes), or ~0.
+  std::vector<uint32_t> scache_line_tag_;
+  std::vector<bool> scache_line_dirty_;
+
+  // Pinned scalar globals: vaddr -> offset in pinned region (~0 = untouched).
+  std::unordered_map<uint32_t, uint32_t> pinned_offsets_;
+  std::unordered_map<uint32_t, bool> pinned_touched_;
+
+  uint32_t seq_ = 1000;  // protocol sequence numbers
+
+  // Deferred write-through state.
+  uint32_t pending_wt_slot_ = UINT32_MAX;
+  uint32_t pending_wt_tag_ = 0;
+  // Bank-conflict tracking.
+  uint32_t last_bank_ = 0;
+  bool has_last_bank_ = false;
+};
+
+}  // namespace sc::dcache

@@ -1,0 +1,65 @@
+#include "hwsim/cache.h"
+
+namespace sc::hwsim {
+namespace {
+
+uint32_t Log2Exact(uint32_t v) {
+  SC_CHECK_GT(v, 0u);
+  SC_CHECK_EQ(v & (v - 1), 0u) << "value must be a power of two: " << v;
+  uint32_t bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  SC_CHECK_GT(config_.associativity, 0u);
+  SC_CHECK_EQ(config_.size_bytes % (config_.block_bytes * config_.associativity), 0u);
+  num_sets_ = config_.size_bytes / (config_.block_bytes * config_.associativity);
+  offset_bits_ = Log2Exact(config_.block_bytes);
+  index_bits_ = Log2Exact(num_sets_);
+  lines_.resize(static_cast<size_t>(num_sets_) * config_.associativity);
+}
+
+void Cache::Reset() {
+  for (Line& line : lines_) line = Line{};
+  stats_ = CacheStats{};
+  tick_ = 0;
+}
+
+bool Cache::Access(uint32_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const uint32_t set = (addr >> offset_bits_) & (num_sets_ - 1);
+  const uint32_t tag = addr >> (offset_bits_ + index_bits_);
+  Line* base = &lines_[static_cast<size_t>(set) * config_.associativity];
+  Line* victim = base;
+  for (uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& line = base[way];
+    if (line.valid && line.tag == tag) {
+      line.last_use = tick_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  return false;
+}
+
+double Cache::TagOverheadFraction() const {
+  // Per line: tag bits + 1 valid bit, versus 8 bits per data byte.
+  const uint32_t tag_bits = 32 - offset_bits_ - index_bits_;
+  const double overhead_bits = static_cast<double>(tag_bits) + 1.0;
+  const double data_bits = static_cast<double>(config_.block_bytes) * 8.0;
+  return overhead_bits / data_bits;
+}
+
+}  // namespace sc::hwsim

@@ -1,0 +1,35 @@
+#include "hwsim/power.h"
+
+namespace sc::hwsim {
+
+double HardwareCacheEnergy(const EnergyModel& model, uint64_t accesses,
+                           uint64_t misses, uint32_t block_bytes,
+                           uint32_t assoc_tag_checks) {
+  const double per_access =
+      model.tag_check * static_cast<double>(assoc_tag_checks) + model.data_read;
+  const double per_miss =
+      model.refill_per_word * (static_cast<double>(block_bytes) / 4.0);
+  return per_access * static_cast<double>(accesses) +
+         per_miss * static_cast<double>(misses);
+}
+
+double SoftCacheEnergy(const EnergyModel& model, uint64_t instructions,
+                       uint64_t extra_instructions, uint64_t misses,
+                       uint64_t refill_words, uint64_t miss_overhead_words) {
+  return model.data_read * static_cast<double>(instructions + extra_instructions) +
+         model.refill_per_word * static_cast<double>(refill_words) +
+         model.data_read * static_cast<double>(misses * miss_overhead_words);
+}
+
+double BankLeakEnergy(const EnergyModel& model, uint64_t cycles,
+                      uint32_t powered_banks, uint32_t total_banks) {
+  const double awake = model.bank_leak_per_cycle *
+                       static_cast<double>(powered_banks) *
+                       static_cast<double>(cycles);
+  const double asleep = model.bank_sleep_per_cycle *
+                        static_cast<double>(total_banks - powered_banks) *
+                        static_cast<double>(cycles);
+  return awake + asleep;
+}
+
+}  // namespace sc::hwsim

@@ -1,0 +1,62 @@
+// Analytical memory-system power model.
+//
+// Encodes (a) the published StrongARM SA-110 power breakdown the paper cites
+// [Montanaro et al. 1996]: I-cache 27%, D-cache 16%, write buffer 2% — 45%
+// of chip power in the caches; and (b) a simple per-access energy model that
+// separates tag-array energy from data-array energy, so the softcache's
+// "hits execute no tag checks" claim can be turned into an energy number.
+// All absolute energies are normalized (data-array read of one word = 1.0);
+// results are reported as ratios, never joules.
+#pragma once
+
+#include <cstdint>
+
+namespace sc::hwsim {
+
+// Fraction of StrongARM SA-110 chip power by unit (Montanaro et al., cited
+// as [10] in the paper).
+struct StrongArmPowerBreakdown {
+  double icache = 0.27;
+  double dcache = 0.16;
+  double write_buffer = 0.02;
+
+  double caches_total() const { return icache + dcache + write_buffer; }
+};
+
+struct EnergyModel {
+  // Energy of reading one word from an SRAM data array (the unit).
+  double data_read = 1.0;
+  // Energy of one tag-array read + compare, relative to data_read. Tag
+  // arrays are narrower but pay comparators and are on the critical path;
+  // 0.25-0.5 is typical for small caches with ~20-bit tags vs 128-bit lines.
+  double tag_check = 0.35;
+  // Extra energy for reading a wider line on refill, per word.
+  double refill_per_word = 1.0;
+  // Idle (leakage) power of one powered SRAM bank, per cycle, relative to
+  // data_read per access. Used by the bank power-down experiment.
+  double bank_leak_per_cycle = 0.001;
+  // Leakage of a bank in sleep mode (state-retentive), per cycle.
+  double bank_sleep_per_cycle = 0.0001;
+};
+
+// Memory-system energy of running a program on a hardware cache:
+// every access pays tag check(s) + data read; misses pay refills.
+// `assoc_tag_checks` is the number of tag comparisons per access (ways
+// probed; 1 for direct-mapped).
+double HardwareCacheEnergy(const EnergyModel& model, uint64_t accesses,
+                           uint64_t misses, uint32_t block_bytes,
+                           uint32_t assoc_tag_checks);
+
+// Memory-system energy of the software I-cache: hits are plain SRAM reads
+// (no tag array), extra rewriting-added instructions are extra SRAM reads,
+// and misses pay the refill plus `miss_overhead_words` of handler reads.
+double SoftCacheEnergy(const EnergyModel& model, uint64_t instructions,
+                       uint64_t extra_instructions, uint64_t misses,
+                       uint64_t refill_words, uint64_t miss_overhead_words);
+
+// Bank power-down: leakage of `total_banks` banks over `cycles` when only
+// `powered_banks` stay awake (rest in state-retentive sleep).
+double BankLeakEnergy(const EnergyModel& model, uint64_t cycles,
+                      uint32_t powered_banks, uint32_t total_banks);
+
+}  // namespace sc::hwsim

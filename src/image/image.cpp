@@ -1,0 +1,163 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace sc::image {
+namespace {
+
+constexpr uint32_t kMagic = 0x534b'4931;  // "SKI1"
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutBytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Cursor over serialized bytes with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = static_cast<uint32_t>(bytes_[pos_]) |
+        static_cast<uint32_t>(bytes_[pos_ + 1]) << 8 |
+        static_cast<uint32_t>(bytes_[pos_ + 2]) << 16 |
+        static_cast<uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadBytes(std::vector<uint8_t>& out) {
+    uint32_t n = 0;
+    if (!ReadU32(n) || pos_ + n > bytes_.size()) return false;
+    out.assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+               bytes_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadString(std::string& out) {
+    uint32_t n = 0;
+    if (!ReadU32(n) || pos_ + n > bytes_.size()) return false;
+    out.assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+               bytes_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint32_t Image::heap_base() const {
+  const uint32_t end = std::max(data_end(), bss_end());
+  return (end + 15u) & ~15u;
+}
+
+uint32_t Image::TextWord(uint32_t addr) const {
+  SC_CHECK(ContainsText(addr)) << "addr 0x" << std::hex << addr;
+  SC_CHECK_EQ(addr % 4, 0u);
+  const size_t off = addr - text_base;
+  uint32_t word = 0;
+  std::memcpy(&word, text.data() + off, 4);
+  return word;
+}
+
+const Symbol* Image::FindSymbol(std::string_view name) const {
+  for (const Symbol& sym : symbols) {
+    if (sym.name == name) return &sym;
+  }
+  return nullptr;
+}
+
+const Symbol* Image::FunctionAt(uint32_t addr) const {
+  const Symbol* best = nullptr;
+  for (const Symbol& sym : symbols) {
+    if (sym.kind != SymbolKind::kFunction) continue;
+    if (addr >= sym.addr && addr < sym.addr + sym.size) {
+      if (best == nullptr || sym.addr > best->addr) best = &sym;
+    }
+  }
+  return best;
+}
+
+std::vector<const Symbol*> Image::Functions() const {
+  std::vector<const Symbol*> out;
+  for (const Symbol& sym : symbols) {
+    if (sym.kind == SymbolKind::kFunction) out.push_back(&sym);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Symbol* a, const Symbol* b) { return a->addr < b->addr; });
+  return out;
+}
+
+std::vector<uint8_t> Image::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU32(out, kMagic);
+  PutU32(out, entry);
+  PutU32(out, text_base);
+  PutBytes(out, text);
+  PutU32(out, data_base);
+  PutBytes(out, data);
+  PutU32(out, bss_base);
+  PutU32(out, bss_size);
+  PutU32(out, static_cast<uint32_t>(symbols.size()));
+  for (const Symbol& sym : symbols) {
+    PutString(out, sym.name);
+    PutU32(out, sym.addr);
+    PutU32(out, sym.size);
+    PutU32(out, static_cast<uint32_t>(sym.kind));
+  }
+  return out;
+}
+
+util::Result<Image> Image::Deserialize(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  Image img;
+  uint32_t magic = 0;
+  if (!r.ReadU32(magic)) return util::Error{"image: truncated header"};
+  if (magic != kMagic) return util::Error{"image: bad magic"};
+  uint32_t nsyms = 0;
+  if (!r.ReadU32(img.entry) || !r.ReadU32(img.text_base) ||
+      !r.ReadBytes(img.text) || !r.ReadU32(img.data_base) ||
+      !r.ReadBytes(img.data) || !r.ReadU32(img.bss_base) ||
+      !r.ReadU32(img.bss_size) || !r.ReadU32(nsyms)) {
+    return util::Error{"image: truncated body"};
+  }
+  if (img.text.size() % 4 != 0) return util::Error{"image: text not word-sized"};
+  for (uint32_t i = 0; i < nsyms; ++i) {
+    Symbol sym;
+    uint32_t kind = 0;
+    if (!r.ReadString(sym.name) || !r.ReadU32(sym.addr) || !r.ReadU32(sym.size) ||
+        !r.ReadU32(kind)) {
+      return util::Error{"image: truncated symbol table"};
+    }
+    if (kind > 1) return util::Error{"image: bad symbol kind"};
+    sym.kind = static_cast<SymbolKind>(kind);
+    img.symbols.push_back(std::move(sym));
+  }
+  if (!r.AtEnd()) return util::Error{"image: trailing bytes"};
+  return img;
+}
+
+}  // namespace sc::image

@@ -1,0 +1,68 @@
+// Program image: text + data segments, entry point and a symbol table.
+//
+// This is the artifact the assembler and MiniC compiler produce and the unit
+// the memory controller (server side) is "given as input" — the analogue of
+// the gcc-generated ELF image in the paper's ARM prototype. A compact binary
+// serialization is provided so images round-trip through files or the
+// simulated network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sc::image {
+
+enum class SymbolKind : uint8_t { kFunction = 0, kObject = 1 };
+
+struct Symbol {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  SymbolKind kind = SymbolKind::kFunction;
+};
+
+class Image {
+ public:
+  uint32_t entry = 0;
+
+  uint32_t text_base = 0;
+  std::vector<uint8_t> text;
+
+  uint32_t data_base = 0;
+  std::vector<uint8_t> data;
+
+  uint32_t bss_base = 0;
+  uint32_t bss_size = 0;
+
+  std::vector<Symbol> symbols;
+
+  uint32_t text_end() const { return text_base + static_cast<uint32_t>(text.size()); }
+  uint32_t data_end() const { return data_base + static_cast<uint32_t>(data.size()); }
+  uint32_t bss_end() const { return bss_base + bss_size; }
+  // First address past all static storage; the heap starts here.
+  uint32_t heap_base() const;
+
+  bool ContainsText(uint32_t addr) const {
+    return addr >= text_base && addr < text_end();
+  }
+
+  // Reads the instruction word at `addr` (must lie in text, aligned).
+  uint32_t TextWord(uint32_t addr) const;
+
+  const Symbol* FindSymbol(std::string_view name) const;
+  // The function symbol whose [addr, addr+size) range contains `addr`.
+  const Symbol* FunctionAt(uint32_t addr) const;
+  // All function symbols, sorted by address.
+  std::vector<const Symbol*> Functions() const;
+
+  // Binary serialization (magic "SRKI", version 1).
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<Image> Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace sc::image

@@ -1,0 +1,297 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace sc::isa {
+namespace {
+
+struct OpInfo {
+  const char* mnemonic;
+  Format format;
+};
+
+constexpr std::array<OpInfo, static_cast<size_t>(Opcode::kCount)> kOpTable = {{
+    {"illegal", Format::kR},  // kIllegal
+    {"alu", Format::kR},      // kAlu (mnemonic comes from funct)
+    {"addi", Format::kI},
+    {"andi", Format::kI},
+    {"ori", Format::kI},
+    {"xori", Format::kI},
+    {"slti", Format::kI},
+    {"sltiu", Format::kI},
+    {"slli", Format::kI},
+    {"srli", Format::kI},
+    {"srai", Format::kI},
+    {"lui", Format::kI},
+    {"lw", Format::kI},
+    {"lh", Format::kI},
+    {"lhu", Format::kI},
+    {"lb", Format::kI},
+    {"lbu", Format::kI},
+    {"sw", Format::kI},
+    {"sh", Format::kI},
+    {"sb", Format::kI},
+    {"beq", Format::kB},
+    {"bne", Format::kB},
+    {"blt", Format::kB},
+    {"bge", Format::kB},
+    {"bltu", Format::kB},
+    {"bgeu", Format::kB},
+    {"j", Format::kJ},
+    {"jal", Format::kJ},
+    {"jalr", Format::kI},
+    {"sys", Format::kI},
+    {"halt", Format::kR},
+    {"tcmiss", Format::kJ},
+    {"tcjalr", Format::kI},
+}};
+
+constexpr std::array<const char*, static_cast<size_t>(AluOp::kCount)> kAluNames = {
+    "add", "sub", "and", "or",   "xor", "sll", "srl", "sra",
+    "slt", "sltu", "mul", "div", "divu", "rem", "remu",
+};
+
+constexpr std::array<const char*, kNumRegs> kRegNames = {
+    "zero", "at", "rv", "a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1",
+    "t2",   "t3", "t4", "t5", "t6", "t7", "t8", "s0", "s1", "s2", "s3",
+    "s4",   "s5", "s6", "s7", "s8", "k0", "gp", "sp", "fp", "ra",
+};
+
+int32_t SignExtend16(uint32_t v) { return static_cast<int16_t>(v & 0xffff); }
+
+int32_t SignExtend26(uint32_t v) {
+  v &= 0x03ffffff;
+  if (v & 0x02000000) v |= 0xfc000000;
+  return static_cast<int32_t>(v);
+}
+
+}  // namespace
+
+Format FormatOf(Opcode op) {
+  SC_CHECK_LT(static_cast<size_t>(op), kOpTable.size());
+  return kOpTable[static_cast<size_t>(op)].format;
+}
+
+bool IsConditionalBranch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBgeu;
+}
+
+bool IsDirectJump(Opcode op) { return op == Opcode::kJ || op == Opcode::kJal; }
+
+bool IsControlTransfer(Opcode op) {
+  return IsConditionalBranch(op) || IsDirectJump(op) || op == Opcode::kJalr ||
+         op == Opcode::kTcJalr || op == Opcode::kTcMiss || op == Opcode::kHalt;
+}
+
+const char* MnemonicOf(Opcode op) {
+  SC_CHECK_LT(static_cast<size_t>(op), kOpTable.size());
+  return kOpTable[static_cast<size_t>(op)].mnemonic;
+}
+
+const char* MnemonicOf(AluOp funct) {
+  SC_CHECK_LT(static_cast<size_t>(funct), kAluNames.size());
+  return kAluNames[static_cast<size_t>(funct)];
+}
+
+const char* RegName(uint8_t reg) {
+  SC_CHECK_LT(reg, kNumRegs);
+  return kRegNames[reg];
+}
+
+bool FitsImm16(int64_t v) { return v >= kImm16Min && v <= kImm16Max; }
+bool FitsImm26(int64_t v) { return v >= kImm26Min && v <= kImm26Max; }
+
+bool HasZeroExtendedImm(Opcode op) {
+  return op == Opcode::kAndi || op == Opcode::kOri || op == Opcode::kXori ||
+         op == Opcode::kLui;
+}
+
+uint32_t Encode(const Instr& instr) {
+  SC_CHECK_LT(static_cast<size_t>(instr.op), static_cast<size_t>(Opcode::kCount));
+  SC_CHECK_LT(instr.rd, kNumRegs);
+  SC_CHECK_LT(instr.rs1, kNumRegs);
+  SC_CHECK_LT(instr.rs2, kNumRegs);
+  const uint32_t op = static_cast<uint32_t>(instr.op) << 26;
+  switch (FormatOf(instr.op)) {
+    case Format::kR: {
+      SC_CHECK_LT(static_cast<uint32_t>(instr.funct), 1u << 11);
+      return op | static_cast<uint32_t>(instr.rd) << 21 |
+             static_cast<uint32_t>(instr.rs1) << 16 |
+             static_cast<uint32_t>(instr.rs2) << 11 |
+             static_cast<uint32_t>(instr.funct);
+    }
+    case Format::kI: {
+      if (HasZeroExtendedImm(instr.op)) {
+        SC_CHECK_GE(instr.imm, 0);
+        SC_CHECK_LE(instr.imm, 0xffff);
+      } else {
+        SC_CHECK(FitsImm16(instr.imm)) << "imm16 out of range: " << instr.imm;
+      }
+      return op | static_cast<uint32_t>(instr.rd) << 21 |
+             static_cast<uint32_t>(instr.rs1) << 16 |
+             (static_cast<uint32_t>(instr.imm) & 0xffff);
+    }
+    case Format::kB: {
+      SC_CHECK(FitsImm16(instr.imm)) << "branch offset out of range: " << instr.imm;
+      return op | static_cast<uint32_t>(instr.rs1) << 21 |
+             static_cast<uint32_t>(instr.rs2) << 16 |
+             (static_cast<uint32_t>(instr.imm) & 0xffff);
+    }
+    case Format::kJ: {
+      if (instr.op == Opcode::kTcMiss) {
+        SC_CHECK_GE(instr.imm, 0);
+        SC_CHECK_LE(instr.imm, kImm26Max * 2 + 1);  // unsigned 26-bit index
+      } else {
+        SC_CHECK(FitsImm26(instr.imm)) << "imm26 out of range: " << instr.imm;
+      }
+      return op | (static_cast<uint32_t>(instr.imm) & 0x03ffffff);
+    }
+  }
+  SC_UNREACHABLE();
+  return 0;  // not reached
+}
+
+Instr Decode(uint32_t word) {
+  Instr instr;
+  const uint32_t opbits = word >> 26;
+  if (opbits >= static_cast<uint32_t>(Opcode::kCount)) {
+    instr.op = Opcode::kIllegal;
+    return instr;
+  }
+  instr.op = static_cast<Opcode>(opbits);
+  switch (FormatOf(instr.op)) {
+    case Format::kR: {
+      instr.rd = static_cast<uint8_t>((word >> 21) & 31);
+      instr.rs1 = static_cast<uint8_t>((word >> 16) & 31);
+      instr.rs2 = static_cast<uint8_t>((word >> 11) & 31);
+      const uint32_t funct = word & 0x7ff;
+      if (instr.op == Opcode::kAlu &&
+          funct >= static_cast<uint32_t>(AluOp::kCount)) {
+        instr.op = Opcode::kIllegal;
+        return instr;
+      }
+      instr.funct = static_cast<AluOp>(funct);
+      break;
+    }
+    case Format::kI:
+      instr.rd = static_cast<uint8_t>((word >> 21) & 31);
+      instr.rs1 = static_cast<uint8_t>((word >> 16) & 31);
+      instr.imm = HasZeroExtendedImm(instr.op)
+                      ? static_cast<int32_t>(word & 0xffff)
+                      : SignExtend16(word);
+      break;
+    case Format::kB:
+      instr.rs1 = static_cast<uint8_t>((word >> 21) & 31);
+      instr.rs2 = static_cast<uint8_t>((word >> 16) & 31);
+      instr.imm = SignExtend16(word);
+      break;
+    case Format::kJ:
+      instr.imm = (instr.op == Opcode::kTcMiss)
+                      ? static_cast<int32_t>(word & 0x03ffffff)
+                      : SignExtend26(word);
+      break;
+  }
+  return instr;
+}
+
+int32_t OffsetFor(uint32_t pc, uint32_t target) {
+  SC_CHECK_EQ(pc % 4, 0u);
+  SC_CHECK_EQ(target % 4, 0u);
+  return static_cast<int32_t>(target - (pc + 4)) / 4;
+}
+
+std::string Disassemble(uint32_t word, uint32_t pc) {
+  const Instr in = Decode(word);
+  char buf[96];
+  switch (in.op) {
+    case Opcode::kIllegal:
+      std::snprintf(buf, sizeof buf, ".word 0x%08x", word);
+      break;
+    case Opcode::kAlu:
+      std::snprintf(buf, sizeof buf, "%-6s %s, %s, %s", MnemonicOf(in.funct),
+                    RegName(in.rd), RegName(in.rs1), RegName(in.rs2));
+      break;
+    case Opcode::kLui:
+      std::snprintf(buf, sizeof buf, "%-6s %s, 0x%x", MnemonicOf(in.op),
+                    RegName(in.rd), static_cast<uint32_t>(in.imm) & 0xffff);
+      break;
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb:
+      std::snprintf(buf, sizeof buf, "%-6s %s, %d(%s)", MnemonicOf(in.op),
+                    RegName(in.rd), in.imm, RegName(in.rs1));
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      std::snprintf(buf, sizeof buf, "%-6s %s, %s, 0x%x", MnemonicOf(in.op),
+                    RegName(in.rs1), RegName(in.rs2), BranchTarget(pc, in.imm));
+      break;
+    case Opcode::kJ:
+    case Opcode::kJal:
+      std::snprintf(buf, sizeof buf, "%-6s 0x%x", MnemonicOf(in.op),
+                    BranchTarget(pc, in.imm));
+      break;
+    case Opcode::kJalr:
+    case Opcode::kTcJalr:
+      std::snprintf(buf, sizeof buf, "%-6s %s, %s, %d", MnemonicOf(in.op),
+                    RegName(in.rd), RegName(in.rs1), in.imm);
+      break;
+    case Opcode::kSys:
+      std::snprintf(buf, sizeof buf, "%-6s %d", MnemonicOf(in.op), in.imm);
+      break;
+    case Opcode::kHalt:
+      std::snprintf(buf, sizeof buf, "halt");
+      break;
+    case Opcode::kTcMiss:
+      std::snprintf(buf, sizeof buf, "%-6s #%u", MnemonicOf(in.op),
+                    static_cast<uint32_t>(in.imm));
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%-6s %s, %s, %d", MnemonicOf(in.op),
+                    RegName(in.rd), RegName(in.rs1), in.imm);
+      break;
+  }
+  return buf;
+}
+
+uint32_t EncAlu(AluOp funct, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  return Encode(Instr{.op = Opcode::kAlu, .funct = funct, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+uint32_t EncI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm) {
+  SC_CHECK_EQ(static_cast<int>(FormatOf(op)), static_cast<int>(Format::kI));
+  return Encode(Instr{.op = op, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+uint32_t EncBranch(Opcode op, uint8_t rs1, uint8_t rs2, int32_t word_offset) {
+  SC_CHECK(IsConditionalBranch(op));
+  return Encode(Instr{.op = op, .rs1 = rs1, .rs2 = rs2, .imm = word_offset});
+}
+
+uint32_t EncJ(Opcode op, int32_t word_offset) {
+  SC_CHECK(op == Opcode::kJ || op == Opcode::kJal);
+  return Encode(Instr{.op = op, .imm = word_offset});
+}
+
+uint32_t EncTcMiss(uint32_t stub_index) {
+  return Encode(Instr{.op = Opcode::kTcMiss, .imm = static_cast<int32_t>(stub_index)});
+}
+
+bool IsReturn(uint32_t word) {
+  const Instr in = Decode(word);
+  return in.op == Opcode::kJalr && in.rd == kZero && in.rs1 == kRa && in.imm == 0;
+}
+
+}  // namespace sc::isa

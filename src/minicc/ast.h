@@ -1,0 +1,145 @@
+// MiniC abstract syntax tree.
+//
+// The parser produces an untyped AST; name resolution and type checking
+// happen in the code generator (a one-pass design typical of small
+// compilers). Every node carries a source position for diagnostics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minicc/token.h"
+#include "minicc/types.h"
+
+namespace sc::minicc {
+
+struct Pos {
+  int line = 0;
+  int column = 0;
+};
+
+// ---------- Expressions ----------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kStrLit,
+  kIdent,
+  kUnary,     // op operand  (also post-inc/dec via is_postfix)
+  kBinary,
+  kAssign,    // lhs op= rhs (op == kAssign for plain '=')
+  kTernary,
+  kCall,
+  kIndex,     // base[index]
+  kMember,    // base.field / base->field
+  kSizeof,    // sizeof(type) or sizeof(expr)
+  kCast,      // (type)expr
+};
+
+struct Expr {
+  ExprKind kind;
+  Pos pos;
+
+  // kIntLit
+  uint32_t int_value = 0;
+  // kStrLit / kIdent / kMember field name
+  std::string text;
+  // kUnary / kBinary / kAssign operator
+  Tok op = Tok::kEof;
+  bool is_postfix = false;  // for ++/--
+  bool is_arrow = false;    // for kMember
+  // operands
+  ExprPtr a;  // unary operand / binary lhs / assign lhs / cond / callee / base
+  ExprPtr b;  // binary rhs / assign rhs / then-expr / index
+  ExprPtr c;  // else-expr
+  std::vector<ExprPtr> args;  // call arguments
+  // kSizeof / kCast target type (null for sizeof(expr))
+  const Type* type_arg = nullptr;
+};
+
+// ---------- Statements ----------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  kBlock,
+  kExpr,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kSwitch,
+  kBreak,
+  kContinue,
+  kReturn,
+  kVarDecl,
+  kEmpty,
+};
+
+struct SwitchCase {
+  bool is_default = false;
+  int32_t value = 0;
+  std::vector<StmtPtr> body;
+  Pos pos;
+};
+
+struct Stmt {
+  StmtKind kind;
+  Pos pos;
+
+  std::vector<StmtPtr> body;  // kBlock
+  ExprPtr expr;               // kExpr / conditions / kReturn value / switch subject
+  StmtPtr then_stmt;          // kIf then / loop body / for body
+  StmtPtr else_stmt;          // kIf else
+  ExprPtr init_expr;          // for-init expression (when not a decl)
+  StmtPtr init_decl;          // for-init declaration
+  ExprPtr step_expr;          // for-step
+  std::vector<SwitchCase> cases;  // kSwitch
+
+  // kVarDecl
+  const Type* decl_type = nullptr;
+  std::string decl_name;
+  ExprPtr decl_init;  // optional scalar initializer
+};
+
+// ---------- Top-level declarations ----------
+
+struct Param {
+  const Type* type = nullptr;
+  std::string name;
+  Pos pos;
+};
+
+struct FuncDecl {
+  const Type* ret = nullptr;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // null for a forward declaration
+  Pos pos;
+};
+
+// Global variable initializer: at most one of the members is used.
+struct GlobalInit {
+  ExprPtr scalar;               // = expr (constant-folded at compile time)
+  std::vector<ExprPtr> list;    // = { e0, e1, ... }
+  bool has_list = false;
+};
+
+struct GlobalDecl {
+  const Type* type = nullptr;
+  std::string name;
+  GlobalInit init;
+  Pos pos;
+};
+
+struct Program {
+  TypeTable types;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+  std::vector<std::unique_ptr<GlobalDecl>> globals;
+};
+
+}  // namespace sc::minicc

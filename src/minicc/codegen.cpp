@@ -1,0 +1,1620 @@
+#include "minicc/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minicc/emitter.h"
+#include "util/check.h"
+
+namespace sc::minicc {
+namespace {
+
+using isa::AluOp;
+using isa::Opcode;
+using util::Error;
+using util::Result;
+
+// A scalar expression result held in a temp register.
+struct Value {
+  uint8_t reg = 0;
+  const Type* type = nullptr;
+};
+
+// Temp register pool: t0..t8.
+class RegPool {
+ public:
+  Result<uint8_t> Alloc(const Pos& pos, const std::string& file) {
+    for (uint8_t i = 0; i < kCount; ++i) {
+      if (!used_[i]) {
+        used_[i] = true;
+        return static_cast<uint8_t>(isa::kT0 + i);
+      }
+    }
+    return Error{"expression too complex (out of temp registers)", file, pos.line,
+                 pos.column};
+  }
+  void Free(uint8_t reg) {
+    SC_CHECK_GE(reg, isa::kT0);
+    SC_CHECK_LE(reg, isa::kT8);
+    SC_CHECK(used_[reg - isa::kT0]);
+    used_[reg - isa::kT0] = false;
+  }
+  std::vector<uint8_t> Live() const {
+    std::vector<uint8_t> out;
+    for (uint8_t i = 0; i < kCount; ++i) {
+      if (used_[i]) out.push_back(static_cast<uint8_t>(isa::kT0 + i));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int kCount = 9;
+  bool used_[kCount] = {};
+};
+
+// A constant value from global-initializer evaluation: either a plain
+// integer or the address of a text label (function pointer initializers).
+struct ConstValue {
+  uint32_t value = 0;
+  Label label = kNoLabel;  // when set, value is an addend to the label address
+};
+
+struct FunctionInfo {
+  const FuncDecl* decl = nullptr;
+  Label label = kNoLabel;
+  const Type* type = nullptr;  // kFunc type
+};
+
+struct GlobalInfo {
+  const Type* type = nullptr;
+  uint32_t addr = 0;
+};
+
+struct LocalVar {
+  const Type* type = nullptr;
+  int32_t fp_offset = 0;
+};
+
+// System-call builtins exposed to MiniC sources.
+struct Builtin {
+  const char* name;
+  int32_t syscall;
+  int num_args;
+  bool has_result;
+};
+constexpr Builtin kBuiltins[] = {
+    {"__exit", 0, 1, false},  {"__putc", 1, 1, false},
+    {"__getc", 2, 0, true},   {"__write", 3, 2, false},
+    {"__read", 4, 2, true},   {"__brk", 5, 1, true},
+    {"__cycles", 6, 0, true}, {"__icache_inval", 7, 2, false},
+};
+
+class Codegen {
+ public:
+  Codegen(Program& program, std::string_view filename, const CodegenOptions& options)
+      : prog_(program),
+        file_(filename),
+        emit_(options.text_base, options.data_base),
+        options_fold_(options.fold_constants) {}
+
+  Result<image::Image> Run() {
+    if (auto st = RegisterFunctions(); !st.ok()) return st.error();
+    if (auto st = LayoutGlobals(); !st.ok()) return st.error();
+    if (auto st = EmitStart(); !st.ok()) return st.error();
+    for (const auto& fn : prog_.functions) {
+      if (fn->body == nullptr) continue;
+      if (auto st = EmitFunction(*fn); !st.ok()) return st.error();
+    }
+    if (auto st = InitGlobals(); !st.ok()) return st.error();
+    if (auto st = emit_.Finalize(); !st.ok()) return st.error();
+    return BuildImage();
+  }
+
+ private:
+  Error Err(const Pos& pos, const std::string& message) {
+    return Error{message, file_, pos.line, pos.column};
+  }
+
+  // ---------- Setup passes ----------
+
+  util::Status RegisterFunctions() {
+    for (const auto& fn : prog_.functions) {
+      std::vector<const Type*> params;
+      for (const Param& p : fn->params) params.push_back(p.type);
+      const Type* type = prog_.types.FuncType(fn->ret, std::move(params));
+      auto it = functions_.find(fn->name);
+      if (it != functions_.end()) {
+        if (!TypeTable::Same(it->second.type, type)) {
+          return Err(fn->pos, "conflicting declarations of '" + fn->name + "'");
+        }
+        if (fn->body != nullptr) {
+          if (it->second.decl->body != nullptr) {
+            return Err(fn->pos, "function '" + fn->name + "' redefined");
+          }
+          it->second.decl = fn.get();
+        }
+        continue;
+      }
+      if (fn->params.size() > 6) {
+        return Err(fn->pos, "MiniC limit: at most 6 parameters");
+      }
+      functions_[fn->name] = FunctionInfo{fn.get(), emit_.NewLabel(), type};
+    }
+    for (const auto& [name, info] : functions_) {
+      if (info.decl->body == nullptr) {
+        return Err(info.decl->pos, "function '" + name + "' declared but never defined");
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  // Assigns every global an address in the data segment (uninitialized
+  // globals are zero-filled data; MiniC folds bss into data for simplicity).
+  util::Status LayoutGlobals() {
+    for (const auto& g : prog_.globals) {
+      if (globals_.count(g->name) != 0 || functions_.count(g->name) != 0) {
+        return Err(g->pos, "duplicate global '" + g->name + "'");
+      }
+      if (g->type->IsStruct() && !g->type->struct_info->complete) {
+        return Err(g->pos, "global of incomplete struct type");
+      }
+      emit_.DataAlign(g->type->Align());
+      globals_[g->name] = GlobalInfo{g->type, emit_.DataPc()};
+      global_syms_.push_back(image::Symbol{g->name, emit_.DataPc(), g->type->Size(),
+                                           image::SymbolKind::kObject});
+      emit_.DataZero(g->type->Size());
+    }
+    return util::Status::Ok();
+  }
+
+  // Fills in global initializers (done after functions are registered so
+  // function-pointer tables can reference their labels).
+  util::Status InitGlobals() {
+    for (const auto& g : prog_.globals) {
+      const GlobalInfo& info = globals_.at(g->name);
+      if (g->init.scalar != nullptr) {
+        if (g->type->IsArray() && g->type->elem->kind == Type::Kind::kChar &&
+            g->init.scalar->kind == ExprKind::kStrLit) {
+          // char buf[N] = "text";
+          const std::string& s = g->init.scalar->text;
+          if (s.size() + 1 > g->type->Size()) {
+            return Err(g->pos, "string initializer too long");
+          }
+          if (auto st = PatchDataBytes(info.addr, s); !st.ok()) return st;
+          continue;
+        }
+        if (!g->type->IsScalar()) {
+          return Err(g->pos, "scalar initializer for non-scalar global");
+        }
+        auto v = EvalConst(*g->init.scalar);
+        if (!v.ok()) return v.error();
+        if (auto st = PatchDataConst(info.addr, g->type->Size(), *v); !st.ok()) return st;
+        continue;
+      }
+      if (g->init.has_list) {
+        if (!g->type->IsArray()) {
+          return Err(g->pos, "initializer list requires an array type");
+        }
+        if (g->init.list.size() > g->type->array_len) {
+          return Err(g->pos, "too many initializers");
+        }
+        const uint32_t elem_size = g->type->elem->Size();
+        if (!g->type->elem->IsScalar()) {
+          return Err(g->pos, "initializer list elements must be scalar");
+        }
+        uint32_t addr = info.addr;
+        for (const ExprPtr& e : g->init.list) {
+          auto v = EvalConst(*e);
+          if (!v.ok()) return v.error();
+          if (auto st = PatchDataConst(addr, elem_size, *v); !st.ok()) return st;
+          addr += elem_size;
+        }
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status PatchDataBytes(uint32_t addr, const std::string& s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      data_patches_.push_back({addr + static_cast<uint32_t>(i),
+                               static_cast<uint8_t>(s[i])});
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status PatchDataConst(uint32_t addr, uint32_t size, const ConstValue& v) {
+    if (v.label != kNoLabel) {
+      SC_CHECK_EQ(size, 4u);
+      label_patches_.push_back({addr, v.label, v.value});
+      return util::Status::Ok();
+    }
+    for (uint32_t i = 0; i < size; ++i) {
+      data_patches_.push_back({addr + i, static_cast<uint8_t>(v.value >> (8 * i))});
+    }
+    return util::Status::Ok();
+  }
+
+  // Constant-expression evaluation for global initializers.
+  Result<ConstValue> EvalConst(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return ConstValue{e.int_value, kNoLabel};
+      case ExprKind::kStrLit:
+        return ConstValue{InternString(e.text), kNoLabel};
+      case ExprKind::kSizeof: {
+        auto size = SizeofValue(e);
+        if (!size.ok()) return size.error();
+        return ConstValue{*size, kNoLabel};
+      }
+      case ExprKind::kIdent: {
+        const auto fit = functions_.find(e.text);
+        if (fit != functions_.end()) return ConstValue{0, fit->second.label};
+        const auto git = globals_.find(e.text);
+        if (git != globals_.end() && git->second.type->IsArray()) {
+          return ConstValue{git->second.addr, kNoLabel};
+        }
+        return Err(e.pos, "initializer must be constant");
+      }
+      case ExprKind::kUnary: {
+        if (e.op == Tok::kAmp && e.a->kind == ExprKind::kIdent) {
+          const auto git = globals_.find(e.a->text);
+          if (git != globals_.end()) return ConstValue{git->second.addr, kNoLabel};
+          const auto fit = functions_.find(e.a->text);
+          if (fit != functions_.end()) return ConstValue{0, fit->second.label};
+          return Err(e.pos, "initializer must be constant");
+        }
+        auto v = EvalConst(*e.a);
+        if (!v.ok()) return v;
+        if (v->label != kNoLabel) return Err(e.pos, "bad constant expression");
+        switch (e.op) {
+          case Tok::kMinus: return ConstValue{0u - v->value, kNoLabel};
+          case Tok::kTilde: return ConstValue{~v->value, kNoLabel};
+          case Tok::kBang: return ConstValue{v->value == 0 ? 1u : 0u, kNoLabel};
+          default: return Err(e.pos, "bad constant expression");
+        }
+      }
+      case ExprKind::kBinary: {
+        auto a = EvalConst(*e.a);
+        if (!a.ok()) return a;
+        auto b = EvalConst(*e.b);
+        if (!b.ok()) return b;
+        if (a->label != kNoLabel || b->label != kNoLabel) {
+          return Err(e.pos, "bad constant expression");
+        }
+        const uint32_t x = a->value;
+        const uint32_t y = b->value;
+        switch (e.op) {
+          case Tok::kPlus: return ConstValue{x + y, kNoLabel};
+          case Tok::kMinus: return ConstValue{x - y, kNoLabel};
+          case Tok::kStar: return ConstValue{x * y, kNoLabel};
+          case Tok::kSlash:
+            if (y == 0) return Err(e.pos, "division by zero in constant");
+            return ConstValue{static_cast<uint32_t>(static_cast<int32_t>(x) /
+                                                    static_cast<int32_t>(y)),
+                              kNoLabel};
+          case Tok::kPercent:
+            if (y == 0) return Err(e.pos, "division by zero in constant");
+            return ConstValue{static_cast<uint32_t>(static_cast<int32_t>(x) %
+                                                    static_cast<int32_t>(y)),
+                              kNoLabel};
+          case Tok::kShl: return ConstValue{x << (y & 31), kNoLabel};
+          case Tok::kShr: return ConstValue{x >> (y & 31), kNoLabel};
+          case Tok::kAmp: return ConstValue{x & y, kNoLabel};
+          case Tok::kPipe: return ConstValue{x | y, kNoLabel};
+          case Tok::kCaret: return ConstValue{x ^ y, kNoLabel};
+          default: return Err(e.pos, "bad constant expression");
+        }
+      }
+      case ExprKind::kCast:
+        return EvalConst(*e.a);
+      default:
+        return Err(e.pos, "initializer must be constant");
+    }
+  }
+
+  Result<uint32_t> SizeofValue(const Expr& e) {
+    SC_CHECK(e.kind == ExprKind::kSizeof);
+    if (e.type_arg != nullptr) return e.type_arg->Size();
+    auto type = TypeOf(*e.a);
+    if (!type.ok()) return type.error();
+    return (*type)->Size();
+  }
+
+  // Lightweight type inference (no emission) for sizeof(expr).
+  Result<const Type*> TypeOf(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return prog_.types.IntType();
+      case ExprKind::kStrLit: return prog_.types.PtrTo(prog_.types.CharType());
+      case ExprKind::kIdent: {
+        if (const LocalVar* local = FindLocal(e.text)) return local->type;
+        const auto git = globals_.find(e.text);
+        if (git != globals_.end()) return git->second.type;
+        const auto fit = functions_.find(e.text);
+        if (fit != functions_.end()) return prog_.types.PtrTo(fit->second.type);
+        return Err(e.pos, "unknown identifier '" + e.text + "'");
+      }
+      case ExprKind::kUnary: {
+        if (e.op == Tok::kStar) {
+          auto t = TypeOf(*e.a);
+          if (!t.ok()) return t;
+          if (!(*t)->IsPtr() && !(*t)->IsArray()) return Err(e.pos, "deref of non-pointer");
+          return (*t)->elem;
+        }
+        if (e.op == Tok::kAmp) {
+          auto t = TypeOf(*e.a);
+          if (!t.ok()) return t;
+          return prog_.types.PtrTo(*t);
+        }
+        return TypeOf(*e.a);
+      }
+      case ExprKind::kIndex: {
+        auto t = TypeOf(*e.a);
+        if (!t.ok()) return t;
+        if (!(*t)->IsPtr() && !(*t)->IsArray()) return Err(e.pos, "index of non-array");
+        return (*t)->elem;
+      }
+      case ExprKind::kMember: {
+        auto t = TypeOf(*e.a);
+        if (!t.ok()) return t;
+        const Type* base = *t;
+        if (e.is_arrow) {
+          if (!base->IsPtr()) return Err(e.pos, "-> on non-pointer");
+          base = base->elem;
+        }
+        if (!base->IsStruct()) return Err(e.pos, "member of non-struct");
+        const StructField* f = base->struct_info->FindField(e.text);
+        if (f == nullptr) return Err(e.pos, "no field '" + e.text + "'");
+        return f->type;
+      }
+      case ExprKind::kCast: return e.type_arg;
+      default: return Err(e.pos, "sizeof of this expression is not supported");
+    }
+  }
+
+  uint32_t InternString(const std::string& s) {
+    const auto it = string_pool_.find(s);
+    if (it != string_pool_.end()) return it->second;
+    emit_.DataAlign(1);
+    const uint32_t addr = emit_.DataPc();
+    for (char c : s) emit_.DataByte(static_cast<uint8_t>(c));
+    emit_.DataByte(0);
+    string_pool_[s] = addr;
+    return addr;
+  }
+
+  // ---------- Function emission ----------
+
+  util::Status EmitStart() {
+    const auto it = functions_.find("main");
+    if (it == functions_.end()) {
+      return Error{"no 'main' function", file_, 0, 0};
+    }
+    entry_ = emit_.TextPc();
+    // fp starts at 0 (register file is zeroed), terminating the stack walk.
+    emit_.EmitJump(Opcode::kJal, it->second.label);
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kA0, isa::kRv, 0));
+    emit_.Emit(isa::EncI(Opcode::kSys, 0, 0, vm_exit_syscall_));
+    start_size_ = emit_.TextPc() - entry_;
+    return util::Status::Ok();
+  }
+
+  util::Status EmitFunction(const FuncDecl& fn) {
+    const FunctionInfo& info = functions_.at(fn.name);
+    const uint32_t fn_start = emit_.TextPc();
+    emit_.Bind(info.label);
+
+    // Reset per-function state.
+    scopes_.clear();
+    scopes_.emplace_back();
+    frame_cursor_ = 8;  // below saved ra (fp-4) and saved fp (fp-8)
+    max_frame_ = 8;
+    current_ret_ = fn.ret;
+    epilogue_ = emit_.NewLabel();
+    break_stack_.clear();
+    continue_stack_.clear();
+
+    // Prologue: build the uniform frame (see codegen.h).
+    const size_t sp_adjust_index = emit_.NumWords();
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kSp, isa::kSp, 0));  // patched
+    const size_t ra_save_index = emit_.NumWords();
+    emit_.Emit(isa::EncI(Opcode::kSw, isa::kRa, isa::kSp, 0));    // patched
+    const size_t fp_save_index = emit_.NumWords();
+    emit_.Emit(isa::EncI(Opcode::kSw, isa::kFp, isa::kSp, 0));    // patched
+    const size_t fp_set_index = emit_.NumWords();
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kFp, isa::kSp, 0));  // patched
+
+    // Spill parameters into their frame slots.
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      const Param& p = fn.params[i];
+      auto slot = AllocLocal(p.type, p.name, p.pos);
+      if (!slot.ok()) return slot.error();
+      emit_.Emit(isa::EncI(Opcode::kSw, static_cast<uint8_t>(isa::kA0 + i),
+                           isa::kFp, *slot));
+    }
+
+    if (auto st = EmitStmt(*fn.body); !st.ok()) return st;
+
+    // Epilogue (single exit).
+    emit_.Bind(epilogue_);
+    emit_.Emit(isa::EncI(Opcode::kLw, isa::kRa, isa::kFp, -4));
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kSp, isa::kFp, 0));
+    emit_.Emit(isa::EncI(Opcode::kLw, isa::kFp, isa::kSp, -8));
+    emit_.Emit(isa::EncRet());
+
+    // Patch the frame size.
+    const int32_t frame = static_cast<int32_t>((max_frame_ + 7) & ~7u);
+    if (frame > 4096) {
+      return Err(fn.pos, "frame too large (large locals should be globals)");
+    }
+    emit_.PatchImm16(sp_adjust_index, -frame);
+    emit_.PatchImm16(ra_save_index, frame - 4);
+    emit_.PatchImm16(fp_save_index, frame - 8);
+    emit_.PatchImm16(fp_set_index, frame);
+
+    func_syms_.push_back(image::Symbol{fn.name, fn_start, emit_.TextPc() - fn_start,
+                                       image::SymbolKind::kFunction});
+    return util::Status::Ok();
+  }
+
+  Result<int32_t> AllocLocal(const Type* type, const std::string& name, const Pos& pos) {
+    if (type->IsVoid()) return Err(pos, "variable of void type");
+    if (type->IsStruct() && !type->struct_info->complete) {
+      return Err(pos, "variable of incomplete struct type");
+    }
+    auto& scope = scopes_.back();
+    if (scope.count(name) != 0) {
+      return Err(pos, "redeclaration of '" + name + "'");
+    }
+    const uint32_t align = std::max(type->Align(), 4u);
+    frame_cursor_ = (frame_cursor_ + type->Size() + align - 1) & ~(align - 1);
+    max_frame_ = std::max(max_frame_, frame_cursor_);
+    const int32_t offset = -static_cast<int32_t>(frame_cursor_);
+    scope[name] = LocalVar{type, offset};
+    return offset;
+  }
+
+  const LocalVar* FindLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // ---------- Statements ----------
+
+  util::Status EmitStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        const uint32_t saved_cursor = frame_cursor_;
+        for (const StmtPtr& child : s.body) {
+          if (auto st = EmitStmt(*child); !st.ok()) return st;
+        }
+        scopes_.pop_back();
+        frame_cursor_ = saved_cursor;  // reuse sibling-scope slots
+        return util::Status::Ok();
+      }
+      case StmtKind::kEmpty:
+        return util::Status::Ok();
+      case StmtKind::kExpr: {
+        auto v = EmitExprForEffect(*s.expr);
+        if (!v.ok()) return v.error();
+        return util::Status::Ok();
+      }
+      case StmtKind::kVarDecl: {
+        auto slot = AllocLocal(s.decl_type, s.decl_name, s.pos);
+        if (!slot.ok()) return slot.error();
+        if (s.decl_init != nullptr) {
+          if (!s.decl_type->IsScalar()) {
+            return Err(s.pos, "initializer for non-scalar local");
+          }
+          auto v = EmitValue(*s.decl_init);
+          if (!v.ok()) return v.error();
+          auto cv = Coerce(*v, s.decl_type, s.pos);
+          if (!cv.ok()) return cv.error();
+          EmitStore(cv->reg, isa::kFp, *slot, s.decl_type);
+          regs_.Free(cv->reg);
+        }
+        return util::Status::Ok();
+      }
+      case StmtKind::kIf: {
+        const Label else_label = emit_.NewLabel();
+        if (auto st = EmitCondBranch(*s.expr, else_label, /*branch_if_true=*/false);
+            !st.ok()) {
+          return st;
+        }
+        if (auto st = EmitStmt(*s.then_stmt); !st.ok()) return st;
+        if (s.else_stmt != nullptr) {
+          const Label end_label = emit_.NewLabel();
+          emit_.EmitJump(Opcode::kJ, end_label);
+          emit_.Bind(else_label);
+          if (auto st = EmitStmt(*s.else_stmt); !st.ok()) return st;
+          emit_.Bind(end_label);
+        } else {
+          emit_.Bind(else_label);
+        }
+        return util::Status::Ok();
+      }
+      case StmtKind::kWhile: {
+        const Label head = emit_.NewLabel();
+        const Label end = emit_.NewLabel();
+        emit_.Bind(head);
+        if (auto st = EmitCondBranch(*s.expr, end, false); !st.ok()) return st;
+        break_stack_.push_back(end);
+        continue_stack_.push_back(head);
+        if (auto st = EmitStmt(*s.then_stmt); !st.ok()) return st;
+        break_stack_.pop_back();
+        continue_stack_.pop_back();
+        emit_.EmitJump(Opcode::kJ, head);
+        emit_.Bind(end);
+        return util::Status::Ok();
+      }
+      case StmtKind::kDoWhile: {
+        const Label head = emit_.NewLabel();
+        const Label cont = emit_.NewLabel();
+        const Label end = emit_.NewLabel();
+        emit_.Bind(head);
+        break_stack_.push_back(end);
+        continue_stack_.push_back(cont);
+        if (auto st = EmitStmt(*s.then_stmt); !st.ok()) return st;
+        break_stack_.pop_back();
+        continue_stack_.pop_back();
+        emit_.Bind(cont);
+        if (auto st = EmitCondBranch(*s.expr, head, true); !st.ok()) return st;
+        emit_.Bind(end);
+        return util::Status::Ok();
+      }
+      case StmtKind::kFor: {
+        scopes_.emplace_back();
+        const uint32_t saved_cursor = frame_cursor_;
+        if (s.init_decl != nullptr) {
+          if (auto st = EmitStmt(*s.init_decl); !st.ok()) return st;
+        } else if (s.init_expr != nullptr) {
+          auto v = EmitExprForEffect(*s.init_expr);
+          if (!v.ok()) return v.error();
+        }
+        const Label head = emit_.NewLabel();
+        const Label cont = emit_.NewLabel();
+        const Label end = emit_.NewLabel();
+        emit_.Bind(head);
+        if (s.expr != nullptr) {
+          if (auto st = EmitCondBranch(*s.expr, end, false); !st.ok()) return st;
+        }
+        break_stack_.push_back(end);
+        continue_stack_.push_back(cont);
+        if (auto st = EmitStmt(*s.then_stmt); !st.ok()) return st;
+        break_stack_.pop_back();
+        continue_stack_.pop_back();
+        emit_.Bind(cont);
+        if (s.step_expr != nullptr) {
+          auto v = EmitExprForEffect(*s.step_expr);
+          if (!v.ok()) return v.error();
+        }
+        emit_.EmitJump(Opcode::kJ, head);
+        emit_.Bind(end);
+        scopes_.pop_back();
+        frame_cursor_ = saved_cursor;
+        return util::Status::Ok();
+      }
+      case StmtKind::kSwitch:
+        return EmitSwitch(s);
+      case StmtKind::kBreak:
+        if (break_stack_.empty()) return Err(s.pos, "'break' outside loop/switch");
+        emit_.EmitJump(Opcode::kJ, break_stack_.back());
+        return util::Status::Ok();
+      case StmtKind::kContinue:
+        if (continue_stack_.empty()) return Err(s.pos, "'continue' outside loop");
+        emit_.EmitJump(Opcode::kJ, continue_stack_.back());
+        return util::Status::Ok();
+      case StmtKind::kReturn: {
+        if (s.expr != nullptr) {
+          if (current_ret_->IsVoid()) return Err(s.pos, "returning a value from void");
+          auto v = EmitValue(*s.expr);
+          if (!v.ok()) return v.error();
+          auto cv = Coerce(*v, current_ret_, s.pos);
+          if (!cv.ok()) return cv.error();
+          emit_.Emit(isa::EncI(Opcode::kAddi, isa::kRv, cv->reg, 0));
+          regs_.Free(cv->reg);
+        } else if (!current_ret_->IsVoid()) {
+          return Err(s.pos, "missing return value");
+        }
+        emit_.EmitJump(Opcode::kJ, epilogue_);
+        return util::Status::Ok();
+      }
+    }
+    SC_UNREACHABLE();
+    return util::Status::Ok();
+  }
+
+  util::Status EmitSwitch(const Stmt& s) {
+    auto subject = EmitValue(*s.expr);
+    if (!subject.ok()) return subject.error();
+    if (!subject->type->IsInteger()) return Err(s.pos, "switch subject must be integer");
+
+    const Label end = emit_.NewLabel();
+    Label default_label = end;
+    std::vector<std::pair<int32_t, Label>> case_labels;
+    for (const SwitchCase& c : s.cases) {
+      if (c.is_default) {
+        default_label = emit_.NewLabel();
+      } else {
+        for (const auto& [v, l] : case_labels) {
+          if (v == c.value) return Err(c.pos, "duplicate case value");
+        }
+        case_labels.emplace_back(c.value, emit_.NewLabel());
+      }
+    }
+
+    // Dense value sets dispatch through a jump table in the data segment —
+    // the table holds *original text addresses*, which at run time feed a
+    // computed jump: exactly the ambiguous-pointer case the softcache
+    // resolves via its hash table.
+    int64_t min_v = INT64_MAX;
+    int64_t max_v = INT64_MIN;
+    for (const auto& [v, l] : case_labels) {
+      min_v = std::min<int64_t>(min_v, v);
+      max_v = std::max<int64_t>(max_v, v);
+    }
+    const bool dense = case_labels.size() >= 4 &&
+                       (max_v - min_v + 1) <= 3 * static_cast<int64_t>(case_labels.size()) &&
+                       (max_v - min_v + 1) <= 1024;
+    if (dense) {
+      const uint32_t range = static_cast<uint32_t>(max_v - min_v + 1);
+      auto idx = regs_.Alloc(s.pos, file_);
+      if (!idx.ok()) return idx.error();
+      // idx = subject - min; if (idx >= range) goto default
+      emit_.EmitLoadImm(*idx, static_cast<uint32_t>(min_v));
+      emit_.Emit(isa::EncAlu(AluOp::kSub, *idx, subject->reg, *idx));
+      auto bound = regs_.Alloc(s.pos, file_);
+      if (!bound.ok()) return bound.error();
+      emit_.EmitLoadImm(*bound, range);
+      emit_.EmitBranch(Opcode::kBgeu, *idx, *bound, default_label);
+      // target = table[idx]; jump
+      emit_.DataAlign(4);
+      const uint32_t table_addr = emit_.DataPc();
+      std::map<int32_t, Label> by_value(case_labels.begin(), case_labels.end());
+      for (int64_t v = min_v; v <= max_v; ++v) {
+        const auto it = by_value.find(static_cast<int32_t>(v));
+        if (it != by_value.end()) {
+          emit_.DataWordLabel(it->second);
+        } else {
+          jump_table_default_patches_.push_back({emit_.DataPc(), default_label});
+          emit_.DataWord(0);
+        }
+      }
+      emit_.Emit(isa::EncI(Opcode::kSlli, *idx, *idx, 2));
+      emit_.EmitLoadImm(*bound, table_addr);
+      emit_.Emit(isa::EncAlu(AluOp::kAdd, *idx, *idx, *bound));
+      emit_.Emit(isa::EncI(Opcode::kLw, *idx, *idx, 0));
+      emit_.Emit(isa::EncI(Opcode::kJalr, isa::kZero, *idx, 0));
+      regs_.Free(*bound);
+      regs_.Free(*idx);
+    } else {
+      auto tmp = regs_.Alloc(s.pos, file_);
+      if (!tmp.ok()) return tmp.error();
+      for (const auto& [v, l] : case_labels) {
+        emit_.EmitLoadImm(*tmp, static_cast<uint32_t>(v));
+        emit_.EmitBranch(Opcode::kBeq, subject->reg, *tmp, l);
+      }
+      regs_.Free(*tmp);
+      emit_.EmitJump(Opcode::kJ, default_label);
+    }
+    regs_.Free(subject->reg);
+
+    // Case bodies, in source order, with C fall-through.
+    break_stack_.push_back(end);
+    size_t label_i = 0;
+    for (const SwitchCase& c : s.cases) {
+      if (c.is_default) {
+        emit_.Bind(default_label);
+      } else {
+        emit_.Bind(case_labels[label_i].second);
+        ++label_i;
+      }
+      for (const StmtPtr& body_stmt : c.body) {
+        if (auto st = EmitStmt(*body_stmt); !st.ok()) return st;
+      }
+    }
+    break_stack_.pop_back();
+    emit_.Bind(end);
+    return util::Status::Ok();
+  }
+
+  // Emits a conditional branch on `cond` to `target`. Short-circuits && and
+  // || without materializing a 0/1 value.
+  util::Status EmitCondBranch(const Expr& cond, Label target, bool branch_if_true) {
+    if (cond.kind == ExprKind::kBinary && cond.op == Tok::kAndAnd) {
+      if (branch_if_true) {
+        const Label skip = emit_.NewLabel();
+        if (auto st = EmitCondBranch(*cond.a, skip, false); !st.ok()) return st;
+        if (auto st = EmitCondBranch(*cond.b, target, true); !st.ok()) return st;
+        emit_.Bind(skip);
+      } else {
+        if (auto st = EmitCondBranch(*cond.a, target, false); !st.ok()) return st;
+        if (auto st = EmitCondBranch(*cond.b, target, false); !st.ok()) return st;
+      }
+      return util::Status::Ok();
+    }
+    if (cond.kind == ExprKind::kBinary && cond.op == Tok::kOrOr) {
+      if (branch_if_true) {
+        if (auto st = EmitCondBranch(*cond.a, target, true); !st.ok()) return st;
+        if (auto st = EmitCondBranch(*cond.b, target, true); !st.ok()) return st;
+      } else {
+        const Label skip = emit_.NewLabel();
+        if (auto st = EmitCondBranch(*cond.a, skip, true); !st.ok()) return st;
+        if (auto st = EmitCondBranch(*cond.b, target, false); !st.ok()) return st;
+        emit_.Bind(skip);
+      }
+      return util::Status::Ok();
+    }
+    if (cond.kind == ExprKind::kUnary && cond.op == Tok::kBang) {
+      return EmitCondBranch(*cond.a, target, !branch_if_true);
+    }
+    // Comparison operators branch directly.
+    if (cond.kind == ExprKind::kBinary) {
+      Opcode op = Opcode::kIllegal;
+      bool swap = false;
+      switch (cond.op) {
+        case Tok::kEq: op = Opcode::kBeq; break;
+        case Tok::kNe: op = Opcode::kBne; break;
+        case Tok::kLt: op = Opcode::kBlt; break;
+        case Tok::kGe: op = Opcode::kBge; break;
+        case Tok::kGt: op = Opcode::kBlt; swap = true; break;
+        case Tok::kLe: op = Opcode::kBge; swap = true; break;
+        default: break;
+      }
+      if (op != Opcode::kIllegal) {
+        auto a = EmitValue(*cond.a);
+        if (!a.ok()) return a.error();
+        auto b = EmitValue(*cond.b);
+        if (!b.ok()) return b.error();
+        const bool unsigned_cmp = IsUnsignedCompare(a->type, b->type);
+        if (op == Opcode::kBlt && unsigned_cmp) op = Opcode::kBltu;
+        if (op == Opcode::kBge && unsigned_cmp) op = Opcode::kBgeu;
+        if (!branch_if_true) {
+          // Invert the condition.
+          switch (op) {
+            case Opcode::kBeq: op = Opcode::kBne; break;
+            case Opcode::kBne: op = Opcode::kBeq; break;
+            case Opcode::kBlt: op = Opcode::kBge; break;
+            case Opcode::kBge: op = Opcode::kBlt; break;
+            case Opcode::kBltu: op = Opcode::kBgeu; break;
+            case Opcode::kBgeu: op = Opcode::kBltu; break;
+            default: SC_UNREACHABLE();
+          }
+        }
+        const uint8_t r1 = swap ? b->reg : a->reg;
+        const uint8_t r2 = swap ? a->reg : b->reg;
+        emit_.EmitBranch(op, r1, r2, target);
+        regs_.Free(a->reg);
+        regs_.Free(b->reg);
+        return util::Status::Ok();
+      }
+    }
+    // General scalar condition: compare against zero.
+    auto v = EmitValue(cond);
+    if (!v.ok()) return v.error();
+    if (!v->type->IsScalar()) return Err(cond.pos, "condition must be scalar");
+    emit_.EmitBranch(branch_if_true ? Opcode::kBne : Opcode::kBeq, v->reg,
+                     isa::kZero, target);
+    regs_.Free(v->reg);
+    return util::Status::Ok();
+  }
+
+  // ---------- Expressions ----------
+
+  // Evaluates for side effects; frees the result register.
+  util::Status EmitExprForEffect(const Expr& e) {
+    auto v = EmitValueAllowVoid(e);
+    if (!v.ok()) return v.error();
+    if (v->type != nullptr && !v->type->IsVoid()) regs_.Free(v->reg);
+    return util::Status::Ok();
+  }
+
+  Result<Value> EmitValueAllowVoid(const Expr& e) {
+    if (e.kind == ExprKind::kCall) return EmitCall(e, /*need_value=*/false);
+    if (e.kind == ExprKind::kAssign) return EmitAssign(e);
+    if (e.kind == ExprKind::kUnary &&
+        (e.op == Tok::kPlusPlus || e.op == Tok::kMinusMinus)) {
+      return EmitIncDec(e);
+    }
+    return EmitValue(e);
+  }
+
+  // Compile-time evaluation of constant subexpressions, with semantics
+  // exactly matching the SRK32 VM (wrapping arithmetic, 5-bit shift masks,
+  // INT_MIN/-1 wrap). Returns nullopt when not a foldable constant.
+  std::optional<uint32_t> TryFold(const Expr& e) {
+    if (!options_fold_) return std::nullopt;
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return e.int_value;
+      case ExprKind::kSizeof:
+        if (e.type_arg != nullptr) return e.type_arg->Size();
+        return std::nullopt;
+      case ExprKind::kCast: {
+        if (e.type_arg == nullptr || !e.type_arg->IsInteger()) return std::nullopt;
+        const auto v = TryFold(*e.a);
+        if (!v) return std::nullopt;
+        return e.type_arg->kind == Type::Kind::kChar ? (*v & 0xff) : *v;
+      }
+      case ExprKind::kUnary: {
+        const auto v = TryFold(*e.a);
+        if (!v) return std::nullopt;
+        switch (e.op) {
+          case Tok::kMinus: return 0u - *v;
+          case Tok::kTilde: return ~*v;
+          case Tok::kBang: return *v == 0 ? 1u : 0u;
+          default: return std::nullopt;
+        }
+      }
+      case ExprKind::kBinary: {
+        const auto a = TryFold(*e.a);
+        if (!a) return std::nullopt;
+        const auto b = TryFold(*e.b);
+        if (!b) return std::nullopt;
+        const int32_t sa = static_cast<int32_t>(*a);
+        const int32_t sb = static_cast<int32_t>(*b);
+        switch (e.op) {
+          case Tok::kPlus: return *a + *b;
+          case Tok::kMinus: return *a - *b;
+          case Tok::kStar: return *a * *b;
+          case Tok::kSlash:
+            if (*b == 0) return std::nullopt;  // preserve the runtime fault
+            if (sa == INT32_MIN && sb == -1) return *a;
+            return static_cast<uint32_t>(sa / sb);
+          case Tok::kPercent:
+            if (*b == 0) return std::nullopt;
+            if (sa == INT32_MIN && sb == -1) return 0u;
+            return static_cast<uint32_t>(sa % sb);
+          case Tok::kAmp: return *a & *b;
+          case Tok::kPipe: return *a | *b;
+          case Tok::kCaret: return *a ^ *b;
+          case Tok::kShl: return *a << (*b & 31);
+          case Tok::kShr:
+            return static_cast<uint32_t>(sa >> (*b & 31));  // literals are int
+          case Tok::kLt: return sa < sb ? 1u : 0u;
+          case Tok::kGt: return sa > sb ? 1u : 0u;
+          case Tok::kLe: return sa <= sb ? 1u : 0u;
+          case Tok::kGe: return sa >= sb ? 1u : 0u;
+          case Tok::kEq: return *a == *b ? 1u : 0u;
+          case Tok::kNe: return *a != *b ? 1u : 0u;
+          default: return std::nullopt;  // && and || stay short-circuit
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Loads a scalar value into a fresh temp register.
+  Result<Value> EmitValue(const Expr& e) {
+    if (e.kind == ExprKind::kUnary || e.kind == ExprKind::kBinary ||
+        e.kind == ExprKind::kCast) {
+      if (const auto folded = TryFold(e)) {
+        auto r = regs_.Alloc(e.pos, file_);
+        if (!r.ok()) return r.error();
+        emit_.EmitLoadImm(*r, *folded);
+        const Type* type = e.kind == ExprKind::kCast ? e.type_arg
+                                                     : prog_.types.IntType();
+        return Value{*r, type};
+      }
+    }
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        auto r = regs_.Alloc(e.pos, file_);
+        if (!r.ok()) return r.error();
+        emit_.EmitLoadImm(*r, e.int_value);
+        return Value{*r, prog_.types.IntType()};
+      }
+      case ExprKind::kStrLit: {
+        auto r = regs_.Alloc(e.pos, file_);
+        if (!r.ok()) return r.error();
+        emit_.EmitLoadImm(*r, InternString(e.text));
+        return Value{*r, prog_.types.PtrTo(prog_.types.CharType())};
+      }
+      case ExprKind::kIdent: {
+        if (const LocalVar* local = FindLocal(e.text)) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          if (local->type->IsArray()) {
+            emit_.Emit(isa::EncI(Opcode::kAddi, *r, isa::kFp, local->fp_offset));
+            return Value{*r, prog_.types.PtrTo(local->type->elem)};
+          }
+          if (local->type->IsStruct()) {
+            return Err(e.pos, "struct used as a value (use a pointer)");
+          }
+          EmitLoad(*r, isa::kFp, local->fp_offset, local->type);
+          return Value{*r, local->type};
+        }
+        const auto git = globals_.find(e.text);
+        if (git != globals_.end()) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          const GlobalInfo& g = git->second;
+          if (g.type->IsArray()) {
+            emit_.EmitLoadImm(*r, g.addr);
+            return Value{*r, prog_.types.PtrTo(g.type->elem)};
+          }
+          if (g.type->IsStruct()) {
+            return Err(e.pos, "struct used as a value (use a pointer)");
+          }
+          emit_.EmitLoadImm(*r, g.addr);
+          EmitLoad(*r, *r, 0, g.type);
+          return Value{*r, g.type};
+        }
+        const auto fit = functions_.find(e.text);
+        if (fit != functions_.end()) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          emit_.EmitLoadLabel(*r, fit->second.label);
+          return Value{*r, prog_.types.PtrTo(fit->second.type)};
+        }
+        return Err(e.pos, "unknown identifier '" + e.text + "'");
+      }
+      case ExprKind::kSizeof: {
+        auto size = SizeofValue(e);
+        if (!size.ok()) return size.error();
+        auto r = regs_.Alloc(e.pos, file_);
+        if (!r.ok()) return r.error();
+        emit_.EmitLoadImm(*r, *size);
+        return Value{*r, prog_.types.UintType()};
+      }
+      case ExprKind::kCast: {
+        if (e.type_arg->IsVoid()) return Err(e.pos, "cast to void");
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsScalar()) return Err(e.pos, "cast of non-scalar");
+        if (e.type_arg->kind == Type::Kind::kChar) {
+          emit_.Emit(isa::EncI(Opcode::kAndi, v->reg, v->reg, 0xff));
+        }
+        return Value{v->reg, e.type_arg};
+      }
+      case ExprKind::kUnary:
+        return EmitUnary(e);
+      case ExprKind::kBinary:
+        return EmitBinary(e);
+      case ExprKind::kAssign: {
+        auto v = EmitAssign(e);
+        if (!v.ok()) return v;
+        return v;
+      }
+      case ExprKind::kTernary:
+        return EmitTernary(e);
+      case ExprKind::kCall:
+        return EmitCall(e, /*need_value=*/true);
+      case ExprKind::kIndex:
+      case ExprKind::kMember: {
+        auto addr = EmitAddr(e);
+        if (!addr.ok()) return addr;
+        const Type* type = addr->type;
+        if (type->IsArray()) {
+          return Value{addr->reg, prog_.types.PtrTo(type->elem)};  // decay
+        }
+        if (type->IsStruct()) {
+          return Err(e.pos, "struct used as a value (use a pointer)");
+        }
+        EmitLoad(addr->reg, addr->reg, 0, type);
+        return Value{addr->reg, type};
+      }
+    }
+    SC_UNREACHABLE();
+    return Err(e.pos, "unreachable");
+  }
+
+  // Computes the address of an lvalue into a fresh temp register. The
+  // returned Value's type is the type of the *object at that address*.
+  Result<Value> EmitAddr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdent: {
+        if (const LocalVar* local = FindLocal(e.text)) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          emit_.Emit(isa::EncI(Opcode::kAddi, *r, isa::kFp, local->fp_offset));
+          return Value{*r, local->type};
+        }
+        const auto git = globals_.find(e.text);
+        if (git != globals_.end()) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          emit_.EmitLoadImm(*r, git->second.addr);
+          return Value{*r, git->second.type};
+        }
+        const auto fit = functions_.find(e.text);
+        if (fit != functions_.end()) {
+          auto r = regs_.Alloc(e.pos, file_);
+          if (!r.ok()) return r.error();
+          emit_.EmitLoadLabel(*r, fit->second.label);
+          return Value{*r, fit->second.type};
+        }
+        return Err(e.pos, "unknown identifier '" + e.text + "'");
+      }
+      case ExprKind::kUnary: {
+        if (e.op != Tok::kStar) return Err(e.pos, "not an lvalue");
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsPtr()) return Err(e.pos, "dereference of non-pointer");
+        return Value{v->reg, v->type->elem};
+      }
+      case ExprKind::kIndex: {
+        auto base = EmitValue(*e.a);  // arrays decay to pointers here
+        if (!base.ok()) return base;
+        if (!base->type->IsPtr()) return Err(e.pos, "indexing a non-pointer");
+        const Type* elem = base->type->elem;
+        auto index = EmitValue(*e.b);
+        if (!index.ok()) return index;
+        if (!index->type->IsInteger()) return Err(e.pos, "index must be integer");
+        EmitScale(index->reg, elem->Size());
+        emit_.Emit(isa::EncAlu(AluOp::kAdd, base->reg, base->reg, index->reg));
+        regs_.Free(index->reg);
+        return Value{base->reg, elem};
+      }
+      case ExprKind::kMember: {
+        Result<Value> base = e.is_arrow ? EmitValue(*e.a) : EmitAddr(*e.a);
+        if (!base.ok()) return base;
+        const Type* struct_type = base->type;
+        if (e.is_arrow) {
+          if (!struct_type->IsPtr()) return Err(e.pos, "-> on non-pointer");
+          struct_type = struct_type->elem;
+        }
+        if (!struct_type->IsStruct()) return Err(e.pos, "member of non-struct");
+        const StructField* field = struct_type->struct_info->FindField(e.text);
+        if (field == nullptr) {
+          return Err(e.pos, "no field '" + e.text + "' in struct " +
+                                struct_type->struct_info->name);
+        }
+        if (field->offset != 0) {
+          emit_.Emit(isa::EncI(Opcode::kAddi, base->reg, base->reg,
+                               static_cast<int32_t>(field->offset)));
+        }
+        return Value{base->reg, field->type};
+      }
+      default:
+        return Err(e.pos, "not an lvalue");
+    }
+  }
+
+  Result<Value> EmitUnary(const Expr& e) {
+    switch (e.op) {
+      case Tok::kMinus: {
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsInteger()) return Err(e.pos, "negation of non-integer");
+        emit_.Emit(isa::EncAlu(AluOp::kSub, v->reg, isa::kZero, v->reg));
+        return Value{v->reg, Promote(v->type)};
+      }
+      case Tok::kTilde: {
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsInteger()) return Err(e.pos, "~ of non-integer");
+        // ~x == -x - 1 (XORI zero-extends, so it cannot produce ~).
+        emit_.Emit(isa::EncAlu(AluOp::kSub, v->reg, isa::kZero, v->reg));
+        emit_.Emit(isa::EncI(Opcode::kAddi, v->reg, v->reg, -1));
+        return Value{v->reg, Promote(v->type)};
+      }
+      case Tok::kBang: {
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsScalar()) return Err(e.pos, "! of non-scalar");
+        emit_.Emit(isa::EncI(Opcode::kSltiu, v->reg, v->reg, 1));
+        return Value{v->reg, prog_.types.IntType()};
+      }
+      case Tok::kStar: {
+        auto v = EmitValue(*e.a);
+        if (!v.ok()) return v;
+        if (!v->type->IsPtr()) return Err(e.pos, "dereference of non-pointer");
+        const Type* elem = v->type->elem;
+        if (elem->IsStruct()) return Err(e.pos, "struct used as a value");
+        if (elem->IsArray()) return Value{v->reg, prog_.types.PtrTo(elem->elem)};
+        if (elem->IsFunc()) return Value{v->reg, v->type};  // *f == f for fn ptrs
+        EmitLoad(v->reg, v->reg, 0, elem);
+        return Value{v->reg, elem};
+      }
+      case Tok::kAmp: {
+        auto addr = EmitAddr(*e.a);
+        if (!addr.ok()) return addr;
+        return Value{addr->reg, prog_.types.PtrTo(addr->type)};
+      }
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus:
+        return EmitIncDec(e);
+      default:
+        return Err(e.pos, "bad unary operator");
+    }
+  }
+
+  Result<Value> EmitIncDec(const Expr& e) {
+    auto addr = EmitAddr(*e.a);
+    if (!addr.ok()) return addr;
+    const Type* type = addr->type;
+    if (!type->IsScalar()) return Err(e.pos, "++/-- on non-scalar");
+    auto old_v = regs_.Alloc(e.pos, file_);
+    if (!old_v.ok()) return old_v.error();
+    EmitLoad(*old_v, addr->reg, 0, type);
+    auto new_v = regs_.Alloc(e.pos, file_);
+    if (!new_v.ok()) return new_v.error();
+    int32_t step = 1;
+    if (type->IsPtr()) step = static_cast<int32_t>(type->elem->Size());
+    if (e.op == Tok::kMinusMinus) step = -step;
+    emit_.Emit(isa::EncI(Opcode::kAddi, *new_v, *old_v, step));
+    EmitStore(*new_v, addr->reg, 0, type);
+    regs_.Free(addr->reg);
+    if (e.is_postfix) {
+      regs_.Free(*new_v);
+      return Value{*old_v, type};
+    }
+    regs_.Free(*old_v);
+    return Value{*new_v, type};
+  }
+
+  Result<Value> EmitTernary(const Expr& e) {
+    auto result = regs_.Alloc(e.pos, file_);
+    if (!result.ok()) return result.error();
+    const Label else_label = emit_.NewLabel();
+    const Label end_label = emit_.NewLabel();
+    if (auto st = EmitCondBranch(*e.a, else_label, false); !st.ok()) return st.error();
+    auto then_v = EmitValue(*e.b);
+    if (!then_v.ok()) return then_v;
+    if (!then_v->type->IsScalar()) return Err(e.pos, "ternary arm must be scalar");
+    emit_.Emit(isa::EncI(Opcode::kAddi, *result, then_v->reg, 0));
+    regs_.Free(then_v->reg);
+    emit_.EmitJump(Opcode::kJ, end_label);
+    emit_.Bind(else_label);
+    auto else_v = EmitValue(*e.c);
+    if (!else_v.ok()) return else_v;
+    if (!else_v->type->IsScalar()) return Err(e.pos, "ternary arm must be scalar");
+    emit_.Emit(isa::EncI(Opcode::kAddi, *result, else_v->reg, 0));
+    const Type* type = then_v->type;
+    regs_.Free(else_v->reg);
+    emit_.Bind(end_label);
+    return Value{*result, type};
+  }
+
+  // Maps compound-assign tokens to the underlying binary operator.
+  static Tok UnderlyingOp(Tok op) {
+    switch (op) {
+      case Tok::kPlusAssign: return Tok::kPlus;
+      case Tok::kMinusAssign: return Tok::kMinus;
+      case Tok::kStarAssign: return Tok::kStar;
+      case Tok::kSlashAssign: return Tok::kSlash;
+      case Tok::kPercentAssign: return Tok::kPercent;
+      case Tok::kAmpAssign: return Tok::kAmp;
+      case Tok::kPipeAssign: return Tok::kPipe;
+      case Tok::kCaretAssign: return Tok::kCaret;
+      case Tok::kShlAssign: return Tok::kShl;
+      case Tok::kShrAssign: return Tok::kShr;
+      default: return Tok::kEof;
+    }
+  }
+
+  Result<Value> EmitAssign(const Expr& e) {
+    auto addr = EmitAddr(*e.a);
+    if (!addr.ok()) return addr;
+    const Type* type = addr->type;
+    if (!type->IsScalar()) return Err(e.pos, "assignment to non-scalar");
+    auto rhs = EmitValue(*e.b);
+    if (!rhs.ok()) return rhs;
+    if (e.op == Tok::kAssign) {
+      auto cv = Coerce(*rhs, type, e.pos);
+      if (!cv.ok()) return cv.error();
+      EmitStore(cv->reg, addr->reg, 0, type);
+      regs_.Free(addr->reg);
+      return Value{cv->reg, type};
+    }
+    // Compound assignment: load old value, apply op, store.
+    auto old_v = regs_.Alloc(e.pos, file_);
+    if (!old_v.ok()) return old_v.error();
+    EmitLoad(*old_v, addr->reg, 0, type);
+    auto result = ApplyBinaryOp(UnderlyingOp(e.op), Value{*old_v, type}, *rhs, e.pos);
+    if (!result.ok()) return result;
+    auto cv = Coerce(*result, type, e.pos);
+    if (!cv.ok()) return cv.error();
+    EmitStore(cv->reg, addr->reg, 0, type);
+    regs_.Free(addr->reg);
+    return Value{cv->reg, type};
+  }
+
+  Result<Value> EmitBinary(const Expr& e) {
+    if (e.op == Tok::kAndAnd || e.op == Tok::kOrOr) {
+      // Materialize short-circuit result as 0/1.
+      auto result = regs_.Alloc(e.pos, file_);
+      if (!result.ok()) return result.error();
+      const Label false_label = emit_.NewLabel();
+      const Label end_label = emit_.NewLabel();
+      if (auto st = EmitCondBranch(e, false_label, false); !st.ok()) return st.error();
+      emit_.Emit(isa::EncI(Opcode::kAddi, *result, isa::kZero, 1));
+      emit_.EmitJump(Opcode::kJ, end_label);
+      emit_.Bind(false_label);
+      emit_.Emit(isa::EncI(Opcode::kAddi, *result, isa::kZero, 0));
+      emit_.Bind(end_label);
+      return Value{*result, prog_.types.IntType()};
+    }
+    auto a = EmitValue(*e.a);
+    if (!a.ok()) return a;
+    auto b = EmitValue(*e.b);
+    if (!b.ok()) return b;
+    return ApplyBinaryOp(e.op, *a, *b, e.pos);
+  }
+
+  // Applies a binary operator to two register values. Result reuses a's
+  // register; b's register is freed.
+  Result<Value> ApplyBinaryOp(Tok op, Value a, Value b, const Pos& pos) {
+    // Pointer arithmetic.
+    if (op == Tok::kPlus && a.type->IsPtr() && b.type->IsInteger()) {
+      EmitScale(b.reg, a.type->elem->Size());
+      emit_.Emit(isa::EncAlu(AluOp::kAdd, a.reg, a.reg, b.reg));
+      regs_.Free(b.reg);
+      return Value{a.reg, a.type};
+    }
+    if (op == Tok::kPlus && a.type->IsInteger() && b.type->IsPtr()) {
+      EmitScale(a.reg, b.type->elem->Size());
+      emit_.Emit(isa::EncAlu(AluOp::kAdd, a.reg, a.reg, b.reg));
+      regs_.Free(b.reg);
+      return Value{a.reg, b.type};
+    }
+    if (op == Tok::kMinus && a.type->IsPtr() && b.type->IsInteger()) {
+      EmitScale(b.reg, a.type->elem->Size());
+      emit_.Emit(isa::EncAlu(AluOp::kSub, a.reg, a.reg, b.reg));
+      regs_.Free(b.reg);
+      return Value{a.reg, a.type};
+    }
+    if (op == Tok::kMinus && a.type->IsPtr() && b.type->IsPtr()) {
+      emit_.Emit(isa::EncAlu(AluOp::kSub, a.reg, a.reg, b.reg));
+      const uint32_t size = a.type->elem->Size();
+      if (size > 1) {
+        if ((size & (size - 1)) == 0) {
+          int shift = 0;
+          while ((1u << shift) < size) ++shift;
+          emit_.Emit(isa::EncI(Opcode::kSrai, a.reg, a.reg, shift));
+        } else {
+          emit_.EmitLoadImm(b.reg, size);
+          emit_.Emit(isa::EncAlu(AluOp::kDiv, a.reg, a.reg, b.reg));
+        }
+      }
+      regs_.Free(b.reg);
+      return Value{a.reg, prog_.types.IntType()};
+    }
+
+    // Comparisons.
+    switch (op) {
+      case Tok::kEq:
+      case Tok::kNe: {
+        emit_.Emit(isa::EncAlu(AluOp::kXor, a.reg, a.reg, b.reg));
+        if (op == Tok::kEq) {
+          emit_.Emit(isa::EncI(Opcode::kSltiu, a.reg, a.reg, 1));
+        } else {
+          emit_.Emit(isa::EncAlu(AluOp::kSltu, a.reg, isa::kZero, a.reg));
+        }
+        regs_.Free(b.reg);
+        return Value{a.reg, prog_.types.IntType()};
+      }
+      case Tok::kLt:
+      case Tok::kGt:
+      case Tok::kLe:
+      case Tok::kGe: {
+        const bool unsigned_cmp = IsUnsignedCompare(a.type, b.type);
+        const AluOp slt = unsigned_cmp ? AluOp::kSltu : AluOp::kSlt;
+        switch (op) {
+          case Tok::kLt:
+            emit_.Emit(isa::EncAlu(slt, a.reg, a.reg, b.reg));
+            break;
+          case Tok::kGt:
+            emit_.Emit(isa::EncAlu(slt, a.reg, b.reg, a.reg));
+            break;
+          case Tok::kLe:
+            emit_.Emit(isa::EncAlu(slt, a.reg, b.reg, a.reg));
+            emit_.Emit(isa::EncI(Opcode::kXori, a.reg, a.reg, 1));
+            break;
+          case Tok::kGe:
+            emit_.Emit(isa::EncAlu(slt, a.reg, a.reg, b.reg));
+            emit_.Emit(isa::EncI(Opcode::kXori, a.reg, a.reg, 1));
+            break;
+          default: SC_UNREACHABLE();
+        }
+        regs_.Free(b.reg);
+        return Value{a.reg, prog_.types.IntType()};
+      }
+      default:
+        break;
+    }
+
+    // Integer arithmetic / bitwise.
+    if (!a.type->IsInteger() || !b.type->IsInteger()) {
+      return Err(pos, "invalid operand types for binary operator");
+    }
+    const Type* result_type = Promote2(a.type, b.type);
+    const bool is_unsigned = result_type->kind == Type::Kind::kUint;
+    AluOp funct;
+    switch (op) {
+      case Tok::kPlus: funct = AluOp::kAdd; break;
+      case Tok::kMinus: funct = AluOp::kSub; break;
+      case Tok::kStar: funct = AluOp::kMul; break;
+      case Tok::kSlash: funct = is_unsigned ? AluOp::kDivu : AluOp::kDiv; break;
+      case Tok::kPercent: funct = is_unsigned ? AluOp::kRemu : AluOp::kRem; break;
+      case Tok::kAmp: funct = AluOp::kAnd; break;
+      case Tok::kPipe: funct = AluOp::kOr; break;
+      case Tok::kCaret: funct = AluOp::kXor; break;
+      case Tok::kShl: funct = AluOp::kSll; break;
+      case Tok::kShr:
+        // Shift signedness follows the *left* operand.
+        funct = a.type->kind == Type::Kind::kInt ? AluOp::kSra : AluOp::kSrl;
+        break;
+      default:
+        return Err(pos, "bad binary operator");
+    }
+    emit_.Emit(isa::EncAlu(funct, a.reg, a.reg, b.reg));
+    regs_.Free(b.reg);
+    return Value{a.reg, result_type};
+  }
+
+  Result<Value> EmitCall(const Expr& e, bool need_value) {
+    // Builtin syscalls.
+    if (e.a->kind == ExprKind::kIdent) {
+      for (const Builtin& bi : kBuiltins) {
+        if (e.a->text == bi.name) return EmitBuiltin(e, bi, need_value);
+      }
+    }
+
+    // Resolve the callee: direct call to a named function, or an indirect
+    // call through a function-pointer value.
+    const FunctionInfo* direct = nullptr;
+    const Type* fn_type = nullptr;
+    if (e.a->kind == ExprKind::kIdent) {
+      const auto it = functions_.find(e.a->text);
+      if (it != functions_.end() && FindLocal(e.a->text) == nullptr &&
+          globals_.count(e.a->text) == 0) {
+        direct = &it->second;
+        fn_type = it->second.type;
+      }
+    }
+    std::optional<Value> callee;
+    if (direct == nullptr) {
+      // Indirect: (*f)(...) or f(...) where f is a function pointer.
+      const Expr* callee_expr = e.a.get();
+      if (callee_expr->kind == ExprKind::kUnary && callee_expr->op == Tok::kStar) {
+        callee_expr = callee_expr->a.get();
+      }
+      auto v = EmitValue(*callee_expr);
+      if (!v.ok()) return v;
+      if (!v->type->IsPtr() || !v->type->elem->IsFunc()) {
+        return Err(e.pos, "call of non-function");
+      }
+      fn_type = v->type->elem;
+      callee = *v;
+    }
+
+    if (e.args.size() != fn_type->params.size()) {
+      return Err(e.pos, "wrong number of arguments");
+    }
+    if (e.args.size() > 6) return Err(e.pos, "MiniC limit: at most 6 arguments");
+
+    // Evaluate arguments into temps.
+    std::vector<Value> arg_values;
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      auto v = EmitValue(*e.args[i]);
+      if (!v.ok()) return v;
+      auto cv = Coerce(*v, fn_type->params[i], e.args[i]->pos);
+      if (!cv.ok()) return cv.error();
+      arg_values.push_back(*cv);
+    }
+    // Move them to the argument registers and free the temps.
+    for (size_t i = 0; i < arg_values.size(); ++i) {
+      emit_.Emit(isa::EncI(Opcode::kAddi, static_cast<uint8_t>(isa::kA0 + i),
+                           arg_values[i].reg, 0));
+      regs_.Free(arg_values[i].reg);
+    }
+    // Spill any remaining live temps (caller-saved) around the call. The
+    // callee's address register (indirect calls) must be excluded from the
+    // spill set only if still allocated — it is, so spill it too and reload.
+    std::vector<uint8_t> live = regs_.Live();
+    if (callee) {
+      // Don't spill the callee register (it's consumed by the call itself).
+      live.erase(std::find(live.begin(), live.end(), callee->reg));
+    }
+    for (uint8_t r : live) PushReg(r);
+
+    if (direct != nullptr) {
+      emit_.EmitJump(Opcode::kJal, direct->label);
+    } else {
+      emit_.Emit(isa::EncI(Opcode::kJalr, isa::kRa, callee->reg, 0));
+      regs_.Free(callee->reg);
+    }
+
+    for (auto it = live.rbegin(); it != live.rend(); ++it) PopReg(*it);
+
+    if (fn_type->ret->IsVoid()) {
+      if (need_value) return Err(e.pos, "void function used as a value");
+      return Value{0, prog_.types.VoidType()};
+    }
+    auto r = regs_.Alloc(e.pos, file_);
+    if (!r.ok()) return r.error();
+    emit_.Emit(isa::EncI(Opcode::kAddi, *r, isa::kRv, 0));
+    return Value{*r, fn_type->ret};
+  }
+
+  Result<Value> EmitBuiltin(const Expr& e, const Builtin& bi, bool need_value) {
+    if (static_cast<int>(e.args.size()) != bi.num_args) {
+      return Err(e.pos, std::string(bi.name) + " expects " +
+                            std::to_string(bi.num_args) + " arguments");
+    }
+    std::vector<Value> arg_values;
+    for (const ExprPtr& arg : e.args) {
+      auto v = EmitValue(*arg);
+      if (!v.ok()) return v;
+      if (!v->type->IsScalar()) return Err(arg->pos, "builtin argument must be scalar");
+      arg_values.push_back(*v);
+    }
+    for (size_t i = 0; i < arg_values.size(); ++i) {
+      emit_.Emit(isa::EncI(Opcode::kAddi, static_cast<uint8_t>(isa::kA0 + i),
+                           arg_values[i].reg, 0));
+      regs_.Free(arg_values[i].reg);
+    }
+    emit_.Emit(isa::EncI(Opcode::kSys, 0, 0, bi.syscall));
+    if (!bi.has_result) {
+      if (need_value) return Err(e.pos, std::string(bi.name) + " returns void");
+      return Value{0, prog_.types.VoidType()};
+    }
+    auto r = regs_.Alloc(e.pos, file_);
+    if (!r.ok()) return r.error();
+    emit_.Emit(isa::EncI(Opcode::kAddi, *r, isa::kRv, 0));
+    return Value{*r, prog_.types.IntType()};
+  }
+
+  // ---------- Emission helpers ----------
+
+  void EmitLoad(uint8_t rd, uint8_t base, int32_t offset, const Type* type) {
+    const Opcode op = type->Size() == 1 ? Opcode::kLbu : Opcode::kLw;
+    emit_.Emit(isa::EncI(op, rd, base, offset));
+  }
+  void EmitStore(uint8_t rs, uint8_t base, int32_t offset, const Type* type) {
+    const Opcode op = type->Size() == 1 ? Opcode::kSb : Opcode::kSw;
+    emit_.Emit(isa::EncI(op, rs, base, offset));
+  }
+
+  // Multiplies `reg` in place by a constant element size.
+  void EmitScale(uint8_t reg, uint32_t size) {
+    if (size == 1) return;
+    if ((size & (size - 1)) == 0) {
+      int shift = 0;
+      while ((1u << shift) < size) ++shift;
+      emit_.Emit(isa::EncI(Opcode::kSlli, reg, reg, shift));
+      return;
+    }
+    // Non-power-of-two struct sizes: multiply via the at register.
+    emit_.EmitLoadImm(isa::kAt, size);
+    emit_.Emit(isa::EncAlu(AluOp::kMul, reg, reg, isa::kAt));
+  }
+
+  void PushReg(uint8_t reg) {
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kSp, isa::kSp, -4));
+    emit_.Emit(isa::EncI(Opcode::kSw, reg, isa::kSp, 0));
+  }
+  void PopReg(uint8_t reg) {
+    emit_.Emit(isa::EncI(Opcode::kLw, reg, isa::kSp, 0));
+    emit_.Emit(isa::EncI(Opcode::kAddi, isa::kSp, isa::kSp, 4));
+  }
+
+  const Type* Promote(const Type* t) {
+    return t->kind == Type::Kind::kChar ? prog_.types.IntType() : t;
+  }
+  const Type* Promote2(const Type* a, const Type* b) {
+    const Type* pa = Promote(a);
+    const Type* pb = Promote(b);
+    if (pa->kind == Type::Kind::kUint || pb->kind == Type::Kind::kUint) {
+      return prog_.types.UintType();
+    }
+    return prog_.types.IntType();
+  }
+  static bool IsUnsignedCompare(const Type* a, const Type* b) {
+    if (a->IsPtr() || b->IsPtr()) return true;
+    return a->kind == Type::Kind::kUint || b->kind == Type::Kind::kUint;
+  }
+
+  // Implicit conversion of `v` to `target` (integer narrowing, pointer
+  // compatibility). Returns the (possibly adjusted) value.
+  Result<Value> Coerce(Value v, const Type* target, const Pos& pos) {
+    if (TypeTable::Same(v.type, target)) return v;
+    if (v.type->IsInteger() && target->IsInteger()) {
+      if (target->kind == Type::Kind::kChar) {
+        emit_.Emit(isa::EncI(Opcode::kAndi, v.reg, v.reg, 0xff));
+      }
+      return Value{v.reg, target};
+    }
+    // Pointer conversions are permissive (MiniC has no void* — any pointer
+    // converts to any pointer, like pre-ANSI C).
+    if (v.type->IsPtr() && target->IsPtr()) return Value{v.reg, target};
+    // Integer 0 (or any integer) to pointer and back: permitted explicitly
+    // for allocator-style code.
+    if (v.type->IsInteger() && target->IsPtr()) return Value{v.reg, target};
+    if (v.type->IsPtr() && target->IsInteger()) return Value{v.reg, target};
+    return Err(pos, "cannot convert " + v.type->ToString() + " to " +
+                        target->ToString());
+  }
+
+  // ---------- Image assembly ----------
+
+  Result<image::Image> BuildImage() {
+    image::Image img;
+    img.entry = entry_;
+    img.text_base = emit_.text_base();
+    img.text = emit_.TextBytes();
+    img.data_base = emit_.data_base();
+    img.data = emit_.DataBytes();
+    img.bss_base = img.data_end();
+    img.bss_size = 0;
+    for (const auto& patch : data_patches_) {
+      const uint32_t off = patch.addr - img.data_base;
+      SC_CHECK_LT(off, img.data.size());
+      img.data[off] = patch.value;
+    }
+    const auto patch_word = [&img](uint32_t addr, uint32_t value) {
+      const uint32_t off = addr - img.data_base;
+      SC_CHECK_LE(off + 4, img.data.size());
+      img.data[off] = static_cast<uint8_t>(value);
+      img.data[off + 1] = static_cast<uint8_t>(value >> 8);
+      img.data[off + 2] = static_cast<uint8_t>(value >> 16);
+      img.data[off + 3] = static_cast<uint8_t>(value >> 24);
+    };
+    for (const auto& patch : label_patches_) {
+      patch_word(patch.addr, emit_.AddressOf(patch.label) + patch.addend);
+    }
+    for (const auto& patch : jump_table_default_patches_) {
+      patch_word(patch.addr, emit_.AddressOf(patch.label));
+    }
+    img.symbols = std::move(func_syms_);
+    img.symbols.push_back(image::Symbol{"_start", entry_, start_size_,
+                                        image::SymbolKind::kFunction});
+    for (auto& sym : global_syms_) img.symbols.push_back(std::move(sym));
+    return img;
+  }
+
+  Program& prog_;
+  std::string file_;
+  Emitter emit_;
+  bool options_fold_ = true;
+
+  std::map<std::string, FunctionInfo, std::less<>> functions_;
+  std::map<std::string, GlobalInfo, std::less<>> globals_;
+  std::map<std::string, uint32_t, std::less<>> string_pool_;
+
+  std::vector<std::map<std::string, LocalVar>> scopes_;
+  RegPool regs_;
+  uint32_t frame_cursor_ = 8;
+  uint32_t max_frame_ = 8;
+  const Type* current_ret_ = nullptr;
+  Label epilogue_ = kNoLabel;
+  std::vector<Label> break_stack_;
+  std::vector<Label> continue_stack_;
+
+  uint32_t entry_ = 0;
+  uint32_t start_size_ = 0;
+  static constexpr int32_t vm_exit_syscall_ = 0;
+
+  struct BytePatch {
+    uint32_t addr;
+    uint8_t value;
+  };
+  struct LabelPatch {
+    uint32_t addr;
+    Label label;
+    uint32_t addend = 0;
+  };
+  std::vector<BytePatch> data_patches_;
+  std::vector<LabelPatch> label_patches_;
+  std::vector<LabelPatch> jump_table_default_patches_;
+  std::vector<image::Symbol> func_syms_;
+  std::vector<image::Symbol> global_syms_;
+};
+
+}  // namespace
+
+util::Result<image::Image> GenerateCode(Program& program, std::string_view filename,
+                                        const CodegenOptions& options) {
+  return Codegen(program, filename, options).Run();
+}
+
+}  // namespace sc::minicc

@@ -1,0 +1,40 @@
+// MiniC code generation: typed one-pass AST walk producing an SRK32 image.
+//
+// Calling convention (the "programming model limitations" the paper decrees,
+// enforced here by construction):
+//   * arguments in a0..a5 (max 6), result in rv;
+//   * every function builds a uniform frame:
+//       fp = caller's sp; saved ra at fp-4; saved caller fp at fp-8;
+//       parameters and locals below; sp = fp - frame_size.
+//     The cache controller's stack walker relies on exactly this layout to
+//     find all in-stack return addresses at invalidation time.
+//   * procedure return is the unique instruction `jalr zero, ra, 0`;
+//   * computed jumps (switch tables, calls through function pointers) use
+//     `jalr` with a *original-program* address operand — these are the
+//     ambiguous pointers the softcache resolves through its hash table.
+#pragma once
+
+#include "image/image.h"
+#include "image/layout.h"
+#include "minicc/ast.h"
+#include "util/result.h"
+
+namespace sc::minicc {
+
+struct CodegenOptions {
+  uint32_t text_base = image::kTextBase;
+  uint32_t data_base = image::kDataBase;
+  // Fold constant subexpressions at compile time (semantics identical to
+  // runtime evaluation on the VM, including wrapping and shift masking;
+  // division by a constant zero is never folded so the runtime fault is
+  // preserved).
+  bool fold_constants = true;
+};
+
+// Lowers a parsed program to a loadable image. Performs name resolution and
+// type checking; the first semantic error aborts compilation.
+util::Result<image::Image> GenerateCode(Program& program,
+                                        std::string_view filename = "<minic>",
+                                        const CodegenOptions& options = {});
+
+}  // namespace sc::minicc

@@ -1,0 +1,68 @@
+#include "minicc/compiler.h"
+
+#include <algorithm>
+#include <string>
+
+#include "minicc/parser.h"
+#include "minicc/runtime.h"
+#include "minicc/runtime_extra.h"
+
+namespace sc::minicc {
+
+util::Result<image::Image> CompileMiniC(std::string_view source,
+                                        std::string_view filename,
+                                        const CompileOptions& options) {
+  std::string unit(source);
+  if (options.link_runtime) {
+    unit += "\n";
+    unit += kRuntimeSource;
+    unit += "\n";
+    unit += kRuntimeExtraSource;
+  }
+  auto program = Parse(unit, filename);
+  if (!program.ok()) return program.error();
+  return GenerateCode(**program, filename, options.codegen);
+}
+
+util::Result<image::Image> CompileMiniCProject(
+    const std::vector<SourceFile>& files, const CompileOptions& options) {
+  // Concatenate the files into one unit while recording where each file's
+  // lines land, so diagnostics can be mapped back.
+  struct Span {
+    int first_line;  // 1-based line in the concatenated unit
+    int line_count;
+    const SourceFile* file;
+  };
+  std::string unit;
+  std::vector<Span> spans;
+  int line = 1;
+  for (const SourceFile& file : files) {
+    // Lines this file occupies in the unit (a trailing newline is added
+    // when missing, so unterminated files still take count+1 lines).
+    const int newlines = static_cast<int>(
+        std::count(file.contents.begin(), file.contents.end(), '\n'));
+    const bool terminated =
+        !file.contents.empty() && file.contents.back() == '\n';
+    const int lines = newlines + (terminated ? 0 : 1);
+    spans.push_back(Span{line, lines, &file});
+    unit += file.contents;
+    if (unit.empty() || unit.back() != '\n') unit += '\n';
+    line += lines;
+  }
+  CompileOptions unit_options = options;
+  auto img = CompileMiniC(unit, "<project>", unit_options);
+  if (img.ok()) return img;
+  // Map the error position back to the originating file.
+  util::Error error = img.error();
+  for (const Span& span : spans) {
+    if (error.line >= span.first_line &&
+        error.line < span.first_line + span.line_count) {
+      error.file = span.file->name;
+      error.line = error.line - span.first_line + 1;
+      break;
+    }
+  }
+  return error;
+}
+
+}  // namespace sc::minicc

@@ -1,0 +1,38 @@
+// MiniC compiler driver: source text in, loadable SRK32 image out.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "image/image.h"
+#include "minicc/codegen.h"
+#include "util/result.h"
+
+namespace sc::minicc {
+
+struct CompileOptions {
+  // Appends the MiniC runtime library (runtime.h) to the unit.
+  bool link_runtime = true;
+  CodegenOptions codegen;
+};
+
+// Compiles one MiniC translation unit to an image. Parse and semantic errors
+// carry file/line/column positions (positions inside the appended runtime
+// refer to lines past the end of the user source).
+util::Result<image::Image> CompileMiniC(std::string_view source,
+                                        std::string_view filename = "<minic>",
+                                        const CompileOptions& options = {});
+
+// Multi-file projects: the sources are compiled as one program (MiniC has
+// no declaration-order requirement across functions, so whole-program
+// compilation subsumes linking); diagnostics are mapped back to the
+// originating file and line.
+struct SourceFile {
+  std::string name;
+  std::string contents;
+};
+util::Result<image::Image> CompileMiniCProject(
+    const std::vector<SourceFile>& files, const CompileOptions& options = {});
+
+}  // namespace sc::minicc

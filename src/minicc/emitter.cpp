@@ -1,0 +1,63 @@
+#include "minicc/emitter.h"
+
+namespace sc::minicc {
+
+util::Status Emitter::Finalize() {
+  for (const Fixup& fx : fixups_) {
+    if (!IsBound(fx.label)) {
+      return util::Error{"internal: unbound label in emitter"};
+    }
+    const uint32_t target = AddressOf(fx.label);
+    const uint32_t pc = text_base_ + static_cast<uint32_t>(fx.word_index) * 4;
+    uint32_t& w = text_.at(fx.word_index);
+    switch (fx.kind) {
+      case FixupKind::kBranch16: {
+        const int32_t offset = isa::OffsetFor(pc, target);
+        if (!isa::FitsImm16(offset)) {
+          return util::Error{"branch out of range (function too large)"};
+        }
+        w = (w & 0xffff0000u) | (static_cast<uint32_t>(offset) & 0xffff);
+        break;
+      }
+      case FixupKind::kJump26: {
+        const int32_t offset = isa::OffsetFor(pc, target);
+        if (!isa::FitsImm26(offset)) {
+          return util::Error{"jump out of range (program too large)"};
+        }
+        w = (w & 0xfc000000u) | (static_cast<uint32_t>(offset) & 0x03ffffff);
+        break;
+      }
+      case FixupKind::kAbsHi:
+        w = (w & 0xffff0000u) | (target >> 16);
+        break;
+      case FixupKind::kAbsLo:
+        w = (w & 0xffff0000u) | (target & 0xffff);
+        break;
+    }
+  }
+  for (const DataFixup& fx : data_fixups_) {
+    if (!IsBound(fx.label)) {
+      return util::Error{"internal: unbound label in data fixup"};
+    }
+    const uint32_t v = AddressOf(fx.label);
+    data_.at(fx.byte_offset) = static_cast<uint8_t>(v);
+    data_.at(fx.byte_offset + 1) = static_cast<uint8_t>(v >> 8);
+    data_.at(fx.byte_offset + 2) = static_cast<uint8_t>(v >> 16);
+    data_.at(fx.byte_offset + 3) = static_cast<uint8_t>(v >> 24);
+  }
+  return util::Status::Ok();
+}
+
+std::vector<uint8_t> Emitter::TextBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(text_.size() * 4);
+  for (uint32_t w : text_) {
+    out.push_back(static_cast<uint8_t>(w));
+    out.push_back(static_cast<uint8_t>(w >> 8));
+    out.push_back(static_cast<uint8_t>(w >> 16));
+    out.push_back(static_cast<uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+}  // namespace sc::minicc

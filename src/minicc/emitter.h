@@ -1,0 +1,140 @@
+// Machine-code emitter with label/fixup management.
+//
+// The code generator emits 32-bit SRK32 words into a text buffer and
+// initialized bytes into a data buffer. Forward references (branches to
+// not-yet-bound labels, absolute addresses of functions, jump-table entries
+// in data) are recorded as fixups and patched in Finalize().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "util/result.h"
+
+namespace sc::minicc {
+
+using Label = uint32_t;
+inline constexpr Label kNoLabel = UINT32_MAX;
+
+class Emitter {
+ public:
+  Emitter(uint32_t text_base, uint32_t data_base)
+      : text_base_(text_base), data_base_(data_base) {}
+
+  // ----- Labels -----
+  Label NewLabel() {
+    labels_.push_back(kUnbound);
+    return static_cast<Label>(labels_.size() - 1);
+  }
+  void Bind(Label label) {
+    SC_CHECK_EQ(labels_.at(label), kUnbound);
+    labels_[label] = TextPc();
+  }
+  bool IsBound(Label label) const { return labels_.at(label) != kUnbound; }
+  uint32_t AddressOf(Label label) const {
+    SC_CHECK(IsBound(label));
+    return labels_.at(label);
+  }
+
+  // ----- Text emission -----
+  uint32_t TextPc() const {
+    return text_base_ + static_cast<uint32_t>(text_.size()) * 4;
+  }
+  void Emit(uint32_t word) { text_.push_back(word); }
+
+  // Conditional branch to a label (imm patched at Finalize).
+  void EmitBranch(isa::Opcode op, uint8_t rs1, uint8_t rs2, Label target) {
+    fixups_.push_back({text_.size(), target, FixupKind::kBranch16});
+    Emit(isa::EncBranch(op, rs1, rs2, 0));
+  }
+  // J / JAL to a label.
+  void EmitJump(isa::Opcode op, Label target) {
+    fixups_.push_back({text_.size(), target, FixupKind::kJump26});
+    Emit(isa::EncJ(op, 0));
+  }
+  // Loads the absolute address of a label: lui+ori pair.
+  void EmitLoadLabel(uint8_t rd, Label target) {
+    fixups_.push_back({text_.size(), target, FixupKind::kAbsHi});
+    Emit(isa::EncI(isa::Opcode::kLui, rd, 0, 0));
+    fixups_.push_back({text_.size(), target, FixupKind::kAbsLo});
+    Emit(isa::EncI(isa::Opcode::kOri, rd, rd, 0));
+  }
+  // Loads a 32-bit constant (1 or 2 instructions).
+  void EmitLoadImm(uint8_t rd, uint32_t value) {
+    if (isa::FitsImm16(static_cast<int32_t>(value))) {
+      Emit(isa::EncI(isa::Opcode::kAddi, rd, isa::kZero,
+                     static_cast<int32_t>(value)));
+    } else {
+      Emit(isa::EncI(isa::Opcode::kLui, rd, 0, static_cast<int32_t>(value >> 16)));
+      if ((value & 0xffff) != 0) {
+        Emit(isa::EncI(isa::Opcode::kOri, rd, rd, static_cast<int32_t>(value & 0xffff)));
+      }
+    }
+  }
+
+  // Patches the imm16 of a previously emitted I-format word (frame sizes).
+  void PatchImm16(size_t word_index, int32_t imm) {
+    SC_CHECK(isa::FitsImm16(imm));
+    uint32_t& w = text_.at(word_index);
+    w = (w & 0xffff0000u) | (static_cast<uint32_t>(imm) & 0xffff);
+  }
+  size_t NumWords() const { return text_.size(); }
+
+  // ----- Data emission -----
+  uint32_t DataPc() const {
+    return data_base_ + static_cast<uint32_t>(data_.size());
+  }
+  void DataAlign(uint32_t align) {
+    while (data_.size() % align != 0) data_.push_back(0);
+  }
+  void DataByte(uint8_t b) { data_.push_back(b); }
+  void DataWord(uint32_t v) {
+    data_.push_back(static_cast<uint8_t>(v));
+    data_.push_back(static_cast<uint8_t>(v >> 8));
+    data_.push_back(static_cast<uint8_t>(v >> 16));
+    data_.push_back(static_cast<uint8_t>(v >> 24));
+  }
+  void DataZero(uint32_t n) { data_.insert(data_.end(), n, 0); }
+  // A data word holding the absolute address of a text label (jump tables,
+  // function-pointer initializers).
+  void DataWordLabel(Label target) {
+    data_fixups_.push_back({data_.size(), target});
+    DataWord(0);
+  }
+
+  // ----- Finalization -----
+  // Patches all fixups. Returns an error if a label was never bound or a
+  // branch is out of range.
+  util::Status Finalize();
+
+  std::vector<uint8_t> TextBytes() const;
+  const std::vector<uint8_t>& DataBytes() const { return data_; }
+  uint32_t text_base() const { return text_base_; }
+  uint32_t data_base() const { return data_base_; }
+
+ private:
+  enum class FixupKind : uint8_t { kBranch16, kJump26, kAbsHi, kAbsLo };
+  struct Fixup {
+    size_t word_index;
+    Label label;
+    FixupKind kind;
+  };
+  struct DataFixup {
+    size_t byte_offset;
+    Label label;
+  };
+
+  static constexpr uint32_t kUnbound = UINT32_MAX;
+
+  uint32_t text_base_;
+  uint32_t data_base_;
+  std::vector<uint32_t> text_;
+  std::vector<uint8_t> data_;
+  std::vector<uint32_t> labels_;
+  std::vector<Fixup> fixups_;
+  std::vector<DataFixup> data_fixups_;
+};
+
+}  // namespace sc::minicc

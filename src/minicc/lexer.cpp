@@ -1,0 +1,315 @@
+#include "minicc/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace sc::minicc {
+namespace {
+
+const std::map<std::string_view, Tok>& Keywords() {
+  static const std::map<std::string_view, Tok> kw = {
+      {"int", Tok::kInt},         {"uint", Tok::kUint},
+      {"char", Tok::kChar},       {"void", Tok::kVoid},
+      {"struct", Tok::kStruct},   {"if", Tok::kIf},
+      {"else", Tok::kElse},       {"while", Tok::kWhile},
+      {"for", Tok::kFor},         {"do", Tok::kDo},
+      {"switch", Tok::kSwitch},   {"case", Tok::kCase},
+      {"default", Tok::kDefault}, {"break", Tok::kBreak},
+      {"continue", Tok::kContinue}, {"return", Tok::kReturn},
+      {"sizeof", Tok::kSizeof},
+  };
+  return kw;
+}
+
+}  // namespace
+
+const char* TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kInt: return "'int'";
+    case Tok::kUint: return "'uint'";
+    case Tok::kChar: return "'char'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kDo: return "'do'";
+    case Tok::kSwitch: return "'switch'";
+    case Tok::kCase: return "'case'";
+    case Tok::kDefault: return "'default'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kSizeof: return "'sizeof'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kColon: return "':'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPercentAssign: return "'%='";
+    case Tok::kAmpAssign: return "'&='";
+    case Tok::kPipeAssign: return "'|='";
+    case Tok::kCaretAssign: return "'^='";
+    case Tok::kShlAssign: return "'<<='";
+    case Tok::kShrAssign: return "'>>='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kDot: return "'.'";
+    case Tok::kArrow: return "'->'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, std::string filename)
+    : src_(source), file_(std::move(filename)) {}
+
+char Lexer::Peek(int ahead) const {
+  const size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (pos_ < src_.size() && src_[pos_] == expected) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+util::Error Lexer::Err(const std::string& message) const {
+  return util::Error{message, file_, line_, column_};
+}
+
+util::Result<Token> Lexer::Next() {
+  // Skip whitespace and comments.
+  for (;;) {
+    if (pos_ >= src_.size()) break;
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+      continue;
+    }
+    if (c == '/' && Peek(1) == '/') {
+      while (pos_ < src_.size() && Peek() != '\n') Advance();
+      continue;
+    }
+    if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (pos_ >= src_.size()) return Err("unterminated block comment");
+      Advance();
+      Advance();
+      continue;
+    }
+    break;
+  }
+
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (pos_ >= src_.size()) {
+    tok.kind = Tok::kEof;
+    return tok;
+  }
+
+  const char c = Advance();
+
+  // Identifiers / keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text(1, c);
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    const auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      tok.kind = it->second;
+    } else {
+      tok.kind = Tok::kIdent;
+      tok.text = std::move(text);
+    }
+    return tok;
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    uint64_t value = 0;
+    if (c == '0' && (Peek() == 'x' || Peek() == 'X')) {
+      Advance();
+      if (!std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("bad hex literal");
+      }
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        const char d = Advance();
+        const int digit = std::isdigit(static_cast<unsigned char>(d))
+                              ? d - '0'
+                              : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10;
+        value = value * 16 + static_cast<uint64_t>(digit);
+        if (value > 0xffffffffull) return Err("integer literal too large");
+      }
+    } else {
+      value = static_cast<uint64_t>(c - '0');
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + static_cast<uint64_t>(Advance() - '0');
+        if (value > 0xffffffffull) return Err("integer literal too large");
+      }
+    }
+    tok.kind = Tok::kIntLit;
+    tok.value = static_cast<uint32_t>(value);
+    return tok;
+  }
+
+  // Character literal.
+  if (c == '\'') {
+    if (pos_ >= src_.size()) return Err("unterminated char literal");
+    char v = Advance();
+    if (v == '\\') {
+      if (pos_ >= src_.size()) return Err("unterminated char literal");
+      const char esc = Advance();
+      switch (esc) {
+        case 'n': v = '\n'; break;
+        case 't': v = '\t'; break;
+        case 'r': v = '\r'; break;
+        case '0': v = '\0'; break;
+        case '\\': v = '\\'; break;
+        case '\'': v = '\''; break;
+        case '"': v = '"'; break;
+        default: return Err("bad escape in char literal");
+      }
+    }
+    if (pos_ >= src_.size() || Advance() != '\'') {
+      return Err("unterminated char literal");
+    }
+    tok.kind = Tok::kIntLit;
+    tok.value = static_cast<uint8_t>(v);
+    return tok;
+  }
+
+  // String literal.
+  if (c == '"') {
+    std::string text;
+    for (;;) {
+      if (pos_ >= src_.size()) return Err("unterminated string literal");
+      char v = Advance();
+      if (v == '"') break;
+      if (v == '\\') {
+        if (pos_ >= src_.size()) return Err("unterminated string literal");
+        const char esc = Advance();
+        switch (esc) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case 'r': v = '\r'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          case '"': v = '"'; break;
+          default: return Err("bad escape in string literal");
+        }
+      }
+      text.push_back(v);
+    }
+    tok.kind = Tok::kStringLit;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  switch (c) {
+    case '(': tok.kind = Tok::kLParen; return tok;
+    case ')': tok.kind = Tok::kRParen; return tok;
+    case '{': tok.kind = Tok::kLBrace; return tok;
+    case '}': tok.kind = Tok::kRBrace; return tok;
+    case '[': tok.kind = Tok::kLBracket; return tok;
+    case ']': tok.kind = Tok::kRBracket; return tok;
+    case ';': tok.kind = Tok::kSemi; return tok;
+    case ',': tok.kind = Tok::kComma; return tok;
+    case ':': tok.kind = Tok::kColon; return tok;
+    case '?': tok.kind = Tok::kQuestion; return tok;
+    case '~': tok.kind = Tok::kTilde; return tok;
+    case '.': tok.kind = Tok::kDot; return tok;
+    case '+':
+      tok.kind = Match('+') ? Tok::kPlusPlus : Match('=') ? Tok::kPlusAssign : Tok::kPlus;
+      return tok;
+    case '-':
+      tok.kind = Match('-')   ? Tok::kMinusMinus
+                 : Match('=') ? Tok::kMinusAssign
+                 : Match('>') ? Tok::kArrow
+                              : Tok::kMinus;
+      return tok;
+    case '*': tok.kind = Match('=') ? Tok::kStarAssign : Tok::kStar; return tok;
+    case '/': tok.kind = Match('=') ? Tok::kSlashAssign : Tok::kSlash; return tok;
+    case '%': tok.kind = Match('=') ? Tok::kPercentAssign : Tok::kPercent; return tok;
+    case '&':
+      tok.kind = Match('&') ? Tok::kAndAnd : Match('=') ? Tok::kAmpAssign : Tok::kAmp;
+      return tok;
+    case '|':
+      tok.kind = Match('|') ? Tok::kOrOr : Match('=') ? Tok::kPipeAssign : Tok::kPipe;
+      return tok;
+    case '^': tok.kind = Match('=') ? Tok::kCaretAssign : Tok::kCaret; return tok;
+    case '!': tok.kind = Match('=') ? Tok::kNe : Tok::kBang; return tok;
+    case '=': tok.kind = Match('=') ? Tok::kEq : Tok::kAssign; return tok;
+    case '<':
+      if (Match('<')) {
+        tok.kind = Match('=') ? Tok::kShlAssign : Tok::kShl;
+      } else {
+        tok.kind = Match('=') ? Tok::kLe : Tok::kLt;
+      }
+      return tok;
+    case '>':
+      if (Match('>')) {
+        tok.kind = Match('=') ? Tok::kShrAssign : Tok::kShr;
+      } else {
+        tok.kind = Match('=') ? Tok::kGe : Tok::kGt;
+      }
+      return tok;
+    default:
+      return Err(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace sc::minicc

@@ -1,0 +1,35 @@
+// MiniC lexer: hand-written scanner producing one token at a time.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "minicc/token.h"
+#include "util/result.h"
+
+namespace sc::minicc {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string filename);
+
+  // Returns the next token, or an error for malformed input. At end of
+  // input, returns kEof tokens forever.
+  util::Result<Token> Next();
+
+  const std::string& filename() const { return file_; }
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  util::Error Err(const std::string& message) const;
+
+  std::string_view src_;
+  std::string file_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace sc::minicc

@@ -1,0 +1,854 @@
+#include "minicc/parser.h"
+
+#include <vector>
+
+#include "minicc/lexer.h"
+#include "util/check.h"
+
+namespace sc::minicc {
+namespace {
+
+using util::Error;
+using util::Result;
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string_view filename)
+      : file_(filename) {
+    Lexer lexer(source, file_);
+    for (;;) {
+      auto tok = lexer.Next();
+      if (!tok.ok()) {
+        lex_error_ = tok.error();
+        break;
+      }
+      tokens_.push_back(*tok);
+      if (tok->kind == Tok::kEof) break;
+    }
+  }
+
+  Result<std::unique_ptr<Program>> Run() {
+    if (lex_error_) return *lex_error_;
+    program_ = std::make_unique<Program>();
+    while (Peek().kind != Tok::kEof) {
+      if (auto st = ParseTopLevel(); !st.ok()) return st.error();
+    }
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Error Err(const std::string& message) const {
+    return Error{message, file_, Peek().line, Peek().column};
+  }
+  Error ErrAt(const Token& tok, const std::string& message) const {
+    return Error{message, file_, tok.line, tok.column};
+  }
+
+  util::Status Expect(Tok kind, const char* context) {
+    if (Match(kind)) return util::Status::Ok();
+    return Err(std::string("expected ") + TokName(kind) + " " + context + ", got " +
+               TokName(Peek().kind));
+  }
+
+  static Pos PosOf(const Token& tok) { return Pos{tok.line, tok.column}; }
+
+  bool AtTypeStart() const {
+    const Tok k = Peek().kind;
+    return k == Tok::kInt || k == Tok::kUint || k == Tok::kChar ||
+           k == Tok::kVoid || k == Tok::kStruct;
+  }
+
+  // Parses a base type: int | uint | char | void | struct Name.
+  Result<const Type*> ParseBaseType() {
+    const Token tok = Advance();
+    switch (tok.kind) {
+      case Tok::kInt: return program_->types.IntType();
+      case Tok::kUint: return program_->types.UintType();
+      case Tok::kChar: return program_->types.CharType();
+      case Tok::kVoid: return program_->types.VoidType();
+      case Tok::kStruct: {
+        if (!Check(Tok::kIdent)) return Err("expected struct name");
+        const std::string name = Advance().text;
+        StructInfo* info = program_->types.DeclareStruct(name);
+        return program_->types.StructType(info);
+      }
+      default:
+        return ErrAt(tok, std::string("expected type, got ") + TokName(tok.kind));
+    }
+  }
+
+  // Parses pointer stars following a base type.
+  const Type* ParseStars(const Type* base) {
+    while (Match(Tok::kStar)) base = program_->types.PtrTo(base);
+    return base;
+  }
+
+  // Parses a full abstract type (for sizeof/casts): base stars.
+  Result<const Type*> ParseTypeName() {
+    auto base = ParseBaseType();
+    if (!base.ok()) return base.error();
+    return ParseStars(*base);
+  }
+
+  // Parses a declarator after the base type: either
+  //   stars name ([N])?            — ordinary variable
+  //   stars (*name)(params)        — function pointer
+  // Returns type + name.
+  struct Declarator {
+    const Type* type = nullptr;
+    std::string name;
+    Pos pos;
+  };
+
+  Result<Declarator> ParseDeclarator(const Type* base) {
+    const Type* type = ParseStars(base);
+    // Function pointer: ( * name ) ( params )
+    if (Check(Tok::kLParen)) {
+      Advance();
+      if (auto st = Expect(Tok::kStar, "in function-pointer declarator"); !st.ok()) {
+        return st.error();
+      }
+      if (!Check(Tok::kIdent)) return Err("expected function-pointer name");
+      const Token name_tok = Advance();
+      // Optional array length: T (*name[N])(params).
+      uint32_t fp_array_len = 0;
+      if (Match(Tok::kLBracket)) {
+        if (!Check(Tok::kIntLit)) return Err("array length must be an integer literal");
+        fp_array_len = Advance().value;
+        if (fp_array_len == 0) return ErrAt(name_tok, "zero-length array");
+        if (auto st = Expect(Tok::kRBracket, "after array length"); !st.ok()) {
+          return st.error();
+        }
+      }
+      if (auto st = Expect(Tok::kRParen, "after function-pointer name"); !st.ok()) {
+        return st.error();
+      }
+      if (auto st = Expect(Tok::kLParen, "before function-pointer parameters"); !st.ok()) {
+        return st.error();
+      }
+      std::vector<const Type*> params;
+      if (!Check(Tok::kRParen)) {
+        do {
+          auto p = ParseTypeName();
+          if (!p.ok()) return p.error();
+          params.push_back(*p);
+        } while (Match(Tok::kComma));
+      }
+      if (auto st = Expect(Tok::kRParen, "after function-pointer parameters"); !st.ok()) {
+        return st.error();
+      }
+      const Type* fn = program_->types.FuncType(type, std::move(params));
+      const Type* fnptr = program_->types.PtrTo(fn);
+      if (fp_array_len > 0) fnptr = program_->types.ArrayOf(fnptr, fp_array_len);
+      return Declarator{fnptr, name_tok.text, PosOf(name_tok)};
+    }
+    if (!Check(Tok::kIdent)) return Err("expected declarator name");
+    const Token name_tok = Advance();
+    if (Match(Tok::kLBracket)) {
+      if (!Check(Tok::kIntLit)) return Err("array length must be an integer literal");
+      const uint32_t len = Advance().value;
+      if (auto st = Expect(Tok::kRBracket, "after array length"); !st.ok()) {
+        return st.error();
+      }
+      if (len == 0) return ErrAt(name_tok, "zero-length array");
+      type = program_->types.ArrayOf(type, len);
+    }
+    return Declarator{type, name_tok.text, PosOf(name_tok)};
+  }
+
+  util::Status ParseTopLevel() {
+    // struct definition?
+    if (Check(Tok::kStruct) && Peek(1).kind == Tok::kIdent &&
+        Peek(2).kind == Tok::kLBrace) {
+      return ParseStructDef();
+    }
+    auto base = ParseBaseType();
+    if (!base.ok()) return base.error();
+
+    auto decl = ParseDeclarator(*base);
+    if (!decl.ok()) return decl.error();
+
+    // Function definition or declaration: name followed by '('.
+    if (Check(Tok::kLParen) && !decl->type->IsPtr()) {
+      return ParseFunctionRest(decl->type, decl->name, decl->pos);
+    }
+    if (Check(Tok::kLParen)) {
+      // "int* f(...)" — pointer-returning function.
+      return ParseFunctionRest(decl->type, decl->name, decl->pos);
+    }
+    return ParseGlobalRest(*decl);
+  }
+
+  util::Status ParseStructDef() {
+    Advance();  // struct
+    const Token name_tok = Advance();
+    StructInfo* info = program_->types.DeclareStruct(name_tok.text);
+    if (info->complete) return ErrAt(name_tok, "struct redefined");
+    Advance();  // {
+    uint32_t offset = 0;
+    uint32_t max_align = 1;
+    while (!Check(Tok::kRBrace)) {
+      auto base = ParseBaseType();
+      if (!base.ok()) return base.error();
+      do {
+        auto decl = ParseDeclarator(*base);
+        if (!decl.ok()) return decl.error();
+        if (decl->type->IsStruct() && !decl->type->struct_info->complete) {
+          return Err("field of incomplete struct type");
+        }
+        if (info->FindField(decl->name) != nullptr) {
+          return Err("duplicate field '" + decl->name + "'");
+        }
+        const uint32_t align = decl->type->Align();
+        offset = (offset + align - 1) & ~(align - 1);
+        info->fields.push_back(StructField{decl->name, decl->type, offset});
+        offset += decl->type->Size();
+        max_align = std::max(max_align, align);
+      } while (Match(Tok::kComma));
+      if (auto st = Expect(Tok::kSemi, "after struct field"); !st.ok()) return st;
+    }
+    Advance();  // }
+    if (auto st = Expect(Tok::kSemi, "after struct definition"); !st.ok()) return st;
+    info->align = max_align;
+    info->size = (offset + max_align - 1) & ~(max_align - 1);
+    if (info->size == 0) info->size = max_align;  // empty struct still has size
+    info->complete = true;
+    return util::Status::Ok();
+  }
+
+  util::Status ParseFunctionRest(const Type* ret, const std::string& name, Pos pos) {
+    Advance();  // (
+    auto fn = std::make_unique<FuncDecl>();
+    fn->ret = ret;
+    fn->name = name;
+    fn->pos = pos;
+    if (!Check(Tok::kRParen)) {
+      if (Check(Tok::kVoid) && Peek(1).kind == Tok::kRParen) {
+        Advance();  // void
+      } else {
+        do {
+          auto base = ParseBaseType();
+          if (!base.ok()) return base.error();
+          auto decl = ParseDeclarator(*base);
+          if (!decl.ok()) return decl.error();
+          if (decl->type->IsArray() || decl->type->IsStruct()) {
+            return Err("array/struct parameters must be passed by pointer");
+          }
+          fn->params.push_back(Param{decl->type, decl->name, decl->pos});
+        } while (Match(Tok::kComma));
+      }
+    }
+    if (auto st = Expect(Tok::kRParen, "after parameters"); !st.ok()) return st;
+    if (Match(Tok::kSemi)) {
+      program_->functions.push_back(std::move(fn));  // forward declaration
+      return util::Status::Ok();
+    }
+    auto body = ParseBlock();
+    if (!body.ok()) return body.error();
+    fn->body = std::move(*body);
+    program_->functions.push_back(std::move(fn));
+    return util::Status::Ok();
+  }
+
+  util::Status ParseGlobalRest(const Declarator& first) {
+    Declarator current = {first.type, first.name, first.pos};
+    for (;;) {
+      auto g = std::make_unique<GlobalDecl>();
+      g->type = current.type;
+      g->name = current.name;
+      g->pos = current.pos;
+      if (g->type->IsVoid()) return Err("global of void type");
+      if (Match(Tok::kAssign)) {
+        if (Match(Tok::kLBrace)) {
+          g->init.has_list = true;
+          if (!Check(Tok::kRBrace)) {
+            do {
+              auto e = ParseAssignment();
+              if (!e.ok()) return e.error();
+              g->init.list.push_back(std::move(*e));
+            } while (Match(Tok::kComma) && !Check(Tok::kRBrace));
+          }
+          if (auto st = Expect(Tok::kRBrace, "after initializer list"); !st.ok()) {
+            return st;
+          }
+        } else {
+          auto e = ParseAssignment();
+          if (!e.ok()) return e.error();
+          g->init.scalar = std::move(*e);
+        }
+      }
+      program_->globals.push_back(std::move(g));
+      if (Match(Tok::kSemi)) return util::Status::Ok();
+      if (!Match(Tok::kComma)) return Err("expected ',' or ';' after global");
+      // Next declarator shares the ORIGINAL base type? In C, stars bind per
+      // declarator; MiniC requires one declarator per line for pointer
+      // clarity, so reject "int a, *b;" style by reparsing with the scalar
+      // base of the first declarator.
+      const Type* base = first.type;
+      while (base->IsPtr() || base->IsArray()) base = base->elem;
+      auto decl = ParseDeclarator(base);
+      if (!decl.ok()) return decl.error();
+      current = *decl;
+    }
+  }
+
+  // ---------- Statements ----------
+
+  Result<StmtPtr> ParseBlock() {
+    if (auto st = Expect(Tok::kLBrace, "to open block"); !st.ok()) return st.error();
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->pos = PosOf(Peek());
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) return Err("unterminated block");
+      auto s = ParseStatement();
+      if (!s.ok()) return s.error();
+      block->body.push_back(std::move(*s));
+    }
+    Advance();  // }
+    return block;
+  }
+
+  Result<StmtPtr> ParseVarDecl() {
+    auto base = ParseBaseType();
+    if (!base.ok()) return base.error();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kBlock;  // a decl line can declare several vars
+    stmt->pos = PosOf(Peek());
+    do {
+      auto decl = ParseDeclarator(*base);
+      if (!decl.ok()) return decl.error();
+      auto var = std::make_unique<Stmt>();
+      var->kind = StmtKind::kVarDecl;
+      var->pos = decl->pos;
+      var->decl_type = decl->type;
+      var->decl_name = decl->name;
+      if (Match(Tok::kAssign)) {
+        auto e = ParseAssignment();
+        if (!e.ok()) return e.error();
+        var->decl_init = std::move(*e);
+      }
+      stmt->body.push_back(std::move(var));
+    } while (Match(Tok::kComma));
+    if (auto st = Expect(Tok::kSemi, "after declaration"); !st.ok()) return st.error();
+    if (stmt->body.size() == 1) return std::move(stmt->body[0]);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    if (nesting_ >= kMaxNesting) return Err("statements nested too deeply");
+    const DepthGuard guard(&nesting_);
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kLBrace: return ParseBlock();
+      case Tok::kSemi: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kEmpty;
+        s->pos = PosOf(tok);
+        return s;
+      }
+      case Tok::kIf: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kIf;
+        s->pos = PosOf(tok);
+        if (auto st = Expect(Tok::kLParen, "after 'if'"); !st.ok()) return st.error();
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.error();
+        s->expr = std::move(*cond);
+        if (auto st = Expect(Tok::kRParen, "after condition"); !st.ok()) return st.error();
+        auto then_stmt = ParseStatement();
+        if (!then_stmt.ok()) return then_stmt.error();
+        s->then_stmt = std::move(*then_stmt);
+        if (Match(Tok::kElse)) {
+          auto else_stmt = ParseStatement();
+          if (!else_stmt.ok()) return else_stmt.error();
+          s->else_stmt = std::move(*else_stmt);
+        }
+        return s;
+      }
+      case Tok::kWhile: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kWhile;
+        s->pos = PosOf(tok);
+        if (auto st = Expect(Tok::kLParen, "after 'while'"); !st.ok()) return st.error();
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.error();
+        s->expr = std::move(*cond);
+        if (auto st = Expect(Tok::kRParen, "after condition"); !st.ok()) return st.error();
+        auto body = ParseStatement();
+        if (!body.ok()) return body.error();
+        s->then_stmt = std::move(*body);
+        return s;
+      }
+      case Tok::kDo: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kDoWhile;
+        s->pos = PosOf(tok);
+        auto body = ParseStatement();
+        if (!body.ok()) return body.error();
+        s->then_stmt = std::move(*body);
+        if (auto st = Expect(Tok::kWhile, "after do-body"); !st.ok()) return st.error();
+        if (auto st = Expect(Tok::kLParen, "after 'while'"); !st.ok()) return st.error();
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.error();
+        s->expr = std::move(*cond);
+        if (auto st = Expect(Tok::kRParen, "after condition"); !st.ok()) return st.error();
+        if (auto st = Expect(Tok::kSemi, "after do-while"); !st.ok()) return st.error();
+        return s;
+      }
+      case Tok::kFor: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kFor;
+        s->pos = PosOf(tok);
+        if (auto st = Expect(Tok::kLParen, "after 'for'"); !st.ok()) return st.error();
+        if (!Check(Tok::kSemi)) {
+          if (AtTypeStart()) {
+            auto decl = ParseVarDecl();  // consumes the ';'
+            if (!decl.ok()) return decl.error();
+            s->init_decl = std::move(*decl);
+          } else {
+            auto e = ParseExpr();
+            if (!e.ok()) return e.error();
+            s->init_expr = std::move(*e);
+            if (auto st = Expect(Tok::kSemi, "after for-init"); !st.ok()) return st.error();
+          }
+        } else {
+          Advance();  // ;
+        }
+        if (!Check(Tok::kSemi)) {
+          auto cond = ParseExpr();
+          if (!cond.ok()) return cond.error();
+          s->expr = std::move(*cond);
+        }
+        if (auto st = Expect(Tok::kSemi, "after for-condition"); !st.ok()) return st.error();
+        if (!Check(Tok::kRParen)) {
+          auto step = ParseExpr();
+          if (!step.ok()) return step.error();
+          s->step_expr = std::move(*step);
+        }
+        if (auto st = Expect(Tok::kRParen, "after for-step"); !st.ok()) return st.error();
+        auto body = ParseStatement();
+        if (!body.ok()) return body.error();
+        s->then_stmt = std::move(*body);
+        return s;
+      }
+      case Tok::kSwitch: return ParseSwitch();
+      case Tok::kBreak: {
+        Advance();
+        if (auto st = Expect(Tok::kSemi, "after 'break'"); !st.ok()) return st.error();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kBreak;
+        s->pos = PosOf(tok);
+        return s;
+      }
+      case Tok::kContinue: {
+        Advance();
+        if (auto st = Expect(Tok::kSemi, "after 'continue'"); !st.ok()) return st.error();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kContinue;
+        s->pos = PosOf(tok);
+        return s;
+      }
+      case Tok::kReturn: {
+        Advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kReturn;
+        s->pos = PosOf(tok);
+        if (!Check(Tok::kSemi)) {
+          auto e = ParseExpr();
+          if (!e.ok()) return e.error();
+          s->expr = std::move(*e);
+        }
+        if (auto st = Expect(Tok::kSemi, "after 'return'"); !st.ok()) return st.error();
+        return s;
+      }
+      default:
+        if (AtTypeStart()) return ParseVarDecl();
+        {
+          auto e = ParseExpr();
+          if (!e.ok()) return e.error();
+          if (auto st = Expect(Tok::kSemi, "after expression"); !st.ok()) {
+            return st.error();
+          }
+          auto s = std::make_unique<Stmt>();
+          s->kind = StmtKind::kExpr;
+          s->pos = PosOf(tok);
+          s->expr = std::move(*e);
+          return s;
+        }
+    }
+  }
+
+  Result<StmtPtr> ParseSwitch() {
+    const Token tok = Advance();  // switch
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kSwitch;
+    s->pos = PosOf(tok);
+    if (auto st = Expect(Tok::kLParen, "after 'switch'"); !st.ok()) return st.error();
+    auto subject = ParseExpr();
+    if (!subject.ok()) return subject.error();
+    s->expr = std::move(*subject);
+    if (auto st = Expect(Tok::kRParen, "after switch subject"); !st.ok()) return st.error();
+    if (auto st = Expect(Tok::kLBrace, "to open switch body"); !st.ok()) return st.error();
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) return Err("unterminated switch");
+      SwitchCase sw_case;
+      sw_case.pos = PosOf(Peek());
+      if (Match(Tok::kCase)) {
+        // Constant expression: integer literal with optional unary minus.
+        bool negative = Match(Tok::kMinus);
+        if (!Check(Tok::kIntLit)) return Err("case value must be an integer literal");
+        const uint32_t v = Advance().value;
+        sw_case.value = negative ? -static_cast<int32_t>(v) : static_cast<int32_t>(v);
+      } else if (Match(Tok::kDefault)) {
+        sw_case.is_default = true;
+      } else {
+        return Err("expected 'case' or 'default'");
+      }
+      if (auto st = Expect(Tok::kColon, "after case label"); !st.ok()) return st.error();
+      while (!Check(Tok::kCase) && !Check(Tok::kDefault) && !Check(Tok::kRBrace)) {
+        if (Check(Tok::kEof)) return Err("unterminated switch");
+        auto body_stmt = ParseStatement();
+        if (!body_stmt.ok()) return body_stmt.error();
+        sw_case.body.push_back(std::move(*body_stmt));
+      }
+      s->cases.push_back(std::move(sw_case));
+    }
+    Advance();  // }
+    return s;
+  }
+
+  // ---------- Expressions (precedence climbing) ----------
+
+  Result<ExprPtr> ParseExpr() { return ParseAssignment(); }
+
+  // Recursion guard: recursive-descent depth is bounded so hostile input
+  // errors out instead of overflowing the host stack.
+  static constexpr int kMaxNesting = 256;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
+  static bool IsAssignOp(Tok kind) {
+    switch (kind) {
+      case Tok::kAssign:
+      case Tok::kPlusAssign:
+      case Tok::kMinusAssign:
+      case Tok::kStarAssign:
+      case Tok::kSlashAssign:
+      case Tok::kPercentAssign:
+      case Tok::kAmpAssign:
+      case Tok::kPipeAssign:
+      case Tok::kCaretAssign:
+      case Tok::kShlAssign:
+      case Tok::kShrAssign:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParseAssignment() {
+    if (nesting_ >= kMaxNesting) return Err("expression nested too deeply");
+    const DepthGuard guard(&nesting_);
+    auto lhs = ParseTernary();
+    if (!lhs.ok()) return lhs;
+    if (IsAssignOp(Peek().kind)) {
+      const Token op = Advance();
+      auto rhs = ParseAssignment();
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kAssign;
+      e->pos = PosOf(op);
+      e->op = op.kind;
+      e->a = std::move(*lhs);
+      e->b = std::move(*rhs);
+      return e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTernary() {
+    auto cond = ParseBinary(0);
+    if (!cond.ok()) return cond;
+    if (Match(Tok::kQuestion)) {
+      auto then_e = ParseExpr();
+      if (!then_e.ok()) return then_e;
+      if (auto st = Expect(Tok::kColon, "in ternary"); !st.ok()) return st.error();
+      auto else_e = ParseAssignment();
+      if (!else_e.ok()) return else_e;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kTernary;
+      e->pos = (*cond)->pos;
+      e->a = std::move(*cond);
+      e->b = std::move(*then_e);
+      e->c = std::move(*else_e);
+      return e;
+    }
+    return cond;
+  }
+
+  // Binary operator precedence (low to high).
+  static int Precedence(Tok kind) {
+    switch (kind) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq:
+      case Tok::kNe: return 6;
+      case Tok::kLt:
+      case Tok::kGt:
+      case Tok::kLe:
+      case Tok::kGe: return 7;
+      case Tok::kShl:
+      case Tok::kShr: return 8;
+      case Tok::kPlus:
+      case Tok::kMinus: return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent: return 10;
+      default: return 0;
+    }
+  }
+
+  Result<ExprPtr> ParseBinary(int min_prec) {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      const Tok op = Peek().kind;
+      const int prec = Precedence(op);
+      if (prec == 0 || prec < min_prec) return lhs;
+      const Token op_tok = Advance();
+      auto rhs = ParseBinary(prec + 1);
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->pos = PosOf(op_tok);
+      e->op = op;
+      e->a = std::move(*lhs);
+      e->b = std::move(*rhs);
+      *lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kPlus:
+        Advance();
+        return ParseUnary();
+      case Tok::kMinus:
+      case Tok::kBang:
+      case Tok::kTilde:
+      case Tok::kStar:
+      case Tok::kAmp: {
+        Advance();
+        auto operand = ParseUnary();
+        if (!operand.ok()) return operand;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUnary;
+        e->pos = PosOf(tok);
+        e->op = tok.kind;
+        e->a = std::move(*operand);
+        return e;
+      }
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus: {
+        Advance();
+        auto operand = ParseUnary();
+        if (!operand.ok()) return operand;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUnary;
+        e->pos = PosOf(tok);
+        e->op = tok.kind;
+        e->is_postfix = false;
+        e->a = std::move(*operand);
+        return e;
+      }
+      case Tok::kSizeof: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kSizeof;
+        e->pos = PosOf(tok);
+        if (auto st = Expect(Tok::kLParen, "after sizeof"); !st.ok()) return st.error();
+        if (AtTypeStart()) {
+          auto type = ParseTypeName();
+          if (!type.ok()) return type.error();
+          e->type_arg = *type;
+        } else {
+          auto operand = ParseExpr();
+          if (!operand.ok()) return operand;
+          e->a = std::move(*operand);
+        }
+        if (auto st = Expect(Tok::kRParen, "after sizeof"); !st.ok()) return st.error();
+        return e;
+      }
+      case Tok::kLParen:
+        // Cast: (type)expr — only when '(' is followed by a type keyword.
+        if (Peek(1).kind == Tok::kInt || Peek(1).kind == Tok::kUint ||
+            Peek(1).kind == Tok::kChar || Peek(1).kind == Tok::kVoid ||
+            Peek(1).kind == Tok::kStruct) {
+          Advance();  // (
+          auto type = ParseTypeName();
+          if (!type.ok()) return type.error();
+          if (auto st = Expect(Tok::kRParen, "after cast type"); !st.ok()) {
+            return st.error();
+          }
+          auto operand = ParseUnary();
+          if (!operand.ok()) return operand;
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kCast;
+          e->pos = PosOf(tok);
+          e->type_arg = *type;
+          e->a = std::move(*operand);
+          return e;
+        }
+        return ParsePostfix();
+      default:
+        return ParsePostfix();
+    }
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    auto e = ParsePrimary();
+    if (!e.ok()) return e;
+    for (;;) {
+      const Token& tok = Peek();
+      if (Match(Tok::kLBracket)) {
+        auto index = ParseExpr();
+        if (!index.ok()) return index;
+        if (auto st = Expect(Tok::kRBracket, "after index"); !st.ok()) return st.error();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIndex;
+        node->pos = PosOf(tok);
+        node->a = std::move(*e);
+        node->b = std::move(*index);
+        *e = std::move(node);
+        continue;
+      }
+      if (Match(Tok::kLParen)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kCall;
+        node->pos = PosOf(tok);
+        node->a = std::move(*e);
+        if (!Check(Tok::kRParen)) {
+          do {
+            auto arg = ParseAssignment();
+            if (!arg.ok()) return arg;
+            node->args.push_back(std::move(*arg));
+          } while (Match(Tok::kComma));
+        }
+        if (auto st = Expect(Tok::kRParen, "after arguments"); !st.ok()) {
+          return st.error();
+        }
+        *e = std::move(node);
+        continue;
+      }
+      if (Check(Tok::kDot) || Check(Tok::kArrow)) {
+        const bool arrow = Advance().kind == Tok::kArrow;
+        if (!Check(Tok::kIdent)) return Err("expected field name");
+        const Token field = Advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kMember;
+        node->pos = PosOf(field);
+        node->is_arrow = arrow;
+        node->text = field.text;
+        node->a = std::move(*e);
+        *e = std::move(node);
+        continue;
+      }
+      if (Check(Tok::kPlusPlus) || Check(Tok::kMinusMinus)) {
+        const Token op = Advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kUnary;
+        node->pos = PosOf(op);
+        node->op = op.kind;
+        node->is_postfix = true;
+        node->a = std::move(*e);
+        *e = std::move(node);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kIntLit: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIntLit;
+        e->pos = PosOf(tok);
+        e->int_value = tok.value;
+        return e;
+      }
+      case Tok::kStringLit: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kStrLit;
+        e->pos = PosOf(tok);
+        e->text = tok.text;
+        return e;
+      }
+      case Tok::kIdent: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIdent;
+        e->pos = PosOf(tok);
+        e->text = tok.text;
+        return e;
+      }
+      case Tok::kLParen: {
+        Advance();
+        auto e = ParseExpr();
+        if (!e.ok()) return e;
+        if (auto st = Expect(Tok::kRParen, "after expression"); !st.ok()) {
+          return st.error();
+        }
+        return e;
+      }
+      default:
+        return Err(std::string("expected expression, got ") + TokName(tok.kind));
+    }
+  }
+
+  std::string file_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int nesting_ = 0;
+  std::optional<Error> lex_error_;
+  std::unique_ptr<Program> program_;
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<Program>> Parse(std::string_view source,
+                                             std::string_view filename) {
+  return Parser(source, filename).Run();
+}
+
+}  // namespace sc::minicc

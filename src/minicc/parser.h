@@ -1,0 +1,17 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "minicc/ast.h"
+#include "util/result.h"
+
+namespace sc::minicc {
+
+// Parses a full translation unit. The returned Program owns the type table
+// and all declarations. The first syntax error aborts the parse.
+util::Result<std::unique_ptr<Program>> Parse(std::string_view source,
+                                             std::string_view filename = "<minic>");
+
+}  // namespace sc::minicc

@@ -1,0 +1,211 @@
+// The MiniC runtime library, written in MiniC itself and linked (by source
+// concatenation) into every program unless CompileOptions.link_runtime is
+// false.
+//
+// This is the stand-in for libc/crt0 in the paper's benchmarks: it gives
+// every program a realistic mass of library code (I/O formatting, string and
+// memory routines, an allocator, a PRNG), most of which is cold at run time
+// — exactly the property Table 1 and Figure 9 measure.
+#pragma once
+
+#include <string_view>
+
+namespace sc::minicc {
+
+inline constexpr std::string_view kRuntimeSource = R"MINIC(
+/* ---- MiniC runtime library ---- */
+
+void exit(int code) { __exit(code); }
+
+int putchar(int c) { __putc(c); return c; }
+int getchar() { return __getc(); }
+int read_bytes(char *p, int n) { return __read(p, n); }
+void write_bytes(char *p, int n) { __write(p, n); }
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] && a[i] == b[i]) i++;
+  return (int)a[i] - (int)b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n && a[i] && a[i] == b[i]) i++;
+  if (i == n) return 0;
+  return (int)a[i] - (int)b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i]) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return dst;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+  int i;
+  for (i = 0; i < n; i++) dst[i] = src[i];
+  return dst;
+}
+
+char *memmove(char *dst, char *src, int n) {
+  int i;
+  if (dst < src) {
+    for (i = 0; i < n; i++) dst[i] = src[i];
+  } else {
+    for (i = n - 1; i >= 0; i--) dst[i] = src[i];
+  }
+  return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+  int i;
+  for (i = 0; i < n; i++) dst[i] = (char)c;
+  return dst;
+}
+
+int memcmp(char *a, char *b, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (a[i] != b[i]) return (int)a[i] - (int)b[i];
+  }
+  return 0;
+}
+
+int abs(int x) { return x < 0 ? -x : x; }
+int imin(int a, int b) { return a < b ? a : b; }
+int imax(int a, int b) { return a > b ? a : b; }
+
+void print_str(char *s) { __write(s, strlen(s)); }
+
+void print_uint(uint v) {
+  char buf[12];
+  int i = 11;
+  if (v == 0) { __putc('0'); return; }
+  while (v > 0) {
+    i--;
+    buf[i] = (char)('0' + (int)(v % 10));
+    v = v / 10;
+  }
+  __write(&buf[i], 11 - i);
+}
+
+void print_int(int v) {
+  if (v < 0) {
+    __putc('-');
+    print_uint((uint)0 - (uint)v);
+  } else {
+    print_uint((uint)v);
+  }
+}
+
+void print_hex(uint v) {
+  char buf[9];
+  int i = 8;
+  if (v == 0) { __putc('0'); return; }
+  while (v > 0) {
+    int d = (int)(v & 15);
+    i--;
+    if (d < 10) buf[i] = (char)('0' + d);
+    else buf[i] = (char)('a' + d - 10);
+    v = v >> 4;
+  }
+  __write(&buf[i], 8 - i);
+}
+
+void print_nl() { __putc(10); }
+
+int atoi(char *s) {
+  int v = 0;
+  int sign = 1;
+  int i = 0;
+  while (s[i] == ' ' || s[i] == 9) i++;
+  if (s[i] == '-') { sign = -1; i++; }
+  else if (s[i] == '+') i++;
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (int)(s[i] - '0');
+    i++;
+  }
+  return v * sign;
+}
+
+/* ---- allocator: first-fit free list over __brk ----
+   Block header (8 bytes, immediately before the payload):
+     [0] payload size in bytes (multiple of 4)
+     [1] next free block header, or 0                                   */
+int *rt_free_list = 0;
+
+char *malloc(int n) {
+  int *prev;
+  int *blk;
+  int need;
+  need = (n + 3) & ~3;
+  if (need < 8) need = 8;
+  prev = 0;
+  blk = rt_free_list;
+  while (blk != 0) {
+    if (blk[0] >= need) {
+      /* split when the remainder can hold a header plus a minimal payload */
+      if (blk[0] >= need + 16) {
+        int *rest = blk + 2 + need / 4;
+        rest[0] = blk[0] - need - 8;
+        rest[1] = blk[1];
+        blk[0] = need;
+        if (prev == 0) rt_free_list = rest;
+        else prev[1] = (int)rest;
+      } else {
+        if (prev == 0) rt_free_list = (int *)blk[1];
+        else prev[1] = blk[1];
+      }
+      return (char *)(blk + 2);
+    }
+    prev = blk;
+    blk = (int *)blk[1];
+  }
+  blk = (int *)__brk(need + 8);
+  if ((int)blk == -1) return 0;
+  blk[0] = need;
+  blk[1] = 0;
+  return (char *)(blk + 2);
+}
+
+void free(char *p) {
+  int *blk;
+  if (p == 0) return;
+  blk = (int *)p - 2;
+  blk[1] = (int)rt_free_list;
+  rt_free_list = blk;
+}
+
+char *calloc(int count, int size) {
+  int n = count * size;
+  char *p = malloc(n);
+  if (p != 0) memset(p, 0, n);
+  return p;
+}
+
+/* ---- PRNG: 32-bit xorshift, deterministic across runs ---- */
+uint rt_rand_state = 2463534242;
+
+void srand(uint seed) {
+  if (seed == 0) seed = 1;
+  rt_rand_state = seed;
+}
+
+int rand() {
+  uint x = rt_rand_state;
+  x = x ^ (x << 13);
+  x = x ^ (x >> 17);
+  x = x ^ (x << 5);
+  rt_rand_state = x;
+  return (int)(x & 0x7fffffff);
+}
+)MINIC";
+
+}  // namespace sc::minicc

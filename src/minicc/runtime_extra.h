@@ -1,0 +1,595 @@
+// Extended MiniC runtime: the "rest of libc".
+//
+// These routines are linked into every program (like a statically linked C
+// library) but are cold in the benchmark workloads — soft-float arithmetic,
+// formatted output, string/search utilities, CRC, sorting. They exist for
+// two reasons: (1) they are genuinely usable from MiniC programs, and
+// (2) they reproduce the static/dynamic text-size split of Table 1 and
+// Figure 9, where statically linked library code dominates the image but
+// never joins the working set ("the overhead of libc, crt0, and similar
+// routines", Section 2.4).
+//
+// The soft-float library operates on IEEE-754 single-precision values
+// carried in uint. Semantics: round-to-nearest-even, denormals flushed to
+// zero, single canonical NaN, no exception flags — the usual embedded
+// fast-math libgcc subset.
+#pragma once
+
+#include <string_view>
+
+namespace sc::minicc {
+
+inline constexpr std::string_view kRuntimeExtraSource = R"MINIC(
+/* ================= soft-float (IEEE-754 single in uint) ================= */
+
+uint F_SIGN = 0x80000000;
+uint F_EXPM = 0x7f800000;
+uint F_MANM = 0x007fffff;
+uint F_NAN  = 0x7fc00000;
+uint F_INF  = 0x7f800000;
+
+int f_is_nan(uint a) {
+  return (a & F_EXPM) == F_EXPM && (a & F_MANM) != 0;
+}
+int f_is_inf(uint a) { return (a & F_EXPM) == F_EXPM && (a & F_MANM) == 0; }
+int f_is_zero(uint a) { return (a & ~F_SIGN) == 0; }
+
+/* Counts leading zeros of a nonzero word. */
+int f_clz(uint v) {
+  int n = 0;
+  if ((v & 0xffff0000) == 0) { n += 16; v = v << 16; }
+  if ((v & 0xff000000) == 0) { n += 8; v = v << 8; }
+  if ((v & 0xf0000000) == 0) { n += 4; v = v << 4; }
+  if ((v & 0xc0000000) == 0) { n += 2; v = v << 2; }
+  if ((v & 0x80000000) == 0) { n += 1; }
+  return n;
+}
+
+/* Packs sign/exponent/mantissa with round-to-nearest-even. The mantissa
+   arrives with 3 extra low bits (guard/round/sticky) and the leading 1 at
+   bit 26. */
+uint f_pack(uint sign, int exp, uint mant) {
+  if (mant == 0) return sign;
+  /* normalize so the leading one is at bit 26 */
+  int lead = f_clz(mant);
+  int shift = 5 - lead;      /* want leading one at bit 31-5 = 26 */
+  if (shift > 0) {
+    /* shift right, collecting sticky */
+    uint sticky = 0;
+    while (shift > 0) {
+      sticky = sticky | (mant & 1);
+      mant = mant >> 1;
+      exp = exp + 1;
+      shift = shift - 1;
+    }
+    mant = mant | sticky;
+  } else {
+    while (shift < 0) {
+      mant = mant << 1;
+      exp = exp - 1;
+      shift = shift + 1;
+    }
+  }
+  /* round to nearest even on the 3 grs bits */
+  {
+    uint grs = mant & 7;
+    mant = mant >> 3;
+    if (grs > 4 || (grs == 4 && (mant & 1) != 0)) {
+      mant = mant + 1;
+      if (mant >> 24) { mant = mant >> 1; exp = exp + 1; }
+    }
+  }
+  if (exp >= 255) return sign | F_INF;
+  if (exp <= 0) return sign;                /* flush to zero */
+  return sign | ((uint)exp << 23) | (mant & F_MANM);
+}
+
+/* Unpacks the magnitude into mant with leading 1 at bit 26 (3 grs bits). */
+uint f_unpack_mant(uint a) {
+  uint mant = a & F_MANM;
+  if ((a & F_EXPM) == 0) return 0;          /* denormal: flushed */
+  return (mant | 0x00800000) << 3;
+}
+
+int f_unpack_exp(uint a) { return (int)((a & F_EXPM) >> 23); }
+
+uint fneg(uint a) { return a ^ F_SIGN; }
+uint fabsf_(uint a) { return a & ~F_SIGN; }
+
+uint fadd(uint a, uint b) {
+  if (f_is_nan(a) || f_is_nan(b)) return F_NAN;
+  if (f_is_inf(a)) {
+    if (f_is_inf(b) && ((a ^ b) & F_SIGN) != 0) return F_NAN;
+    return a;
+  }
+  if (f_is_inf(b)) return b;
+  if (f_is_zero(a)) return f_is_zero(b) ? (a & b) : b;
+  if (f_is_zero(b)) return a;
+
+  uint sa = a & F_SIGN;
+  uint sb = b & F_SIGN;
+  int ea = f_unpack_exp(a);
+  int eb = f_unpack_exp(b);
+  uint ma = f_unpack_mant(a);
+  uint mb = f_unpack_mant(b);
+
+  /* align to the larger exponent */
+  if (ea < eb) {
+    uint tu; int ti;
+    tu = ma; ma = mb; mb = tu;
+    ti = ea; ea = eb; eb = ti;
+    tu = sa; sa = sb; sb = tu;
+  }
+  {
+    int d = ea - eb;
+    if (d > 27) { mb = 0; }
+    else {
+      uint sticky = 0;
+      while (d > 0) { sticky = sticky | (mb & 1); mb = mb >> 1; d = d - 1; }
+      mb = mb | sticky;
+    }
+  }
+  if (sa == sb) {
+    return f_pack(sa, ea, ma + mb);
+  }
+  if (ma > mb) return f_pack(sa, ea, ma - mb);
+  if (mb > ma) return f_pack(sb, ea, mb - ma);
+  return 0;  /* exact cancellation -> +0 */
+}
+
+uint fsub(uint a, uint b) { return fadd(a, fneg(b)); }
+
+uint fmul(uint a, uint b) {
+  if (f_is_nan(a) || f_is_nan(b)) return F_NAN;
+  uint sign = (a ^ b) & F_SIGN;
+  if (f_is_inf(a) || f_is_inf(b)) {
+    if (f_is_zero(a) || f_is_zero(b)) return F_NAN;
+    return sign | F_INF;
+  }
+  if (f_is_zero(a) || f_is_zero(b)) return sign;
+  {
+    int exp = f_unpack_exp(a) + f_unpack_exp(b) - 127;
+    /* 24x24 -> take the high ~27 bits via split multiply */
+    uint ma = (a & F_MANM) | 0x00800000;
+    uint mb = (b & F_MANM) | 0x00800000;
+    uint a_hi = ma >> 12;
+    uint a_lo = ma & 0xfff;
+    uint b_hi = mb >> 12;
+    uint b_lo = mb & 0xfff;
+    uint hi = a_hi * b_hi;                   /* << 24 */
+    uint mid = a_hi * b_lo + a_lo * b_hi;    /* << 12 */
+    uint lo = a_lo * b_lo;                   /* << 0  */
+    /* product = hi<<24 | mid<<12 | lo; keep top bits + sticky.
+       full product has leading one at bit 46 or 47. Build the top 28 bits. */
+    uint p_hi = hi + (mid >> 12);
+    uint p_lo = ((mid & 0xfff) << 12) + lo;  /* low 24 bits (may carry) */
+    p_hi = p_hi + (p_lo >> 24);
+    p_lo = p_lo & 0xffffff;
+    /* want mantissa with leading one at bit 26: p_hi has it at 22 or 23 */
+    /* mant = product >> 20, with the dropped bits folded into sticky; the
+       value passed to pack is product/2^46 * 2^(exp-127), so exp is exactly
+       ea + eb - 127. */
+    uint mant;
+    uint sticky = (p_lo & 0xfffff) != 0 ? 1 : 0;
+    mant = (p_hi << 4) | (p_lo >> 20) | sticky;
+    return f_pack(sign, exp, mant);
+  }
+}
+
+uint fdiv(uint a, uint b) {
+  if (f_is_nan(a) || f_is_nan(b)) return F_NAN;
+  uint sign = (a ^ b) & F_SIGN;
+  if (f_is_inf(a)) return f_is_inf(b) ? F_NAN : (sign | F_INF);
+  if (f_is_inf(b)) return sign;
+  if (f_is_zero(b)) return f_is_zero(a) ? F_NAN : (sign | F_INF);
+  if (f_is_zero(a)) return sign;
+  {
+    int exp = f_unpack_exp(a) - f_unpack_exp(b) + 127;
+    uint ma = (a & F_MANM) | 0x00800000;
+    uint mb = (b & F_MANM) | 0x00800000;
+    /* long division producing 27 quotient bits + sticky */
+    uint quo = 0;
+    uint rem = ma;
+    int i;
+    for (i = 0; i < 27; i++) {
+      quo = quo << 1;
+      if (rem >= mb) { rem = rem - mb; quo = quo | 1; }
+      rem = rem << 1;
+    }
+    /* quo = floor((ma/mb) * 2^26) with sticky, so pack sees exactly
+       (ma/mb) * 2^(exp-127) with exp = ea - eb + 127. */
+    if (rem != 0) quo = quo | 1;  /* sticky */
+    return f_pack(sign, exp, quo);
+  }
+}
+
+/* Comparison: returns -1, 0, 1; NaN compares as -2. */
+int fcmp(uint a, uint b) {
+  if (f_is_nan(a) || f_is_nan(b)) return -2;
+  if (f_is_zero(a) && f_is_zero(b)) return 0;
+  {
+    int sa = (a & F_SIGN) != 0 ? 1 : 0;
+    int sb = (b & F_SIGN) != 0 ? 1 : 0;
+    if (sa != sb) return sa ? -1 : 1;
+    if (a == b) return 0;
+    if (sa) return a > b ? -1 : 1;
+    return a > b ? 1 : -1;
+  }
+}
+
+/* int -> float */
+uint itof(int v) {
+  if (v == 0) return 0;
+  {
+    uint sign = 0;
+    uint mag = (uint)v;
+    if (v < 0) { sign = F_SIGN; mag = (uint)(-v); }
+    /* place leading one at bit 26 with 3 grs bits */
+    {
+      int lead = f_clz(mag);
+      int exp = 127 + (31 - lead);
+      uint mant;
+      if (lead >= 5) {
+        mant = mag << (lead - 5);
+      } else {
+        int shift = 5 - lead;
+        uint sticky = 0;
+        mant = mag;
+        while (shift > 0) {
+          sticky = sticky | (mant & 1);
+          mant = mant >> 1;
+          shift = shift - 1;
+        }
+        mant = mant | sticky;
+      }
+      return f_pack(sign, exp, mant);
+    }
+  }
+}
+
+/* float -> int, truncating; saturates on overflow; NaN -> 0. */
+int ftoi(uint a) {
+  if (f_is_nan(a)) return 0;
+  if (f_is_zero(a)) return 0;
+  {
+    int exp = f_unpack_exp(a) - 127;
+    uint mant = (a & F_MANM) | 0x00800000;
+    int neg = (a & F_SIGN) != 0;
+    if (exp < 0) return 0;
+    if (exp >= 31) return neg ? (int)0x80000000 : 0x7fffffff;
+    if (exp >= 23) mant = mant << (exp - 23);
+    else mant = mant >> (23 - exp);
+    return neg ? -(int)mant : (int)mant;
+  }
+}
+
+/* Newton-Raphson square root on floats. */
+uint fsqrt(uint a) {
+  if (f_is_nan(a) || (a & F_SIGN) != 0) return f_is_zero(a) ? a : F_NAN;
+  if (f_is_zero(a) || f_is_inf(a)) return a;
+  {
+    /* initial guess via exponent halving */
+    uint x = ((a >> 1) + 0x1fc00000);
+    int i;
+    uint half = 0x3f000000;  /* 0.5f */
+    for (i = 0; i < 4; i++) {
+      /* x = 0.5 * (x + a / x) */
+      x = fmul(half, fadd(x, fdiv(a, x)));
+    }
+    return x;
+  }
+}
+
+/* ================= formatted output ================= */
+
+/* Writes int v into buf with given base (2..16); returns length. */
+int format_int(char *buf, int v, int base) {
+  char tmp[36];
+  int i = 0;
+  int n = 0;
+  uint mag;
+  int neg = 0;
+  if (base < 2 || base > 16) base = 10;
+  if (v < 0 && base == 10) { neg = 1; mag = (uint)(-v); }
+  else mag = (uint)v;
+  if (mag == 0) { tmp[i] = '0'; i++; }
+  while (mag != 0) {
+    int d = (int)(mag % (uint)base);
+    if (d < 10) tmp[i] = (char)('0' + d);
+    else tmp[i] = (char)('a' + d - 10);
+    i++;
+    mag = mag / (uint)base;
+  }
+  if (neg) { buf[n] = '-'; n++; }
+  while (i > 0) { i--; buf[n] = tmp[i]; n++; }
+  buf[n] = 0;
+  return n;
+}
+
+/* Right-justifies int v in a field of `width` spaces. */
+void print_int_pad(int v, int width) {
+  char buf[36];
+  int n = format_int(buf, v, 10);
+  while (n < width) { __putc(' '); width--; }
+  print_str(buf);
+}
+
+/* Prints a Q16.16 fixed-point value with 3 decimals. */
+void print_fixed16(int q) {
+  if (q < 0) { __putc('-'); q = -q; }
+  print_uint((uint)(q >> 16));
+  __putc('.');
+  {
+    int frac = q & 0xffff;
+    int i;
+    for (i = 0; i < 3; i++) {
+      frac = frac * 10;
+      __putc('0' + (frac >> 16));
+      frac = frac & 0xffff;
+    }
+  }
+}
+
+/* Minimal printf: %d %u %x %s %c %%. */
+void mini_printf(char *fmt, int a0, int a1, int a2) {
+  int argi = 0;
+  int i = 0;
+  while (fmt[i]) {
+    if (fmt[i] != '%') { __putc((int)fmt[i]); i++; continue; }
+    i++;
+    {
+      int arg = 0;
+      if (argi == 0) arg = a0;
+      if (argi == 1) arg = a1;
+      if (argi == 2) arg = a2;
+      if (fmt[i] == 'd') { print_int(arg); argi++; }
+      else if (fmt[i] == 'u') { print_uint((uint)arg); argi++; }
+      else if (fmt[i] == 'x') { print_hex((uint)arg); argi++; }
+      else if (fmt[i] == 's') { print_str((char *)arg); argi++; }
+      else if (fmt[i] == 'c') { __putc(arg); argi++; }
+      else if (fmt[i] == '%') { __putc('%'); }
+      else { __putc('%'); __putc((int)fmt[i]); }
+      i++;
+    }
+  }
+}
+
+/* ================= string & memory utilities ================= */
+
+int isdigit_(int c) { return c >= '0' && c <= '9'; }
+int isalpha_(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+int isspace_(int c) {
+  return c == ' ' || c == 9 || c == 10 || c == 13 || c == 11 || c == 12;
+}
+int toupper_(int c) { return c >= 'a' && c <= 'z' ? c - 32 : c; }
+int tolower_(int c) { return c >= 'A' && c <= 'Z' ? c + 32 : c; }
+
+char *strchr_(char *s, int c) {
+  int i = 0;
+  while (s[i]) {
+    if ((int)s[i] == c) return &s[i];
+    i++;
+  }
+  if (c == 0) return &s[i];
+  return 0;
+}
+
+char *strrchr_(char *s, int c) {
+  char *last = 0;
+  int i = 0;
+  while (s[i]) {
+    if ((int)s[i] == c) last = &s[i];
+    i++;
+  }
+  return last;
+}
+
+char *strstr_(char *hay, char *needle) {
+  int n = strlen(needle);
+  int i = 0;
+  if (n == 0) return hay;
+  while (hay[i]) {
+    if (hay[i] == needle[0] && strncmp(&hay[i], needle, n) == 0) return &hay[i];
+    i++;
+  }
+  return 0;
+}
+
+char *strcat_(char *dst, char *src) {
+  strcpy(&dst[strlen(dst)], src);
+  return dst;
+}
+
+char *strncpy_(char *dst, char *src, int n) {
+  int i = 0;
+  while (i < n && src[i]) { dst[i] = src[i]; i++; }
+  while (i < n) { dst[i] = 0; i++; }
+  return dst;
+}
+
+char *memchr_(char *p, int c, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if ((int)p[i] == (c & 255)) return &p[i];
+  }
+  return 0;
+}
+
+/* strtol with base 0/8/10/16 detection. */
+int strtol_(char *s, int base) {
+  int i = 0;
+  int sign = 1;
+  int v = 0;
+  while (isspace_((int)s[i])) i++;
+  if (s[i] == '-') { sign = -1; i++; }
+  else if (s[i] == '+') i++;
+  if (base == 0) {
+    if (s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) { base = 16; i += 2; }
+    else if (s[i] == '0') { base = 8; i++; }
+    else base = 10;
+  } else if (base == 16 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    i += 2;
+  }
+  for (;;) {
+    int c = (int)s[i];
+    int d;
+    if (isdigit_(c)) d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else break;
+    if (d >= base) break;
+    v = v * base + d;
+    i++;
+  }
+  return v * sign;
+}
+
+/* ================= CRC-32 (IEEE, table-driven) ================= */
+
+uint crc32_table[256];
+int crc32_ready = 0;
+
+void crc32_init() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    uint c = (uint)i;
+    int k;
+    for (k = 0; k < 8; k++) {
+      if (c & 1) c = 0xedb88320 ^ (c >> 1);
+      else c = c >> 1;
+    }
+    crc32_table[i] = c;
+  }
+  crc32_ready = 1;
+}
+
+uint crc32(char *data, int n) {
+  uint c = 0xffffffff;
+  int i;
+  if (!crc32_ready) crc32_init();
+  for (i = 0; i < n; i++) {
+    c = crc32_table[(c ^ (uint)data[i]) & 255] ^ (c >> 8);
+  }
+  return c ^ 0xffffffff;
+}
+
+/* ================= sorting & searching ================= */
+
+void qsort_ints_range(int *a, int lo, int hi) {
+  if (lo >= hi) return;
+  {
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+      while (a[i] < pivot) i++;
+      while (a[j] > pivot) j--;
+      if (i <= j) {
+        int t = a[i];
+        a[i] = a[j];
+        a[j] = t;
+        i++;
+        j--;
+      }
+    }
+    qsort_ints_range(a, lo, j);
+    qsort_ints_range(a, i, hi);
+  }
+}
+
+void qsort_ints(int *a, int n) { qsort_ints_range(a, 0, n - 1); }
+
+/* Generic quicksort over word arrays with a comparison callback. */
+void qsort_by_range(int *a, int lo, int hi, int (*cmp)(int, int)) {
+  if (lo >= hi) return;
+  {
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+      while (cmp(a[i], pivot) < 0) i++;
+      while (cmp(a[j], pivot) > 0) j--;
+      if (i <= j) {
+        int t = a[i];
+        a[i] = a[j];
+        a[j] = t;
+        i++;
+        j--;
+      }
+    }
+    qsort_by_range(a, lo, j, cmp);
+    qsort_by_range(a, i, hi, cmp);
+  }
+}
+
+void qsort_by(int *a, int n, int (*cmp)(int, int)) {
+  qsort_by_range(a, 0, n - 1, cmp);
+}
+
+/* Binary search over a sorted int array; returns index or -1. */
+int bsearch_int(int *a, int n, int key) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (a[mid] == key) return mid;
+    if (a[mid] < key) lo = mid + 1;
+    else hi = mid - 1;
+  }
+  return -1;
+}
+
+/* ================= misc numeric helpers ================= */
+
+uint umulhi(uint a, uint b) {
+  uint a_hi = a >> 16;
+  uint a_lo = a & 0xffff;
+  uint b_hi = b >> 16;
+  uint b_lo = b & 0xffff;
+  uint mid = a_hi * b_lo + ((a_lo * b_lo) >> 16);
+  uint mid2 = a_lo * b_hi + (mid & 0xffff);
+  return a_hi * b_hi + (mid >> 16) + (mid2 >> 16);
+}
+
+int gcd(int a, int b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int ipow(int base, int e) {
+  int r = 1;
+  while (e > 0) {
+    if (e & 1) r = r * base;
+    base = base * base;
+    e = e >> 1;
+  }
+  return r;
+}
+
+int isqrt(int v) {
+  int r = 0;
+  int bit = 1 << 30;
+  if (v < 0) return 0;
+  while (bit > v) bit = bit >> 2;
+  while (bit != 0) {
+    if (v >= r + bit) {
+      v = v - (r + bit);
+      r = (r >> 1) + bit;
+    } else {
+      r = r >> 1;
+    }
+    bit = bit >> 2;
+  }
+  return r;
+}
+)MINIC";
+
+}  // namespace sc::minicc

@@ -1,0 +1,42 @@
+// Token definitions for MiniC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sc::minicc {
+
+enum class Tok : uint8_t {
+  kEof = 0,
+  kIdent,
+  kIntLit,     // 123, 0x1f, 'c'
+  kStringLit,
+  // keywords
+  kInt, kUint, kChar, kVoid, kStruct, kIf, kElse, kWhile, kFor, kDo,
+  kSwitch, kCase, kDefault, kBreak, kContinue, kReturn, kSizeof,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon, kQuestion,
+  kAssign,           // =
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAndAnd, kOrOr,
+  kPlusPlus, kMinusMinus,
+  kDot, kArrow,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;    // identifier or string contents
+  uint32_t value = 0;  // integer literal value
+  int line = 1;
+  int column = 1;
+};
+
+const char* TokName(Tok kind);
+
+}  // namespace sc::minicc

@@ -1,0 +1,146 @@
+#include "minicc/types.h"
+
+namespace sc::minicc {
+
+uint32_t Type::Size() const {
+  switch (kind) {
+    case Kind::kVoid: return 0;
+    case Kind::kChar: return 1;
+    case Kind::kInt:
+    case Kind::kUint:
+    case Kind::kPtr: return 4;
+    case Kind::kArray: return elem->Size() * array_len;
+    case Kind::kStruct:
+      SC_CHECK(struct_info->complete) << "sizeof incomplete struct " << struct_info->name;
+      return struct_info->size;
+    case Kind::kFunc: return 4;  // decays to pointer
+  }
+  SC_UNREACHABLE();
+  return 0;
+}
+
+uint32_t Type::Align() const {
+  switch (kind) {
+    case Kind::kVoid: return 1;
+    case Kind::kChar: return 1;
+    case Kind::kInt:
+    case Kind::kUint:
+    case Kind::kPtr:
+    case Kind::kFunc: return 4;
+    case Kind::kArray: return elem->Align();
+    case Kind::kStruct: return struct_info->align;
+  }
+  SC_UNREACHABLE();
+  return 1;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case Kind::kVoid: return "void";
+    case Kind::kInt: return "int";
+    case Kind::kUint: return "uint";
+    case Kind::kChar: return "char";
+    case Kind::kPtr: return elem->ToString() + "*";
+    case Kind::kArray:
+      return elem->ToString() + "[" + std::to_string(array_len) + "]";
+    case Kind::kStruct: return "struct " + struct_info->name;
+    case Kind::kFunc: {
+      std::string s = ret->ToString() + "(";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += params[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  SC_UNREACHABLE();
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  void_.kind = Type::Kind::kVoid;
+  int_.kind = Type::Kind::kInt;
+  uint_.kind = Type::Kind::kUint;
+  char_.kind = Type::Kind::kChar;
+}
+
+const Type* TypeTable::PtrTo(const Type* pointee) {
+  for (const auto& t : owned_) {
+    if (t->kind == Type::Kind::kPtr && t->elem == pointee) return t.get();
+  }
+  auto t = std::make_unique<Type>();
+  t->kind = Type::Kind::kPtr;
+  t->elem = pointee;
+  owned_.push_back(std::move(t));
+  return owned_.back().get();
+}
+
+const Type* TypeTable::ArrayOf(const Type* elem, uint32_t len) {
+  auto t = std::make_unique<Type>();
+  t->kind = Type::Kind::kArray;
+  t->elem = elem;
+  t->array_len = len;
+  owned_.push_back(std::move(t));
+  return owned_.back().get();
+}
+
+const Type* TypeTable::StructType(const StructInfo* info) {
+  for (const auto& t : owned_) {
+    if (t->kind == Type::Kind::kStruct && t->struct_info == info) return t.get();
+  }
+  auto t = std::make_unique<Type>();
+  t->kind = Type::Kind::kStruct;
+  t->struct_info = info;
+  owned_.push_back(std::move(t));
+  return owned_.back().get();
+}
+
+const Type* TypeTable::FuncType(const Type* ret, std::vector<const Type*> params) {
+  auto t = std::make_unique<Type>();
+  t->kind = Type::Kind::kFunc;
+  t->ret = ret;
+  t->params = std::move(params);
+  owned_.push_back(std::move(t));
+  return owned_.back().get();
+}
+
+StructInfo* TypeTable::DeclareStruct(const std::string& name) {
+  if (StructInfo* existing = FindStruct(name)) return existing;
+  auto info = std::make_unique<StructInfo>();
+  info->name = name;
+  structs_.push_back(std::move(info));
+  return structs_.back().get();
+}
+
+StructInfo* TypeTable::FindStruct(const std::string& name) {
+  for (const auto& info : structs_) {
+    if (info->name == name) return info.get();
+  }
+  return nullptr;
+}
+
+bool TypeTable::Same(const Type* a, const Type* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Type::Kind::kVoid:
+    case Type::Kind::kInt:
+    case Type::Kind::kUint:
+    case Type::Kind::kChar: return true;
+    case Type::Kind::kPtr: return Same(a->elem, b->elem);
+    case Type::Kind::kArray:
+      return a->array_len == b->array_len && Same(a->elem, b->elem);
+    case Type::Kind::kStruct: return a->struct_info == b->struct_info;
+    case Type::Kind::kFunc: {
+      if (!Same(a->ret, b->ret) || a->params.size() != b->params.size()) return false;
+      for (size_t i = 0; i < a->params.size(); ++i) {
+        if (!Same(a->params[i], b->params[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sc::minicc

@@ -1,0 +1,105 @@
+// MiniC type system.
+//
+// Scalar types are int (signed 32-bit), uint (unsigned 32-bit) and char
+// (unsigned 8-bit). Compound types are pointers, one-dimensional arrays,
+// structs, and function types (used both for declared functions and through
+// function pointers). All pointers are 4 bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sc::minicc {
+
+struct StructInfo;
+
+struct Type {
+  enum class Kind : uint8_t {
+    kVoid,
+    kInt,
+    kUint,
+    kChar,
+    kPtr,
+    kArray,
+    kStruct,
+    kFunc,
+  };
+
+  Kind kind = Kind::kVoid;
+  const Type* elem = nullptr;        // kPtr pointee / kArray element
+  uint32_t array_len = 0;            // kArray
+  const StructInfo* struct_info = nullptr;  // kStruct
+  const Type* ret = nullptr;         // kFunc
+  std::vector<const Type*> params;   // kFunc
+
+  bool IsVoid() const { return kind == Kind::kVoid; }
+  bool IsInteger() const {
+    return kind == Kind::kInt || kind == Kind::kUint || kind == Kind::kChar;
+  }
+  // char is unsigned in MiniC (like ARM's default char).
+  bool IsSigned() const { return kind == Kind::kInt; }
+  bool IsPtr() const { return kind == Kind::kPtr; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsStruct() const { return kind == Kind::kStruct; }
+  bool IsFunc() const { return kind == Kind::kFunc; }
+  // Scalar = fits in a register (integers and pointers).
+  bool IsScalar() const { return IsInteger() || IsPtr(); }
+
+  uint32_t Size() const;
+  uint32_t Align() const;
+  std::string ToString() const;
+};
+
+struct StructField {
+  std::string name;
+  const Type* type = nullptr;
+  uint32_t offset = 0;
+};
+
+struct StructInfo {
+  std::string name;
+  std::vector<StructField> fields;
+  uint32_t size = 0;
+  uint32_t align = 4;
+  bool complete = false;
+
+  const StructField* FindField(const std::string& field_name) const {
+    for (const StructField& f : fields) {
+      if (f.name == field_name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+// Owns all Type and StructInfo nodes for one compilation.
+class TypeTable {
+ public:
+  TypeTable();
+
+  const Type* VoidType() const { return &void_; }
+  const Type* IntType() const { return &int_; }
+  const Type* UintType() const { return &uint_; }
+  const Type* CharType() const { return &char_; }
+
+  const Type* PtrTo(const Type* pointee);
+  const Type* ArrayOf(const Type* elem, uint32_t len);
+  const Type* StructType(const StructInfo* info);
+  const Type* FuncType(const Type* ret, std::vector<const Type*> params);
+
+  StructInfo* DeclareStruct(const std::string& name);
+  StructInfo* FindStruct(const std::string& name);
+
+  // Structural type equality (pointer identity is not guaranteed).
+  static bool Same(const Type* a, const Type* b);
+
+ private:
+  Type void_, int_, uint_, char_;
+  std::vector<std::unique_ptr<Type>> owned_;
+  std::vector<std::unique_ptr<StructInfo>> structs_;
+};
+
+}  // namespace sc::minicc

@@ -1,0 +1,80 @@
+// Simulated client<->server message channel.
+//
+// Stands in for the paper's 10 Mbps Ethernet between the embedded client
+// (CC) and the server (MC). The channel is reliable and in-order; what it
+// models is *cost*: a fixed per-message latency plus serialization time at a
+// configured bandwidth, expressed in client CPU cycles, and exact byte
+// accounting for both directions (the paper reports 60 application bytes of
+// protocol overhead per chunk — bench_net reproduces that number from this
+// accounting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sc::net {
+
+struct ChannelConfig {
+  // Client core clock; the paper's ARM prototype is a 200 MHz SA-110.
+  uint64_t clock_hz = 200'000'000;
+  // Link bandwidth; the Skiff boards had 10 Mbps Ethernet.
+  uint64_t bits_per_second = 10'000'000;
+  // Fixed per-message latency (propagation + interrupt + protocol stack),
+  // charged once per message.
+  uint64_t latency_cycles = 2'000;
+};
+
+struct ChannelStats {
+  uint64_t messages_to_server = 0;
+  uint64_t messages_to_client = 0;
+  uint64_t bytes_to_server = 0;
+  uint64_t bytes_to_client = 0;
+  uint64_t total_cycles = 0;
+
+  uint64_t total_bytes() const { return bytes_to_server + bytes_to_client; }
+  uint64_t total_messages() const { return messages_to_server + messages_to_client; }
+};
+
+class Channel {
+ public:
+  explicit Channel(const ChannelConfig& config = {}) : config_(config) {}
+
+  // Cycle cost of moving one `bytes`-long message across the link.
+  uint64_t CyclesFor(uint64_t bytes) const {
+    SC_CHECK_GT(config_.bits_per_second, 0u);
+    const uint64_t wire_cycles =
+        (bytes * 8 * config_.clock_hz + config_.bits_per_second - 1) /
+        config_.bits_per_second;
+    return config_.latency_cycles + wire_cycles;
+  }
+
+  // Accounts for a client->server message and returns its cycle cost.
+  uint64_t SendToServer(uint64_t bytes) {
+    ++stats_.messages_to_server;
+    stats_.bytes_to_server += bytes;
+    const uint64_t cycles = CyclesFor(bytes);
+    stats_.total_cycles += cycles;
+    return cycles;
+  }
+
+  // Accounts for a server->client message and returns its cycle cost.
+  uint64_t SendToClient(uint64_t bytes) {
+    ++stats_.messages_to_client;
+    stats_.bytes_to_client += bytes;
+    const uint64_t cycles = CyclesFor(bytes);
+    stats_.total_cycles += cycles;
+    return cycles;
+  }
+
+  const ChannelStats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return config_; }
+  void ResetStats() { stats_ = ChannelStats{}; }
+
+ private:
+  ChannelConfig config_;
+  ChannelStats stats_;
+};
+
+}  // namespace sc::net

@@ -1,0 +1,107 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sc::profile {
+
+Profiler::Profiler(const image::Image& image)
+    : text_base_(image.text_base),
+      text_size_(static_cast<uint32_t>(image.text.size())) {
+  uint32_t index = 0;
+  for (const image::Symbol* sym : image.Functions()) {
+    ranges_.push_back(Range{sym->addr, sym->addr + sym->size, index});
+    FunctionProfile fp;
+    fp.name = sym->name;
+    fp.addr = sym->addr;
+    fp.size = sym->size;
+    funcs_.push_back(std::move(fp));
+    ++index;
+  }
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const Range& a, const Range& b) { return a.start < b.start; });
+  counts_.resize(funcs_.size(), 0);
+  touched_.resize(text_size_ / 4, false);
+}
+
+const Profiler::Range* Profiler::FindRange(uint32_t pc) const {
+  if (last_hit_ != nullptr && pc >= last_hit_->start && pc < last_hit_->end) {
+    return last_hit_;
+  }
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), pc,
+      [](uint32_t value, const Range& range) { return value < range.start; });
+  if (it == ranges_.begin()) return nullptr;
+  --it;
+  if (pc >= it->start && pc < it->end) {
+    last_hit_ = &*it;
+    return last_hit_;
+  }
+  return nullptr;
+}
+
+void Profiler::OnFetch(uint32_t pc) {
+  ++total_samples_;
+  if (pc >= text_base_ && pc < text_base_ + text_size_) {
+    touched_[(pc - text_base_) / 4] = true;
+  }
+  const Range* range = FindRange(pc);
+  if (range == nullptr) {
+    ++unattributed_;
+    return;
+  }
+  ++counts_[range->index];
+}
+
+std::vector<FunctionProfile> Profiler::Report() const {
+  std::vector<FunctionProfile> out = funcs_;
+  for (size_t i = 0; i < out.size(); ++i) out[i].samples = counts_[i];
+  std::sort(out.begin(), out.end(), [](const FunctionProfile& a,
+                                       const FunctionProfile& b) {
+    if (a.samples != b.samples) return a.samples > b.samples;
+    return a.addr < b.addr;
+  });
+  return out;
+}
+
+uint64_t Profiler::DynamicTextBytes() const {
+  uint64_t words = 0;
+  for (bool touched : touched_) words += touched ? 1 : 0;
+  return words * 4;
+}
+
+std::vector<uint32_t> Profiler::HotIndices(double fraction) const {
+  SC_CHECK_GT(fraction, 0.0);
+  SC_CHECK_LE(fraction, 1.0);
+  std::vector<uint32_t> order(funcs_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    if (counts_[a] != counts_[b]) return counts_[a] > counts_[b];
+    return funcs_[a].addr < funcs_[b].addr;
+  });
+  const double target = fraction * static_cast<double>(total_samples_);
+  std::vector<uint32_t> hot;
+  uint64_t covered = 0;
+  for (uint32_t i : order) {
+    if (static_cast<double>(covered) >= target) break;
+    if (counts_[i] == 0) break;
+    hot.push_back(i);
+    covered += counts_[i];
+  }
+  return hot;
+}
+
+uint64_t Profiler::HotCodeBytes(double fraction) const {
+  uint64_t bytes = 0;
+  for (uint32_t i : HotIndices(fraction)) bytes += funcs_[i].size;
+  return bytes;
+}
+
+std::vector<std::string> Profiler::HotFunctions(double fraction) const {
+  std::vector<std::string> names;
+  for (uint32_t i : HotIndices(fraction)) names.push_back(funcs_[i].name);
+  return names;
+}
+
+}  // namespace sc::profile

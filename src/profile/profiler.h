@@ -1,0 +1,71 @@
+// Function-level execution profiler (the repo's stand-in for gprof).
+//
+// Attaches to the VM as a FetchObserver and attributes every instruction
+// fetch to the function whose symbol range contains it. Provides:
+//   * per-function sample counts (Figure 9's ">= 90% of run time" hot set);
+//   * the dynamic text footprint — bytes of *distinct* instructions actually
+//     fetched (Table 1's "Dynamic .text" column);
+//   * the hot-code footprint: total code size of the smallest set of
+//     functions covering a target fraction of execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "vm/machine.h"
+
+namespace sc::profile {
+
+struct FunctionProfile {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;       // bytes of code
+  uint64_t samples = 0;    // instruction fetches attributed
+};
+
+class Profiler : public vm::FetchObserver {
+ public:
+  explicit Profiler(const image::Image& image);
+
+  void OnFetch(uint32_t pc) override;
+
+  // Per-function profile, sorted by descending sample count.
+  std::vector<FunctionProfile> Report() const;
+
+  // Bytes of distinct instructions fetched (dynamic .text, Table 1).
+  uint64_t DynamicTextBytes() const;
+  // Bytes of the full text segment (static .text, Table 1).
+  uint64_t StaticTextBytes() const { return text_size_; }
+
+  // Smallest set of functions (greedy by sample count) covering at least
+  // `fraction` of all samples; returns their total code size in bytes.
+  // This is the paper's gprof methodology for sizing CC memory (Figure 9).
+  uint64_t HotCodeBytes(double fraction) const;
+  // The names of that hot set (diagnostics).
+  std::vector<std::string> HotFunctions(double fraction) const;
+
+  uint64_t total_samples() const { return total_samples_; }
+
+ private:
+  struct Range {
+    uint32_t start;
+    uint32_t end;
+    uint32_t index;  // into counts_/functions metadata
+  };
+  const Range* FindRange(uint32_t pc) const;
+  std::vector<uint32_t> HotIndices(double fraction) const;
+
+  uint32_t text_base_;
+  uint32_t text_size_;
+  std::vector<Range> ranges_;          // sorted by start
+  std::vector<FunctionProfile> funcs_;
+  std::vector<uint64_t> counts_;
+  std::vector<bool> touched_;          // per text word
+  uint64_t total_samples_ = 0;
+  uint64_t unattributed_ = 0;
+  mutable const Range* last_hit_ = nullptr;
+};
+
+}  // namespace sc::profile

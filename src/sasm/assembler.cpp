@@ -1,0 +1,829 @@
+#include "sasm/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.h"
+#include "util/check.h"
+
+namespace sc::sasm {
+namespace {
+
+using isa::Opcode;
+using util::Error;
+using util::Result;
+
+enum class Section { kText, kData, kBss };
+
+struct Operand {
+  enum Kind { kReg, kImm, kSym, kMem, kHi, kLo } kind;
+  uint8_t reg = 0;       // kReg, and base register for kMem
+  int64_t imm = 0;       // kImm, and offset for kMem (when no symbol)
+  std::string sym;       // kSym / kHi / kLo
+};
+
+struct Line {
+  int number = 0;
+  std::string label;                 // "name:" prefix if present
+  std::string mnemonic;              // directive or instruction (lowercased)
+  std::vector<Operand> operands;
+  std::string string_arg;            // for .asciiz
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$'; }
+bool IsIdentChar(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+std::optional<uint8_t> ParseRegister(std::string_view name) {
+  for (uint8_t r = 0; r < isa::kNumRegs; ++r) {
+    if (name == isa::RegName(r)) return r;
+  }
+  if (name.size() >= 2 && name[0] == 'r') {
+    int value = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) return std::nullopt;
+      value = value * 10 + (name[i] - '0');
+    }
+    if (value < isa::kNumRegs) return static_cast<uint8_t>(value);
+  }
+  return std::nullopt;
+}
+
+// The parser for a single line of assembly.
+class LineParser {
+ public:
+  LineParser(std::string_view text, std::string file, int line_number)
+      : text_(text), file_(std::move(file)), line_number_(line_number) {}
+
+  Result<Line> Parse() {
+    Line line;
+    line.number = line_number_;
+    SkipSpace();
+    // Optional "label:" prefix (possibly the whole line).
+    if (!AtEnd() && IsIdentStart(Peek())) {
+      const size_t save = pos_;
+      std::string ident = ReadIdent();
+      SkipSpace();
+      if (!AtEnd() && Peek() == ':') {
+        ++pos_;
+        line.label = std::move(ident);
+        SkipSpace();
+        if (!AtEnd() && IsIdentStart(Peek())) {
+          line.mnemonic = Lower(ReadIdent());
+        }
+      } else {
+        pos_ = save;
+        line.mnemonic = Lower(ReadIdent());
+      }
+    }
+    if (line.mnemonic.empty()) {
+      SkipSpace();
+      if (!AtEnd()) return Err("expected instruction or directive");
+      return line;
+    }
+    // .asciiz takes a string literal.
+    if (line.mnemonic == ".asciiz" || line.mnemonic == ".ascii") {
+      SkipSpace();
+      auto str = ReadStringLiteral();
+      if (!str.ok()) return str.error();
+      line.string_arg = *str;
+      SkipSpace();
+      if (!AtEnd()) return Err("trailing characters after string");
+      return line;
+    }
+    // Comma-separated operands.
+    SkipSpace();
+    while (!AtEnd()) {
+      auto op = ReadOperand();
+      if (!op.ok()) return op.error();
+      line.operands.push_back(*op);
+      SkipSpace();
+      if (AtEnd()) break;
+      if (Peek() != ',') return Err("expected ','");
+      ++pos_;
+      SkipSpace();
+    }
+    return line;
+  }
+
+ private:
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size() || text_[pos_] == '#' || text_[pos_] == ';';
+  }
+  char Peek() const { return text_[pos_]; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string ReadIdent() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  static std::string Lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  }
+
+  Error Err(const std::string& message) {
+    return Error{message, file_, line_number_, static_cast<int>(pos_) + 1};
+  }
+
+  Result<std::string> ReadStringLiteral() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Err("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case 'r': c = '\r'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: return Err("bad escape in string");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Err("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  Result<int64_t> ReadNumber() {
+    bool negative = false;
+    if (Peek() == '-') {
+      negative = true;
+      ++pos_;
+    } else if (Peek() == '+') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      // Character literal.
+      ++pos_;
+      if (pos_ >= text_.size()) return Err("bad char literal");
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          default: return Err("bad escape in char literal");
+        }
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '\'') return Err("bad char literal");
+      ++pos_;
+      int64_t v = static_cast<unsigned char>(c);
+      return negative ? -v : v;
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Err("expected number");
+    }
+    int64_t value = 0;
+    if (text_.substr(pos_).starts_with("0x") || text_.substr(pos_).starts_with("0X")) {
+      pos_ += 2;
+      if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("bad hex number");
+      }
+      while (pos_ < text_.size() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        const char c = text_[pos_++];
+        const int digit = std::isdigit(static_cast<unsigned char>(c))
+                              ? c - '0'
+                              : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+        value = value * 16 + digit;
+      }
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + (text_[pos_++] - '0');
+      }
+    }
+    return negative ? -value : value;
+  }
+
+  Result<Operand> ReadOperand() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("expected operand");
+    const char c = Peek();
+    // %hi(sym) / %lo(sym)
+    if (c == '%') {
+      ++pos_;
+      const std::string which = Lower(ReadIdent());
+      if (which != "hi" && which != "lo") return Err("expected %hi or %lo");
+      SkipSpace();
+      if (pos_ >= text_.size() || Peek() != '(') return Err("expected '('");
+      ++pos_;
+      SkipSpace();
+      const std::string sym = ReadIdent();
+      if (sym.empty()) return Err("expected symbol");
+      SkipSpace();
+      if (pos_ >= text_.size() || Peek() != ')') return Err("expected ')'");
+      ++pos_;
+      Operand op;
+      op.kind = which == "hi" ? Operand::kHi : Operand::kLo;
+      op.sym = sym;
+      return op;
+    }
+    if (IsIdentStart(c)) {
+      const std::string ident = ReadIdent();
+      if (auto reg = ParseRegister(ident)) {
+        return Operand{.kind = Operand::kReg, .reg = *reg};
+      }
+      Operand op;
+      op.kind = Operand::kSym;
+      op.sym = ident;
+      return op;
+    }
+    // Number, possibly "imm(reg)" memory form.
+    auto num = ReadNumber();
+    if (!num.ok()) return num.error();
+    SkipSpace();
+    if (pos_ < text_.size() && Peek() == '(') {
+      ++pos_;
+      SkipSpace();
+      const std::string regname = ReadIdent();
+      const auto reg = ParseRegister(regname);
+      if (!reg) return Err("expected base register");
+      SkipSpace();
+      if (pos_ >= text_.size() || Peek() != ')') return Err("expected ')'");
+      ++pos_;
+      Operand op;
+      op.kind = Operand::kMem;
+      op.reg = *reg;
+      op.imm = *num;
+      return op;
+    }
+    Operand op;
+    op.kind = Operand::kImm;
+    op.imm = *num;
+    return op;
+  }
+
+  std::string_view text_;
+  std::string file_;
+  int line_number_;
+  size_t pos_ = 0;
+};
+
+struct InstrSpec {
+  Opcode op;
+  enum Shape {
+    kRdRs1Rs2,   // alu ops
+    kRdRs1Imm,   // addi etc., jalr
+    kRdImm,      // lui
+    kMemOp,      // lw rd, off(rs1)
+    kBranch,     // beq rs1, rs2, target
+    kJump,       // j/jal target
+    kSysShape,   // sys n
+    kNone,       // halt
+  } shape;
+  isa::AluOp funct = isa::AluOp::kAdd;
+};
+
+const std::map<std::string, InstrSpec, std::less<>>& InstrTable() {
+  static const std::map<std::string, InstrSpec, std::less<>> table = [] {
+    std::map<std::string, InstrSpec, std::less<>> t;
+    const struct { const char* name; isa::AluOp funct; } alu_ops[] = {
+        {"add", isa::AluOp::kAdd},   {"sub", isa::AluOp::kSub},
+        {"and", isa::AluOp::kAnd},   {"or", isa::AluOp::kOr},
+        {"xor", isa::AluOp::kXor},   {"sll", isa::AluOp::kSll},
+        {"srl", isa::AluOp::kSrl},   {"sra", isa::AluOp::kSra},
+        {"slt", isa::AluOp::kSlt},   {"sltu", isa::AluOp::kSltu},
+        {"mul", isa::AluOp::kMul},   {"div", isa::AluOp::kDiv},
+        {"divu", isa::AluOp::kDivu}, {"rem", isa::AluOp::kRem},
+        {"remu", isa::AluOp::kRemu},
+    };
+    for (const auto& a : alu_ops) {
+      t[a.name] = InstrSpec{Opcode::kAlu, InstrSpec::kRdRs1Rs2, a.funct};
+    }
+    const struct { const char* name; Opcode op; InstrSpec::Shape shape; } others[] = {
+        {"addi", Opcode::kAddi, InstrSpec::kRdRs1Imm},
+        {"andi", Opcode::kAndi, InstrSpec::kRdRs1Imm},
+        {"ori", Opcode::kOri, InstrSpec::kRdRs1Imm},
+        {"xori", Opcode::kXori, InstrSpec::kRdRs1Imm},
+        {"slti", Opcode::kSlti, InstrSpec::kRdRs1Imm},
+        {"sltiu", Opcode::kSltiu, InstrSpec::kRdRs1Imm},
+        {"slli", Opcode::kSlli, InstrSpec::kRdRs1Imm},
+        {"srli", Opcode::kSrli, InstrSpec::kRdRs1Imm},
+        {"srai", Opcode::kSrai, InstrSpec::kRdRs1Imm},
+        {"lui", Opcode::kLui, InstrSpec::kRdImm},
+        {"lw", Opcode::kLw, InstrSpec::kMemOp},
+        {"lh", Opcode::kLh, InstrSpec::kMemOp},
+        {"lhu", Opcode::kLhu, InstrSpec::kMemOp},
+        {"lb", Opcode::kLb, InstrSpec::kMemOp},
+        {"lbu", Opcode::kLbu, InstrSpec::kMemOp},
+        {"sw", Opcode::kSw, InstrSpec::kMemOp},
+        {"sh", Opcode::kSh, InstrSpec::kMemOp},
+        {"sb", Opcode::kSb, InstrSpec::kMemOp},
+        {"beq", Opcode::kBeq, InstrSpec::kBranch},
+        {"bne", Opcode::kBne, InstrSpec::kBranch},
+        {"blt", Opcode::kBlt, InstrSpec::kBranch},
+        {"bge", Opcode::kBge, InstrSpec::kBranch},
+        {"bltu", Opcode::kBltu, InstrSpec::kBranch},
+        {"bgeu", Opcode::kBgeu, InstrSpec::kBranch},
+        {"j", Opcode::kJ, InstrSpec::kJump},
+        {"jal", Opcode::kJal, InstrSpec::kJump},
+        {"jalr", Opcode::kJalr, InstrSpec::kRdRs1Imm},
+        {"sys", Opcode::kSys, InstrSpec::kSysShape},
+        {"halt", Opcode::kHalt, InstrSpec::kNone},
+    };
+    for (const auto& o : others) t[o.name] = InstrSpec{o.op, o.shape};
+    return t;
+  }();
+  return table;
+}
+
+// How many machine instructions a (pseudo-)instruction expands to.
+int ExpansionSize(const std::string& mnemonic, const std::vector<Operand>& ops) {
+  if (mnemonic == "li") {
+    // li expands to lui+ori unless the value fits addi's imm16.
+    if (ops.size() == 2 && ops[1].kind == Operand::kImm && isa::FitsImm16(ops[1].imm)) {
+      return 1;
+    }
+    return 2;
+  }
+  if (mnemonic == "la") return 2;
+  if (mnemonic == "not") return 2;
+  return 1;
+}
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, std::string_view filename, const Options& options)
+      : source_(source), file_(filename), options_(options) {}
+
+  Result<image::Image> Run() {
+    auto lines = ParseAll();
+    if (!lines.ok()) return lines.error();
+    if (auto st = PassOne(*lines); !st.ok()) return st.error();
+    if (auto st = PassTwo(*lines); !st.ok()) return st.error();
+    return Finish();
+  }
+
+ private:
+  Result<std::vector<Line>> ParseAll() {
+    std::vector<Line> lines;
+    int number = 1;
+    size_t start = 0;
+    while (start <= source_.size()) {
+      size_t end = source_.find('\n', start);
+      if (end == std::string_view::npos) end = source_.size();
+      LineParser parser(source_.substr(start, end - start), file_, number);
+      auto line = parser.Parse();
+      if (!line.ok()) return line.error();
+      if (!line->label.empty() || !line->mnemonic.empty()) {
+        lines.push_back(std::move(*line));
+      }
+      ++number;
+      if (end == source_.size()) break;
+      start = end + 1;
+    }
+    return lines;
+  }
+
+  Error Err(const Line& line, const std::string& message) {
+    return Error{message, file_, line.number, 0};
+  }
+
+  // --- Pass 1: compute addresses for all labels. ---
+  util::Status PassOne(const std::vector<Line>& lines) {
+    Section section = Section::kText;
+    uint32_t text_pc = options_.text_base;
+    uint32_t data_pc = options_.data_base;
+    uint32_t bss_pc = 0;  // offset; rebased after data size is known
+    for (const Line& line : lines) {
+      uint32_t* pc = section == Section::kText ? &text_pc
+                     : section == Section::kData ? &data_pc
+                                                 : &bss_pc;
+      if (!line.label.empty()) {
+        if (labels_.count(line.label) != 0) {
+          return Err(line, "duplicate label '" + line.label + "'");
+        }
+        labels_[line.label] = LabelInfo{*pc, section};
+      }
+      const std::string& m = line.mnemonic;
+      if (m.empty()) continue;
+      if (m == ".text") { section = Section::kText; continue; }
+      if (m == ".data") { section = Section::kData; continue; }
+      if (m == ".bss") { section = Section::kBss; continue; }
+      if (m == ".entry") {
+        if (line.operands.size() != 1 || line.operands[0].kind != Operand::kSym) {
+          return Err(line, ".entry takes a symbol");
+        }
+        entry_symbol_ = line.operands[0].sym;
+        continue;
+      }
+      if (m == ".func") {
+        if (line.operands.size() != 1 || line.operands[0].kind != Operand::kSym) {
+          return Err(line, ".func takes a name");
+        }
+        if (section != Section::kText) return Err(line, ".func outside .text");
+        if (!open_func_.empty()) return Err(line, "nested .func");
+        open_func_ = line.operands[0].sym;
+        func_start_ = text_pc;
+        if (labels_.count(open_func_) != 0) {
+          return Err(line, "duplicate symbol '" + open_func_ + "'");
+        }
+        labels_[open_func_] = LabelInfo{text_pc, Section::kText};
+        continue;
+      }
+      if (m == ".endfunc") {
+        if (open_func_.empty()) return Err(line, ".endfunc without .func");
+        functions_.push_back(image::Symbol{open_func_, func_start_,
+                                           text_pc - func_start_,
+                                           image::SymbolKind::kFunction});
+        open_func_.clear();
+        continue;
+      }
+      if (m == ".align") {
+        if (line.operands.size() != 1 || line.operands[0].kind != Operand::kImm) {
+          return Err(line, ".align takes a constant");
+        }
+        const uint32_t a = static_cast<uint32_t>(line.operands[0].imm);
+        if (a == 0 || (a & (a - 1)) != 0) return Err(line, ".align must be power of 2");
+        *pc = (*pc + a - 1) & ~(a - 1);
+        continue;
+      }
+      if (m == ".space") {
+        if (line.operands.size() != 1 || line.operands[0].kind != Operand::kImm) {
+          return Err(line, ".space takes a constant");
+        }
+        *pc += static_cast<uint32_t>(line.operands[0].imm);
+        continue;
+      }
+      if (m == ".word") { *pc += 4 * static_cast<uint32_t>(line.operands.size()); continue; }
+      if (m == ".half") { *pc += 2 * static_cast<uint32_t>(line.operands.size()); continue; }
+      if (m == ".byte") { *pc += static_cast<uint32_t>(line.operands.size()); continue; }
+      if (m == ".asciiz") { *pc += static_cast<uint32_t>(line.string_arg.size()) + 1; continue; }
+      if (m == ".ascii") { *pc += static_cast<uint32_t>(line.string_arg.size()); continue; }
+      if (m.front() == '.') return Err(line, "unknown directive '" + m + "'");
+      // Instruction (or pseudo).
+      if (section != Section::kText) return Err(line, "instruction outside .text");
+      *pc += 4u * static_cast<uint32_t>(ExpansionSize(m, line.operands));
+    }
+    if (!open_func_.empty()) {
+      return Error{"unterminated .func '" + open_func_ + "'", std::string(file_), 0, 0};
+    }
+    text_size_ = text_pc - options_.text_base;
+    data_size_ = data_pc - options_.data_base;
+    bss_size_ = bss_pc;
+    // Rebase bss labels after data.
+    bss_base_ = options_.data_base + ((data_size_ + 3) & ~3u);
+    for (auto& [name, info] : labels_) {
+      if (info.section == Section::kBss) info.addr += bss_base_;
+    }
+    return util::Status::Ok();
+  }
+
+  Result<uint32_t> ResolveSym(const Line& line, const std::string& sym) {
+    const auto it = labels_.find(sym);
+    if (it == labels_.end()) return Err(line, "undefined symbol '" + sym + "'");
+    return it->second.addr;
+  }
+
+  // Resolves an operand to a 32-bit value (immediates, symbols, %hi/%lo).
+  Result<int64_t> ResolveValue(const Line& line, const Operand& op) {
+    switch (op.kind) {
+      case Operand::kImm: return op.imm;
+      case Operand::kSym: {
+        auto addr = ResolveSym(line, op.sym);
+        if (!addr.ok()) return addr.error();
+        return static_cast<int64_t>(*addr);
+      }
+      case Operand::kHi: {
+        auto addr = ResolveSym(line, op.sym);
+        if (!addr.ok()) return addr.error();
+        return static_cast<int64_t>(*addr >> 16);
+      }
+      case Operand::kLo: {
+        auto addr = ResolveSym(line, op.sym);
+        if (!addr.ok()) return addr.error();
+        return static_cast<int64_t>(*addr & 0xffff);
+      }
+      default: return Err(line, "expected immediate or symbol");
+    }
+  }
+
+  void EmitWord(Section section, uint32_t value) {
+    auto& bytes = section == Section::kText ? text_ : data_;
+    bytes.push_back(static_cast<uint8_t>(value));
+    bytes.push_back(static_cast<uint8_t>(value >> 8));
+    bytes.push_back(static_cast<uint8_t>(value >> 16));
+    bytes.push_back(static_cast<uint8_t>(value >> 24));
+  }
+
+  // --- Pass 2: encode. ---
+  util::Status PassTwo(const std::vector<Line>& lines) {
+    Section section = Section::kText;
+    for (const Line& line : lines) {
+      const std::string& m = line.mnemonic;
+      if (m.empty()) continue;
+      if (m == ".text") { section = Section::kText; continue; }
+      if (m == ".data") { section = Section::kData; continue; }
+      if (m == ".bss") { section = Section::kBss; continue; }
+      if (m == ".entry" || m == ".func" || m == ".endfunc") continue;
+      if (m == ".align") {
+        const uint32_t a = static_cast<uint32_t>(line.operands[0].imm);
+        auto& bytes = section == Section::kText ? text_ : data_;
+        if (section != Section::kBss) {
+          const uint32_t base = section == Section::kText ? options_.text_base
+                                                          : options_.data_base;
+          while ((base + bytes.size()) % a != 0) bytes.push_back(0);
+        }
+        continue;
+      }
+      if (m == ".space") {
+        const uint32_t n = static_cast<uint32_t>(line.operands[0].imm);
+        if (section != Section::kBss) {
+          auto& bytes = section == Section::kText ? text_ : data_;
+          bytes.insert(bytes.end(), n, 0);
+        }
+        continue;
+      }
+      if (m == ".word" || m == ".half" || m == ".byte") {
+        if (section == Section::kBss) return Err(line, "initialized data in .bss");
+        auto& bytes = section == Section::kText ? text_ : data_;
+        for (const Operand& op : line.operands) {
+          auto v = ResolveValue(line, op);
+          if (!v.ok()) return v.error();
+          const uint32_t value = static_cast<uint32_t>(*v);
+          if (m == ".word") {
+            EmitWord(section, value);
+          } else if (m == ".half") {
+            bytes.push_back(static_cast<uint8_t>(value));
+            bytes.push_back(static_cast<uint8_t>(value >> 8));
+          } else {
+            bytes.push_back(static_cast<uint8_t>(value));
+          }
+        }
+        continue;
+      }
+      if (m == ".asciiz" || m == ".ascii") {
+        if (section == Section::kBss) return Err(line, "string in .bss");
+        auto& bytes = section == Section::kText ? text_ : data_;
+        bytes.insert(bytes.end(), line.string_arg.begin(), line.string_arg.end());
+        if (m == ".asciiz") bytes.push_back(0);
+        continue;
+      }
+      if (m.front() == '.') continue;  // validated in pass 1
+      if (auto st = EmitInstruction(line); !st.ok()) return st;
+    }
+    return util::Status::Ok();
+  }
+
+  uint32_t CurrentTextPc() const {
+    return options_.text_base + static_cast<uint32_t>(text_.size());
+  }
+
+  util::Status EmitInstruction(const Line& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    const auto need = [&](size_t n) -> util::Status {
+      if (ops.size() != n) {
+        return Err(line, m + " expects " + std::to_string(n) + " operands");
+      }
+      return util::Status::Ok();
+    };
+    const auto reg_at = [&](size_t i) -> Result<uint8_t> {
+      if (ops[i].kind != Operand::kReg) return Err(line, "operand must be a register");
+      return ops[i].reg;
+    };
+
+    // --- Pseudo-instructions ---
+    if (m == "nop") {
+      if (auto st = need(0); !st.ok()) return st;
+      EmitWord(Section::kText, isa::EncNop());
+      return util::Status::Ok();
+    }
+    if (m == "ret") {
+      if (auto st = need(0); !st.ok()) return st;
+      EmitWord(Section::kText, isa::EncRet());
+      return util::Status::Ok();
+    }
+    if (m == "mv") {
+      if (auto st = need(2); !st.ok()) return st;
+      auto rd = reg_at(0), rs = reg_at(1);
+      if (!rd.ok()) return rd.error();
+      if (!rs.ok()) return rs.error();
+      EmitWord(Section::kText, isa::EncI(Opcode::kAddi, *rd, *rs, 0));
+      return util::Status::Ok();
+    }
+    if (m == "not") {
+      if (auto st = need(2); !st.ok()) return st;
+      auto rd = reg_at(0), rs = reg_at(1);
+      if (!rd.ok()) return rd.error();
+      if (!rs.ok()) return rs.error();
+      // ~x == -x - 1 (XORI zero-extends its immediate).
+      EmitWord(Section::kText, isa::EncAlu(isa::AluOp::kSub, *rd, isa::kZero, *rs));
+      EmitWord(Section::kText, isa::EncI(Opcode::kAddi, *rd, *rd, -1));
+      return util::Status::Ok();
+    }
+    if (m == "neg") {
+      if (auto st = need(2); !st.ok()) return st;
+      auto rd = reg_at(0), rs = reg_at(1);
+      if (!rd.ok()) return rd.error();
+      if (!rs.ok()) return rs.error();
+      EmitWord(Section::kText, isa::EncAlu(isa::AluOp::kSub, *rd, isa::kZero, *rs));
+      return util::Status::Ok();
+    }
+    if (m == "li") {
+      if (auto st = need(2); !st.ok()) return st;
+      auto rd = reg_at(0);
+      if (!rd.ok()) return rd.error();
+      auto v = ResolveValue(line, ops[1]);
+      if (!v.ok()) return v.error();
+      const uint32_t value = static_cast<uint32_t>(*v);
+      if (ops[1].kind == Operand::kImm && isa::FitsImm16(ops[1].imm)) {
+        EmitWord(Section::kText,
+                 isa::EncI(Opcode::kAddi, *rd, isa::kZero, static_cast<int32_t>(value)));
+      } else {
+        EmitWord(Section::kText,
+                 isa::EncI(Opcode::kLui, *rd, 0, static_cast<int32_t>(value >> 16)));
+        EmitWord(Section::kText,
+                 isa::EncI(Opcode::kOri, *rd, *rd, static_cast<int32_t>(value & 0xffff)));
+      }
+      return util::Status::Ok();
+    }
+    if (m == "la") {
+      if (auto st = need(2); !st.ok()) return st;
+      auto rd = reg_at(0);
+      if (!rd.ok()) return rd.error();
+      if (ops[1].kind != Operand::kSym) return Err(line, "la expects a symbol");
+      auto v = ResolveSym(line, ops[1].sym);
+      if (!v.ok()) return v.error();
+      EmitWord(Section::kText, isa::EncI(Opcode::kLui, *rd, 0, static_cast<int32_t>(*v >> 16)));
+      EmitWord(Section::kText,
+               isa::EncI(Opcode::kOri, *rd, *rd, static_cast<int32_t>(*v & 0xffff)));
+      return util::Status::Ok();
+    }
+    if (m == "b" || m == "call") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (ops[0].kind != Operand::kSym) return Err(line, m + " expects a label");
+      auto target = ResolveSym(line, ops[0].sym);
+      if (!target.ok()) return target.error();
+      const int32_t offset = isa::OffsetFor(CurrentTextPc(), *target);
+      if (!isa::FitsImm26(offset)) return Err(line, "jump target out of range");
+      EmitWord(Section::kText,
+               isa::EncJ(m == "b" ? Opcode::kJ : Opcode::kJal, offset));
+      return util::Status::Ok();
+    }
+
+    // --- Real instructions ---
+    const auto it = InstrTable().find(m);
+    if (it == InstrTable().end()) return Err(line, "unknown instruction '" + m + "'");
+    const InstrSpec& spec = it->second;
+    switch (spec.shape) {
+      case InstrSpec::kRdRs1Rs2: {
+        if (auto st = need(3); !st.ok()) return st;
+        auto rd = reg_at(0), rs1 = reg_at(1), rs2 = reg_at(2);
+        if (!rd.ok()) return rd.error();
+        if (!rs1.ok()) return rs1.error();
+        if (!rs2.ok()) return rs2.error();
+        EmitWord(Section::kText, isa::EncAlu(spec.funct, *rd, *rs1, *rs2));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kRdRs1Imm: {
+        if (auto st = need(3); !st.ok()) return st;
+        auto rd = reg_at(0), rs1 = reg_at(1);
+        if (!rd.ok()) return rd.error();
+        if (!rs1.ok()) return rs1.error();
+        auto v = ResolveValue(line, ops[2]);
+        if (!v.ok()) return v.error();
+        if (!isa::FitsImm16(*v)) return Err(line, "immediate out of range");
+        EmitWord(Section::kText,
+                 isa::EncI(spec.op, *rd, *rs1, static_cast<int32_t>(*v)));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kRdImm: {
+        if (auto st = need(2); !st.ok()) return st;
+        auto rd = reg_at(0);
+        if (!rd.ok()) return rd.error();
+        auto v = ResolveValue(line, ops[1]);
+        if (!v.ok()) return v.error();
+        if (*v < 0 || *v > 0xffff) return Err(line, "lui immediate out of range");
+        EmitWord(Section::kText,
+                 isa::EncI(spec.op, *rd, 0, static_cast<int32_t>(*v)));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kMemOp: {
+        if (auto st = need(2); !st.ok()) return st;
+        auto rd = reg_at(0);
+        if (!rd.ok()) return rd.error();
+        if (ops[1].kind == Operand::kMem) {
+          if (!isa::FitsImm16(ops[1].imm)) return Err(line, "offset out of range");
+          EmitWord(Section::kText, isa::EncI(spec.op, *rd, ops[1].reg,
+                                             static_cast<int32_t>(ops[1].imm)));
+          return util::Status::Ok();
+        }
+        return Err(line, "expected offset(reg) operand");
+      }
+      case InstrSpec::kBranch: {
+        if (auto st = need(3); !st.ok()) return st;
+        auto rs1 = reg_at(0), rs2 = reg_at(1);
+        if (!rs1.ok()) return rs1.error();
+        if (!rs2.ok()) return rs2.error();
+        if (ops[2].kind != Operand::kSym) return Err(line, "branch target must be a label");
+        auto target = ResolveSym(line, ops[2].sym);
+        if (!target.ok()) return target.error();
+        const int32_t offset = isa::OffsetFor(CurrentTextPc(), *target);
+        if (!isa::FitsImm16(offset)) return Err(line, "branch target out of range");
+        EmitWord(Section::kText, isa::EncBranch(spec.op, *rs1, *rs2, offset));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kJump: {
+        if (auto st = need(1); !st.ok()) return st;
+        if (ops[0].kind != Operand::kSym) return Err(line, "jump target must be a label");
+        auto target = ResolveSym(line, ops[0].sym);
+        if (!target.ok()) return target.error();
+        const int32_t offset = isa::OffsetFor(CurrentTextPc(), *target);
+        if (!isa::FitsImm26(offset)) return Err(line, "jump target out of range");
+        EmitWord(Section::kText, isa::EncJ(spec.op, offset));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kSysShape: {
+        if (auto st = need(1); !st.ok()) return st;
+        auto v = ResolveValue(line, ops[0]);
+        if (!v.ok()) return v.error();
+        if (!isa::FitsImm16(*v)) return Err(line, "syscall number out of range");
+        EmitWord(Section::kText,
+                 isa::EncI(Opcode::kSys, 0, 0, static_cast<int32_t>(*v)));
+        return util::Status::Ok();
+      }
+      case InstrSpec::kNone: {
+        if (auto st = need(0); !st.ok()) return st;
+        EmitWord(Section::kText, isa::EncHalt());
+        return util::Status::Ok();
+      }
+    }
+    SC_UNREACHABLE();
+    return util::Status::Ok();  // not reached
+  }
+
+  Result<image::Image> Finish() {
+    image::Image img;
+    img.text_base = options_.text_base;
+    img.text = std::move(text_);
+    img.data_base = options_.data_base;
+    img.data = std::move(data_);
+    img.bss_base = bss_base_;
+    img.bss_size = bss_size_;
+    img.symbols = std::move(functions_);
+    // Export remaining labels as object symbols so tests can find data.
+    for (const auto& [name, info] : labels_) {
+      if (info.section != Section::kText && img.FindSymbol(name) == nullptr) {
+        img.symbols.push_back(
+            image::Symbol{name, info.addr, 0, image::SymbolKind::kObject});
+      }
+    }
+    const std::string entry = entry_symbol_.empty() ? "_start" : entry_symbol_;
+    const auto it = labels_.find(entry);
+    if (it == labels_.end()) {
+      return Error{"entry symbol '" + entry + "' not defined", std::string(file_), 0, 0};
+    }
+    img.entry = it->second.addr;
+    return img;
+  }
+
+  struct LabelInfo {
+    uint32_t addr;
+    Section section;
+  };
+
+  std::string_view source_;
+  std::string file_;
+  Options options_;
+  std::map<std::string, LabelInfo, std::less<>> labels_;
+  std::vector<image::Symbol> functions_;
+  std::string entry_symbol_;
+  std::string open_func_;
+  uint32_t func_start_ = 0;
+  uint32_t text_size_ = 0;
+  uint32_t data_size_ = 0;
+  uint32_t bss_size_ = 0;
+  uint32_t bss_base_ = 0;
+  std::vector<uint8_t> text_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace
+
+Result<image::Image> Assemble(std::string_view source, std::string_view filename,
+                              const Options& options) {
+  return Assembler(source, filename, options).Run();
+}
+
+}  // namespace sc::sasm

@@ -1,0 +1,41 @@
+// Two-pass assembler for SRK32 text assembly.
+//
+// Syntax summary (full reference in README):
+//   sections    .text  .data  .bss
+//   data        .word v|label, ...   .half ...   .byte ...   .asciiz "s"
+//               .space n   .align n
+//   symbols     label:            local label
+//               .func name / .endfunc   function symbol spanning the range
+//               .entry name       program entry point (default: _start)
+//   instrs      addi rd, rs1, imm      lw rd, off(rs1)      beq r1, r2, label
+//               jal label              jalr rd, rs, imm     sys n      halt
+//   pseudo      li rd, imm32   la rd, label   mv rd, rs   not/neg rd, rs
+//               b label   call label   ret   nop
+//   operands    registers by ABI name (a0, t3, sp, ...) or rN; immediates in
+//               decimal, 0x hex, or 'c' character form; %hi(sym), %lo(sym).
+//
+// Used by tests, examples and handwritten runtime stubs; the MiniC compiler
+// emits machine code directly and does not go through this assembler.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "image/image.h"
+#include "image/layout.h"
+#include "util/result.h"
+
+namespace sc::sasm {
+
+struct Options {
+  uint32_t text_base = image::kTextBase;
+  uint32_t data_base = image::kDataBase;
+};
+
+// Assembles `source` into a loadable image. The first error aborts assembly
+// and is returned with file/line info.
+util::Result<image::Image> Assemble(std::string_view source,
+                                    std::string_view filename = "<asm>",
+                                    const Options& options = Options{});
+
+}  // namespace sc::sasm

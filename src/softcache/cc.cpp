@@ -1,0 +1,982 @@
+#include "softcache/cc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "image/layout.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace sc::softcache {
+
+using isa::Instr;
+using isa::Opcode;
+
+CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
+                                 net::Channel& channel, const SoftCacheConfig& config)
+    : machine_(machine), mc_(mc), channel_(channel), config_(config) {
+  SC_CHECK_EQ(config_.tcache_bytes % 4, 0u);
+  SC_CHECK_GE(config_.tcache_bytes, 64u);
+  // Conditional-branch patches must reach anywhere in the tcache (imm16
+  // word offsets span +-128 KB).
+  SC_CHECK_LE(config_.tcache_bytes, 128u * 1024) << "tcache exceeds branch reach";
+  SC_CHECK_EQ(config_.forward_cell_bytes % 4, 0u);
+  local_base_ = image::kLocalBase;
+  cells_base_ = local_base_ + config_.tcache_bytes;
+  cells_bytes_ = config_.forward_cell_bytes;
+  SC_CHECK_LE(cells_base_ + cells_bytes_, image::kLocalLimit);
+}
+
+void CacheController::Fail(const std::string& what) {
+  machine_.RaiseFault("softcache: " + what);
+}
+
+void CacheController::Attach() {
+  machine_.set_trap_handler(this);
+  if (config_.restrict_exec) {
+    machine_.SetExecRange(local_base_, local_limit());
+  }
+  const Resolution entry = ResolveEntry(machine_.pc());
+  if (entry.block == nullptr) return;  // fault already raised
+  machine_.set_pc(entry.tc_addr);
+}
+
+// ---------------------------------------------------------------------------
+// Fetching and translation
+// ---------------------------------------------------------------------------
+
+util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
+  Request request;
+  request.type = MsgType::kChunkRequest;
+  request.seq = seq_++;
+  request.addr = orig_pc;
+  const std::vector<uint8_t> request_bytes = request.Serialize();
+  Charge(channel_.SendToServer(request_bytes.size()));
+
+  const std::vector<uint8_t> reply_bytes = mc_.Handle(request_bytes);
+  Charge(config_.cost.mc_service_cycles);
+  Charge(channel_.SendToClient(reply_bytes.size()));
+
+  auto reply = Reply::Parse(reply_bytes);
+  if (!reply.ok()) return reply.error();
+  if (reply->type == MsgType::kError) {
+    return util::Error{"MC error: " + std::string(reply->payload.begin(),
+                                                  reply->payload.end())};
+  }
+  if (reply->type != MsgType::kChunkReply || reply->payload.size() % 4 != 0) {
+    return util::Error{"malformed chunk reply"};
+  }
+  Chunk chunk;
+  chunk.orig_addr = reply->addr;
+  chunk.exit = UnpackExit(reply->aux);
+  chunk.jump_folded = UnpackJumpFolded(reply->aux);
+  chunk.entry_word = UnpackEntryWord(reply->aux);
+  chunk.taken_target = reply->extra;
+  chunk.words.resize(reply->payload.size() / 4);
+  std::memcpy(chunk.words.data(), reply->payload.data(), reply->payload.size());
+  // Reconstruct the fallthrough/continuation target (the word after the
+  // terminator in the original program).
+  if (chunk.exit == ExitKind::kBranch || chunk.exit == ExitKind::kCall ||
+      chunk.exit == ExitKind::kComputed) {
+    chunk.fall_target = chunk.orig_addr + chunk.size_bytes();
+  }
+  return chunk;
+}
+
+CacheController::Block* CacheController::Translate(uint32_t orig_pc) {
+  auto chunk = FetchChunk(orig_pc);
+  if (!chunk.ok()) {
+    Fail(chunk.error().message);
+    return nullptr;
+  }
+  Block* block = config_.style == Style::kSparc ? InstallSparc(*chunk)
+                                                : InstallArm(*chunk);
+  if (block != nullptr) {
+    ++stats_.blocks_translated;
+    stats_.words_installed += block->tc_bytes / 4;
+    Charge(static_cast<uint64_t>(config_.cost.install_cycles_per_word) *
+           (block->tc_bytes / 4));
+  }
+  return block;
+}
+
+CacheController::Block* CacheController::InstallSparc(const Chunk& chunk) {
+  const uint32_t body_words = static_cast<uint32_t>(chunk.words.size());
+  uint32_t slots = 0;
+  switch (chunk.exit) {
+    case ExitKind::kNone: slots = 0; break;
+    case ExitKind::kFallthrough: slots = 1; break;
+    case ExitKind::kComputed: slots = 1; break;
+    case ExitKind::kBranch: slots = 2; break;
+    case ExitKind::kCall: slots = 2; break;
+  }
+  // Trace chunking: every conditional branch that is not the terminator is
+  // a mid-chunk side exit needing its own miss slot.
+  const auto is_mid_branch = [&chunk, body_words](uint32_t i) {
+    if (!isa::IsConditionalBranch(isa::Decode(chunk.words[i]).op)) return false;
+    return !(i == body_words - 1 && chunk.exit == ExitKind::kBranch);
+  };
+  uint32_t mid_count = 0;
+  for (uint32_t i = 0; i < body_words; ++i) {
+    if (is_mid_branch(i)) ++mid_count;
+  }
+  const uint32_t total_bytes = (body_words + slots + mid_count) * 4;
+  const uint32_t tc = Allocate(total_bytes);
+  if (tc == 0) return nullptr;
+
+  Block block;
+  block.id = next_block_id_++;
+  block.orig_addr = chunk.orig_addr;
+  block.orig_span = chunk.orig_span_bytes();
+  block.tc_addr = tc;
+  block.tc_bytes = total_bytes;
+  block.body_words = body_words;
+  block.exit = chunk.exit;
+  block.taken_orig = chunk.taken_target;
+  block.fall_orig = chunk.fall_target;
+  block.slot_words = slots + mid_count;
+  if (slots >= 1) block.slot_a = tc + body_words * 4;
+  if (slots >= 2) block.slot_b = tc + (body_words + 1) * 4;
+  uint32_t next_mid_slot = tc + (body_words + slots) * 4;
+
+  // Install body words; the terminator (last word) is rewritten to point at
+  // the exit slots, and mid-chunk side-exit branches at their miss slots.
+  for (uint32_t i = 0; i < body_words; ++i) {
+    uint32_t word = chunk.words[i];
+    const uint32_t addr = tc + i * 4;
+    if (is_mid_branch(i)) {
+      const uint32_t orig_pc = chunk.orig_addr + i * 4;
+      Instr in = isa::Decode(word);
+      const uint32_t taken_orig = isa::BranchTarget(orig_pc, in.imm);
+      const uint32_t slot = next_mid_slot;
+      next_mid_slot += 4;
+      in.imm = isa::OffsetFor(addr, slot);
+      machine_.WriteWord(addr, isa::Encode(in));
+      const uint32_t stub = NewStub(StubInfo{true, taken_orig, addr,
+                                             PatchKind::kBranch16, slot, block.id});
+      WriteStubWord(slot, stub);
+      block.own_stubs.emplace_back(stub, stubs_[stub].generation);
+      block.mid_slots.emplace_back(slot, taken_orig);
+      continue;
+    }
+    if (i == body_words - 1) {
+      switch (chunk.exit) {
+        case ExitKind::kBranch: {
+          Instr in = isa::Decode(word);
+          in.imm = isa::OffsetFor(addr, block.slot_b);
+          word = isa::Encode(in);
+          break;
+        }
+        case ExitKind::kCall: {
+          Instr in = isa::Decode(word);
+          SC_CHECK(in.op == Opcode::kJal);
+          in.imm = isa::OffsetFor(addr, block.slot_b);
+          word = isa::Encode(in);
+          break;
+        }
+        case ExitKind::kComputed: {
+          Instr in = isa::Decode(word);
+          SC_CHECK(in.op == Opcode::kJalr);
+          in.op = Opcode::kTcJalr;
+          word = isa::Encode(in);
+          break;
+        }
+        default:
+          break;  // kNone keeps the return/halt; kFallthrough has no terminator
+      }
+    }
+    machine_.WriteWord(addr, word);
+  }
+
+  // Exit slot A: fallthrough / continuation / folded-jump target.
+  if (block.slot_a != 0) {
+    const uint32_t target = chunk.exit == ExitKind::kFallthrough
+                                ? chunk.taken_target
+                                : chunk.fall_target;
+    const uint32_t stub = NewStub(StubInfo{true, target, block.slot_a,
+                                           PatchKind::kSlot, block.slot_a, block.id});
+    WriteStubWord(block.slot_a, stub);
+    block.own_stubs.emplace_back(stub, stubs_[stub].generation);
+  }
+  // Exit slot B: taken target / callee.
+  if (block.slot_b != 0) {
+    const uint32_t term_addr = tc + (body_words - 1) * 4;
+    const PatchKind kind = chunk.exit == ExitKind::kCall ? PatchKind::kJump26
+                                                         : PatchKind::kBranch16;
+    const uint32_t stub = NewStub(StubInfo{true, chunk.taken_target, term_addr,
+                                           kind, block.slot_b, block.id});
+    WriteStubWord(block.slot_b, stub);
+    block.own_stubs.emplace_back(stub, stubs_[stub].generation);
+  }
+
+  const uint32_t tc_addr = block.tc_addr;
+  const uint64_t id = block.id;
+  stats_.extra_words_live += slots + mid_count;
+  by_orig_[block.orig_addr] = id;
+  block_tc_[id] = tc_addr;
+  auto [it, inserted] = blocks_.emplace(tc_addr, std::move(block));
+  SC_CHECK(inserted);
+  return &it->second;
+}
+
+CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
+  const uint32_t orig_words = static_cast<uint32_t>(chunk.words.size());
+  // Pass 1: classify and size. Every JAL call site expands to 3 words
+  // (lui ra / ori ra / j) plus one appended exit slot.
+  std::vector<uint32_t> index_map(orig_words, 0);
+  uint32_t tc_words = 0;
+  uint32_t call_sites = 0;
+  for (uint32_t i = 0; i < orig_words; ++i) {
+    index_map[i] = tc_words;
+    const uint32_t orig_pc = chunk.orig_addr + i * 4;
+    const Instr in = isa::Decode(chunk.words[i]);
+    switch (in.op) {
+      case Opcode::kJal:
+        tc_words += 3;
+        ++call_sites;
+        break;
+      case Opcode::kJalr:
+        if (!isa::IsReturn(chunk.words[i])) {
+          Fail("ARM-style prototype does not support indirect jumps");
+          return nullptr;
+        }
+        tc_words += 1;
+        break;
+      case Opcode::kIllegal:
+      case Opcode::kTcMiss:
+      case Opcode::kTcJalr:
+        Fail("illegal instruction in procedure chunk");
+        return nullptr;
+      default:
+        if (isa::IsConditionalBranch(in.op) || in.op == Opcode::kJ) {
+          const uint32_t target = isa::BranchTarget(orig_pc, in.imm);
+          if (target < chunk.orig_addr ||
+              target >= chunk.orig_addr + orig_words * 4) {
+            Fail("procedure chunk contains a branch that escapes the procedure");
+            return nullptr;
+          }
+        }
+        tc_words += 1;
+        break;
+    }
+  }
+  const uint32_t body_tc_words = tc_words;
+  const uint32_t total_bytes = (body_tc_words + call_sites) * 4;
+  const uint32_t tc = Allocate(total_bytes);
+  if (tc == 0) return nullptr;
+
+  Block block;
+  block.id = next_block_id_++;
+  block.orig_addr = chunk.orig_addr;
+  block.orig_span = orig_words * 4;
+  block.tc_addr = tc;
+  block.tc_bytes = total_bytes;
+  block.body_words = body_tc_words;
+  block.slot_words = call_sites;
+  block.exit = ExitKind::kNone;
+  block.index_map = std::move(index_map);
+
+  // Register the block before emission so ForwardCell can link cells to it.
+  const uint64_t id = block.id;
+  by_orig_[block.orig_addr] = id;
+  block_tc_[id] = tc;
+  auto [map_it, inserted] = blocks_.emplace(tc, std::move(block));
+  SC_CHECK(inserted);
+  Block& blk = map_it->second;
+
+  // Pass 2: emit.
+  uint32_t next_slot = tc + body_tc_words * 4;
+  for (uint32_t i = 0; i < orig_words; ++i) {
+    const uint32_t orig_pc = chunk.orig_addr + i * 4;
+    const uint32_t tc_pc = tc + blk.index_map[i] * 4;
+    const uint32_t word = chunk.words[i];
+    const Instr in = isa::Decode(word);
+
+    if (isa::IsConditionalBranch(in.op) || in.op == Opcode::kJ) {
+      // Internal control transfer (validated in pass 1): remap the offset
+      // through the index map.
+      const uint32_t target_orig = isa::BranchTarget(orig_pc, in.imm);
+      const uint32_t target_tc = tc + blk.index_map[(target_orig - chunk.orig_addr) / 4] * 4;
+      Instr patched = in;
+      patched.imm = isa::OffsetFor(tc_pc, target_tc);
+      machine_.WriteWord(tc_pc, isa::Encode(patched));
+      continue;
+    }
+    if (in.op == Opcode::kJal) {
+      // Call expansion: route the return address through a permanent cell.
+      const uint32_t callee_orig = isa::BranchTarget(orig_pc, in.imm);
+      const uint32_t cont_orig = orig_pc + 4;
+      const uint32_t cont_tc = tc + blk.index_map[(cont_orig - chunk.orig_addr) / 4] * 4;
+      const uint32_t cell = ForwardCell(cont_orig, cont_tc, &blk);
+      if (cell == 0) return nullptr;
+      machine_.WriteWord(tc_pc, isa::EncI(Opcode::kLui, isa::kRa, 0,
+                                          static_cast<int32_t>(cell >> 16)));
+      machine_.WriteWord(tc_pc + 4, isa::EncI(Opcode::kOri, isa::kRa, isa::kRa,
+                                              static_cast<int32_t>(cell & 0xffff)));
+      const uint32_t jump_addr = tc_pc + 8;
+      const uint32_t slot = next_slot;
+      next_slot += 4;
+      if (callee_orig == chunk.orig_addr) {
+        // Self-recursion: the callee is this very procedure — link directly.
+        machine_.WriteWord(jump_addr, isa::EncJ(Opcode::kJ, isa::OffsetFor(jump_addr, tc)));
+        blk.in_edges.push_back(InEdge{blk.id, jump_addr, PatchKind::kJump26,
+                                      slot, callee_orig});
+        blk.out_edges.emplace_back(blk.id, jump_addr);
+        // The slot stays dead until the self-edge is unlinked (never — the
+        // block dies with it), but keep the layout uniform.
+        machine_.WriteWord(slot, isa::EncNop());
+      } else {
+        const uint32_t stub = NewStub(StubInfo{true, callee_orig, jump_addr,
+                                               PatchKind::kJump26, slot, blk.id});
+        WriteStubWord(slot, stub);
+        machine_.WriteWord(jump_addr, isa::EncJ(Opcode::kJ, isa::OffsetFor(jump_addr, slot)));
+        blk.own_stubs.emplace_back(stub, stubs_[stub].generation);
+      }
+      continue;
+    }
+    machine_.WriteWord(tc_pc, word);
+  }
+  stats_.extra_words_live += blk.slot_words;
+  // Each call site also adds two ra-setup words beyond the original code.
+  return &blk;
+}
+
+CacheController::Resolution CacheController::ResolveEntry(uint32_t orig_pc) {
+  Resolution res;
+  // Exact hit on a block start.
+  const auto exact = by_orig_.find(orig_pc);
+  if (exact != by_orig_.end()) {
+    Block* block = BlockById(exact->second);
+    SC_CHECK(block != nullptr);
+    res.block = block;
+    res.tc_addr = block->tc_addr;
+    return res;
+  }
+  // ARM style: the address may be interior to a resident procedure.
+  if (config_.style == Style::kArm && !by_orig_.empty()) {
+    auto it = by_orig_.upper_bound(orig_pc);
+    if (it != by_orig_.begin()) {
+      --it;
+      Block* block = BlockById(it->second);
+      SC_CHECK(block != nullptr);
+      if (orig_pc >= block->orig_addr &&
+          orig_pc < block->orig_addr + block->orig_span) {
+        res.block = block;
+        res.tc_addr =
+            block->tc_addr + block->index_map[(orig_pc - block->orig_addr) / 4] * 4;
+        return res;
+      }
+    }
+  }
+  // Miss: fetch and translate.
+  Block* block = Translate(orig_pc);
+  if (block == nullptr) return res;  // fault raised
+  res.block = block;
+  res.translated = true;
+  if (config_.style == Style::kArm) {
+    res.tc_addr =
+        block->tc_addr + block->index_map[(orig_pc - block->orig_addr) / 4] * 4;
+  } else {
+    res.tc_addr = block->tc_addr;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation and eviction
+// ---------------------------------------------------------------------------
+
+uint32_t CacheController::Allocate(uint32_t bytes) {
+  SC_CHECK_EQ(bytes % 4, 0u);
+  if (bytes > config_.tcache_bytes) {
+    std::ostringstream msg;
+    msg << "chunk of " << bytes << " bytes exceeds tcache of "
+        << config_.tcache_bytes << " bytes";
+    Fail(msg.str());
+    return 0;
+  }
+  // Flush-all: when the bump allocator runs out, drop everything unpinned
+  // and restart; the ring logic below then only has pinned blocks to skip.
+  if (config_.evict == EvictPolicy::kFlushAll &&
+      alloc_cursor_ + bytes > config_.tcache_bytes) {
+    FlushAll();
+  }
+  // FIFO ring: wrap the cursor, then evict every block overlapping the
+  // allocation window. Pinned blocks are skipped: the window restarts just
+  // past them.
+  int wraps = 0;
+  for (;;) {
+    if (alloc_cursor_ + bytes > config_.tcache_bytes) {
+      alloc_cursor_ = 0;
+      if (++wraps > 2) {
+        Fail("tcache allocation failed: pinned blocks leave no room");
+        return 0;
+      }
+    }
+    const uint32_t lo = local_base_ + alloc_cursor_;
+    const uint32_t hi = lo + bytes;
+    bool restarted = false;
+    for (;;) {
+      // Find any block overlapping [lo, hi).
+      auto it = blocks_.lower_bound(lo);
+      if (it != blocks_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.tc_addr + prev->second.tc_bytes > lo) it = prev;
+      }
+      if (it == blocks_.end() || it->second.tc_addr >= hi) break;
+      if (it->second.pinned) {
+        // Cannot evict: move the allocation window past the pinned block.
+        alloc_cursor_ = it->second.tc_addr + it->second.tc_bytes - local_base_;
+        restarted = true;
+        break;
+      }
+      EvictBlock(it->second.id);
+    }
+    if (restarted) continue;
+    alloc_cursor_ += bytes;
+    live_bytes_ += bytes;
+    stats_.tcache_bytes_used_peak =
+        std::max(stats_.tcache_bytes_used_peak, live_bytes_);
+    return lo;
+  }
+}
+
+bool CacheController::Pin(uint32_t orig_addr) {
+  const Resolution res = ResolveEntry(orig_addr);
+  if (res.block == nullptr) return false;
+  res.block->pinned = true;
+  return true;
+}
+
+void CacheController::Unpin(uint32_t orig_addr) {
+  const auto it = by_orig_.find(orig_addr);
+  if (it == by_orig_.end()) return;
+  Block* block = BlockById(it->second);
+  SC_CHECK(block != nullptr);
+  block->pinned = false;
+}
+
+uint64_t CacheController::pinned_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [tc, block] : blocks_) {
+    if (block.pinned) total += block.tc_bytes;
+  }
+  return total;
+}
+
+void CacheController::EvictBlock(uint64_t block_id) {
+  const auto tc_it = block_tc_.find(block_id);
+  SC_CHECK(tc_it != block_tc_.end());
+  Block block = std::move(blocks_.at(tc_it->second));
+  blocks_.erase(tc_it->second);
+  block_tc_.erase(tc_it);
+  by_orig_.erase(block.orig_addr);
+
+  // Unlink incoming edges: every branch/jump/cell that points here goes back
+  // to a miss stub.
+  for (const InEdge& edge : block.in_edges) {
+    if (edge.from_block == block.id) continue;  // self-edge dies with us
+    UnlinkEdge(edge);
+  }
+  // Remove our outgoing edges from the targets' incoming lists.
+  for (const auto& [target_id, patch_addr] : block.out_edges) {
+    if (target_id == block.id) continue;
+    Block* target = BlockById(target_id);
+    if (target == nullptr) continue;  // target already evicted
+    auto& edges = target->in_edges;
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&, pa = patch_addr](const InEdge& e) {
+                                 return e.patch_addr == pa;
+                               }),
+                edges.end());
+  }
+  // Free stubs whose TCMISS words lived inside this block.
+  for (const auto& [stub_id, generation] : block.own_stubs) {
+    if (stubs_[stub_id].live && stubs_[stub_id].generation == generation) {
+      FreeStub(stub_id);
+    }
+  }
+  // SPARC style: in-flight return addresses may point into this block.
+  if (config_.style == Style::kSparc) {
+    FixStaleReturnAddresses(block);
+  }
+  live_bytes_ -= block.tc_bytes;
+  stats_.extra_words_live -= block.slot_words;
+  ++stats_.evictions;
+  stats_.eviction_cycles.push_back(machine_.cycles());
+
+#ifdef SOFTCACHE_DEBUG_SCAN
+  {
+    const uint32_t lo = block.tc_addr, hi = block.tc_addr + block.tc_bytes;
+    for (int r = 0; r < 32; ++r) {
+      const uint32_t v = machine_.reg(static_cast<uint8_t>(r));
+      if (v >= lo && v < hi) {
+        fprintf(stderr, "[scan] reg %s holds 0x%x into evicted block %llu\n",
+                isa::RegName(static_cast<uint8_t>(r)), v,
+                (unsigned long long)block.id);
+      }
+    }
+    for (uint32_t a = machine_.reg(isa::kSp) & ~3u; a < image::kStackTop; a += 4) {
+      const uint32_t v = machine_.ReadWord(a);
+      if (v >= lo && v < hi) {
+        fprintf(stderr, "[scan] stack[0x%x] holds 0x%x into evicted block %llu (sp=0x%x fp=0x%x)\n",
+                a, v, (unsigned long long)block.id, machine_.reg(isa::kSp),
+                machine_.reg(isa::kFp));
+      }
+    }
+  }
+#endif
+}
+
+void CacheController::FlushAll() {
+  ++stats_.flushes;
+  std::vector<uint64_t> victims;
+  for (const auto& [tc, block] : blocks_) {
+    if (!block.pinned) victims.push_back(block.id);
+  }
+  for (uint64_t id : victims) EvictBlock(id);
+  alloc_cursor_ = 0;
+  SC_CHECK_EQ(live_bytes_, pinned_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Stubs, cells and patching
+// ---------------------------------------------------------------------------
+
+uint32_t CacheController::NewStub(const StubInfo& info) {
+  uint32_t id;
+  if (!free_stub_ids_.empty()) {
+    id = free_stub_ids_.back();
+    free_stub_ids_.pop_back();
+    stubs_[id] = info;
+  } else {
+    id = static_cast<uint32_t>(stubs_.size());
+    stubs_.push_back(info);
+  }
+  stubs_[id].live = true;
+  stubs_[id].generation = ++stub_generation_;
+  return id;
+}
+
+void CacheController::FreeStub(uint32_t stub_id) {
+  SC_CHECK(stubs_.at(stub_id).live);
+  stubs_[stub_id].live = false;
+  free_stub_ids_.push_back(stub_id);
+}
+
+void CacheController::WriteStubWord(uint32_t addr, uint32_t stub_id) {
+  machine_.WriteWord(addr, isa::EncTcMiss(stub_id));
+}
+
+void CacheController::LinkEdge(const StubInfo& stub, Block& target,
+                               uint32_t target_tc) {
+  switch (stub.kind) {
+    case PatchKind::kBranch16: {
+      Instr in = isa::Decode(machine_.ReadWord(stub.patch_addr));
+      in.imm = isa::OffsetFor(stub.patch_addr, target_tc);
+      SC_CHECK(isa::FitsImm16(in.imm)) << "branch patch out of reach";
+      machine_.WriteWord(stub.patch_addr, isa::Encode(in));
+      break;
+    }
+    case PatchKind::kJump26: {
+      Instr in = isa::Decode(machine_.ReadWord(stub.patch_addr));
+      in.imm = isa::OffsetFor(stub.patch_addr, target_tc);
+      machine_.WriteWord(stub.patch_addr, isa::Encode(in));
+      break;
+    }
+    case PatchKind::kSlot:
+      machine_.WriteWord(stub.patch_addr,
+                         isa::EncJ(Opcode::kJ, isa::OffsetFor(stub.patch_addr, target_tc)));
+      break;
+  }
+  ++stats_.patches_applied;
+  target.in_edges.push_back(InEdge{stub.from_block, stub.patch_addr, stub.kind,
+                                   stub.miss_slot, stub.target_orig});
+  if (stub.from_block != 0) {
+    Block* source = BlockById(stub.from_block);
+    SC_CHECK(source != nullptr);
+    source->out_edges.emplace_back(target.id, stub.patch_addr);
+  }
+}
+
+void CacheController::UnlinkEdge(const InEdge& edge) {
+  const uint32_t stub = NewStub(StubInfo{true, edge.target_orig, edge.patch_addr,
+                                         edge.kind, edge.miss_slot, edge.from_block});
+  WriteStubWord(edge.miss_slot, stub);
+  if (edge.kind != PatchKind::kSlot) {
+    // Re-point the branch/jump at its own miss slot.
+    Instr in = isa::Decode(machine_.ReadWord(edge.patch_addr));
+    in.imm = isa::OffsetFor(edge.patch_addr, edge.miss_slot);
+    machine_.WriteWord(edge.patch_addr, isa::Encode(in));
+  }
+  if (edge.from_block != 0) {
+    Block* source = BlockById(edge.from_block);
+    SC_CHECK(source != nullptr);
+    source->own_stubs.emplace_back(stub, stubs_[stub].generation);
+    auto& outs = source->out_edges;
+    outs.erase(std::remove_if(outs.begin(), outs.end(),
+                              [&](const auto& oe) {
+                                return oe.second == edge.patch_addr;
+                              }),
+               outs.end());
+  }
+  ++stats_.patches_applied;
+}
+
+uint32_t CacheController::ForwardCell(uint32_t cont_orig, uint32_t known_tc,
+                                      Block* owner) {
+  uint32_t cell;
+  const auto it = cell_for_orig_.find(cont_orig);
+  if (it != cell_for_orig_.end()) {
+    cell = it->second;
+    if (known_tc == 0) return cell;  // existing content is still valid
+    // The cell currently holds a TCMISS (its target was evicted); free that
+    // stub before rebinding.
+    const Instr in = isa::Decode(machine_.ReadWord(cell));
+    if (in.op == Opcode::kTcMiss) {
+      FreeStub(static_cast<uint32_t>(in.imm));
+    } else {
+      // It holds a live J edge to an older copy; that copy must have been
+      // evicted before this translation (edge unlink would have restored a
+      // TCMISS). Reaching here means the cell already points somewhere live.
+      SC_UNREACHABLE() << "forward cell rebound while live";
+    }
+  } else {
+    if (cells_used_ + 4 > cells_bytes_) {
+      Fail("forward-cell region exhausted");
+      return 0;
+    }
+    cell = cells_base_ + cells_used_;
+    cells_used_ += 4;
+    cell_for_orig_[cont_orig] = cell;
+    if (config_.style == Style::kArm) {
+      ++stats_.redirector_words;
+    } else {
+      ++stats_.return_stub_words;
+    }
+    if (known_tc == 0) {
+      const uint32_t stub = NewStub(
+          StubInfo{true, cont_orig, cell, PatchKind::kSlot, cell, 0});
+      WriteStubWord(cell, stub);
+      return cell;
+    }
+  }
+  // Bind the cell to a known tcache address.
+  SC_CHECK(owner != nullptr);
+  machine_.WriteWord(cell, isa::EncJ(Opcode::kJ, isa::OffsetFor(cell, known_tc)));
+  owner->in_edges.push_back(
+      InEdge{0, cell, PatchKind::kSlot, cell, cont_orig});
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation
+// ---------------------------------------------------------------------------
+
+uint32_t CacheController::OrigForTcacheAddr(const Block& block,
+                                            uint32_t tc_addr) const {
+  if (tc_addr == block.slot_a) {
+    return block.exit == ExitKind::kFallthrough ? block.taken_orig
+                                                : block.fall_orig;
+  }
+  if (tc_addr == block.slot_b) return block.taken_orig;
+  for (const auto& [slot, taken_orig] : block.mid_slots) {
+    if (tc_addr == slot) return taken_orig;
+  }
+  const uint32_t word = (tc_addr - block.tc_addr) / 4;
+  if (block.index_map.empty()) {
+    SC_CHECK_LT(word, block.body_words);
+    return block.orig_addr + word * 4;  // SPARC: identity layout
+  }
+  for (uint32_t i = 0; i < block.index_map.size(); ++i) {
+    if (block.index_map[i] == word) return block.orig_addr + i * 4;
+  }
+  SC_UNREACHABLE() << "address maps to the middle of a call expansion";
+  return 0;
+}
+
+void CacheController::FixStaleReturnAddresses(const Block& block) {
+  const uint32_t lo = block.tc_addr;
+  const uint32_t hi = block.tc_addr + block.tc_bytes;
+  const auto fix = [&](uint32_t value) -> uint32_t {
+    if (value < lo || value >= hi) return value;
+    const uint32_t cont_orig = OrigForTcacheAddr(block, value);
+    const uint32_t cell = ForwardCell(cont_orig, 0, nullptr);
+    ++stats_.return_addr_fixups;
+    return cell;
+  };
+
+  machine_.set_reg(isa::kRa, fix(machine_.reg(isa::kRa)));
+
+  // Walk the frame-pointer chain. The programming model guarantees: fp = 0
+  // terminates; saved ra at fp-4; saved caller fp at fp-8; frames strictly
+  // increase toward the stack top. Every memory access goes through the
+  // machine's data-hook translation so the walker sees the same stack a
+  // software D-cache presents to the program.
+  uint32_t fp = machine_.reg(isa::kFp);
+  uint32_t prev_fp = 0;
+  int guard = 0;
+  while (fp != 0) {
+    if (fp % 4 != 0 || fp <= prev_fp || fp > image::kStackTop ||
+        fp < image::kDataBase || ++guard > 100000) {
+      Fail("stack walk failed: frame chain violates the programming model");
+      return;
+    }
+    const uint32_t ra_slot = machine_.TranslateForHost(fp - 4, 4, /*is_store=*/false);
+    const uint32_t fixed = fix(machine_.ReadWord(ra_slot));
+    machine_.WriteWord(machine_.TranslateForHost(fp - 4, 4, /*is_store=*/true),
+                       fixed);
+    prev_fp = fp;
+    fp = machine_.ReadWord(machine_.TranslateForHost(fp - 8, 4, /*is_store=*/false));
+    ++stats_.stack_walk_frames;
+    Charge(config_.cost.stack_walk_frame_cycles);
+  }
+}
+
+uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
+                                             uint32_t len, uint32_t pc) {
+  // Self-modifying code contract (the paper: "self-modifying programs must
+  // explicitly invalidate newly-written instructions before they can be
+  // used"): forward the client's rewritten text to the MC, then evict every
+  // affected tcache block so the next execution re-translates it.
+  const uint32_t lo = addr & ~3u;
+  const uint32_t hi = (addr + len + 3) & ~3u;
+  if (mc_.image().ContainsText(lo) && hi <= mc_.image().text_end() && hi > lo) {
+    Request request;
+    request.type = MsgType::kTextWrite;
+    request.seq = seq_++;
+    request.addr = lo;
+    request.payload.resize(hi - lo);
+    m.ReadBlock(lo, request.payload.data(), hi - lo);
+    const auto request_bytes = request.Serialize();
+    Charge(channel_.SendToServer(request_bytes.size()));
+    const auto reply_bytes = mc_.Handle(request_bytes);
+    Charge(channel_.SendToClient(reply_bytes.size()));
+    auto reply = Reply::Parse(reply_bytes);
+    if (!reply.ok() || reply->type != MsgType::kTextWriteAck) {
+      Fail("text write rejected by MC");
+      return 0;
+    }
+  }
+  // The invalidation may cover the very block that issued it; remember the
+  // original continuation so execution can be relocated into fresh code.
+  uint32_t resume_orig = 0;
+  {
+    auto it = blocks_.upper_bound(pc);
+    if (it != blocks_.begin()) {
+      --it;
+      const Block& current = it->second;
+      if (pc >= current.tc_addr && pc < current.tc_addr + current.tc_bytes &&
+          current.orig_addr < addr + len &&
+          current.orig_addr + current.orig_span > addr) {
+        resume_orig = OrigForTcacheAddr(current, pc + 4);
+      }
+    }
+  }
+  // Evict every block whose original range overlaps [addr, addr+len).
+  std::vector<uint64_t> victims;
+  for (const auto& [tc, block] : blocks_) {
+    if (block.orig_addr < addr + len && block.orig_addr + block.orig_span > addr) {
+      victims.push_back(block.id);
+    }
+  }
+  for (uint64_t id : victims) {
+    if (block_tc_.count(id) != 0) EvictBlock(id);
+  }
+  if (resume_orig == 0) return pc + 4;
+  const Resolution res = ResolveEntry(resume_orig);
+  if (res.block == nullptr) return 0;  // fault raised
+  return res.tc_addr;
+}
+
+// ---------------------------------------------------------------------------
+// Trap entry points
+// ---------------------------------------------------------------------------
+
+uint32_t CacheController::OnTcMiss(vm::Machine& m, uint32_t stub_index) {
+  (void)m;
+  ++stats_.tcmiss_traps;
+  Charge(config_.cost.miss_trap_cycles);
+  SC_CHECK_LT(stub_index, stubs_.size());
+  const StubInfo stub = stubs_[stub_index];  // snapshot: eviction may free it
+  SC_CHECK(stub.live) << "TCMISS fired a dead stub: id=" << stub_index
+                      << " pc=0x" << std::hex << m.pc() << " target=0x"
+                      << stub.target_orig << " patch=0x" << stub.patch_addr
+                      << " slot=0x" << stub.miss_slot << " from=" << std::dec
+                      << stub.from_block;
+
+  const Resolution res = ResolveEntry(stub.target_orig);
+  if (res.block == nullptr) return 0;  // fault raised
+  if (!res.translated) ++stats_.patch_only_misses;
+
+  // Back-patch the branch that missed — unless translation evicted the
+  // trapping block (stub freed, possibly reused: detect via generation) or
+  // rebound the cell that fired (ARM continuation cells).
+  const bool stub_intact = stubs_[stub_index].live &&
+                           stubs_[stub_index].generation == stub.generation;
+  const bool source_alive =
+      stub.from_block == 0 || block_tc_.count(stub.from_block) != 0;
+  if (stub_intact && source_alive) {
+    LinkEdge(stub, *res.block, res.tc_addr);
+    FreeStub(stub_index);
+    Charge(config_.cost.patch_cycles);
+  }
+  return res.tc_addr;
+}
+
+uint32_t CacheController::OnTcJalr(vm::Machine& m, const isa::Instr& instr,
+                                   uint32_t pc) {
+  ++stats_.hash_lookups;
+  Charge(config_.cost.hash_lookup_cycles);
+  const uint32_t target_orig =
+      (m.reg(instr.rs1) + static_cast<uint32_t>(instr.imm)) & ~3u;
+  if (!mc_.image().ContainsText(target_orig)) {
+    std::ostringstream msg;
+    msg << "computed jump to non-text address 0x" << std::hex << target_orig;
+    Fail(msg.str());
+    return 0;
+  }
+  // Link register: the physical next word (slot A of this block).
+  m.set_reg(instr.rd, pc + 4);
+  const Resolution res = ResolveEntry(target_orig);
+  if (res.block == nullptr) return 0;
+  if (res.translated) ++stats_.hash_lookup_misses;
+  return res.tc_addr;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+CacheController::Block* CacheController::BlockById(uint64_t id) {
+  const auto it = block_tc_.find(id);
+  if (it == block_tc_.end()) return nullptr;
+  return &blocks_.at(it->second);
+}
+
+
+std::string CacheController::DumpState() const {
+  std::ostringstream out;
+  out << "=== tcache state ===\n";
+  out << "region: [0x" << std::hex << local_base_ << ", 0x" << cells_base_
+      << ")  cells: [0x" << cells_base_ << ", 0x" << cells_base_ + cells_used_
+      << ")\n" << std::dec;
+  out << "blocks: " << blocks_.size() << "  live bytes: " << live_bytes_
+      << "  cursor: " << alloc_cursor_ << "\n";
+  for (const auto& [tc, block] : blocks_) {
+    out << std::hex << "  block#" << std::dec << block.id << std::hex
+        << "  tc=[0x" << block.tc_addr << ",0x" << block.tc_addr + block.tc_bytes
+        << ")  orig=[0x" << block.orig_addr << ",0x"
+        << block.orig_addr + block.orig_span << ")" << std::dec;
+    if (block.pinned) out << "  PINNED";
+    out << "  in-edges=" << block.in_edges.size()
+        << "  out-edges=" << block.out_edges.size();
+    if (!block.index_map.empty()) out << "  (procedure chunk)";
+    out << "\n";
+    // Exit states: decode the slots.
+    const auto slot_state = [this](uint32_t slot_addr) -> std::string {
+      if (slot_addr == 0) return "-";
+      const Instr in = isa::Decode(machine_.ReadWord(slot_addr));
+      std::ostringstream s;
+      if (in.op == Opcode::kTcMiss) {
+        s << "MISSING(stub#" << in.imm << " -> 0x" << std::hex
+          << stubs_[static_cast<uint32_t>(in.imm)].target_orig << ")";
+      } else if (in.op == Opcode::kJ) {
+        s << "LINKED(0x" << std::hex << isa::BranchTarget(slot_addr, in.imm) << ")";
+      } else {
+        s << isa::MnemonicOf(in.op);
+      }
+      return s.str();
+    };
+    if (block.slot_a != 0) out << "    slot A: " << slot_state(block.slot_a) << "\n";
+    if (block.slot_b != 0) out << "    slot B: " << slot_state(block.slot_b) << "\n";
+    for (const auto& [slot, taken] : block.mid_slots) {
+      out << "    mid slot @0x" << std::hex << slot << std::dec << ": "
+          << slot_state(slot) << "\n";
+    }
+  }
+  uint32_t live_stub_count = 0;
+  for (const StubInfo& stub : stubs_) {
+    if (stub.live) ++live_stub_count;
+  }
+  out << "stubs: " << live_stub_count << " live of " << stubs_.size()
+      << " allocated\n";
+  out << "forward cells: " << cell_for_orig_.size() << "\n";
+  for (const auto& [orig, cell] : cell_for_orig_) {
+    const Instr in = isa::Decode(machine_.ReadWord(cell));
+    out << "  cell 0x" << std::hex << cell << " for orig 0x" << orig << ": "
+        << (in.op == Opcode::kTcMiss ? "MISSING" : "LINKED") << std::dec << "\n";
+  }
+  return out.str();
+}
+
+bool CacheController::IsResident(uint32_t orig_addr) const {
+  return by_orig_.count(orig_addr) != 0;
+}
+
+void CacheController::CheckInvariants() const {
+  uint64_t total_bytes = 0;
+  uint32_t prev_end = 0;
+  for (const auto& [tc, block] : blocks_) {
+    SC_CHECK_EQ(tc, block.tc_addr);
+    SC_CHECK_GE(tc, local_base_);
+    SC_CHECK_LE(tc + block.tc_bytes, cells_base_);
+    SC_CHECK_GE(tc, prev_end) << "blocks overlap in the tcache";
+    prev_end = tc + block.tc_bytes;
+    total_bytes += block.tc_bytes;
+    // Map consistency.
+    SC_CHECK_EQ(by_orig_.at(block.orig_addr), block.id);
+    SC_CHECK_EQ(block_tc_.at(block.id), tc);
+    // Incoming edges really point at us.
+    for (const InEdge& edge : block.in_edges) {
+      const Instr in = isa::Decode(machine_.ReadWord(edge.patch_addr));
+      uint32_t pointed = 0;
+      switch (edge.kind) {
+        case PatchKind::kBranch16:
+          SC_CHECK(isa::IsConditionalBranch(in.op));
+          pointed = isa::BranchTarget(edge.patch_addr, in.imm);
+          break;
+        case PatchKind::kJump26:
+          SC_CHECK(in.op == Opcode::kJ || in.op == Opcode::kJal);
+          pointed = isa::BranchTarget(edge.patch_addr, in.imm);
+          break;
+        case PatchKind::kSlot:
+          SC_CHECK(in.op == Opcode::kJ) << "cell does not hold a jump";
+          pointed = isa::BranchTarget(edge.patch_addr, in.imm);
+          break;
+      }
+      SC_CHECK_GE(pointed, block.tc_addr);
+      SC_CHECK_LT(pointed, block.tc_addr + block.tc_bytes);
+    }
+    // Outgoing edges are mirrored by the target's incoming list.
+    for (const auto& [target_id, patch_addr] : block.out_edges) {
+      const auto tc_it = block_tc_.find(target_id);
+      SC_CHECK(tc_it != block_tc_.end()) << "out-edge to evicted block";
+      const Block& target = blocks_.at(tc_it->second);
+      const bool found = std::any_of(
+          target.in_edges.begin(), target.in_edges.end(),
+          [&, pa = patch_addr](const InEdge& e) { return e.patch_addr == pa; });
+      SC_CHECK(found) << "out-edge without matching in-edge";
+    }
+  }
+  SC_CHECK_EQ(total_bytes, live_bytes_);
+  // Live stubs hold TCMISS words carrying their own id.
+  for (uint32_t id = 0; id < stubs_.size(); ++id) {
+    const StubInfo& stub = stubs_[id];
+    if (!stub.live) continue;
+    const Instr in = isa::Decode(machine_.ReadWord(stub.miss_slot));
+    SC_CHECK(in.op == Opcode::kTcMiss) << "live stub slot is not a TCMISS";
+    SC_CHECK_EQ(static_cast<uint32_t>(in.imm), id);
+  }
+  // Cells hold either a live TCMISS or a jump into a live block.
+  for (const auto& [orig, cell] : cell_for_orig_) {
+    const Instr in = isa::Decode(machine_.ReadWord(cell));
+    SC_CHECK(in.op == Opcode::kTcMiss || in.op == Opcode::kJ);
+    if (in.op == Opcode::kTcMiss) {
+      SC_CHECK(stubs_.at(static_cast<uint32_t>(in.imm)).live);
+    }
+  }
+}
+
+}  // namespace sc::softcache

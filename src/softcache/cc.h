@@ -1,0 +1,229 @@
+// Cache controller: the client side of the softcache.
+//
+// The CC owns the embedded device's local memory layout:
+//
+//   [local_base, local_base + tcache_bytes)        the tcache (rewritten code)
+//   [cells_base, cells_base + cells_bytes)         "forward cells": permanent
+//       one-word jump cells used as (a) landing pads for return addresses
+//       fixed up during eviction (SPARC style) and (b) the ARM prototype's
+//       per-call-site redirector stubs. A cell holds either `J <tcache addr>`
+//       or a TCMISS stub that re-translates its target on demand.
+//
+// Translated blocks encode cache state in their control transfers:
+//   * a branch/call whose target is resident jumps straight to the target's
+//     tcache copy — zero tag checks on the hot path;
+//   * a branch/call whose target is absent jumps to an exit slot holding a
+//     TCMISS stub; firing it fetches the chunk from the MC over the channel,
+//     installs and rewrites it, back-patches the branch, and resumes;
+//   * computed jumps become TCJALR and resolve through the tcache map (the
+//     hash table of Figure 4) at a fixed per-lookup cost.
+//
+// Block layout in the tcache (SPARC style, basic-block chunks):
+//   [ body words (1:1 copy of original instructions) ]
+//   [ slot A ]   fallthrough/continuation exit: TCMISS -> later `J fall`
+//   [ slot B ]   taken/callee exit: TCMISS (dead after the branch is patched)
+// Slot A+B are the paper's "two new instructions per translated basic
+// block". Blocks ending in return/halt have no slots.
+//
+// ARM style translates whole procedures, expanding every call site
+//   jal f   ->   lui ra, %hi(cell); ori ra, %lo(cell); j f_or_stub
+// so return addresses always point at permanent cells and eviction never
+// walks the stack. Computed jumps are unsupported (translation fails), as in
+// the paper's prototype.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.h"
+#include "softcache/config.h"
+#include "softcache/mc.h"
+#include "softcache/stats.h"
+#include "vm/machine.h"
+
+namespace sc::softcache {
+
+// How a patch site is rewritten when its target becomes resident.
+enum class PatchKind : uint8_t {
+  kBranch16,  // rewrite the imm16 of a conditional branch
+  kJump26,    // rewrite the imm26 of a J/JAL
+  kSlot,      // overwrite the whole word with `J target`
+};
+
+class CacheController : public vm::TrapHandler {
+ public:
+  CacheController(vm::Machine& machine, MemoryController& mc, net::Channel& channel,
+                  const SoftCacheConfig& config);
+
+  // Installs the trap handler, restricts execution to local memory, and
+  // redirects the machine's PC to the translated entry point.
+  void Attach();
+
+  // vm::TrapHandler
+  uint32_t OnTcMiss(vm::Machine& m, uint32_t stub_index) override;
+  uint32_t OnTcJalr(vm::Machine& m, const isa::Instr& instr, uint32_t pc) override;
+  uint32_t OnIcacheInvalidate(vm::Machine& m, uint32_t addr, uint32_t len,
+                              uint32_t pc) override;
+
+  const SoftCacheStats& stats() const { return stats_; }
+
+  // --- Pinning (the paper's "novel capability": flexible data/code pinning
+  // at arbitrary boundaries without dedicating a memory region) ---
+  // Pins the translated block for `orig_addr` (translating it if absent):
+  // the eviction policies skip it, so it behaves like fixed local memory
+  // (interrupt handlers, hot ISRs). Returns false (with a fault raised) if
+  // translation fails. FlushAll preserves pinned blocks too.
+  bool Pin(uint32_t orig_addr);
+  // Unpins; the block becomes an ordinary eviction candidate again.
+  void Unpin(uint32_t orig_addr);
+  uint64_t pinned_bytes() const;
+
+  // --- Introspection (tests and benchmarks) ---
+  bool IsResident(uint32_t orig_addr) const;
+  size_t ResidentBlocks() const { return blocks_.size(); }
+  uint32_t local_base() const { return local_base_; }
+  uint32_t cells_base() const { return cells_base_; }
+  uint32_t local_limit() const { return cells_base_ + cells_bytes_; }
+  uint64_t live_tcache_bytes() const { return live_bytes_; }
+
+  // Validates every cross-structure invariant (edges consistent both ways,
+  // stubs point at live TCMISS words, map entries match blocks, no block
+  // overlap). Fatal on violation; called from tests after every phase.
+  void CheckInvariants() const;
+
+  // Human-readable dump of the whole rewriting state: every resident block
+  // (address ranges, exit states, edges), live stubs, and forward cells.
+  // Debugging surface for srun --dump-tcache and failing tests.
+  std::string DumpState() const;
+
+ private:
+  struct InEdge {
+    uint64_t from_block;   // source block id; 0 for permanent cells
+    uint32_t patch_addr;   // the word that currently points at the target
+    PatchKind kind;
+    uint32_t miss_slot;    // where the TCMISS goes on unlink
+    uint32_t target_orig;  // original target address (stub recreation)
+  };
+
+  struct Block {
+    uint64_t id = 0;
+    uint32_t orig_addr = 0;
+    uint32_t orig_span = 0;  // bytes of original code this block covers
+    uint32_t tc_addr = 0;
+    uint32_t tc_bytes = 0;
+    uint32_t body_words = 0;
+    uint32_t slot_words = 0;
+    ExitKind exit = ExitKind::kNone;
+    bool pinned = false;  // exempt from eviction (Pin/Unpin)
+    uint32_t taken_orig = 0;
+    uint32_t fall_orig = 0;
+    uint32_t slot_a = 0;  // 0 = absent
+    uint32_t slot_b = 0;
+    // Trace chunking: mid-chunk side exits as (slot address, taken target).
+    std::vector<std::pair<uint32_t, uint32_t>> mid_slots;
+    // ARM mode: original word index -> tcache word index. Empty in SPARC
+    // mode (identity mapping).
+    std::vector<uint32_t> index_map;
+    std::vector<InEdge> in_edges;
+    // (target block id, patch_addr) for every linked outgoing edge.
+    std::vector<std::pair<uint64_t, uint32_t>> out_edges;
+    // (stub id, generation) for stubs whose TCMISS words live inside this
+    // block. Entries go stale when a stub is freed by back-patching; the
+    // generation check at eviction prevents freeing a reused id.
+    std::vector<std::pair<uint32_t, uint64_t>> own_stubs;
+  };
+
+  struct StubInfo {
+    bool live = false;
+    uint32_t target_orig = 0;
+    uint32_t patch_addr = 0;
+    PatchKind kind = PatchKind::kSlot;
+    uint32_t miss_slot = 0;
+    uint64_t from_block = 0;  // 0 for permanent cells
+    // Distinguishes reuses of the same stub id: translation during a miss
+    // can evict the trapping block, free its stub, and hand the id to a new
+    // stub — the trap handler must notice its snapshot went stale.
+    uint64_t generation = 0;
+  };
+
+  // --- Translation ---
+  struct Resolution {
+    uint32_t tc_addr = 0;
+    Block* block = nullptr;
+    bool translated = false;
+  };
+  // Resolves an original PC to a tcache PC, translating on miss. Returns a
+  // null block on failure (a fault has been raised on the machine).
+  Resolution ResolveEntry(uint32_t orig_pc);
+  Block* Translate(uint32_t orig_pc);
+  Block* InstallSparc(const Chunk& chunk);
+  Block* InstallArm(const Chunk& chunk);
+  util::Result<Chunk> FetchChunk(uint32_t orig_pc);
+  // Charges client-visible miss-handling cycles.
+  void Charge(uint64_t cycles) {
+    machine_.Charge(cycles);
+    stats_.miss_cycles += cycles;
+  }
+
+  // --- Allocation / eviction ---
+  // Returns 0 on failure (fault raised).
+  uint32_t Allocate(uint32_t bytes);
+  void EvictBlock(uint64_t block_id);
+  void FlushAll();
+
+  // --- Linking ---
+  uint32_t NewStub(const StubInfo& info);
+  void FreeStub(uint32_t stub_id);
+  void WriteStubWord(uint32_t addr, uint32_t stub_id);
+  // Points patch_addr (of the given kind) at `target_tc` and registers the
+  // in-edge on `target`.
+  void LinkEdge(const StubInfo& stub, Block& target, uint32_t target_tc);
+  // Restores one in-edge of an evicted block to its missing state.
+  void UnlinkEdge(const InEdge& edge);
+  // Returns the permanent forward cell for `cont_orig`, creating it if
+  // needed. If `known_tc` is nonzero the cell is set to `J known_tc` and an
+  // in-edge is registered on `owner`; otherwise the cell holds a TCMISS.
+  uint32_t ForwardCell(uint32_t cont_orig, uint32_t known_tc, Block* owner);
+
+  // --- Invalidation support ---
+  // Maps a tcache address inside `block` back to its original address.
+  uint32_t OrigForTcacheAddr(const Block& block, uint32_t tc_addr) const;
+  // Replaces return addresses pointing into the evicted block — in the ra
+  // register and in every stack frame — with forward-cell addresses (SPARC
+  // style; the ARM style routes returns through cells up front).
+  void FixStaleReturnAddresses(const Block& block);
+
+  Block* BlockById(uint64_t id);
+  void Fail(const std::string& what);
+
+  vm::Machine& machine_;
+  MemoryController& mc_;
+  net::Channel& channel_;
+  SoftCacheConfig config_;
+  SoftCacheStats stats_;
+
+  uint32_t local_base_ = 0;
+  uint32_t cells_base_ = 0;
+  uint32_t cells_bytes_ = 0;
+  uint32_t cells_used_ = 0;
+
+  uint64_t next_block_id_ = 1;
+  uint32_t alloc_cursor_ = 0;  // offset within the tcache region
+  uint64_t live_bytes_ = 0;
+
+  std::map<uint32_t, Block> blocks_;                 // keyed by tc_addr
+  std::unordered_map<uint64_t, uint32_t> block_tc_;  // id -> tc_addr
+  // Original start -> block id; ordered so the ARM style can find the
+  // procedure containing an interior address.
+  std::map<uint32_t, uint64_t> by_orig_;
+  std::vector<StubInfo> stubs_;
+  std::vector<uint32_t> free_stub_ids_;
+  uint64_t stub_generation_ = 0;
+  std::unordered_map<uint32_t, uint32_t> cell_for_orig_;  // orig -> cell addr
+  uint32_t seq_ = 0;  // protocol sequence numbers
+};
+
+}  // namespace sc::softcache

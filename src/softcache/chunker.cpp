@@ -1,0 +1,121 @@
+#include "softcache/chunker.h"
+
+#include <sstream>
+
+namespace sc::softcache {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+util::Error ErrAt(uint32_t pc, const std::string& what) {
+  std::ostringstream msg;
+  msg << what << " at 0x" << std::hex << pc;
+  return util::Error{msg.str()};
+}
+
+}  // namespace
+
+util::Result<Chunk> ChunkBasicBlock(const image::Image& image, uint32_t pc,
+                                    uint32_t max_instrs, uint32_t max_blocks) {
+  if (!image.ContainsText(pc) || pc % 4 != 0) {
+    return ErrAt(pc, "chunk request outside text");
+  }
+  SC_CHECK_GE(max_blocks, 1u);
+  Chunk chunk;
+  chunk.orig_addr = pc;
+  uint32_t blocks = 1;
+  uint32_t cur = pc;
+  for (uint32_t n = 0; n < max_instrs; ++n) {
+    if (!image.ContainsText(cur)) {
+      return ErrAt(cur, "basic block runs off the end of text");
+    }
+    const uint32_t word = image.TextWord(cur);
+    const Instr in = isa::Decode(word);
+    switch (in.op) {
+      case Opcode::kIllegal:
+      case Opcode::kTcMiss:
+      case Opcode::kTcJalr:
+        return ErrAt(cur, "illegal instruction in chunk");
+      case Opcode::kJ:
+        // Fold the jump into the exit; the rewriter emits the jump slot.
+        chunk.exit = ExitKind::kFallthrough;
+        chunk.taken_target = isa::BranchTarget(cur, in.imm);
+        chunk.jump_folded = true;
+        return chunk;
+      case Opcode::kJal:
+        chunk.words.push_back(word);
+        chunk.exit = ExitKind::kCall;
+        chunk.taken_target = isa::BranchTarget(cur, in.imm);
+        chunk.fall_target = cur + 4;
+        return chunk;
+      case Opcode::kJalr:
+        if (isa::IsReturn(word)) {
+          chunk.words.push_back(word);
+          chunk.exit = ExitKind::kNone;
+          return chunk;
+        }
+        if (in.rs1 == isa::kRa) {
+          // The programming model requires ra to be used only by the
+          // call/return idiom; a computed jump through ra would hold a
+          // tcache address and defeat the hash table.
+          return ErrAt(cur, "computed jump through ra violates the programming model");
+        }
+        chunk.words.push_back(word);
+        chunk.exit = ExitKind::kComputed;
+        chunk.fall_target = cur + 4;
+        return chunk;
+      case Opcode::kHalt:
+        chunk.words.push_back(word);
+        chunk.exit = ExitKind::kNone;
+        return chunk;
+      default:
+        if (isa::IsConditionalBranch(in.op)) {
+          chunk.words.push_back(word);
+          if (blocks < max_blocks) {
+            // Trace chunking: fall through the branch; it becomes a
+            // mid-chunk side exit resolved by the installer.
+            ++blocks;
+            cur += 4;
+            break;
+          }
+          chunk.exit = ExitKind::kBranch;
+          chunk.taken_target = isa::BranchTarget(cur, in.imm);
+          chunk.fall_target = cur + 4;
+          return chunk;
+        }
+        chunk.words.push_back(word);
+        cur += 4;
+        break;
+    }
+  }
+  // Size cap reached: cut the block with a fallthrough exit.
+  chunk.exit = ExitKind::kFallthrough;
+  chunk.taken_target = cur;
+  return chunk;
+}
+
+util::Result<Chunk> ChunkProcedure(const image::Image& image, uint32_t pc) {
+  if (!image.ContainsText(pc) || pc % 4 != 0) {
+    return ErrAt(pc, "chunk request outside text");
+  }
+  const image::Symbol* sym = image.FunctionAt(pc);
+  if (sym == nullptr) {
+    return ErrAt(pc, "no function symbol covers address");
+  }
+  if (sym->size == 0 || sym->size % 4 != 0) {
+    return ErrAt(pc, "function symbol has bad size");
+  }
+  Chunk chunk;
+  chunk.orig_addr = sym->addr;
+  chunk.entry_word = (pc - sym->addr) / 4;
+  chunk.words.reserve(sym->size / 4);
+  for (uint32_t a = sym->addr; a < sym->addr + sym->size; a += 4) {
+    chunk.words.push_back(image.TextWord(a));
+  }
+  chunk.exit = ExitKind::kNone;  // procedure exits are rewritten per call site
+  return chunk;
+}
+
+}  // namespace sc::softcache

@@ -1,0 +1,65 @@
+// Chunking: how the memory controller breaks the program into pieces.
+//
+// SPARC-style chunks are basic blocks: instructions from the requested
+// address up to and including the first control transfer (or a size cap).
+// ARM-style chunks are whole procedures, located via the image symbol table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+#include "isa/isa.h"
+#include "util/result.h"
+
+namespace sc::softcache {
+
+enum class ExitKind : uint8_t {
+  kNone,         // block ends in return or halt — no successor to link
+  kFallthrough,  // unconditional successor (fallthrough, or a J's target)
+  kBranch,       // conditional branch: taken target + fallthrough
+  kCall,         // JAL: callee + continuation
+  kComputed,     // JALR through a register: resolved via the hash table
+};
+
+// A chunk of original program code, as shipped by the MC.
+struct Chunk {
+  uint32_t orig_addr = 0;          // address of the first instruction
+  std::vector<uint32_t> words;     // original instruction words
+  ExitKind exit = ExitKind::kNone; // how the chunk's terminator exits
+  uint32_t taken_target = 0;       // kBranch taken / kCall callee / kFallthrough target
+  uint32_t fall_target = 0;        // kBranch fallthrough / kCall continuation
+  // For procedure chunks: offset (in words) of the requested entry point.
+  uint32_t entry_word = 0;
+  // True when a terminating J was folded into a kFallthrough exit (the
+  // original block occupies one more word than `words` holds).
+  bool jump_folded = false;
+
+  uint32_t orig_span_bytes() const {
+    return (static_cast<uint32_t>(words.size()) + (jump_folded ? 1 : 0)) * 4;
+  }
+
+  uint32_t size_bytes() const { return static_cast<uint32_t>(words.size()) * 4; }
+};
+
+// Extracts the basic block starting at `pc`. The terminating control
+// transfer is *included* in words for branch/call/computed/return blocks;
+// a J terminator is folded into a kFallthrough exit (the J itself is
+// dropped; the rewriter materializes the jump in an exit slot).
+// Fails on addresses outside text or on malformed code (e.g. an illegal
+// opcode or a computed jump through ra, which the programming model
+// forbids).
+//
+// `max_blocks` > 1 enables trace chunking (the paper: a chunk "could
+// certainly be a larger sequence of instructions, such as a trace"): the
+// chunk continues through up to max_blocks-1 conditional branches, which
+// become mid-chunk side exits; the taken targets remain encoded in the
+// branch words themselves, so the wire format is unchanged.
+util::Result<Chunk> ChunkBasicBlock(const image::Image& image, uint32_t pc,
+                                    uint32_t max_instrs, uint32_t max_blocks = 1);
+
+// Extracts the whole procedure containing `pc` (via the symbol table),
+// with entry_word set to the requested address's offset.
+util::Result<Chunk> ChunkProcedure(const image::Image& image, uint32_t pc);
+
+}  // namespace sc::softcache

@@ -1,0 +1,71 @@
+// Software-cache configuration.
+//
+// Two prototype styles, mirroring the paper:
+//   * kSparc — basic-block chunks; computed jumps supported through a hash
+//     lookup (TCJALR); returns run at full speed; eviction walks the stack
+//     to fix in-flight return addresses.
+//   * kArm — whole-procedure chunks; call sites are expanded to route return
+//     addresses through permanent "redirector" cells so eviction never walks
+//     the stack; computed jumps are not supported (translation faults).
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel.h"
+
+namespace sc::softcache {
+
+enum class Style : uint8_t { kSparc, kArm };
+
+enum class EvictPolicy : uint8_t {
+  // Flush the whole tcache when an allocation does not fit (Dynamo-style).
+  kFlushAll,
+  // Evict blocks in allocation order using a circular bump allocator
+  // (fragment-cache-style FIFO ring).
+  kFifoRing,
+};
+
+struct CostModel {
+  // CC-side trap entry/exit overhead for a TCMISS, before any work.
+  uint32_t miss_trap_cycles = 30;
+  // CC-side cost of installing one instruction word into the tcache.
+  uint32_t install_cycles_per_word = 2;
+  // CC-side cost of patching one branch/jump/slot word.
+  uint32_t patch_cycles = 12;
+  // Cost of one hash-table lookup for a computed jump (TCJALR). This is the
+  // software fallback path of Figure 4's tcache map.
+  uint32_t hash_lookup_cycles = 14;
+  // Cost of visiting one stack frame during an eviction stack walk.
+  uint32_t stack_walk_frame_cycles = 8;
+  // Server-side chunk preparation time, charged to the client's wait. The
+  // paper notes this "could easily be reduced to near zero by more powerful
+  // MC systems"; it defaults small.
+  uint32_t mc_service_cycles = 100;
+};
+
+struct SoftCacheConfig {
+  Style style = Style::kSparc;
+  EvictPolicy evict = EvictPolicy::kFifoRing;
+
+  // Size of the translation cache (code region) in bytes.
+  uint32_t tcache_bytes = 24 * 1024;
+  // Basic-block chunking cap: a block is cut after this many instructions
+  // even without a control transfer (bounds message sizes).
+  uint32_t max_block_instrs = 64;
+  // Trace chunking (SPARC style only): a chunk may run through up to
+  // max_trace_blocks-1 conditional branches, which become mid-chunk side
+  // exits. 1 = plain basic blocks (the paper's SPARC prototype).
+  uint32_t max_trace_blocks = 1;
+  // Size of the permanent forward-cell region (return-address landing pads /
+  // ARM redirectors), one word per distinct continuation address.
+  uint32_t forward_cell_bytes = 8 * 1024;
+
+  CostModel cost;
+  net::ChannelConfig channel;
+
+  // Restrict the VM's instruction fetch to the local-memory region, proving
+  // the client never executes from the original (server-side) text.
+  bool restrict_exec = true;
+};
+
+}  // namespace sc::softcache

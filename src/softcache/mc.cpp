@@ -1,0 +1,94 @@
+#include "softcache/mc.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace sc::softcache {
+
+std::vector<uint8_t> MemoryController::Handle(
+    const std::vector<uint8_t>& request_bytes) {
+  ++requests_served_;
+  auto request = Request::Parse(request_bytes);
+  if (!request.ok()) {
+    return ErrorReply(0, request.error().message).Serialize();
+  }
+  return HandleParsed(*request).Serialize();
+}
+
+Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) const {
+  Reply reply;
+  reply.type = MsgType::kError;
+  reply.seq = seq;
+  reply.payload.assign(message.begin(), message.end());
+  return reply;
+}
+
+Reply MemoryController::HandleParsed(const Request& request) {
+  switch (request.type) {
+    case MsgType::kChunkRequest: {
+      auto chunk = style_ == Style::kSparc
+                       ? ChunkBasicBlock(image_, request.addr, max_block_instrs_,
+                                         max_trace_blocks_)
+                       : ChunkProcedure(image_, request.addr);
+      if (!chunk.ok()) return ErrorReply(request.seq, chunk.error().message);
+      Reply reply;
+      reply.type = MsgType::kChunkReply;
+      reply.seq = request.seq;
+      reply.addr = chunk->orig_addr;
+      reply.aux = PackChunkMeta(chunk->exit, chunk->entry_word, chunk->jump_folded);
+      reply.extra = chunk->taken_target;
+      reply.payload.resize(chunk->words.size() * 4);
+      std::memcpy(reply.payload.data(), chunk->words.data(), reply.payload.size());
+      return reply;
+    }
+    case MsgType::kDataRequest: {
+      if (request.addr < DataBase() ||
+          static_cast<uint64_t>(request.addr) + request.length > DataLimit()) {
+        return ErrorReply(request.seq, "data request out of range");
+      }
+      Reply reply;
+      reply.type = MsgType::kDataReply;
+      reply.seq = request.seq;
+      reply.addr = request.addr;
+      const uint32_t offset = request.addr - DataBase();
+      reply.payload.assign(data_.begin() + offset,
+                           data_.begin() + offset + request.length);
+      return reply;
+    }
+    case MsgType::kTextWrite: {
+      // Self-modifying code: the client pushes rewritten program text (the
+      // "explicit invalidation" contract for dynamic linking and similar).
+      if (request.addr < image_.text_base ||
+          static_cast<uint64_t>(request.addr) + request.payload.size() >
+              image_.text_end() ||
+          request.addr % 4 != 0 || request.payload.size() % 4 != 0) {
+        return ErrorReply(request.seq, "text write out of range");
+      }
+      std::memcpy(image_.text.data() + (request.addr - image_.text_base),
+                  request.payload.data(), request.payload.size());
+      Reply reply;
+      reply.type = MsgType::kTextWriteAck;
+      reply.seq = request.seq;
+      reply.addr = request.addr;
+      return reply;
+    }
+    case MsgType::kDataWriteback: {
+      if (request.addr < DataBase() ||
+          static_cast<uint64_t>(request.addr) + request.payload.size() > DataLimit()) {
+        return ErrorReply(request.seq, "writeback out of range");
+      }
+      std::memcpy(data_.data() + (request.addr - DataBase()),
+                  request.payload.data(), request.payload.size());
+      Reply reply;
+      reply.type = MsgType::kWritebackAck;
+      reply.seq = request.seq;
+      reply.addr = request.addr;
+      return reply;
+    }
+    default:
+      return ErrorReply(request.seq, "unknown request type");
+  }
+}
+
+}  // namespace sc::softcache

@@ -1,0 +1,75 @@
+// Memory controller: the server side of the softcache.
+//
+// The MC owns the full program image (given to it "as a gcc-generated ELF
+// binary image" in the paper; here as an image::Image) plus the program's
+// data segments, and services chunk/data requests arriving as serialized
+// protocol frames. It has no access to the client's Machine — the only
+// coupling is the byte protocol, keeping the MC/CC split a real boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+#include "image/layout.h"
+#include "softcache/chunker.h"
+#include "softcache/config.h"
+#include "softcache/protocol.h"
+
+namespace sc::softcache {
+
+// Packs/unpacks the chunk metadata carried in Reply::aux:
+// exit kind in bits 31..28, jump_folded in bit 27, entry word in bits 26..0.
+inline uint32_t PackChunkMeta(ExitKind exit, uint32_t entry_word, bool folded) {
+  return (static_cast<uint32_t>(exit) << 28) | (folded ? 1u << 27 : 0u) |
+         (entry_word & 0x07ffffff);
+}
+inline ExitKind UnpackExit(uint32_t aux) {
+  return static_cast<ExitKind>(aux >> 28);
+}
+inline bool UnpackJumpFolded(uint32_t aux) { return (aux >> 27) & 1; }
+inline uint32_t UnpackEntryWord(uint32_t aux) { return aux & 0x07ffffff; }
+
+class MemoryController {
+ public:
+  MemoryController(const image::Image& image, Style style,
+                   uint32_t max_block_instrs, uint32_t max_trace_blocks = 1)
+      : image_(image),
+        style_(style),
+        max_block_instrs_(max_block_instrs),
+        max_trace_blocks_(max_trace_blocks) {
+    // The MC holds the authoritative copy of ALL mutable program memory:
+    // its own Image copy for text (mutable so self-modifying programs can
+    // push updates via kTextWrite), plus data/bss/heap/stack backing store
+    // for the D-cache protocol.
+    data_ = image.data;
+    data_.resize(image::kStackTop + 16 - image.data_base, 0);
+  }
+
+  // Handles one request frame; returns the reply frame.
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request_bytes);
+
+  const image::Image& image() const { return image_; }
+
+  // Server-side view of a data word (tests/verification).
+  uint32_t DataBase() const { return image_.data_base; }
+  uint32_t DataLimit() const {
+    return image_.data_base + static_cast<uint32_t>(data_.size());
+  }
+  const std::vector<uint8_t>& data() const { return data_; }
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  Reply HandleParsed(const Request& request);
+  Reply ErrorReply(uint32_t seq, const std::string& message) const;
+
+  image::Image image_;  // server-side copy; text mutable via kTextWrite
+  Style style_;
+  uint32_t max_block_instrs_;
+  uint32_t max_trace_blocks_;
+  std::vector<uint8_t> data_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace sc::softcache

@@ -1,0 +1,106 @@
+#include "softcache/protocol.h"
+
+#include <cstring>
+
+namespace sc::softcache {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& bytes, size_t offset) {
+  return static_cast<uint32_t>(bytes[offset]) |
+         static_cast<uint32_t>(bytes[offset + 1]) << 8 |
+         static_cast<uint32_t>(bytes[offset + 2]) << 16 |
+         static_cast<uint32_t>(bytes[offset + 3]) << 24;
+}
+
+}  // namespace
+
+uint32_t Checksum(const uint8_t* data, size_t len) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> Request::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(wire_bytes());
+  PutU32(out, kProtocolMagic);
+  PutU32(out, static_cast<uint32_t>(type));
+  PutU32(out, seq);
+  PutU32(out, addr);
+  PutU32(out, length);
+  // Checksum over the first five fields.
+  PutU32(out, Checksum(out.data(), out.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kRequestBytes) return util::Error{"request: short frame"};
+  if (GetU32(bytes, 0) != kProtocolMagic) return util::Error{"request: bad magic"};
+  const uint32_t checksum = GetU32(bytes, 20);
+  if (checksum != Checksum(bytes.data(), 20)) {
+    return util::Error{"request: checksum mismatch"};
+  }
+  Request req;
+  req.type = static_cast<MsgType>(GetU32(bytes, 4));
+  req.seq = GetU32(bytes, 8);
+  req.addr = GetU32(bytes, 12);
+  req.length = GetU32(bytes, 16);
+  req.payload.assign(bytes.begin() + kRequestBytes, bytes.end());
+  return req;
+}
+
+std::vector<uint8_t> Reply::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(wire_bytes());
+  PutU32(out, kProtocolMagic);
+  PutU32(out, static_cast<uint32_t>(type));
+  PutU32(out, seq);
+  PutU32(out, addr);
+  PutU32(out, aux);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, extra);
+  PutU32(out, Checksum(out.data(), out.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutU32(out, Checksum(payload.data(), payload.size()));
+  return out;
+}
+
+util::Result<Reply> Reply::Parse(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kReplyHeaderBytes + kReplyTrailerBytes) {
+    return util::Error{"reply: short frame"};
+  }
+  if (GetU32(bytes, 0) != kProtocolMagic) return util::Error{"reply: bad magic"};
+  if (GetU32(bytes, 28) != Checksum(bytes.data(), 28)) {
+    return util::Error{"reply: header checksum mismatch"};
+  }
+  Reply reply;
+  reply.type = static_cast<MsgType>(GetU32(bytes, 4));
+  reply.seq = GetU32(bytes, 8);
+  reply.addr = GetU32(bytes, 12);
+  reply.aux = GetU32(bytes, 16);
+  const uint32_t payload_len = GetU32(bytes, 20);
+  reply.extra = GetU32(bytes, 24);
+  if (bytes.size() != kReplyHeaderBytes + payload_len + kReplyTrailerBytes) {
+    return util::Error{"reply: length mismatch"};
+  }
+  reply.payload.assign(bytes.begin() + kReplyHeaderBytes,
+                       bytes.begin() + kReplyHeaderBytes + payload_len);
+  if (GetU32(bytes, kReplyHeaderBytes + payload_len) !=
+      Checksum(reply.payload.data(), reply.payload.size())) {
+    return util::Error{"reply: payload checksum mismatch"};
+  }
+  return reply;
+}
+
+}  // namespace sc::softcache

@@ -1,0 +1,72 @@
+// The MC<->CC wire protocol.
+//
+// Every CC->MC request is a fixed 24-byte frame; every MC->CC reply is a
+// 32-byte header plus payload plus a 4-byte checksum trailer. A chunk fetch
+// therefore costs exactly 24 + 36 = 60 application bytes of overhead beyond
+// the chunk payload — the figure the paper reports for its ARM prototype
+// ("the network overhead for each code chunk downloaded [is] 60 application
+// bytes"), reproduced by bench_net.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sc::softcache {
+
+inline constexpr uint32_t kProtocolMagic = 0x53434d43;  // "SCMC"
+inline constexpr uint32_t kRequestBytes = 24;
+inline constexpr uint32_t kReplyHeaderBytes = 32;
+inline constexpr uint32_t kReplyTrailerBytes = 4;
+// Application-level overhead of one fetch (request + reply framing).
+inline constexpr uint32_t kPerChunkOverheadBytes =
+    kRequestBytes + kReplyHeaderBytes + kReplyTrailerBytes;
+
+enum class MsgType : uint32_t {
+  kChunkRequest = 1,   // CC -> MC: code chunk at `addr`
+  kChunkReply = 2,     // MC -> CC: chunk words
+  kDataRequest = 3,    // CC -> MC: data block at `addr` (D-cache refill)
+  kDataReply = 4,      // MC -> CC: data bytes
+  kDataWriteback = 5,  // CC -> MC: dirty data block (payload carried)
+  kWritebackAck = 6,   // MC -> CC: writeback acknowledged
+  kError = 7,          // MC -> CC: request failed (message text in payload)
+  kTextWrite = 8,      // CC -> MC: program text changed (self-modifying code)
+  kTextWriteAck = 9,   // MC -> CC: text update applied
+};
+
+struct Request {
+  MsgType type = MsgType::kChunkRequest;
+  uint32_t seq = 0;
+  uint32_t addr = 0;
+  uint32_t length = 0;  // data requests: bytes wanted
+  // Writebacks carry payload after the fixed frame (accounted separately).
+  std::vector<uint8_t> payload;
+
+  uint32_t wire_bytes() const {
+    return kRequestBytes + static_cast<uint32_t>(payload.size());
+  }
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<Request> Parse(const std::vector<uint8_t>& bytes);
+};
+
+struct Reply {
+  MsgType type = MsgType::kChunkReply;
+  uint32_t seq = 0;
+  uint32_t addr = 0;        // original address of the chunk/block
+  uint32_t aux = 0;         // chunk replies: packed exit kind | entry word
+  uint32_t extra = 0;       // chunk replies: taken/callee/jump target
+  std::vector<uint8_t> payload;
+
+  uint32_t wire_bytes() const {
+    return kReplyHeaderBytes + static_cast<uint32_t>(payload.size()) +
+           kReplyTrailerBytes;
+  }
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<Reply> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// 32-bit FNV-1a over a byte range; used as the frame checksum.
+uint32_t Checksum(const uint8_t* data, size_t len);
+
+}  // namespace sc::softcache

@@ -1,0 +1,43 @@
+// Counters collected by the cache controller, used by every benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::softcache {
+
+struct SoftCacheStats {
+  // Translation activity. `blocks_translated` is the numerator of the
+  // paper's software miss-rate metric (Figure 7): blocks translated divided
+  // by instructions executed.
+  uint64_t blocks_translated = 0;
+  uint64_t words_installed = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+
+  // Trap activity.
+  uint64_t tcmiss_traps = 0;
+  uint64_t patch_only_misses = 0;  // target already resident; just relink
+  uint64_t hash_lookups = 0;       // TCJALR resolutions
+  uint64_t hash_lookup_misses = 0; // TCJALR that had to translate
+
+  // Rewriting activity.
+  uint64_t patches_applied = 0;
+  uint64_t stack_walk_frames = 0;
+  uint64_t return_addr_fixups = 0;
+
+  // Space accounting (bytes of guest local memory).
+  uint64_t tcache_bytes_used_peak = 0;
+  uint64_t extra_words_live = 0;   // slot words currently in the tcache
+  uint64_t return_stub_words = 0;
+  uint64_t redirector_words = 0;
+
+  // Cycle accounting (client-visible miss-handling time).
+  uint64_t miss_cycles = 0;
+
+  // Eviction timeline: cycle timestamps of every eviction (Figure 8 bins
+  // these into evictions/second).
+  std::vector<uint64_t> eviction_cycles;
+};
+
+}  // namespace sc::softcache

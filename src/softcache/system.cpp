@@ -1,0 +1,40 @@
+#include "softcache/system.h"
+
+namespace sc::softcache {
+
+SoftCacheSystem::SoftCacheSystem(const image::Image& image,
+                                 const SoftCacheConfig& config)
+    : channel_(config.channel) {
+  machine_.LoadImage(image);
+  mc_ = std::make_unique<MemoryController>(image, config.style,
+                                           config.max_block_instrs,
+                                           config.max_trace_blocks);
+  cc_ = std::make_unique<CacheController>(machine_, *mc_, channel_, config);
+}
+
+vm::RunResult SoftCacheSystem::Run(uint64_t max_instructions) {
+  if (!attached_) {
+    cc_->Attach();
+    attached_ = true;
+  }
+  return machine_.Run(max_instructions);
+}
+
+double SoftCacheSystem::MissRate() const {
+  const uint64_t instrs = machine_.instructions();
+  if (instrs == 0) return 0.0;
+  return static_cast<double>(stats().blocks_translated) /
+         static_cast<double>(instrs);
+}
+
+vm::RunResult RunNative(const image::Image& image, const std::string& input,
+                        std::string* output, uint64_t max_instructions) {
+  vm::Machine machine;
+  machine.LoadImage(image);
+  machine.SetInput(std::vector<uint8_t>(input.begin(), input.end()));
+  const vm::RunResult result = machine.Run(max_instructions);
+  if (output != nullptr) *output = machine.OutputString();
+  return result;
+}
+
+}  // namespace sc::softcache

@@ -1,0 +1,62 @@
+// SoftCacheSystem: convenience wiring of the full client/server stack.
+//
+// Owns the client Machine, the server MemoryController, the simulated
+// Channel between them and the CacheController, and runs a program end to
+// end under the software cache. This is the top-level public API most
+// examples and benchmarks use; the pieces remain individually constructible
+// for finer-grained experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "net/channel.h"
+#include "softcache/cc.h"
+#include "softcache/config.h"
+#include "softcache/mc.h"
+#include "vm/machine.h"
+
+namespace sc::softcache {
+
+class SoftCacheSystem {
+ public:
+  // The image must outlive the system.
+  SoftCacheSystem(const image::Image& image, const SoftCacheConfig& config = {});
+
+  // Provides the program's input stream (SYS_READ / SYS_GETCHAR).
+  void SetInput(std::vector<uint8_t> input) { machine_.SetInput(std::move(input)); }
+  void SetInput(const std::string& input) {
+    machine_.SetInput(std::vector<uint8_t>(input.begin(), input.end()));
+  }
+
+  // Runs until halt/fault or the instruction budget is exhausted.
+  vm::RunResult Run(uint64_t max_instructions = UINT64_MAX);
+
+  vm::Machine& machine() { return machine_; }
+  CacheController& cc() { return *cc_; }
+  MemoryController& mc() { return *mc_; }
+  net::Channel& channel() { return channel_; }
+  const SoftCacheStats& stats() const { return cc_->stats(); }
+  std::string OutputString() const { return machine_.OutputString(); }
+
+  // Software miss rate as the paper defines it for Figure 7: basic blocks
+  // translated divided by instructions executed.
+  double MissRate() const;
+
+ private:
+  vm::Machine machine_;
+  net::Channel channel_;
+  std::unique_ptr<MemoryController> mc_;
+  std::unique_ptr<CacheController> cc_;
+  bool attached_ = false;
+};
+
+// Runs `image` natively (no software cache) with the given input; the
+// baseline every benchmark normalizes against.
+vm::RunResult RunNative(const image::Image& image, const std::string& input,
+                        std::string* output = nullptr,
+                        uint64_t max_instructions = UINT64_MAX);
+
+}  // namespace sc::softcache

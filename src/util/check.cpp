@@ -1,0 +1,14 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sc::util {
+
+void FatalError(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[softcache fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sc::util

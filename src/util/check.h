@@ -1,0 +1,56 @@
+// Assertion and fatal-error helpers.
+//
+// SC_CHECK is for programming errors (violated invariants inside this
+// library); it is always on, regardless of NDEBUG, because a simulator that
+// silently continues past a broken invariant produces wrong science.
+// User-level errors (bad assembly, bad MiniC source, malformed images) are
+// reported through sc::util::Error / Result instead and never abort.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sc::util {
+
+// Prints `message` (with file:line) to stderr and aborts.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& message);
+
+namespace internal {
+// Accumulates a message via operator<< then aborts in the destructor.
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalStream() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  FatalStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace sc::util
+
+#define SC_CHECK(cond)                                              \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::sc::util::internal::FatalStream(__FILE__, __LINE__)           \
+        << "SC_CHECK failed: " #cond " "
+
+#define SC_CHECK_EQ(a, b) SC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SC_CHECK_NE(a, b) SC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SC_CHECK_LT(a, b) SC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SC_CHECK_LE(a, b) SC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SC_CHECK_GT(a, b) SC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SC_CHECK_GE(a, b) SC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define SC_UNREACHABLE() \
+  ::sc::util::internal::FatalStream(__FILE__, __LINE__) << "unreachable: "

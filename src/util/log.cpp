@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sc::util {
+namespace {
+
+LogLevel ReadInitialLevel() {
+  if (const char* env = std::getenv("SOFTCACHE_LOG")) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kOff;
+}
+
+LogLevel g_level = ReadInitialLevel();
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level) &&
+         level != LogLevel::kOff;
+}
+
+void LogLine(LogLevel level, const std::string& line) {
+  static const char* const kNames[] = {"off", "info", "debug", "trace"};
+  std::fprintf(stderr, "[sc:%s] %s\n", kNames[static_cast<int>(level)], line.c_str());
+}
+
+}  // namespace sc::util

@@ -1,0 +1,42 @@
+// Leveled logging. Off by default so benchmark output stays clean;
+// enable with sc::util::SetLogLevel or the SOFTCACHE_LOG env variable
+// (0=off, 1=info, 2=debug, 3=trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sc::util {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& line);
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace sc::util
+
+#define SC_LOG(level)                                       \
+  if (!::sc::util::LogEnabled(::sc::util::LogLevel::level)) \
+    ;                                                       \
+  else                                                      \
+    ::sc::util::internal::LogStream(::sc::util::LogLevel::level)

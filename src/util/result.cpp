@@ -1,0 +1,21 @@
+#include "util/result.h"
+
+#include <sstream>
+
+namespace sc::util {
+
+std::string Error::ToString() const {
+  std::ostringstream out;
+  if (!file.empty()) {
+    out << file << ":";
+    if (line > 0) {
+      out << line << ":";
+      if (column > 0) out << column << ":";
+    }
+    out << " ";
+  }
+  out << message;
+  return out.str();
+}
+
+}  // namespace sc::util

@@ -1,0 +1,84 @@
+// Result<T>: value-or-error return type for user-level failures.
+//
+// Used by the assembler, compiler, image loader and protocol decoders, where
+// failure is an expected outcome of bad input rather than a bug. Library
+// invariant violations use SC_CHECK instead (see check.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace sc::util {
+
+// A user-facing error: message plus an optional source location
+// (file/line/column used by the assembler and MiniC front end).
+struct Error {
+  std::string message;
+  std::string file;
+  int line = 0;
+  int column = 0;
+
+  // Renders "file:line:col: message" (omitting unset parts).
+  std::string ToString() const;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : value_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    SC_CHECK(ok()) << error().ToString();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    SC_CHECK(ok()) << error().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    SC_CHECK(ok()) << error().ToString();
+    return std::get<T>(std::move(value_));
+  }
+
+  const Error& error() const {
+    SC_CHECK(!ok());
+    return std::get<Error>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    SC_CHECK(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace sc::util

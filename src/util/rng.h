@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic pieces of the repository (workload input generators,
+// property-test program generators) draw from this generator with explicit
+// seeds so every experiment regenerates bit-identically. std::mt19937 is
+// avoided only to guarantee cross-platform stability of the stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace sc::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    SC_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    SC_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next64() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sc::util

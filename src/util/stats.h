@@ -1,0 +1,60 @@
+// Small statistics helpers shared by benchmarks and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc::util {
+
+// Streaming accumulator for count/min/max/mean/variance (Welford).
+class Accumulator {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket. Used for eviction-rate timelines and latency spreads.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  uint64_t bucket_count(int i) const { return counts_.at(i); }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_low(int i) const;
+  uint64_t total() const { return total_; }
+
+  // Renders a compact ASCII bar chart, one bucket per line.
+  std::string ToAscii(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Formats n with thousands separators ("12,345,678") for report tables.
+std::string WithCommas(uint64_t n);
+
+// Formats a byte count with a human unit ("24.0 KB").
+std::string HumanBytes(uint64_t n);
+
+}  // namespace sc::util

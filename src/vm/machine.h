@@ -1,0 +1,222 @@
+// The SRK32 virtual machine: a flat-memory interpreter with a deterministic
+// cycle cost model and the hook points the software cache plugs into.
+//
+// Hook points:
+//   * FetchObserver — sees every instruction fetch (address). The hardware
+//     cache simulator (Figure 6) and the profiler (Figure 9) attach here.
+//   * TrapHandler — receives TCMISS / TCJALR traps. The cache controller
+//     (client side of the softcache) attaches here; on a miss it talks to
+//     the memory controller, writes rewritten code into local memory via
+//     this Machine's mem(), charges cycles, and returns the new PC.
+//   * DataHook — translates data addresses in a configurable range. The
+//     software D-cache (Section 3 of the paper) attaches here to redirect
+//     loads/stores into its on-chip arrays and charge tag-check costs.
+//
+// The VM deliberately has no knowledge of caching; all caching behaviour
+// lives behind these interfaces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "image/layout.h"
+#include "isa/isa.h"
+#include "util/result.h"
+
+namespace sc::vm {
+
+// Deterministic per-instruction costs in cycles. The absolute values are a
+// simple in-order single-issue model (documented in DESIGN.md); every result
+// we report is a ratio, so only relative costs matter.
+struct CostModel {
+  uint32_t alu = 1;
+  uint32_t mul = 3;
+  uint32_t div = 12;
+  uint32_t load = 1;
+  uint32_t store = 1;
+  uint32_t branch = 1;
+  uint32_t jump = 1;
+  uint32_t syscall = 5;
+};
+
+enum class StopReason : uint8_t {
+  kRunning = 0,
+  kHalted,       // HALT or SYS exit; exit_code valid
+  kFault,        // architectural fault; fault_message valid
+  kInstrLimit,   // Run() hit its instruction budget
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kRunning;
+  int32_t exit_code = 0;
+  std::string fault_message;
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+};
+
+class Machine;
+
+// Observes every instruction fetch. Kept as an abstract class (not
+// std::function) so the inner loop pays one indirect call, no allocation.
+class FetchObserver {
+ public:
+  virtual ~FetchObserver() = default;
+  virtual void OnFetch(uint32_t pc) = 0;
+};
+
+// Handles softcache traps. See class comment above.
+class TrapHandler {
+ public:
+  virtual ~TrapHandler() = default;
+  // A TCMISS stub executed. Returns the PC to resume at.
+  virtual uint32_t OnTcMiss(Machine& m, uint32_t stub_index) = 0;
+  // A TCJALR executed at `pc`. The handler must implement the full jump:
+  // compute the original target from the instruction operands, resolve it to
+  // a local-memory address (translating on miss), write the link register,
+  // and return the PC to resume at.
+  virtual uint32_t OnTcJalr(Machine& m, const isa::Instr& instr, uint32_t pc) = 0;
+  // SYS_ICACHE_INVAL executed at `pc` (self-modifying code contract).
+  // Returns the PC to resume at — normally pc+4, but the handler may need
+  // to relocate execution if the invalidation evicted the very code that
+  // issued it.
+  virtual uint32_t OnIcacheInvalidate(Machine& m, uint32_t addr, uint32_t len,
+                                      uint32_t pc) = 0;
+};
+
+// Translates data addresses within the hooked range (software D-cache).
+class DataHook {
+ public:
+  virtual ~DataHook() = default;
+  // Returns the physical address the access should be performed at. May
+  // charge cycles via m.Charge() and move data via m.mem(). `size` is 1, 2
+  // or 4; `is_store` distinguishes read/write for dirty tracking.
+  virtual uint32_t Translate(Machine& m, uint32_t vaddr, uint32_t size,
+                             bool is_store) = 0;
+};
+
+// System call numbers (SYS instruction immediate).
+enum Syscall : int32_t {
+  kSysExit = 0,        // a0 = exit code
+  kSysPutChar = 1,     // a0 = byte
+  kSysGetChar = 2,     // rv = byte or -1 at EOF
+  kSysWrite = 3,       // a0 = ptr, a1 = len
+  kSysRead = 4,        // a0 = ptr, a1 = len; rv = bytes read
+  kSysBrk = 5,         // a0 = bytes to grow; rv = old break (sbrk semantics)
+  kSysCycles = 6,      // rv = low 32 bits of the cycle counter
+  kSysIcacheInval = 7, // a0 = addr, a1 = len (forwarded to TrapHandler)
+};
+
+class Machine {
+ public:
+  explicit Machine(uint32_t mem_bytes = image::kDefaultMemBytes);
+
+  // Copies the image's segments into memory, zeroes bss, sets PC to the
+  // entry point, SP to the stack top and the heap break past bss.
+  void LoadImage(const image::Image& img);
+
+  // Executes until halt, fault, or `max_instructions` retired.
+  RunResult Run(uint64_t max_instructions = UINT64_MAX);
+
+  // Register file access. Writes to register 0 are ignored.
+  uint32_t reg(uint8_t r) const { return regs_[r]; }
+  void set_reg(uint8_t r, uint32_t v) {
+    if (r != 0) regs_[r] = v;
+  }
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  // Raw memory access (bounds-checked; faults become SC_CHECK failures when
+  // performed from the host side, architectural faults when from the guest).
+  uint8_t* mem_data() { return mem_.data(); }
+  uint32_t mem_size() const { return static_cast<uint32_t>(mem_.size()); }
+  uint32_t ReadWord(uint32_t addr) const;
+  void WriteWord(uint32_t addr, uint32_t value);
+  void ReadBlock(uint32_t addr, void* out, uint32_t len) const;
+  void WriteBlock(uint32_t addr, const void* bytes, uint32_t len);
+
+  // Translates a data address through the installed data hook (identity when
+  // no hook covers it). Host-side agents that must see the same memory the
+  // guest sees — e.g. the cache controller's stack walker operating alongside
+  // a software D-cache — route their accesses through this.
+  uint32_t TranslateForHost(uint32_t vaddr, uint32_t size, bool is_store) {
+    return TranslateData(vaddr, size, is_store);
+  }
+
+  // Adds simulated cycles (used by trap handlers to charge miss latency).
+  void Charge(uint64_t cycles) { cycles_ += cycles; }
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions() const { return instret_; }
+
+  // Restrict instruction fetch to [lo, hi). Any fetch outside faults. The
+  // softcache client uses this to *prove* it only ever executes from local
+  // memory. Pass lo == hi == 0 to clear.
+  void SetExecRange(uint32_t lo, uint32_t hi) {
+    exec_lo_ = lo;
+    exec_hi_ = hi;
+  }
+
+  // Hook registration (non-owning; caller keeps the object alive).
+  void set_fetch_observer(FetchObserver* obs) { fetch_observer_ = obs; }
+  void set_trap_handler(TrapHandler* handler) { trap_handler_ = handler; }
+  // Data accesses with vaddr in [lo, hi) go through `hook`.
+  void SetDataHook(DataHook* hook, uint32_t lo, uint32_t hi) {
+    data_hook_ = hook;
+    data_hook_lo_ = lo;
+    data_hook_hi_ = hi;
+  }
+
+  // Guest console / input stream.
+  void SetInput(std::vector<uint8_t> input) {
+    input_ = std::move(input);
+    input_pos_ = 0;
+  }
+  const std::vector<uint8_t>& output() const { return output_; }
+  std::string OutputString() const {
+    return std::string(output_.begin(), output_.end());
+  }
+
+  const CostModel& cost_model() const { return cost_; }
+  void set_cost_model(const CostModel& cost) { cost_ = cost; }
+
+  // Raises an architectural fault from inside a hook (e.g. the ARM-style
+  // prototype faults on unsupported indirect jumps).
+  void RaiseFault(const std::string& message);
+
+ private:
+  RunResult MakeResult(StopReason reason);
+  bool CheckDataAddr(uint32_t addr, uint32_t size);
+  uint32_t TranslateData(uint32_t addr, uint32_t size, bool is_store);
+  void DoSyscall(int32_t number, uint32_t* next_pc);
+
+  std::array<uint32_t, isa::kNumRegs> regs_{};
+  uint32_t pc_ = 0;
+  std::vector<uint8_t> mem_;
+  uint64_t cycles_ = 0;
+  uint64_t instret_ = 0;
+  CostModel cost_;
+
+  uint32_t exec_lo_ = 0;
+  uint32_t exec_hi_ = 0;
+
+  FetchObserver* fetch_observer_ = nullptr;
+  TrapHandler* trap_handler_ = nullptr;
+  DataHook* data_hook_ = nullptr;
+  uint32_t data_hook_lo_ = 0;
+  uint32_t data_hook_hi_ = 0;
+
+  std::vector<uint8_t> input_;
+  size_t input_pos_ = 0;
+  std::vector<uint8_t> output_;
+  uint32_t brk_ = 0;
+
+  // Run-state latched by faults/halt inside a step.
+  StopReason pending_stop_ = StopReason::kRunning;
+  int32_t exit_code_ = 0;
+  std::string fault_message_;
+};
+
+}  // namespace sc::vm

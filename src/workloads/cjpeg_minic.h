@@ -1,0 +1,246 @@
+// Baseline JPEG-style grayscale encoder in MiniC (the MediaBench cjpeg
+// stand-in): 8x8 blocks, integer DCT (fixed-point separable), quantization,
+// zigzag scan, run-length + variable-length entropy coding with a static
+// table. Input: [u16 w][u16 h][u8 quality][pixels row-major].
+// No computed jumps — runs under the ARM-style prototype.
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kCjpegSource = R"MINIC(
+int base_quant[64] = {
+  16, 11, 10, 16, 24, 40, 51, 61,
+  12, 12, 14, 19, 26, 58, 60, 55,
+  14, 13, 16, 24, 40, 57, 69, 56,
+  14, 17, 22, 29, 51, 87, 80, 62,
+  18, 22, 37, 56, 68, 109, 103, 77,
+  24, 35, 55, 64, 81, 104, 113, 92,
+  49, 64, 78, 87, 103, 121, 120, 101,
+  72, 92, 95, 98, 112, 100, 103, 99 };
+
+int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10,
+  17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63 };
+
+int quant[64];
+
+/* Scales the base table for a quality setting (cold: runs once). */
+void build_quant(int quality) {
+  int scale;
+  if (quality <= 0) quality = 1;
+  if (quality > 100) quality = 100;
+  if (quality < 50) scale = 5000 / quality;
+  else scale = 200 - quality * 2;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int q = (base_quant[i] * scale + 50) / 100;
+    if (q < 1) q = 1;
+    if (q > 255) q = 255;
+    quant[i] = q;
+  }
+}
+
+/* Fixed-point constants: cos((2k+1)*u*pi/16) * 4096. */
+int dct_cos[64] = {
+  4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096,
+  4017, 3406, 2276, 799, -799, -2276, -3406, -4017,
+  3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784,
+  3406, -799, -4017, -2276, 2276, 4017, 799, -3406,
+  2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
+  2276, -4017, 799, 3406, -3406, -799, 4017, -2276,
+  1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567,
+  799, -2276, 3406, -4017, 4017, -3406, 2276, -799 };
+
+int block[64];
+int temp_block[64];
+
+/* Separable 2-D DCT on block[], fixed point. */
+void forward_dct() {
+  int u;
+  int x;
+  /* rows */
+  for (u = 0; u < 8; u++) {
+    int y;
+    for (y = 0; y < 8; y++) {
+      int acc = 0;
+      for (x = 0; x < 8; x++) acc += block[y * 8 + x] * dct_cos[u * 8 + x];
+      temp_block[y * 8 + u] = acc >> 9;
+    }
+  }
+  /* columns */
+  for (u = 0; u < 8; u++) {
+    int v;
+    for (v = 0; v < 8; v++) {
+      int acc = 0;
+      for (x = 0; x < 8; x++) acc += temp_block[x * 8 + u] * dct_cos[v * 8 + x];
+      /* scale: 2/8 * 2/8 with the 4096 fixed point folded in */
+      block[v * 8 + u] = acc >> 18;
+    }
+  }
+}
+
+void quantize() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = block[i];
+    if (v >= 0) block[i] = v / quant[i];
+    else block[i] = -((-v) / quant[i]);
+  }
+}
+
+/* ---- entropy coding: run-length of zeros + simple VLC ---- */
+uint bit_buffer = 0;
+int bit_count = 0;
+uint out_checksum = 2166136261;
+int out_bytes = 0;
+int coded_coeffs = 0;
+int zero_runs = 0;
+
+void put_bits(int value, int nbits) {
+  bit_buffer |= (uint)(value & ((1 << nbits) - 1)) << bit_count;
+  bit_count += nbits;
+  while (bit_count >= 8) {
+    int b = (int)(bit_buffer & 255);
+    out_checksum = (out_checksum ^ (uint)b) * 16777619;
+    bit_buffer = bit_buffer >> 8;
+    bit_count -= 8;
+    out_bytes++;
+  }
+}
+
+int magnitude_bits(int v) {
+  int m = v < 0 ? -v : v;
+  int bits = 0;
+  while (m > 0) { bits++; m = m >> 1; }
+  return bits;
+}
+
+void encode_coeff(int run, int value) {
+  int nbits = magnitude_bits(value);
+  /* (run,size) pair as 4+4 bits, then the value bits */
+  put_bits(run, 4);
+  put_bits(nbits, 4);
+  if (nbits > 0) {
+    int v = value;
+    if (v < 0) v = v + (1 << nbits) - 1;   /* JPEG-style negative coding */
+    put_bits(v, nbits);
+  }
+  coded_coeffs++;
+}
+
+int prev_dc = 0;
+
+void encode_block() {
+  /* DC: difference from previous block */
+  int dc = block[0];
+  encode_coeff(0, dc - prev_dc);
+  prev_dc = dc;
+  /* AC: zigzag with zero runs */
+  int run = 0;
+  int k;
+  for (k = 1; k < 64; k++) {
+    int v = block[zigzag[k]];
+    if (v == 0) {
+      run++;
+      if (run == 16) { put_bits(15, 4); put_bits(0, 4); run = 0; zero_runs++; }
+    } else {
+      encode_coeff(run, v);
+      run = 0;
+    }
+  }
+  if (run > 0) { put_bits(0, 8); zero_runs++; }  /* end of block */
+}
+
+/* ---- image handling ---- */
+char pixels[65536];
+int width = 0;
+int height = 0;
+
+void fail_input(char *why) {
+  print_str("cjpeg: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+int read_u16() {
+  char b[2];
+  if (read_bytes(b, 2) != 2) return -1;
+  return (int)b[0] | ((int)b[1] << 8);
+}
+
+void load_block(int bx, int by) {
+  int y;
+  for (y = 0; y < 8; y++) {
+    int x;
+    for (x = 0; x < 8; x++) {
+      int px = bx * 8 + x;
+      int py = by * 8 + y;
+      int v;
+      if (px < width && py < height) v = (int)pixels[py * width + px];
+      else v = 128;                       /* edge padding */
+      block[y * 8 + x] = v - 128;          /* level shift */
+    }
+  }
+}
+
+void print_stats() {
+  print_nl();
+  print_str("== cjpeg stats ==");
+  print_nl();
+  print_str("image:    ");
+  print_int(width);
+  print_str("x");
+  print_int(height);
+  print_nl();
+  print_str("out:      ");
+  print_int(out_bytes);
+  print_nl();
+  print_str("coeffs:   ");
+  print_int(coded_coeffs);
+  print_nl();
+  print_str("eob/runs: ");
+  print_int(zero_runs);
+  print_nl();
+  print_str("checksum: ");
+  print_hex(out_checksum);
+  print_nl();
+}
+
+int main() {
+  width = read_u16();
+  height = read_u16();
+  int quality = getchar();
+  if (width <= 0 || height <= 0 || quality < 0) fail_input("bad header");
+  if (width * height > 65536) fail_input("image too large");
+  if (read_bytes(pixels, width * height) != width * height) {
+    fail_input("truncated pixels");
+  }
+  build_quant(quality);
+  int blocks_x = (width + 7) / 8;
+  int blocks_y = (height + 7) / 8;
+  int by;
+  for (by = 0; by < blocks_y; by++) {
+    int bx;
+    for (bx = 0; bx < blocks_x; bx++) {
+      load_block(bx, by);
+      forward_dct();
+      quantize();
+      encode_block();
+    }
+  }
+  put_bits(0x7f, 7);  /* flush */
+  print_stats();
+  return (int)(out_checksum & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

@@ -1,0 +1,290 @@
+// LZW compressor in MiniC — the stand-in for SPEC CPU95 129.compress.
+//
+// Implements classic LZW with a chained hash table and growing code width
+// (9..14 bits), plus a decompressor used by the self-test mode. Input:
+//   [u8 mode][u32 length][bytes...]   mode 0 = compress, 1 = round-trip test
+// Output: packed code stream followed by statistics. The decompressor and
+// diagnostic routines are cold in mode 0 — exactly the hot/cold split
+// Table 1 and Figure 5 measure.
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kCompressSource = R"MINIC(
+/* ---- LZW tables ---- */
+int HASH_SIZE = 18013;        /* prime > 2^14 */
+int MAX_CODES = 16384;        /* 14-bit codes */
+
+int hash_head[18013];         /* hash bucket -> code or -1 */
+int code_prefix[16384];       /* code -> prefix code */
+int code_suffix[16384];       /* code -> appended byte */
+int hash_next[16384];         /* chain links */
+int next_code = 0;
+int code_bits = 9;
+
+/* ---- bit-packed output ---- */
+uint bit_buffer = 0;
+int bit_count = 0;
+uint out_checksum = 2166136261;
+int out_bytes = 0;
+char out_ring[4096];
+int out_ring_len = 0;
+
+void flush_ring() {
+  if (out_ring_len > 0) {
+    write_bytes(out_ring, out_ring_len);
+    out_ring_len = 0;
+  }
+}
+
+void put_byte(int b) {
+  out_checksum = (out_checksum ^ (uint)(b & 255)) * 16777619;
+  out_ring[out_ring_len] = (char)b;
+  out_ring_len++;
+  if (out_ring_len == 4096) flush_ring();
+  out_bytes++;
+}
+
+void put_code(int code) {
+  bit_buffer |= (uint)code << bit_count;
+  bit_count += code_bits;
+  while (bit_count >= 8) {
+    put_byte((int)(bit_buffer & 255));
+    bit_buffer = bit_buffer >> 8;
+    bit_count -= 8;
+  }
+}
+
+void flush_bits() {
+  if (bit_count > 0) put_byte((int)(bit_buffer & 255));
+  bit_buffer = 0;
+  bit_count = 0;
+}
+
+/* ---- dictionary ---- */
+void dict_reset() {
+  int i;
+  for (i = 0; i < HASH_SIZE; i++) hash_head[i] = -1;
+  next_code = 256;
+  code_bits = 9;
+}
+
+int dict_probe(int prefix, int suffix) {
+  int h = ((prefix << 8) ^ suffix) % HASH_SIZE;
+  if (h < 0) h += HASH_SIZE;
+  int code = hash_head[h];
+  while (code >= 0) {
+    if (code_prefix[code] == prefix && code_suffix[code] == suffix) return code;
+    code = hash_next[code];
+  }
+  return -1;
+}
+
+void dict_insert(int prefix, int suffix) {
+  if (next_code >= MAX_CODES) return;
+  int h = ((prefix << 8) ^ suffix) % HASH_SIZE;
+  if (h < 0) h += HASH_SIZE;
+  code_prefix[next_code] = prefix;
+  code_suffix[next_code] = suffix;
+  hash_next[next_code] = hash_head[h];
+  hash_head[h] = next_code;
+  next_code++;
+  if (next_code == (1 << code_bits) && code_bits < 14) code_bits++;
+}
+
+/* ---- input ---- */
+char in_buf[4096];
+int in_len = 0;
+int in_pos = 0;
+int in_total = 0;
+int in_limit = 0;
+
+int next_byte() {
+  if (in_total >= in_limit) return -1;
+  if (in_pos >= in_len) {
+    int want = in_limit - in_total;
+    if (want > 4096) want = 4096;
+    in_len = read_bytes(in_buf, want);
+    in_pos = 0;
+    if (in_len <= 0) return -1;
+  }
+  in_total++;
+  int v = (int)in_buf[in_pos];
+  in_pos++;
+  return v;
+}
+
+int read_u32() {
+  char b[4];
+  if (read_bytes(b, 4) != 4) return -1;
+  return (int)b[0] | ((int)b[1] << 8) | ((int)b[2] << 16) | ((int)b[3] << 24);
+}
+
+void fail_input(char *why) {
+  print_str("compress: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+/* ---- compression ---- */
+int do_compress() {
+  dict_reset();
+  int prefix = next_byte();
+  if (prefix < 0) fail_input("empty input");
+  int c;
+  while ((c = next_byte()) >= 0) {
+    int code = dict_probe(prefix, c);
+    if (code >= 0) {
+      prefix = code;
+    } else {
+      put_code(prefix);
+      dict_insert(prefix, c);
+      prefix = c;
+    }
+  }
+  put_code(prefix);
+  flush_bits();
+  flush_ring();
+  return in_total;
+}
+
+/* ---- decompression (cold in mode 0; used by the self-test) ---- */
+char decode_stack[16384];
+uint dec_checksum = 2166136261;
+int dec_count = 0;
+
+int stored_codes[65536];
+int stored_ncodes = 0;
+
+void store_code_for_test(int code) { stored_codes[stored_ncodes++] = code; }
+
+void emit_decoded(int b) {
+  dec_checksum = (dec_checksum ^ (uint)(b & 255)) * 16777619;
+  dec_count++;
+}
+
+int dprefix[16384];
+int dsuffix[16384];
+
+int do_decompress_stored() {
+  /* rebuild from stored_codes; mirrors the canonical LZW decoder */
+  int dnext = 256;
+  int pos = 0;
+  if (stored_ncodes == 0) return 0;
+  int prev = stored_codes[pos]; pos++;
+  emit_decoded(prev);
+  int prev_first = prev;
+  while (pos < stored_ncodes) {
+    int code = stored_codes[pos]; pos++;
+    int top = 0;
+    int cur = code;
+    if (code >= dnext) {        /* KwKwK case */
+      decode_stack[top] = (char)prev_first;
+      top++;
+      cur = prev;
+    }
+    while (cur >= 256) {
+      decode_stack[top] = (char)dsuffix[cur];
+      top++;
+      cur = dprefix[cur];
+    }
+    decode_stack[top] = (char)cur;
+    top++;
+    prev_first = cur;
+    while (top > 0) {
+      top--;
+      emit_decoded((int)decode_stack[top]);
+    }
+    if (dnext < 16384) {
+      dprefix[dnext] = prev;
+      dsuffix[dnext] = prev_first;
+      dnext++;
+    }
+    prev = code;
+  }
+  return dec_count;
+}
+
+/* Self-test mode: compress while recording codes, then decompress and check
+   the round trip reproduces the input checksum. */
+uint src_checksum = 2166136261;
+
+int do_selftest() {
+  dict_reset();
+  stored_ncodes = 0;
+  int prefix = next_byte();
+  if (prefix < 0) fail_input("empty input");
+  src_checksum = (src_checksum ^ (uint)prefix) * 16777619;
+  int c;
+  while ((c = next_byte()) >= 0) {
+    src_checksum = (src_checksum ^ (uint)c) * 16777619;
+    int code = dict_probe(prefix, c);
+    if (code >= 0) {
+      prefix = code;
+    } else {
+      store_code_for_test(prefix);
+      dict_insert(prefix, c);
+      prefix = c;
+    }
+  }
+  store_code_for_test(prefix);
+  do_decompress_stored();
+  if (dec_count != in_total) return 1;
+  if (dec_checksum != src_checksum) return 2;
+  return 0;
+}
+
+void print_stats(int mode) {
+  print_nl();
+  print_str("== compress stats ==");
+  print_nl();
+  print_str("mode:        ");
+  print_int(mode);
+  print_nl();
+  print_str("input bytes: ");
+  print_int(in_total);
+  print_nl();
+  print_str("out bytes:   ");
+  print_int(out_bytes);
+  print_nl();
+  print_str("dict codes:  ");
+  print_int(next_code);
+  print_nl();
+  print_str("checksum:    ");
+  print_hex(out_checksum);
+  print_nl();
+  if (in_total > 0 && out_bytes > 0) {
+    print_str("ratio x100:  ");
+    print_int((out_bytes * 100) / in_total);
+    print_nl();
+  }
+}
+
+int main() {
+  char header[1];
+  if (read_bytes(header, 1) != 1) fail_input("missing mode byte");
+  int mode = (int)header[0];
+  in_limit = read_u32();
+  if (in_limit <= 0) fail_input("bad length");
+  if (mode == 0) {
+    do_compress();
+    print_stats(mode);
+    return (int)(out_checksum & 127);
+  }
+  if (mode == 1) {
+    int rc = do_selftest();
+    print_str("selftest: ");
+    print_int(rc);
+    print_nl();
+    print_stats(mode);
+    return rc;
+  }
+  fail_input("unknown mode");
+  return 3;
+}
+)MINIC";
+
+}  // namespace sc::workloads

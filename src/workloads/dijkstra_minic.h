@@ -1,0 +1,124 @@
+// Dijkstra shortest paths in MiniC — the network-routing kernel a sensor
+// mesh would run (pointer-free adjacency matrix + simple priority scan, the
+// classic MiBench formulation). Input:
+//   [u8 nodes][u8 queries][adjacency weights, one byte each, 0 = no edge]
+//   then queries of [u8 src][u8 dst].
+// Output: per-query distances + stats. ARM-prototype safe.
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kDijkstraSource = R"MINIC(
+int NONE = 0x7fffffff;
+char adj[16384];         /* nodes x nodes, weight bytes */
+int dist[128];
+char visited[128];
+int prev_hop[128];
+int nodes = 0;
+int relaxations = 0;
+int scans = 0;
+
+void fail_input(char *why) {
+  print_str("dijkstra: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+int shortest_path(int src, int dst) {
+  int i;
+  for (i = 0; i < nodes; i++) {
+    dist[i] = NONE;
+    visited[i] = 0;
+    prev_hop[i] = -1;
+  }
+  dist[src] = 0;
+  for (;;) {
+    /* extract-min by linear scan (the MiBench way) */
+    int best = -1;
+    int best_d = NONE;
+    for (i = 0; i < nodes; i++) {
+      scans++;
+      if (!visited[i] && dist[i] < best_d) {
+        best = i;
+        best_d = dist[i];
+      }
+    }
+    if (best < 0) break;
+    if (best == dst) break;
+    visited[best] = 1;
+    for (i = 0; i < nodes; i++) {
+      int w = (int)adj[best * nodes + i];
+      if (w > 0 && !visited[i]) {
+        int nd = dist[best] + w;
+        if (nd < dist[i]) {
+          dist[i] = nd;
+          prev_hop[i] = best;
+          relaxations++;
+        }
+      }
+    }
+  }
+  return dist[dst];
+}
+
+int path_length(int dst) {
+  int hops = 0;
+  int cur = dst;
+  while (cur >= 0 && hops <= nodes) {
+    cur = prev_hop[cur];
+    hops++;
+  }
+  return hops - 1;
+}
+
+int main() {
+  nodes = getchar();
+  int queries = getchar();
+  if (nodes < 2 || nodes > 128 || queries < 1) fail_input("bad header");
+  if (read_bytes(adj, nodes * nodes) != nodes * nodes) {
+    fail_input("truncated adjacency");
+  }
+  uint checksum = 2166136261;
+  int q;
+  for (q = 0; q < queries; q++) {
+    int src = getchar();
+    int dst = getchar();
+    if (src < 0 || dst < 0 || src >= nodes || dst >= nodes) {
+      fail_input("bad query");
+    }
+    int d = shortest_path(src, dst);
+    int hops = d == NONE ? -1 : path_length(dst);
+    print_int(src);
+    print_str(" -> ");
+    print_int(dst);
+    print_str(": ");
+    if (d == NONE) print_str("unreachable");
+    else print_int(d);
+    print_str(" (");
+    print_int(hops);
+    print_str(" hops)");
+    print_nl();
+    checksum = (checksum ^ (uint)d) * 16777619;
+  }
+  print_str("== dijkstra stats ==");
+  print_nl();
+  print_str("nodes:       ");
+  print_int(nodes);
+  print_nl();
+  print_str("relaxations: ");
+  print_int(relaxations);
+  print_nl();
+  print_str("scans:       ");
+  print_int(scans);
+  print_nl();
+  print_str("checksum:    ");
+  print_hex(checksum);
+  print_nl();
+  return (int)(checksum & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

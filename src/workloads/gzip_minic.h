@@ -1,0 +1,215 @@
+// LZSS compressor in MiniC — the gzip stand-in used by the ARM experiments.
+//
+// Greedy LZ77 with a 4 KB window and 3-byte hash chains; output is a
+// flag-byte stream (8 items per flag byte: literal or 12-bit offset + 4-bit
+// length pair). A decompressor self-test mode exists and stays cold in the
+// normal compression mode. No computed jumps anywhere — this workload must
+// run under the ARM-style prototype.
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kGzipSource = R"MINIC(
+int WINDOW = 4096;
+int MIN_MATCH = 3;
+int MAX_MATCH = 18;
+
+char window_buf[4096];
+int hash_head[4096];     /* hash of 3 bytes -> most recent position+1 */
+int hash_prev[4096];     /* position -> previous position+1 in chain */
+
+char in_data[65536];
+int in_size = 0;
+
+uint out_checksum = 2166136261;
+int out_count = 0;
+char out_data[65536];
+int literals = 0;
+int matches = 0;
+
+void emit(int b) {
+  out_checksum = (out_checksum ^ (uint)(b & 255)) * 16777619;
+  out_data[out_count] = (char)b;
+  out_count++;
+}
+
+int hash3(int pos) {
+  int h = ((int)in_data[pos] << 6) ^ ((int)in_data[pos + 1] << 3) ^
+          (int)in_data[pos + 2];
+  return h & 4095;
+}
+
+/* Finds the longest match for in_data[pos..] within the window.
+   Returns length, stores offset via pointer. */
+int find_match(int pos, int *offset_out) {
+  if (pos + MIN_MATCH > in_size) return 0;
+  int limit = in_size - pos;
+  if (limit > MAX_MATCH) limit = MAX_MATCH;
+  int best_len = 0;
+  int best_off = 0;
+  int tries = 32;                 /* chain cap, like gzip's max_chain */
+  int cand = hash_head[hash3(pos)] - 1;
+  while (cand >= 0 && tries > 0) {
+    if (pos - cand > WINDOW - 1) break;
+    int len = 0;
+    while (len < limit && in_data[cand + len] == in_data[pos + len]) len++;
+    if (len > best_len) {
+      best_len = len;
+      best_off = pos - cand;
+      if (len == limit) break;
+    }
+    cand = hash_prev[cand & 4095] - 1;
+    tries--;
+  }
+  *offset_out = best_off;
+  return best_len;
+}
+
+void insert_hash(int pos) {
+  if (pos + MIN_MATCH > in_size) return;
+  int h = hash3(pos);
+  hash_prev[pos & 4095] = hash_head[h];
+  hash_head[h] = pos + 1;
+}
+
+int do_compress() {
+  int pos = 0;
+  int flag_pos = -1;
+  int flag_bits = 8;
+  while (pos < in_size) {
+    if (flag_bits == 8) {
+      flag_pos = out_count;
+      emit(0);
+      flag_bits = 0;
+    }
+    int offset = 0;
+    int len = find_match(pos, &offset);
+    if (len >= MIN_MATCH) {
+      /* match: flag bit 1, then offset(12) | len-3(4) packed in 2 bytes */
+      out_data[flag_pos] = (char)((int)out_data[flag_pos] | (1 << flag_bits));
+      emit(offset & 255);
+      emit(((offset >> 8) & 15) | ((len - MIN_MATCH) << 4));
+      int k;
+      for (k = 0; k < len; k++) insert_hash(pos + k);
+      pos += len;
+      matches++;
+    } else {
+      emit((int)in_data[pos]);
+      insert_hash(pos);
+      pos++;
+      literals++;
+    }
+    flag_bits++;
+  }
+  /* re-checksum the flag bytes that were patched after emission */
+  out_checksum = 2166136261;
+  int i;
+  for (i = 0; i < out_count; i++) {
+    out_checksum = (out_checksum ^ (uint)((int)out_data[i] & 255)) * 16777619;
+  }
+  return out_count;
+}
+
+/* ---- decompressor: cold except in self-test mode ---- */
+char dec_data[65536];
+int dec_count = 0;
+
+int do_decompress() {
+  dec_count = 0;
+  int pos = 0;
+  while (pos < out_count) {
+    int flags = (int)out_data[pos];
+    pos++;
+    int bit;
+    for (bit = 0; bit < 8 && pos < out_count; bit++) {
+      if (flags & (1 << bit)) {
+        int lo = (int)out_data[pos];
+        int hi = (int)out_data[pos + 1];
+        pos += 2;
+        int offset = lo | ((hi & 15) << 8);
+        int len = (hi >> 4) + MIN_MATCH;
+        int k;
+        for (k = 0; k < len; k++) {
+          dec_data[dec_count] = dec_data[dec_count - offset];
+          dec_count++;
+        }
+      } else {
+        dec_data[dec_count] = out_data[pos];
+        dec_count++;
+        pos++;
+      }
+    }
+  }
+  return dec_count;
+}
+
+void fail_input(char *why) {
+  print_str("gzip: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+int read_u32() {
+  char b[4];
+  if (read_bytes(b, 4) != 4) return -1;
+  return (int)b[0] | ((int)b[1] << 8) | ((int)b[2] << 16) | ((int)b[3] << 24);
+}
+
+void print_stats(int mode) {
+  print_nl();
+  print_str("== gzip stats ==");
+  print_nl();
+  print_str("mode:     ");
+  print_int(mode);
+  print_nl();
+  print_str("in:       ");
+  print_int(in_size);
+  print_nl();
+  print_str("out:      ");
+  print_int(out_count);
+  print_nl();
+  print_str("literals: ");
+  print_int(literals);
+  print_nl();
+  print_str("matches:  ");
+  print_int(matches);
+  print_nl();
+  print_str("checksum: ");
+  print_hex(out_checksum);
+  print_nl();
+  if (in_size > 0) {
+    print_str("ratio:    ");
+    print_int((out_count * 100) / in_size);
+    print_nl();
+  }
+}
+
+int main() {
+  char header[1];
+  if (read_bytes(header, 1) != 1) fail_input("missing mode");
+  int mode = (int)header[0];
+  in_size = read_u32();
+  if (in_size <= 0 || in_size > 65536) fail_input("bad length");
+  if (read_bytes(in_data, in_size) != in_size) fail_input("truncated data");
+  int i;
+  for (i = 0; i < 4096; i++) { hash_head[i] = 0; hash_prev[i] = 0; }
+  do_compress();
+  if (mode == 1) {
+    do_decompress();
+    if (dec_count != in_size) { print_str("selftest: length mismatch"); print_nl(); return 9; }
+    for (i = 0; i < in_size; i++) {
+      if (dec_data[i] != in_data[i]) { print_str("selftest: data mismatch"); print_nl(); return 8; }
+    }
+    print_str("selftest: ok");
+    print_nl();
+  }
+  write_bytes(out_data, out_count < 512 ? out_count : 512);
+  print_stats(mode);
+  return (int)(out_checksum & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

@@ -1,0 +1,240 @@
+// hextobdd in MiniC — a binary-decision-diagram package driven by
+// hex-encoded truth tables (the paper's "local graph manipulation
+// application"). Builds ROBDDs via a unique table, combines them with a
+// memoized apply(), and reports node and satisfying-assignment counts.
+// Pointer-chasing and hashing dominate, a very different profile from the
+// compression codecs.
+// Input: [u8 nvars][u8 nfuncs][truth tables, hex chars, 2^nvars bits each].
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kHextobddSource = R"MINIC(
+/* ---- node store ----
+   node 0 = FALSE terminal, node 1 = TRUE terminal. */
+int MAX_NODES = 32768;
+int node_var[32768];
+int node_lo[32768];
+int node_hi[32768];
+int node_count = 2;
+
+/* unique table: open hashing with chains */
+int UNIQ_SIZE = 16381;
+int uniq_head[16381];
+int uniq_next[32768];
+
+/* apply memo cache */
+int MEMO_SIZE = 16384;
+int memo_key_f[16384];
+int memo_key_g[16384];
+int memo_op[16384];
+int memo_val[16384];
+
+int nvars = 0;
+
+void tables_init() {
+  int i;
+  node_var[0] = 999; node_lo[0] = 0; node_hi[0] = 0;
+  node_var[1] = 999; node_lo[1] = 1; node_hi[1] = 1;
+  node_count = 2;
+  for (i = 0; i < UNIQ_SIZE; i++) uniq_head[i] = -1;
+  for (i = 0; i < MEMO_SIZE; i++) memo_op[i] = -1;
+}
+
+void fail(char *why) {
+  print_str("hextobdd: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+/* Finds or creates the node (var, lo, hi), maintaining reduction rules. */
+int mk_node(int var, int lo, int hi) {
+  if (lo == hi) return lo;
+  int h = (var * 12582917 + lo * 4256249 + hi * 741457) % UNIQ_SIZE;
+  if (h < 0) h += UNIQ_SIZE;
+  int n = uniq_head[h];
+  while (n >= 0) {
+    if (node_var[n] == var && node_lo[n] == lo && node_hi[n] == hi) return n;
+    n = uniq_next[n];
+  }
+  if (node_count >= MAX_NODES) fail("node table full");
+  n = node_count;
+  node_count++;
+  node_var[n] = var;
+  node_lo[n] = lo;
+  node_hi[n] = hi;
+  uniq_next[n] = uniq_head[h];
+  uniq_head[h] = n;
+  return n;
+}
+
+/* ops: 0 = AND, 1 = OR, 2 = XOR */
+int apply_op(int op, int a, int b) {
+  if (op == 0) return a & b;
+  if (op == 1) return a | b;
+  return a ^ b;
+}
+
+int apply(int op, int f, int g) {
+  if (f <= 1 && g <= 1) return apply_op(op, f, g);
+  /* terminal shortcuts */
+  if (op == 0) {
+    if (f == 0 || g == 0) return 0;
+    if (f == 1) return g;
+    if (g == 1) return f;
+  }
+  if (op == 1) {
+    if (f == 1 || g == 1) return 1;
+    if (f == 0) return g;
+    if (g == 0) return f;
+  }
+  if (op == 2) {
+    if (f == 0) return g;
+    if (g == 0) return f;
+  }
+  int slot = ((f * 31 + g) * 7 + op) % MEMO_SIZE;
+  if (slot < 0) slot += MEMO_SIZE;
+  if (memo_op[slot] == op && memo_key_f[slot] == f && memo_key_g[slot] == g) {
+    return memo_val[slot];
+  }
+  int vf = node_var[f];
+  int vg = node_var[g];
+  int var = vf < vg ? vf : vg;
+  int f_lo = f; int f_hi = f;
+  int g_lo = g; int g_hi = g;
+  if (vf == var) { f_lo = node_lo[f]; f_hi = node_hi[f]; }
+  if (vg == var) { g_lo = node_lo[g]; g_hi = node_hi[g]; }
+  int lo = apply(op, f_lo, g_lo);
+  int hi = apply(op, f_hi, g_hi);
+  int r = mk_node(var, lo, hi);
+  memo_op[slot] = op;
+  memo_key_f[slot] = f;
+  memo_key_g[slot] = g;
+  memo_val[slot] = r;
+  return r;
+}
+
+/* Builds a BDD from a truth table bit array over [index, index+len). */
+char truth[4096];
+
+int build_from_truth(int var, int index, int len) {
+  if (len == 1) return (int)truth[index] ? 1 : 0;
+  int half = len / 2;
+  int lo = build_from_truth(var + 1, index, half);
+  int hi = build_from_truth(var + 1, index + half, half);
+  return mk_node(var, lo, hi);
+}
+
+/* Counts BDD nodes reachable from f (graph walk with a visited mark). */
+char visited[32768];
+
+int count_reachable(int f) {
+  if (f <= 1) return 0;
+  if (visited[f]) return 0;
+  visited[f] = 1;
+  return 1 + count_reachable(node_lo[f]) + count_reachable(node_hi[f]);
+}
+
+int bdd_size(int f) {
+  int i;
+  for (i = 0; i < node_count; i++) visited[i] = 0;
+  return count_reachable(f);
+}
+
+/* Counts satisfying assignments (scaled by 2^missing-vars). */
+int sat_count(int f, int var) {
+  if (f == 0) return 0;
+  if (f == 1) return 1 << (nvars - var);
+  int skip_lo = node_var[f] - var;
+  int lo = sat_count(node_lo[f], node_var[f] + 1);
+  int hi = sat_count(node_hi[f], node_var[f] + 1);
+  return (lo + hi) << skip_lo;
+}
+
+/* Evaluates f under assignment bits. */
+int bdd_eval(int f, int bits) {
+  while (f > 1) {
+    if (bits & (1 << node_var[f])) f = node_hi[f];
+    else f = node_lo[f];
+  }
+  return f;
+}
+
+int hex_digit(int c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/* Reads 2^nvars truth bits as hex characters into truth[]. */
+void read_truth() {
+  int bits = 1 << nvars;
+  int i;
+  for (i = 0; i < bits; i += 4) {
+    int c = getchar();
+    int d = hex_digit(c);
+    if (d < 0) fail("bad hex digit");
+    truth[i] = (char)((d >> 3) & 1);
+    truth[i + 1] = (char)((d >> 2) & 1);
+    truth[i + 2] = (char)((d >> 1) & 1);
+    truth[i + 3] = (char)(d & 1);
+  }
+}
+
+int funcs[64];
+
+int main() {
+  nvars = getchar();
+  int nfuncs = getchar();
+  if (nvars < 2 || nvars > 12) fail("bad nvars");
+  if (nfuncs < 1 || nfuncs > 64) fail("bad nfuncs");
+  tables_init();
+
+  uint checksum = 2166136261;
+  int i;
+  for (i = 0; i < nfuncs; i++) {
+    read_truth();
+    funcs[i] = build_from_truth(0, 0, 1 << nvars);
+  }
+
+  /* Combine all pairs with rotating operators, like a verification pass. */
+  int combined = funcs[0];
+  for (i = 1; i < nfuncs; i++) {
+    combined = apply(i % 3, combined, funcs[i]);
+    checksum = (checksum ^ (uint)bdd_size(combined)) * 16777619;
+  }
+
+  /* Evaluate on a few assignments and fold into the checksum. */
+  for (i = 0; i < 64; i++) {
+    checksum = (checksum ^ (uint)bdd_eval(combined, i * 2654435761)) * 16777619;
+  }
+
+  print_str("== hextobdd stats ==");
+  print_nl();
+  print_str("vars:      ");
+  print_int(nvars);
+  print_nl();
+  print_str("functions: ");
+  print_int(nfuncs);
+  print_nl();
+  print_str("nodes:     ");
+  print_int(node_count);
+  print_nl();
+  print_str("size(comb):");
+  print_int(bdd_size(combined));
+  print_nl();
+  print_str("satcount:  ");
+  print_int(sat_count(combined, 0));
+  print_nl();
+  print_str("checksum:  ");
+  print_hex(checksum);
+  print_nl();
+  return (int)(checksum & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

@@ -1,0 +1,278 @@
+// MPEG-2-style video encoder in MiniC (the mpeg2enc stand-in): the first
+// frame is intra-coded (8x8 DCT + quantization), subsequent frames use
+// 16x16-macroblock full-search motion estimation over a +-7 pixel window
+// followed by residual DCT/quantization. The largest workload by code size,
+// like mpeg2enc in Table 1.
+// Input: [u16 w][u16 h][u8 nframes][frame pixels ...].
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kMpeg2encSource = R"MINIC(
+/* ---- frame storage ---- */
+char cur_frame[16384];
+char ref_frame[16384];
+int width = 0;
+int height = 0;
+
+/* ---- DCT machinery (same fixed-point scheme as cjpeg) ---- */
+int dct_cos[64] = {
+  4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096,
+  4017, 3406, 2276, 799, -799, -2276, -3406, -4017,
+  3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784,
+  3406, -799, -4017, -2276, 2276, 4017, 799, -3406,
+  2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
+  2276, -4017, 799, 3406, -3406, -799, 4017, -2276,
+  1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567,
+  799, -2276, 3406, -4017, 4017, -3406, 2276, -799 };
+
+int intra_quant[64] = {
+  8, 16, 19, 22, 26, 27, 29, 34,
+  16, 16, 22, 24, 27, 29, 34, 37,
+  19, 22, 26, 27, 29, 34, 34, 38,
+  22, 22, 26, 27, 29, 34, 37, 40,
+  22, 26, 27, 29, 32, 35, 40, 48,
+  26, 27, 29, 32, 35, 40, 48, 58,
+  26, 27, 29, 34, 38, 46, 56, 69,
+  27, 29, 35, 38, 46, 56, 69, 83 };
+
+int block[64];
+int temp_block[64];
+
+void forward_dct() {
+  int u;
+  int x;
+  for (u = 0; u < 8; u++) {
+    int y;
+    for (y = 0; y < 8; y++) {
+      int acc = 0;
+      for (x = 0; x < 8; x++) acc += block[y * 8 + x] * dct_cos[u * 8 + x];
+      temp_block[y * 8 + u] = acc >> 9;
+    }
+  }
+  for (u = 0; u < 8; u++) {
+    int v;
+    for (v = 0; v < 8; v++) {
+      int acc = 0;
+      for (x = 0; x < 8; x++) acc += temp_block[x * 8 + u] * dct_cos[v * 8 + x];
+      block[v * 8 + u] = acc >> 18;
+    }
+  }
+}
+
+int quantize_block(int inter) {
+  int nonzero = 0;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int q = inter ? 16 : intra_quant[i];
+    int v = block[i];
+    if (v >= 0) v = v / q;
+    else v = -((-v) / q);
+    block[i] = v;
+    if (v != 0) nonzero++;
+  }
+  return nonzero;
+}
+
+/* ---- motion estimation ---- */
+int sad_16x16(int cx, int cy, int rx, int ry) {
+  int sad = 0;
+  int y;
+  for (y = 0; y < 16; y++) {
+    int x;
+    for (x = 0; x < 16; x++) {
+      int a = (int)cur_frame[(cy + y) * width + cx + x];
+      int b = (int)ref_frame[(ry + y) * width + rx + x];
+      int d = a - b;
+      if (d < 0) d = -d;
+      sad += d;
+    }
+  }
+  return sad;
+}
+
+int best_mx = 0;
+int best_my = 0;
+
+int full_search(int cx, int cy) {
+  int best = 0x7fffffff;
+  best_mx = 0;
+  best_my = 0;
+  int dy;
+  for (dy = -7; dy <= 7; dy++) {
+    int dx;
+    for (dx = -7; dx <= 7; dx++) {
+      int rx = cx + dx;
+      int ry = cy + dy;
+      if (rx < 0 || ry < 0 || rx + 16 > width || ry + 16 > height) continue;
+      int sad = sad_16x16(cx, cy, rx, ry);
+      if (sad < best) {
+        best = sad;
+        best_mx = dx;
+        best_my = dy;
+      }
+    }
+  }
+  return best;
+}
+
+/* ---- output ---- */
+uint out_checksum = 2166136261;
+int out_bits = 0;
+int mv_bits = 0;
+int coef_bits = 0;
+int intra_blocks = 0;
+int inter_blocks = 0;
+
+void account(int value, int bits) {
+  out_checksum = (out_checksum ^ (uint)value) * 16777619;
+  out_bits += bits;
+}
+
+int coeff_cost(int v) {
+  int m = v < 0 ? -v : v;
+  int bits = 2;
+  while (m > 0) { bits += 2; m = m >> 1; }
+  return bits;
+}
+
+void code_block(int inter) {
+  int nz = quantize_block(inter);
+  int i;
+  for (i = 0; i < 64; i++) {
+    if (block[i] != 0) {
+      int c = coeff_cost(block[i]);
+      account(block[i], c);
+      coef_bits += c;
+    }
+  }
+  account(nz, 6);
+  if (inter) inter_blocks++;
+  else intra_blocks++;
+}
+
+void load_intra_block(int px, int py) {
+  int y;
+  for (y = 0; y < 8; y++) {
+    int x;
+    for (x = 0; x < 8; x++) {
+      block[y * 8 + x] = (int)cur_frame[(py + y) * width + px + x] - 128;
+    }
+  }
+}
+
+void load_residual_block(int px, int py, int mx, int my) {
+  int y;
+  for (y = 0; y < 8; y++) {
+    int x;
+    for (x = 0; x < 8; x++) {
+      int a = (int)cur_frame[(py + y) * width + px + x];
+      int b = (int)ref_frame[(py + y + my) * width + px + x + mx];
+      block[y * 8 + x] = a - b;
+    }
+  }
+}
+
+void encode_intra_frame() {
+  int by;
+  for (by = 0; by + 8 <= height; by += 8) {
+    int bx;
+    for (bx = 0; bx + 8 <= width; bx += 8) {
+      load_intra_block(bx, by);
+      forward_dct();
+      code_block(0);
+    }
+  }
+}
+
+void encode_inter_frame() {
+  int my_;
+  for (my_ = 0; my_ + 16 <= height; my_ += 16) {
+    int mx_;
+    for (mx_ = 0; mx_ + 16 <= width; mx_ += 16) {
+      full_search(mx_, my_);
+      account(best_mx * 16 + best_my, 12);
+      mv_bits += 12;
+      int sy;
+      for (sy = 0; sy < 16; sy += 8) {
+        int sx;
+        for (sx = 0; sx < 16; sx += 8) {
+          load_residual_block(mx_ + sx, my_ + sy, best_mx, best_my);
+          forward_dct();
+          code_block(1);
+        }
+      }
+    }
+  }
+}
+
+/* ---- I/O and driver ---- */
+void fail_input(char *why) {
+  print_str("mpeg2enc: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+int read_u16() {
+  char b[2];
+  if (read_bytes(b, 2) != 2) return -1;
+  return (int)b[0] | ((int)b[1] << 8);
+}
+
+void swap_frames() {
+  int i;
+  int n = width * height;
+  for (i = 0; i < n; i++) ref_frame[i] = cur_frame[i];
+}
+
+void print_stats(int frames) {
+  print_nl();
+  print_str("== mpeg2enc stats ==");
+  print_nl();
+  print_str("frames:       ");
+  print_int(frames);
+  print_nl();
+  print_str("intra blocks: ");
+  print_int(intra_blocks);
+  print_nl();
+  print_str("inter blocks: ");
+  print_int(inter_blocks);
+  print_nl();
+  print_str("mv bits:      ");
+  print_int(mv_bits);
+  print_nl();
+  print_str("coef bits:    ");
+  print_int(coef_bits);
+  print_nl();
+  print_str("total bits:   ");
+  print_int(out_bits);
+  print_nl();
+  print_str("checksum:     ");
+  print_hex(out_checksum);
+  print_nl();
+}
+
+int main() {
+  width = read_u16();
+  height = read_u16();
+  int nframes = getchar();
+  if (width < 16 || height < 16 || nframes <= 0) fail_input("bad header");
+  if (width * height > 16384) fail_input("frame too large");
+  int f;
+  for (f = 0; f < nframes; f++) {
+    if (read_bytes(cur_frame, width * height) != width * height) {
+      fail_input("truncated frame");
+    }
+    if (f == 0) encode_intra_frame();
+    else encode_inter_frame();
+    swap_frames();
+  }
+  print_stats(nframes);
+  return (int)(out_checksum & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

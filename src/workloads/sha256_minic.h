@@ -1,0 +1,132 @@
+// SHA-256 in MiniC: integrity hashing for sensor payloads (heavy uint
+// arithmetic, a large constant table, long straight-line rounds — a very
+// different instruction mix from the compression codecs).
+// Input: [u32 length][bytes...]. Output: the digest in hex + stats.
+// No computed jumps: ARM-prototype safe.
+#pragma once
+
+#include <string_view>
+
+namespace sc::workloads {
+
+inline constexpr std::string_view kSha256Source = R"MINIC(
+uint K[64] = {
+  0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+  0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+  0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+  0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+  0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+  0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+  0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+  0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+  0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+  0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+  0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+  0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+  0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+  0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+  0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+  0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2 };
+
+uint H[8];
+uint W[64];
+char block_buf[64];
+int msg_blocks = 0;
+
+uint rotr(uint x, int n) { return (x >> n) | (x << (32 - n)); }
+
+void sha_init() {
+  H[0] = 0x6a09e667; H[1] = 0xbb67ae85; H[2] = 0x3c6ef372; H[3] = 0xa54ff53a;
+  H[4] = 0x510e527f; H[5] = 0x9b05688c; H[6] = 0x1f83d9ab; H[7] = 0x5be0cd19;
+}
+
+void sha_block() {
+  int t;
+  for (t = 0; t < 16; t++) {
+    W[t] = ((uint)block_buf[t * 4] << 24) | ((uint)block_buf[t * 4 + 1] << 16) |
+           ((uint)block_buf[t * 4 + 2] << 8) | (uint)block_buf[t * 4 + 3];
+  }
+  for (t = 16; t < 64; t++) {
+    uint s0 = rotr(W[t - 15], 7) ^ rotr(W[t - 15], 18) ^ (W[t - 15] >> 3);
+    uint s1 = rotr(W[t - 2], 17) ^ rotr(W[t - 2], 19) ^ (W[t - 2] >> 10);
+    W[t] = W[t - 16] + s0 + W[t - 7] + s1;
+  }
+  uint a = H[0]; uint b = H[1]; uint c = H[2]; uint d = H[3];
+  uint e = H[4]; uint f = H[5]; uint g = H[6]; uint h = H[7];
+  for (t = 0; t < 64; t++) {
+    uint S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    uint ch = (e & f) ^ ((~e) & g);
+    uint temp1 = h + S1 + ch + K[t] + W[t];
+    uint S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    uint maj = (a & b) ^ (a & c) ^ (b & c);
+    uint temp2 = S0 + maj;
+    h = g; g = f; f = e; e = d + temp1;
+    d = c; c = b; b = a; a = temp1 + temp2;
+  }
+  H[0] += a; H[1] += b; H[2] += c; H[3] += d;
+  H[4] += e; H[5] += f; H[6] += g; H[7] += h;
+  msg_blocks++;
+}
+
+int read_u32() {
+  char b[4];
+  if (read_bytes(b, 4) != 4) return -1;
+  return (int)b[0] | ((int)b[1] << 8) | ((int)b[2] << 16) | ((int)b[3] << 24);
+}
+
+void fail_input(char *why) {
+  print_str("sha256: ");
+  print_str(why);
+  print_nl();
+  exit(2);
+}
+
+int main() {
+  int length = read_u32();
+  if (length < 0) fail_input("missing header");
+  sha_init();
+  int remaining = length;
+  while (remaining >= 64) {
+    if (read_bytes(block_buf, 64) != 64) fail_input("truncated data");
+    sha_block();
+    remaining -= 64;
+  }
+  /* final block(s) with padding */
+  int tail = read_bytes(block_buf, remaining);
+  if (tail != remaining) fail_input("truncated tail");
+  block_buf[remaining] = (char)0x80;
+  {
+    int i;
+    for (i = remaining + 1; i < 64; i++) block_buf[i] = 0;
+    if (remaining + 1 > 56) {
+      sha_block();
+      for (i = 0; i < 64; i++) block_buf[i] = 0;
+    }
+    /* 64-bit big-endian bit length (length < 2^29 so the low word is enough) */
+    {
+      uint bits = (uint)length * 8;
+      block_buf[60] = (char)((bits >> 24) & 255);
+      block_buf[61] = (char)((bits >> 16) & 255);
+      block_buf[62] = (char)((bits >> 8) & 255);
+      block_buf[63] = (char)(bits & 255);
+    }
+    sha_block();
+  }
+  {
+    int i;
+    for (i = 0; i < 8; i++) print_hex(H[i]);
+  }
+  print_nl();
+  print_str("== sha256 stats ==");
+  print_nl();
+  print_str("bytes:  ");
+  print_int(length);
+  print_nl();
+  print_str("blocks: ");
+  print_int(msg_blocks);
+  print_nl();
+  return (int)(H[0] & 127);
+}
+)MINIC";
+
+}  // namespace sc::workloads

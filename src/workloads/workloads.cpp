@@ -1,0 +1,396 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "minicc/compiler.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workloads/adpcm_minic.h"
+#include "workloads/cjpeg_minic.h"
+#include "workloads/compress_minic.h"
+#include "workloads/dijkstra_minic.h"
+#include "workloads/gzip_minic.h"
+#include "workloads/hextobdd_minic.h"
+#include "workloads/mpeg2enc_minic.h"
+#include "workloads/sha256_minic.h"
+
+namespace sc::workloads {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU16(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& AllWorkloads() {
+  static const std::vector<WorkloadSpec> specs = [] {
+    std::vector<WorkloadSpec> list;
+    list.push_back({"compress95", std::string(kCompressSource), false});
+    list.push_back({"adpcm_enc",
+                    std::string(kAdpcmCommon) + std::string(kAdpcmEncMain), true});
+    list.push_back({"adpcm_dec",
+                    std::string(kAdpcmCommon) + std::string(kAdpcmDecMain), true});
+    list.push_back({"hextobdd", std::string(kHextobddSource), false});
+    list.push_back({"mpeg2enc", std::string(kMpeg2encSource), true});
+    list.push_back({"gzip", std::string(kGzipSource), true});
+    list.push_back({"cjpeg", std::string(kCjpegSource), true});
+    list.push_back({"sha256", std::string(kSha256Source), true});
+    list.push_back({"dijkstra", std::string(kDijkstraSource), true});
+    return list;
+  }();
+  return specs;
+}
+
+const WorkloadSpec* FindWorkload(const std::string& name) {
+  for (const WorkloadSpec& spec : AllWorkloads()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+image::Image CompileWorkload(const WorkloadSpec& spec) {
+  auto img = minicc::CompileMiniC(spec.source, spec.name);
+  SC_CHECK(img.ok()) << "workload '" << spec.name
+                     << "' failed to compile: " << img.error().ToString();
+  return std::move(*img);
+}
+
+// ---------------------------------------------------------------------------
+// Input generators
+// ---------------------------------------------------------------------------
+
+// Markov-ish English-like text: word soup from a small vocabulary with
+// punctuation and repetition, compressible like real prose.
+std::vector<uint8_t> MakeTextCorpus(uint32_t bytes, uint64_t seed) {
+  static const char* const kWords[] = {
+      "the",     "sensor",  "network", "cache",   "memory",  "embedded",
+      "server",  "client",  "data",    "code",    "system",  "power",
+      "dynamic", "binary",  "rewrite", "miss",    "hit",     "block",
+      "signal",  "sample",  "packet",  "channel", "node",    "remote",
+      "measure", "process", "filter",  "update",  "state",   "energy",
+  };
+  constexpr int kNumWords = static_cast<int>(std::size(kWords));
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(bytes);
+  int words_on_line = 0;
+  while (out.size() < bytes) {
+    const char* word = kWords[rng.Below(kNumWords)];
+    // Repetition: sometimes reuse the previous word (compressible).
+    for (const char* p = word; *p != '\0'; ++p) out.push_back(static_cast<uint8_t>(*p));
+    ++words_on_line;
+    if (rng.Chance(1, 12)) out.push_back('.');
+    if (words_on_line >= 10) {
+      out.push_back('\n');
+      words_on_line = 0;
+    } else {
+      out.push_back(' ');
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::vector<uint8_t> MakeCompressInput(uint8_t mode, uint32_t bytes, uint64_t seed) {
+  std::vector<uint8_t> out;
+  out.push_back(mode);
+  PutU32(out, bytes);
+  const std::vector<uint8_t> text = MakeTextCorpus(bytes, seed);
+  out.insert(out.end(), text.begin(), text.end());
+  return out;
+}
+
+std::vector<uint8_t> MakeAdpcmPcmInput(uint32_t samples, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  PutU32(out, samples);
+  // Audio-like: two sine components plus noise, slowly varying amplitude.
+  double phase1 = 0.0;
+  double phase2 = 0.3;
+  for (uint32_t i = 0; i < samples; ++i) {
+    const double amp = 6000.0 + 4000.0 * std::sin(static_cast<double>(i) / 2000.0);
+    const double value = amp * std::sin(phase1) + 0.35 * amp * std::sin(phase2) +
+                         (rng.NextDouble() - 0.5) * 600.0;
+    phase1 += 0.05 + 0.01 * std::sin(static_cast<double>(i) / 500.0);
+    phase2 += 0.13;
+    const int32_t sample = std::clamp(static_cast<int32_t>(value), -32768, 32767);
+    PutU16(out, static_cast<uint32_t>(sample) & 0xffff);
+  }
+  return out;
+}
+
+namespace {
+
+// Host-side replica of the MiniC IMA ADPCM encoder, used only to produce
+// valid code streams for the decoder workload.
+class HostAdpcmEncoder {
+ public:
+  int Encode(int sample) {
+    static const int kStep[89] = {
+        7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+        19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+        50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+        130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+        337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+        876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+        2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+        5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+        15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+    static const int kIndex[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                   -1, -1, -1, -1, 2, 4, 6, 8};
+    const int step = kStep[index_];
+    int diff = sample - pred_;
+    int code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    if (diff >= step) {
+      code |= 4;
+      diff -= step;
+    }
+    if (diff >= (step >> 1)) {
+      code |= 2;
+      diff -= step >> 1;
+    }
+    if (diff >= (step >> 2)) code |= 1;
+    int diffq = step >> 3;
+    if (code & 4) diffq += step;
+    if (code & 2) diffq += step >> 1;
+    if (code & 1) diffq += step >> 2;
+    pred_ = (code & 8) ? pred_ - diffq : pred_ + diffq;
+    pred_ = std::clamp(pred_, -32768, 32767);
+    index_ = std::clamp(index_ + kIndex[code], 0, 88);
+    return code;
+  }
+
+ private:
+  int pred_ = 0;
+  int index_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> MakeAdpcmCodeInput(uint32_t samples, uint64_t seed) {
+  const std::vector<uint8_t> pcm = MakeAdpcmPcmInput(samples, seed);
+  HostAdpcmEncoder encoder;
+  std::vector<uint8_t> out;
+  PutU32(out, samples);
+  int pending = -1;
+  for (uint32_t i = 0; i < samples; ++i) {
+    const size_t off = 4 + static_cast<size_t>(i) * 2;
+    int sample = pcm[off] | (pcm[off + 1] << 8);
+    if (sample >= 0x8000) sample -= 0x10000;
+    const int code = encoder.Encode(sample);
+    if (pending < 0) {
+      pending = code;
+    } else {
+      out.push_back(static_cast<uint8_t>(pending | (code << 4)));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) out.push_back(static_cast<uint8_t>(pending));
+  return out;
+}
+
+std::vector<uint8_t> MakeGzipInput(uint8_t mode, uint32_t bytes, uint64_t seed) {
+  SC_CHECK_LE(bytes, 65536u);
+  std::vector<uint8_t> out;
+  out.push_back(mode);
+  PutU32(out, bytes);
+  const std::vector<uint8_t> text = MakeTextCorpus(bytes, seed);
+  out.insert(out.end(), text.begin(), text.end());
+  return out;
+}
+
+std::vector<uint8_t> MakeCjpegInput(uint32_t width, uint32_t height,
+                                    uint8_t quality, uint64_t seed) {
+  SC_CHECK_LE(width * height, 65536u);
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  PutU16(out, width);
+  PutU16(out, height);
+  out.push_back(quality);
+  // Synthetic photo: smooth gradients, a few rectangles and disks, noise.
+  std::vector<uint8_t> img(static_cast<size_t>(width) * height);
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      double v = 96.0 + 64.0 * std::sin(static_cast<double>(x) / 23.0) +
+                 48.0 * std::cos(static_cast<double>(y) / 17.0);
+      img[y * width + x] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  for (int shape = 0; shape < 12; ++shape) {
+    const uint32_t cx = static_cast<uint32_t>(rng.Below(width));
+    const uint32_t cy = static_cast<uint32_t>(rng.Below(height));
+    const uint32_t r = 4 + static_cast<uint32_t>(rng.Below(width / 6 + 1));
+    const uint8_t level = static_cast<uint8_t>(rng.Below(256));
+    for (uint32_t y = (cy > r ? cy - r : 0); y < std::min(height, cy + r); ++y) {
+      for (uint32_t x = (cx > r ? cx - r : 0); x < std::min(width, cx + r); ++x) {
+        const int64_t dx = static_cast<int64_t>(x) - cx;
+        const int64_t dy = static_cast<int64_t>(y) - cy;
+        if (dx * dx + dy * dy <= static_cast<int64_t>(r) * r) {
+          img[y * width + x] = level;
+        }
+      }
+    }
+  }
+  for (auto& px : img) {
+    const int noisy = px + static_cast<int>(rng.Below(9)) - 4;
+    px = static_cast<uint8_t>(std::clamp(noisy, 0, 255));
+  }
+  out.insert(out.end(), img.begin(), img.end());
+  return out;
+}
+
+std::vector<uint8_t> MakeMpegInput(uint32_t width, uint32_t height,
+                                   uint8_t frames, uint64_t seed) {
+  SC_CHECK_LE(width * height, 16384u);
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  PutU16(out, width);
+  PutU16(out, height);
+  out.push_back(frames);
+  // A textured background with moving blobs: later frames are shifted
+  // versions so motion estimation has real matches to find.
+  std::vector<uint8_t> base(static_cast<size_t>(width) * height);
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      base[y * width + x] = static_cast<uint8_t>(
+          128 + 60 * std::sin(x / 7.0) * std::cos(y / 9.0) +
+          static_cast<int>(rng.Below(13)) - 6);
+    }
+  }
+  for (uint8_t f = 0; f < frames; ++f) {
+    const int shift_x = (f * 3) % 8;
+    const int shift_y = (f * 2) % 6;
+    for (uint32_t y = 0; y < height; ++y) {
+      for (uint32_t x = 0; x < width; ++x) {
+        const uint32_t sx = (x + shift_x) % width;
+        const uint32_t sy = (y + shift_y) % height;
+        int v = base[sy * width + sx];
+        // A moving bright square (new content every frame).
+        const uint32_t bx = (f * 11) % (width - 8);
+        const uint32_t by = (f * 7) % (height - 8);
+        if (x >= bx && x < bx + 8 && y >= by && y < by + 8) v = 230;
+        out.push_back(static_cast<uint8_t>(v));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakeHextobddInput(uint8_t nvars, uint8_t nfuncs, uint64_t seed) {
+  SC_CHECK_GE(nvars, 2);
+  SC_CHECK_LE(nvars, 12);
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.push_back(nvars);
+  out.push_back(nfuncs);
+  const uint32_t hex_chars = (1u << nvars) / 4;
+  static const char kHex[] = "0123456789abcdef";
+  for (uint8_t f = 0; f < nfuncs; ++f) {
+    // Structured functions (not pure noise) so the BDDs stay reduced:
+    // threshold/parity/interval mixtures over the assignment index.
+    const int kind = static_cast<int>(rng.Below(4));
+    const uint32_t param = rng.Next32();
+    for (uint32_t i = 0; i < hex_chars; ++i) {
+      int digit = 0;
+      for (int bit = 0; bit < 4; ++bit) {
+        const uint32_t index = i * 4 + static_cast<uint32_t>(bit);
+        bool value = false;
+        switch (kind) {
+          case 0: value = (index & (param | 1u)) != 0; break;                 // OR mask
+          case 1: value = __builtin_popcount(index ^ param) % 2 == 0; break;  // parity
+          case 2: value = index > (param % (1u << nvars)); break;             // threshold
+          default: value = ((index * 2654435761u) ^ param) % 5 < 2; break;    // pseudo
+        }
+        digit = (digit << 1) | (value ? 1 : 0);
+      }
+      out.push_back(static_cast<uint8_t>(kHex[digit]));
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakeSha256Input(uint32_t bytes, uint64_t seed) {
+  std::vector<uint8_t> out;
+  PutU32(out, bytes);
+  const std::vector<uint8_t> payload = MakeTextCorpus(bytes, seed);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> MakeDijkstraInput(uint8_t nodes, uint8_t queries, uint64_t seed) {
+  SC_CHECK_GE(nodes, 2);
+  util::Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.push_back(nodes);
+  out.push_back(queries);
+  // Sparse random mesh: each node links to ~4 neighbours with weights 1-50.
+  std::vector<uint8_t> adj(static_cast<size_t>(nodes) * nodes, 0);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    // A ring edge keeps the graph mostly connected.
+    const uint32_t next = (n + 1) % nodes;
+    const uint8_t w = static_cast<uint8_t>(1 + rng.Below(50));
+    adj[n * nodes + next] = w;
+    adj[next * nodes + n] = w;
+    for (int extra = 0; extra < 3; ++extra) {
+      const uint32_t peer = static_cast<uint32_t>(rng.Below(nodes));
+      if (peer == n) continue;
+      const uint8_t pw = static_cast<uint8_t>(1 + rng.Below(50));
+      adj[n * nodes + peer] = pw;
+      adj[peer * nodes + n] = pw;
+    }
+  }
+  out.insert(out.end(), adj.begin(), adj.end());
+  for (uint8_t q = 0; q < queries; ++q) {
+    out.push_back(static_cast<uint8_t>(rng.Below(nodes)));
+    out.push_back(static_cast<uint8_t>(rng.Below(nodes)));
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakeInput(const std::string& workload_name, int scale,
+                               uint64_t seed) {
+  SC_CHECK_GE(scale, 1);
+  const uint32_t s = static_cast<uint32_t>(scale);
+  if (workload_name == "compress95") {
+    return MakeCompressInput(0, 20'000 * s, seed);
+  }
+  if (workload_name == "adpcm_enc") return MakeAdpcmPcmInput(8'000 * s, seed);
+  if (workload_name == "adpcm_dec") return MakeAdpcmCodeInput(16'000 * s, seed);
+  if (workload_name == "gzip") {
+    return MakeGzipInput(0, std::min(65536u, 16'000 * s), seed);
+  }
+  if (workload_name == "cjpeg") {
+    const uint32_t dim = std::min(248u, 96u + 24u * s);
+    return MakeCjpegInput(dim, dim, 75, seed);
+  }
+  if (workload_name == "mpeg2enc") {
+    return MakeMpegInput(96, 64, static_cast<uint8_t>(std::min(30u, 2u + s)), seed);
+  }
+  if (workload_name == "sha256") return MakeSha256Input(40'000 * s, seed);
+  if (workload_name == "dijkstra") {
+    return MakeDijkstraInput(static_cast<uint8_t>(std::min(120u, 40u + 20u * s)),
+                             static_cast<uint8_t>(std::min(60u, 8u * s)), seed);
+  }
+  if (workload_name == "hextobdd") {
+    return MakeHextobddInput(static_cast<uint8_t>(std::min(11u, 7u + s / 2)),
+                             static_cast<uint8_t>(std::min(48u, 10u + 6u * s)), seed);
+  }
+  SC_UNREACHABLE() << "unknown workload " << workload_name;
+  return {};
+}
+
+}  // namespace sc::workloads

@@ -1,0 +1,61 @@
+// Benchmark workload registry.
+//
+// Seven MiniC programs mirror the paper's benchmark set:
+//   compress95  — LZW compression            (SPEC CPU95 129.compress)
+//   adpcm_enc   — IMA ADPCM encoder          (MediaBench adpcmenc)
+//   adpcm_dec   — IMA ADPCM decoder          (MediaBench adpcmdec)
+//   gzip        — LZSS compression           (gzip)
+//   cjpeg       — DCT image encoder          (MediaBench cjpeg)
+//   mpeg2enc    — motion-estimation encoder  (mpeg2enc)
+//   hextobdd    — BDD graph package          (local hextobdd application)
+//
+// Each workload has a deterministic input generator parameterized by a
+// scale factor (1 = quick test, larger = benchmark length) and a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace sc::workloads {
+
+struct WorkloadSpec {
+  std::string name;
+  std::string source;  // complete MiniC program
+  // True when the program contains no computed jumps (dense switches or
+  // function pointers) and can run under the ARM-style prototype.
+  bool arm_safe = false;
+};
+
+// All registered workloads, in Table 1 order (compress, adpcm, hextobdd,
+// mpeg2enc) followed by the ARM-prototype set additions (gzip, cjpeg) and
+// two extra sensor-flavoured kernels (sha256, dijkstra) that are not part
+// of the paper's benchmark set but round out the library.
+const std::vector<WorkloadSpec>& AllWorkloads();
+const WorkloadSpec* FindWorkload(const std::string& name);
+
+// Compiles a workload (SC_CHECK-fails on compiler errors: the sources are
+// part of the repository and must always build).
+image::Image CompileWorkload(const WorkloadSpec& spec);
+
+// Deterministic inputs. `scale` grows the input roughly linearly.
+std::vector<uint8_t> MakeInput(const std::string& workload_name, int scale,
+                               uint64_t seed = 1);
+
+// Individual generators (exposed for tests).
+std::vector<uint8_t> MakeTextCorpus(uint32_t bytes, uint64_t seed);
+std::vector<uint8_t> MakeCompressInput(uint8_t mode, uint32_t bytes, uint64_t seed);
+std::vector<uint8_t> MakeAdpcmPcmInput(uint32_t samples, uint64_t seed);
+std::vector<uint8_t> MakeAdpcmCodeInput(uint32_t samples, uint64_t seed);
+std::vector<uint8_t> MakeGzipInput(uint8_t mode, uint32_t bytes, uint64_t seed);
+std::vector<uint8_t> MakeCjpegInput(uint32_t width, uint32_t height,
+                                    uint8_t quality, uint64_t seed);
+std::vector<uint8_t> MakeMpegInput(uint32_t width, uint32_t height,
+                                   uint8_t frames, uint64_t seed);
+std::vector<uint8_t> MakeHextobddInput(uint8_t nvars, uint8_t nfuncs, uint64_t seed);
+std::vector<uint8_t> MakeSha256Input(uint32_t bytes, uint64_t seed);
+std::vector<uint8_t> MakeDijkstraInput(uint8_t nodes, uint8_t queries, uint64_t seed);
+
+}  // namespace sc::workloads

@@ -1,0 +1,124 @@
+// Hardware cache model and power model tests: exact miss counts on known
+// traces, associativity/LRU behaviour, tag overhead arithmetic, energy model.
+#include <gtest/gtest.h>
+
+#include "hwsim/cache.h"
+#include "hwsim/power.h"
+
+namespace sc::hwsim {
+namespace {
+
+TEST(HwCache, ColdMissesThenHits) {
+  Cache cache(CacheConfig{1024, 16, 1});
+  EXPECT_FALSE(cache.Access(0x1000));  // cold
+  EXPECT_TRUE(cache.Access(0x1000));   // hit
+  EXPECT_TRUE(cache.Access(0x100c));   // same 16B block
+  EXPECT_FALSE(cache.Access(0x1010));  // next block
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(HwCache, DirectMappedConflicts) {
+  // 1 KB direct-mapped: addresses 1 KB apart map to the same set.
+  Cache cache(CacheConfig{1024, 16, 1});
+  EXPECT_FALSE(cache.Access(0x0000));
+  EXPECT_FALSE(cache.Access(0x0400));  // evicts 0x0000
+  EXPECT_FALSE(cache.Access(0x0000));  // conflict miss
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(HwCache, TwoWayAvoidsThatConflict) {
+  Cache cache(CacheConfig{1024, 16, 2});
+  EXPECT_FALSE(cache.Access(0x0000));
+  EXPECT_FALSE(cache.Access(0x0400));
+  EXPECT_TRUE(cache.Access(0x0000));  // both fit in the set
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(HwCache, LruReplacement) {
+  Cache cache(CacheConfig{1024, 16, 2});
+  cache.Access(0x0000);  // way A
+  cache.Access(0x0400);  // way B
+  cache.Access(0x0000);  // A is now MRU
+  cache.Access(0x0800);  // evicts LRU = 0x0400
+  EXPECT_TRUE(cache.Access(0x0000));
+  EXPECT_FALSE(cache.Access(0x0400));
+}
+
+TEST(HwCache, SequentialScanMissRate) {
+  // A pure sequential sweep misses exactly once per block.
+  Cache cache(CacheConfig{8192, 16, 1});
+  for (uint32_t addr = 0; addr < 4096; addr += 4) cache.Access(addr);
+  EXPECT_EQ(cache.stats().accesses, 1024u);
+  EXPECT_EQ(cache.stats().misses, 256u);  // 4096 / 16
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(HwCache, ResetClearsEverything) {
+  Cache cache(CacheConfig{1024, 16, 1});
+  cache.Access(0x100);
+  cache.Reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_FALSE(cache.Access(0x100));
+}
+
+TEST(HwCache, TagOverheadMatchesPaperRange) {
+  // Figure 6 caption: "tags for 32-bit addresses would add an extra 11-18%"
+  // for the swept sizes with 16-byte blocks.
+  for (const uint32_t size : {1024u, 4096u, 16384u, 65536u}) {
+    Cache cache(CacheConfig{size, 16, 1});
+    const double overhead = cache.TagOverheadFraction();
+    EXPECT_GE(overhead, 0.11) << size;
+    EXPECT_LE(overhead, 0.18) << size;
+  }
+}
+
+TEST(HwCache, GeometryChecks) {
+  Cache cache(CacheConfig{8192, 16, 2});
+  EXPECT_EQ(cache.num_sets(), 256u);
+}
+
+TEST(PowerModel, StrongArmBreakdownSumsTo45Percent) {
+  const StrongArmPowerBreakdown breakdown;
+  EXPECT_NEAR(breakdown.caches_total(), 0.45, 1e-9);
+}
+
+TEST(PowerModel, HardwarePaysTagsSoftwareDoesNot) {
+  const EnergyModel model;
+  // Same access count, no misses: hardware pays the tag check per access.
+  const double hw = HardwareCacheEnergy(model, 1000, 0, 16, 1);
+  const double sw = SoftCacheEnergy(model, 1000, 0, 0, 0, 0);
+  EXPECT_GT(hw, sw);
+  EXPECT_NEAR(hw - sw, 1000 * model.tag_check, 1e-9);
+}
+
+TEST(PowerModel, ExtraInstructionsCostTheSoftCache) {
+  const EnergyModel model;
+  const double base = SoftCacheEnergy(model, 1000, 0, 0, 0, 0);
+  const double extra = SoftCacheEnergy(model, 1000, 150, 0, 0, 0);
+  EXPECT_NEAR(extra - base, 150 * model.data_read, 1e-9);
+}
+
+TEST(PowerModel, AssociativityMultipliesTagEnergy) {
+  const EnergyModel model;
+  const double direct = HardwareCacheEnergy(model, 1000, 0, 16, 1);
+  const double four_way = HardwareCacheEnergy(model, 1000, 0, 16, 4);
+  EXPECT_NEAR(four_way - direct, 3 * 1000 * model.tag_check, 1e-9);
+}
+
+TEST(PowerModel, BankPowerDownSavesLeakage) {
+  const EnergyModel model;
+  const double two_on = BankLeakEnergy(model, 1'000'000, 2, 8);
+  const double all_on = BankLeakEnergy(model, 1'000'000, 8, 8);
+  EXPECT_LT(two_on, all_on);
+  // Powering fewer banks never costs more.
+  double prev = 0;
+  for (uint32_t banks = 1; banks <= 8; ++banks) {
+    const double e = BankLeakEnergy(model, 1000, banks, 8);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace sc::hwsim

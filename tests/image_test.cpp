@@ -1,0 +1,92 @@
+// Image container tests: serialization round trips, symbol lookup, bounds.
+#include <gtest/gtest.h>
+
+#include "image/image.h"
+#include "image/layout.h"
+
+namespace sc::image {
+namespace {
+
+Image MakeSample() {
+  Image img;
+  img.entry = kTextBase + 8;
+  img.text_base = kTextBase;
+  img.text = {1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0};
+  img.data_base = kDataBase;
+  img.data = {9, 8, 7};
+  img.bss_base = kDataBase + 4;
+  img.bss_size = 128;
+  img.symbols.push_back(Symbol{"f", kTextBase, 8, SymbolKind::kFunction});
+  img.symbols.push_back(Symbol{"g", kTextBase + 8, 4, SymbolKind::kFunction});
+  img.symbols.push_back(Symbol{"obj", kDataBase, 3, SymbolKind::kObject});
+  return img;
+}
+
+TEST(Image, SerializeRoundTrip) {
+  const Image img = MakeSample();
+  const auto bytes = img.Serialize();
+  auto parsed = Image::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed->entry, img.entry);
+  EXPECT_EQ(parsed->text, img.text);
+  EXPECT_EQ(parsed->data, img.data);
+  EXPECT_EQ(parsed->bss_size, img.bss_size);
+  ASSERT_EQ(parsed->symbols.size(), 3u);
+  EXPECT_EQ(parsed->symbols[0].name, "f");
+  EXPECT_EQ(parsed->symbols[2].kind, SymbolKind::kObject);
+}
+
+TEST(Image, DeserializeRejectsCorruption) {
+  const Image img = MakeSample();
+  auto bytes = img.Serialize();
+  // Bad magic.
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(Image::Deserialize(bad_magic).ok());
+  // Truncation at every prefix must fail cleanly, never crash.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(Image::Deserialize(prefix).ok()) << "len " << len;
+  }
+  // Trailing junk.
+  auto extra = bytes;
+  extra.push_back(0);
+  EXPECT_FALSE(Image::Deserialize(extra).ok());
+}
+
+TEST(Image, SymbolLookup) {
+  const Image img = MakeSample();
+  EXPECT_NE(img.FindSymbol("f"), nullptr);
+  EXPECT_EQ(img.FindSymbol("missing"), nullptr);
+  EXPECT_EQ(img.FunctionAt(kTextBase + 4)->name, "f");
+  EXPECT_EQ(img.FunctionAt(kTextBase + 8)->name, "g");
+  EXPECT_EQ(img.FunctionAt(kTextBase + 100), nullptr);
+  // Object symbols are not functions.
+  EXPECT_EQ(img.FunctionAt(kDataBase), nullptr);
+}
+
+TEST(Image, FunctionsSortedByAddress) {
+  Image img = MakeSample();
+  std::swap(img.symbols[0], img.symbols[1]);
+  const auto funcs = img.Functions();
+  ASSERT_EQ(funcs.size(), 2u);
+  EXPECT_LT(funcs[0]->addr, funcs[1]->addr);
+}
+
+TEST(Image, TextBounds) {
+  const Image img = MakeSample();
+  EXPECT_TRUE(img.ContainsText(kTextBase));
+  EXPECT_TRUE(img.ContainsText(kTextBase + 8));
+  EXPECT_FALSE(img.ContainsText(kTextBase + 12));
+  EXPECT_FALSE(img.ContainsText(kTextBase - 4));
+  EXPECT_EQ(img.TextWord(kTextBase + 4), 2u);
+}
+
+TEST(Image, HeapStartsPastStaticStorage) {
+  const Image img = MakeSample();
+  EXPECT_GE(img.heap_base(), img.bss_end());
+  EXPECT_EQ(img.heap_base() % 16, 0u);
+}
+
+}  // namespace
+}  // namespace sc::image

@@ -1,0 +1,177 @@
+// Differential testing of MiniC expression semantics: random expression
+// trees are evaluated by a host-side reference evaluator (with explicitly
+// defined wrap/shift/division semantics matching the SRK32 VM) and by
+// compiling + running the same expression; results must agree bit-exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "minicc/compiler.h"
+#include "util/rng.h"
+#include "vm/machine.h"
+
+namespace sc {
+namespace {
+
+// Expression tree with host-side evaluation. All arithmetic is wrapping
+// 32-bit; division semantics follow the VM (INT_MIN / -1 wraps, x % -1 = 0);
+// shift counts are masked to 5 bits; division by zero is avoided by
+// construction (divisor forced odd via | 1).
+struct Node {
+  enum Kind { kConst, kVarA, kVarB, kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr,
+              kXor, kShl, kShrSigned, kNeg, kNot, kLess, kEq } kind;
+  int32_t value = 0;  // kConst
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+
+  int32_t Eval(int32_t a, int32_t b) const {
+    const auto wrap = [](int64_t v) {
+      return static_cast<int32_t>(static_cast<uint32_t>(v));
+    };
+    switch (kind) {
+      case kConst: return value;
+      case kVarA: return a;
+      case kVarB: return b;
+      case kAdd: return wrap(static_cast<int64_t>(lhs->Eval(a, b)) + rhs->Eval(a, b));
+      case kSub: return wrap(static_cast<int64_t>(lhs->Eval(a, b)) - rhs->Eval(a, b));
+      case kMul:
+        return wrap(static_cast<int64_t>(lhs->Eval(a, b)) *
+                    static_cast<int64_t>(rhs->Eval(a, b)));
+      case kDiv: {
+        const int32_t x = lhs->Eval(a, b);
+        const int32_t y = rhs->Eval(a, b) | 1;
+        if (x == INT32_MIN && y == -1) return INT32_MIN;
+        return x / y;
+      }
+      case kRem: {
+        const int32_t x = lhs->Eval(a, b);
+        const int32_t y = rhs->Eval(a, b) | 1;
+        if (x == INT32_MIN && y == -1) return 0;
+        return x % y;
+      }
+      case kAnd: return lhs->Eval(a, b) & rhs->Eval(a, b);
+      case kOr: return lhs->Eval(a, b) | rhs->Eval(a, b);
+      case kXor: return lhs->Eval(a, b) ^ rhs->Eval(a, b);
+      case kShl:
+        return wrap(static_cast<int64_t>(
+            static_cast<uint32_t>(lhs->Eval(a, b))
+            << (static_cast<uint32_t>(rhs->Eval(a, b)) & 31)));
+      case kShrSigned:
+        return lhs->Eval(a, b) >> (static_cast<uint32_t>(rhs->Eval(a, b)) & 31);
+      case kNeg: return wrap(-static_cast<int64_t>(lhs->Eval(a, b)));
+      case kNot: return ~lhs->Eval(a, b);
+      case kLess: return lhs->Eval(a, b) < rhs->Eval(a, b) ? 1 : 0;
+      case kEq: return lhs->Eval(a, b) == rhs->Eval(a, b) ? 1 : 0;
+    }
+    return 0;
+  }
+
+  std::string ToMiniC() const {
+    switch (kind) {
+      case kConst: {
+        // INT_MIN has no literal form; spell extremes via hex cast.
+        std::ostringstream s;
+        if (value < 0) {
+          s << "((int)0x" << std::hex << static_cast<uint32_t>(value) << ")";
+        } else {
+          s << value;
+        }
+        return s.str();
+      }
+      case kVarA: return "a";
+      case kVarB: return "b";
+      case kAdd: return "(" + lhs->ToMiniC() + " + " + rhs->ToMiniC() + ")";
+      case kSub: return "(" + lhs->ToMiniC() + " - " + rhs->ToMiniC() + ")";
+      case kMul: return "(" + lhs->ToMiniC() + " * " + rhs->ToMiniC() + ")";
+      case kDiv: return "(" + lhs->ToMiniC() + " / (" + rhs->ToMiniC() + " | 1))";
+      case kRem: return "(" + lhs->ToMiniC() + " % (" + rhs->ToMiniC() + " | 1))";
+      case kAnd: return "(" + lhs->ToMiniC() + " & " + rhs->ToMiniC() + ")";
+      case kOr: return "(" + lhs->ToMiniC() + " | " + rhs->ToMiniC() + ")";
+      case kXor: return "(" + lhs->ToMiniC() + " ^ " + rhs->ToMiniC() + ")";
+      case kShl: return "(" + lhs->ToMiniC() + " << (" + rhs->ToMiniC() + " & 31))";
+      case kShrSigned:
+        return "(" + lhs->ToMiniC() + " >> (" + rhs->ToMiniC() + " & 31))";
+      case kNeg: return "(-" + lhs->ToMiniC() + ")";
+      case kNot: return "(~" + lhs->ToMiniC() + ")";
+      case kLess: return "(" + lhs->ToMiniC() + " < " + rhs->ToMiniC() + " ? 1 : 0)";
+      case kEq: return "(" + lhs->ToMiniC() + " == " + rhs->ToMiniC() + " ? 1 : 0)";
+    }
+    return "0";
+  }
+};
+
+std::unique_ptr<Node> RandomTree(util::Rng& rng, int depth) {
+  auto node = std::make_unique<Node>();
+  if (depth == 0) {
+    switch (rng.Below(4)) {
+      case 0: node->kind = Node::kVarA; break;
+      case 1: node->kind = Node::kVarB; break;
+      default: {
+        node->kind = Node::kConst;
+        // Mix small values and extremes.
+        switch (rng.Below(5)) {
+          case 0: node->value = INT32_MIN; break;
+          case 1: node->value = INT32_MAX; break;
+          case 2: node->value = -1; break;
+          default: node->value = static_cast<int32_t>(rng.Range(-1000, 1000));
+        }
+        break;
+      }
+    }
+    return node;
+  }
+  const Node::Kind kinds[] = {Node::kAdd, Node::kSub, Node::kMul, Node::kDiv,
+                              Node::kRem, Node::kAnd, Node::kOr, Node::kXor,
+                              Node::kShl, Node::kShrSigned, Node::kNeg,
+                              Node::kNot, Node::kLess, Node::kEq};
+  node->kind = kinds[rng.Below(std::size(kinds))];
+  node->lhs = RandomTree(rng, depth - 1);
+  if (node->kind != Node::kNeg && node->kind != Node::kNot) {
+    node->rhs = RandomTree(rng, depth - 1);
+  }
+  return node;
+}
+
+class ExprFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprFuzzTest, CompiledExpressionsMatchReferenceEvaluator) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  // Batch several expressions into one program (compile time dominates).
+  constexpr int kExprs = 12;
+  std::vector<std::unique_ptr<Node>> trees;
+  std::ostringstream src;
+  src << "uint check = 0;\n";
+  src << "void emit(int v) { check = check * 31 + (uint)v; print_hex((uint)v); print_nl(); }\n";
+  src << "int main() {\n";
+  const int32_t a = static_cast<int32_t>(rng.Next32());
+  const int32_t b = static_cast<int32_t>(rng.Next32());
+  src << "  int a = (int)0x" << std::hex << static_cast<uint32_t>(a) << ";\n";
+  src << "  int b = (int)0x" << std::hex << static_cast<uint32_t>(b) << ";\n";
+  for (int i = 0; i < kExprs; ++i) {
+    trees.push_back(RandomTree(rng, 1 + static_cast<int>(rng.Below(3))));
+    src << "  emit(" << trees.back()->ToMiniC() << ");\n";
+  }
+  src << "  return 0;\n}\n";
+
+  auto img = minicc::CompileMiniC(src.str(), "fuzz.mc");
+  ASSERT_TRUE(img.ok()) << img.error().ToString() << "\n" << src.str();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  const vm::RunResult result = machine.Run(50'000'000);
+  ASSERT_EQ(result.reason, vm::StopReason::kHalted) << result.fault_message;
+
+  // Expected output: one hex value per line.
+  std::ostringstream expected;
+  for (const auto& tree : trees) {
+    const uint32_t v = static_cast<uint32_t>(tree->Eval(a, b));
+    expected << std::hex << v << "\n";
+  }
+  // print_hex prints "0" for zero and no leading zeros, matching std::hex.
+  EXPECT_EQ(machine.OutputString(), expected.str()) << src.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzzTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace sc

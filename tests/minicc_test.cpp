@@ -1,0 +1,677 @@
+// End-to-end MiniC compiler tests: compile a program, run it on the VM,
+// check exit codes and console output.
+#include <gtest/gtest.h>
+
+#include "tests/testing.h"
+
+namespace sc {
+namespace {
+
+using testing::CompileAndRun;
+using testing::ExpectProgram;
+
+TEST(MiniccBasic, ReturnsConstant) {
+  ExpectProgram("int main() { return 42; }", 42);
+}
+
+TEST(MiniccBasic, Arithmetic) {
+  ExpectProgram("int main() { return 2 + 3 * 4 - 6 / 2; }", 11);
+}
+
+TEST(MiniccBasic, Precedence) {
+  ExpectProgram("int main() { return (2 + 3) * 4 % 7; }", 6);
+}
+
+TEST(MiniccBasic, UnaryOps) {
+  ExpectProgram("int main() { return -(-5) + ~0 + !0 + !7; }", 5);
+}
+
+TEST(MiniccBasic, Bitwise) {
+  ExpectProgram("int main() { return (0xf0 | 0x0f) ^ 0x3c & 0xff; }", 0xc3);
+}
+
+TEST(MiniccBasic, Shifts) {
+  ExpectProgram("int main() { return (1 << 5) + (256 >> 3); }", 64);
+}
+
+TEST(MiniccBasic, SignedShiftRight) {
+  ExpectProgram("int main() { int x = -16; return x >> 2 == -4; }", 1);
+}
+
+TEST(MiniccBasic, UnsignedShiftRight) {
+  ExpectProgram("int main() { uint x = (uint)-16; return (x >> 28) == 15; }", 1);
+}
+
+TEST(MiniccBasic, SignedDivision) {
+  ExpectProgram("int main() { return -7 / 2 == -3 && -7 % 2 == -1; }", 1);
+}
+
+TEST(MiniccBasic, UnsignedComparison) {
+  ExpectProgram("int main() { uint big = 0x80000000; return big > 1; }", 1);
+}
+
+TEST(MiniccBasic, SignedComparison) {
+  ExpectProgram("int main() { int neg = (int)0x80000000; return neg < 1; }", 1);
+}
+
+TEST(MiniccControl, IfElse) {
+  ExpectProgram(R"(
+    int classify(int x) {
+      if (x < 0) return 1;
+      else if (x == 0) return 2;
+      else return 3;
+    }
+    int main() { return classify(-5) * 100 + classify(0) * 10 + classify(9); }
+  )", 123);
+}
+
+TEST(MiniccControl, WhileLoop) {
+  ExpectProgram(R"(
+    int main() {
+      int i = 0; int sum = 0;
+      while (i < 10) { sum += i; i++; }
+      return sum;
+    }
+  )", 45);
+}
+
+TEST(MiniccControl, ForLoop) {
+  ExpectProgram(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 1; i <= 10; i++) sum += i;
+      return sum;
+    }
+  )", 55);
+}
+
+TEST(MiniccControl, DoWhile) {
+  ExpectProgram(R"(
+    int main() {
+      int n = 0;
+      do { n++; } while (n < 3);
+      return n;
+    }
+  )", 3);
+}
+
+TEST(MiniccControl, BreakContinue) {
+  ExpectProgram(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        sum += i;
+      }
+      return sum;  /* 1+3+5+7+9 */
+    }
+  )", 25);
+}
+
+TEST(MiniccControl, NestedLoops) {
+  ExpectProgram(R"(
+    int main() {
+      int count = 0;
+      for (int i = 0; i < 5; i++)
+        for (int j = 0; j < i; j++)
+          count++;
+      return count;
+    }
+  )", 10);
+}
+
+TEST(MiniccControl, ShortCircuitAnd) {
+  ExpectProgram(R"(
+    int calls = 0;
+    int bump() { calls++; return 1; }
+    int main() { int r = 0 && bump(); return calls * 10 + r; }
+  )", 0);
+}
+
+TEST(MiniccControl, ShortCircuitOr) {
+  ExpectProgram(R"(
+    int calls = 0;
+    int bump() { calls++; return 0; }
+    int main() { int r = 1 || bump(); return calls * 10 + r; }
+  )", 1);
+}
+
+TEST(MiniccControl, Ternary) {
+  ExpectProgram("int main() { int x = 5; return x > 3 ? 7 : 9; }", 7);
+}
+
+TEST(MiniccControl, SwitchSparse) {
+  ExpectProgram(R"(
+    int f(int x) {
+      switch (x) {
+        case 1: return 10;
+        case 100: return 20;
+        case -7: return 30;
+        default: return 40;
+      }
+    }
+    int main() { return f(1) + f(100) + f(-7) + f(55); }
+  )", 100);
+}
+
+TEST(MiniccControl, SwitchDenseJumpTable) {
+  // >= 4 dense cases trigger the jump-table path (a computed jump).
+  ExpectProgram(R"(
+    int f(int x) {
+      switch (x) {
+        case 0: return 1;
+        case 1: return 2;
+        case 2: return 4;
+        case 3: return 8;
+        case 4: return 16;
+        case 5: return 32;
+        default: return 0;
+      }
+    }
+    int main() {
+      int sum = 0;
+      for (int i = -2; i < 8; i++) sum += f(i);
+      return sum;
+    }
+  )", 63);
+}
+
+TEST(MiniccControl, SwitchFallthrough) {
+  ExpectProgram(R"(
+    int main() {
+      int sum = 0;
+      switch (2) {
+        case 1: sum += 1;
+        case 2: sum += 2;
+        case 3: sum += 4;
+          break;
+        case 4: sum += 8;
+      }
+      return sum;
+    }
+  )", 6);
+}
+
+TEST(MiniccFunctions, Recursion) {
+  ExpectProgram(R"(
+    int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+    int main() { return fib(12); }
+  )", 144);
+}
+
+TEST(MiniccFunctions, SixArguments) {
+  ExpectProgram(R"(
+    int sum6(int a, int b, int c, int d, int e, int f) {
+      return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+    }
+    int main() { return sum6(1, 1, 1, 1, 1, 1); }
+  )", 21);
+}
+
+TEST(MiniccFunctions, MutualRecursion) {
+  ExpectProgram(R"(
+    int is_odd(int n);
+    int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+    int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+    int main() { return is_even(10) * 10 + is_odd(7); }
+  )", 11);
+}
+
+TEST(MiniccFunctions, FunctionPointer) {
+  ExpectProgram(R"(
+    int add(int a, int b) { return a + b; }
+    int sub(int a, int b) { return a - b; }
+    int main() {
+      int (*op)(int, int);
+      op = add;
+      int x = op(10, 3);
+      op = sub;
+      return x + op(10, 3);
+    }
+  )", 20);
+}
+
+TEST(MiniccFunctions, FunctionPointerTable) {
+  ExpectProgram(R"(
+    int add(int a, int b) { return a + b; }
+    int sub(int a, int b) { return a - b; }
+    int mul(int a, int b) { return a * b; }
+    int (*ops[3])(int, int) = { add, sub, mul };
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 3; i++) sum += ops[i](12, 4);
+      return sum;  /* 16 + 8 + 48 */
+    }
+  )", 72);
+}
+
+TEST(MiniccData, GlobalScalars) {
+  ExpectProgram(R"(
+    int g = 42;
+    uint h = 0xdeadbeef;
+    char c = 'x';
+    int main() { return g + (int)(h & 1) + (c == 'x' ? 1 : 0); }
+  )", 44);
+}
+
+TEST(MiniccData, GlobalArrayInit) {
+  ExpectProgram(R"(
+    int squares[5] = { 0, 1, 4, 9, 16 };
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 5; i++) sum += squares[i];
+      return sum;
+    }
+  )", 30);
+}
+
+TEST(MiniccData, GlobalCharArrayString) {
+  ExpectProgram(R"(
+    char greeting[16] = "hi";
+    int main() { return greeting[0] == 'h' && greeting[1] == 'i' && greeting[2] == 0; }
+  )", 1);
+}
+
+TEST(MiniccData, LocalArrays) {
+  ExpectProgram(R"(
+    int main() {
+      int a[8];
+      for (int i = 0; i < 8; i++) a[i] = i * i;
+      int sum = 0;
+      for (int i = 0; i < 8; i++) sum += a[i];
+      return sum;
+    }
+  )", 140);
+}
+
+TEST(MiniccData, PointerArithmetic) {
+  ExpectProgram(R"(
+    int main() {
+      int a[4];
+      a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+      int *p = a;
+      int *q = p + 3;
+      return *q + (int)(q - p);
+    }
+  )", 7);
+}
+
+TEST(MiniccData, PointerWrite) {
+  ExpectProgram(R"(
+    void store(int *p, int v) { *p = v; }
+    int main() { int x = 0; store(&x, 99); return x; }
+  )", 99);
+}
+
+TEST(MiniccData, CharPointerString) {
+  ExpectProgram(R"(
+    int main() {
+      char *s = "hello";
+      return strlen(s);
+    }
+  )", 5);
+}
+
+TEST(MiniccData, Structs) {
+  ExpectProgram(R"(
+    struct point { int x; int y; };
+    struct point origin;
+    int main() {
+      struct point p;
+      p.x = 3; p.y = 4;
+      struct point *q = &p;
+      q->x += 10;
+      return p.x * p.y + origin.x;
+    }
+  )", 52);
+}
+
+TEST(MiniccData, NestedStructAccess) {
+  ExpectProgram(R"(
+    struct inner { int v; char tag; };
+    struct outer { int id; struct inner in; };
+    int main() {
+      struct outer o;
+      o.id = 7;
+      o.in.v = 5;
+      o.in.tag = 'z';
+      return o.id + o.in.v + (o.in.tag == 'z' ? 1 : 0);
+    }
+  )", 13);
+}
+
+TEST(MiniccData, StructArray) {
+  ExpectProgram(R"(
+    struct entry { int key; int value; };
+    struct entry table[4];
+    int main() {
+      for (int i = 0; i < 4; i++) { table[i].key = i; table[i].value = i * 10; }
+      int sum = 0;
+      for (int i = 0; i < 4; i++) sum += table[i].value;
+      return sum;
+    }
+  )", 60);
+}
+
+TEST(MiniccData, SizeofTypes) {
+  ExpectProgram(R"(
+    struct pair { int a; char b; };
+    int main() {
+      return (int)sizeof(int) * 1000 + (int)sizeof(char) * 100 +
+             (int)sizeof(int*) * 10 + (int)sizeof(struct pair);
+    }
+  )", 4148);
+}
+
+TEST(MiniccData, CharTruncation) {
+  ExpectProgram("int main() { char c = (char)0x1ff; return (int)c; }", 0xff);
+}
+
+TEST(MiniccData, IncDec) {
+  ExpectProgram(R"(
+    int main() {
+      int x = 5;
+      int a = x++;   /* a=5 x=6 */
+      int b = ++x;   /* b=7 x=7 */
+      int c = x--;   /* c=7 x=6 */
+      int d = --x;   /* d=5 x=5 */
+      return a * 1000 + b * 100 + c * 10 + d;
+    }
+  )", 5775);
+}
+
+TEST(MiniccData, PointerIncDec) {
+  ExpectProgram(R"(
+    int main() {
+      int a[3];
+      a[0] = 10; a[1] = 20; a[2] = 30;
+      int *p = a;
+      p++;
+      int v = *p;
+      p--;
+      return v + *p;
+    }
+  )", 30);
+}
+
+TEST(MiniccData, CompoundAssign) {
+  ExpectProgram(R"(
+    int main() {
+      int x = 10;
+      x += 5; x -= 3; x *= 4; x /= 2; x %= 13;
+      x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 3;
+      return x;
+    }
+  )", 13);
+}
+
+TEST(MiniccIo, PutcAndWrite) {
+  ExpectProgram(R"(
+    int main() {
+      print_str("ok");
+      __putc(10);
+      return 0;
+    }
+  )", 0, "ok\n");
+}
+
+TEST(MiniccIo, PrintInt) {
+  ExpectProgram(R"(
+    int main() {
+      print_int(-12345);
+      print_nl();
+      print_uint((uint)4000000000);
+      print_nl();
+      print_hex(0xcafe);
+      return 0;
+    }
+  )", 0, "-12345\n4000000000\ncafe");
+}
+
+TEST(MiniccIo, EchoInput) {
+  ExpectProgram(R"(
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) putchar(c);
+      return 0;
+    }
+  )", 0, "abc", "abc");
+}
+
+TEST(MiniccIo, ReadBytes) {
+  ExpectProgram(R"(
+    int main() {
+      char buf[16];
+      int n = read_bytes(buf, 16);
+      return n;
+    }
+  )", 5, "", "12345");
+}
+
+TEST(MiniccRuntime, Malloc) {
+  ExpectProgram(R"(
+    int main() {
+      int *a = (int*)malloc(10 * (int)sizeof(int));
+      for (int i = 0; i < 10; i++) a[i] = i;
+      int sum = 0;
+      for (int i = 0; i < 10; i++) sum += a[i];
+      free((char*)a);
+      int *b = (int*)malloc(4);   /* should reuse the freed block */
+      *b = 7;
+      return sum + *b;
+    }
+  )", 52);
+}
+
+TEST(MiniccRuntime, MallocDistinct) {
+  ExpectProgram(R"(
+    int main() {
+      char *a = malloc(100);
+      char *b = malloc(100);
+      if (a == 0 || b == 0) return 1;
+      if (b >= a && b < a + 100) return 2;
+      if (a >= b && a < b + 100) return 2;
+      memset(a, 1, 100);
+      memset(b, 2, 100);
+      return a[50] * 10 + b[50];  /* 12 */
+    }
+  )", 12);
+}
+
+TEST(MiniccRuntime, StringFunctions) {
+  ExpectProgram(R"(
+    int main() {
+      char buf[32];
+      strcpy(buf, "soft");
+      if (strcmp(buf, "soft") != 0) return 1;
+      if (strcmp("abc", "abd") >= 0) return 2;
+      if (strncmp("abcdef", "abcxyz", 3) != 0) return 3;
+      if (memcmp("aaa", "aab", 3) >= 0) return 4;
+      return strlen(buf);
+    }
+  )", 4);
+}
+
+TEST(MiniccRuntime, Rand) {
+  ExpectProgram(R"(
+    int main() {
+      srand(12345);
+      int a = rand();
+      int b = rand();
+      if (a == b) return 1;
+      if (a < 0 || b < 0) return 2;
+      srand(12345);
+      if (rand() != a) return 3;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(MiniccRuntime, Atoi) {
+  ExpectProgram(R"(
+    int main() { return atoi("  -321") + atoi("+400") + atoi("21x"); }
+  )", 100);
+}
+
+TEST(MiniccProject, MultiFileCompilation) {
+  std::vector<minicc::SourceFile> files = {
+      {"math.mc", "int triple(int x) { return x * 3; }\n"},
+      {"main.mc", "int triple(int x);\nint main() { return triple(14); }\n"},
+  };
+  auto img = minicc::CompileMiniCProject(files);
+  ASSERT_TRUE(img.ok()) << img.error().ToString();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  const vm::RunResult run = machine.Run(1'000'000);
+  ASSERT_EQ(run.reason, vm::StopReason::kHalted);
+  EXPECT_EQ(run.exit_code, 42);
+}
+
+TEST(MiniccProject, ErrorsMapBackToTheRightFile) {
+  std::vector<minicc::SourceFile> files = {
+      {"ok.mc", "int fine() { return 1; }\n\n\n"},
+      {"bad.mc", "int main() {\n  return nope;\n}\n"},
+  };
+  auto img = minicc::CompileMiniCProject(files);
+  ASSERT_FALSE(img.ok());
+  EXPECT_EQ(img.error().file, "bad.mc");
+  EXPECT_EQ(img.error().line, 2);
+  EXPECT_NE(img.error().message.find("unknown identifier"), std::string::npos);
+}
+
+TEST(MiniccProject, DuplicateAcrossFilesAttributed) {
+  std::vector<minicc::SourceFile> files = {
+      {"a.mc", "int f() { return 1; }\n"},
+      {"b.mc", "int f() { return 2; }\nint main() { return f(); }\n"},
+  };
+  auto img = minicc::CompileMiniCProject(files);
+  ASSERT_FALSE(img.ok());
+  EXPECT_EQ(img.error().file, "b.mc");
+  EXPECT_EQ(img.error().line, 1);
+  EXPECT_NE(img.error().message.find("redefined"), std::string::npos);
+}
+
+TEST(MiniccErrors, UndefinedVariable) {
+  auto img = minicc::CompileMiniC("int main() { return nope; }");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("unknown identifier"), std::string::npos);
+}
+
+TEST(MiniccErrors, DuplicateFunction) {
+  auto img = minicc::CompileMiniC("int f() { return 1; } int f() { return 2; } int main() { return 0; }");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("redefined"), std::string::npos);
+}
+
+TEST(MiniccErrors, NoMain) {
+  auto img = minicc::CompileMiniC("int f() { return 1; }");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("main"), std::string::npos);
+}
+
+TEST(MiniccErrors, SyntaxError) {
+  auto img = minicc::CompileMiniC("int main() { return 1 + ; }");
+  ASSERT_FALSE(img.ok());
+  EXPECT_GT(img.error().line, 0);
+}
+
+TEST(MiniccErrors, TooManyArgs) {
+  auto img = minicc::CompileMiniC(
+      "int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }\n"
+      "int main() { return 0; }");
+  ASSERT_FALSE(img.ok());
+}
+
+TEST(MiniccErrors, WrongArgCount) {
+  auto img = minicc::CompileMiniC(
+      "int f(int a) { return a; } int main() { return f(1, 2); }");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("arguments"), std::string::npos);
+}
+
+TEST(MiniccErrors, BreakOutsideLoop) {
+  auto img = minicc::CompileMiniC("int main() { break; return 0; }");
+  ASSERT_FALSE(img.ok());
+}
+
+TEST(MiniccSymbols, FunctionSymbolsEmitted) {
+  auto img = minicc::CompileMiniC(R"(
+    int helper(int x) { return x * 2; }
+    int main() { return helper(21); }
+  )");
+  ASSERT_TRUE(img.ok()) << img.error().ToString();
+  const image::Symbol* helper = img->FindSymbol("helper");
+  const image::Symbol* main_sym = img->FindSymbol("main");
+  ASSERT_NE(helper, nullptr);
+  ASSERT_NE(main_sym, nullptr);
+  EXPECT_EQ(helper->kind, image::SymbolKind::kFunction);
+  EXPECT_GT(helper->size, 0u);
+  // Symbol ranges must not overlap and must lie inside text.
+  EXPECT_TRUE(img->ContainsText(helper->addr));
+  EXPECT_TRUE(img->ContainsText(main_sym->addr));
+  // FunctionAt must resolve interior addresses.
+  EXPECT_EQ(img->FunctionAt(helper->addr + 4), helper);
+}
+
+
+TEST(MiniccFolding, FoldedCodeIsSmallerAndEquivalent) {
+  const char* source = R"(
+    int main() {
+      int x = (3 + 4) * (10 - 2) / 2;          /* 28 */
+      int y = (1 << 10) | (255 & 0x0f0);       /* 1264 */
+      int z = -(-5) + ~0 + (7 > 3 ? 2 : 9);    /* 6 */
+      int w = (int)(char)0x1ff;                /* 255 */
+      return (x + y + z + w) % 251;
+    }
+  )";
+  minicc::CompileOptions folded;
+  minicc::CompileOptions plain;
+  plain.codegen.fold_constants = false;
+  auto img_folded = minicc::CompileMiniC(source, "<f>", folded);
+  auto img_plain = minicc::CompileMiniC(source, "<p>", plain);
+  ASSERT_TRUE(img_folded.ok());
+  ASSERT_TRUE(img_plain.ok());
+  // Folding must shrink main() without changing behaviour.
+  const image::Symbol* main_folded = img_folded->FindSymbol("main");
+  const image::Symbol* main_plain = img_plain->FindSymbol("main");
+  ASSERT_NE(main_folded, nullptr);
+  ASSERT_NE(main_plain, nullptr);
+  EXPECT_LT(main_folded->size, main_plain->size);
+  for (const auto& img : {*img_folded, *img_plain}) {
+    vm::Machine machine;
+    machine.LoadImage(img);
+    const vm::RunResult run = machine.Run(1'000'000);
+    ASSERT_EQ(run.reason, vm::StopReason::kHalted);
+    EXPECT_EQ(run.exit_code, (28 + 1264 + 6 + 255) % 251);
+  }
+}
+
+TEST(MiniccFolding, DivisionByConstantZeroStillFaults) {
+  // 1/0 must NOT be folded away or turned into a compile error — the
+  // runtime fault is the defined behaviour.
+  const auto out = CompileAndRun("int main() { return 1 / 0; }");
+  EXPECT_EQ(out.result.reason, vm::StopReason::kFault);
+  EXPECT_NE(out.result.fault_message.find("division"), std::string::npos);
+}
+
+TEST(MiniccFolding, IntMinDivMinusOneFoldsToWrap) {
+  ExpectProgram(
+      "int main() { return ((int)0x80000000 / -1) == (int)0x80000000 ? 1 : 0; }",
+      1);
+}
+
+TEST(MiniccSemantics, FaultOnNullDeref) {
+  const auto out = CompileAndRun("int main() { int *p = 0; return *p; }");
+  EXPECT_EQ(out.result.reason, vm::StopReason::kFault);
+  EXPECT_NE(out.result.fault_message.find("null-guard"), std::string::npos);
+}
+
+TEST(MiniccSemantics, FaultOnDivByZero) {
+  const auto out = CompileAndRun("int zero = 0; int main() { return 5 / zero; }");
+  EXPECT_EQ(out.result.reason, vm::StopReason::kFault);
+  EXPECT_NE(out.result.fault_message.find("division"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,69 @@
+// Channel cost-model and accounting tests.
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+
+namespace sc::net {
+namespace {
+
+TEST(Channel, CycleCostArithmetic) {
+  ChannelConfig config;
+  config.clock_hz = 200'000'000;
+  config.bits_per_second = 10'000'000;  // 20 cycles per bit, 160 per byte
+  config.latency_cycles = 2'000;
+  Channel channel(config);
+  EXPECT_EQ(channel.CyclesFor(0), 2'000u);
+  EXPECT_EQ(channel.CyclesFor(1), 2'000u + 160);
+  EXPECT_EQ(channel.CyclesFor(100), 2'000u + 16'000);
+}
+
+TEST(Channel, CostRoundsUp) {
+  ChannelConfig config;
+  config.clock_hz = 3;  // 24 clock-cycles per 8-bit byte / 7 bps -> ceil
+  config.bits_per_second = 7;
+  config.latency_cycles = 0;
+  Channel channel(config);
+  // 1 byte = 8 bits; 8 * 3 / 7 = 3.43 -> 4 cycles.
+  EXPECT_EQ(channel.CyclesFor(1), 4u);
+}
+
+TEST(Channel, FasterLinkCostsFewerCycles) {
+  ChannelConfig slow;
+  slow.bits_per_second = 1'000'000;
+  ChannelConfig fast;
+  fast.bits_per_second = 100'000'000;
+  EXPECT_GT(Channel(slow).CyclesFor(1000), Channel(fast).CyclesFor(1000));
+}
+
+TEST(Channel, DirectionalAccounting) {
+  Channel channel;
+  channel.SendToServer(24);
+  channel.SendToServer(24);
+  channel.SendToClient(100);
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.messages_to_server, 2u);
+  EXPECT_EQ(stats.messages_to_client, 1u);
+  EXPECT_EQ(stats.bytes_to_server, 48u);
+  EXPECT_EQ(stats.bytes_to_client, 100u);
+  EXPECT_EQ(stats.total_bytes(), 148u);
+  EXPECT_EQ(stats.total_messages(), 3u);
+  EXPECT_EQ(stats.total_cycles,
+            channel.CyclesFor(24) * 2 + channel.CyclesFor(100));
+}
+
+TEST(Channel, ResetClearsStats) {
+  Channel channel;
+  channel.SendToServer(10);
+  channel.ResetStats();
+  EXPECT_EQ(channel.stats().total_messages(), 0u);
+  EXPECT_EQ(channel.stats().total_cycles, 0u);
+}
+
+TEST(Channel, SendReturnsChargedCycles) {
+  Channel channel;
+  const uint64_t cycles = channel.SendToServer(64);
+  EXPECT_EQ(cycles, channel.CyclesFor(64));
+}
+
+}  // namespace
+}  // namespace sc::net

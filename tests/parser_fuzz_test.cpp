@@ -1,0 +1,125 @@
+// Front-end robustness: the lexer/parser/codegen pipeline must return a
+// clean error (never crash, hang, or emit a bad image) on arbitrary input —
+// random bytes, token soup, truncations of valid programs, and deeply
+// nested expressions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "minicc/compiler.h"
+#include "sasm/assembler.h"
+#include "util/rng.h"
+
+namespace sc {
+namespace {
+
+// Any outcome is fine except a crash; if compilation "succeeds" the image
+// must at least be structurally sane.
+void MustNotCrash(const std::string& source) {
+  minicc::CompileOptions options;
+  options.link_runtime = false;  // garbage shouldn't pay runtime compile time
+  auto img = minicc::CompileMiniC(source, "<fuzz>", options);
+  if (img.ok()) {
+    EXPECT_EQ(img->text.size() % 4, 0u);
+    EXPECT_TRUE(img->ContainsText(img->entry));
+  } else {
+    EXPECT_FALSE(img.error().message.empty());
+  }
+}
+
+TEST(ParserFuzz, RandomBytes) {
+  util::Rng rng(777);
+  for (int i = 0; i < 500; ++i) {
+    std::string source(rng.Below(300), ' ');
+    for (auto& c : source) {
+      c = static_cast<char>(32 + rng.Below(95));  // printable ASCII
+    }
+    MustNotCrash(source);
+  }
+}
+
+TEST(ParserFuzz, TokenSoup) {
+  static const char* const kTokens[] = {
+      "int",  "uint", "char", "void",  "struct", "if",    "else",  "while",
+      "for",  "do",   "switch", "case", "default", "break", "return",
+      "x",    "y",    "main", "f",     "123",    "0x1f",  "'a'",   "\"s\"",
+      "(",    ")",    "{",    "}",     "[",      "]",     ";",     ",",
+      "+",    "-",    "*",    "/",     "%",      "=",     "==",    "<",
+      ">",    "&&",   "||",   "&",     "|",      "^",     "~",     "!",
+      "->",   ".",    "?",    ":",     "sizeof", "++",    "--",    "<<",
+  };
+  util::Rng rng(778);
+  for (int i = 0; i < 800; ++i) {
+    std::string source;
+    const uint64_t len = rng.Below(120);
+    for (uint64_t t = 0; t < len; ++t) {
+      source += kTokens[rng.Below(std::size(kTokens))];
+      source += ' ';
+    }
+    MustNotCrash(source);
+  }
+}
+
+TEST(ParserFuzz, TruncationsOfValidProgram) {
+  const std::string valid = R"(
+    struct point { int x; int y; };
+    int table[8] = { 1, 2, 3 };
+    int helper(int a, int b) { return a * b + table[a & 7]; }
+    int main() {
+      struct point p;
+      p.x = 3;
+      for (int i = 0; i < 10; i++) p.x += helper(i, p.x);
+      return p.x & 127;
+    }
+  )";
+  for (size_t len = 0; len <= valid.size(); len += 3) {
+    MustNotCrash(valid.substr(0, len));
+  }
+}
+
+TEST(ParserFuzz, DeepNesting) {
+  // Deep parenthesization must error out or compile, not blow the stack.
+  for (const int depth : {50, 500, 4000}) {
+    std::string expr;
+    for (int i = 0; i < depth; ++i) expr += "(1+";
+    expr += "1";
+    for (int i = 0; i < depth; ++i) expr += ")";
+    MustNotCrash("int main() { return " + expr + "; }");
+  }
+}
+
+TEST(ParserFuzz, DeepBlockNesting) {
+  std::string body;
+  for (int i = 0; i < 2000; ++i) body += "{";
+  body += "int x = 1;";
+  for (int i = 0; i < 2000; ++i) body += "}";
+  MustNotCrash("int main() { " + body + " return 0; }");
+}
+
+TEST(AssemblerFuzz, RandomLines) {
+  util::Rng rng(779);
+  static const char* const kWords[] = {
+      "add", "lw",  "sw",   "beq",  "jal",  "li",   "la",  ".word",
+      ".data", ".text", ".func", ".align", "t0",  "sp",  "ra",  "zero",
+      "label:", "0x10", "-5",  ",",   "(",    ")",   "\"s\"",
+  };
+  for (int i = 0; i < 600; ++i) {
+    std::string source;
+    const uint64_t lines = rng.Below(20);
+    for (uint64_t l = 0; l < lines; ++l) {
+      const uint64_t words = rng.Below(6);
+      for (uint64_t w = 0; w < words; ++w) {
+        source += kWords[rng.Below(std::size(kWords))];
+        source += ' ';
+      }
+      source += '\n';
+    }
+    auto img = sasm::Assemble(source);
+    if (!img.ok()) {
+      EXPECT_FALSE(img.error().message.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc

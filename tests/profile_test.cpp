@@ -1,0 +1,135 @@
+// Profiler tests: attribution correctness, hot-set selection, dynamic
+// footprint accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "minicc/compiler.h"
+#include "profile/profiler.h"
+#include "vm/machine.h"
+
+namespace sc {
+namespace {
+
+image::Image Compile(std::string_view source) {
+  auto img = minicc::CompileMiniC(source);
+  SC_CHECK(img.ok()) << img.error().ToString();
+  return std::move(*img);
+}
+
+profile::Profiler RunProfiled(const image::Image& img) {
+  profile::Profiler profiler(img);
+  vm::Machine machine;
+  machine.LoadImage(img);
+  machine.set_fetch_observer(&profiler);
+  const vm::RunResult result = machine.Run(100'000'000);
+  SC_CHECK(result.reason == vm::StopReason::kHalted) << result.fault_message;
+  return profiler;
+}
+
+constexpr const char* kHotColdProgram = R"(
+  int hot_kernel(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) sum += (i * 17) % 23;
+    return sum;
+  }
+  int cold_error_path(int code) {
+    print_str("error ");
+    print_int(code);
+    print_nl();
+    return -code;
+  }
+  int cold_alt_mode(int x) {
+    int acc = 1;
+    for (int i = 0; i < x; i++) acc = acc * 3 % 1000;
+    return acc;
+  }
+  int main() {
+    int v = hot_kernel(200000);
+    if (v == -1) return cold_error_path(1);   /* never taken */
+    if (v == -2) return cold_alt_mode(5);     /* never taken */
+    return v % 251;
+  }
+)";
+
+TEST(Profiler, AttributesSamplesToTheHotFunction) {
+  const image::Image img = Compile(kHotColdProgram);
+  const profile::Profiler profiler = RunProfiled(img);
+  const auto report = profiler.Report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report[0].name, "hot_kernel");
+  // The kernel dominates: > 90% of all samples.
+  EXPECT_GT(static_cast<double>(report[0].samples),
+            0.9 * static_cast<double>(profiler.total_samples()));
+}
+
+TEST(Profiler, ColdFunctionsHaveZeroSamples) {
+  const image::Image img = Compile(kHotColdProgram);
+  const profile::Profiler profiler = RunProfiled(img);
+  for (const auto& fn : profiler.Report()) {
+    if (fn.name == "cold_error_path" || fn.name == "cold_alt_mode") {
+      EXPECT_EQ(fn.samples, 0u) << fn.name;
+    }
+  }
+}
+
+TEST(Profiler, HotSetIsSmall) {
+  const image::Image img = Compile(kHotColdProgram);
+  const profile::Profiler profiler = RunProfiled(img);
+  const auto hot = profiler.HotFunctions(0.90);
+  EXPECT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], "hot_kernel");
+  EXPECT_LT(profiler.HotCodeBytes(0.90), profiler.StaticTextBytes() / 4);
+}
+
+TEST(Profiler, FullFractionCoversAllExecuted) {
+  const image::Image img = Compile(kHotColdProgram);
+  const profile::Profiler profiler = RunProfiled(img);
+  // fraction 1.0 includes every executed function but no unexecuted one.
+  const auto hot = profiler.HotFunctions(1.0);
+  for (const auto& name : hot) {
+    EXPECT_NE(name, "cold_error_path");
+    EXPECT_NE(name, "cold_alt_mode");
+  }
+  EXPECT_GE(hot.size(), 2u);  // at least main + hot_kernel (+ _start)
+}
+
+TEST(Profiler, DynamicBytesBelowStatic) {
+  const image::Image img = Compile(kHotColdProgram);
+  const profile::Profiler profiler = RunProfiled(img);
+  const uint64_t dynamic = profiler.DynamicTextBytes();
+  EXPECT_GT(dynamic, 0u);
+  EXPECT_LT(dynamic, profiler.StaticTextBytes());
+  // Dynamic footprint must cover at least the hot kernel's body.
+  const image::Symbol* hot = img.FindSymbol("hot_kernel");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_GE(dynamic, hot->size);
+}
+
+TEST(Profiler, DynamicBytesAreDistinct) {
+  // Running the same program for much longer (input-driven) must not change
+  // the dynamic footprint: it counts distinct instructions, not fetches.
+  const image::Image img = Compile(R"(
+    int main() {
+      int n = 0;
+      int c;
+      while ((c = getchar()) != -1) n = n * 10 + (c - '0');
+      int s = 0;
+      for (int i = 0; i < n; i++) s += i;
+      return s % 7;
+    }
+  )");
+  const auto run_with = [&img](const char* input) {
+    profile::Profiler profiler(img);
+    vm::Machine machine;
+    machine.LoadImage(img);
+    machine.SetInput(std::vector<uint8_t>(input, input + strlen(input)));
+    machine.set_fetch_observer(&profiler);
+    SC_CHECK(machine.Run(100'000'000).reason == vm::StopReason::kHalted);
+    return profiler.DynamicTextBytes();
+  };
+  EXPECT_EQ(run_with("100"), run_with("100000"));
+}
+
+}  // namespace
+}  // namespace sc

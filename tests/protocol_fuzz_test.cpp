@@ -1,0 +1,136 @@
+// Robustness fuzzing of the MC/CC wire protocol: the memory controller must
+// answer EVERY byte string — random garbage, truncations, bit flips of valid
+// frames, hostile lengths — with a well-formed reply (usually kError) and
+// never crash or corrupt state. An embedded deployment lives or dies on
+// this: the server cannot trust the radio link.
+#include <gtest/gtest.h>
+
+#include "minicc/compiler.h"
+#include "softcache/mc.h"
+#include "softcache/protocol.h"
+#include "util/rng.h"
+
+namespace sc {
+namespace {
+
+using softcache::MemoryController;
+using softcache::MsgType;
+using softcache::Reply;
+using softcache::Request;
+
+image::Image TestImage() {
+  auto img = minicc::CompileMiniC(R"(
+    int f(int x) { return x * 2 + 1; }
+    int main() { return f(20); }
+  )");
+  SC_CHECK(img.ok());
+  return std::move(*img);
+}
+
+// Every reply must itself parse as a valid frame.
+void ExpectWellFormedReply(const std::vector<uint8_t>& reply_bytes) {
+  auto reply = Reply::Parse(reply_bytes);
+  ASSERT_TRUE(reply.ok()) << "MC produced an unparseable reply";
+}
+
+TEST(ProtocolFuzz, RandomGarbageNeverCrashesTheServer) {
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  util::Rng rng(404);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<uint8_t> garbage(rng.Below(200));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Below(256));
+    ExpectWellFormedReply(mc.Handle(garbage));
+  }
+}
+
+TEST(ProtocolFuzz, BitFlippedValidRequests) {
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  util::Rng rng(405);
+  Request request;
+  request.type = MsgType::kChunkRequest;
+  request.addr = img.entry;
+  const auto valid = request.Serialize();
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.Below(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Below(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.Below(8));
+    }
+    ExpectWellFormedReply(mc.Handle(mutated));
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedAndExtendedFrames) {
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  Request request;
+  request.type = MsgType::kDataRequest;
+  request.addr = img.data_base;
+  request.length = 32;
+  const auto valid = request.Serialize();
+  for (size_t len = 0; len <= valid.size(); ++len) {
+    std::vector<uint8_t> prefix(valid.begin(), valid.begin() + static_cast<long>(len));
+    ExpectWellFormedReply(mc.Handle(prefix));
+  }
+  auto extended = valid;
+  extended.resize(valid.size() + 1000, 0xab);
+  ExpectWellFormedReply(mc.Handle(extended));
+}
+
+TEST(ProtocolFuzz, HostileRequestFields) {
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  const struct {
+    MsgType type;
+    uint32_t addr;
+    uint32_t length;
+  } kCases[] = {
+      {MsgType::kChunkRequest, 0, 0},                      // null address
+      {MsgType::kChunkRequest, 0xffffffff, 0},             // wild address
+      {MsgType::kChunkRequest, img.entry + 1, 0},          // misaligned
+      {MsgType::kDataRequest, img.data_base, 0xffffffff},  // huge length
+      {MsgType::kDataRequest, 0xfffffff0, 64},             // wraps address space
+      {MsgType::kDataRequest, 0, 16},                      // below data base
+      {MsgType::kTextWrite, img.text_base - 4, 8},         // below text
+      {MsgType::kTextWrite, img.text_end() - 4, 8},        // straddles end
+      {static_cast<MsgType>(0xdead), 0, 0},                // unknown type
+  };
+  for (const auto& c : kCases) {
+    Request request;
+    request.type = c.type;
+    request.addr = c.addr;
+    request.length = c.length;
+    if (c.type == MsgType::kTextWrite) request.payload.resize(c.length, 0);
+    const auto reply_bytes = mc.Handle(request.Serialize());
+    auto reply = Reply::Parse(reply_bytes);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, MsgType::kError)
+        << "type=" << static_cast<uint32_t>(c.type) << " addr=0x" << std::hex
+        << c.addr;
+  }
+}
+
+TEST(ProtocolFuzz, ValidRequestsStillServedAfterAbuse) {
+  // After a storm of garbage, the server must still answer real requests.
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  util::Rng rng(406);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint8_t> garbage(rng.Below(100));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Below(256));
+    (void)mc.Handle(garbage);
+  }
+  Request request;
+  request.type = MsgType::kChunkRequest;
+  request.addr = img.entry;
+  auto reply = Reply::Parse(mc.Handle(request.Serialize()));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MsgType::kChunkReply);
+  EXPECT_GT(reply->payload.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sc

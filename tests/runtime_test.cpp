@@ -1,0 +1,366 @@
+// MiniC runtime library tests — especially the soft-float routines, which
+// are verified against the host's IEEE-754 hardware across random and
+// corner-case operand sets (allowing 1 ulp slack and flush-to-zero).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "minicc/compiler.h"
+#include "util/rng.h"
+#include "vm/machine.h"
+
+namespace sc {
+namespace {
+
+// Runs a batch program: reads [u32 count] then count records of
+// [u8 op][u32 a][u32 b], applies the soft-float op, writes u32 results.
+constexpr const char* kFloatHarness = R"(
+int read_u32() {
+  char b[4];
+  if (read_bytes(b, 4) != 4) return -1;
+  return (int)b[0] | ((int)b[1] << 8) | ((int)b[2] << 16) | ((int)b[3] << 24);
+}
+void write_u32(uint v) {
+  char b[4];
+  b[0] = (char)(v & 255);
+  b[1] = (char)((v >> 8) & 255);
+  b[2] = (char)((v >> 16) & 255);
+  b[3] = (char)((v >> 24) & 255);
+  write_bytes(b, 4);
+}
+int main() {
+  int n = read_u32();
+  int i;
+  for (i = 0; i < n; i++) {
+    int op = getchar();
+    uint a = (uint)read_u32();
+    uint b = (uint)read_u32();
+    uint r = 0;
+    if (op == 0) r = fadd(a, b);
+    else if (op == 1) r = fsub(a, b);
+    else if (op == 2) r = fmul(a, b);
+    else if (op == 3) r = fdiv(a, b);
+    else if (op == 4) r = (uint)fcmp(a, b);
+    else if (op == 5) r = itof((int)a);
+    else if (op == 6) r = (uint)ftoi(a);
+    else if (op == 7) r = fsqrt(a);
+    write_u32(r);
+  }
+  return 0;
+}
+)";
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  return bits;
+}
+float BitsFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+struct FloatCase {
+  uint8_t op;
+  uint32_t a;
+  uint32_t b;
+};
+
+std::vector<uint32_t> RunFloatBatch(const std::vector<FloatCase>& cases) {
+  static const image::Image img = [] {
+    auto compiled = minicc::CompileMiniC(kFloatHarness);
+    SC_CHECK(compiled.ok()) << compiled.error().ToString();
+    return std::move(*compiled);
+  }();
+  std::vector<uint8_t> input;
+  const auto put32 = [&input](uint32_t v) {
+    input.push_back(static_cast<uint8_t>(v));
+    input.push_back(static_cast<uint8_t>(v >> 8));
+    input.push_back(static_cast<uint8_t>(v >> 16));
+    input.push_back(static_cast<uint8_t>(v >> 24));
+  };
+  put32(static_cast<uint32_t>(cases.size()));
+  for (const FloatCase& c : cases) {
+    input.push_back(c.op);
+    put32(c.a);
+    put32(c.b);
+  }
+  vm::Machine machine;
+  machine.LoadImage(img);
+  machine.SetInput(std::move(input));
+  const vm::RunResult result = machine.Run(4'000'000'000ull);
+  SC_CHECK(result.reason == vm::StopReason::kHalted) << result.fault_message;
+  const auto& out = machine.output();
+  SC_CHECK_EQ(out.size(), cases.size() * 4);
+  std::vector<uint32_t> values(cases.size());
+  std::memcpy(values.data(), out.data(), out.size());
+  return values;
+}
+
+// Within-1-ulp comparison with flush-to-zero semantics.
+bool CloseEnough(uint32_t soft, float expected) {
+  if (std::isnan(expected)) {
+    return ((soft & 0x7f800000) == 0x7f800000) && (soft & 0x007fffff) != 0;
+  }
+  const uint32_t want = FloatBits(expected);
+  if (soft == want) return true;
+  // Flush-to-zero: denormal expected -> zero accepted.
+  if (std::fpclassify(expected) == FP_SUBNORMAL && (soft & 0x7fffffff) == 0) {
+    return true;
+  }
+  if ((soft & 0x7f800000) == 0x7f800000 || (want & 0x7f800000) == 0x7f800000) {
+    return soft == want;  // infinities must be exact
+  }
+  const int64_t diff = static_cast<int64_t>(soft) - static_cast<int64_t>(want);
+  return (soft >> 31) == (want >> 31) && diff >= -1 && diff <= 1;
+}
+
+float NiceRandomFloat(util::Rng& rng) {
+  // Normal-range magnitudes from 1e-18 to 1e18 with random sign.
+  const double mag = std::pow(10.0, rng.NextDouble() * 36.0 - 18.0);
+  const double sign = rng.Chance(1, 2) ? -1.0 : 1.0;
+  return static_cast<float>(sign * mag * (0.5 + rng.NextDouble()));
+}
+
+TEST(SoftFloat, AddSubMulDivRandom) {
+  util::Rng rng(2024);
+  std::vector<FloatCase> cases;
+  std::vector<float> expect;
+  for (int i = 0; i < 400; ++i) {
+    const float a = NiceRandomFloat(rng);
+    const float b = NiceRandomFloat(rng);
+    const uint8_t op = static_cast<uint8_t>(rng.Below(4));
+    cases.push_back({op, FloatBits(a), FloatBits(b)});
+    switch (op) {
+      case 0: expect.push_back(a + b); break;
+      case 1: expect.push_back(a - b); break;
+      case 2: expect.push_back(a * b); break;
+      default: expect.push_back(a / b); break;
+    }
+  }
+  const auto results = RunFloatBatch(cases);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_TRUE(CloseEnough(results[i], expect[i]))
+        << "op " << int(cases[i].op) << " a=" << BitsFloat(cases[i].a)
+        << " b=" << BitsFloat(cases[i].b) << " soft=0x" << std::hex << results[i]
+        << " want=0x" << FloatBits(expect[i]);
+  }
+}
+
+TEST(SoftFloat, SpecialValues) {
+  const uint32_t inf = 0x7f800000;
+  const uint32_t ninf = 0xff800000;
+  const uint32_t nan = 0x7fc00000;
+  const uint32_t one = FloatBits(1.0f);
+  const uint32_t zero = 0;
+  std::vector<FloatCase> cases = {
+      {0, inf, one},    // inf + 1 = inf
+      {0, inf, ninf},   // inf + -inf = nan
+      {2, zero, inf},   // 0 * inf = nan
+      {3, one, zero},   // 1 / 0 = inf
+      {3, zero, zero},  // 0 / 0 = nan
+      {0, nan, one},    // nan propagates
+      {1, one, one},    // 1 - 1 = +0
+      {2, FloatBits(-1.0f), zero},  // -1 * 0 = -0
+  };
+  const auto r = RunFloatBatch(cases);
+  EXPECT_EQ(r[0], inf);
+  EXPECT_EQ(r[1] & 0x7fc00000u, 0x7fc00000u);  // some NaN
+  EXPECT_EQ(r[2] & 0x7fc00000u, 0x7fc00000u);
+  EXPECT_EQ(r[3], inf);
+  EXPECT_EQ(r[4] & 0x7fc00000u, 0x7fc00000u);
+  EXPECT_EQ(r[5] & 0x7fc00000u, 0x7fc00000u);
+  EXPECT_EQ(r[6], 0u);           // +0
+  EXPECT_EQ(r[7], 0x80000000u);  // -0
+}
+
+TEST(SoftFloat, Comparisons) {
+  std::vector<FloatCase> cases = {
+      {4, FloatBits(1.0f), FloatBits(2.0f)},
+      {4, FloatBits(2.0f), FloatBits(1.0f)},
+      {4, FloatBits(3.5f), FloatBits(3.5f)},
+      {4, FloatBits(-1.0f), FloatBits(1.0f)},
+      {4, FloatBits(-1.0f), FloatBits(-2.0f)},
+      {4, 0x80000000u, 0u},  // -0 == +0
+      {4, 0x7fc00000u, FloatBits(1.0f)},  // nan -> -2
+  };
+  const auto r = RunFloatBatch(cases);
+  EXPECT_EQ(static_cast<int32_t>(r[0]), -1);
+  EXPECT_EQ(static_cast<int32_t>(r[1]), 1);
+  EXPECT_EQ(static_cast<int32_t>(r[2]), 0);
+  EXPECT_EQ(static_cast<int32_t>(r[3]), -1);
+  EXPECT_EQ(static_cast<int32_t>(r[4]), 1);
+  EXPECT_EQ(static_cast<int32_t>(r[5]), 0);
+  EXPECT_EQ(static_cast<int32_t>(r[6]), -2);
+}
+
+TEST(SoftFloat, IntConversions) {
+  util::Rng rng(31);
+  std::vector<FloatCase> cases;
+  std::vector<uint32_t> expect;
+  for (int i = 0; i < 200; ++i) {
+    const int32_t v = static_cast<int32_t>(rng.Next32());
+    cases.push_back({5, static_cast<uint32_t>(v), 0});
+    expect.push_back(FloatBits(static_cast<float>(v)));
+  }
+  // ftoi on representative values (exactly convertible).
+  for (const float f : {0.0f, 1.0f, -1.0f, 123.75f, -4096.5f, 2.0e9f, -2.0e9f}) {
+    cases.push_back({6, FloatBits(f), 0});
+    expect.push_back(static_cast<uint32_t>(static_cast<int64_t>(
+        std::max(-2147483648.0, std::min(2147483647.0, std::trunc(double(f)))))));
+  }
+  const auto r = RunFloatBatch(cases);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].op == 5) {
+      EXPECT_TRUE(CloseEnough(r[i], BitsFloat(expect[i]))) << i;
+    } else {
+      EXPECT_EQ(r[i], expect[i]) << "ftoi case " << i;
+    }
+  }
+}
+
+TEST(SoftFloat, Sqrt) {
+  std::vector<FloatCase> cases;
+  std::vector<float> expect;
+  for (const float f : {4.0f, 2.0f, 100.0f, 0.25f, 1e6f, 123.456f}) {
+    cases.push_back({7, FloatBits(f), 0});
+    expect.push_back(std::sqrt(f));
+  }
+  const auto r = RunFloatBatch(cases);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    // Newton iteration: allow a few ulps.
+    const float got = BitsFloat(r[i]);
+    EXPECT_NEAR(got, expect[i], std::abs(expect[i]) * 1e-5f) << expect[i];
+  }
+}
+
+// ---- non-float runtime pieces ----
+
+void ExpectExit(std::string_view source, int expected) {
+  auto img = minicc::CompileMiniC(source);
+  ASSERT_TRUE(img.ok()) << img.error().ToString();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  const vm::RunResult result = machine.Run(200'000'000);
+  ASSERT_EQ(result.reason, vm::StopReason::kHalted) << result.fault_message;
+  EXPECT_EQ(result.exit_code, expected) << machine.OutputString();
+}
+
+TEST(RuntimeExtra, StringSearch) {
+  ExpectExit(R"(
+    int main() {
+      char *s = "the quick brown fox";
+      if (strstr_(s, "quick") != &s[4]) return 1;
+      if (strstr_(s, "missing") != 0) return 2;
+      if (strchr_(s, 'q') != &s[4]) return 3;
+      if (strrchr_(s, 'o') != &s[17]) return 4;
+      if (memchr_(s, 'b', 19) != &s[10]) return 5;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, StrtolBases) {
+  ExpectExit(R"(
+    int main() {
+      if (strtol_("123", 10) != 123) return 1;
+      if (strtol_("-45", 10) != -45) return 2;
+      if (strtol_("0x1f", 0) != 31) return 3;
+      if (strtol_("777", 8) != 511) return 4;
+      if (strtol_("  42", 10) != 42) return 5;
+      if (strtol_("ff", 16) != 255) return 6;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, Crc32MatchesReference) {
+  // CRC-32("123456789") = 0xcbf43926, the standard check value.
+  ExpectExit(R"(
+    int main() {
+      uint c = crc32("123456789", 9);
+      return c == 0xcbf43926 ? 0 : 1;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, QsortAndBsearch) {
+  ExpectExit(R"(
+    int data[64];
+    int main() {
+      srand(7);
+      for (int i = 0; i < 64; i++) data[i] = rand() % 1000;
+      qsort_ints(data, 64);
+      for (int i = 1; i < 64; i++) {
+        if (data[i - 1] > data[i]) return 1;
+      }
+      for (int i = 0; i < 64; i++) {
+        if (bsearch_int(data, 64, data[i]) < 0) return 2;
+      }
+      if (bsearch_int(data, 64, -5) != -1) return 3;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, QsortWithComparator) {
+  ExpectExit(R"(
+    int desc(int a, int b) { return b - a; }
+    int data[32];
+    int main() {
+      for (int i = 0; i < 32; i++) data[i] = (i * 37) % 100;
+      qsort_by(data, 32, desc);
+      for (int i = 1; i < 32; i++) {
+        if (data[i - 1] < data[i]) return 1;
+      }
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, NumericHelpers) {
+  ExpectExit(R"(
+    int main() {
+      if (gcd(48, 36) != 12) return 1;
+      if (ipow(3, 5) != 243) return 2;
+      if (isqrt(1000000) != 1000) return 3;
+      if (isqrt(999999) != 999) return 4;
+      if (umulhi(0x80000000, 4) != 2) return 5;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, FormatInt) {
+  ExpectExit(R"(
+    int main() {
+      char buf[36];
+      format_int(buf, -1234, 10);
+      if (strcmp(buf, "-1234") != 0) return 1;
+      format_int(buf, 255, 16);
+      if (strcmp(buf, "ff") != 0) return 2;
+      format_int(buf, 5, 2);
+      if (strcmp(buf, "101") != 0) return 3;
+      return 0;
+    }
+  )", 0);
+}
+
+TEST(RuntimeExtra, MiniPrintf) {
+  auto img = minicc::CompileMiniC(R"MC(
+    int main() {
+      mini_printf("x=%d hex=%x s=%s\n", 42, 255, (int)"hi");
+      return 0;
+    }
+  )MC");
+  ASSERT_TRUE(img.ok()) << img.error().ToString();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  ASSERT_EQ(machine.Run(10'000'000).reason, vm::StopReason::kHalted);
+  EXPECT_EQ(machine.OutputString(), "x=42 hex=ff s=hi\n");
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,245 @@
+// Assembler tests: syntax, directives, label fixups, pseudo-instructions,
+// and error reporting — each verified by running the assembled program.
+#include <gtest/gtest.h>
+
+#include "sasm/assembler.h"
+#include "vm/machine.h"
+
+namespace sc {
+namespace {
+
+vm::RunResult AssembleAndRun(std::string_view source, std::string* output = nullptr,
+                             std::string_view input = "") {
+  auto img = sasm::Assemble(source);
+  SC_CHECK(img.ok()) << img.error().ToString();
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  machine.SetInput(std::vector<uint8_t>(input.begin(), input.end()));
+  const vm::RunResult result = machine.Run(10'000'000);
+  if (output != nullptr) *output = machine.OutputString();
+  return result;
+}
+
+TEST(SasmBasic, MinimalProgram) {
+  const auto result = AssembleAndRun(R"(
+    _start:
+      li a0, 7
+      sys 0
+  )");
+  EXPECT_EQ(result.reason, vm::StopReason::kHalted);
+  EXPECT_EQ(result.exit_code, 7);
+}
+
+TEST(SasmBasic, ArithmeticChain) {
+  const auto result = AssembleAndRun(R"(
+    _start:
+      li t0, 6
+      li t1, 7
+      mul t2, t0, t1       # 42
+      addi t2, t2, 58      # 100
+      li t3, 3
+      div t2, t2, t3       # 33
+      mv a0, t2
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 33);
+}
+
+TEST(SasmBasic, BranchesAndLabels) {
+  const auto result = AssembleAndRun(R"(
+    _start:
+      li t0, 0        # counter
+      li t1, 0        # sum
+    loop:
+      add t1, t1, t0
+      addi t0, t0, 1
+      li t2, 10
+      blt t0, t2, loop
+      mv a0, t1
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 45);
+}
+
+TEST(SasmBasic, CallAndReturn) {
+  const auto result = AssembleAndRun(R"(
+    .entry main
+    .func double_it
+      add rv, a0, a0
+      ret
+    .endfunc
+    .func main
+      addi sp, sp, -8
+      sw ra, 4(sp)
+      li a0, 21
+      call double_it
+      mv a0, rv
+      lw ra, 4(sp)
+      addi sp, sp, 8
+      sys 0
+    .endfunc
+  )");
+  EXPECT_EQ(result.exit_code, 42);
+}
+
+TEST(SasmData, WordsAndStrings) {
+  std::string output;
+  const auto result = AssembleAndRun(R"(
+    .data
+    values: .word 10, 20, 30
+    msg:    .asciiz "hi\n"
+    .text
+    _start:
+      la t0, values
+      lw t1, 0(t0)
+      lw t2, 4(t0)
+      lw t3, 8(t0)
+      add t1, t1, t2
+      add t1, t1, t3
+      la a0, msg
+      li a1, 3
+      sys 3            # write
+      mv a0, t1
+      sys 0
+  )", &output);
+  EXPECT_EQ(result.exit_code, 60);
+  EXPECT_EQ(output, "hi\n");
+}
+
+TEST(SasmData, BytesHalvesAlign) {
+  const auto result = AssembleAndRun(R"(
+    .data
+    b: .byte 1, 2, 3
+    .align 2
+    h: .half 0x1234
+    .align 4
+    w: .word 0xdeadbeef
+    .text
+    _start:
+      la t0, b
+      lbu t1, 2(t0)      # 3
+      la t0, h
+      lhu t2, 0(t0)      # 0x1234
+      la t0, w
+      lw t3, 0(t0)
+      srli t3, t3, 28    # 0xd
+      add a0, t1, t3     # 3 + 13 = 16
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 16);
+}
+
+TEST(SasmData, BssSpace) {
+  const auto result = AssembleAndRun(R"(
+    .bss
+    buffer: .space 64
+    .text
+    _start:
+      la t0, buffer
+      li t1, 99
+      sw t1, 32(t0)
+      lw a0, 32(t0)
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 99);
+}
+
+TEST(SasmPseudo, LiLaNotNeg) {
+  const auto result = AssembleAndRun(R"(
+    _start:
+      li t0, 0x12345678
+      srli t0, t0, 24        # 0x12
+      not t1, zero           # -1
+      neg t2, t1             # 1
+      add a0, t0, t2         # 0x13
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 0x13);
+}
+
+TEST(SasmPseudo, CharLiterals) {
+  const auto result = AssembleAndRun(R"(
+    _start:
+      li a0, 'A'
+      addi a0, a0, 1
+      sys 1              # putchar 'B'
+      li a0, 0
+      sys 0
+  )");
+  EXPECT_EQ(result.reason, vm::StopReason::kHalted);
+}
+
+TEST(SasmSymbols, FunctionRangesInImage) {
+  auto img = sasm::Assemble(R"(
+    .func f
+      ret
+    .endfunc
+    .func _start
+      halt
+    .endfunc
+  )");
+  ASSERT_TRUE(img.ok());
+  const image::Symbol* f = img->FindSymbol("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->size, 4u);
+  EXPECT_EQ(img->FunctionAt(f->addr), f);
+}
+
+TEST(SasmErrors, UndefinedLabel) {
+  auto img = sasm::Assemble("_start: j nowhere\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("undefined symbol"), std::string::npos);
+  EXPECT_EQ(img.error().line, 1);
+}
+
+TEST(SasmErrors, DuplicateLabel) {
+  auto img = sasm::Assemble("x: nop\nx: nop\n_start: halt\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(SasmErrors, MissingEntry) {
+  auto img = sasm::Assemble("foo: halt\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("_start"), std::string::npos);
+}
+
+TEST(SasmErrors, BadRegister) {
+  auto img = sasm::Assemble("_start: addi r99, zero, 1\n");
+  ASSERT_FALSE(img.ok());
+}
+
+TEST(SasmErrors, ImmediateOutOfRange) {
+  auto img = sasm::Assemble("_start: addi t0, zero, 40000\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(SasmErrors, WrongOperandCount) {
+  auto img = sasm::Assemble("_start: add t0, t1\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("expects"), std::string::npos);
+}
+
+TEST(SasmErrors, InstructionInDataSection) {
+  auto img = sasm::Assemble(".data\nnop\n_start: halt\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.error().message.find("outside .text"), std::string::npos);
+}
+
+TEST(SasmErrors, UnterminatedString) {
+  auto img = sasm::Assemble(".data\ns: .asciiz \"oops\n.text\n_start: halt\n");
+  ASSERT_FALSE(img.ok());
+}
+
+TEST(SasmComments, BothStyles) {
+  const auto result = AssembleAndRun(R"(
+    _start:          # hash comment
+      li a0, 5       ; semicolon comment
+      sys 0
+  )");
+  EXPECT_EQ(result.exit_code, 5);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,50 @@
+// Shared helpers for SoftCache tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "image/image.h"
+#include "minicc/compiler.h"
+#include "vm/machine.h"
+
+namespace sc::testing {
+
+struct RunOutcome {
+  vm::RunResult result;
+  std::string output;
+};
+
+// Compiles a MiniC program and runs it natively (no software cache).
+inline RunOutcome CompileAndRun(std::string_view source, std::string_view input = "",
+                                uint64_t max_instructions = 200'000'000) {
+  auto img = minicc::CompileMiniC(source);
+  if (!img.ok()) {
+    ADD_FAILURE() << "compile error: " << img.error().ToString();
+    return {};
+  }
+  vm::Machine machine;
+  machine.LoadImage(*img);
+  machine.SetInput(std::vector<uint8_t>(input.begin(), input.end()));
+  RunOutcome out;
+  out.result = machine.Run(max_instructions);
+  out.output = machine.OutputString();
+  return out;
+}
+
+// Compiles, runs, and expects a clean exit with the given code and output.
+inline void ExpectProgram(std::string_view source, int expected_exit,
+                          std::string_view expected_output = "",
+                          std::string_view input = "") {
+  const RunOutcome out = CompileAndRun(source, input);
+  EXPECT_EQ(out.result.reason, vm::StopReason::kHalted)
+      << "fault: " << out.result.fault_message;
+  EXPECT_EQ(out.result.exit_code, expected_exit);
+  if (!expected_output.empty() || expected_exit == 0) {
+    EXPECT_EQ(out.output, expected_output);
+  }
+}
+
+}  // namespace sc::testing

@@ -1,0 +1,132 @@
+// Utility tests: RNG determinism and distribution sanity, accumulators,
+// histograms, formatting helpers, Result/Error plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sc::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) hit_lo = true;
+    if (v == 3) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(-1.0);   // clamps to first
+  hist.Add(0.5);
+  hist.Add(3.0);
+  hist.Add(9.9);
+  hist.Add(50.0);   // clamps to last
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bucket_low(1), 2.0);
+  EXPECT_FALSE(hist.ToAscii().empty());
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567890), "1,234,567,890");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(ResultType, ValueAndError) {
+  Result<int> ok_result(5);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 5);
+
+  Result<int> err_result(Error{"boom", "file.mc", 3, 7});
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error().ToString(), "file.mc:3:7: boom");
+
+  const Error bare{"plain"};
+  EXPECT_EQ(bare.ToString(), "plain");
+  const Error no_col{"msg", "f", 2, 0};
+  EXPECT_EQ(no_col.ToString(), "f:2: msg");
+}
+
+TEST(StatusType, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Error{"nope"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "nope");
+}
+
+}  // namespace
+}  // namespace sc::util

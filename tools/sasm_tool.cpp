@@ -1,0 +1,33 @@
+// sasm — the SRK32 assembler driver.
+//
+//   sasm program.s --o=program.img
+#include <cstdio>
+
+#include "sasm/assembler.h"
+#include "tools/tool_util.h"
+#include "util/stats.h"
+
+using namespace sc;
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::string unknown = args.FirstUnknown({"o", "help"});
+  if (!unknown.empty() || args.Has("help") || args.positional().size() != 1) {
+    if (!unknown.empty()) std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr, "usage: sasm <program.s> [--o=out.img]\n");
+    return 2;
+  }
+  const auto source = tools::ReadFile(args.positional()[0]);
+  if (!source) return 1;
+  const auto img = sasm::Assemble(*source, args.positional()[0]);
+  if (!img.ok()) {
+    std::fprintf(stderr, "%s\n", img.error().ToString().c_str());
+    return 1;
+  }
+  const std::string out_path = args.Get("o", "a.img");
+  if (!tools::WriteFileBytes(out_path, img->Serialize())) return 1;
+  std::printf("wrote %s (%s text, %s data)\n", out_path.c_str(),
+              util::HumanBytes(img->text.size()).c_str(),
+              util::HumanBytes(img->data.size()).c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// scc — the MiniC compiler driver.
+//
+//   scc program.mc -o program.img          compile to a loadable image
+//   scc program.mc --dump-asm              print the disassembly listing
+//   scc program.mc --no-runtime            compile without the runtime lib
+//   scc program.mc --stats                 print segment/symbol summary
+#include <cstdio>
+
+#include "image/image.h"
+#include "isa/isa.h"
+#include "minicc/compiler.h"
+#include "tools/tool_util.h"
+#include "util/stats.h"
+
+using namespace sc;
+
+namespace {
+
+void DumpAsm(const image::Image& img) {
+  const image::Symbol* current = nullptr;
+  for (uint32_t addr = img.text_base; addr < img.text_end(); addr += 4) {
+    const image::Symbol* fn = img.FunctionAt(addr);
+    if (fn != nullptr && fn != current) {
+      std::printf("\n%08x <%s>:\n", fn->addr, fn->name.c_str());
+      current = fn;
+    }
+    const uint32_t word = img.TextWord(addr);
+    std::printf("  %08x:  %08x  %s\n", addr, word,
+                isa::Disassemble(word, addr).c_str());
+  }
+}
+
+void DumpStats(const image::Image& img) {
+  std::printf("entry:  0x%08x\n", img.entry);
+  std::printf("text:   0x%08x  %s\n", img.text_base,
+              util::HumanBytes(img.text.size()).c_str());
+  std::printf("data:   0x%08x  %s\n", img.data_base,
+              util::HumanBytes(img.data.size()).c_str());
+  std::printf("bss:    0x%08x  %s\n", img.bss_base,
+              util::HumanBytes(img.bss_size).c_str());
+  int functions = 0;
+  int objects = 0;
+  for (const auto& sym : img.symbols) {
+    if (sym.kind == image::SymbolKind::kFunction) {
+      ++functions;
+    } else {
+      ++objects;
+    }
+  }
+  std::printf("symbols: %d functions, %d objects\n", functions, objects);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::string unknown =
+      args.FirstUnknown({"o", "dump-asm", "no-runtime", "stats", "help"});
+  if (!unknown.empty() || args.Has("help") || args.positional().empty()) {
+    if (!unknown.empty()) std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr,
+                 "usage: scc <program.mc>... [--o=out.img] [--dump-asm] "
+                 "[--no-runtime] [--stats]\n");
+    return 2;
+  }
+  std::vector<minicc::SourceFile> sources;
+  for (const std::string& path : args.positional()) {
+    const auto contents = tools::ReadFile(path);
+    if (!contents) return 1;
+    sources.push_back(minicc::SourceFile{path, *contents});
+  }
+
+  minicc::CompileOptions options;
+  options.link_runtime = !args.Has("no-runtime");
+  const auto img = args.positional().size() == 1
+                       ? minicc::CompileMiniC(sources[0].contents,
+                                              sources[0].name, options)
+                       : minicc::CompileMiniCProject(sources, options);
+  if (!img.ok()) {
+    std::fprintf(stderr, "%s\n", img.error().ToString().c_str());
+    return 1;
+  }
+
+  if (args.Has("dump-asm")) DumpAsm(*img);
+  if (args.Has("stats")) DumpStats(*img);
+
+  const std::string out_path = args.Get("o");
+  if (!out_path.empty()) {
+    if (!tools::WriteFileBytes(out_path, img->Serialize())) return 1;
+    std::printf("wrote %s (%s text, %s data, %zu symbols)\n", out_path.c_str(),
+                util::HumanBytes(img->text.size()).c_str(),
+                util::HumanBytes(img->data.size()).c_str(), img->symbols.size());
+  } else if (!args.Has("dump-asm") && !args.Has("stats")) {
+    std::printf("compiled OK (use --o=FILE to write the image)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// sdis — image disassembler.
+//
+//   sdis program.img [--symbols] [--data]
+#include <cstdio>
+
+#include "image/image.h"
+#include "isa/isa.h"
+#include "tools/tool_util.h"
+
+using namespace sc;
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::string unknown = args.FirstUnknown({"symbols", "data", "help"});
+  if (!unknown.empty() || args.Has("help") || args.positional().size() != 1) {
+    if (!unknown.empty()) std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr, "usage: sdis <program.img> [--symbols] [--data]\n");
+    return 2;
+  }
+  const auto bytes = tools::ReadFileBytes(args.positional()[0]);
+  if (!bytes) return 1;
+  const auto img = image::Image::Deserialize(*bytes);
+  if (!img.ok()) {
+    std::fprintf(stderr, "%s\n", img.error().ToString().c_str());
+    return 1;
+  }
+
+  if (args.Has("symbols")) {
+    std::printf("%-24s %-10s %10s %6s\n", "symbol", "address", "size", "kind");
+    for (const auto& sym : img->symbols) {
+      std::printf("%-24s 0x%08x %10u %6s\n", sym.name.c_str(), sym.addr, sym.size,
+                  sym.kind == image::SymbolKind::kFunction ? "func" : "obj");
+    }
+    return 0;
+  }
+  if (args.Has("data")) {
+    for (uint32_t off = 0; off < img->data.size(); off += 16) {
+      std::printf("%08x: ", img->data_base + off);
+      for (uint32_t i = 0; i < 16 && off + i < img->data.size(); ++i) {
+        std::printf("%02x ", img->data[off + i]);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  const image::Symbol* current = nullptr;
+  for (uint32_t addr = img->text_base; addr < img->text_end(); addr += 4) {
+    const image::Symbol* fn = img->FunctionAt(addr);
+    if (fn != nullptr && fn != current) {
+      std::printf("\n%08x <%s>:\n", fn->addr, fn->name.c_str());
+      current = fn;
+    }
+    const uint32_t word = img->TextWord(addr);
+    std::printf("  %08x:  %08x  %s\n", addr, word,
+                isa::Disassemble(word, addr).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// srun — run a program natively or under the software cache.
+//
+//   srun program.img                         run directly ("ideal")
+//   srun program.mc                          .mc sources compile on the fly
+//   srun p.img --softcache --tcache=8192     run under the software I-cache
+//   srun p.img --softcache --style=arm       procedure-chunk prototype
+//   srun p.img --softcache --dcache          attach the software D-cache
+//   srun p.img --input=file --stats --profile
+#include <cstdio>
+#include <cstring>
+
+#include "dcache/dcache.h"
+#include "image/image.h"
+#include "minicc/compiler.h"
+#include "profile/profiler.h"
+#include "softcache/system.h"
+#include "tools/tool_util.h"
+#include "util/stats.h"
+#include "vm/machine.h"
+
+using namespace sc;
+
+namespace {
+
+void PrintSoftCacheStats(softcache::SoftCacheSystem& system,
+                         const vm::RunResult& result) {
+  const auto& stats = system.stats();
+  const auto& net = system.channel().stats();
+  std::fprintf(stderr, "--- softcache stats ---\n");
+  std::fprintf(stderr, "instructions:       %llu\n",
+               (unsigned long long)result.instructions);
+  std::fprintf(stderr, "cycles:             %llu\n",
+               (unsigned long long)result.cycles);
+  std::fprintf(stderr, "blocks translated:  %llu\n",
+               (unsigned long long)stats.blocks_translated);
+  std::fprintf(stderr, "patch-only misses:  %llu\n",
+               (unsigned long long)stats.patch_only_misses);
+  std::fprintf(stderr, "hash lookups:       %llu (%llu translated)\n",
+               (unsigned long long)stats.hash_lookups,
+               (unsigned long long)stats.hash_lookup_misses);
+  std::fprintf(stderr, "evictions/flushes:  %llu / %llu\n",
+               (unsigned long long)stats.evictions,
+               (unsigned long long)stats.flushes);
+  std::fprintf(stderr, "ra fixups:          %llu (%llu frames walked)\n",
+               (unsigned long long)stats.return_addr_fixups,
+               (unsigned long long)stats.stack_walk_frames);
+  std::fprintf(stderr, "miss cycles:        %llu (%.2f%% of run)\n",
+               (unsigned long long)stats.miss_cycles,
+               100.0 * (double)stats.miss_cycles / (double)result.cycles);
+  std::fprintf(stderr, "tcache peak:        %s\n",
+               util::HumanBytes(stats.tcache_bytes_used_peak).c_str());
+  std::fprintf(stderr, "network:            %llu msgs, %s\n",
+               (unsigned long long)net.total_messages(),
+               util::HumanBytes(net.total_bytes()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::string unknown = args.FirstUnknown(
+      {"softcache", "style", "tcache", "trace-blocks", "evict", "dcache",
+       "input", "stats", "profile", "max-instr", "dump-tcache", "help"});
+  if (!unknown.empty() || args.Has("help") || args.positional().size() != 1) {
+    if (!unknown.empty()) std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr,
+                 "usage: srun <program.img|program.mc> [--input=FILE]\n"
+                 "            [--softcache] [--style=sparc|arm] [--tcache=N]\n"
+                 "            [--trace-blocks=N] [--evict=fifo|flush] [--dcache]\n"
+                 "            [--stats] [--profile] [--max-instr=N]\n");
+    return 2;
+  }
+
+  // Load or compile the program.
+  const std::string path = args.positional()[0];
+  image::Image img;
+  if (path.size() > 3 && path.substr(path.size() - 3) == ".mc") {
+    const auto source = tools::ReadFile(path);
+    if (!source) return 1;
+    auto compiled = minicc::CompileMiniC(*source, path);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "%s\n", compiled.error().ToString().c_str());
+      return 1;
+    }
+    img = std::move(*compiled);
+  } else {
+    const auto bytes = tools::ReadFileBytes(path);
+    if (!bytes) return 1;
+    auto parsed = image::Image::Deserialize(*bytes);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
+      return 1;
+    }
+    img = std::move(*parsed);
+  }
+
+  std::vector<uint8_t> input;
+  if (args.Has("input")) {
+    auto bytes = tools::ReadFileBytes(args.Get("input"));
+    if (!bytes) return 1;
+    input = std::move(*bytes);
+  }
+  const uint64_t max_instr = args.GetInt("max-instr", UINT64_MAX);
+
+  if (!args.Has("softcache")) {
+    // Direct ("ideal") execution, optionally profiled.
+    vm::Machine machine;
+    machine.LoadImage(img);
+    machine.SetInput(std::move(input));
+    profile::Profiler profiler(img);
+    if (args.Has("profile")) machine.set_fetch_observer(&profiler);
+    const vm::RunResult result = machine.Run(max_instr);
+    std::fwrite(machine.output().data(), 1, machine.output().size(), stdout);
+    if (result.reason == vm::StopReason::kFault) {
+      std::fprintf(stderr, "fault: %s\n", result.fault_message.c_str());
+      return 1;
+    }
+    if (args.Has("stats")) {
+      std::fprintf(stderr, "--- run stats ---\ninstructions: %llu\ncycles: %llu\n",
+                   (unsigned long long)result.instructions,
+                   (unsigned long long)result.cycles);
+    }
+    if (args.Has("profile")) {
+      std::fprintf(stderr, "--- profile (top 10) ---\n");
+      int shown = 0;
+      for (const auto& fn : profiler.Report()) {
+        if (fn.samples == 0 || shown++ >= 10) break;
+        std::fprintf(stderr, "%6.2f%% %8llu  %s\n",
+                     100.0 * (double)fn.samples / (double)profiler.total_samples(),
+                     (unsigned long long)fn.samples, fn.name.c_str());
+      }
+      std::fprintf(stderr, "dynamic text: %s of %s\n",
+                   util::HumanBytes(profiler.DynamicTextBytes()).c_str(),
+                   util::HumanBytes(profiler.StaticTextBytes()).c_str());
+    }
+    return result.exit_code & 0xff;
+  }
+
+  // Software-cached execution.
+  softcache::SoftCacheConfig config;
+  config.style = args.Get("style", "sparc") == "arm" ? softcache::Style::kArm
+                                                     : softcache::Style::kSparc;
+  config.tcache_bytes = static_cast<uint32_t>(args.GetInt("tcache", 16 * 1024));
+  config.max_trace_blocks = static_cast<uint32_t>(args.GetInt("trace-blocks", 1));
+  config.evict = args.Get("evict", "fifo") == "flush"
+                     ? softcache::EvictPolicy::kFlushAll
+                     : softcache::EvictPolicy::kFifoRing;
+  softcache::SoftCacheSystem system(img, config);
+  system.SetInput(std::move(input));
+
+  std::unique_ptr<dcache::DataCache> data_cache;
+  if (args.Has("dcache")) {
+    dcache::DCacheConfig dconfig;
+    dconfig.local_base = system.cc().local_limit();
+    data_cache = std::make_unique<dcache::DataCache>(
+        system.machine(), system.mc(), system.channel(), dconfig);
+    data_cache->Attach();
+  }
+
+  const vm::RunResult result = system.Run(max_instr);
+  const auto& out = system.machine().output();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (result.reason == vm::StopReason::kFault) {
+    std::fprintf(stderr, "fault: %s\n", result.fault_message.c_str());
+    return 1;
+  }
+  if (data_cache != nullptr) data_cache->FlushAll();
+  if (args.Has("dump-tcache")) {
+    std::fprintf(stderr, "%s", system.cc().DumpState().c_str());
+  }
+  if (args.Has("stats")) {
+    PrintSoftCacheStats(system, result);
+    if (data_cache != nullptr) {
+      const auto& ds = data_cache->stats();
+      std::fprintf(stderr, "--- dcache stats ---\n");
+      std::fprintf(stderr,
+                   "fast/slow/miss:     %llu / %llu / %llu\n"
+                   "scache spills:      %llu\n",
+                   (unsigned long long)ds.fast_hits, (unsigned long long)ds.slow_hits,
+                   (unsigned long long)ds.misses,
+                   (unsigned long long)ds.scache_spills);
+    }
+  }
+  return result.exit_code & 0xff;
+}
