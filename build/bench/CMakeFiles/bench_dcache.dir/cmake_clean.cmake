@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcache.dir/bench_dcache.cpp.o"
+  "CMakeFiles/bench_dcache.dir/bench_dcache.cpp.o.d"
+  "bench_dcache"
+  "bench_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

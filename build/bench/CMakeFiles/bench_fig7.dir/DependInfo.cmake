@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7.cpp" "bench/CMakeFiles/bench_fig7.dir/bench_fig7.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7.dir/bench_fig7.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sasm/CMakeFiles/sc_sasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/sc_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/softcache/CMakeFiles/sc_softcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/sc_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcache/CMakeFiles/sc_dcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fullsystem.dir/bench_fullsystem.cpp.o"
+  "CMakeFiles/bench_fullsystem.dir/bench_fullsystem.cpp.o.d"
+  "bench_fullsystem"
+  "bench_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

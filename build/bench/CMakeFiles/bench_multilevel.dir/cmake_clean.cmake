@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilevel.dir/bench_multilevel.cpp.o"
+  "CMakeFiles/bench_multilevel.dir/bench_multilevel.cpp.o.d"
+  "bench_multilevel"
+  "bench_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net.dir/bench_net.cpp.o"
+  "CMakeFiles/bench_net.dir/bench_net.cpp.o.d"
+  "bench_net"
+  "bench_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_explorer.dir/power_explorer.cpp.o"
+  "CMakeFiles/power_explorer.dir/power_explorer.cpp.o.d"
+  "power_explorer"
+  "power_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

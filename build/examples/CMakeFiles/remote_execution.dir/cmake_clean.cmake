@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_execution.dir/remote_execution.cpp.o"
+  "CMakeFiles/remote_execution.dir/remote_execution.cpp.o.d"
+  "remote_execution"
+  "remote_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

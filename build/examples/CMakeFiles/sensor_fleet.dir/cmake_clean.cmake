@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_fleet.dir/sensor_fleet.cpp.o"
+  "CMakeFiles/sensor_fleet.dir/sensor_fleet.cpp.o.d"
+  "sensor_fleet"
+  "sensor_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_modes.dir/sensor_modes.cpp.o"
+  "CMakeFiles/sensor_modes.dir/sensor_modes.cpp.o.d"
+  "sensor_modes"
+  "sensor_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

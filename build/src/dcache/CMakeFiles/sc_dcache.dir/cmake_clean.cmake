@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_dcache.dir/dcache.cpp.o"
+  "CMakeFiles/sc_dcache.dir/dcache.cpp.o.d"
+  "libsc_dcache.a"
+  "libsc_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsim/cache.cpp" "src/hwsim/CMakeFiles/sc_hwsim.dir/cache.cpp.o" "gcc" "src/hwsim/CMakeFiles/sc_hwsim.dir/cache.cpp.o.d"
+  "/root/repo/src/hwsim/power.cpp" "src/hwsim/CMakeFiles/sc_hwsim.dir/power.cpp.o" "gcc" "src/hwsim/CMakeFiles/sc_hwsim.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_hwsim.dir/cache.cpp.o"
+  "CMakeFiles/sc_hwsim.dir/cache.cpp.o.d"
+  "CMakeFiles/sc_hwsim.dir/power.cpp.o"
+  "CMakeFiles/sc_hwsim.dir/power.cpp.o.d"
+  "libsc_hwsim.a"
+  "libsc_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

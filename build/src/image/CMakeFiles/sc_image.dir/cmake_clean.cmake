@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_image.dir/image.cpp.o"
+  "CMakeFiles/sc_image.dir/image.cpp.o.d"
+  "libsc_image.a"
+  "libsc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

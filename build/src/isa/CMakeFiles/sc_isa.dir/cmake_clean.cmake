@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_isa.dir/isa.cpp.o"
+  "CMakeFiles/sc_isa.dir/isa.cpp.o.d"
+  "libsc_isa.a"
+  "libsc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

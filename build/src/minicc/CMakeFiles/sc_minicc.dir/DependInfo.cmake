@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicc/codegen.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/codegen.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/codegen.cpp.o.d"
+  "/root/repo/src/minicc/compiler.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/compiler.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/compiler.cpp.o.d"
+  "/root/repo/src/minicc/emitter.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/emitter.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/emitter.cpp.o.d"
+  "/root/repo/src/minicc/lexer.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/lexer.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/lexer.cpp.o.d"
+  "/root/repo/src/minicc/parser.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/parser.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/parser.cpp.o.d"
+  "/root/repo/src/minicc/types.cpp" "src/minicc/CMakeFiles/sc_minicc.dir/types.cpp.o" "gcc" "src/minicc/CMakeFiles/sc_minicc.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_minicc.dir/codegen.cpp.o"
+  "CMakeFiles/sc_minicc.dir/codegen.cpp.o.d"
+  "CMakeFiles/sc_minicc.dir/compiler.cpp.o"
+  "CMakeFiles/sc_minicc.dir/compiler.cpp.o.d"
+  "CMakeFiles/sc_minicc.dir/emitter.cpp.o"
+  "CMakeFiles/sc_minicc.dir/emitter.cpp.o.d"
+  "CMakeFiles/sc_minicc.dir/lexer.cpp.o"
+  "CMakeFiles/sc_minicc.dir/lexer.cpp.o.d"
+  "CMakeFiles/sc_minicc.dir/parser.cpp.o"
+  "CMakeFiles/sc_minicc.dir/parser.cpp.o.d"
+  "CMakeFiles/sc_minicc.dir/types.cpp.o"
+  "CMakeFiles/sc_minicc.dir/types.cpp.o.d"
+  "libsc_minicc.a"
+  "libsc_minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

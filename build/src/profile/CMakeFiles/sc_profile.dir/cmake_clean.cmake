@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_profile.dir/profiler.cpp.o"
+  "CMakeFiles/sc_profile.dir/profiler.cpp.o.d"
+  "libsc_profile.a"
+  "libsc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_sasm.dir/assembler.cpp.o"
+  "CMakeFiles/sc_sasm.dir/assembler.cpp.o.d"
+  "libsc_sasm.a"
+  "libsc_sasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_sasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sc_sasm.
+# This may be replaced when dependencies are built.

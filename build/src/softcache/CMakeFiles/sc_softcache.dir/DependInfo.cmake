@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softcache/cc.cpp" "src/softcache/CMakeFiles/sc_softcache.dir/cc.cpp.o" "gcc" "src/softcache/CMakeFiles/sc_softcache.dir/cc.cpp.o.d"
+  "/root/repo/src/softcache/chunker.cpp" "src/softcache/CMakeFiles/sc_softcache.dir/chunker.cpp.o" "gcc" "src/softcache/CMakeFiles/sc_softcache.dir/chunker.cpp.o.d"
+  "/root/repo/src/softcache/mc.cpp" "src/softcache/CMakeFiles/sc_softcache.dir/mc.cpp.o" "gcc" "src/softcache/CMakeFiles/sc_softcache.dir/mc.cpp.o.d"
+  "/root/repo/src/softcache/protocol.cpp" "src/softcache/CMakeFiles/sc_softcache.dir/protocol.cpp.o" "gcc" "src/softcache/CMakeFiles/sc_softcache.dir/protocol.cpp.o.d"
+  "/root/repo/src/softcache/system.cpp" "src/softcache/CMakeFiles/sc_softcache.dir/system.cpp.o" "gcc" "src/softcache/CMakeFiles/sc_softcache.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

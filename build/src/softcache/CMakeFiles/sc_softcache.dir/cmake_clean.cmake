@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_softcache.dir/cc.cpp.o"
+  "CMakeFiles/sc_softcache.dir/cc.cpp.o.d"
+  "CMakeFiles/sc_softcache.dir/chunker.cpp.o"
+  "CMakeFiles/sc_softcache.dir/chunker.cpp.o.d"
+  "CMakeFiles/sc_softcache.dir/mc.cpp.o"
+  "CMakeFiles/sc_softcache.dir/mc.cpp.o.d"
+  "CMakeFiles/sc_softcache.dir/protocol.cpp.o"
+  "CMakeFiles/sc_softcache.dir/protocol.cpp.o.d"
+  "CMakeFiles/sc_softcache.dir/system.cpp.o"
+  "CMakeFiles/sc_softcache.dir/system.cpp.o.d"
+  "libsc_softcache.a"
+  "libsc_softcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_softcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

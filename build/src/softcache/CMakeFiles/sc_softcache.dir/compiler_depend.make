@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sc_softcache.
+# This may be replaced when dependencies are built.

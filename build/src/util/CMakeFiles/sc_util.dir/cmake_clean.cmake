@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_util.dir/check.cpp.o"
+  "CMakeFiles/sc_util.dir/check.cpp.o.d"
+  "CMakeFiles/sc_util.dir/log.cpp.o"
+  "CMakeFiles/sc_util.dir/log.cpp.o.d"
+  "CMakeFiles/sc_util.dir/result.cpp.o"
+  "CMakeFiles/sc_util.dir/result.cpp.o.d"
+  "CMakeFiles/sc_util.dir/stats.cpp.o"
+  "CMakeFiles/sc_util.dir/stats.cpp.o.d"
+  "libsc_util.a"
+  "libsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_vm.dir/machine.cpp.o"
+  "CMakeFiles/sc_vm.dir/machine.cpp.o.d"
+  "libsc_vm.a"
+  "libsc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/sc_workloads.dir/workloads.cpp.o.d"
+  "libsc_workloads.a"
+  "libsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

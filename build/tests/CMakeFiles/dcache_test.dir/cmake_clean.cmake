@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_test.dir/dcache_test.cpp.o"
+  "CMakeFiles/dcache_test.dir/dcache_test.cpp.o.d"
+  "dcache_test"
+  "dcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_test.dir/image_test.cpp.o"
+  "CMakeFiles/image_test.dir/image_test.cpp.o.d"
+  "image_test"
+  "image_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

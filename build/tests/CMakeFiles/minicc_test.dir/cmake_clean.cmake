@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicc_test.dir/minicc_test.cpp.o"
+  "CMakeFiles/minicc_test.dir/minicc_test.cpp.o.d"
+  "minicc_test"
+  "minicc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

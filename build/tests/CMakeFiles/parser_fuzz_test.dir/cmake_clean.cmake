@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_fuzz_test.dir/parser_fuzz_test.cpp.o"
+  "CMakeFiles/parser_fuzz_test.dir/parser_fuzz_test.cpp.o.d"
+  "parser_fuzz_test"
+  "parser_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

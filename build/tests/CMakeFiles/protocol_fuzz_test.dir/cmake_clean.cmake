@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_fuzz_test.dir/protocol_fuzz_test.cpp.o"
+  "CMakeFiles/protocol_fuzz_test.dir/protocol_fuzz_test.cpp.o.d"
+  "protocol_fuzz_test"
+  "protocol_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasm_test.dir/sasm_test.cpp.o"
+  "CMakeFiles/sasm_test.dir/sasm_test.cpp.o.d"
+  "sasm_test"
+  "sasm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcache_test.dir/softcache_test.cpp.o"
+  "CMakeFiles/softcache_test.dir/softcache_test.cpp.o.d"
+  "softcache_test"
+  "softcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+if(EXISTS "/root/repo/build/tests/isa_test")
+  if(NOT EXISTS "/root/repo/build/tests/isa_test[1]_tests.cmake" OR
+     NOT "/root/repo/build/tests/isa_test[1]_tests.cmake" IS_NEWER_THAN "/root/repo/build/tests/isa_test" OR
+     NOT "/root/repo/build/tests/isa_test[1]_tests.cmake" IS_NEWER_THAN "${CMAKE_CURRENT_LIST_FILE}")
+    include("/usr/share/cmake-3.25/Modules/GoogleTestAddTests.cmake")
+    gtest_discover_tests_impl(
+      TEST_EXECUTABLE [==[/root/repo/build/tests/isa_test]==]
+      TEST_EXECUTOR [==[]==]
+      TEST_WORKING_DIR [==[/root/repo/build/tests]==]
+      TEST_EXTRA_ARGS [==[]==]
+      TEST_PROPERTIES [==[]==]
+      TEST_PREFIX [==[]==]
+      TEST_SUFFIX [==[]==]
+      TEST_FILTER [==[]==]
+      NO_PRETTY_TYPES [==[FALSE]==]
+      NO_PRETTY_VALUES [==[FALSE]==]
+      TEST_LIST [==[isa_test_TESTS]==]
+      CTEST_FILE [==[/root/repo/build/tests/isa_test[1]_tests.cmake]==]
+      TEST_DISCOVERY_TIMEOUT [==[5]==]
+      TEST_XML_OUTPUT_DIR [==[]==]
+    )
+  endif()
+  include("/root/repo/build/tests/isa_test[1]_tests.cmake")
+else()
+  add_test(isa_test_NOT_BUILT isa_test_NOT_BUILT)
+endif()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasm_tool.dir/sasm_tool.cpp.o"
+  "CMakeFiles/sasm_tool.dir/sasm_tool.cpp.o.d"
+  "sasm"
+  "sasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc.dir/scc.cpp.o"
+  "CMakeFiles/scc.dir/scc.cpp.o.d"
+  "scc"
+  "scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

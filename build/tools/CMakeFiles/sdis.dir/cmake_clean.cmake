@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdis.dir/sdis.cpp.o"
+  "CMakeFiles/sdis.dir/sdis.cpp.o.d"
+  "sdis"
+  "sdis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srun.dir/srun.cpp.o"
+  "CMakeFiles/srun.dir/srun.cpp.o.d"
+  "srun"
+  "srun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
