@@ -20,7 +20,11 @@ bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 DataCache::DataCache(vm::Machine& machine, softcache::MemoryController& mc,
                      net::Channel& channel, const DCacheConfig& config)
-    : machine_(machine), mc_(mc), channel_(channel), config_(config) {
+    : machine_(machine),
+      mc_(mc),
+      config_(config),
+      link_(softcache::MakeMcTransport(mc, channel, config.fault),
+            config.retry, &stats_.net) {
   SC_CHECK(IsPow2(config_.block_bytes));
   SC_CHECK_GE(config_.block_bytes, 4u);
   SC_CHECK(IsPow2(config_.scache_bytes));
@@ -74,39 +78,38 @@ uint32_t DataCache::GuaranteedLatencyCycles() const {
 // Server transfer helpers
 // ---------------------------------------------------------------------------
 
+Reply DataCache::Call(Request& request) {
+  request.seq = seq_++;
+  uint64_t link_cycles = 0;
+  auto reply = link_.Call(request, &link_cycles);
+  Charge(link_cycles);
+  SC_CHECK(reply.ok()) << reply.error().ToString();
+  return std::move(*reply);
+}
+
 void DataCache::FetchBlock(uint32_t tag, uint32_t slot) {
   Request request;
   request.type = MsgType::kDataRequest;
-  request.seq = seq_++;
   request.addr = tag * config_.block_bytes;
   request.length = config_.block_bytes;
-  const auto request_bytes = request.Serialize();
-  Charge(channel_.SendToServer(request_bytes.size()));
-  const auto reply_bytes = mc_.Handle(request_bytes);
-  Charge(channel_.SendToClient(reply_bytes.size()));
-  auto reply = Reply::Parse(reply_bytes);
-  SC_CHECK(reply.ok()) << reply.error().ToString();
-  SC_CHECK(reply->type == MsgType::kDataReply)
+  const Reply reply = Call(request);
+  SC_CHECK(reply.type == MsgType::kDataReply)
       << "data fetch failed at 0x" << std::hex << request.addr;
-  SC_CHECK_EQ(reply->payload.size(), config_.block_bytes);
+  SC_CHECK_EQ(reply.payload.size(), config_.block_bytes);
   machine_.WriteBlock(dcache_base_ + slot * config_.block_bytes,
-                      reply->payload.data(), config_.block_bytes);
+                      reply.payload.data(), config_.block_bytes);
 }
 
 void DataCache::WritebackSlot(uint32_t slot, uint32_t tag) {
   Request request;
   request.type = MsgType::kDataWriteback;
-  request.seq = seq_++;
   request.addr = tag * config_.block_bytes;
+  request.length = config_.block_bytes;
   request.payload.resize(config_.block_bytes);
   machine_.ReadBlock(dcache_base_ + slot * config_.block_bytes,
                      request.payload.data(), config_.block_bytes);
-  const auto request_bytes = request.Serialize();
-  Charge(channel_.SendToServer(request_bytes.size()));
-  const auto reply_bytes = mc_.Handle(request_bytes);
-  Charge(channel_.SendToClient(reply_bytes.size()));
-  auto reply = Reply::Parse(reply_bytes);
-  SC_CHECK(reply.ok() && reply->type == MsgType::kWritebackAck);
+  const Reply reply = Call(request);
+  SC_CHECK(reply.type == MsgType::kWritebackAck);
   ++stats_.writebacks;
 }
 
@@ -237,33 +240,25 @@ uint32_t DataCache::TranslateScache(uint32_t vaddr, bool is_store) {
       ++stats_.scache_spills;
       Request request;
       request.type = MsgType::kDataWriteback;
-      request.seq = seq_++;
       request.addr = old_tag * config_.scache_line_bytes;
+      request.length = config_.scache_line_bytes;
       request.payload.resize(config_.scache_line_bytes);
       machine_.ReadBlock(slot_addr, request.payload.data(),
                          config_.scache_line_bytes);
-      const auto request_bytes = request.Serialize();
-      Charge(channel_.SendToServer(request_bytes.size()));
-      const auto reply_bytes = mc_.Handle(request_bytes);
-      Charge(channel_.SendToClient(reply_bytes.size()));
-      SC_CHECK(Reply::Parse(reply_bytes).ok());
+      const Reply spill_reply = Call(request);
+      SC_CHECK(spill_reply.type == MsgType::kWritebackAck);
     }
     // Fill the line from the server (fresh stack lines read back zeros).
     ++stats_.scache_fills;
     Request request;
     request.type = MsgType::kDataRequest;
-    request.seq = seq_++;
     request.addr = line_tag * config_.scache_line_bytes;
     request.length = config_.scache_line_bytes;
-    const auto request_bytes = request.Serialize();
-    Charge(channel_.SendToServer(request_bytes.size()));
-    const auto reply_bytes = mc_.Handle(request_bytes);
-    Charge(channel_.SendToClient(reply_bytes.size()));
-    auto reply = Reply::Parse(reply_bytes);
-    SC_CHECK(reply.ok() && reply->type == MsgType::kDataReply)
+    const Reply reply = Call(request);
+    SC_CHECK(reply.type == MsgType::kDataReply)
         << "scache fill failed at 0x" << std::hex
         << line_tag * config_.scache_line_bytes;
-    machine_.WriteBlock(slot_addr, reply->payload.data(),
+    machine_.WriteBlock(slot_addr, reply.payload.data(),
                         config_.scache_line_bytes);
     scache_line_tag_[line_slot] = line_tag;
     scache_line_dirty_[line_slot] = false;
@@ -287,16 +282,11 @@ uint32_t DataCache::TranslatePinned(uint32_t vaddr, bool is_store, bool* handled
     pinned_touched_[base] = true;
     Request request;
     request.type = MsgType::kDataRequest;
-    request.seq = seq_++;
     request.addr = base;
     request.length = 4;
-    const auto request_bytes = request.Serialize();
-    Charge(channel_.SendToServer(request_bytes.size()));
-    const auto reply_bytes = mc_.Handle(request_bytes);
-    Charge(channel_.SendToClient(reply_bytes.size()));
-    auto reply = Reply::Parse(reply_bytes);
-    SC_CHECK(reply.ok() && reply->type == MsgType::kDataReply);
-    machine_.WriteBlock(pinned_base_ + it->second, reply->payload.data(), 4);
+    const Reply reply = Call(request);
+    SC_CHECK(reply.type == MsgType::kDataReply);
+    machine_.WriteBlock(pinned_base_ + it->second, reply.payload.data(), 4);
   }
   (void)is_store;  // pinned scalars write back only at FlushAll
   ++stats_.pinned_hits;
@@ -367,12 +357,12 @@ void DataCache::FlushAll() {
     if (scache_line_tag_[line] != UINT32_MAX && scache_line_dirty_[line]) {
       Request request;
       request.type = MsgType::kDataWriteback;
-      request.seq = seq_++;
       request.addr = scache_line_tag_[line] * config_.scache_line_bytes;
+      request.length = config_.scache_line_bytes;
       request.payload.resize(config_.scache_line_bytes);
       machine_.ReadBlock(scache_base_ + line * config_.scache_line_bytes,
                          request.payload.data(), config_.scache_line_bytes);
-      SC_CHECK(Reply::Parse(mc_.Handle(request.Serialize())).ok());
+      SC_CHECK(Call(request).type == MsgType::kWritebackAck);
       scache_line_dirty_[line] = false;
     }
   }
@@ -380,11 +370,11 @@ void DataCache::FlushAll() {
     if (!pinned_touched_[base]) continue;
     Request request;
     request.type = MsgType::kDataWriteback;
-    request.seq = seq_++;
     request.addr = base;
+    request.length = 4;
     request.payload.resize(4);
     machine_.ReadBlock(pinned_base_ + offset, request.payload.data(), 4);
-    SC_CHECK(Reply::Parse(mc_.Handle(request.Serialize())).ok());
+    SC_CHECK(Call(request).type == MsgType::kWritebackAck);
   }
 }
 

@@ -31,7 +31,10 @@
 
 #include "image/image.h"
 #include "net/channel.h"
+#include "net/transport.h"
 #include "softcache/mc.h"
+#include "softcache/reliable.h"
+#include "softcache/stats.h"
 #include "vm/machine.h"
 
 namespace sc::dcache {
@@ -70,6 +73,11 @@ struct DCacheConfig {
   // then the pinned region). Must not overlap the I-cache regions when both
   // are in use.
   uint32_t local_base = 0;  // 0 = place at image::kLocalBase
+
+  // Link fault injection (all zeros = reliable loopback transport) and the
+  // retry/backoff policy that recovers from it.
+  net::FaultConfig fault;
+  softcache::RetryConfig retry;
 };
 
 struct DCacheStats {
@@ -90,6 +98,8 @@ struct DCacheStats {
   // (would serialize on banked hardware; distinct banks could go parallel).
   uint64_t bank_conflicts = 0;
   uint64_t cycles = 0;             // total extra cycles charged
+  // MC link reliability counters (retries/timeouts under fault injection).
+  softcache::LinkStats net;
 
   double fast_hit_rate() const {
     const uint64_t cached = fast_hits + slow_hits + misses;
@@ -143,6 +153,10 @@ class DataCache : public vm::DataHook {
   int FindBlock(uint32_t tag) const;
   void FetchBlock(uint32_t tag, uint32_t slot);
   void WritebackSlot(uint32_t slot, uint32_t tag);
+  // Assigns the next seq, runs the RPC through the reliable link, charges
+  // its cycles. Transport-level giveup is fatal (a data cache cannot run
+  // without its backing store); protocol-level errors are the caller's.
+  softcache::Reply Call(softcache::Request& request);
   void Charge(uint64_t cycles) {
     machine_.Charge(cycles);
     stats_.cycles += cycles;
@@ -150,9 +164,10 @@ class DataCache : public vm::DataHook {
 
   vm::Machine& machine_;
   softcache::MemoryController& mc_;
-  net::Channel& channel_;
   DCacheConfig config_;
   DCacheStats stats_;
+  // Declared after stats_: the link records into stats_.net.
+  softcache::ReliableLink link_;
 
   uint32_t data_lo_ = 0;   // cached data range: [data_lo_, stack_lo_)
   uint32_t stack_lo_ = 0;  // stack range: [stack_lo_, kStackTop]

@@ -1,0 +1,85 @@
+#include "net/transport.h"
+
+namespace sc::net {
+
+FaultyTransport::FaultyTransport(Channel& channel, FrameHandler handler,
+                                 const FaultConfig& config)
+    : channel_(channel),
+      handler_(std::move(handler)),
+      config_(config),
+      rng_(config.seed) {}
+
+bool FaultyTransport::Roll(double probability) {
+  // Zero-probability faults must not consume RNG state, so the stream for
+  // (say) a drop-only config does not depend on the other knobs.
+  if (probability <= 0.0) return false;
+  return rng_.NextDouble() < probability;
+}
+
+void FaultyTransport::FlipRandomBit(std::vector<uint8_t>* frame) {
+  if (frame->empty()) return;
+  const uint64_t bit = rng_.Below(frame->size() * 8);
+  (*frame)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+uint64_t FaultyTransport::Send(const std::vector<uint8_t>& frame) {
+  ++stats_.frames_sent;
+  const uint64_t cycles = channel_.SendToServer(frame.size());
+  DeliverToServer(frame);
+  if (Roll(config_.duplicate)) {
+    ++stats_.frames_duplicated;
+    channel_.SendToServer(frame.size());  // the duplicate burns wire time too
+    DeliverToServer(frame);
+  }
+  return cycles;
+}
+
+void FaultyTransport::DeliverToServer(const std::vector<uint8_t>& frame) {
+  if (Roll(config_.drop)) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  std::vector<uint8_t> copy = frame;
+  if (Roll(config_.corrupt)) {
+    ++stats_.frames_corrupted;
+    FlipRandomBit(&copy);
+  }
+  DeliverToClient(handler_(copy));
+}
+
+void FaultyTransport::DeliverToClient(const std::vector<uint8_t>& frame) {
+  int copies = 1;
+  if (Roll(config_.duplicate)) {
+    ++stats_.frames_duplicated;
+    copies = 2;
+  }
+  for (int c = 0; c < copies; ++c) {
+    Inbound in;
+    in.frame = frame;
+    in.cycles = channel_.SendToClient(frame.size());
+    if (Roll(config_.drop)) {
+      ++stats_.frames_dropped;
+      continue;
+    }
+    if (Roll(config_.corrupt)) {
+      ++stats_.frames_corrupted;
+      FlipRandomBit(&in.frame);
+    }
+    if (Roll(config_.delay)) {
+      ++stats_.frames_delayed;
+      in.cycles += config_.delay_cycles;
+    }
+    inbox_.push_back(std::move(in));
+  }
+}
+
+bool FaultyTransport::Recv(std::vector<uint8_t>* frame, uint64_t* cycles) {
+  if (inbox_.empty()) return false;
+  *frame = std::move(inbox_.front().frame);
+  *cycles = inbox_.front().cycles;
+  inbox_.pop_front();
+  ++stats_.frames_delivered;
+  return true;
+}
+
+}  // namespace sc::net

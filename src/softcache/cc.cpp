@@ -15,7 +15,11 @@ using isa::Opcode;
 
 CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
                                  net::Channel& channel, const SoftCacheConfig& config)
-    : machine_(machine), mc_(mc), channel_(channel), config_(config) {
+    : machine_(machine),
+      mc_(mc),
+      config_(config),
+      link_(MakeMcTransport(mc, channel, config.fault), config.retry,
+            &stats_.net) {
   SC_CHECK_EQ(config_.tcache_bytes % 4, 0u);
   SC_CHECK_GE(config_.tcache_bytes, 64u);
   // Conditional-branch patches must reach anywhere in the tcache (imm16
@@ -51,14 +55,12 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
   request.type = MsgType::kChunkRequest;
   request.seq = seq_++;
   request.addr = orig_pc;
-  const std::vector<uint8_t> request_bytes = request.Serialize();
-  Charge(channel_.SendToServer(request_bytes.size()));
 
-  const std::vector<uint8_t> reply_bytes = mc_.Handle(request_bytes);
+  uint64_t link_cycles = 0;
+  auto reply = link_.Call(request, &link_cycles);
+  Charge(link_cycles);
   Charge(config_.cost.mc_service_cycles);
-  Charge(channel_.SendToClient(reply_bytes.size()));
 
-  auto reply = Reply::Parse(reply_bytes);
   if (!reply.ok()) return reply.error();
   if (reply->type == MsgType::kError) {
     return util::Error{"MC error: " + std::string(reply->payload.begin(),
@@ -74,7 +76,10 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
   chunk.entry_word = UnpackEntryWord(reply->aux);
   chunk.taken_target = reply->extra;
   chunk.words.resize(reply->payload.size() / 4);
-  std::memcpy(chunk.words.data(), reply->payload.data(), reply->payload.size());
+  if (!reply->payload.empty()) {
+    std::memcpy(chunk.words.data(), reply->payload.data(),
+                reply->payload.size());
+  }
   // Reconstruct the fallthrough/continuation target (the word after the
   // terminator in the original program).
   if (chunk.exit == ExitKind::kBranch || chunk.exit == ExitKind::kCall ||
@@ -284,6 +289,9 @@ CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
   auto [map_it, inserted] = blocks_.emplace(tc, std::move(block));
   SC_CHECK(inserted);
   Block& blk = map_it->second;
+  // Accounted here (not after emission) so a mid-emission rollback through
+  // EvictBlock stays symmetric.
+  stats_.extra_words_live += blk.slot_words;
 
   // Pass 2: emit.
   uint32_t next_slot = tc + body_tc_words * 4;
@@ -309,7 +317,17 @@ CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
       const uint32_t cont_orig = orig_pc + 4;
       const uint32_t cont_tc = tc + blk.index_map[(cont_orig - chunk.orig_addr) / 4] * 4;
       const uint32_t cell = ForwardCell(cont_orig, cont_tc, &blk);
-      if (cell == 0) return nullptr;
+      if (cell == 0) {
+        // Forward-cell region exhausted mid-emission: the block is already
+        // registered (pass 2 needs ForwardCell to link cells to it), so
+        // unwind the registration, the stubs and cell edges created so far.
+        // EvictBlock does exactly that unwinding; it just is not an
+        // eviction, so take its statistics back.
+        EvictBlock(blk.id);
+        --stats_.evictions;
+        stats_.eviction_cycles.pop_back();
+        return nullptr;
+      }
       machine_.WriteWord(tc_pc, isa::EncI(Opcode::kLui, isa::kRa, 0,
                                           static_cast<int32_t>(cell >> 16)));
       machine_.WriteWord(tc_pc + 4, isa::EncI(Opcode::kOri, isa::kRa, isa::kRa,
@@ -337,21 +355,19 @@ CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
     }
     machine_.WriteWord(tc_pc, word);
   }
-  stats_.extra_words_live += blk.slot_words;
   // Each call site also adds two ra-setup words beyond the original code.
   return &blk;
 }
 
-CacheController::Resolution CacheController::ResolveEntry(uint32_t orig_pc) {
-  Resolution res;
+CacheController::Block* CacheController::FindResident(uint32_t orig_pc,
+                                                      uint32_t* tc_addr) {
   // Exact hit on a block start.
   const auto exact = by_orig_.find(orig_pc);
   if (exact != by_orig_.end()) {
     Block* block = BlockById(exact->second);
     SC_CHECK(block != nullptr);
-    res.block = block;
-    res.tc_addr = block->tc_addr;
-    return res;
+    if (tc_addr != nullptr) *tc_addr = block->tc_addr;
+    return block;
   }
   // ARM style: the address may be interior to a resident procedure.
   if (config_.style == Style::kArm && !by_orig_.empty()) {
@@ -362,12 +378,22 @@ CacheController::Resolution CacheController::ResolveEntry(uint32_t orig_pc) {
       SC_CHECK(block != nullptr);
       if (orig_pc >= block->orig_addr &&
           orig_pc < block->orig_addr + block->orig_span) {
-        res.block = block;
-        res.tc_addr =
-            block->tc_addr + block->index_map[(orig_pc - block->orig_addr) / 4] * 4;
-        return res;
+        if (tc_addr != nullptr) {
+          *tc_addr = block->tc_addr +
+                     block->index_map[(orig_pc - block->orig_addr) / 4] * 4;
+        }
+        return block;
       }
     }
+  }
+  return nullptr;
+}
+
+CacheController::Resolution CacheController::ResolveEntry(uint32_t orig_pc) {
+  Resolution res;
+  if (Block* resident = FindResident(orig_pc, &res.tc_addr)) {
+    res.block = resident;
+    return res;
   }
   // Miss: fetch and translate.
   Block* block = Translate(orig_pc);
@@ -450,10 +476,10 @@ bool CacheController::Pin(uint32_t orig_addr) {
 }
 
 void CacheController::Unpin(uint32_t orig_addr) {
-  const auto it = by_orig_.find(orig_addr);
-  if (it == by_orig_.end()) return;
-  Block* block = BlockById(it->second);
-  SC_CHECK(block != nullptr);
+  // Symmetric with Pin: resolve ARM-interior addresses to the containing
+  // procedure, so Pin(p + 8); Unpin(p + 8); really unpins the block.
+  Block* block = FindResident(orig_addr);
+  if (block == nullptr) return;
   block->pinned = false;
 }
 
@@ -747,13 +773,12 @@ uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
     request.type = MsgType::kTextWrite;
     request.seq = seq_++;
     request.addr = lo;
+    request.length = hi - lo;
     request.payload.resize(hi - lo);
     m.ReadBlock(lo, request.payload.data(), hi - lo);
-    const auto request_bytes = request.Serialize();
-    Charge(channel_.SendToServer(request_bytes.size()));
-    const auto reply_bytes = mc_.Handle(request_bytes);
-    Charge(channel_.SendToClient(reply_bytes.size()));
-    auto reply = Reply::Parse(reply_bytes);
+    uint64_t link_cycles = 0;
+    auto reply = link_.Call(request, &link_cycles);
+    Charge(link_cycles);
     if (!reply.ok() || reply->type != MsgType::kTextWriteAck) {
       Fail("text write rejected by MC");
       return 0;

@@ -41,6 +41,7 @@
 #include "net/channel.h"
 #include "softcache/config.h"
 #include "softcache/mc.h"
+#include "softcache/reliable.h"
 #include "softcache/stats.h"
 #include "vm/machine.h"
 
@@ -158,6 +159,11 @@ class CacheController : public vm::TrapHandler {
   // Resolves an original PC to a tcache PC, translating on miss. Returns a
   // null block on failure (a fault has been raised on the machine).
   Resolution ResolveEntry(uint32_t orig_pc);
+  // Finds the resident block for `orig_pc` without translating: an exact
+  // block start, or (ARM style) a procedure containing the interior address.
+  // Returns nullptr when absent; on success, a non-null `tc_addr` receives
+  // the translated address of orig_pc.
+  Block* FindResident(uint32_t orig_pc, uint32_t* tc_addr = nullptr);
   Block* Translate(uint32_t orig_pc);
   Block* InstallSparc(const Chunk& chunk);
   Block* InstallArm(const Chunk& chunk);
@@ -201,9 +207,10 @@ class CacheController : public vm::TrapHandler {
 
   vm::Machine& machine_;
   MemoryController& mc_;
-  net::Channel& channel_;
   SoftCacheConfig config_;
   SoftCacheStats stats_;
+  // Declared after stats_: the link records into stats_.net.
+  ReliableLink link_;
 
   uint32_t local_base_ = 0;
   uint32_t cells_base_ = 0;
@@ -223,7 +230,9 @@ class CacheController : public vm::TrapHandler {
   std::vector<uint32_t> free_stub_ids_;
   uint64_t stub_generation_ = 0;
   std::unordered_map<uint32_t, uint32_t> cell_for_orig_;  // orig -> cell addr
-  uint32_t seq_ = 0;  // protocol sequence numbers
+  // Protocol sequence numbers. Starts at 1: the MC answers unparseable
+  // (corrupted-in-flight) requests with seq 0, which must never match.
+  uint32_t seq_ = 1;
 };
 
 }  // namespace sc::softcache

@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "net/channel.h"
+#include "net/transport.h"
+#include "softcache/reliable.h"
 
 namespace sc::softcache {
 
@@ -62,6 +64,10 @@ struct SoftCacheConfig {
 
   CostModel cost;
   net::ChannelConfig channel;
+  // Link fault injection (all zeros = reliable loopback transport) and the
+  // retry/backoff policy that recovers from it.
+  net::FaultConfig fault;
+  RetryConfig retry;
 
   // Restrict the VM's instruction fetch to the local-memory region, proving
   // the client never executes from the original (server-side) text.

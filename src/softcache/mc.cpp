@@ -5,15 +5,45 @@
 #include "util/check.h"
 
 namespace sc::softcache {
+namespace {
+
+// Bounds the replay cache. A stop-and-wait client has at most one write in
+// flight, so even a fleet of clients sharing one MC stays far below this.
+constexpr size_t kReplayCacheEntries = 64;
+
+}  // namespace
 
 std::vector<uint8_t> MemoryController::Handle(
     const std::vector<uint8_t>& request_bytes) {
   ++requests_served_;
   auto request = Request::Parse(request_bytes);
   if (!request.ok()) {
+    // Unattributable: the seq field cannot be trusted on a corrupted frame.
+    // Seq 0 is reserved for these replies; clients never use it.
     return ErrorReply(0, request.error().message).Serialize();
   }
-  return HandleParsed(*request).Serialize();
+  const bool is_write = request->type == MsgType::kTextWrite ||
+                        request->type == MsgType::kDataWriteback;
+  if (!is_write) return HandleParsed(*request).Serialize();
+
+  // Idempotent writes: an identical retransmitted frame is answered from the
+  // replay cache, never applied a second time.
+  const uint32_t key_type = static_cast<uint32_t>(request->type);
+  const uint32_t key_checksum =
+      Checksum(request->payload.data(), request->payload.size());
+  for (const ReplayEntry& entry : replay_cache_) {
+    if (entry.type == key_type && entry.seq == request->seq &&
+        entry.addr == request->addr &&
+        entry.payload_checksum == key_checksum) {
+      ++replays_suppressed_;
+      return entry.reply_bytes;
+    }
+  }
+  std::vector<uint8_t> reply_bytes = HandleParsed(*request).Serialize();
+  if (replay_cache_.size() >= kReplayCacheEntries) replay_cache_.pop_front();
+  replay_cache_.push_back(ReplayEntry{key_type, request->seq, request->addr,
+                                      key_checksum, reply_bytes});
+  return reply_bytes;
 }
 
 Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) const {
@@ -39,7 +69,10 @@ Reply MemoryController::HandleParsed(const Request& request) {
       reply.aux = PackChunkMeta(chunk->exit, chunk->entry_word, chunk->jump_folded);
       reply.extra = chunk->taken_target;
       reply.payload.resize(chunk->words.size() * 4);
-      std::memcpy(reply.payload.data(), chunk->words.data(), reply.payload.size());
+      if (!reply.payload.empty()) {
+        std::memcpy(reply.payload.data(), chunk->words.data(),
+                    reply.payload.size());
+      }
       return reply;
     }
     case MsgType::kDataRequest: {
@@ -65,8 +98,10 @@ Reply MemoryController::HandleParsed(const Request& request) {
           request.addr % 4 != 0 || request.payload.size() % 4 != 0) {
         return ErrorReply(request.seq, "text write out of range");
       }
-      std::memcpy(image_.text.data() + (request.addr - image_.text_base),
-                  request.payload.data(), request.payload.size());
+      if (!request.payload.empty()) {
+        std::memcpy(image_.text.data() + (request.addr - image_.text_base),
+                    request.payload.data(), request.payload.size());
+      }
       Reply reply;
       reply.type = MsgType::kTextWriteAck;
       reply.seq = request.seq;
@@ -78,8 +113,10 @@ Reply MemoryController::HandleParsed(const Request& request) {
           static_cast<uint64_t>(request.addr) + request.payload.size() > DataLimit()) {
         return ErrorReply(request.seq, "writeback out of range");
       }
-      std::memcpy(data_.data() + (request.addr - DataBase()),
-                  request.payload.data(), request.payload.size());
+      if (!request.payload.empty()) {
+        std::memcpy(data_.data() + (request.addr - DataBase()),
+                    request.payload.data(), request.payload.size());
+      }
       Reply reply;
       reply.type = MsgType::kWritebackAck;
       reply.seq = request.seq;

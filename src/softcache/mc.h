@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "image/image.h"
@@ -59,10 +60,27 @@ class MemoryController {
   const std::vector<uint8_t>& data() const { return data_; }
 
   uint64_t requests_served() const { return requests_served_; }
+  // Write-type requests answered from the replay cache instead of being
+  // applied a second time (retransmitted kTextWrite / kDataWriteback).
+  uint64_t replays_suppressed() const { return replays_suppressed_; }
 
  private:
   Reply HandleParsed(const Request& request);
   Reply ErrorReply(uint32_t seq, const std::string& message) const;
+
+  // Replay cache entry: a recently applied write-type request, identified by
+  // (type, seq, addr, payload checksum), with the reply it produced. An
+  // unreliable transport may deliver the same write twice (duplication) or
+  // the client may retransmit after losing the ack; re-applying would be
+  // wrong in general (the client may have mutated the region in between via
+  // a later request), so identical frames are answered from cache.
+  struct ReplayEntry {
+    uint32_t type = 0;
+    uint32_t seq = 0;
+    uint32_t addr = 0;
+    uint32_t payload_checksum = 0;
+    std::vector<uint8_t> reply_bytes;
+  };
 
   image::Image image_;  // server-side copy; text mutable via kTextWrite
   Style style_;
@@ -70,6 +88,8 @@ class MemoryController {
   uint32_t max_trace_blocks_;
   std::vector<uint8_t> data_;
   uint64_t requests_served_ = 0;
+  uint64_t replays_suppressed_ = 0;
+  std::deque<ReplayEntry> replay_cache_;
 };
 
 }  // namespace sc::softcache

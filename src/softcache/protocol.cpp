@@ -5,6 +5,11 @@
 namespace sc::softcache {
 namespace {
 
+// True for request types that carry a payload after the fixed frame.
+bool IsWriteType(MsgType type) {
+  return type == MsgType::kTextWrite || type == MsgType::kDataWriteback;
+}
+
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
   out.push_back(static_cast<uint8_t>(v >> 8));
@@ -21,8 +26,9 @@ uint32_t GetU32(const std::vector<uint8_t>& bytes, size_t offset) {
 
 }  // namespace
 
-uint32_t Checksum(const uint8_t* data, size_t len) {
-  uint32_t hash = 2166136261u;
+uint32_t Checksum(const uint8_t* data, size_t len, uint32_t basis) {
+  uint32_t hash = basis;
+  if (len == 0) return hash;  // tolerate null `data` from empty vectors
   for (size_t i = 0; i < len; ++i) {
     hash ^= data[i];
     hash *= 16777619u;
@@ -38,8 +44,11 @@ std::vector<uint8_t> Request::Serialize() const {
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, length);
-  // Checksum over the first five fields.
-  PutU32(out, Checksum(out.data(), out.size()));
+  // Checksum over the first five fields, continued over the payload. A
+  // payload-less frame serializes byte-identically to the header-only
+  // checksum, so the fixed 24-byte frame format is unchanged.
+  PutU32(out, Checksum(payload.data(), payload.size(),
+                       Checksum(out.data(), out.size())));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -48,7 +57,9 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   if (bytes.size() < kRequestBytes) return util::Error{"request: short frame"};
   if (GetU32(bytes, 0) != kProtocolMagic) return util::Error{"request: bad magic"};
   const uint32_t checksum = GetU32(bytes, 20);
-  if (checksum != Checksum(bytes.data(), 20)) {
+  const size_t payload_len = bytes.size() - kRequestBytes;
+  if (checksum != Checksum(bytes.data() + kRequestBytes, payload_len,
+                           Checksum(bytes.data(), 20))) {
     return util::Error{"request: checksum mismatch"};
   }
   Request req;
@@ -56,6 +67,13 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   req.seq = GetU32(bytes, 8);
   req.addr = GetU32(bytes, 12);
   req.length = GetU32(bytes, 16);
+  if (IsWriteType(req.type)) {
+    if (req.length != payload_len) {
+      return util::Error{"request: length mismatch"};
+    }
+  } else if (payload_len != 0) {
+    return util::Error{"request: unexpected payload"};
+  }
   req.payload.assign(bytes.begin() + kRequestBytes, bytes.end());
   return req;
 }

@@ -66,7 +66,11 @@ struct Reply {
   static util::Result<Reply> Parse(const std::vector<uint8_t>& bytes);
 };
 
-// 32-bit FNV-1a over a byte range; used as the frame checksum.
-uint32_t Checksum(const uint8_t* data, size_t len);
+// 32-bit FNV-1a over a byte range; used as the frame checksum. Streamable:
+// pass a previous checksum as `basis` to continue it over another range
+// (request frames checksum header + payload this way without changing the
+// serialized bytes of payload-less frames).
+uint32_t Checksum(const uint8_t* data, size_t len,
+                  uint32_t basis = 2166136261u);
 
 }  // namespace sc::softcache

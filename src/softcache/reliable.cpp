@@ -1,0 +1,70 @@
+#include "softcache/reliable.h"
+
+#include <algorithm>
+#include <string>
+
+#include "softcache/mc.h"
+#include "softcache/stats.h"
+#include "util/check.h"
+
+namespace sc::softcache {
+
+ReliableLink::ReliableLink(std::unique_ptr<net::Transport> transport,
+                           const RetryConfig& retry, LinkStats* stats)
+    : transport_(std::move(transport)), retry_(retry), stats_(stats) {
+  SC_CHECK(transport_ != nullptr);
+  SC_CHECK(stats_ != nullptr);
+  SC_CHECK_GT(retry_.max_attempts, 0u);
+  SC_CHECK_GT(retry_.timeout_cycles, 0u);
+}
+
+util::Result<Reply> ReliableLink::Call(const Request& request,
+                                       uint64_t* cycles) {
+  ++stats_->requests;
+  const std::vector<uint8_t> frame = request.Serialize();
+  uint64_t timeout = retry_.timeout_cycles;
+  for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_->retries;
+    *cycles += transport_->Send(frame);
+    std::vector<uint8_t> reply_bytes;
+    uint64_t recv_cycles = 0;
+    while (transport_->Recv(&reply_bytes, &recv_cycles)) {
+      *cycles += recv_cycles;
+      auto reply = Reply::Parse(reply_bytes);
+      if (!reply.ok()) {
+        ++stats_->corrupt_frames;
+        continue;
+      }
+      if (reply->seq != request.seq) {
+        // A duplicate of an earlier reply, or the MC's seq-0 answer to a
+        // request that was corrupted in flight. Either way: not ours.
+        ++stats_->stale_replies;
+        continue;
+      }
+      return std::move(*reply);
+    }
+    // Nothing pending matches: the request or every copy of its reply was
+    // lost. Wait out the backoff and retransmit.
+    ++stats_->timeouts;
+    *cycles += timeout;
+    timeout = std::min(timeout * 2, retry_.max_timeout_cycles);
+  }
+  ++stats_->giveups;
+  return util::Error{"transport: no reply after " +
+                     std::to_string(retry_.max_attempts) + " attempts"};
+}
+
+std::unique_ptr<net::Transport> MakeMcTransport(MemoryController& mc,
+                                                net::Channel& channel,
+                                                const net::FaultConfig& fault) {
+  net::FrameHandler handler = [&mc](const std::vector<uint8_t>& bytes) {
+    return mc.Handle(bytes);
+  };
+  if (fault.enabled()) {
+    return std::make_unique<net::FaultyTransport>(channel, std::move(handler),
+                                                  fault);
+  }
+  return std::make_unique<net::LoopbackTransport>(channel, std::move(handler));
+}
+
+}  // namespace sc::softcache

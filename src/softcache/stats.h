@@ -6,6 +6,18 @@
 
 namespace sc::softcache {
 
+// Reliability-layer counters (one ReliableLink per client). On a loopback
+// transport everything but `requests` stays zero; under fault injection
+// these expose exactly how much work the retry machinery did.
+struct LinkStats {
+  uint64_t requests = 0;       // Call() invocations (logical RPCs)
+  uint64_t retries = 0;        // retransmissions beyond the first attempt
+  uint64_t timeouts = 0;       // attempts that expired with no matching reply
+  uint64_t corrupt_frames = 0; // replies that failed to parse
+  uint64_t stale_replies = 0;  // parseable replies with a mismatched seq
+  uint64_t giveups = 0;        // RPCs abandoned after max_attempts
+};
+
 struct SoftCacheStats {
   // Translation activity. `blocks_translated` is the numerator of the
   // paper's software miss-rate metric (Figure 7): blocks translated divided
@@ -38,6 +50,9 @@ struct SoftCacheStats {
   // Eviction timeline: cycle timestamps of every eviction (Figure 8 bins
   // these into evictions/second).
   std::vector<uint64_t> eviction_cycles;
+
+  // MC link reliability counters.
+  LinkStats net;
 };
 
 }  // namespace sc::softcache

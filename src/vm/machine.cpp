@@ -19,8 +19,14 @@ void Machine::LoadImage(const image::Image& img) {
   SC_CHECK_LE(img.text_base + img.text.size(), mem_.size());
   SC_CHECK_LE(img.data_base + img.data.size(), mem_.size());
   SC_CHECK_LE(static_cast<size_t>(img.bss_base) + img.bss_size, mem_.size());
-  std::memcpy(mem_.data() + img.text_base, img.text.data(), img.text.size());
-  std::memcpy(mem_.data() + img.data_base, img.data.data(), img.data.size());
+  // .data() of an empty section is null; memcpy requires non-null even for
+  // zero-length copies.
+  if (!img.text.empty()) {
+    std::memcpy(mem_.data() + img.text_base, img.text.data(), img.text.size());
+  }
+  if (!img.data.empty()) {
+    std::memcpy(mem_.data() + img.data_base, img.data.data(), img.data.size());
+  }
   std::memset(mem_.data() + img.bss_base, 0, img.bss_size);
   pc_ = img.entry;
   regs_.fill(0);

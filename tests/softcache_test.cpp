@@ -578,6 +578,22 @@ TEST(SoftCachePin, UnpinMakesBlockEvictableAgain) {
   system.cc().CheckInvariants();
 }
 
+TEST(SoftCachePin, UnpinResolvesArmInteriorAddresses) {
+  // Pin and Unpin must agree on address resolution: under ARM style both
+  // accept any address inside a resident procedure, so Pin(p); Unpin(p + 4)
+  // really unpins the block (Unpin used to require the exact block start
+  // and silently no-op on interior addresses).
+  const image::Image img = Compile(kCallChainProgram);
+  const image::Symbol* leaf = img.FindSymbol("leaf");
+  ASSERT_NE(leaf, nullptr);
+  SoftCacheSystem system(img, ArmConfig(32 * 1024));
+  ASSERT_TRUE(system.cc().Pin(leaf->addr));
+  EXPECT_GT(system.cc().pinned_bytes(), 0u);
+  system.cc().Unpin(leaf->addr + 4);  // interior of leaf
+  EXPECT_EQ(system.cc().pinned_bytes(), 0u);
+  system.cc().CheckInvariants();
+}
+
 TEST(SoftCachePin, OverPinningFaultsCleanly) {
   // Pin more code than the tcache holds: allocation must fail with a clear
   // fault, not corrupt pinned blocks.
@@ -602,6 +618,32 @@ TEST(SoftCachePin, OverPinningFaultsCleanly) {
     EXPECT_EQ(result.reason, vm::StopReason::kHalted);
   }
   (void)fault;
+}
+
+// ---------------------------------------------------------------------------
+// Failed-install rollback
+// ---------------------------------------------------------------------------
+
+TEST(SoftCacheRewrite, InstallArmRollsBackOnForwardCellExhaustion) {
+  // `mid` contains two call sites. With room for exactly one forward cell,
+  // emission of the second call site fails halfway through pass 2, after
+  // the block is registered and the first cell is bound to it. The
+  // half-built block must be unwound completely, not left registered.
+  const image::Image img = Compile(kCallChainProgram);
+  const image::Symbol* mid = img.FindSymbol("mid");
+  ASSERT_NE(mid, nullptr);
+  SoftCacheConfig config = ArmConfig(32 * 1024);
+  config.forward_cell_bytes = 4;
+  SoftCacheSystem system(img, config);
+  auto& cc = system.cc();
+  EXPECT_FALSE(cc.Pin(mid->addr));
+  EXPECT_FALSE(cc.IsResident(mid->addr));
+  EXPECT_EQ(cc.ResidentBlocks(), 0u);
+  EXPECT_EQ(cc.pinned_bytes(), 0u);
+  // The unwind is not an eviction and must not count as one.
+  EXPECT_EQ(system.stats().evictions, 0u);
+  EXPECT_EQ(system.stats().extra_words_live, 0u);
+  cc.CheckInvariants();
 }
 
 // ---------------------------------------------------------------------------
@@ -865,6 +907,64 @@ TEST(Protocol, CorruptionDetected) {
   auto reply_bytes = reply.Serialize();
   reply_bytes[reply_bytes.size() - 6] ^= 1;  // flip a payload byte
   EXPECT_FALSE(softcache::Reply::Parse(reply_bytes).ok());
+}
+
+TEST(Protocol, RequestChecksumCoversPayload) {
+  softcache::Request request;
+  request.type = softcache::MsgType::kDataWriteback;
+  request.seq = 3;
+  request.addr = 0x30000;
+  request.length = 4;
+  request.payload = {1, 2, 3, 4};
+  auto bytes = request.Serialize();
+  auto parsed = softcache::Request::Parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->payload, request.payload);
+  bytes[softcache::kRequestBytes + 2] ^= 0x01;  // flip a payload bit
+  EXPECT_FALSE(softcache::Request::Parse(bytes).ok());
+}
+
+TEST(Protocol, DeclaredLengthMustMatchPayload) {
+  softcache::Request request;
+  request.type = softcache::MsgType::kTextWrite;
+  request.seq = 4;
+  request.addr = 0x10000;
+  request.payload = {5, 6, 7, 8};
+  request.length = 8;  // lies: the payload is 4 bytes
+  EXPECT_FALSE(softcache::Request::Parse(request.Serialize()).ok());
+  request.length = 4;
+  EXPECT_TRUE(softcache::Request::Parse(request.Serialize()).ok());
+}
+
+TEST(Protocol, NonWriteRequestsRejectStrayPayload) {
+  softcache::Request request;
+  request.type = softcache::MsgType::kChunkRequest;
+  request.seq = 5;
+  request.addr = 0x10000;
+  request.length = 64;
+  request.payload = {1};
+  EXPECT_FALSE(softcache::Request::Parse(request.Serialize()).ok());
+}
+
+TEST(Protocol, CorruptedTextWriteRejectedByMc) {
+  // End to end: a corrupted write frame reaching the MC is refused with a
+  // kError reply (seq 0, reserved for unparseable requests) and the server
+  // text stays untouched.
+  const image::Image img = Compile(kFibProgram);
+  softcache::MemoryController mc(img, Style::kSparc, 64);
+  softcache::Request request;
+  request.type = softcache::MsgType::kTextWrite;
+  request.seq = 11;
+  request.addr = img.text_base;
+  request.length = 4;
+  request.payload = {0xaa, 0xbb, 0xcc, 0xdd};
+  auto frame = request.Serialize();
+  frame[softcache::kRequestBytes + 1] ^= 0x10;  // corrupt the payload
+  auto reply = softcache::Reply::Parse(mc.Handle(frame));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, softcache::MsgType::kError);
+  EXPECT_EQ(reply->seq, 0u);
+  EXPECT_EQ(mc.image().text, img.text);
 }
 
 TEST(Protocol, PerChunkOverheadIs60Bytes) {
