@@ -19,7 +19,13 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
       mc_(mc),
       config_(config),
       link_(MakeMcTransport(mc, channel, config.fault), config.retry,
-            &stats_.net) {
+            &stats_.net),
+      // Flat-table sizing: typical translated blocks run well past 16 bytes
+      // (body + exit slots), so tcache_bytes/16 covers the realistic resident
+      // population (the table still grows for degenerate one-word blocks);
+      // the cell region holds exactly one word per forward cell.
+      block_tc_(config.tcache_bytes / 16),
+      cell_for_orig_(config.forward_cell_bytes / 4) {
   SC_CHECK_EQ(config_.tcache_bytes % 4, 0u);
   SC_CHECK_GE(config_.tcache_bytes, 64u);
   // Conditional-branch patches must reach anywhere in the tcache (imm16
@@ -50,43 +56,171 @@ void CacheController::Attach() {
 // Fetching and translation
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Rebuilds a Chunk from its wire form: (addr, packed meta, extra, words).
+// Shared by the plain-reply and batched-reply paths; the fallthrough /
+// continuation target is reconstructed as the word after the terminator in
+// the original program.
+Chunk ChunkFromWire(uint32_t addr, uint32_t aux, uint32_t extra,
+                    const uint8_t* words, uint32_t nwords) {
+  Chunk chunk;
+  chunk.orig_addr = addr;
+  chunk.exit = UnpackExit(aux);
+  chunk.jump_folded = UnpackJumpFolded(aux);
+  chunk.entry_word = UnpackEntryWord(aux);
+  chunk.taken_target = extra;
+  chunk.words.resize(nwords);
+  if (nwords != 0) std::memcpy(chunk.words.data(), words, nwords * 4u);
+  if (chunk.exit == ExitKind::kBranch || chunk.exit == ExitKind::kCall ||
+      chunk.exit == ExitKind::kComputed) {
+    chunk.fall_target = chunk.orig_addr + chunk.size_bytes();
+  }
+  return chunk;
+}
+
+}  // namespace
+
 util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
+  // A staged prefetched chunk answers the miss with zero round trips.
+  Chunk staged;
+  if (TakeStaged(orig_pc, &staged)) {
+    ++stats_.prefetch.hits;
+    return staged;
+  }
+
   Request request;
   request.type = MsgType::kChunkRequest;
   request.seq = seq_++;
   request.addr = orig_pc;
+  if (config_.prefetch.policy != PrefetchPolicy::kOff) {
+    // The hint rides in the otherwise-unused length field; with the policy
+    // nibble zero (kOff) the request is byte-identical to the seed protocol.
+    request.length = PackPrefetchHints(
+        PrefetchHints{static_cast<uint32_t>(config_.prefetch.policy),
+                      config_.prefetch.depth, config_.prefetch.max_chunks,
+                      config_.prefetch.byte_budget});
+  }
 
   uint64_t link_cycles = 0;
   auto reply = link_.Call(request, &link_cycles);
   Charge(link_cycles);
   Charge(config_.cost.mc_service_cycles);
+  ++stats_.prefetch.demand_fetches;
 
   if (!reply.ok()) return reply.error();
   if (reply->type == MsgType::kError) {
     return util::Error{"MC error: " + std::string(reply->payload.begin(),
                                                   reply->payload.end())};
   }
+  if (reply->type == MsgType::kChunkBatchReply) {
+    auto views = ParseBatchPayload(reply->payload, reply->aux);
+    if (!views.ok()) return views.error();
+    if (views->empty()) return util::Error{"empty batch reply"};
+    ++stats_.prefetch.batches;
+    // The demanded chunk leads the batch; the rest are speculative and go to
+    // the staging buffer.
+    const BatchChunkView& head = (*views)[0];
+    Chunk chunk =
+        ChunkFromWire(head.addr, head.aux, head.extra, head.words, head.nwords);
+    for (size_t i = 1; i < views->size(); ++i) {
+      const BatchChunkView& view = (*views)[i];
+      ++stats_.prefetch.chunks_prefetched;
+      StageChunk(
+          ChunkFromWire(view.addr, view.aux, view.extra, view.words, view.nwords));
+    }
+    return chunk;
+  }
   if (reply->type != MsgType::kChunkReply || reply->payload.size() % 4 != 0) {
     return util::Error{"malformed chunk reply"};
   }
-  Chunk chunk;
-  chunk.orig_addr = reply->addr;
-  chunk.exit = UnpackExit(reply->aux);
-  chunk.jump_folded = UnpackJumpFolded(reply->aux);
-  chunk.entry_word = UnpackEntryWord(reply->aux);
-  chunk.taken_target = reply->extra;
-  chunk.words.resize(reply->payload.size() / 4);
-  if (!reply->payload.empty()) {
-    std::memcpy(chunk.words.data(), reply->payload.data(),
-                reply->payload.size());
+  return ChunkFromWire(reply->addr, reply->aux, reply->extra,
+                       reply->payload.data(),
+                       static_cast<uint32_t>(reply->payload.size() / 4));
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch staging
+// ---------------------------------------------------------------------------
+
+uint32_t CacheController::StagedCost(const Chunk& chunk) {
+  return kBatchChunkHeaderBytes + static_cast<uint32_t>(chunk.words.size()) * 4;
+}
+
+void CacheController::UnstageAt(uint32_t orig_addr) {
+  const auto it = staged_.find(orig_addr);
+  if (it == staged_.end()) return;
+  staged_bytes_ -= StagedCost(it->second);
+  staged_.erase(it);
+  for (auto fifo = staged_fifo_.begin(); fifo != staged_fifo_.end(); ++fifo) {
+    if (*fifo == orig_addr) {
+      staged_fifo_.erase(fifo);
+      break;
+    }
   }
-  // Reconstruct the fallthrough/continuation target (the word after the
-  // terminator in the original program).
-  if (chunk.exit == ExitKind::kBranch || chunk.exit == ExitKind::kCall ||
-      chunk.exit == ExitKind::kComputed) {
-    chunk.fall_target = chunk.orig_addr + chunk.size_bytes();
+}
+
+void CacheController::StageChunk(Chunk&& chunk) {
+  const uint32_t cost = StagedCost(chunk);
+  // Useless speculation: already translated, already staged, or bigger than
+  // the whole staging buffer.
+  if (FindResident(chunk.orig_addr) != nullptr ||
+      staged_.count(chunk.orig_addr) != 0 ||
+      cost > config_.prefetch.staging_bytes) {
+    ++stats_.prefetch.dropped;
+    return;
   }
-  return chunk;
+  while (staged_bytes_ + cost > config_.prefetch.staging_bytes) {
+    SC_CHECK(!staged_fifo_.empty());
+    UnstageAt(staged_fifo_.front());
+    ++stats_.prefetch.evictions;
+  }
+  staged_fifo_.push_back(chunk.orig_addr);
+  staged_bytes_ += cost;
+  staged_.emplace(chunk.orig_addr, std::move(chunk));
+  ++stats_.prefetch.staged;
+}
+
+bool CacheController::TakeStaged(uint32_t orig_pc, Chunk* out) {
+  auto it = staged_.find(orig_pc);
+  if (it == staged_.end() && config_.style == Style::kArm && !staged_.empty()) {
+    // ARM style: the demand may land inside a staged procedure.
+    auto below = staged_.upper_bound(orig_pc);
+    if (below != staged_.begin()) {
+      --below;
+      const Chunk& chunk = below->second;
+      if (orig_pc >= chunk.orig_addr &&
+          orig_pc < chunk.orig_addr + chunk.orig_span_bytes()) {
+        it = below;
+      }
+    }
+  }
+  if (it == staged_.end()) return false;
+  *out = std::move(it->second);
+  out->entry_word = (orig_pc - out->orig_addr) / 4;
+  const uint32_t key = it->first;
+  staged_.erase(it);
+  staged_bytes_ -= StagedCost(*out);
+  for (auto fifo = staged_fifo_.begin(); fifo != staged_fifo_.end(); ++fifo) {
+    if (*fifo == key) {
+      staged_fifo_.erase(fifo);
+      break;
+    }
+  }
+  return true;
+}
+
+void CacheController::DropStagedRange(uint32_t addr, uint32_t len) {
+  std::vector<uint32_t> victims;
+  for (const auto& [start, chunk] : staged_) {
+    if (start < addr + len && start + chunk.orig_span_bytes() > addr) {
+      victims.push_back(start);
+    }
+  }
+  for (uint32_t start : victims) {
+    UnstageAt(start);
+    ++stats_.prefetch.invalidated;
+  }
 }
 
 CacheController::Block* CacheController::Translate(uint32_t orig_pc) {
@@ -219,7 +353,7 @@ CacheController::Block* CacheController::InstallSparc(const Chunk& chunk) {
   const uint64_t id = block.id;
   stats_.extra_words_live += slots + mid_count;
   by_orig_[block.orig_addr] = id;
-  block_tc_[id] = tc_addr;
+  block_tc_.Put(id, tc_addr);
   auto [it, inserted] = blocks_.emplace(tc_addr, std::move(block));
   SC_CHECK(inserted);
   return &it->second;
@@ -285,7 +419,7 @@ CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
   // Register the block before emission so ForwardCell can link cells to it.
   const uint64_t id = block.id;
   by_orig_[block.orig_addr] = id;
-  block_tc_[id] = tc;
+  block_tc_.Put(id, tc);
   auto [map_it, inserted] = blocks_.emplace(tc, std::move(block));
   SC_CHECK(inserted);
   Block& blk = map_it->second;
@@ -492,11 +626,12 @@ uint64_t CacheController::pinned_bytes() const {
 }
 
 void CacheController::EvictBlock(uint64_t block_id) {
-  const auto tc_it = block_tc_.find(block_id);
-  SC_CHECK(tc_it != block_tc_.end());
-  Block block = std::move(blocks_.at(tc_it->second));
-  blocks_.erase(tc_it->second);
-  block_tc_.erase(tc_it);
+  const uint32_t* tc_ptr = block_tc_.Find(block_id);
+  SC_CHECK(tc_ptr != nullptr);
+  const uint32_t tc_victim = *tc_ptr;
+  Block block = std::move(blocks_.at(tc_victim));
+  blocks_.erase(tc_victim);
+  block_tc_.Erase(block_id);
   by_orig_.erase(block.orig_addr);
 
   // Unlink incoming edges: every branch/jump/cell that points here goes back
@@ -653,9 +788,9 @@ void CacheController::UnlinkEdge(const InEdge& edge) {
 uint32_t CacheController::ForwardCell(uint32_t cont_orig, uint32_t known_tc,
                                       Block* owner) {
   uint32_t cell;
-  const auto it = cell_for_orig_.find(cont_orig);
-  if (it != cell_for_orig_.end()) {
-    cell = it->second;
+  const uint32_t* existing = cell_for_orig_.Find(cont_orig);
+  if (existing != nullptr) {
+    cell = *existing;
     if (known_tc == 0) return cell;  // existing content is still valid
     // The cell currently holds a TCMISS (its target was evicted); free that
     // stub before rebinding.
@@ -675,7 +810,7 @@ uint32_t CacheController::ForwardCell(uint32_t cont_orig, uint32_t known_tc,
     }
     cell = cells_base_ + cells_used_;
     cells_used_ += 4;
-    cell_for_orig_[cont_orig] = cell;
+    cell_for_orig_.Put(cont_orig, cell);
     if (config_.style == Style::kArm) {
       ++stats_.redirector_words;
     } else {
@@ -807,8 +942,10 @@ uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
     }
   }
   for (uint64_t id : victims) {
-    if (block_tc_.count(id) != 0) EvictBlock(id);
+    if (block_tc_.Contains(id)) EvictBlock(id);
   }
+  // Staged prefetched chunks covering the rewritten range hold stale words.
+  DropStagedRange(addr, len);
   if (resume_orig == 0) return pc + 4;
   const Resolution res = ResolveEntry(resume_orig);
   if (res.block == nullptr) return 0;  // fault raised
@@ -841,7 +978,7 @@ uint32_t CacheController::OnTcMiss(vm::Machine& m, uint32_t stub_index) {
   const bool stub_intact = stubs_[stub_index].live &&
                            stubs_[stub_index].generation == stub.generation;
   const bool source_alive =
-      stub.from_block == 0 || block_tc_.count(stub.from_block) != 0;
+      stub.from_block == 0 || block_tc_.Contains(stub.from_block);
   if (stub_intact && source_alive) {
     LinkEdge(stub, *res.block, res.tc_addr);
     FreeStub(stub_index);
@@ -875,9 +1012,9 @@ uint32_t CacheController::OnTcJalr(vm::Machine& m, const isa::Instr& instr,
 // ---------------------------------------------------------------------------
 
 CacheController::Block* CacheController::BlockById(uint64_t id) {
-  const auto it = block_tc_.find(id);
-  if (it == block_tc_.end()) return nullptr;
-  return &blocks_.at(it->second);
+  const uint32_t* tc = block_tc_.Find(id);
+  if (tc == nullptr) return nullptr;
+  return &blocks_.at(*tc);
 }
 
 
@@ -928,10 +1065,24 @@ std::string CacheController::DumpState() const {
   out << "stubs: " << live_stub_count << " live of " << stubs_.size()
       << " allocated\n";
   out << "forward cells: " << cell_for_orig_.size() << "\n";
-  for (const auto& [orig, cell] : cell_for_orig_) {
+  // Address order, for a stable dump independent of the table's probing.
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  cell_for_orig_.ForEach([&cells](uint32_t orig, uint32_t cell) {
+    cells.emplace_back(cell, orig);
+  });
+  std::sort(cells.begin(), cells.end());
+  for (const auto& [cell, orig] : cells) {
     const Instr in = isa::Decode(machine_.ReadWord(cell));
     out << "  cell 0x" << std::hex << cell << " for orig 0x" << orig << ": "
         << (in.op == Opcode::kTcMiss ? "MISSING" : "LINKED") << std::dec << "\n";
+  }
+  if (!staged_.empty()) {
+    out << "staged prefetched chunks: " << staged_.size() << " ("
+        << staged_bytes_ << " bytes)\n";
+    for (const auto& [orig, chunk] : staged_) {
+      out << "  staged orig=[0x" << std::hex << orig << ",0x"
+          << orig + chunk.orig_span_bytes() << ")" << std::dec << "\n";
+    }
   }
   return out.str();
 }
@@ -952,7 +1103,7 @@ void CacheController::CheckInvariants() const {
     total_bytes += block.tc_bytes;
     // Map consistency.
     SC_CHECK_EQ(by_orig_.at(block.orig_addr), block.id);
-    SC_CHECK_EQ(block_tc_.at(block.id), tc);
+    SC_CHECK_EQ(block_tc_.At(block.id), tc);
     // Incoming edges really point at us.
     for (const InEdge& edge : block.in_edges) {
       const Instr in = isa::Decode(machine_.ReadWord(edge.patch_addr));
@@ -976,9 +1127,9 @@ void CacheController::CheckInvariants() const {
     }
     // Outgoing edges are mirrored by the target's incoming list.
     for (const auto& [target_id, patch_addr] : block.out_edges) {
-      const auto tc_it = block_tc_.find(target_id);
-      SC_CHECK(tc_it != block_tc_.end()) << "out-edge to evicted block";
-      const Block& target = blocks_.at(tc_it->second);
+      const uint32_t* target_tc = block_tc_.Find(target_id);
+      SC_CHECK(target_tc != nullptr) << "out-edge to evicted block";
+      const Block& target = blocks_.at(*target_tc);
       const bool found = std::any_of(
           target.in_edges.begin(), target.in_edges.end(),
           [&, pa = patch_addr](const InEdge& e) { return e.patch_addr == pa; });
@@ -995,13 +1146,25 @@ void CacheController::CheckInvariants() const {
     SC_CHECK_EQ(static_cast<uint32_t>(in.imm), id);
   }
   // Cells hold either a live TCMISS or a jump into a live block.
-  for (const auto& [orig, cell] : cell_for_orig_) {
+  cell_for_orig_.ForEach([this](uint32_t orig, uint32_t cell) {
+    (void)orig;
     const Instr in = isa::Decode(machine_.ReadWord(cell));
     SC_CHECK(in.op == Opcode::kTcMiss || in.op == Opcode::kJ);
     if (in.op == Opcode::kTcMiss) {
       SC_CHECK(stubs_.at(static_cast<uint32_t>(in.imm)).live);
     }
+  });
+  // Staging accounting: byte counter and FIFO mirror the staged map exactly.
+  uint64_t staged_total = 0;
+  for (const auto& [orig, chunk] : staged_) {
+    SC_CHECK_EQ(orig, chunk.orig_addr);
+    SC_CHECK(std::find(staged_fifo_.begin(), staged_fifo_.end(), orig) !=
+             staged_fifo_.end());
+    staged_total += StagedCost(chunk);
   }
+  SC_CHECK_EQ(staged_fifo_.size(), staged_.size());
+  SC_CHECK_EQ(staged_total, staged_bytes_);
+  SC_CHECK_LE(staged_bytes_, config_.prefetch.staging_bytes);
 }
 
 }  // namespace sc::softcache

@@ -33,9 +33,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/channel.h"
@@ -43,6 +43,7 @@
 #include "softcache/mc.h"
 #include "softcache/reliable.h"
 #include "softcache/stats.h"
+#include "util/open_table.h"
 #include "vm/machine.h"
 
 namespace sc::softcache {
@@ -168,6 +169,20 @@ class CacheController : public vm::TrapHandler {
   Block* InstallSparc(const Chunk& chunk);
   Block* InstallArm(const Chunk& chunk);
   util::Result<Chunk> FetchChunk(uint32_t orig_pc);
+
+  // --- Prefetch staging ---
+  // Prefetched chunks wait here as raw untranslated words — no tcache space,
+  // no translation work — until demanded (TakeStaged) or FIFO-evicted.
+  // Cost accounting mirrors the wire cost (sub-header + words).
+  static uint32_t StagedCost(const Chunk& chunk);
+  void StageChunk(Chunk&& chunk);
+  // Moves the staged chunk covering `orig_pc` into `*out` (exact start, or —
+  // ARM style — a procedure containing the interior address). False on miss.
+  bool TakeStaged(uint32_t orig_pc, Chunk* out);
+  // Drops staged chunks overlapping [addr, addr+len): their words are stale
+  // once the program rewrites that text.
+  void DropStagedRange(uint32_t addr, uint32_t len);
+  void UnstageAt(uint32_t orig_addr);
   // Charges client-visible miss-handling cycles.
   void Charge(uint64_t cycles) {
     machine_.Charge(cycles);
@@ -221,15 +236,26 @@ class CacheController : public vm::TrapHandler {
   uint32_t alloc_cursor_ = 0;  // offset within the tcache region
   uint64_t live_bytes_ = 0;
 
-  std::map<uint32_t, Block> blocks_;                 // keyed by tc_addr
-  std::unordered_map<uint64_t, uint32_t> block_tc_;  // id -> tc_addr
+  std::map<uint32_t, Block> blocks_;  // keyed by tc_addr
+  // id -> tc_addr. Hit on every TCMISS resolution and invariant check; an
+  // open-addressed flat table sized at construction from the worst-case
+  // resident-block count.
+  util::OpenTable<uint64_t, uint32_t> block_tc_;
   // Original start -> block id; ordered so the ARM style can find the
-  // procedure containing an interior address.
+  // procedure containing an interior address (and eviction scans stay
+  // address-ordered).
   std::map<uint32_t, uint64_t> by_orig_;
   std::vector<StubInfo> stubs_;
   std::vector<uint32_t> free_stub_ids_;
   uint64_t stub_generation_ = 0;
-  std::unordered_map<uint32_t, uint32_t> cell_for_orig_;  // orig -> cell addr
+  // orig -> cell addr; sized from the cell region (one word per cell).
+  util::OpenTable<uint32_t, uint32_t> cell_for_orig_;
+  // Staging buffer for prefetched chunks, keyed by orig_addr (ordered for
+  // the ARM interior-address lookup), bounded by config.prefetch.staging_bytes
+  // with FIFO displacement.
+  std::map<uint32_t, Chunk> staged_;
+  std::deque<uint32_t> staged_fifo_;
+  uint64_t staged_bytes_ = 0;
   // Protocol sequence numbers. Starts at 1: the MC answers unparseable
   // (corrupted-in-flight) requests with seq 0, which must never match.
   uint32_t seq_ = 1;

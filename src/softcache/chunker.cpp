@@ -118,4 +118,65 @@ util::Result<Chunk> ChunkProcedure(const image::Image& image, uint32_t pc) {
   return chunk;
 }
 
+std::vector<uint32_t> ChunkSuccessors(const image::Image& image,
+                                      const Chunk& chunk) {
+  std::vector<uint32_t> successors;
+  const auto add = [&](uint32_t addr) {
+    if (addr == chunk.orig_addr || !image.ContainsText(addr) || addr % 4 != 0) {
+      return;
+    }
+    for (uint32_t seen : successors) {
+      if (seen == addr) return;
+    }
+    successors.push_back(addr);
+  };
+
+  // Exit-metadata edges (basic-block / trace chunks). Fallthrough-style
+  // continuations first: straight-line code is the likeliest next fetch.
+  switch (chunk.exit) {
+    case ExitKind::kFallthrough:
+      add(chunk.taken_target);
+      break;
+    case ExitKind::kBranch:
+      add(chunk.orig_addr + chunk.size_bytes());  // fallthrough
+      add(chunk.taken_target);                    // taken
+      break;
+    case ExitKind::kCall:
+      add(chunk.taken_target);                    // callee runs first
+      add(chunk.orig_addr + chunk.size_bytes());  // continuation
+      break;
+    case ExitKind::kComputed:
+      add(chunk.orig_addr + chunk.size_bytes());
+      break;
+    case ExitKind::kNone:
+      break;
+  }
+
+  // Body edges: mid-chunk side exits (trace chunks) and callees (procedure
+  // chunks) are encoded in the instruction words themselves.
+  const uint32_t nwords = static_cast<uint32_t>(chunk.words.size());
+  for (uint32_t i = 0; i < nwords; ++i) {
+    const uint32_t pc = chunk.orig_addr + i * 4;
+    const Instr in = isa::Decode(chunk.words[i]);
+    const bool is_terminator = i == nwords - 1 && chunk.exit != ExitKind::kNone;
+    if (in.op == Opcode::kJal) {
+      if (!is_terminator || chunk.exit != ExitKind::kCall) {
+        add(isa::BranchTarget(pc, in.imm));  // procedure-chunk call site
+      }
+    } else if (isa::IsConditionalBranch(in.op)) {
+      const uint32_t target = isa::BranchTarget(pc, in.imm);
+      // Procedure chunks keep internal branches internal; only targets
+      // outside the chunk body are new fetches.
+      if (target < chunk.orig_addr || target >= chunk.orig_addr + nwords * 4) {
+        add(target);
+      } else if (chunk.entry_word == 0 && chunk.exit != ExitKind::kNone) {
+        // Trace chunk: internal-looking targets are still block starts the
+        // client will request separately (blocks are keyed by entry).
+        add(target);
+      }
+    }
+  }
+  return successors;
+}
+
 }  // namespace sc::softcache

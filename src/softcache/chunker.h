@@ -62,4 +62,14 @@ util::Result<Chunk> ChunkBasicBlock(const image::Image& image, uint32_t pc,
 // with entry_word set to the requested address's offset.
 util::Result<Chunk> ChunkProcedure(const image::Image& image, uint32_t pc);
 
+// Static control-flow successors of `chunk`, in natural execution-likelihood
+// order (fallthrough/continuation first, then taken targets and callees).
+// For basic-block/trace chunks these come from the exit metadata plus the
+// mid-chunk side-exit branches; for procedure chunks they are the callees of
+// every JAL in the body. Addresses outside `image`'s text are omitted; the
+// chunk's own start is never returned. This is the edge set the memory
+// controller walks when predicting which chunks to prefetch.
+std::vector<uint32_t> ChunkSuccessors(const image::Image& image,
+                                      const Chunk& chunk);
+
 }  // namespace sc::softcache

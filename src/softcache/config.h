@@ -19,6 +19,35 @@ namespace sc::softcache {
 
 enum class Style : uint8_t { kSparc, kArm };
 
+// Speculative chunk prefetch (MC-side CFG walk + batched replies).
+enum class PrefetchPolicy : uint8_t {
+  // No speculation: every miss is one 60-byte round trip, and the wire
+  // traffic is byte-identical to the seed protocol.
+  kOff,
+  // Ship the demanded chunk's static CFG successors in BFS order until the
+  // depth/chunk/byte budgets run out.
+  kNextN,
+  // Like kNextN, but rank candidate successors by the MC's per-chunk
+  // reference-count "temperature" (how often each chunk has been demanded),
+  // so re-referenced code wins the byte budget.
+  kTemperature,
+};
+
+struct PrefetchConfig {
+  PrefetchPolicy policy = PrefetchPolicy::kOff;
+  // CFG walk depth from the demanded chunk (capped at 15 on the wire).
+  uint32_t depth = 2;
+  // Max extra chunks shipped per batch (capped at 255 on the wire).
+  uint32_t max_chunks = 8;
+  // Max extra payload bytes (sub-headers + words) per batch (capped at
+  // 65535 on the wire).
+  uint32_t byte_budget = 4096;
+  // CC-side staging buffer bound: prefetched chunks wait here as raw
+  // untranslated words, consuming no tcache space, until demanded or
+  // FIFO-evicted.
+  uint32_t staging_bytes = 16 * 1024;
+};
+
 enum class EvictPolicy : uint8_t {
   // Flush the whole tcache when an allocation does not fit (Dynamo-style).
   kFlushAll,
@@ -61,6 +90,10 @@ struct SoftCacheConfig {
   // Size of the permanent forward-cell region (return-address landing pads /
   // ARM redirectors), one word per distinct continuation address.
   uint32_t forward_cell_bytes = 8 * 1024;
+
+  // Speculative prefetch + batched replies. kOff reproduces the seed
+  // protocol's wire traffic bit for bit.
+  PrefetchConfig prefetch;
 
   CostModel cost;
   net::ChannelConfig channel;

@@ -1,5 +1,6 @@
 #include "softcache/mc.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
@@ -11,9 +12,21 @@ namespace {
 // flight, so even a fleet of clients sharing one MC stays far below this.
 constexpr size_t kReplayCacheEntries = 64;
 
+// Server-side caps on speculative work, independent of what the hint field
+// asks for (it arrives from an untrusted client).
+constexpr uint32_t kMaxPrefetchDepth = 8;
+constexpr uint32_t kMaxPrefetchChunks = 32;
+
 }  // namespace
 
 std::vector<uint8_t> MemoryController::Handle(
+    const std::vector<uint8_t>& request_bytes) {
+  std::vector<uint8_t> reply_bytes = HandleInner(request_bytes);
+  if (tap_) tap_(request_bytes, reply_bytes);
+  return reply_bytes;
+}
+
+std::vector<uint8_t> MemoryController::HandleInner(
     const std::vector<uint8_t>& request_bytes) {
   ++requests_served_;
   auto request = Request::Parse(request_bytes);
@@ -54,14 +67,102 @@ Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) con
   return reply;
 }
 
+util::Result<Chunk> MemoryController::CutChunk(uint32_t addr) const {
+  return style_ == Style::kSparc
+             ? ChunkBasicBlock(image_, addr, max_block_instrs_,
+                               max_trace_blocks_)
+             : ChunkProcedure(image_, addr);
+}
+
+Reply MemoryController::BatchReply(const Request& request, const Chunk& primary,
+                                   const PrefetchHints& hints) {
+  // Bound speculative work regardless of what the (possibly hostile) hint
+  // field asks for; the byte budget is already wire-capped at 65535.
+  const uint32_t depth = hints.depth > kMaxPrefetchDepth ? kMaxPrefetchDepth
+                                                         : hints.depth;
+  const uint32_t max_chunks = hints.max_chunks > kMaxPrefetchChunks
+                                  ? kMaxPrefetchChunks
+                                  : hints.max_chunks;
+
+  Reply reply;
+  reply.type = MsgType::kChunkBatchReply;
+  reply.seq = request.seq;
+  reply.addr = primary.orig_addr;
+  reply.extra = 0;
+  uint32_t count = 0;
+  const auto append = [&reply, &count](const Chunk& chunk) {
+    AppendBatchChunk(&reply.payload, chunk.orig_addr,
+                     PackChunkMeta(chunk.exit, chunk.entry_word,
+                                   chunk.jump_folded),
+                     chunk.taken_target, chunk.words.data(),
+                     static_cast<uint32_t>(chunk.words.size()));
+    ++count;
+  };
+  append(primary);
+
+  // BFS over the static CFG from the demanded chunk. Each frontier level is
+  // ranked by temperature when the policy asks for it; within equal
+  // temperature the natural order (fallthrough first) is kept, so a cold MC
+  // degrades gracefully to next-N prefetching.
+  std::vector<uint32_t> included{primary.orig_addr};
+  const auto is_included = [&included](uint32_t addr) {
+    for (uint32_t seen : included) {
+      if (seen == addr) return true;
+    }
+    return false;
+  };
+  uint32_t budget = hints.byte_budget;
+  std::vector<uint32_t> frontier = ChunkSuccessors(image_, primary);
+  for (uint32_t level = 0; level < depth && !frontier.empty(); ++level) {
+    if (static_cast<PrefetchPolicy>(hints.policy) ==
+        PrefetchPolicy::kTemperature) {
+      std::stable_sort(frontier.begin(), frontier.end(),
+                       [this](uint32_t a, uint32_t b) {
+                         return Temperature(a) > Temperature(b);
+                       });
+    }
+    std::vector<uint32_t> next;
+    for (uint32_t addr : frontier) {
+      if (count - 1 >= max_chunks) break;
+      if (is_included(addr)) continue;
+      auto chunk = CutChunk(addr);
+      if (!chunk.ok()) continue;  // e.g. successor with no symbol cover
+      if (is_included(chunk->orig_addr)) continue;  // ARM: same procedure
+      const uint32_t cost = kBatchChunkHeaderBytes +
+                            static_cast<uint32_t>(chunk->words.size()) * 4;
+      if (cost > budget) continue;
+      budget -= cost;
+      included.push_back(addr);
+      if (chunk->orig_addr != addr) included.push_back(chunk->orig_addr);
+      append(*chunk);
+      ++chunks_prefetched_;
+      for (uint32_t succ : ChunkSuccessors(image_, *chunk)) {
+        next.push_back(succ);
+      }
+    }
+    frontier = std::move(next);
+  }
+  reply.aux = count;
+  ++batches_served_;
+  return reply;
+}
+
 Reply MemoryController::HandleParsed(const Request& request) {
   switch (request.type) {
     case MsgType::kChunkRequest: {
-      auto chunk = style_ == Style::kSparc
-                       ? ChunkBasicBlock(image_, request.addr, max_block_instrs_,
-                                         max_trace_blocks_)
-                       : ChunkProcedure(image_, request.addr);
+      auto chunk = CutChunk(request.addr);
       if (!chunk.ok()) return ErrorReply(request.seq, chunk.error().message);
+      // Learn the chunk's demand "temperature" for future prefetch ranking.
+      uint32_t* temp = temperature_.Find(chunk->orig_addr);
+      if (temp != nullptr) {
+        ++*temp;
+      } else {
+        temperature_.Put(chunk->orig_addr, 1);
+      }
+      const PrefetchHints hints = UnpackPrefetchHints(request.length);
+      if (hints.policy != 0 && hints.max_chunks > 0) {
+        return BatchReply(request, *chunk, hints);
+      }
       Reply reply;
       reply.type = MsgType::kChunkReply;
       reply.seq = request.seq;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "image/image.h"
@@ -16,6 +17,7 @@
 #include "softcache/chunker.h"
 #include "softcache/config.h"
 #include "softcache/protocol.h"
+#include "util/open_table.h"
 
 namespace sc::softcache {
 
@@ -64,9 +66,36 @@ class MemoryController {
   // applied a second time (retransmitted kTextWrite / kDataWriteback).
   uint64_t replays_suppressed() const { return replays_suppressed_; }
 
+  // Prefetch service counters: batched replies built, and extra chunks
+  // shipped speculatively inside them.
+  uint64_t batches_served() const { return batches_served_; }
+  uint64_t chunks_prefetched() const { return chunks_prefetched_; }
+  // Demand reference count ("temperature") of a chunk start, as learned
+  // from past kChunkRequests (tests/benchmarks).
+  uint32_t Temperature(uint32_t addr) const {
+    const uint32_t* t = temperature_.Find(addr);
+    return t == nullptr ? 0 : *t;
+  }
+
+  // Test-only tap observing every (request bytes, reply bytes) pair exactly
+  // as they cross the wire; used to prove kOff traffic is byte-identical to
+  // the seed protocol.
+  using FrameTap = std::function<void(const std::vector<uint8_t>& request,
+                                      const std::vector<uint8_t>& reply)>;
+  void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
+
  private:
+  std::vector<uint8_t> HandleInner(const std::vector<uint8_t>& request_bytes);
   Reply HandleParsed(const Request& request);
   Reply ErrorReply(uint32_t seq, const std::string& message) const;
+  // Extracts one chunk at `addr` with the configured chunking style.
+  util::Result<Chunk> CutChunk(uint32_t addr) const;
+  // Builds the kChunkBatchReply for a demanded chunk: walks the static CFG
+  // from `primary` up to the hinted depth, ranks candidates (temperature
+  // policy) and packs the winners behind the demanded chunk until the
+  // chunk-count/byte budgets run out.
+  Reply BatchReply(const Request& request, const Chunk& primary,
+                   const PrefetchHints& hints);
 
   // Replay cache entry: a recently applied write-type request, identified by
   // (type, seq, addr, payload checksum), with the reply it produced. An
@@ -90,6 +119,13 @@ class MemoryController {
   uint64_t requests_served_ = 0;
   uint64_t replays_suppressed_ = 0;
   std::deque<ReplayEntry> replay_cache_;
+
+  // Per-chunk demand counts (prefetch "temperature"), keyed by the chunk
+  // start address the client asked for.
+  util::OpenTable<uint32_t, uint32_t> temperature_{256};
+  uint64_t batches_served_ = 0;
+  uint64_t chunks_prefetched_ = 0;
+  FrameTap tap_;
 };
 
 }  // namespace sc::softcache

@@ -94,6 +94,49 @@ std::vector<uint8_t> Reply::Serialize() const {
   return out;
 }
 
+void AppendBatchChunk(std::vector<uint8_t>* payload, uint32_t addr,
+                      uint32_t aux, uint32_t extra, const uint32_t* words,
+                      uint32_t nwords) {
+  payload->reserve(payload->size() + kBatchChunkHeaderBytes + nwords * 4);
+  PutU32(*payload, addr);
+  PutU32(*payload, aux);
+  PutU32(*payload, extra);
+  PutU32(*payload, nwords);
+  if (nwords != 0) {
+    const size_t offset = payload->size();
+    payload->resize(offset + nwords * 4);
+    std::memcpy(payload->data() + offset, words, nwords * 4);
+  }
+}
+
+util::Result<std::vector<BatchChunkView>> ParseBatchPayload(
+    const std::vector<uint8_t>& payload, uint32_t count) {
+  std::vector<BatchChunkView> chunks;
+  chunks.reserve(count);
+  size_t offset = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (offset + kBatchChunkHeaderBytes > payload.size()) {
+      return util::Error{"batch: short sub-chunk header"};
+    }
+    BatchChunkView view;
+    view.addr = GetU32(payload, offset);
+    view.aux = GetU32(payload, offset + 4);
+    view.extra = GetU32(payload, offset + 8);
+    view.nwords = GetU32(payload, offset + 12);
+    offset += kBatchChunkHeaderBytes;
+    if (view.nwords > (payload.size() - offset) / 4) {
+      return util::Error{"batch: sub-chunk words overflow payload"};
+    }
+    view.words = payload.data() + offset;
+    offset += static_cast<size_t>(view.nwords) * 4;
+    chunks.push_back(view);
+  }
+  if (offset != payload.size()) {
+    return util::Error{"batch: trailing bytes after last sub-chunk"};
+  }
+  return chunks;
+}
+
 util::Result<Reply> Reply::Parse(const std::vector<uint8_t>& bytes) {
   if (bytes.size() < kReplyHeaderBytes + kReplyTrailerBytes) {
     return util::Error{"reply: short frame"};

@@ -33,7 +33,79 @@ enum class MsgType : uint32_t {
   kError = 7,          // MC -> CC: request failed (message text in payload)
   kTextWrite = 8,      // CC -> MC: program text changed (self-modifying code)
   kTextWriteAck = 9,   // MC -> CC: text update applied
+  kChunkBatchReply = 10,  // MC -> CC: demanded chunk + prefetched successors
 };
+
+// --- Chunk batching (speculative prefetch) ---
+//
+// A kChunkBatchReply carries several chunks inside one framed payload: the
+// demanded chunk first, then the MC's control-flow-predicted successors.
+// N chunks thus cost ONE 60-byte frame overhead plus a 16-byte sub-header
+// each, instead of N full 60-byte round trips. The outer header's `aux`
+// holds the chunk count; each sub-chunk record is:
+//
+//   | offset | field  | notes                                       |
+//   |      0 | addr   | chunk start address                         |
+//   |      4 | aux    | PackChunkMeta (exit kind, folded, entry)    |
+//   |      8 | extra  | taken/callee target                         |
+//   |     12 | nwords | instruction words following                 |
+//   |    16+ | words  | nwords * 4 bytes                            |
+inline constexpr uint32_t kBatchChunkHeaderBytes = 16;
+
+// A parsed view of one sub-chunk record inside a batch payload. `words`
+// points into the payload buffer (valid as long as the Reply is alive).
+struct BatchChunkView {
+  uint32_t addr = 0;
+  uint32_t aux = 0;
+  uint32_t extra = 0;
+  uint32_t nwords = 0;
+  const uint8_t* words = nullptr;
+};
+
+// Appends one sub-chunk record to a batch payload under construction.
+void AppendBatchChunk(std::vector<uint8_t>* payload, uint32_t addr,
+                      uint32_t aux, uint32_t extra, const uint32_t* words,
+                      uint32_t nwords);
+
+// Splits a batch payload into `count` sub-chunk views; fails on any length
+// inconsistency (short record, trailing bytes, overflowing nwords).
+util::Result<std::vector<BatchChunkView>> ParseBatchPayload(
+    const std::vector<uint8_t>& payload, uint32_t count);
+
+// --- Prefetch hints ---
+//
+// A kChunkRequest's `length` field (unused by the seed protocol, where it
+// was always zero) carries the client's prefetch budget so the MC knows how
+// much speculative work one request may buy:
+//
+//   bits 31..28  policy  (0 = off: the request is byte-identical to the
+//                         seed protocol and gets a plain kChunkReply)
+//   bits 27..24  depth   (CFG walk depth from the demanded chunk)
+//   bits 23..16  chunks  (max extra chunks per batch)
+//   bits 15..0   budget  (max extra payload bytes per batch)
+struct PrefetchHints {
+  uint32_t policy = 0;
+  uint32_t depth = 0;
+  uint32_t max_chunks = 0;
+  uint32_t byte_budget = 0;
+};
+
+inline uint32_t PackPrefetchHints(const PrefetchHints& h) {
+  const uint32_t policy = h.policy > 15 ? 15u : h.policy;
+  const uint32_t depth = h.depth > 15 ? 15u : h.depth;
+  const uint32_t chunks = h.max_chunks > 255 ? 255u : h.max_chunks;
+  const uint32_t budget = h.byte_budget > 0xffff ? 0xffffu : h.byte_budget;
+  return (policy << 28) | (depth << 24) | (chunks << 16) | budget;
+}
+
+inline PrefetchHints UnpackPrefetchHints(uint32_t length) {
+  PrefetchHints h;
+  h.policy = length >> 28;
+  h.depth = (length >> 24) & 0xf;
+  h.max_chunks = (length >> 16) & 0xff;
+  h.byte_budget = length & 0xffff;
+  return h;
+}
 
 struct Request {
   MsgType type = MsgType::kChunkRequest;

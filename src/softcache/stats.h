@@ -18,6 +18,34 @@ struct LinkStats {
   uint64_t giveups = 0;        // RPCs abandoned after max_attempts
 };
 
+// Speculative-prefetch counters (CC side). Accuracy is "of the chunks the
+// MC shipped speculatively, how many were eventually demanded"; coverage is
+// "of all demand fetches, how many were answered from the staging buffer
+// with zero round trips".
+struct PrefetchStats {
+  uint64_t batches = 0;            // kChunkBatchReply frames received
+  uint64_t chunks_prefetched = 0;  // extra chunks carried by those batches
+  uint64_t staged = 0;             // prefetched chunks actually staged
+  uint64_t hits = 0;               // demand fetches served from staging
+  uint64_t demand_fetches = 0;     // chunk fetches that went over the wire
+  uint64_t dropped = 0;            // arrived already resident or staged
+  uint64_t evictions = 0;          // staged chunks displaced by FIFO bound
+  uint64_t invalidated = 0;        // staged chunks dropped by text writes
+
+  double accuracy() const {
+    return chunks_prefetched == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(chunks_prefetched);
+  }
+  double coverage() const {
+    const uint64_t fetches = hits + demand_fetches;
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(fetches);
+  }
+};
+
 struct SoftCacheStats {
   // Translation activity. `blocks_translated` is the numerator of the
   // paper's software miss-rate metric (Figure 7): blocks translated divided
@@ -50,6 +78,9 @@ struct SoftCacheStats {
   // Eviction timeline: cycle timestamps of every eviction (Figure 8 bins
   // these into evictions/second).
   std::vector<uint64_t> eviction_cycles;
+
+  // Speculative-prefetch activity.
+  PrefetchStats prefetch;
 
   // MC link reliability counters.
   LinkStats net;

@@ -1,5 +1,6 @@
 #include "vm/machine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -45,6 +46,7 @@ uint32_t Machine::ReadWord(uint32_t addr) const {
 void Machine::WriteWord(uint32_t addr, uint32_t value) {
   SC_CHECK_LE(static_cast<uint64_t>(addr) + 4, mem_.size());
   std::memcpy(mem_.data() + addr, &value, 4);
+  InvalidateDecode(addr, 4);
 }
 
 void Machine::ReadBlock(uint32_t addr, void* out, uint32_t len) const {
@@ -55,6 +57,25 @@ void Machine::ReadBlock(uint32_t addr, void* out, uint32_t len) const {
 void Machine::WriteBlock(uint32_t addr, const void* bytes, uint32_t len) {
   SC_CHECK_LE(static_cast<uint64_t>(addr) + len, mem_.size());
   std::memcpy(mem_.data() + addr, bytes, len);
+  InvalidateDecode(addr, len);
+}
+
+void Machine::InvalidateDecode(uint32_t addr, uint32_t len) {
+  if (decode_cache_.empty() || len == 0) return;
+  if (exec_lo_ != exec_hi_ &&
+      (addr >= exec_hi_ || static_cast<uint64_t>(addr) + len <= exec_lo_)) {
+    return;  // outside the executable range: never fetched
+  }
+  const uint32_t first = addr >> 2;
+  const uint32_t last = (addr + len - 1) >> 2;
+  const DecodeEntry reset{0, isa::Decode(0)};
+  if (last - first + 1 >= kDecodeCacheEntries) {
+    std::fill(decode_cache_.begin(), decode_cache_.end(), reset);
+    return;
+  }
+  for (uint32_t w = first; w <= last; ++w) {
+    decode_cache_[w & kDecodeCacheMask] = reset;
+  }
 }
 
 void Machine::RaiseFault(const std::string& message) {
@@ -74,24 +95,44 @@ RunResult Machine::MakeResult(StopReason reason) {
   return r;
 }
 
+RunResult Machine::FaultHere(const char* what) {
+  std::ostringstream msg;
+  msg << what << " at pc=0x" << std::hex << pc_;
+  RaiseFault(msg.str());
+  return MakeResult(pending_stop_);
+}
+
+RunResult Machine::FaultIllegal(uint32_t word) {
+  std::ostringstream msg;
+  msg << "illegal instruction 0x" << std::hex << word << " at pc=0x" << pc_;
+  RaiseFault(msg.str());
+  return MakeResult(pending_stop_);
+}
+
+void Machine::FaultDataAddr(const char* what, uint32_t addr, uint32_t size) {
+  std::ostringstream msg;
+  msg << what << " (" << size << " bytes) at 0x" << std::hex << addr
+      << " pc=0x" << pc_;
+  RaiseFault(msg.str());
+}
+
+void Machine::FaultSyscall(int32_t number) {
+  std::ostringstream msg;
+  msg << "unknown syscall " << number << " at pc=0x" << std::hex << pc_;
+  RaiseFault(msg.str());
+}
+
 bool Machine::CheckDataAddr(uint32_t addr, uint32_t size) {
   if (addr < image::kNullGuardEnd) {
-    std::ostringstream msg;
-    msg << "null-guard data access at 0x" << std::hex << addr << " pc=0x" << pc_;
-    RaiseFault(msg.str());
+    FaultDataAddr("null-guard data access", addr, size);
     return false;
   }
   if (static_cast<uint64_t>(addr) + size > mem_.size()) {
-    std::ostringstream msg;
-    msg << "out-of-range data access at 0x" << std::hex << addr << " pc=0x" << pc_;
-    RaiseFault(msg.str());
+    FaultDataAddr("out-of-range data access", addr, size);
     return false;
   }
   if (size > 1 && addr % size != 0) {
-    std::ostringstream msg;
-    msg << "misaligned " << std::dec << size << "-byte access at 0x" << std::hex
-        << addr << " pc=0x" << pc_;
-    RaiseFault(msg.str());
+    FaultDataAddr("misaligned data access", addr, size);
     return false;
   }
   return true;
@@ -173,38 +214,41 @@ void Machine::DoSyscall(int32_t number, uint32_t* next_pc) {
                                                      regs_[isa::kA1], pc_);
       }
       break;
-    default: {
-      std::ostringstream msg;
-      msg << "unknown syscall " << number << " at pc=0x" << std::hex << pc_;
-      RaiseFault(msg.str());
+    default:
+      FaultSyscall(number);
       break;
-    }
   }
 }
 
 RunResult Machine::Run(uint64_t max_instructions) {
   if (pending_stop_ != StopReason::kRunning) return MakeResult(pending_stop_);
+  if (decode_cache_.empty()) {
+    // {0, Decode(0)} satisfies the cache invariant (instr == Decode(word)),
+    // so no separate valid bit is needed.
+    decode_cache_.assign(kDecodeCacheEntries, DecodeEntry{0, isa::Decode(0)});
+  }
 
   for (uint64_t executed = 0; executed < max_instructions; ++executed) {
     // --- Fetch ---
     if (pc_ % 4 != 0 || static_cast<uint64_t>(pc_) + 4 > mem_.size() ||
         pc_ < image::kNullGuardEnd) {
-      std::ostringstream msg;
-      msg << "bad fetch address 0x" << std::hex << pc_;
-      RaiseFault(msg.str());
-      return MakeResult(pending_stop_);
+      return FaultHere("bad fetch address");
     }
     if (exec_lo_ != exec_hi_ && (pc_ < exec_lo_ || pc_ >= exec_hi_)) {
-      std::ostringstream msg;
-      msg << "fetch outside permitted range at 0x" << std::hex << pc_;
-      RaiseFault(msg.str());
-      return MakeResult(pending_stop_);
+      return FaultHere("fetch outside permitted range");
     }
     if (fetch_observer_ != nullptr) fetch_observer_->OnFetch(pc_);
 
     uint32_t word = 0;
     std::memcpy(&word, mem_.data() + pc_, 4);
-    const Instr in = isa::Decode(word);
+    // Decode through the cache; a trap handler may rewrite code mid-step, so
+    // `in` is a copy, never a reference into the cache.
+    DecodeEntry& entry = decode_cache_[(pc_ >> 2) & kDecodeCacheMask];
+    if (entry.word != word) {
+      entry.word = word;
+      entry.instr = isa::Decode(word);
+    }
+    const Instr in = entry.instr;
     ++instret_;
     uint32_t next_pc = pc_ + 4;
 
@@ -240,12 +284,7 @@ RunResult Machine::Run(uint64_t max_instructions) {
           case AluOp::kRem:
           case AluOp::kRemu: {
             cost = cost_.div;
-            if (b == 0) {
-              std::ostringstream msg;
-              msg << "division by zero at pc=0x" << std::hex << pc_;
-              RaiseFault(msg.str());
-              return MakeResult(pending_stop_);
-            }
+            if (b == 0) return FaultHere("division by zero");
             const int32_t sa = static_cast<int32_t>(a);
             const int32_t sb = static_cast<int32_t>(b);
             // INT_MIN / -1 overflows; define it as wrapping (result INT_MIN).
@@ -435,10 +474,7 @@ RunResult Machine::Run(uint64_t max_instructions) {
 
       case Opcode::kTcMiss: {
         if (trap_handler_ == nullptr) {
-          std::ostringstream msg;
-          msg << "TCMISS with no trap handler at pc=0x" << std::hex << pc_;
-          RaiseFault(msg.str());
-          return MakeResult(pending_stop_);
+          return FaultHere("TCMISS with no trap handler");
         }
         next_pc = trap_handler_->OnTcMiss(*this, static_cast<uint32_t>(in.imm));
         if (pending_stop_ != StopReason::kRunning) return MakeResult(pending_stop_);
@@ -446,10 +482,7 @@ RunResult Machine::Run(uint64_t max_instructions) {
       }
       case Opcode::kTcJalr: {
         if (trap_handler_ == nullptr) {
-          std::ostringstream msg;
-          msg << "TCJALR with no trap handler at pc=0x" << std::hex << pc_;
-          RaiseFault(msg.str());
-          return MakeResult(pending_stop_);
+          return FaultHere("TCJALR with no trap handler");
         }
         cycles_ += cost_.jump;
         next_pc = trap_handler_->OnTcJalr(*this, in, pc_);
@@ -458,12 +491,8 @@ RunResult Machine::Run(uint64_t max_instructions) {
       }
 
       case Opcode::kIllegal:
-      default: {
-        std::ostringstream msg;
-        msg << "illegal instruction 0x" << std::hex << word << " at pc=0x" << pc_;
-        RaiseFault(msg.str());
-        return MakeResult(pending_stop_);
-      }
+      default:
+        return FaultIllegal(word);
     }
 
     pc_ = next_pc;

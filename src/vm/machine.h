@@ -192,9 +192,36 @@ class Machine {
   uint32_t TranslateData(uint32_t addr, uint32_t size, bool is_store);
   void DoSyscall(int32_t number, uint32_t* next_pc);
 
+  // Cold-path fault constructors. Building an ostringstream inlines a pile
+  // of iostream machinery into Run()'s loop; keeping these out of line makes
+  // every hot-loop failure check a compare-and-branch to a far call.
+  [[gnu::noinline, gnu::cold]] RunResult FaultHere(const char* what);
+  [[gnu::noinline, gnu::cold]] RunResult FaultIllegal(uint32_t word);
+  [[gnu::noinline, gnu::cold]] void FaultDataAddr(const char* what,
+                                                  uint32_t addr, uint32_t size);
+  [[gnu::noinline, gnu::cold]] void FaultSyscall(int32_t number);
+
+  // Decoded-instruction cache: direct-mapped on word index. An entry is
+  // trusted when its cached raw word equals the word fetched from memory —
+  // Decode is a pure function of the word, so a word match guarantees the
+  // cached Instr is correct even for index aliasing or guest stores that
+  // write mem_ directly. WriteWord/WriteBlock into the exec range also reset
+  // affected entries explicitly.
+  struct DecodeEntry {
+    uint32_t word = 0;
+    isa::Instr instr;
+  };
+  static constexpr uint32_t kDecodeCacheBits = 16;
+  static constexpr uint32_t kDecodeCacheEntries = 1u << kDecodeCacheBits;
+  static constexpr uint32_t kDecodeCacheMask = kDecodeCacheEntries - 1;
+  void InvalidateDecode(uint32_t addr, uint32_t len);
+
   std::array<uint32_t, isa::kNumRegs> regs_{};
   uint32_t pc_ = 0;
   std::vector<uint8_t> mem_;
+  // Allocated lazily on the first Run() (a Machine used only as a memory
+  // container pays nothing).
+  std::vector<DecodeEntry> decode_cache_;
   uint64_t cycles_ = 0;
   uint64_t instret_ = 0;
   CostModel cost_;

@@ -1,0 +1,391 @@
+// Speculative prefetch tests: batch payload framing, hint packing, the
+// kOff byte-identical-wire property, execution equivalence with batching
+// on (including under an unreliable transport), and staging-buffer
+// bounds/eviction behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "minicc/compiler.h"
+#include "softcache/mc.h"
+#include "softcache/protocol.h"
+#include "softcache/system.h"
+#include "tests/testing.h"
+
+namespace sc {
+namespace {
+
+using softcache::BatchChunkView;
+using softcache::MsgType;
+using softcache::PrefetchHints;
+using softcache::PrefetchPolicy;
+using softcache::SoftCacheConfig;
+using softcache::SoftCacheSystem;
+using softcache::Style;
+
+image::Image Compile(std::string_view source) {
+  auto img = minicc::CompileMiniC(source);
+  SC_CHECK(img.ok()) << img.error().ToString();
+  return std::move(*img);
+}
+
+SoftCacheConfig PrefetchConfig(Style style, PrefetchPolicy policy,
+                               uint32_t tcache_bytes = 24 * 1024) {
+  SoftCacheConfig config;
+  config.style = style;
+  config.tcache_bytes = tcache_bytes;
+  config.prefetch.policy = policy;
+  return config;
+}
+
+// A cached run plus the image it executes (SoftCacheSystem keeps a
+// reference to the image, so the two must live together).
+struct EquivalentRun {
+  std::unique_ptr<image::Image> image;
+  std::unique_ptr<SoftCacheSystem> system;
+  const softcache::SoftCacheStats& stats() const { return system->stats(); }
+};
+
+// Runs `source` natively and under `config`; requires identical exit codes
+// and output, and intact CC invariants (which include the staging-buffer
+// bookkeeping) afterwards. Returns the run for stats assertions.
+EquivalentRun ExpectEquivalent(std::string_view source,
+                               const SoftCacheConfig& config,
+                               const std::string& input = "",
+                               uint64_t max_instr = 100'000'000) {
+  EquivalentRun run;
+  run.image = std::make_unique<image::Image>(Compile(source));
+
+  std::string native_out;
+  const vm::RunResult native =
+      softcache::RunNative(*run.image, input, &native_out, max_instr);
+  EXPECT_EQ(native.reason, vm::StopReason::kHalted)
+      << "native run failed: " << native.fault_message;
+
+  run.system = std::make_unique<SoftCacheSystem>(*run.image, config);
+  run.system->SetInput(input);
+  const vm::RunResult cached = run.system->Run(max_instr);
+  EXPECT_EQ(cached.reason, vm::StopReason::kHalted)
+      << "softcache fault: " << cached.fault_message;
+  EXPECT_EQ(cached.exit_code, native.exit_code);
+  EXPECT_EQ(run.system->OutputString(), native_out);
+  run.system->cc().CheckInvariants();
+  return run;
+}
+
+constexpr const char* kCallLoopProgram = R"(
+  int leaf(int x) { return x * 3 + 1; }
+  int mid(int x) { return leaf(x) + leaf(x + 1); }
+  int top(int x) { return mid(x) + mid(x + 2); }
+  int main() {
+    int sum = 0;
+    for (int i = 0; i < 300; i++) sum += top(i) % 13;
+    return sum % 251;
+  }
+)";
+
+constexpr const char* kFibProgram = R"(
+  int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+  int main() { return fib(15); }
+)";
+
+// --- Batch payload framing ---
+
+TEST(BatchPayload, RoundTripsMultipleChunks) {
+  std::vector<uint8_t> payload;
+  const uint32_t words_a[] = {0x11111111u, 0x22222222u, 0x33333333u};
+  const uint32_t words_b[] = {0xdeadbeefu};
+  softcache::AppendBatchChunk(&payload, 0x1000, 0xa5a5a5a5u, 0x2000, words_a, 3);
+  softcache::AppendBatchChunk(&payload, 0x3000, 0x5a5a5a5au, 0x4000, words_b, 1);
+  softcache::AppendBatchChunk(&payload, 0x5000, 0, 0, nullptr, 0);
+
+  auto parsed = softcache::ParseBatchPayload(payload, 3);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  const BatchChunkView& a = (*parsed)[0];
+  EXPECT_EQ(a.addr, 0x1000u);
+  EXPECT_EQ(a.aux, 0xa5a5a5a5u);
+  EXPECT_EQ(a.extra, 0x2000u);
+  ASSERT_EQ(a.nwords, 3u);
+  uint32_t word = 0;
+  std::memcpy(&word, a.words + 4, 4);
+  EXPECT_EQ(word, 0x22222222u);
+  EXPECT_EQ((*parsed)[1].nwords, 1u);
+  EXPECT_EQ((*parsed)[2].nwords, 0u);
+  EXPECT_EQ((*parsed)[2].addr, 0x5000u);
+}
+
+TEST(BatchPayload, RejectsMalformedPayloads) {
+  std::vector<uint8_t> payload;
+  const uint32_t words[] = {1, 2};
+  softcache::AppendBatchChunk(&payload, 0x1000, 0, 0, words, 2);
+
+  // Count demands more records than the payload holds.
+  EXPECT_FALSE(softcache::ParseBatchPayload(payload, 2).ok());
+
+  // Truncated sub-chunk header.
+  std::vector<uint8_t> shorty(payload.begin(), payload.begin() + 8);
+  EXPECT_FALSE(softcache::ParseBatchPayload(shorty, 1).ok());
+
+  // nwords claims more words than remain (overflow-safe check).
+  std::vector<uint8_t> lying = payload;
+  lying[12] = 0xff;
+  lying[13] = 0xff;
+  lying[14] = 0xff;
+  lying[15] = 0xff;
+  EXPECT_FALSE(softcache::ParseBatchPayload(lying, 1).ok());
+
+  // Trailing bytes after the declared records.
+  std::vector<uint8_t> trailing = payload;
+  trailing.push_back(0);
+  EXPECT_FALSE(softcache::ParseBatchPayload(trailing, 1).ok());
+
+  // Empty payload with zero count is fine.
+  EXPECT_TRUE(softcache::ParseBatchPayload({}, 0).ok());
+}
+
+TEST(BatchPayload, HintsPackRoundTripAndClamp) {
+  PrefetchHints h;
+  h.policy = 2;
+  h.depth = 3;
+  h.max_chunks = 17;
+  h.byte_budget = 4096;
+  const PrefetchHints back =
+      softcache::UnpackPrefetchHints(softcache::PackPrefetchHints(h));
+  EXPECT_EQ(back.policy, 2u);
+  EXPECT_EQ(back.depth, 3u);
+  EXPECT_EQ(back.max_chunks, 17u);
+  EXPECT_EQ(back.byte_budget, 4096u);
+
+  // Oversized fields clamp to their field widths instead of corrupting
+  // neighbours.
+  PrefetchHints big;
+  big.policy = 99;
+  big.depth = 77;
+  big.max_chunks = 100'000;
+  big.byte_budget = 1 << 20;
+  const PrefetchHints clamped =
+      softcache::UnpackPrefetchHints(softcache::PackPrefetchHints(big));
+  EXPECT_EQ(clamped.policy, 15u);
+  EXPECT_EQ(clamped.depth, 15u);
+  EXPECT_EQ(clamped.max_chunks, 255u);
+  EXPECT_EQ(clamped.byte_budget, 0xffffu);
+
+  // Policy off with no budgets packs to the seed protocol's zero.
+  EXPECT_EQ(softcache::PackPrefetchHints(PrefetchHints{}), 0u);
+}
+
+// --- kOff wire-compatibility property ---
+
+// Golden re-encoders, written out longhand from the protocol spec (PROTOCOL
+// section "frame formats") so a serializer regression can't hide behind its
+// own Parse.
+void GoldenPutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GoldenFnv(const uint8_t* data, size_t len, uint32_t basis) {
+  uint32_t hash = basis;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> GoldenRequest(uint32_t type, uint32_t seq, uint32_t addr,
+                                   uint32_t length,
+                                   const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  GoldenPutU32(out, 0x53434d43u);  // "SCMC"
+  GoldenPutU32(out, type);
+  GoldenPutU32(out, seq);
+  GoldenPutU32(out, addr);
+  GoldenPutU32(out, length);
+  GoldenPutU32(out, GoldenFnv(payload.data(), payload.size(),
+                              GoldenFnv(out.data(), 20, 2166136261u)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> GoldenReply(uint32_t type, uint32_t seq, uint32_t addr,
+                                 uint32_t aux, uint32_t extra,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  GoldenPutU32(out, 0x53434d43u);
+  GoldenPutU32(out, type);
+  GoldenPutU32(out, seq);
+  GoldenPutU32(out, addr);
+  GoldenPutU32(out, aux);
+  GoldenPutU32(out, static_cast<uint32_t>(payload.size()));
+  GoldenPutU32(out, extra);
+  GoldenPutU32(out, GoldenFnv(out.data(), 28, 2166136261u));
+  out.insert(out.end(), payload.begin(), payload.end());
+  GoldenPutU32(out, GoldenFnv(payload.data(), payload.size(), 2166136261u));
+  return out;
+}
+
+// With prefetch off, every frame that crosses the wire must be exactly what
+// the seed protocol would have produced: chunk requests carry length == 0,
+// no kChunkBatchReply ever appears, and re-encoding each parsed frame with
+// the golden encoders reproduces the tapped bytes bit for bit.
+TEST(PrefetchOffProperty, WireTrafficIsByteIdenticalToSeedProtocol) {
+  const image::Image img = Compile(kCallLoopProgram);
+  SoftCacheConfig config = PrefetchConfig(Style::kSparc, PrefetchPolicy::kOff);
+
+  SoftCacheSystem system(img, config);
+  uint64_t frames = 0;
+  uint64_t chunk_requests = 0;
+  system.mc().set_frame_tap([&](const std::vector<uint8_t>& request_bytes,
+                                const std::vector<uint8_t>& reply_bytes) {
+    ++frames;
+    auto request = softcache::Request::Parse(request_bytes);
+    ASSERT_TRUE(request.ok()) << request.error().ToString();
+    if (request->type == MsgType::kChunkRequest) {
+      ++chunk_requests;
+      // The seed protocol leaves `length` zero on chunk requests; kOff must
+      // not smuggle hints into it.
+      EXPECT_EQ(request->length, 0u);
+    }
+    EXPECT_EQ(GoldenRequest(static_cast<uint32_t>(request->type), request->seq,
+                            request->addr, request->length, request->payload),
+              request_bytes);
+
+    auto reply = softcache::Reply::Parse(reply_bytes);
+    ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+    EXPECT_NE(reply->type, MsgType::kChunkBatchReply)
+        << "kOff produced a batched reply";
+    EXPECT_EQ(GoldenReply(static_cast<uint32_t>(reply->type), reply->seq,
+                          reply->addr, reply->aux, reply->extra,
+                          reply->payload),
+              reply_bytes);
+  });
+
+  const vm::RunResult result = system.Run(100'000'000);
+  EXPECT_EQ(result.reason, vm::StopReason::kHalted)
+      << result.fault_message;
+  EXPECT_GT(frames, 0u);
+  EXPECT_GT(chunk_requests, 0u);
+
+  // kOff does zero speculative work on either side of the link.
+  const softcache::PrefetchStats& ps = system.stats().prefetch;
+  EXPECT_EQ(ps.batches, 0u);
+  EXPECT_EQ(ps.chunks_prefetched, 0u);
+  EXPECT_EQ(ps.staged, 0u);
+  EXPECT_EQ(ps.hits, 0u);
+  EXPECT_EQ(system.mc().batches_served(), 0u);
+}
+
+// --- Execution equivalence with batching on ---
+
+TEST(PrefetchEquivalence, SparcNextN) {
+  const EquivalentRun run = ExpectEquivalent(
+      kCallLoopProgram, PrefetchConfig(Style::kSparc, PrefetchPolicy::kNextN));
+  const softcache::PrefetchStats& ps = run.stats().prefetch;
+  EXPECT_GT(ps.batches, 0u);
+  EXPECT_GT(ps.chunks_prefetched, 0u);
+  EXPECT_GT(ps.hits, 0u);
+}
+
+TEST(PrefetchEquivalence, SparcTemperature) {
+  const EquivalentRun run = ExpectEquivalent(
+      kFibProgram, PrefetchConfig(Style::kSparc, PrefetchPolicy::kTemperature));
+  EXPECT_GT(run.stats().prefetch.batches, 0u);
+  // The MC learned demand counts for the chunks the client asked for.
+  softcache::MemoryController& mc = run.system->mc();
+  EXPECT_GT(mc.Temperature(mc.image().entry), 0u);
+}
+
+TEST(PrefetchEquivalence, ArmProcedureChunks) {
+  const EquivalentRun run = ExpectEquivalent(
+      kCallLoopProgram, PrefetchConfig(Style::kArm, PrefetchPolicy::kNextN));
+  EXPECT_GT(run.stats().prefetch.batches, 0u);
+}
+
+TEST(PrefetchEquivalence, PrefetchSavesRoundTrips) {
+  const image::Image img = Compile(kCallLoopProgram);
+
+  SoftCacheConfig off = PrefetchConfig(Style::kSparc, PrefetchPolicy::kOff);
+  SoftCacheSystem sys_off(img, off);
+  ASSERT_EQ(sys_off.Run(100'000'000).reason, vm::StopReason::kHalted);
+
+  SoftCacheConfig on = PrefetchConfig(Style::kSparc, PrefetchPolicy::kNextN);
+  SoftCacheSystem sys_on(img, on);
+  ASSERT_EQ(sys_on.Run(100'000'000).reason, vm::StopReason::kHalted);
+
+  EXPECT_EQ(sys_on.OutputString(), sys_off.OutputString());
+  // Every staging hit is a round trip the kOff run had to pay for.
+  EXPECT_LT(sys_on.stats().net.requests, sys_off.stats().net.requests);
+}
+
+// --- Batched replies under an unreliable transport ---
+
+TEST(PrefetchFaulty, BatchedRepliesSurviveDropCorruptDuplicate) {
+  SoftCacheConfig config =
+      PrefetchConfig(Style::kSparc, PrefetchPolicy::kNextN);
+  config.fault.seed = 42;
+  config.fault.drop = 0.2;
+  config.fault.corrupt = 0.15;
+  config.fault.duplicate = 0.15;
+
+  const EquivalentRun run = ExpectEquivalent(kCallLoopProgram, config);
+  // The run recovered through retransmission, and batching stayed active
+  // through the faults.
+  EXPECT_GT(run.stats().net.retries, 0u);
+  EXPECT_GT(run.stats().prefetch.batches, 0u);
+}
+
+TEST(PrefetchFaulty, TemperatureUnderFaultsMatchesNative) {
+  SoftCacheConfig config =
+      PrefetchConfig(Style::kSparc, PrefetchPolicy::kTemperature);
+  config.fault.seed = 7;
+  config.fault.drop = 0.08;
+  config.fault.corrupt = 0.04;
+  ExpectEquivalent(kFibProgram, config);
+}
+
+// --- Staging buffer bounds ---
+
+TEST(PrefetchStaging, TinyBufferEvictsAndStaysCorrect) {
+  SoftCacheConfig config =
+      PrefetchConfig(Style::kSparc, PrefetchPolicy::kNextN);
+  // Room for roughly one small chunk: later prefetches must evict or drop,
+  // never overflow (CheckInvariants enforces the byte bound).
+  config.prefetch.staging_bytes = 96;
+  config.prefetch.max_chunks = 8;
+
+  const EquivalentRun run = ExpectEquivalent(kCallLoopProgram, config);
+  const softcache::PrefetchStats& ps = run.stats().prefetch;
+  EXPECT_GT(ps.staged, 0u);
+  EXPECT_GT(ps.evictions + ps.dropped, 0u);
+}
+
+TEST(PrefetchStaging, EvictionPressureUnderSmallTcache) {
+  // A tcache holding only half the program's peak footprint forces block
+  // eviction and re-fetch; staged chunks must never shadow stale text
+  // (OnIcacheInvalidate drops overlapping stages).
+  const image::Image img = Compile(kCallLoopProgram);
+  SoftCacheConfig probe =
+      PrefetchConfig(Style::kSparc, PrefetchPolicy::kNextN);
+  uint64_t peak = 0;
+  {
+    SoftCacheSystem system(img, probe);
+    ASSERT_EQ(system.Run(100'000'000).reason, vm::StopReason::kHalted);
+    peak = system.stats().tcache_bytes_used_peak;
+    ASSERT_GT(peak, 0u);
+  }
+  SoftCacheConfig tiny = probe;
+  tiny.tcache_bytes =
+      std::max(static_cast<uint32_t>(peak / 2) & ~3u, 256u);
+  const EquivalentRun run = ExpectEquivalent(kCallLoopProgram, tiny);
+  EXPECT_GT(run.stats().evictions + run.stats().flushes, 0u);
+}
+
+}  // namespace
+}  // namespace sc
