@@ -90,10 +90,8 @@ int main() {
     if (result.reason != vm::StopReason::kHalted) break;  // chunk > cache
     const uint64_t lo = result.cycles * 20 / 100;
     const uint64_t hi = result.cycles * 80 / 100;
-    uint64_t mid_evictions = 0;
-    for (const uint64_t c : system.stats().eviction_cycles) {
-      if (c >= lo && c < hi) ++mid_evictions;
-    }
+    const uint64_t mid_evictions =
+        system.stats().eviction_timeline.CountInRange(lo, hi);
     const double mid_rate = static_cast<double>(mid_evictions) /
                             (static_cast<double>(hi - lo) / kClockHz);
     sweep.push_back({size, mid_rate});
@@ -135,10 +133,24 @@ int main() {
     constexpr int kBins = 20;
     const double bin_seconds = std::max(kBinSeconds, total_seconds / kBins);
     std::vector<int> counts(kBins, 0);
-    for (const uint64_t cycle : run.stats.eviction_cycles) {
-      const int bin = static_cast<int>(static_cast<double>(cycle) /
-                                       static_cast<double>(kClockHz) / bin_seconds);
-      counts[static_cast<size_t>(std::min(bin, kBins - 1))]++;
+    const obs::Timeline& timeline = run.stats.eviction_timeline;
+    if (!timeline.collapsed()) {
+      for (const uint64_t cycle : timeline.samples()) {
+        const int bin = static_cast<int>(static_cast<double>(cycle) /
+                                         static_cast<double>(kClockHz) / bin_seconds);
+        counts[static_cast<size_t>(std::min(bin, kBins - 1))]++;
+      }
+    } else {
+      // A run with >64k evictions only has bin-resolution timestamps left;
+      // attribute each timeline bin to the display bin holding its midpoint.
+      const uint64_t bin_cycles =
+          static_cast<uint64_t>(bin_seconds * static_cast<double>(kClockHz));
+      for (int bin = 0; bin < kBins; ++bin) {
+        const uint64_t lo = static_cast<uint64_t>(bin) * bin_cycles;
+        const uint64_t hi = bin == kBins - 1 ? UINT64_MAX : lo + bin_cycles;
+        counts[static_cast<size_t>(bin)] +=
+            static_cast<int>(timeline.CountInRange(lo, hi));
+      }
     }
     std::printf("\nCC memory = %u B  [%s]  run = %.1fs, %llu evictions total\n",
                 mem.bytes, mem.label, total_seconds,

@@ -4,13 +4,25 @@
 // (the SPARC prototype's configuration), and (c) software I-cache +
 // software D-cache + scache (Sections 2 and 3 combined), reporting
 // end-to-end relative time and the residual client memory footprint.
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "bench/bench_util.h"
 #include "dcache/dcache.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 using namespace sc;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics=FILE: after the table, dump the last workload's full metrics
+  // registry (the i+d system) as JSON.
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) metrics_path = argv[i] + 10;
+  }
+
   bench::PrintHeader(
       "Full system: software I-cache + software D-cache on one client",
       "Sections 2 + 3 combined (the paper's complete design)");
@@ -45,6 +57,14 @@ int main() {
     const vm::RunResult full = system.Run(16'000'000'000ull);
     SC_CHECK(full.reason == vm::StopReason::kHalted) << full.fault_message;
     data_cache.FlushAll();
+
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry registry;
+      system.RegisterMetrics(&registry);
+      std::ofstream out(metrics_path);
+      SC_CHECK(out.good()) << "cannot write " << metrics_path;
+      out << registry.ToJson() << "\n";
+    }
 
     const auto& ds = data_cache.stats();
     const uint64_t local_mem = system.stats().tcache_bytes_used_peak +

@@ -24,6 +24,7 @@ void FaultyTransport::FlipRandomBit(std::vector<uint8_t>* frame) {
 
 uint64_t FaultyTransport::Send(const std::vector<uint8_t>& frame) {
   ++stats_.frames_sent;
+  OBS_INSTANT("net", "tx", "bytes", static_cast<uint64_t>(frame.size()));
   const uint64_t cycles = channel_.SendToServer(frame.size());
   DeliverToServer(frame);
   if (Roll(config_.duplicate)) {
@@ -37,11 +38,13 @@ uint64_t FaultyTransport::Send(const std::vector<uint8_t>& frame) {
 void FaultyTransport::DeliverToServer(const std::vector<uint8_t>& frame) {
   if (Roll(config_.drop)) {
     ++stats_.frames_dropped;
+    OBS_INSTANT("net", "drop", "bytes", static_cast<uint64_t>(frame.size()));
     return;
   }
   std::vector<uint8_t> copy = frame;
   if (Roll(config_.corrupt)) {
     ++stats_.frames_corrupted;
+    OBS_INSTANT("net", "corrupt", "bytes", static_cast<uint64_t>(copy.size()));
     FlipRandomBit(&copy);
   }
   DeliverToClient(handler_(copy));
@@ -59,14 +62,18 @@ void FaultyTransport::DeliverToClient(const std::vector<uint8_t>& frame) {
     in.cycles = channel_.SendToClient(frame.size());
     if (Roll(config_.drop)) {
       ++stats_.frames_dropped;
+      OBS_INSTANT("net", "drop", "bytes", static_cast<uint64_t>(frame.size()));
       continue;
     }
     if (Roll(config_.corrupt)) {
       ++stats_.frames_corrupted;
+      OBS_INSTANT("net", "corrupt",
+                  "bytes", static_cast<uint64_t>(in.frame.size()));
       FlipRandomBit(&in.frame);
     }
     if (Roll(config_.delay)) {
       ++stats_.frames_delayed;
+      OBS_INSTANT("net", "delay", "extra_cycles", config_.delay_cycles);
       in.cycles += config_.delay_cycles;
     }
     inbox_.push_back(std::move(in));
@@ -79,6 +86,7 @@ bool FaultyTransport::Recv(std::vector<uint8_t>* frame, uint64_t* cycles) {
   *cycles = inbox_.front().cycles;
   inbox_.pop_front();
   ++stats_.frames_delivered;
+  OBS_INSTANT("net", "rx", "bytes", static_cast<uint64_t>(frame->size()));
   return true;
 }
 

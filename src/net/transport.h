@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace sc::net {
@@ -86,6 +87,7 @@ class LoopbackTransport : public Transport {
 
   uint64_t Send(const std::vector<uint8_t>& frame) override {
     ++stats_.frames_sent;
+    OBS_INSTANT("net", "tx", "bytes", static_cast<uint64_t>(frame.size()));
     const uint64_t cycles = channel_.SendToServer(frame.size());
     inbox_.push_back(handler_(frame));
     return cycles;
@@ -97,6 +99,7 @@ class LoopbackTransport : public Transport {
     inbox_.pop_front();
     *cycles = channel_.SendToClient(frame->size());
     ++stats_.frames_delivered;
+    OBS_INSTANT("net", "rx", "bytes", static_cast<uint64_t>(frame->size()));
     return true;
   }
 

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/log.h"
+
+namespace sc::obs {
+namespace {
+
+Tracer* g_tracer = nullptr;
+
+const char* PhaseName(Phase ph) {
+  switch (ph) {
+    case Phase::kBegin: return "B";
+    case Phase::kEnd: return "E";
+    case Phase::kInstant: return "i";
+  }
+  return "i";
+}
+
+// Event names and categories are string literals under our control, but
+// escape anyway so the output is valid JSON no matter what.
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteEvent(std::ostream& out, const TraceEvent& event, Phase ph,
+                uint64_t ts) {
+  out << "{\"name\":";
+  WriteJsonString(out, event.name);
+  out << ",\"cat\":";
+  WriteJsonString(out, event.cat);
+  out << ",\"ph\":\"" << PhaseName(ph) << "\",\"pid\":0,\"tid\":0,\"ts\":" << ts;
+  if (ph == Phase::kInstant) out << ",\"s\":\"t\"";
+  if (event.arg_count > 0 && ph != Phase::kEnd) {
+    out << ",\"args\":{";
+    for (uint8_t i = 0; i < event.arg_count; ++i) {
+      if (i > 0) out << ',';
+      WriteJsonString(out, event.arg_name[i]);
+      out << ':' << event.arg_val[i];
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void SetTracer(Tracer* tracer) { g_tracer = tracer; }
+Tracer* tracer() { return g_tracer; }
+
+void EnsureEchoTracerForLogging() {
+  if (g_tracer != nullptr) return;
+  if (!util::LogEnabled(util::LogLevel::kTrace)) return;
+  // Process-lifetime, echo-only (no ring): events become log lines and
+  // nothing is buffered.
+  static Tracer echo_tracer;
+  echo_tracer.set_echo_log(true);
+  g_tracer = &echo_tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  if (ring_.size() != capacity) {
+    ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+  }
+  enabled_ = true;
+}
+
+void Tracer::Record(Phase ph, const char* cat, const char* name, uint8_t nargs,
+                    const char* a0, uint64_t v0, const char* a1, uint64_t v1) {
+  if (!enabled() ) return;
+  ++seq_;
+  TraceEvent event;
+  event.ts = Now();
+  event.name = name;
+  event.cat = cat;
+  event.ph = ph;
+  event.arg_count = nargs;
+  event.arg_name[0] = a0;
+  event.arg_val[0] = v0;
+  event.arg_name[1] = a1;
+  event.arg_val[1] = v1;
+  if (echo_log_ && util::LogEnabled(util::LogLevel::kTrace)) {
+    std::ostringstream line;
+    line << event.cat << '.' << event.name << ' ' << PhaseName(ph) << " ts="
+         << event.ts;
+    for (uint8_t i = 0; i < nargs; ++i) {
+      line << ' ' << event.arg_name[i] << '=' << event.arg_val[i];
+    }
+    util::LogLine(util::LogLevel::kTrace, line.str());
+  }
+  if (!enabled_ || ring_.empty()) return;  // echo-only tracer: no buffering
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;  // overwrote the oldest event
+  }
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(count_);
+  const size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    events.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return events;
+}
+
+void Tracer::ExportChromeJson(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const TraceEvent& event, Phase ph,
+                                   uint64_t ts) {
+    if (!first) out << ",\n";
+    first = false;
+    WriteEvent(out, event, ph, ts);
+  };
+  // Re-balance: a wrapped ring may start with E events whose B was
+  // overwritten — skip those; spans still open at the end are closed at the
+  // last timestamp so the stream always nests.
+  std::vector<const TraceEvent*> open;
+  uint64_t last_ts = 0;
+  for (const TraceEvent& event : events) {
+    last_ts = event.ts;
+    switch (event.ph) {
+      case Phase::kBegin:
+        open.push_back(&event);
+        emit(event, Phase::kBegin, event.ts);
+        break;
+      case Phase::kEnd:
+        if (open.empty()) continue;  // orphan from a wrapped ring
+        open.pop_back();
+        emit(event, Phase::kEnd, event.ts);
+        break;
+      case Phase::kInstant:
+        emit(event, Phase::kInstant, event.ts);
+        break;
+    }
+  }
+  for (size_t i = open.size(); i > 0; --i) {
+    emit(*open[i - 1], Phase::kEnd, last_ts);
+  }
+  out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+      << "\"clock\":\"guest cycles (1 trace us = 1 cycle)\","
+      << "\"dropped_events\":" << dropped_ << "}}";
+}
+
+}  // namespace sc::obs

@@ -1,0 +1,194 @@
+// Structured event tracing: a low-overhead, ring-buffered recorder for
+// spans (B/E pairs) and instant events, timestamped in guest cycles, with a
+// Chrome trace-event JSON exporter (loadable in chrome://tracing and
+// Perfetto).
+//
+// Design constraints, in priority order:
+//   * Zero cost when off. Every instrumentation site compiles to one load
+//     of the global tracer pointer and a branch; no allocation, no
+//     formatting, no string copies happen unless a tracer is installed and
+//     enabled. A test asserts that cycle counts and every stats counter are
+//     bit-identical with tracing on and off (observation never charges
+//     guest cycles).
+//   * Bounded memory. Events land in a fixed-capacity ring buffer
+//     preallocated at Enable(); when the ring wraps, the oldest events are
+//     overwritten and counted in dropped_events(). Event names/categories
+//     must be string literals (the ring stores the pointers).
+//   * Honest export. The exporter re-balances the span stream so the JSON
+//     always contains properly nested B/E pairs: orphan E events from a
+//     wrapped ring are skipped, and spans still open at export time are
+//     closed at the last recorded timestamp.
+//
+// The simulator is single-threaded, so there is exactly one (optional)
+// global tracer and no locking. Timestamps come from an external clock
+// pointer — normally vm::Machine's cycle counter — so the whole
+// client/server timeline shares the client's notion of time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sc::obs {
+
+enum class Phase : uint8_t {
+  kBegin,    // Chrome "B"
+  kEnd,      // Chrome "E"
+  kInstant,  // Chrome "i"
+};
+
+// One recorded event. `name` and `cat` must point at string literals (or
+// other storage outliving the tracer); up to two integer args ride along.
+struct TraceEvent {
+  uint64_t ts = 0;  // guest cycles
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* arg_name[2] = {nullptr, nullptr};
+  uint64_t arg_val[2] = {0, 0};
+  Phase ph = Phase::kInstant;
+  uint8_t arg_count = 0;
+};
+
+class Tracer {
+ public:
+  // A tracer starts disabled; Enable() preallocates the ring.
+  Tracer() = default;
+
+  // Preallocates a ring of `capacity` events and starts recording.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_ || echo_log_; }
+  bool recording() const { return enabled_; }
+
+  // Timestamp source (usually &machine.cycles()'s storage, via
+  // vm::Machine::cycles_counter()). Null falls back to an event sequence
+  // number, which still orders events correctly.
+  void SetClockSource(const uint64_t* cycles) { clock_ = cycles; }
+
+  // Echo mode: every recorded event is additionally emitted as one
+  // SOFTCACHE_LOG trace-level log line. This is the single source of
+  // miss-path trace logging — instrumentation sites emit exactly once, so
+  // enabling logs and tracing together never double-reports.
+  void set_echo_log(bool echo) { echo_log_ = echo; }
+  bool echo_log() const { return echo_log_; }
+
+  void Begin(const char* cat, const char* name) { Record(Phase::kBegin, cat, name, 0, nullptr, 0, nullptr, 0); }
+  void Begin(const char* cat, const char* name, const char* a0, uint64_t v0) {
+    Record(Phase::kBegin, cat, name, 1, a0, v0, nullptr, 0);
+  }
+  void Begin(const char* cat, const char* name, const char* a0, uint64_t v0,
+             const char* a1, uint64_t v1) {
+    Record(Phase::kBegin, cat, name, 2, a0, v0, a1, v1);
+  }
+  void End(const char* cat, const char* name) { Record(Phase::kEnd, cat, name, 0, nullptr, 0, nullptr, 0); }
+  void Instant(const char* cat, const char* name) { Record(Phase::kInstant, cat, name, 0, nullptr, 0, nullptr, 0); }
+  void Instant(const char* cat, const char* name, const char* a0, uint64_t v0) {
+    Record(Phase::kInstant, cat, name, 1, a0, v0, nullptr, 0);
+  }
+  void Instant(const char* cat, const char* name, const char* a0, uint64_t v0,
+               const char* a1, uint64_t v1) {
+    Record(Phase::kInstant, cat, name, 2, a0, v0, a1, v1);
+  }
+
+  size_t recorded_events() const { return ring_.size() == 0 ? 0 : count_; }
+  uint64_t dropped_events() const { return dropped_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Events in recording order (oldest first), after any ring wrap.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
+  // Timestamps are exported as-is: 1 trace "microsecond" == 1 guest cycle.
+  // The stream is always valid JSON with balanced, properly nested B/E
+  // pairs (see class comment).
+  void ExportChromeJson(std::ostream& out) const;
+
+  static constexpr size_t kDefaultCapacity = 1u << 18;
+
+ private:
+  void Record(Phase ph, const char* cat, const char* name, uint8_t nargs,
+              const char* a0, uint64_t v0, const char* a1, uint64_t v1);
+  uint64_t Now() { return clock_ != nullptr ? *clock_ : seq_; }
+
+  bool enabled_ = false;
+  bool echo_log_ = false;
+  const uint64_t* clock_ = nullptr;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;    // next write position
+  size_t count_ = 0;   // live events in the ring (<= ring_.size())
+  uint64_t dropped_ = 0;
+  uint64_t seq_ = 0;   // fallback clock + total event ordinal
+};
+
+// Global tracer registration. Instrumentation sites call tracer() and
+// no-op on nullptr; the owner (srun, a test, a bench) installs a tracer for
+// the duration of a run and removes it afterwards.
+void SetTracer(Tracer* tracer);
+Tracer* tracer();
+
+// Installs a process-lifetime echo-only tracer when SOFTCACHE_LOG is at
+// trace level and no tracer is installed yet, so `SOFTCACHE_LOG=3` alone
+// (no --trace file) still prints the miss-path event stream as log lines.
+// Called from SoftCacheSystem; harmless to call repeatedly.
+void EnsureEchoTracerForLogging();
+
+// RAII span: records B at construction and E at destruction iff a tracer is
+// installed and enabled at construction time.
+class SpanGuard {
+ public:
+  SpanGuard(const char* cat, const char* name) {
+    Tracer* t = obs::tracer();
+    if (t != nullptr && t->enabled()) {
+      t->Begin(cat, name);
+      tracer_ = t;
+      cat_ = cat;
+      name_ = name;
+    }
+  }
+  SpanGuard(const char* cat, const char* name, const char* a0, uint64_t v0) {
+    Tracer* t = obs::tracer();
+    if (t != nullptr && t->enabled()) {
+      t->Begin(cat, name, a0, v0);
+      tracer_ = t;
+      cat_ = cat;
+      name_ = name;
+    }
+  }
+  SpanGuard(const char* cat, const char* name, const char* a0, uint64_t v0,
+            const char* a1, uint64_t v1) {
+    Tracer* t = obs::tracer();
+    if (t != nullptr && t->enabled()) {
+      t->Begin(cat, name, a0, v0, a1, v1);
+      tracer_ = t;
+      cat_ = cat;
+      name_ = name;
+    }
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->End(cat_, name_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+}  // namespace sc::obs
+
+// Convenience macros. OBS_SPAN introduces a scope-long span; OBS_INSTANT
+// records a point event. Both are a pointer load + branch when tracing is
+// off.
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+#define OBS_SPAN(...) \
+  ::sc::obs::SpanGuard OBS_CONCAT(obs_span_, __LINE__)(__VA_ARGS__)
+#define OBS_INSTANT(...)                                    \
+  do {                                                      \
+    ::sc::obs::Tracer* obs_t_ = ::sc::obs::tracer();        \
+    if (obs_t_ != nullptr && obs_t_->enabled()) {           \
+      obs_t_->Instant(__VA_ARGS__);                         \
+    }                                                       \
+  } while (0)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "image/layout.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -20,6 +21,11 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
       config_(config),
       link_(MakeMcTransport(mc, channel, config.fault), config.retry,
             &stats_.net),
+      // Miss-handling latency spread: one bucket per 512 cycles covers the
+      // loopback round trip (~12k cycles) with room for retry storms; worse
+      // misses clamp into the last bucket.
+      miss_latency_(0, 65536, 128),
+      fetch_counts_(256),
       // Flat-table sizing: typical translated blocks run well past 16 bytes
       // (body + exit slots), so tcache_bytes/16 covers the realistic resident
       // population (the table still grows for degenerate one-word blocks);
@@ -82,10 +88,18 @@ Chunk ChunkFromWire(uint32_t addr, uint32_t aux, uint32_t extra,
 }  // namespace
 
 util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
+  OBS_SPAN("cc", "fetch", "orig", orig_pc);
+  // Per-chunk heat: how often this client demanded each chunk start.
+  if (uint32_t* heat = fetch_counts_.Find(orig_pc)) {
+    ++*heat;
+  } else {
+    fetch_counts_.Put(orig_pc, 1);
+  }
   // A staged prefetched chunk answers the miss with zero round trips.
   Chunk staged;
   if (TakeStaged(orig_pc, &staged)) {
     ++stats_.prefetch.hits;
+    OBS_INSTANT("prefetch", "hit", "orig", orig_pc);
     return staged;
   }
 
@@ -168,13 +182,16 @@ void CacheController::StageChunk(Chunk&& chunk) {
       staged_.count(chunk.orig_addr) != 0 ||
       cost > config_.prefetch.staging_bytes) {
     ++stats_.prefetch.dropped;
+    OBS_INSTANT("prefetch", "drop", "orig", chunk.orig_addr);
     return;
   }
   while (staged_bytes_ + cost > config_.prefetch.staging_bytes) {
     SC_CHECK(!staged_fifo_.empty());
+    OBS_INSTANT("prefetch", "evict_staged", "orig", staged_fifo_.front());
     UnstageAt(staged_fifo_.front());
     ++stats_.prefetch.evictions;
   }
+  OBS_INSTANT("prefetch", "stage", "orig", chunk.orig_addr, "bytes", cost);
   staged_fifo_.push_back(chunk.orig_addr);
   staged_bytes_ += cost;
   staged_.emplace(chunk.orig_addr, std::move(chunk));
@@ -218,24 +235,31 @@ void CacheController::DropStagedRange(uint32_t addr, uint32_t len) {
     }
   }
   for (uint32_t start : victims) {
+    OBS_INSTANT("prefetch", "invalidate", "orig", start);
     UnstageAt(start);
     ++stats_.prefetch.invalidated;
   }
 }
 
 CacheController::Block* CacheController::Translate(uint32_t orig_pc) {
+  OBS_SPAN("cc", "translate", "orig", orig_pc);
   auto chunk = FetchChunk(orig_pc);
   if (!chunk.ok()) {
     Fail(chunk.error().message);
     return nullptr;
   }
-  Block* block = config_.style == Style::kSparc ? InstallSparc(*chunk)
-                                                : InstallArm(*chunk);
+  Block* block = nullptr;
+  {
+    OBS_SPAN("cc", "install", "orig", chunk->orig_addr);
+    block = config_.style == Style::kSparc ? InstallSparc(*chunk)
+                                           : InstallArm(*chunk);
+  }
   if (block != nullptr) {
     ++stats_.blocks_translated;
     stats_.words_installed += block->tc_bytes / 4;
     Charge(static_cast<uint64_t>(config_.cost.install_cycles_per_word) *
            (block->tc_bytes / 4));
+    occupancy_.Add(machine_.cycles(), live_bytes_);
   }
   return block;
 }
@@ -459,7 +483,7 @@ CacheController::Block* CacheController::InstallArm(const Chunk& chunk) {
         // eviction, so take its statistics back.
         EvictBlock(blk.id);
         --stats_.evictions;
-        stats_.eviction_cycles.pop_back();
+        stats_.eviction_timeline.RemoveLast(machine_.cycles());
         return nullptr;
       }
       machine_.WriteWord(tc_pc, isa::EncI(Opcode::kLui, isa::kRa, 0,
@@ -665,7 +689,9 @@ void CacheController::EvictBlock(uint64_t block_id) {
   live_bytes_ -= block.tc_bytes;
   stats_.extra_words_live -= block.slot_words;
   ++stats_.evictions;
-  stats_.eviction_cycles.push_back(machine_.cycles());
+  stats_.eviction_timeline.Add(machine_.cycles());
+  occupancy_.Add(machine_.cycles(), live_bytes_);
+  OBS_INSTANT("cc", "evict", "orig", block.orig_addr, "bytes", block.tc_bytes);
 
 #ifdef SOFTCACHE_DEBUG_SCAN
   {
@@ -691,6 +717,7 @@ void CacheController::EvictBlock(uint64_t block_id) {
 }
 
 void CacheController::FlushAll() {
+  OBS_SPAN("cc", "flush_all");
   ++stats_.flushes;
   std::vector<uint64_t> victims;
   for (const auto& [tc, block] : blocks_) {
@@ -752,6 +779,7 @@ void CacheController::LinkEdge(const StubInfo& stub, Block& target,
       break;
   }
   ++stats_.patches_applied;
+  OBS_INSTANT("cc", "patch", "addr", stub.patch_addr, "target", target_tc);
   target.in_edges.push_back(InEdge{stub.from_block, stub.patch_addr, stub.kind,
                                    stub.miss_slot, stub.target_orig});
   if (stub.from_block != 0) {
@@ -783,6 +811,7 @@ void CacheController::UnlinkEdge(const InEdge& edge) {
                outs.end());
   }
   ++stats_.patches_applied;
+  OBS_INSTANT("cc", "unpatch", "addr", edge.patch_addr);
 }
 
 uint32_t CacheController::ForwardCell(uint32_t cont_orig, uint32_t known_tc,
@@ -897,6 +926,7 @@ void CacheController::FixStaleReturnAddresses(const Block& block) {
 
 uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
                                              uint32_t len, uint32_t pc) {
+  OBS_SPAN("cc", "icache_invalidate", "addr", addr, "len", len);
   // Self-modifying code contract (the paper: "self-modifying programs must
   // explicitly invalidate newly-written instructions before they can be
   // used"): forward the client's rewritten text to the MC, then evict every
@@ -958,6 +988,8 @@ uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
 
 uint32_t CacheController::OnTcMiss(vm::Machine& m, uint32_t stub_index) {
   (void)m;
+  const uint64_t miss_start = stats_.miss_cycles;
+  OBS_SPAN("cc", "tcmiss", "stub", stub_index);
   ++stats_.tcmiss_traps;
   Charge(config_.cost.miss_trap_cycles);
   SC_CHECK_LT(stub_index, stubs_.size());
@@ -984,11 +1016,13 @@ uint32_t CacheController::OnTcMiss(vm::Machine& m, uint32_t stub_index) {
     FreeStub(stub_index);
     Charge(config_.cost.patch_cycles);
   }
+  miss_latency_.Add(static_cast<double>(stats_.miss_cycles - miss_start));
   return res.tc_addr;
 }
 
 uint32_t CacheController::OnTcJalr(vm::Machine& m, const isa::Instr& instr,
                                    uint32_t pc) {
+  OBS_INSTANT("cc", "tcjalr", "pc", pc);
   ++stats_.hash_lookups;
   Charge(config_.cost.hash_lookup_cycles);
   const uint32_t target_orig =
@@ -1015,6 +1049,16 @@ CacheController::Block* CacheController::BlockById(uint64_t id) {
   const uint32_t* tc = block_tc_.Find(id);
   if (tc == nullptr) return nullptr;
   return &blocks_.at(*tc);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CacheController::ChunkFetchCounts()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(fetch_counts_.size());
+  fetch_counts_.ForEach([&out](uint32_t orig, uint32_t count) {
+    out.emplace_back(orig, count);
+  });
+  return out;
 }
 
 

@@ -39,11 +39,13 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "softcache/config.h"
 #include "softcache/mc.h"
 #include "softcache/reliable.h"
 #include "softcache/stats.h"
 #include "util/open_table.h"
+#include "util/stats.h"
 #include "vm/machine.h"
 
 namespace sc::softcache {
@@ -71,6 +73,16 @@ class CacheController : public vm::TrapHandler {
                               uint32_t pc) override;
 
   const SoftCacheStats& stats() const { return stats_; }
+
+  // --- Derived observability series (exported via SoftCacheSystem::
+  // RegisterMetrics; all observation-only — never charges guest cycles) ---
+  // Client-visible cycles per successfully handled TCMISS, bucketed.
+  const util::Histogram& miss_latency() const { return miss_latency_; }
+  // (cycle, live tcache bytes) after every install/evict/flush.
+  const obs::Series& occupancy_series() const { return occupancy_; }
+  // Per-chunk demand-fetch counts (chunk heat as seen by this client),
+  // keyed by original chunk address.
+  std::vector<std::pair<uint64_t, uint64_t>> ChunkFetchCounts() const;
 
   // --- Pinning (the paper's "novel capability": flexible data/code pinning
   // at arbitrary boundaries without dedicating a memory region) ---
@@ -226,6 +238,10 @@ class CacheController : public vm::TrapHandler {
   SoftCacheStats stats_;
   // Declared after stats_: the link records into stats_.net.
   ReliableLink link_;
+  // Observability series (see accessors above).
+  util::Histogram miss_latency_;
+  obs::Series occupancy_;
+  util::OpenTable<uint32_t, uint32_t> fetch_counts_;
 
   uint32_t local_base_ = 0;
   uint32_t cells_base_ = 0;

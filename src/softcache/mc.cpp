@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sc::softcache {
@@ -30,6 +31,9 @@ std::vector<uint8_t> MemoryController::HandleInner(
     const std::vector<uint8_t>& request_bytes) {
   ++requests_served_;
   auto request = Request::Parse(request_bytes);
+  OBS_SPAN("mc", "handle",
+           "type", request.ok() ? static_cast<uint64_t>(request->type) : 0,
+           "addr", request.ok() ? request->addr : 0);
   if (!request.ok()) {
     // Unattributable: the seq field cannot be trusted on a corrupted frame.
     // Seq 0 is reserved for these replies; clients never use it.

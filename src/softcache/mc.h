@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "image/image.h"
@@ -75,6 +76,26 @@ class MemoryController {
   uint32_t Temperature(uint32_t addr) const {
     const uint32_t* t = temperature_.Find(addr);
     return t == nullptr ? 0 : *t;
+  }
+
+  // Stable counter addresses for the metrics registry (valid for the MC's
+  // lifetime).
+  const uint64_t* requests_served_counter() const { return &requests_served_; }
+  const uint64_t* replays_suppressed_counter() const {
+    return &replays_suppressed_;
+  }
+  const uint64_t* batches_served_counter() const { return &batches_served_; }
+  const uint64_t* chunks_prefetched_counter() const {
+    return &chunks_prefetched_;
+  }
+  // (chunk start address, demand count) rows of the temperature table.
+  std::vector<std::pair<uint64_t, uint64_t>> TemperatureRows() const {
+    std::vector<std::pair<uint64_t, uint64_t>> rows;
+    rows.reserve(temperature_.size());
+    temperature_.ForEach([&rows](uint32_t addr, uint32_t count) {
+      rows.emplace_back(addr, count);
+    });
+    return rows;
   }
 
   // Test-only tap observing every (request bytes, reply bytes) pair exactly

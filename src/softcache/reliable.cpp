@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.h"
 #include "softcache/mc.h"
 #include "softcache/stats.h"
 #include "util/check.h"
@@ -20,11 +21,16 @@ ReliableLink::ReliableLink(std::unique_ptr<net::Transport> transport,
 
 util::Result<Reply> ReliableLink::Call(const Request& request,
                                        uint64_t* cycles) {
+  OBS_SPAN("link", "call", "seq", request.seq,
+           "type", static_cast<uint64_t>(request.type));
   ++stats_->requests;
   const std::vector<uint8_t> frame = request.Serialize();
   uint64_t timeout = retry_.timeout_cycles;
   for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
-    if (attempt > 0) ++stats_->retries;
+    if (attempt > 0) {
+      ++stats_->retries;
+      OBS_INSTANT("link", "retry", "seq", request.seq, "attempt", attempt);
+    }
     *cycles += transport_->Send(frame);
     std::vector<uint8_t> reply_bytes;
     uint64_t recv_cycles = 0;
@@ -33,12 +39,15 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
       auto reply = Reply::Parse(reply_bytes);
       if (!reply.ok()) {
         ++stats_->corrupt_frames;
+        OBS_INSTANT("link", "corrupt_frame", "seq", request.seq);
         continue;
       }
       if (reply->seq != request.seq) {
         // A duplicate of an earlier reply, or the MC's seq-0 answer to a
         // request that was corrupted in flight. Either way: not ours.
         ++stats_->stale_replies;
+        OBS_INSTANT("link", "stale_reply", "want", request.seq,
+                    "got", reply->seq);
         continue;
       }
       return std::move(*reply);
@@ -46,10 +55,12 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
     // Nothing pending matches: the request or every copy of its reply was
     // lost. Wait out the backoff and retransmit.
     ++stats_->timeouts;
+    OBS_INSTANT("link", "timeout", "seq", request.seq, "waited", timeout);
     *cycles += timeout;
     timeout = std::min(timeout * 2, retry_.max_timeout_cycles);
   }
   ++stats_->giveups;
+  OBS_INSTANT("link", "giveup", "seq", request.seq);
   return util::Error{"transport: no reply after " +
                      std::to_string(retry_.max_attempts) + " attempts"};
 }

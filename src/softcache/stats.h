@@ -1,8 +1,14 @@
 // Counters collected by the cache controller, used by every benchmark.
+//
+// These structs are the single source of truth the hot paths increment;
+// the observability layer (obs::MetricsRegistry, wired up in
+// SoftCacheSystem::RegisterMetrics) exports them as named metrics rather
+// than keeping parallel copies.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace sc::softcache {
 
@@ -76,8 +82,12 @@ struct SoftCacheStats {
   uint64_t miss_cycles = 0;
 
   // Eviction timeline: cycle timestamps of every eviction (Figure 8 bins
-  // these into evictions/second).
-  std::vector<uint64_t> eviction_cycles;
+  // these into evictions/second). Bounded: exact timestamps up to the
+  // sample capacity, collapsing into uniform time bins beyond that, so a
+  // pathologically thrashing run can no longer grow this without bound. The
+  // cap covers Figure 8's heaviest sustained-paging run (~850k evictions)
+  // with exact timestamps.
+  obs::Timeline eviction_timeline{1u << 21, 4096};
 
   // Speculative-prefetch activity.
   PrefetchStats prefetch;

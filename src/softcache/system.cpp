@@ -1,15 +1,23 @@
 #include "softcache/system.h"
 
+#include "obs/trace.h"
+
 namespace sc::softcache {
 
 SoftCacheSystem::SoftCacheSystem(const image::Image& image,
                                  const SoftCacheConfig& config)
     : channel_(config.channel) {
+  // SOFTCACHE_LOG=3 with no explicit tracer: install the echo-only tracer
+  // so the miss-path event stream still appears as log lines.
+  obs::EnsureEchoTracerForLogging();
   machine_.LoadImage(image);
   mc_ = std::make_unique<MemoryController>(image, config.style,
                                            config.max_block_instrs,
                                            config.max_trace_blocks);
   cc_ = std::make_unique<CacheController>(machine_, *mc_, channel_, config);
+  if (obs::Tracer* t = obs::tracer()) {
+    if (t->enabled()) t->SetClockSource(machine_.cycles_counter());
+  }
 }
 
 vm::RunResult SoftCacheSystem::Run(uint64_t max_instructions) {
@@ -18,6 +26,79 @@ vm::RunResult SoftCacheSystem::Run(uint64_t max_instructions) {
     attached_ = true;
   }
   return machine_.Run(max_instructions);
+}
+
+void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  const SoftCacheStats& s = cc_->stats();
+  // CC translation/trap/rewriting activity.
+  registry->RegisterCounter("cc.blocks_translated", &s.blocks_translated);
+  registry->RegisterCounter("cc.words_installed", &s.words_installed);
+  registry->RegisterCounter("cc.evictions", &s.evictions);
+  registry->RegisterCounter("cc.flushes", &s.flushes);
+  registry->RegisterCounter("cc.tcmiss_traps", &s.tcmiss_traps);
+  registry->RegisterCounter("cc.patch_only_misses", &s.patch_only_misses);
+  registry->RegisterCounter("cc.hash_lookups", &s.hash_lookups);
+  registry->RegisterCounter("cc.hash_lookup_misses", &s.hash_lookup_misses);
+  registry->RegisterCounter("cc.patches_applied", &s.patches_applied);
+  registry->RegisterCounter("cc.stack_walk_frames", &s.stack_walk_frames);
+  registry->RegisterCounter("cc.return_addr_fixups", &s.return_addr_fixups);
+  registry->RegisterCounter("cc.tcache_bytes_used_peak",
+                            &s.tcache_bytes_used_peak);
+  registry->RegisterCounter("cc.extra_words_live", &s.extra_words_live);
+  registry->RegisterCounter("cc.return_stub_words", &s.return_stub_words);
+  registry->RegisterCounter("cc.redirector_words", &s.redirector_words);
+  registry->RegisterCounter("cc.miss_cycles", &s.miss_cycles);
+  // Prefetch staging (CC side).
+  registry->RegisterCounter("prefetch.batches", &s.prefetch.batches);
+  registry->RegisterCounter("prefetch.chunks_prefetched",
+                            &s.prefetch.chunks_prefetched);
+  registry->RegisterCounter("prefetch.staged", &s.prefetch.staged);
+  registry->RegisterCounter("prefetch.hits", &s.prefetch.hits);
+  registry->RegisterCounter("prefetch.demand_fetches",
+                            &s.prefetch.demand_fetches);
+  registry->RegisterCounter("prefetch.dropped", &s.prefetch.dropped);
+  registry->RegisterCounter("prefetch.evictions", &s.prefetch.evictions);
+  registry->RegisterCounter("prefetch.invalidated", &s.prefetch.invalidated);
+  registry->RegisterGauge("prefetch.accuracy",
+                          [&s] { return s.prefetch.accuracy(); });
+  registry->RegisterGauge("prefetch.coverage",
+                          [&s] { return s.prefetch.coverage(); });
+  // Reliable-link retry machinery.
+  registry->RegisterCounter("net.link.requests", &s.net.requests);
+  registry->RegisterCounter("net.link.retries", &s.net.retries);
+  registry->RegisterCounter("net.link.timeouts", &s.net.timeouts);
+  registry->RegisterCounter("net.link.corrupt_frames", &s.net.corrupt_frames);
+  registry->RegisterCounter("net.link.stale_replies", &s.net.stale_replies);
+  registry->RegisterCounter("net.link.giveups", &s.net.giveups);
+  // Channel wire accounting.
+  const net::ChannelStats& ch = channel_.stats();
+  registry->RegisterCounter("net.channel.messages_to_server",
+                            &ch.messages_to_server);
+  registry->RegisterCounter("net.channel.messages_to_client",
+                            &ch.messages_to_client);
+  registry->RegisterCounter("net.channel.bytes_to_server", &ch.bytes_to_server);
+  registry->RegisterCounter("net.channel.bytes_to_client", &ch.bytes_to_client);
+  registry->RegisterCounter("net.channel.cycles", &ch.total_cycles);
+  // MC service counters.
+  registry->RegisterCounter("mc.requests_served",
+                            mc_->requests_served_counter());
+  registry->RegisterCounter("mc.replays_suppressed",
+                            mc_->replays_suppressed_counter());
+  registry->RegisterCounter("mc.batches_served", mc_->batches_served_counter());
+  registry->RegisterCounter("mc.chunks_prefetched",
+                            mc_->chunks_prefetched_counter());
+  // VM progress.
+  registry->RegisterCounter("vm.instructions", machine_.instructions_counter());
+  registry->RegisterCounter("vm.cycles", machine_.cycles_counter());
+  // Derived shapes.
+  registry->RegisterHistogram("cc.miss_latency_cycles", &cc_->miss_latency());
+  registry->RegisterTimeline("cc.eviction_timeline", &s.eviction_timeline);
+  registry->RegisterSeries("cc.tcache_occupancy_bytes",
+                           &cc_->occupancy_series());
+  registry->RegisterTable("cc.chunk_fetches",
+                          [this] { return cc_->ChunkFetchCounts(); });
+  registry->RegisterTable("mc.chunk_temperature",
+                          [this] { return mc_->TemperatureRows(); });
 }
 
 double SoftCacheSystem::MissRate() const {

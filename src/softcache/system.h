@@ -13,6 +13,7 @@
 
 #include "image/image.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "softcache/cc.h"
 #include "softcache/config.h"
 #include "softcache/mc.h"
@@ -44,6 +45,11 @@ class SoftCacheSystem {
   // Software miss rate as the paper defines it for Figure 7: basic blocks
   // translated divided by instructions executed.
   double MissRate() const;
+
+  // Binds every counter/histogram/timeline/series/table the stack keeps
+  // into `registry` under dotted names ("cc.evictions", "net.link.retries",
+  // ...). Views only: the registry must not outlive this system.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   vm::Machine machine_;

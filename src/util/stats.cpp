@@ -62,6 +62,28 @@ double Histogram::bucket_low(int i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
 }
 
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  uint64_t cumulative = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t count = counts_[i];
+    if (count == 0) continue;
+    if (static_cast<double>(cumulative + count) >= rank) {
+      // Interpolate within this bucket by the fraction of rank it covers.
+      const double into =
+          std::clamp((rank - static_cast<double>(cumulative)) /
+                         static_cast<double>(count),
+                     0.0, 1.0);
+      return lo_ + width * (static_cast<double>(i) + into);
+    }
+    cumulative += count;
+  }
+  return hi_;
+}
+
 std::string Histogram::ToAscii(int max_width) const {
   uint64_t peak = 1;
   for (uint64_t c : counts_) peak = std::max(peak, c);

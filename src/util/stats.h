@@ -41,6 +41,12 @@ class Histogram {
   double bucket_low(int i) const;
   uint64_t total() const { return total_; }
 
+  // Value at percentile p (0..100), linearly interpolated inside the bucket
+  // where the cumulative count crosses p% of total. Returns lo for an empty
+  // histogram. Samples clamped into the first/last bucket bound the result
+  // by the histogram range, as with any fixed-bucket estimate.
+  double Percentile(double p) const;
+
   // Renders a compact ASCII bar chart, one bucket per line.
   std::string ToAscii(int max_width = 50) const;
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sc::vm {
@@ -247,6 +248,7 @@ RunResult Machine::Run(uint64_t max_instructions) {
     if (entry.word != word) {
       entry.word = word;
       entry.instr = isa::Decode(word);
+      OBS_INSTANT("vm", "decode_fill", "pc", pc_);
     }
     const Instr in = entry.instr;
     ++instret_;

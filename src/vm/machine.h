@@ -150,6 +150,10 @@ class Machine {
   void Charge(uint64_t cycles) { cycles_ += cycles; }
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instret_; }
+  // Stable address of the cycle counter, for the tracer's clock source and
+  // the metrics registry. Valid for the Machine's lifetime.
+  const uint64_t* cycles_counter() const { return &cycles_; }
+  const uint64_t* instructions_counter() const { return &instret_; }
 
   // Restrict instruction fetch to [lo, hi). Any fetch outside faults. The
   // softcache client uses this to *prove* it only ever executes from local

@@ -92,6 +92,28 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_FALSE(hist.ToAscii().empty());
 }
 
+TEST(Histogram, Percentile) {
+  Histogram hist(0.0, 100.0, 100);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50), 0.0);  // empty -> lo
+  for (int i = 0; i < 100; ++i) hist.Add(i + 0.5);  // one per bucket
+  // Uniform fill: percentile p lands at ~p% of the range.
+  EXPECT_NEAR(hist.Percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(hist.Percentile(95), 95.0, 1.0);
+  EXPECT_NEAR(hist.Percentile(99), 99.0, 1.0);
+  EXPECT_NEAR(hist.Percentile(0), 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100), 100.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(hist.Percentile(-5), hist.Percentile(0));
+  EXPECT_DOUBLE_EQ(hist.Percentile(150), hist.Percentile(100));
+  // Skewed mass: everything in one bucket pins every percentile there.
+  Histogram spike(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) spike.Add(3.5);
+  EXPECT_GE(spike.Percentile(1), 3.0);
+  EXPECT_LE(spike.Percentile(99), 4.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(spike.Percentile(10), spike.Percentile(90));
+}
+
 TEST(Format, WithCommas) {
   EXPECT_EQ(WithCommas(0), "0");
   EXPECT_EQ(WithCommas(999), "999");

@@ -6,17 +6,23 @@
 //   srun p.img --softcache --style=arm       procedure-chunk prototype
 //   srun p.img --softcache --dcache          attach the software D-cache
 //   srun p.img --input=file --stats --profile
+//   srun --workload=dijkstra --softcache
+//        --trace=out.json --metrics=m.json   built-in workload, observed
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "dcache/dcache.h"
 #include "image/image.h"
 #include "minicc/compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "profile/profiler.h"
 #include "softcache/system.h"
 #include "tools/tool_util.h"
 #include "util/stats.h"
 #include "vm/machine.h"
+#include "workloads/workloads.h"
 
 using namespace sc;
 
@@ -60,41 +66,61 @@ int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   const std::string unknown = args.FirstUnknown(
       {"softcache", "style", "tcache", "trace-blocks", "evict", "dcache",
-       "input", "stats", "profile", "max-instr", "dump-tcache", "help"});
-  if (!unknown.empty() || args.Has("help") || args.positional().size() != 1) {
+       "input", "stats", "profile", "max-instr", "dump-tcache", "help",
+       "workload", "scale", "prefetch", "trace", "metrics"});
+  const bool use_workload = args.Has("workload");
+  const size_t want_positional = use_workload ? 0 : 1;
+  if (!unknown.empty() || args.Has("help") ||
+      args.positional().size() != want_positional) {
     if (!unknown.empty()) std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     std::fprintf(stderr,
                  "usage: srun <program.img|program.mc> [--input=FILE]\n"
                  "            [--softcache] [--style=sparc|arm] [--tcache=N]\n"
                  "            [--trace-blocks=N] [--evict=fifo|flush] [--dcache]\n"
-                 "            [--stats] [--profile] [--max-instr=N]\n");
+                 "            [--stats] [--profile] [--max-instr=N]\n"
+                 "       srun --workload=NAME [--scale=N] (instead of a program)\n"
+                 "observability (softcache runs):\n"
+                 "            [--prefetch=off|nextn|temp]\n"
+                 "            [--trace=FILE]    Chrome trace-event JSON\n"
+                 "            [--metrics=FILE]  metrics registry JSON\n");
     return 2;
   }
 
   // Load or compile the program.
-  const std::string path = args.positional()[0];
   image::Image img;
-  if (path.size() > 3 && path.substr(path.size() - 3) == ".mc") {
-    const auto source = tools::ReadFile(path);
-    if (!source) return 1;
-    auto compiled = minicc::CompileMiniC(*source, path);
-    if (!compiled.ok()) {
-      std::fprintf(stderr, "%s\n", compiled.error().ToString().c_str());
+  std::vector<uint8_t> input;
+  if (use_workload) {
+    const auto* spec = workloads::FindWorkload(args.Get("workload"));
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown workload %s\n", args.Get("workload").c_str());
       return 1;
     }
-    img = std::move(*compiled);
+    img = workloads::CompileWorkload(*spec);
+    input = workloads::MakeInput(spec->name,
+                                 static_cast<int>(args.GetInt("scale", 1)));
   } else {
-    const auto bytes = tools::ReadFileBytes(path);
-    if (!bytes) return 1;
-    auto parsed = image::Image::Deserialize(*bytes);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
-      return 1;
+    const std::string path = args.positional()[0];
+    if (path.size() > 3 && path.substr(path.size() - 3) == ".mc") {
+      const auto source = tools::ReadFile(path);
+      if (!source) return 1;
+      auto compiled = minicc::CompileMiniC(*source, path);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "%s\n", compiled.error().ToString().c_str());
+        return 1;
+      }
+      img = std::move(*compiled);
+    } else {
+      const auto bytes = tools::ReadFileBytes(path);
+      if (!bytes) return 1;
+      auto parsed = image::Image::Deserialize(*bytes);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
+        return 1;
+      }
+      img = std::move(*parsed);
     }
-    img = std::move(*parsed);
   }
 
-  std::vector<uint8_t> input;
   if (args.Has("input")) {
     auto bytes = tools::ReadFileBytes(args.Get("input"));
     if (!bytes) return 1;
@@ -145,8 +171,27 @@ int main(int argc, char** argv) {
   config.evict = args.Get("evict", "fifo") == "flush"
                      ? softcache::EvictPolicy::kFlushAll
                      : softcache::EvictPolicy::kFifoRing;
+  const std::string prefetch = args.Get("prefetch", "off");
+  if (prefetch == "nextn") {
+    config.prefetch.policy = softcache::PrefetchPolicy::kNextN;
+  } else if (prefetch == "temp") {
+    config.prefetch.policy = softcache::PrefetchPolicy::kTemperature;
+  } else if (prefetch != "off") {
+    std::fprintf(stderr, "unknown prefetch policy %s\n", prefetch.c_str());
+    return 2;
+  }
+
+  // Install the tracer before the system exists so construction-time events
+  // are captured and the system can bind its cycle clock.
+  obs::Tracer tracer;
+  if (args.Has("trace")) {
+    tracer.Enable();
+    obs::SetTracer(&tracer);
+  }
   softcache::SoftCacheSystem system(img, config);
   system.SetInput(std::move(input));
+  obs::MetricsRegistry registry;
+  if (args.Has("metrics")) system.RegisterMetrics(&registry);
 
   std::unique_ptr<dcache::DataCache> data_cache;
   if (args.Has("dcache")) {
@@ -158,6 +203,23 @@ int main(int argc, char** argv) {
   }
 
   const vm::RunResult result = system.Run(max_instr);
+  if (args.Has("trace")) {
+    obs::SetTracer(nullptr);
+    std::ofstream out_file(args.Get("trace"));
+    if (!out_file) {
+      std::fprintf(stderr, "cannot write %s\n", args.Get("trace").c_str());
+      return 1;
+    }
+    tracer.ExportChromeJson(out_file);
+  }
+  if (args.Has("metrics")) {
+    std::ofstream out_file(args.Get("metrics"));
+    if (!out_file) {
+      std::fprintf(stderr, "cannot write %s\n", args.Get("metrics").c_str());
+      return 1;
+    }
+    out_file << registry.ToJson() << "\n";
+  }
   const auto& out = system.machine().output();
   std::fwrite(out.data(), 1, out.size(), stdout);
   if (result.reason == vm::StopReason::kFault) {
