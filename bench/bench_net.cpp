@@ -67,9 +67,11 @@ int main() {
                     static_cast<double>(run.result.cycles));
   }
   std::printf(
-      "\nloss-rate sweep (ARM style, adpcm encode, drop=corrupt=dup=p, seed 7):\n");
-  std::printf("%-6s %8s %8s %9s %9s %7s %12s\n", "p", "rpcs", "retries",
-              "timeouts", "corrupt", "stale", "total bytes");
+      "\nloss-rate sweep (ARM style, adpcm encode, drop=corrupt=dup=p,\n"
+      "crash=p/10, seed 7):\n");
+  std::printf("%-6s %8s %8s %9s %9s %7s %7s %7s %12s\n", "p", "rpcs", "retries",
+              "timeouts", "corrupt", "stale", "crashes", "recover",
+              "total bytes");
   bench::PrintRule();
   uint64_t bytes_at_p0 = 0;
   uint64_t chunks_at_p0 = 0;
@@ -81,16 +83,20 @@ int main() {
     config.fault.drop = p;
     config.fault.corrupt = p;
     config.fault.duplicate = p;
+    config.fault.crash = p / 10.0;  // server restarts ride the same sweep
     const bench::CachedRun run = bench::RunCachedWorkload(img, input, config);
     const softcache::LinkStats& link = run.stats.net;
-    std::printf("%-6.2f %8llu %8llu %9llu %9llu %7llu %12llu\n", p,
+    std::printf("%-6.2f %8llu %8llu %9llu %9llu %7llu %7llu %7llu %12llu\n", p,
                 static_cast<unsigned long long>(link.requests),
                 static_cast<unsigned long long>(link.retries),
                 static_cast<unsigned long long>(link.timeouts),
                 static_cast<unsigned long long>(link.corrupt_frames),
                 static_cast<unsigned long long>(link.stale_replies),
+                static_cast<unsigned long long>(run.mc_restarts),
+                static_cast<unsigned long long>(run.stats.session.recoveries),
                 static_cast<unsigned long long>(run.net.total_bytes()));
     if (p == 0.0) {
+      SC_CHECK_EQ(run.mc_restarts, 0u);
       bytes_at_p0 = run.net.total_bytes();
       chunks_at_p0 = run.stats.blocks_translated;
       // The reliable-transport row must reproduce the paper's accounting

@@ -44,6 +44,8 @@ struct CachedRun {
   net::ChannelStats net;
   size_t resident_blocks = 0;
   uint64_t live_bytes = 0;
+  uint64_t mc_restarts = 0;  // server crashes survived (crash injection)
+  std::string output;
 };
 
 // Runs a workload under the software cache.
@@ -56,10 +58,17 @@ inline CachedRun RunCachedWorkload(const image::Image& img,
   run.result = system.Run(16'000'000'000ull);
   SC_CHECK(run.result.reason == vm::StopReason::kHalted)
       << "softcache run failed: " << run.result.fault_message;
+  if (config.fault.crash_enabled()) {
+    // A crash after the CC's last RPC must still replay the journal so the
+    // MC's image matches; the barrier is part of the measured run.
+    SC_CHECK(system.cc().SyncSession()) << "session failed to synchronize";
+  }
   run.stats = system.stats();
   run.net = system.channel().stats();
   run.resident_blocks = system.cc().ResidentBlocks();
   run.live_bytes = system.cc().live_tcache_bytes();
+  run.mc_restarts = system.mc().restarts();
+  run.output = system.machine().OutputString();
   return run;
 }
 

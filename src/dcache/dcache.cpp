@@ -23,8 +23,9 @@ DataCache::DataCache(vm::Machine& machine, softcache::MemoryController& mc,
     : machine_(machine),
       mc_(mc),
       config_(config),
-      link_(softcache::MakeMcTransport(mc, channel, config.fault),
-            config.retry, &stats_.net) {
+      session_(softcache::MakeMcTransport(mc, channel, config.fault),
+               config.retry, &stats_.net, &stats_.session,
+               MsgType::kDataWriteback, /*first_seq=*/1000) {
   SC_CHECK(IsPow2(config_.block_bytes));
   SC_CHECK_GE(config_.block_bytes, 4u);
   SC_CHECK(IsPow2(config_.scache_bytes));
@@ -78,12 +79,27 @@ uint32_t DataCache::GuaranteedLatencyCycles() const {
 // Server transfer helpers
 // ---------------------------------------------------------------------------
 
-Reply DataCache::Call(Request& request) {
-  request.seq = seq_++;
+void DataCache::FailRun(const std::string& what) {
+  failed_ = true;
+  machine_.RaiseFault(what);
+}
+
+Reply DataCache::Call(Request request) {
+  if (failed_) {
+    // The run is already stopping; don't burn more retry attempts.
+    Reply error;
+    error.type = MsgType::kError;
+    return error;
+  }
   uint64_t link_cycles = 0;
-  auto reply = link_.Call(request, &link_cycles);
+  auto reply = session_.Call(std::move(request), &link_cycles);
   Charge(link_cycles);
-  SC_CHECK(reply.ok()) << reply.error().ToString();
+  if (!reply.ok()) {
+    FailRun("dcache: " + reply.error().message);
+    Reply error;
+    error.type = MsgType::kError;
+    return error;
+  }
   return std::move(*reply);
 }
 
@@ -93,9 +109,11 @@ void DataCache::FetchBlock(uint32_t tag, uint32_t slot) {
   request.addr = tag * config_.block_bytes;
   request.length = config_.block_bytes;
   const Reply reply = Call(request);
-  SC_CHECK(reply.type == MsgType::kDataReply)
-      << "data fetch failed at 0x" << std::hex << request.addr;
-  SC_CHECK_EQ(reply.payload.size(), config_.block_bytes);
+  if (reply.type != MsgType::kDataReply ||
+      reply.payload.size() != config_.block_bytes) {
+    FailRun("dcache: data fetch failed");
+    return;
+  }
   machine_.WriteBlock(dcache_base_ + slot * config_.block_bytes,
                       reply.payload.data(), config_.block_bytes);
 }
@@ -109,7 +127,10 @@ void DataCache::WritebackSlot(uint32_t slot, uint32_t tag) {
   machine_.ReadBlock(dcache_base_ + slot * config_.block_bytes,
                      request.payload.data(), config_.block_bytes);
   const Reply reply = Call(request);
-  SC_CHECK(reply.type == MsgType::kWritebackAck);
+  if (reply.type != MsgType::kWritebackAck) {
+    FailRun("dcache: writeback rejected by server");
+    return;
+  }
   ++stats_.writebacks;
 }
 
@@ -246,7 +267,10 @@ uint32_t DataCache::TranslateScache(uint32_t vaddr, bool is_store) {
       machine_.ReadBlock(slot_addr, request.payload.data(),
                          config_.scache_line_bytes);
       const Reply spill_reply = Call(request);
-      SC_CHECK(spill_reply.type == MsgType::kWritebackAck);
+      if (spill_reply.type != MsgType::kWritebackAck) {
+        FailRun("dcache: scache spill rejected by server");
+        return scache_base_ + (vaddr % config_.scache_bytes);
+      }
     }
     // Fill the line from the server (fresh stack lines read back zeros).
     ++stats_.scache_fills;
@@ -255,9 +279,11 @@ uint32_t DataCache::TranslateScache(uint32_t vaddr, bool is_store) {
     request.addr = line_tag * config_.scache_line_bytes;
     request.length = config_.scache_line_bytes;
     const Reply reply = Call(request);
-    SC_CHECK(reply.type == MsgType::kDataReply)
-        << "scache fill failed at 0x" << std::hex
-        << line_tag * config_.scache_line_bytes;
+    if (reply.type != MsgType::kDataReply ||
+        reply.payload.size() != config_.scache_line_bytes) {
+      FailRun("dcache: scache fill failed");
+      return scache_base_ + (vaddr % config_.scache_bytes);
+    }
     machine_.WriteBlock(slot_addr, reply.payload.data(),
                         config_.scache_line_bytes);
     scache_line_tag_[line_slot] = line_tag;
@@ -285,8 +311,11 @@ uint32_t DataCache::TranslatePinned(uint32_t vaddr, bool is_store, bool* handled
     request.addr = base;
     request.length = 4;
     const Reply reply = Call(request);
-    SC_CHECK(reply.type == MsgType::kDataReply);
-    machine_.WriteBlock(pinned_base_ + it->second, reply.payload.data(), 4);
+    if (reply.type != MsgType::kDataReply || reply.payload.size() != 4) {
+      FailRun("dcache: pinned scalar fetch failed");
+    } else {
+      machine_.WriteBlock(pinned_base_ + it->second, reply.payload.data(), 4);
+    }
   }
   (void)is_store;  // pinned scalars write back only at FlushAll
   ++stats_.pinned_hits;
@@ -362,7 +391,10 @@ void DataCache::FlushAll() {
       request.payload.resize(config_.scache_line_bytes);
       machine_.ReadBlock(scache_base_ + line * config_.scache_line_bytes,
                          request.payload.data(), config_.scache_line_bytes);
-      SC_CHECK(Call(request).type == MsgType::kWritebackAck);
+      if (Call(request).type != MsgType::kWritebackAck) {
+        FailRun("dcache: scache flush rejected by server");
+        return;
+      }
       scache_line_dirty_[line] = false;
     }
   }
@@ -374,8 +406,18 @@ void DataCache::FlushAll() {
     request.length = 4;
     request.payload.resize(4);
     machine_.ReadBlock(pinned_base_ + offset, request.payload.data(), 4);
-    SC_CHECK(Call(request).type == MsgType::kWritebackAck);
+    if (Call(request).type != MsgType::kWritebackAck) {
+      FailRun("dcache: pinned flush rejected by server");
+      return;
+    }
   }
+  if (failed_) return;
+  // End-of-run barrier: if a crash fired after our last RPC, nobody would
+  // ever replay the journal; confirm the epoch and replay if needed.
+  uint64_t link_cycles = 0;
+  auto status = session_.Synchronize(&link_cycles);
+  Charge(link_cycles);
+  if (!status.ok()) FailRun("dcache: " + status.error().message);
 }
 
 }  // namespace sc::dcache

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "net/transport.h"
 #include "softcache/mc.h"
 #include "softcache/reliable.h"
+#include "softcache/session.h"
 #include "softcache/stats.h"
 #include "vm/machine.h"
 
@@ -100,6 +102,8 @@ struct DCacheStats {
   uint64_t cycles = 0;             // total extra cycles charged
   // MC link reliability counters (retries/timeouts under fault injection).
   softcache::LinkStats net;
+  // Crash-recovery session counters (epoch changes, journal replays).
+  softcache::SessionStats session;
 
   double fast_hit_rate() const {
     const uint64_t cached = fast_hits + slow_hits + misses;
@@ -126,8 +130,17 @@ class DataCache : public vm::DataHook {
   uint32_t Translate(vm::Machine& m, uint32_t vaddr, uint32_t size,
                      bool is_store) override;
 
-  // Writes every dirty block (and dirty scache lines) back to the MC.
+  // Writes every dirty block (and dirty scache lines) back to the MC, then
+  // synchronizes the session so journaled writebacks survive a crash nobody
+  // RPC'd after.
   void FlushAll();
+
+  // True once any server RPC failed terminally (link give-up or recovery
+  // exhaustion). A fault has been raised on the machine; srun exits nonzero.
+  bool failed() const { return failed_; }
+
+  // The session's transport (crash-schedule wiring, tests).
+  net::Transport& transport() { return session_.transport(); }
 
   const DCacheStats& stats() const { return stats_; }
   // Worst-case latency of an on-chip access: the slow-hit bound the paper
@@ -153,10 +166,14 @@ class DataCache : public vm::DataHook {
   int FindBlock(uint32_t tag) const;
   void FetchBlock(uint32_t tag, uint32_t slot);
   void WritebackSlot(uint32_t slot, uint32_t tag);
-  // Assigns the next seq, runs the RPC through the reliable link, charges
-  // its cycles. Transport-level giveup is fatal (a data cache cannot run
-  // without its backing store); protocol-level errors are the caller's.
-  softcache::Reply Call(softcache::Request& request);
+  // Runs the RPC through the session (which assigns seqs and handles crash
+  // recovery), charges its cycles. A terminal failure (link give-up,
+  // recovery exhaustion) raises a clean fault and returns a kError reply —
+  // a data cache cannot run without its backing store, but it degrades to a
+  // diagnostic instead of aborting the process.
+  softcache::Reply Call(softcache::Request request);
+  // Marks the run failed and raises a machine fault (first fault wins).
+  void FailRun(const std::string& what);
   void Charge(uint64_t cycles) {
     machine_.Charge(cycles);
     stats_.cycles += cycles;
@@ -166,8 +183,9 @@ class DataCache : public vm::DataHook {
   softcache::MemoryController& mc_;
   DCacheConfig config_;
   DCacheStats stats_;
-  // Declared after stats_: the link records into stats_.net.
-  softcache::ReliableLink link_;
+  // Declared after stats_: the session records into stats_.net/.session.
+  softcache::Session session_;
+  bool failed_ = false;
 
   uint32_t data_lo_ = 0;   // cached data range: [data_lo_, stack_lo_)
   uint32_t stack_lo_ = 0;  // stack range: [stack_lo_, kStackTop]
@@ -196,8 +214,6 @@ class DataCache : public vm::DataHook {
   // Pinned scalar globals: vaddr -> offset in pinned region (~0 = untouched).
   std::unordered_map<uint32_t, uint32_t> pinned_offsets_;
   std::unordered_map<uint32_t, bool> pinned_touched_;
-
-  uint32_t seq_ = 1000;  // protocol sequence numbers
 
   // Deferred write-through state.
   uint32_t pending_wt_slot_ = UINT32_MAX;

@@ -35,7 +35,36 @@ uint64_t FaultyTransport::Send(const std::vector<uint8_t>& frame) {
   return cycles;
 }
 
+bool FaultyTransport::ShouldCrash() {
+  ++requests_arrived_;
+  bool crash = false;
+  if (config_.crash_after_requests > 0 && !crashed_after_requests_ &&
+      requests_arrived_ >= config_.crash_after_requests) {
+    crashed_after_requests_ = true;
+    crash = true;
+  }
+  if (config_.crash_period > 0 &&
+      requests_arrived_ % config_.crash_period == 0) {
+    crash = true;
+  }
+  if (config_.crash_at_cycle > 0 && !crashed_at_cycle_ &&
+      cycle_source_ != nullptr && *cycle_source_ >= config_.crash_at_cycle) {
+    crashed_at_cycle_ = true;
+    crash = true;
+  }
+  // Rolled unconditionally last so the RNG stream of a probabilistic crash
+  // schedule does not depend on the deterministic schedules' firings.
+  if (Roll(config_.crash)) crash = true;
+  return crash;
+}
+
 void FaultyTransport::DeliverToServer(const std::vector<uint8_t>& frame) {
+  if (crash_handler_ && config_.crash_enabled() && ShouldCrash()) {
+    ++stats_.server_crashes;
+    OBS_INSTANT("net", "crash", "arrivals", requests_arrived_);
+    crash_handler_();
+    return;  // the server was down; this request died with it
+  }
   if (Roll(config_.drop)) {
     ++stats_.frames_dropped;
     OBS_INSTANT("net", "drop", "bytes", static_cast<uint64_t>(frame.size()));

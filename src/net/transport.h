@@ -43,8 +43,27 @@ struct FaultConfig {
   double delay = 0.0;      // P(reply delivery delayed by delay_cycles)
   uint64_t delay_cycles = 5'000;
 
+  // Crash schedules: each knob makes the server "process" die (its crash
+  // handler fires — for the MC that is Restart()) as a request arrives; the
+  // triggering request is lost with it, so the client sees a timeout and
+  // retransmits into the restarted server. `crash` is a per-arrival
+  // probability; `crash_after_requests` crashes once on the Nth arrival;
+  // `crash_period` crashes on every Nth arrival; `crash_at_cycle` crashes
+  // once at the first arrival at/after guest cycle C (needs a cycle source,
+  // wired by SoftCacheSystem). All compose; seeded, so schedules replay
+  // bit-identically.
+  double crash = 0.0;
+  uint64_t crash_after_requests = 0;
+  uint64_t crash_period = 0;
+  uint64_t crash_at_cycle = 0;
+
+  bool crash_enabled() const {
+    return crash > 0 || crash_after_requests > 0 || crash_period > 0 ||
+           crash_at_cycle > 0;
+  }
   bool enabled() const {
-    return drop > 0 || corrupt > 0 || duplicate > 0 || delay > 0;
+    return drop > 0 || corrupt > 0 || duplicate > 0 || delay > 0 ||
+           crash_enabled();
   }
 };
 
@@ -55,6 +74,7 @@ struct TransportStats {
   uint64_t frames_corrupted = 0;  // bit-flipped copies, both directions
   uint64_t frames_duplicated = 0; // duplicated copies, both directions
   uint64_t frames_delayed = 0;    // delayed reply deliveries
+  uint64_t server_crashes = 0;    // crash-schedule firings (server restarts)
 };
 
 class Transport {
@@ -75,6 +95,10 @@ class Transport {
   virtual bool Recv(std::vector<uint8_t>* frame, uint64_t* cycles) = 0;
 
   virtual const TransportStats& stats() const = 0;
+
+  // Optional guest-cycle source for cycle-triggered crash schedules; a
+  // transport without crash support ignores it.
+  virtual void set_cycle_source(const uint64_t*) {}
 };
 
 // The reliable link: zero-copy, in-order, exactly-once. Charges the channel
@@ -126,6 +150,16 @@ class FaultyTransport : public Transport {
   uint64_t Send(const std::vector<uint8_t>& frame) override;
   bool Recv(std::vector<uint8_t>* frame, uint64_t* cycles) override;
   const TransportStats& stats() const override { return stats_; }
+  void set_cycle_source(const uint64_t* cycles) override {
+    cycle_source_ = cycles;
+  }
+
+  // Invoked when a crash schedule fires; the server owner wires this to
+  // MemoryController::Restart(). The request that triggered the crash is
+  // dropped (the server was down when it arrived).
+  void set_crash_handler(std::function<void()> handler) {
+    crash_handler_ = std::move(handler);
+  }
 
  private:
   struct Inbound {
@@ -135,6 +169,8 @@ class FaultyTransport : public Transport {
 
   bool Roll(double probability);
   void FlipRandomBit(std::vector<uint8_t>* frame);
+  // Evaluates the crash schedules for one request arrival.
+  bool ShouldCrash();
   // One request copy crossing the client->server leg.
   void DeliverToServer(const std::vector<uint8_t>& frame);
   // One reply (possibly duplicated) crossing the server->client leg.
@@ -146,6 +182,11 @@ class FaultyTransport : public Transport {
   util::Rng rng_;
   std::deque<Inbound> inbox_;
   TransportStats stats_;
+  std::function<void()> crash_handler_;
+  const uint64_t* cycle_source_ = nullptr;
+  uint64_t requests_arrived_ = 0;
+  bool crashed_after_requests_ = false;
+  bool crashed_at_cycle_ = false;
 };
 
 }  // namespace sc::net

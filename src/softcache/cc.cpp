@@ -19,8 +19,13 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
     : machine_(machine),
       mc_(mc),
       config_(config),
-      link_(MakeMcTransport(mc, channel, config.fault), config.retry,
-            &stats_.net),
+      session_(config.transport_factory
+                   ? config.transport_factory(mc, channel)
+                   : MakeMcTransport(mc, channel, config.fault),
+               config.retry, &stats_.net, &stats_.session, MsgType::kTextWrite,
+               // Starts at 1: the MC answers unparseable requests with seq 0,
+               // which must never match.
+               /*first_seq=*/1),
       // Miss-handling latency spread: one bucket per 512 cycles covers the
       // loopback round trip (~12k cycles) with room for retry storms; worse
       // misses clamp into the last bucket.
@@ -42,6 +47,7 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
   cells_base_ = local_base_ + config_.tcache_bytes;
   cells_bytes_ = config_.forward_cell_bytes;
   SC_CHECK_LE(cells_base_ + cells_bytes_, image::kLocalLimit);
+  session_.set_quiesce_hook([this] { QuiesceForRecovery(); });
 }
 
 void CacheController::Fail(const std::string& what) {
@@ -105,7 +111,6 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
 
   Request request;
   request.type = MsgType::kChunkRequest;
-  request.seq = seq_++;
   request.addr = orig_pc;
   if (config_.prefetch.policy != PrefetchPolicy::kOff) {
     // The hint rides in the otherwise-unused length field; with the policy
@@ -117,7 +122,7 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
   }
 
   uint64_t link_cycles = 0;
-  auto reply = link_.Call(request, &link_cycles);
+  auto reply = session_.Call(std::move(request), &link_cycles);
   Charge(link_cycles);
   Charge(config_.cost.mc_service_cycles);
   ++stats_.prefetch.demand_fetches;
@@ -223,6 +228,25 @@ bool CacheController::TakeStaged(uint32_t orig_pc, Chunk* out) {
       staged_fifo_.erase(fifo);
       break;
     }
+  }
+  return true;
+}
+
+void CacheController::QuiesceForRecovery() {
+  while (!staged_fifo_.empty()) {
+    OBS_INSTANT("prefetch", "invalidate", "orig", staged_fifo_.front());
+    UnstageAt(staged_fifo_.front());
+    ++stats_.prefetch.invalidated;
+  }
+}
+
+bool CacheController::SyncSession() {
+  uint64_t link_cycles = 0;
+  auto status = session_.Synchronize(&link_cycles);
+  Charge(link_cycles);
+  if (!status.ok()) {
+    Fail(status.error().message);
+    return false;
   }
   return true;
 }
@@ -936,13 +960,12 @@ uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
   if (mc_.image().ContainsText(lo) && hi <= mc_.image().text_end() && hi > lo) {
     Request request;
     request.type = MsgType::kTextWrite;
-    request.seq = seq_++;
     request.addr = lo;
     request.length = hi - lo;
     request.payload.resize(hi - lo);
     m.ReadBlock(lo, request.payload.data(), hi - lo);
     uint64_t link_cycles = 0;
-    auto reply = link_.Call(request, &link_cycles);
+    auto reply = session_.Call(std::move(request), &link_cycles);
     Charge(link_cycles);
     if (!reply.ok() || reply->type != MsgType::kTextWriteAck) {
       Fail("text write rejected by MC");

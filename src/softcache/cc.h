@@ -43,6 +43,7 @@
 #include "softcache/config.h"
 #include "softcache/mc.h"
 #include "softcache/reliable.h"
+#include "softcache/session.h"
 #include "softcache/stats.h"
 #include "util/open_table.h"
 #include "util/stats.h"
@@ -73,6 +74,13 @@ class CacheController : public vm::TrapHandler {
                               uint32_t pc) override;
 
   const SoftCacheStats& stats() const { return stats_; }
+
+  // The session's transport (crash-schedule wiring, tests).
+  net::Transport& transport() { return session_.transport(); }
+  // End-of-run barrier: make sure every journaled text write survived any
+  // crash nobody RPC'd after (no-op when the journal is empty). Returns
+  // false with a fault raised on unrecoverable failure.
+  bool SyncSession();
 
   // --- Derived observability series (exported via SoftCacheSystem::
   // RegisterMetrics; all observation-only — never charges guest cycles) ---
@@ -195,6 +203,10 @@ class CacheController : public vm::TrapHandler {
   // once the program rewrites that text.
   void DropStagedRange(uint32_t addr, uint32_t len);
   void UnstageAt(uint32_t orig_addr);
+  // Session quiesce hook: drops every staged prefetch chunk. Staged chunks
+  // encode pre-crash MC decisions; after a restart the conservative move is
+  // to refetch on demand.
+  void QuiesceForRecovery();
   // Charges client-visible miss-handling cycles.
   void Charge(uint64_t cycles) {
     machine_.Charge(cycles);
@@ -236,8 +248,8 @@ class CacheController : public vm::TrapHandler {
   MemoryController& mc_;
   SoftCacheConfig config_;
   SoftCacheStats stats_;
-  // Declared after stats_: the link records into stats_.net.
-  ReliableLink link_;
+  // Declared after stats_: the session records into stats_.net/.session.
+  Session session_;
   // Observability series (see accessors above).
   util::Histogram miss_latency_;
   obs::Series occupancy_;
@@ -272,9 +284,6 @@ class CacheController : public vm::TrapHandler {
   std::map<uint32_t, Chunk> staged_;
   std::deque<uint32_t> staged_fifo_;
   uint64_t staged_bytes_ = 0;
-  // Protocol sequence numbers. Starts at 1: the MC answers unparseable
-  // (corrupted-in-flight) requests with seq 0, which must never match.
-  uint32_t seq_ = 1;
 };
 
 }  // namespace sc::softcache

@@ -10,12 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "net/channel.h"
 #include "net/transport.h"
 #include "softcache/reliable.h"
 
 namespace sc::softcache {
+
+class MemoryController;
 
 enum class Style : uint8_t { kSparc, kArm };
 
@@ -101,6 +105,13 @@ struct SoftCacheConfig {
   // retry/backoff policy that recovers from it.
   net::FaultConfig fault;
   RetryConfig retry;
+
+  // Test seam: when set, the CC builds its MC transport through this factory
+  // instead of MakeMcTransport — lets tests interpose hostile or scripted
+  // transports on the CC install path (e.g. malformed batch replies).
+  std::function<std::unique_ptr<net::Transport>(MemoryController&,
+                                                net::Channel&)>
+      transport_factory;
 
   // Restrict the VM's instruction fetch to the local-memory region, proving
   // the client never executes from the original (server-side) text.

@@ -37,30 +37,91 @@ std::vector<uint8_t> MemoryController::HandleInner(
   if (!request.ok()) {
     // Unattributable: the seq field cannot be trusted on a corrupted frame.
     // Seq 0 is reserved for these replies; clients never use it.
-    return ErrorReply(0, request.error().message).Serialize();
+    return Finish(ErrorReply(0, request.error().message));
   }
   const bool is_write = request->type == MsgType::kTextWrite ||
                         request->type == MsgType::kDataWriteback;
-  if (!is_write) return HandleParsed(*request).Serialize();
+  if (!is_write) return Finish(HandleParsed(*request));
+
+  // A write stamped with a pre-restart epoch is a retransmission from a
+  // client that has not yet observed the crash. Applying it would desync the
+  // MC's applied-op count from the client's journal indices (the client will
+  // re-send it during journal replay); reject it instead. The error reply
+  // carries the current epoch, so the client learns about the restart.
+  if (request->epoch != (epoch_ & kEpochMask)) {
+    ++stale_epoch_rejects_;
+    return Finish(ErrorReply(request->seq, "stale epoch write"));
+  }
 
   // Idempotent writes: an identical retransmitted frame is answered from the
-  // replay cache, never applied a second time.
+  // replay cache, never applied a second time. Stale-epoch entries never
+  // match (the cache is also cleared on restart, but the tag makes the
+  // invariant local and testable).
   const uint32_t key_type = static_cast<uint32_t>(request->type);
   const uint32_t key_checksum =
       Checksum(request->payload.data(), request->payload.size());
   for (const ReplayEntry& entry : replay_cache_) {
     if (entry.type == key_type && entry.seq == request->seq &&
         entry.addr == request->addr &&
-        entry.payload_checksum == key_checksum) {
+        entry.payload_checksum == key_checksum && entry.epoch == epoch_) {
       ++replays_suppressed_;
       return entry.reply_bytes;
     }
   }
-  std::vector<uint8_t> reply_bytes = HandleParsed(*request).Serialize();
+  std::vector<uint8_t> reply_bytes = Finish(HandleParsed(*request));
   if (replay_cache_.size() >= kReplayCacheEntries) replay_cache_.pop_front();
   replay_cache_.push_back(ReplayEntry{key_type, request->seq, request->addr,
-                                      key_checksum, reply_bytes});
+                                      key_checksum, epoch_, reply_bytes});
   return reply_bytes;
+}
+
+std::vector<uint8_t> MemoryController::Finish(Reply reply) const {
+  reply.epoch = epoch_ & kEpochMask;
+  return reply.Serialize();
+}
+
+void MemoryController::RecordTextWrite(uint32_t addr,
+                                       const std::vector<uint8_t>& bytes) {
+  pending_text_.push_back(PendingWrite{addr, bytes});
+  ++applied_text_ops_;
+  if (pending_text_.size() < kMcWriteFlushIntervalOps) return;
+  for (const PendingWrite& w : pending_text_) {
+    std::memcpy(stable_text_.data() + (w.addr - image_.text_base),
+                w.bytes.data(), w.bytes.size());
+  }
+  pending_text_.clear();
+  stable_text_ops_ = applied_text_ops_;
+  ++write_flushes_;
+  OBS_INSTANT("mc", "flush_barrier", "text_ops", stable_text_ops_);
+}
+
+void MemoryController::RecordDataWrite(uint32_t addr,
+                                       const std::vector<uint8_t>& bytes) {
+  pending_data_.push_back(PendingWrite{addr, bytes});
+  ++applied_data_ops_;
+  if (pending_data_.size() < kMcWriteFlushIntervalOps) return;
+  for (const PendingWrite& w : pending_data_) {
+    std::memcpy(stable_data_.data() + (w.addr - DataBase()), w.bytes.data(),
+                w.bytes.size());
+  }
+  pending_data_.clear();
+  stable_data_ops_ = applied_data_ops_;
+  ++write_flushes_;
+  OBS_INSTANT("mc", "flush_barrier", "data_ops", stable_data_ops_);
+}
+
+void MemoryController::Restart() {
+  image_.text = stable_text_;
+  if (!stable_data_.empty()) data_ = stable_data_;
+  pending_text_.clear();
+  pending_data_.clear();
+  applied_text_ops_ = stable_text_ops_;
+  applied_data_ops_ = stable_data_ops_;
+  replay_cache_.clear();
+  temperature_ = util::OpenTable<uint32_t, uint32_t>(256);
+  ++epoch_;
+  ++restarts_;
+  OBS_INSTANT("mc", "restart", "epoch", epoch_);
 }
 
 Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) const {
@@ -207,6 +268,7 @@ Reply MemoryController::HandleParsed(const Request& request) {
         std::memcpy(image_.text.data() + (request.addr - image_.text_base),
                     request.payload.data(), request.payload.size());
       }
+      RecordTextWrite(request.addr, request.payload);
       Reply reply;
       reply.type = MsgType::kTextWriteAck;
       reply.seq = request.seq;
@@ -218,14 +280,30 @@ Reply MemoryController::HandleParsed(const Request& request) {
           static_cast<uint64_t>(request.addr) + request.payload.size() > DataLimit()) {
         return ErrorReply(request.seq, "writeback out of range");
       }
+      // Capture the pristine data image before its first mutation; runs
+      // that never write back data skip this copy entirely.
+      if (stable_data_.empty()) stable_data_ = data_;
       if (!request.payload.empty()) {
         std::memcpy(data_.data() + (request.addr - DataBase()),
                     request.payload.data(), request.payload.size());
       }
+      RecordDataWrite(request.addr, request.payload);
       Reply reply;
       reply.type = MsgType::kWritebackAck;
       reply.seq = request.seq;
       reply.addr = request.addr;
+      return reply;
+    }
+    case MsgType::kHello: {
+      // Session handshake: tell the client which boot epoch is live and how
+      // many write ops of each type survived into the stable image, so it
+      // can truncate its journal to exactly the non-durable suffix.
+      Reply reply;
+      reply.type = MsgType::kHelloAck;
+      reply.seq = request.seq;
+      reply.addr = epoch_;
+      reply.aux = static_cast<uint32_t>(stable_text_ops_);
+      reply.extra = static_cast<uint32_t>(stable_data_ops_);
       return reply;
     }
     default:

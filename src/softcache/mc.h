@@ -34,6 +34,13 @@ inline ExitKind UnpackExit(uint32_t aux) {
 inline bool UnpackJumpFolded(uint32_t aux) { return (aux >> 27) & 1; }
 inline uint32_t UnpackEntryWord(uint32_t aux) { return aux & 0x07ffffff; }
 
+// Flush-barrier interval: every N applied write ops of one type (text writes
+// or data writebacks) the MC folds its pending-write buffer into the stable
+// image. Clients mirror this constant to truncate their upstream journals:
+// once `floor((acked_ops)/N)*N` ops of a type are acked, that prefix is
+// durable across a crash and need never be replayed (see docs/PROTOCOL.md).
+inline constexpr uint32_t kMcWriteFlushIntervalOps = 32;
+
 class MemoryController {
  public:
   MemoryController(const image::Image& image, Style style,
@@ -48,10 +55,31 @@ class MemoryController {
     // for the D-cache protocol.
     data_ = image.data;
     data_.resize(image::kStackTop + 16 - image.data_base, 0);
+    stable_text_ = image_.text;
   }
 
   // Handles one request frame; returns the reply frame.
   std::vector<uint8_t> Handle(const std::vector<uint8_t>& request_bytes);
+
+  // Crash model: the server process dies and comes back up. All volatile
+  // state is lost — the replay cache, the pending (unflushed) text-write and
+  // writeback buffers, and the learned prefetch temperature — while the
+  // stable program image (initial image plus every flushed write) persists.
+  // The boot epoch increments so clients can detect the restart from the
+  // epoch stamped into every reply.
+  void Restart();
+
+  uint32_t epoch() const { return epoch_; }
+  uint64_t restarts() const { return restarts_; }
+  // Write-type requests rejected because they carried a pre-restart epoch.
+  uint64_t stale_epoch_rejects() const { return stale_epoch_rejects_; }
+  // Applied = every acked write op this boot lineage; stable = the flushed
+  // prefix that survives a crash. Exposed for tests and the kHelloAck
+  // watermarks.
+  uint64_t applied_text_ops() const { return applied_text_ops_; }
+  uint64_t stable_text_ops() const { return stable_text_ops_; }
+  uint64_t applied_data_ops() const { return applied_data_ops_; }
+  uint64_t stable_data_ops() const { return stable_data_ops_; }
 
   const image::Image& image() const { return image_; }
 
@@ -88,6 +116,11 @@ class MemoryController {
   const uint64_t* chunks_prefetched_counter() const {
     return &chunks_prefetched_;
   }
+  const uint64_t* restarts_counter() const { return &restarts_; }
+  const uint64_t* stale_epoch_rejects_counter() const {
+    return &stale_epoch_rejects_;
+  }
+  const uint64_t* write_flushes_counter() const { return &write_flushes_; }
   // (chunk start address, demand count) rows of the temperature table.
   std::vector<std::pair<uint64_t, uint64_t>> TemperatureRows() const {
     std::vector<std::pair<uint64_t, uint64_t>> rows;
@@ -123,14 +156,29 @@ class MemoryController {
   // unreliable transport may deliver the same write twice (duplication) or
   // the client may retransmit after losing the ack; re-applying would be
   // wrong in general (the client may have mutated the region in between via
-  // a later request), so identical frames are answered from cache.
+  // a later request), so identical frames are answered from cache. Entries
+  // are epoch-tagged: a match from before a restart must never be served
+  // (the write it acknowledges may not have survived the crash).
   struct ReplayEntry {
     uint32_t type = 0;
     uint32_t seq = 0;
     uint32_t addr = 0;
     uint32_t payload_checksum = 0;
+    uint32_t epoch = 0;
     std::vector<uint8_t> reply_bytes;
   };
+
+  // A write applied to the working image but not yet folded into the stable
+  // image — exactly the state a crash loses.
+  struct PendingWrite {
+    uint32_t addr = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  // Stamps the current epoch into the reply and serializes it.
+  std::vector<uint8_t> Finish(Reply reply) const;
+  void RecordTextWrite(uint32_t addr, const std::vector<uint8_t>& bytes);
+  void RecordDataWrite(uint32_t addr, const std::vector<uint8_t>& bytes);
 
   image::Image image_;  // server-side copy; text mutable via kTextWrite
   Style style_;
@@ -140,6 +188,24 @@ class MemoryController {
   uint64_t requests_served_ = 0;
   uint64_t replays_suppressed_ = 0;
   std::deque<ReplayEntry> replay_cache_;
+
+  // Crash-survivable state. `stable_text_` mirrors image_.text as of the
+  // last flush barrier; `stable_data_` is materialized lazily just before
+  // the first data writeback mutates data_ (runs without a D-cache never
+  // pay the copy). The pending lists hold writes applied to the working
+  // image since the last barrier of their type.
+  std::vector<uint8_t> stable_text_;
+  std::vector<uint8_t> stable_data_;
+  std::vector<PendingWrite> pending_text_;
+  std::vector<PendingWrite> pending_data_;
+  uint64_t applied_text_ops_ = 0;
+  uint64_t stable_text_ops_ = 0;
+  uint64_t applied_data_ops_ = 0;
+  uint64_t stable_data_ops_ = 0;
+  uint32_t epoch_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t stale_epoch_rejects_ = 0;
+  uint64_t write_flushes_ = 0;
 
   // Per-chunk demand counts (prefetch "temperature"), keyed by the chunk
   // start address the client asked for.

@@ -1,5 +1,6 @@
 #include "softcache/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace sc::softcache {
@@ -24,6 +25,14 @@ uint32_t GetU32(const std::vector<uint8_t>& bytes, size_t offset) {
          static_cast<uint32_t>(bytes[offset + 3]) << 24;
 }
 
+// The type word carries the message type in its low 16 bits and the session
+// epoch in its high 16 bits. Epoch 0 (no crash has ever occurred) packs to
+// exactly the seed protocol's bytes.
+uint32_t PackTypeWord(MsgType type, uint32_t epoch) {
+  return (static_cast<uint32_t>(type) & kTypeMask) |
+         ((epoch & kEpochMask) << kEpochShift);
+}
+
 }  // namespace
 
 uint32_t Checksum(const uint8_t* data, size_t len, uint32_t basis) {
@@ -40,7 +49,7 @@ std::vector<uint8_t> Request::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());
   PutU32(out, kProtocolMagic);
-  PutU32(out, static_cast<uint32_t>(type));
+  PutU32(out, PackTypeWord(type, epoch));
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, length);
@@ -63,7 +72,9 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
     return util::Error{"request: checksum mismatch"};
   }
   Request req;
-  req.type = static_cast<MsgType>(GetU32(bytes, 4));
+  const uint32_t type_word = GetU32(bytes, 4);
+  req.type = static_cast<MsgType>(type_word & kTypeMask);
+  req.epoch = type_word >> kEpochShift;
   req.seq = GetU32(bytes, 8);
   req.addr = GetU32(bytes, 12);
   req.length = GetU32(bytes, 16);
@@ -82,7 +93,7 @@ std::vector<uint8_t> Reply::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());
   PutU32(out, kProtocolMagic);
-  PutU32(out, static_cast<uint32_t>(type));
+  PutU32(out, PackTypeWord(type, epoch));
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, aux);
@@ -112,7 +123,10 @@ void AppendBatchChunk(std::vector<uint8_t>* payload, uint32_t addr,
 util::Result<std::vector<BatchChunkView>> ParseBatchPayload(
     const std::vector<uint8_t>& payload, uint32_t count) {
   std::vector<BatchChunkView> chunks;
-  chunks.reserve(count);
+  // `count` is attacker-controlled (it rides the reply's aux field): bound
+  // the reservation by what the payload could actually hold.
+  chunks.reserve(std::min<size_t>(
+      count, payload.size() / kBatchChunkHeaderBytes));
   size_t offset = 0;
   for (uint32_t i = 0; i < count; ++i) {
     if (offset + kBatchChunkHeaderBytes > payload.size()) {
@@ -146,7 +160,9 @@ util::Result<Reply> Reply::Parse(const std::vector<uint8_t>& bytes) {
     return util::Error{"reply: header checksum mismatch"};
   }
   Reply reply;
-  reply.type = static_cast<MsgType>(GetU32(bytes, 4));
+  const uint32_t type_word = GetU32(bytes, 4);
+  reply.type = static_cast<MsgType>(type_word & kTypeMask);
+  reply.epoch = type_word >> kEpochShift;
   reply.seq = GetU32(bytes, 8);
   reply.addr = GetU32(bytes, 12);
   reply.aux = GetU32(bytes, 16);

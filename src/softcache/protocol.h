@@ -34,7 +34,27 @@ enum class MsgType : uint32_t {
   kTextWrite = 8,      // CC -> MC: program text changed (self-modifying code)
   kTextWriteAck = 9,   // MC -> CC: text update applied
   kChunkBatchReply = 10,  // MC -> CC: demanded chunk + prefetched successors
+  kHello = 11,     // CC -> MC: session handshake (crash recovery)
+  kHelloAck = 12,  // MC -> CC: addr = boot epoch, aux/extra = stable-op
+                   // watermarks (text ops / data ops)
 };
+
+// --- Sessions and epochs (crash recovery) ---
+//
+// The MC stamps its boot **epoch** into every reply, and clients stamp their
+// last-known epoch into every request, both riding the high 16 bits of the
+// frame's type word. The seed protocol always wrote those bits as zero, and
+// the epoch starts at zero, so a crash-free run's wire traffic is
+// byte-identical to the seed protocol (property-tested against golden
+// re-encoders in tests/prefetch_test.cpp). After an MC restart the epoch
+// increments; a client that observes a mismatched epoch in a reply knows the
+// server lost its volatile state and runs the kHello/kHelloAck handshake +
+// journal replay described in docs/PROTOCOL.md. The MC rejects write-type
+// requests carrying a stale epoch, which keeps its applied-op counters
+// exactly aligned with the clients' journal indices.
+inline constexpr uint32_t kEpochMask = 0xffff;
+inline constexpr uint32_t kTypeMask = 0xffff;
+inline constexpr uint32_t kEpochShift = 16;
 
 // --- Chunk batching (speculative prefetch) ---
 //
@@ -112,6 +132,7 @@ struct Request {
   uint32_t seq = 0;
   uint32_t addr = 0;
   uint32_t length = 0;  // data requests: bytes wanted
+  uint32_t epoch = 0;   // client's last-known server epoch (low 16 bits used)
   // Writebacks carry payload after the fixed frame (accounted separately).
   std::vector<uint8_t> payload;
 
@@ -128,6 +149,7 @@ struct Reply {
   uint32_t addr = 0;        // original address of the chunk/block
   uint32_t aux = 0;         // chunk replies: packed exit kind | entry word
   uint32_t extra = 0;       // chunk replies: taken/callee/jump target
+  uint32_t epoch = 0;       // server boot epoch (low 16 bits used)
   std::vector<uint8_t> payload;
 
   uint32_t wire_bytes() const {

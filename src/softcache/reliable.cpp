@@ -72,8 +72,12 @@ std::unique_ptr<net::Transport> MakeMcTransport(MemoryController& mc,
     return mc.Handle(bytes);
   };
   if (fault.enabled()) {
-    return std::make_unique<net::FaultyTransport>(channel, std::move(handler),
-                                                  fault);
+    auto transport = std::make_unique<net::FaultyTransport>(
+        channel, std::move(handler), fault);
+    if (fault.crash_enabled()) {
+      transport->set_crash_handler([&mc] { mc.Restart(); });
+    }
+    return transport;
   }
   return std::make_unique<net::LoopbackTransport>(channel, std::move(handler));
 }

@@ -40,6 +40,10 @@ struct RetryConfig {
   // bad as ~0.6 (all fault knobs at 0.2), 32 attempts make giveup
   // probability negligible (~5e-8 per call) while still bounding the loop.
   uint32_t max_attempts = 32;
+  // Bound on back-to-back session recoveries (handshake + journal replay)
+  // one logical operation may trigger before the Session degrades to a
+  // clean error — covers crash schedules that keep firing mid-recovery.
+  uint32_t max_recovery_attempts = 8;
 };
 
 class ReliableLink {

@@ -24,6 +24,19 @@ struct LinkStats {
   uint64_t giveups = 0;        // RPCs abandoned after max_attempts
 };
 
+// Session-layer counters (one Session per client). All zero on a crash-free
+// run; under a crash schedule these expose exactly how much recovery work
+// the epoch fencing + journal replay machinery did.
+struct SessionStats {
+  uint64_t epoch_changes = 0;      // replies observed with a new server epoch
+  uint64_t recoveries = 0;         // completed handshake+replay cycles
+  uint64_t journaled_ops = 0;      // non-idempotent ops appended to journal
+  uint64_t journal_replays = 0;    // journal entries retransmitted in replay
+  uint64_t journal_truncated = 0;  // entries dropped as durable (flush/ack)
+  uint64_t recovery_cycles = 0;    // client cycles spent inside recovery
+  uint64_t recovery_failures = 0;  // recoveries abandoned after the bound
+};
+
 // Speculative-prefetch counters (CC side). Accuracy is "of the chunks the
 // MC shipped speculatively, how many were eventually demanded"; coverage is
 // "of all demand fetches, how many were answered from the staging buffer
@@ -94,6 +107,9 @@ struct SoftCacheStats {
 
   // MC link reliability counters.
   LinkStats net;
+
+  // Crash-recovery session counters.
+  SessionStats session;
 };
 
 }  // namespace sc::softcache

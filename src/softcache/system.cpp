@@ -15,6 +15,10 @@ SoftCacheSystem::SoftCacheSystem(const image::Image& image,
                                            config.max_block_instrs,
                                            config.max_trace_blocks);
   cc_ = std::make_unique<CacheController>(machine_, *mc_, channel_, config);
+  if (config.fault.crash_at_cycle != 0) {
+    // Cycle-triggered crash schedules need to see guest time.
+    cc_->transport().set_cycle_source(machine_.cycles_counter());
+  }
   if (obs::Tracer* t = obs::tracer()) {
     if (t->enabled()) t->SetClockSource(machine_.cycles_counter());
   }
@@ -70,6 +74,18 @@ void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter("net.link.corrupt_frames", &s.net.corrupt_frames);
   registry->RegisterCounter("net.link.stale_replies", &s.net.stale_replies);
   registry->RegisterCounter("net.link.giveups", &s.net.giveups);
+  // Crash-recovery session machinery.
+  registry->RegisterCounter("session.epoch_changes", &s.session.epoch_changes);
+  registry->RegisterCounter("session.recoveries", &s.session.recoveries);
+  registry->RegisterCounter("session.journaled_ops", &s.session.journaled_ops);
+  registry->RegisterCounter("session.journal_replays",
+                            &s.session.journal_replays);
+  registry->RegisterCounter("session.journal_truncated",
+                            &s.session.journal_truncated);
+  registry->RegisterCounter("session.recovery_cycles",
+                            &s.session.recovery_cycles);
+  registry->RegisterCounter("session.recovery_failures",
+                            &s.session.recovery_failures);
   // Channel wire accounting.
   const net::ChannelStats& ch = channel_.stats();
   registry->RegisterCounter("net.channel.messages_to_server",
@@ -87,6 +103,10 @@ void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter("mc.batches_served", mc_->batches_served_counter());
   registry->RegisterCounter("mc.chunks_prefetched",
                             mc_->chunks_prefetched_counter());
+  registry->RegisterCounter("mc.restarts", mc_->restarts_counter());
+  registry->RegisterCounter("mc.stale_epoch_rejects",
+                            mc_->stale_epoch_rejects_counter());
+  registry->RegisterCounter("mc.write_flushes", mc_->write_flushes_counter());
   // VM progress.
   registry->RegisterCounter("vm.instructions", machine_.instructions_counter());
   registry->RegisterCounter("vm.cycles", machine_.cycles_counter());

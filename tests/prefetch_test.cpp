@@ -253,12 +253,16 @@ TEST(PrefetchOffProperty, WireTrafficIsByteIdenticalToSeedProtocol) {
       // not smuggle hints into it.
       EXPECT_EQ(request->length, 0u);
     }
+    // A crash-free run stays in boot epoch 0, whose packed type word equals
+    // the raw type — the session layer must be invisible on the wire.
+    EXPECT_EQ(request->epoch, 0u);
     EXPECT_EQ(GoldenRequest(static_cast<uint32_t>(request->type), request->seq,
                             request->addr, request->length, request->payload),
               request_bytes);
 
     auto reply = softcache::Reply::Parse(reply_bytes);
     ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+    EXPECT_EQ(reply->epoch, 0u);
     EXPECT_NE(reply->type, MsgType::kChunkBatchReply)
         << "kOff produced a batched reply";
     EXPECT_EQ(GoldenReply(static_cast<uint32_t>(reply->type), reply->seq,
@@ -280,6 +284,47 @@ TEST(PrefetchOffProperty, WireTrafficIsByteIdenticalToSeedProtocol) {
   EXPECT_EQ(ps.staged, 0u);
   EXPECT_EQ(ps.hits, 0u);
   EXPECT_EQ(system.mc().batches_served(), 0u);
+}
+
+// The epoch stamp rides the upper 16 bits of the type word (PROTOCOL section
+// "sessions"): re-encode stamped frames longhand and require bit-equality,
+// and show that epoch 0 degenerates to the seed encoding.
+TEST(PrefetchOffProperty, EpochStampMatchesGoldenTypeWordPacking) {
+  softcache::Request request;
+  request.type = MsgType::kDataWriteback;
+  request.seq = 77;
+  request.addr = 0x2000;
+  request.length = 4;
+  request.payload = {9, 8, 7, 6};
+  request.epoch = 0x0102;
+  EXPECT_EQ(request.Serialize(),
+            GoldenRequest(static_cast<uint32_t>(MsgType::kDataWriteback) |
+                              (0x0102u << 16),
+                          77, 0x2000, 4, request.payload));
+  auto parsed = softcache::Request::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, MsgType::kDataWriteback);
+  EXPECT_EQ(parsed->epoch, 0x0102u);
+
+  softcache::Reply reply;
+  reply.type = MsgType::kWritebackAck;
+  reply.seq = 77;
+  reply.addr = 0x2000;
+  reply.epoch = 0x0102;
+  EXPECT_EQ(reply.Serialize(),
+            GoldenReply(static_cast<uint32_t>(MsgType::kWritebackAck) |
+                            (0x0102u << 16),
+                        77, 0x2000, 0, 0, {}));
+  auto parsed_reply = softcache::Reply::Parse(reply.Serialize());
+  ASSERT_TRUE(parsed_reply.ok());
+  EXPECT_EQ(parsed_reply->type, MsgType::kWritebackAck);
+  EXPECT_EQ(parsed_reply->epoch, 0x0102u);
+
+  // Epoch 0 packs to the bare type: byte-identical to the seed protocol.
+  request.epoch = 0;
+  EXPECT_EQ(request.Serialize(),
+            GoldenRequest(static_cast<uint32_t>(MsgType::kDataWriteback), 77,
+                          0x2000, 4, request.payload));
 }
 
 // --- Execution equivalence with batching on ---

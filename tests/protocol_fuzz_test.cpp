@@ -5,9 +5,16 @@
 // this: the server cannot trust the radio link.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "minicc/compiler.h"
+#include "net/transport.h"
 #include "softcache/mc.h"
 #include "softcache/protocol.h"
+#include "softcache/system.h"
 #include "util/rng.h"
 
 namespace sc {
@@ -110,6 +117,170 @@ TEST(ProtocolFuzz, HostileRequestFields) {
     EXPECT_EQ(reply->type, MsgType::kError)
         << "type=" << static_cast<uint32_t>(c.type) << " addr=0x" << std::hex
         << c.addr;
+  }
+}
+
+TEST(ProtocolFuzz, HelloFramesSurviveAbuse) {
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+
+  // A clean hello handshakes regardless of hostile addr/length/epoch fields.
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.addr = 0xffffffff;
+  hello.epoch = 0xbeef;
+  auto ack = Reply::Parse(mc.Handle(hello.Serialize()));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, MsgType::kHelloAck);
+  EXPECT_EQ(ack->addr, mc.epoch());
+
+  // A hello carrying a payload is malformed (hellos are header-only).
+  Request fat = hello;
+  fat.length = 8;
+  fat.payload.assign(8, 0x5a);
+  auto reply = Reply::Parse(mc.Handle(fat.Serialize()));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MsgType::kError);
+
+  // Bit-flipped hellos and hello-acks-as-requests never crash the server.
+  util::Rng rng(407);
+  const auto valid = hello.Serialize();
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.Below(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Below(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.Below(8));
+    }
+    ExpectWellFormedReply(mc.Handle(mutated));
+  }
+  Request impostor;
+  impostor.type = MsgType::kHelloAck;  // a reply type arriving as a request
+  ExpectWellFormedReply(mc.Handle(impostor.Serialize()));
+}
+
+TEST(ProtocolFuzz, RandomEpochStampsNeverBreakTheServer) {
+  // Reads are served whatever epoch they claim; writes from other epochs are
+  // rejected; every reply stays well-formed and carries the live epoch.
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  util::Rng rng(408);
+  for (int i = 0; i < 500; ++i) {
+    Request request;
+    request.type = (i % 2 == 0) ? MsgType::kChunkRequest
+                                : MsgType::kDataWriteback;
+    request.seq = static_cast<uint32_t>(1000 + i);
+    request.addr = (i % 2 == 0) ? img.entry : img.data_base;
+    request.epoch = static_cast<uint32_t>(rng.Below(0x10000));
+    if (request.type == MsgType::kDataWriteback) {
+      request.length = 4;
+      request.payload = {1, 2, 3, 4};
+    }
+    auto reply = Reply::Parse(mc.Handle(request.Serialize()));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->epoch, mc.epoch());
+    if (request.type == MsgType::kChunkRequest) {
+      EXPECT_EQ(reply->type, MsgType::kChunkReply);
+    } else if (request.epoch != mc.epoch()) {
+      EXPECT_EQ(reply->type, MsgType::kError);
+    }
+    if (i % 100 == 99) mc.Restart();  // keep the live epoch moving
+  }
+}
+
+// A transport that answers chunk requests with attacker-crafted batch
+// replies (everything else is served by the real MC). Exercises the CC's
+// kChunkBatchReply install path — sub-chunk header parsing, word-count
+// bounds, trailing-byte detection — under the sanitizer build.
+class HostileBatchTransport : public net::Transport {
+ public:
+  using Craft = std::function<Reply(const Request&)>;
+  HostileBatchTransport(MemoryController& mc, Craft craft)
+      : mc_(mc), craft_(std::move(craft)) {}
+
+  uint64_t Send(const std::vector<uint8_t>& frame) override {
+    ++stats_.frames_sent;
+    auto request = Request::Parse(frame);
+    SC_CHECK(request.ok());
+    if (request->type == MsgType::kChunkRequest) {
+      Reply evil = craft_(*request);
+      evil.seq = request->seq;
+      inbox_.push_back(evil.Serialize());
+    } else {
+      inbox_.push_back(mc_.Handle(frame));
+    }
+    return 0;
+  }
+  bool Recv(std::vector<uint8_t>* frame, uint64_t* cycles) override {
+    if (inbox_.empty()) return false;
+    *frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    *cycles = 0;
+    ++stats_.frames_delivered;
+    return true;
+  }
+  const net::TransportStats& stats() const override { return stats_; }
+
+ private:
+  MemoryController& mc_;
+  Craft craft_;
+  std::deque<std::vector<uint8_t>> inbox_;
+  net::TransportStats stats_;
+};
+
+TEST(ProtocolFuzz, HostileBatchRepliesFailCleanlyThroughCcInstallPath) {
+  const image::Image img = TestImage();
+  struct Case {
+    const char* name;
+    HostileBatchTransport::Craft craft;
+  };
+  const auto batch = [](uint32_t count, std::vector<uint8_t> payload) {
+    Reply reply;
+    reply.type = MsgType::kChunkBatchReply;
+    reply.aux = count;
+    reply.payload = std::move(payload);
+    return reply;
+  };
+  const std::vector<Case> kCases = {
+      {"short sub-chunk header",
+       [&](const Request&) { return batch(2, std::vector<uint8_t>(8, 0xaa)); }},
+      {"word count overflows payload",
+       [&](const Request& r) {
+         std::vector<uint8_t> payload(16, 0);
+         payload[0] = static_cast<uint8_t>(r.addr);  // addr field (ignored)
+         payload[12] = 0xff;                         // nwords = huge
+         payload[13] = 0xff;
+         return batch(1, payload);
+       }},
+      {"trailing bytes after last sub-chunk",
+       [&](const Request&) {
+         std::vector<uint8_t> payload(16, 0);  // one empty sub-chunk
+         payload.push_back(0xcc);
+         payload.push_back(0xcc);
+         return batch(1, payload);
+       }},
+      {"empty batch",
+       [&](const Request&) { return batch(0, std::vector<uint8_t>{}); }},
+      {"absurd chunk count",
+       [&](const Request&) {
+         return batch(0xffffff, std::vector<uint8_t>(24, 0x11));
+       }},
+  };
+
+  for (const Case& c : kCases) {
+    softcache::SoftCacheConfig config;
+    MemoryController* mc_ptr = nullptr;
+    config.transport_factory =
+        [&](MemoryController& mc,
+            net::Channel&) -> std::unique_ptr<net::Transport> {
+      mc_ptr = &mc;
+      return std::make_unique<HostileBatchTransport>(mc, c.craft);
+    };
+    softcache::SoftCacheSystem system(img, config);
+    const vm::RunResult result = system.Run(1'000'000);
+    EXPECT_EQ(result.reason, vm::StopReason::kFault) << c.name;
+    EXPECT_FALSE(result.fault_message.empty()) << c.name;
+    ASSERT_NE(mc_ptr, nullptr);
   }
 }
 

@@ -9,6 +9,7 @@
 //   srun --workload=dijkstra --softcache
 //        --trace=out.json --metrics=m.json   built-in workload, observed
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -67,7 +68,8 @@ int main(int argc, char** argv) {
   const std::string unknown = args.FirstUnknown(
       {"softcache", "style", "tcache", "trace-blocks", "evict", "dcache",
        "input", "stats", "profile", "max-instr", "dump-tcache", "help",
-       "workload", "scale", "prefetch", "trace", "metrics"});
+       "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
+       "crash-after", "crash-rate", "crash-at-cycle", "fault-seed"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -82,7 +84,13 @@ int main(int argc, char** argv) {
                  "observability (softcache runs):\n"
                  "            [--prefetch=off|nextn|temp]\n"
                  "            [--trace=FILE]    Chrome trace-event JSON\n"
-                 "            [--metrics=FILE]  metrics registry JSON\n");
+                 "            [--metrics=FILE]  metrics registry JSON\n"
+                 "crash injection (softcache runs; server restarts + recovery):\n"
+                 "            [--crash-period=N]   MC crashes every Nth request\n"
+                 "            [--crash-after=N]    MC crashes once on request N\n"
+                 "            [--crash-rate=P]     per-request crash probability\n"
+                 "            [--crash-at-cycle=C] MC crashes once at cycle C\n"
+                 "            [--fault-seed=S]     crash schedule RNG seed\n");
     return 2;
   }
 
@@ -180,6 +188,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown prefetch policy %s\n", prefetch.c_str());
     return 2;
   }
+  config.fault.seed = args.GetInt("fault-seed", 1);
+  config.fault.crash_period = args.GetInt("crash-period", 0);
+  config.fault.crash_after_requests = args.GetInt("crash-after", 0);
+  config.fault.crash_at_cycle = args.GetInt("crash-at-cycle", 0);
+  config.fault.crash = std::strtod(args.Get("crash-rate", "0").c_str(), nullptr);
 
   // Install the tracer before the system exists so construction-time events
   // are captured and the system can bind its cycle clock.
@@ -197,8 +210,12 @@ int main(int argc, char** argv) {
   if (args.Has("dcache")) {
     dcache::DCacheConfig dconfig;
     dconfig.local_base = system.cc().local_limit();
+    dconfig.fault = config.fault;  // share the crash schedule (own RNG stream)
     data_cache = std::make_unique<dcache::DataCache>(
         system.machine(), system.mc(), system.channel(), dconfig);
+    if (config.fault.crash_at_cycle != 0) {
+      data_cache->transport().set_cycle_source(system.machine().cycles_counter());
+    }
     data_cache->Attach();
   }
 
@@ -226,7 +243,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault: %s\n", result.fault_message.c_str());
     return 1;
   }
-  if (data_cache != nullptr) data_cache->FlushAll();
+  if (data_cache != nullptr) {
+    data_cache->FlushAll();
+    if (data_cache->failed()) {
+      std::fprintf(stderr, "fault: dcache session failed during flush\n");
+      return 1;
+    }
+  }
+  if (config.fault.crash_enabled() && !system.cc().SyncSession()) {
+    std::fprintf(stderr, "fault: cc session failed to synchronize\n");
+    return 1;
+  }
   if (args.Has("dump-tcache")) {
     std::fprintf(stderr, "%s", system.cc().DumpState().c_str());
   }
