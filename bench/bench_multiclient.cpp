@@ -1,0 +1,188 @@
+// One memory controller serving N cache controllers: server-side economics.
+//
+// The paper's cost argument is that one powerful MC amortizes across many
+// cheap embedded clients. This bench quantifies that: for client counts
+// {1, 2, 4, 8} over three workloads it reports how much translation work and
+// wire traffic the SERVER pays as the fleet grows. With the shared
+// translation memo the server's cut count stays FLAT (each chunk translated
+// once, ever) while a memo-less server would scale linearly — the memo hit
+// rate is exactly the fraction of fleet demand served for free. Per-client
+// guest behavior is SC_CHECKed bit-identical to the solo run at every fleet
+// size; sharing may only change server-side accounting.
+//
+// Flags:
+//   --smoke       one workload, clients {1, 2} only (CI crash check)
+//   --out=PATH    JSON output path (default BENCH_multiclient.json)
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "softcache/mc.h"
+#include "softcache/system.h"
+
+using namespace sc;
+
+namespace {
+
+struct Row {
+  std::string workload;
+  uint32_t clients = 0;
+  uint64_t server_translates = 0;   // chunk cuts actually performed
+  uint64_t memo_hits = 0;           // fleet demand served from the memo
+  double memo_hit_rate = 0.0;       // hits / (hits + translates)
+  uint64_t server_wire_bytes = 0;   // summed over every client channel
+  uint64_t server_requests = 0;     // frames the MC handled
+  uint64_t client_miss_cycles = 0;  // per client (identical across clients)
+  uint64_t client_cycles = 0;       // per-client guest cycles
+};
+
+softcache::SoftCacheConfig BaseConfig() {
+  softcache::SoftCacheConfig config;
+  config.style = softcache::Style::kSparc;
+  config.tcache_bytes = 24 * 1024;
+  return config;
+}
+
+Row RunFleet(const workloads::WorkloadSpec& spec, const image::Image& img,
+             const std::vector<uint8_t>& input, const bench::NativeRun& native,
+             const bench::CachedRun& solo, uint32_t clients) {
+  softcache::MultiClientConfig config;
+  config.clients = clients;
+  config.base = BaseConfig();
+  softcache::MultiClientSystem fleet(img, config);
+  for (uint32_t i = 0; i < clients; ++i) fleet.SetInput(i, input);
+  const std::vector<vm::RunResult> results = fleet.RunAll(16'000'000'000ull);
+
+  Row row;
+  row.workload = spec.name;
+  row.clients = clients;
+  for (uint32_t i = 0; i < clients; ++i) {
+    // Solo-equivalence: sharing the server must not change ANY client's
+    // guest-visible execution or its client-side cache behavior.
+    SC_CHECK(results[i].reason == vm::StopReason::kHalted)
+        << spec.name << " client " << i << ": " << results[i].fault_message;
+    SC_CHECK(fleet.OutputString(i) == native.output)
+        << spec.name << " client " << i << " output diverged from native";
+    SC_CHECK(results[i].exit_code == solo.result.exit_code)
+        << spec.name << " client " << i << " exit code diverged from solo";
+    SC_CHECK(results[i].instructions == solo.result.instructions)
+        << spec.name << " client " << i << " instructions diverged from solo";
+    SC_CHECK(results[i].cycles == solo.result.cycles)
+        << spec.name << " client " << i << " cycles diverged from solo";
+    SC_CHECK(fleet.cc(i).stats().blocks_translated ==
+             solo.stats.blocks_translated)
+        << spec.name << " client " << i << " translation count diverged";
+    row.server_wire_bytes += fleet.channel(i).stats().total_bytes();
+  }
+  const softcache::McServerStats& server = fleet.mc().server().stats();
+  row.server_translates = server.translates;
+  row.memo_hits = server.translate_memo_hits;
+  const uint64_t cuts = server.translates + server.translate_memo_hits;
+  row.memo_hit_rate =
+      cuts == 0 ? 0.0
+                : static_cast<double>(server.translate_memo_hits) /
+                      static_cast<double>(cuts);
+  row.server_requests = server.requests_served;
+  row.client_miss_cycles = fleet.cc(0).stats().miss_cycles;
+  row.client_cycles = results[0].cycles;
+  return row;
+}
+
+void PrintRow(const Row& row) {
+  std::printf("%-10s %7u %10llu %10llu %8.1f%% %12llu %12llu\n",
+              row.workload.c_str(), row.clients,
+              static_cast<unsigned long long>(row.server_translates),
+              static_cast<unsigned long long>(row.memo_hits),
+              100.0 * row.memo_hit_rate,
+              static_cast<unsigned long long>(row.server_wire_bytes),
+              static_cast<unsigned long long>(row.client_miss_cycles));
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SC_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"bench\": \"multiclient\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"clients\": %u, "
+                 "\"server_translates\": %llu, \"memo_hits\": %llu, "
+                 "\"memo_hit_rate\": %.4f, \"server_wire_bytes\": %llu, "
+                 "\"server_requests\": %llu, \"client_miss_cycles\": %llu, "
+                 "\"client_cycles\": %llu}%s\n",
+                 r.workload.c_str(), r.clients,
+                 static_cast<unsigned long long>(r.server_translates),
+                 static_cast<unsigned long long>(r.memo_hits),
+                 r.memo_hit_rate,
+                 static_cast<unsigned long long>(r.server_wire_bytes),
+                 static_cast<unsigned long long>(r.server_requests),
+                 static_cast<unsigned long long>(r.client_miss_cycles),
+                 static_cast<unsigned long long>(r.client_cycles),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_multiclient.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  bench::PrintHeader(
+      "One memory controller serving N cache controllers",
+      "Section 1 (one powerful MC amortized across many cheap clients)");
+
+  std::vector<std::string> names = {"dijkstra", "sha256", "adpcm_enc"};
+  std::vector<uint32_t> fleet_sizes = {1, 2, 4, 8};
+  if (smoke) {
+    names.resize(1);
+    fleet_sizes = {1, 2};
+  }
+
+  std::printf("%-10s %7s %10s %10s %9s %12s %12s\n", "workload", "clients",
+              "translate", "memo hits", "hit rate", "server bytes",
+              "miss cyc/cl");
+  bench::PrintRule();
+
+  std::vector<Row> rows;
+  bool translations_flat = true;
+  for (const std::string& name : names) {
+    const auto* spec = workloads::FindWorkload(name);
+    SC_CHECK(spec != nullptr) << "unknown workload " << name;
+    const image::Image img = workloads::CompileWorkload(*spec);
+    const auto input = workloads::MakeInput(name, 1);
+    const bench::NativeRun native = bench::RunNativeWorkload(img, input);
+    const bench::CachedRun solo =
+        bench::RunCachedWorkload(img, input, BaseConfig());
+    SC_CHECK(solo.output == native.output) << name << " solo output diverged";
+
+    uint64_t baseline_translates = 0;
+    for (uint32_t clients : fleet_sizes) {
+      const Row row = RunFleet(*spec, img, input, native, solo, clients);
+      rows.push_back(row);
+      PrintRow(row);
+      // The tentpole economics: server translation work must not scale with
+      // the fleet — every distinct chunk is cut once regardless of client
+      // count, so the cut count at every fleet size equals the 1-client one.
+      if (clients == fleet_sizes.front()) baseline_translates = row.server_translates;
+      if (row.server_translates != baseline_translates) translations_flat = false;
+      SC_CHECK(row.server_translates == baseline_translates)
+          << name << " x" << clients
+          << ": server translations scaled with the fleet";
+    }
+    bench::PrintRule();
+  }
+
+  WriteJson(out_path, rows);
+  std::printf("\nserver translations flat across fleet sizes: %s\n",
+              translations_flat ? "yes" : "NO");
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -25,7 +25,8 @@ DataCache::DataCache(vm::Machine& machine, softcache::MemoryController& mc,
       config_(config),
       session_(softcache::MakeMcTransport(mc, channel, config.fault),
                config.retry, &stats_.net, &stats_.session,
-               MsgType::kDataWriteback, /*first_seq=*/1000) {
+               MsgType::kDataWriteback, /*first_seq=*/1000,
+               config.client_id) {
   SC_CHECK(IsPow2(config_.block_bytes));
   SC_CHECK_GE(config_.block_bytes, 4u);
   SC_CHECK(IsPow2(config_.scache_bytes));
@@ -51,7 +52,7 @@ DataCache::DataCache(vm::Machine& machine, softcache::MemoryController& mc,
   // for the rewriter's constant-address analysis).
   if (config_.pin_scalar_globals) {
     uint32_t offset = 0;
-    for (const image::Symbol& sym : mc_.image().symbols) {
+    for (const image::Symbol& sym : mc_.server().image().symbols) {
       if (sym.kind == image::SymbolKind::kObject && sym.size == 4 &&
           sym.addr % 4 == 0) {
         pinned_offsets_[sym.addr] = offset;

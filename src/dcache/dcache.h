@@ -80,6 +80,8 @@ struct DCacheConfig {
   // retry/backoff policy that recovers from it.
   net::FaultConfig fault;
   softcache::RetryConfig retry;
+  // MC session this client owns (0 = seed-identical wire format).
+  uint32_t client_id = 0;
 };
 
 struct DCacheStats {

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace sc::net {
@@ -35,18 +37,37 @@ struct ChannelStats {
 
   uint64_t total_bytes() const { return bytes_to_server + bytes_to_client; }
   uint64_t total_messages() const { return messages_to_server + messages_to_client; }
+
+  // Binds this struct's counters into `registry` under `prefix` (e.g.
+  // "net.channel." -> net.channel.bytes_to_server). The struct must outlive
+  // the registry.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "messages_to_server",
+                              &messages_to_server);
+    registry->RegisterCounter(prefix + "messages_to_client",
+                              &messages_to_client);
+    registry->RegisterCounter(prefix + "bytes_to_server", &bytes_to_server);
+    registry->RegisterCounter(prefix + "bytes_to_client", &bytes_to_client);
+    registry->RegisterCounter(prefix + "cycles", &total_cycles);
+  }
 };
 
 class Channel {
  public:
   explicit Channel(const ChannelConfig& config = {}) : config_(config) {}
 
-  // Cycle cost of moving one `bytes`-long message across the link.
+  // Cycle cost of moving one `bytes`-long message across the link. The
+  // intermediate product (bits * clock_hz) is computed in 128 bits: at the
+  // default 200 MHz it overflows uint64_t for payloads past ~11.5 GB, which
+  // a hostile or synthetic workload can reach long before the counters
+  // themselves wrap (regression-tested in tests/net_test.cpp).
   uint64_t CyclesFor(uint64_t bytes) const {
     SC_CHECK_GT(config_.bits_per_second, 0u);
-    const uint64_t wire_cycles =
-        (bytes * 8 * config_.clock_hz + config_.bits_per_second - 1) /
-        config_.bits_per_second;
+    const unsigned __int128 bits =
+        static_cast<unsigned __int128>(bytes) * 8 * config_.clock_hz;
+    const uint64_t wire_cycles = static_cast<uint64_t>(
+        (bits + config_.bits_per_second - 1) / config_.bits_per_second);
     return config_.latency_cycles + wire_cycles;
   }
 

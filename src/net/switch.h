@@ -1,0 +1,69 @@
+// A frame switch fanning N client transports into one server endpoint.
+//
+// Each client transport is built over one *port* of the switch: the port's
+// FrameHandler forwards the frame to the server handler tagged with the
+// port number, and the server (softcache::MemoryController::HandlePort)
+// cross-checks the client id embedded in the frame's type word — byte 5 of
+// the wire frame, see softcache/protocol.h — against the arrival port, so a
+// frame spoofing another client's id is rejected at the demux boundary and
+// can never touch that client's session state.
+//
+// The switch itself is deliberately dumb: no queueing, no arbitration, no
+// cost model. Per-port cost and fault injection live in the per-client
+// Channel/Transport pair built on top of each port (exactly as in the
+// single-client stack), which keeps one client's simulated traffic shaping
+// independent of its neighbors'.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/check.h"
+
+namespace sc::net {
+
+// The server side of a switch: handles one frame arriving on `port`.
+using PortFrameHandler = std::function<std::vector<uint8_t>(
+    uint32_t port, const std::vector<uint8_t>& frame)>;
+
+class Switch {
+ public:
+  // Frames are routed by an 8-bit id, so a switch has at most this many
+  // ports (mirrors softcache::kMaxClients without depending on it).
+  static constexpr uint32_t kMaxPorts = 256;
+
+  explicit Switch(PortFrameHandler server) : server_(std::move(server)) {
+    SC_CHECK(server_ != nullptr);
+  }
+
+  // A FrameHandler bound to `port`: every frame sent through it reaches the
+  // server tagged with that port number. The returned closure references
+  // this switch and must not outlive it.
+  FrameHandler Port(uint32_t port) {
+    SC_CHECK_LT(port, kMaxPorts);
+    if (port >= port_frames_.size()) port_frames_.resize(port + 1, 0);
+    return [this, port](const std::vector<uint8_t>& frame) {
+      ++frames_switched_;
+      ++port_frames_[port];
+      return server_(port, frame);
+    };
+  }
+
+  uint64_t frames_switched() const { return frames_switched_; }
+  const uint64_t* frames_switched_counter() const { return &frames_switched_; }
+  uint64_t port_frames(uint32_t port) const {
+    return port < port_frames_.size() ? port_frames_[port] : 0;
+  }
+  // Ports a Port() handler has been created for (not all need have traffic).
+  size_t ports() const { return port_frames_.size(); }
+
+ private:
+  PortFrameHandler server_;
+  uint64_t frames_switched_ = 0;
+  std::vector<uint64_t> port_frames_;
+};
+
+}  // namespace sc::net

@@ -25,7 +25,7 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
                config.retry, &stats_.net, &stats_.session, MsgType::kTextWrite,
                // Starts at 1: the MC answers unparseable requests with seq 0,
                // which must never match.
-               /*first_seq=*/1),
+               /*first_seq=*/1, config.client_id),
       // Miss-handling latency spread: one bucket per 512 cycles covers the
       // loopback round trip (~12k cycles) with room for retry storms; worse
       // misses clamp into the last bucket.
@@ -957,7 +957,7 @@ uint32_t CacheController::OnIcacheInvalidate(vm::Machine& m, uint32_t addr,
   // affected tcache block so the next execution re-translates it.
   const uint32_t lo = addr & ~3u;
   const uint32_t hi = (addr + len + 3) & ~3u;
-  if (mc_.image().ContainsText(lo) && hi <= mc_.image().text_end() && hi > lo) {
+  if (mc_.server().image().ContainsText(lo) && hi <= mc_.server().image().text_end() && hi > lo) {
     Request request;
     request.type = MsgType::kTextWrite;
     request.addr = lo;
@@ -1050,7 +1050,7 @@ uint32_t CacheController::OnTcJalr(vm::Machine& m, const isa::Instr& instr,
   Charge(config_.cost.hash_lookup_cycles);
   const uint32_t target_orig =
       (m.reg(instr.rs1) + static_cast<uint32_t>(instr.imm)) & ~3u;
-  if (!mc_.image().ContainsText(target_orig)) {
+  if (!mc_.server().image().ContainsText(target_orig)) {
     std::ostringstream msg;
     msg << "computed jump to non-text address 0x" << std::hex << target_orig;
     Fail(msg.str());

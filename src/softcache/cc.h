@@ -92,6 +92,21 @@ class CacheController : public vm::TrapHandler {
   // keyed by original chunk address.
   std::vector<std::pair<uint64_t, uint64_t>> ChunkFetchCounts() const;
 
+  // Binds everything this client keeps — the stats block plus the derived
+  // histogram/series/table shapes — into `registry` under `prefix` ("" for
+  // the single-client system, "c3." for client 3 of a fleet). Views only:
+  // the registry must not outlive this controller.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    stats_.RegisterMetrics(registry, prefix);
+    registry->RegisterHistogram(prefix + "cc.miss_latency_cycles",
+                                &miss_latency_);
+    registry->RegisterSeries(prefix + "cc.tcache_occupancy_bytes",
+                             &occupancy_);
+    registry->RegisterTable(prefix + "cc.chunk_fetches",
+                            [this] { return ChunkFetchCounts(); });
+  }
+
   // --- Pinning (the paper's "novel capability": flexible data/code pinning
   // at arbitrary boundaries without dedicating a memory region) ---
   // Pins the translated block for `orig_addr` (translating it if absent):

@@ -99,6 +99,11 @@ struct SoftCacheConfig {
   // protocol's wire traffic bit for bit.
   PrefetchConfig prefetch;
 
+  // Which MC session this client owns; stamped into every frame. The
+  // default 0 keeps single-client wire traffic byte-identical to the seed
+  // protocol. Multi-client systems assign each client a distinct id.
+  uint32_t client_id = 0;
+
   CostModel cost;
   net::ChannelConfig channel;
   // Link fault injection (all zeros = reliable loopback transport) and the

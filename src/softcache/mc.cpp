@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -10,7 +11,7 @@ namespace sc::softcache {
 namespace {
 
 // Bounds the replay cache. A stop-and-wait client has at most one write in
-// flight, so even a fleet of clients sharing one MC stays far below this.
+// flight, so one entry would do; a few extra make the invariant robust.
 constexpr size_t kReplayCacheEntries = 64;
 
 // Server-side caps on speculative work, independent of what the hint field
@@ -18,113 +19,124 @@ constexpr size_t kReplayCacheEntries = 64;
 constexpr uint32_t kMaxPrefetchDepth = 8;
 constexpr uint32_t kMaxPrefetchChunks = 32;
 
-}  // namespace
-
-std::vector<uint8_t> MemoryController::Handle(
-    const std::vector<uint8_t>& request_bytes) {
-  std::vector<uint8_t> reply_bytes = HandleInner(request_bytes);
-  if (tap_) tap_(request_bytes, reply_bytes);
-  return reply_bytes;
+// Best-effort client id of a frame that failed to parse: the id octet sits
+// at byte 5 of the type word. Only trusted enough to pick which session
+// stamps the error reply — a hostile id here can at worst create an idle
+// session (bounded by kMaxClients).
+uint32_t PeekClientId(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 8) return 0;
+  uint32_t magic = static_cast<uint32_t>(bytes[0]) |
+                   static_cast<uint32_t>(bytes[1]) << 8 |
+                   static_cast<uint32_t>(bytes[2]) << 16 |
+                   static_cast<uint32_t>(bytes[3]) << 24;
+  if (magic != kProtocolMagic) return 0;
+  return bytes[5];
 }
 
-std::vector<uint8_t> MemoryController::HandleInner(
-    const std::vector<uint8_t>& request_bytes) {
-  ++requests_served_;
-  auto request = Request::Parse(request_bytes);
-  OBS_SPAN("mc", "handle",
-           "type", request.ok() ? static_cast<uint64_t>(request->type) : 0,
-           "addr", request.ok() ? request->addr : 0);
-  if (!request.ok()) {
-    // Unattributable: the seq field cannot be trusted on a corrupted frame.
-    // Seq 0 is reserved for these replies; clients never use it.
-    return Finish(ErrorReply(0, request.error().message));
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// McServer: the shared core.
+
+util::Result<Chunk> McServer::Cut(const image::Image& text_image,
+                                  uint32_t addr) const {
+  return style_ == Style::kSparc
+             ? ChunkBasicBlock(text_image, addr, max_block_instrs_,
+                               max_trace_blocks_)
+             : ChunkProcedure(text_image, addr);
+}
+
+util::Result<Chunk> McServer::CutShared(uint32_t addr) {
+  auto it = memo_.find(addr);
+  if (it != memo_.end()) {
+    ++stats_.translate_memo_hits;
+    return it->second;
   }
-  const bool is_write = request->type == MsgType::kTextWrite ||
-                        request->type == MsgType::kDataWriteback;
-  if (!is_write) return Finish(HandleParsed(*request));
+  auto chunk = Cut(image_, addr);
+  if (!chunk.ok()) return chunk;  // failures are cheap; not worth memoizing
+  ++stats_.translates;
+  memo_.emplace(addr, *chunk);
+  return chunk;
+}
+
+util::Result<Chunk> McServer::CutPrivate(const image::Image& text_image,
+                                         uint32_t addr) {
+  ++stats_.translates;
+  return Cut(text_image, addr);
+}
+
+void McServer::InvalidateMemoRange(uint32_t addr, uint32_t len) {
+  const uint64_t lo = addr;
+  const uint64_t hi = static_cast<uint64_t>(addr) + len;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    const Chunk& chunk = it->second;
+    const uint64_t chunk_lo = chunk.orig_addr;
+    const uint64_t chunk_hi =
+        static_cast<uint64_t>(chunk.orig_addr) + chunk.orig_span_bytes();
+    if (chunk_lo < hi && lo < chunk_hi) {
+      ++stats_.memo_invalidations;
+      it = memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// McSession: per-client state.
+
+std::vector<uint8_t> McSession::HandleRequest(const Request& request) {
+  ++stats_.requests;
+  const bool is_write = request.type == MsgType::kTextWrite ||
+                        request.type == MsgType::kDataWriteback;
+  if (!is_write) return Finish(HandleParsed(request));
 
   // A write stamped with a pre-restart epoch is a retransmission from a
   // client that has not yet observed the crash. Applying it would desync the
-  // MC's applied-op count from the client's journal indices (the client will
-  // re-send it during journal replay); reject it instead. The error reply
-  // carries the current epoch, so the client learns about the restart.
-  if (request->epoch != (epoch_ & kEpochMask)) {
-    ++stale_epoch_rejects_;
-    return Finish(ErrorReply(request->seq, "stale epoch write"));
+  // session's applied-op count from the client's journal indices (the client
+  // will re-send it during journal replay); reject it instead. The error
+  // reply carries the current epoch, so the client learns about the restart.
+  if (request.epoch != (epoch_ & kEpochMask)) {
+    ++stats_.stale_epoch_rejects;
+    ++server_.stats().stale_epoch_rejects;
+    return Finish(ErrorReply(request.seq, "stale epoch write"));
   }
 
   // Idempotent writes: an identical retransmitted frame is answered from the
   // replay cache, never applied a second time. Stale-epoch entries never
   // match (the cache is also cleared on restart, but the tag makes the
   // invariant local and testable).
-  const uint32_t key_type = static_cast<uint32_t>(request->type);
+  const uint32_t key_type = static_cast<uint32_t>(request.type);
   const uint32_t key_checksum =
-      Checksum(request->payload.data(), request->payload.size());
+      Checksum(request.payload.data(), request.payload.size());
   for (const ReplayEntry& entry : replay_cache_) {
-    if (entry.type == key_type && entry.seq == request->seq &&
-        entry.addr == request->addr &&
+    if (entry.type == key_type && entry.seq == request.seq &&
+        entry.addr == request.addr &&
         entry.payload_checksum == key_checksum && entry.epoch == epoch_) {
-      ++replays_suppressed_;
+      ++stats_.replays_suppressed;
+      ++server_.stats().replays_suppressed;
       return entry.reply_bytes;
     }
   }
-  std::vector<uint8_t> reply_bytes = Finish(HandleParsed(*request));
+  std::vector<uint8_t> reply_bytes = Finish(HandleParsed(request));
   if (replay_cache_.size() >= kReplayCacheEntries) replay_cache_.pop_front();
-  replay_cache_.push_back(ReplayEntry{key_type, request->seq, request->addr,
+  replay_cache_.push_back(ReplayEntry{key_type, request.seq, request.addr,
                                       key_checksum, epoch_, reply_bytes});
   return reply_bytes;
 }
 
-std::vector<uint8_t> MemoryController::Finish(Reply reply) const {
+std::vector<uint8_t> McSession::ErrorFrame(uint32_t seq,
+                                           const std::string& message) {
+  return Finish(ErrorReply(seq, message));
+}
+
+std::vector<uint8_t> McSession::Finish(Reply reply) const {
   reply.epoch = epoch_ & kEpochMask;
+  reply.client_id = client_id_ & kClientIdMask;
   return reply.Serialize();
 }
 
-void MemoryController::RecordTextWrite(uint32_t addr,
-                                       const std::vector<uint8_t>& bytes) {
-  pending_text_.push_back(PendingWrite{addr, bytes});
-  ++applied_text_ops_;
-  if (pending_text_.size() < kMcWriteFlushIntervalOps) return;
-  for (const PendingWrite& w : pending_text_) {
-    std::memcpy(stable_text_.data() + (w.addr - image_.text_base),
-                w.bytes.data(), w.bytes.size());
-  }
-  pending_text_.clear();
-  stable_text_ops_ = applied_text_ops_;
-  ++write_flushes_;
-  OBS_INSTANT("mc", "flush_barrier", "text_ops", stable_text_ops_);
-}
-
-void MemoryController::RecordDataWrite(uint32_t addr,
-                                       const std::vector<uint8_t>& bytes) {
-  pending_data_.push_back(PendingWrite{addr, bytes});
-  ++applied_data_ops_;
-  if (pending_data_.size() < kMcWriteFlushIntervalOps) return;
-  for (const PendingWrite& w : pending_data_) {
-    std::memcpy(stable_data_.data() + (w.addr - DataBase()), w.bytes.data(),
-                w.bytes.size());
-  }
-  pending_data_.clear();
-  stable_data_ops_ = applied_data_ops_;
-  ++write_flushes_;
-  OBS_INSTANT("mc", "flush_barrier", "data_ops", stable_data_ops_);
-}
-
-void MemoryController::Restart() {
-  image_.text = stable_text_;
-  if (!stable_data_.empty()) data_ = stable_data_;
-  pending_text_.clear();
-  pending_data_.clear();
-  applied_text_ops_ = stable_text_ops_;
-  applied_data_ops_ = stable_data_ops_;
-  replay_cache_.clear();
-  temperature_ = util::OpenTable<uint32_t, uint32_t>(256);
-  ++epoch_;
-  ++restarts_;
-  OBS_INSTANT("mc", "restart", "epoch", epoch_);
-}
-
-Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) const {
+Reply McSession::ErrorReply(uint32_t seq, const std::string& message) const {
   Reply reply;
   reply.type = MsgType::kError;
   reply.seq = seq;
@@ -132,15 +144,131 @@ Reply MemoryController::ErrorReply(uint32_t seq, const std::string& message) con
   return reply;
 }
 
-util::Result<Chunk> MemoryController::CutChunk(uint32_t addr) const {
-  return style_ == Style::kSparc
-             ? ChunkBasicBlock(image_, addr, max_block_instrs_,
-                               max_trace_blocks_)
-             : ChunkProcedure(image_, addr);
+util::Result<Chunk> McSession::CutChunk(uint32_t addr) {
+  // A session whose text has diverged (COW fault) translates from its own
+  // image and bypasses the memo entirely — memoized artifacts only describe
+  // the shared pristine text.
+  if (private_image_) return server_.CutPrivate(*private_image_, addr);
+  return server_.CutShared(addr);
 }
 
-Reply MemoryController::BatchReply(const Request& request, const Chunk& primary,
-                                   const PrefetchHints& hints) {
+void McSession::FaultTextPrivate() {
+  if (private_image_) return;
+  private_image_ = std::make_unique<image::Image>(server_.image());
+  stable_text_ = private_image_->text;
+  ++stats_.text_cow_faults;
+  OBS_INSTANT("mc", "text_cow_fault", "client", client_id_);
+}
+
+void McSession::WritePages(PageMap* pages, uint32_t addr, const uint8_t* src,
+                           size_t len, bool count_faults) {
+  const std::vector<uint8_t>& shared = server_.shared_data();
+  uint32_t offset = addr - server_.DataBase();
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint32_t page = offset / kMcCowPageBytes;
+    const uint32_t in_page = offset % kMcCowPageBytes;
+    const size_t n = std::min<size_t>(remaining, kMcCowPageBytes - in_page);
+    auto it = pages->find(page);
+    if (it == pages->end()) {
+      // Fault the page private: copy the shared pristine bytes it overlays.
+      const size_t base = static_cast<size_t>(page) * kMcCowPageBytes;
+      const size_t avail = base < shared.size() ? shared.size() - base : 0;
+      std::vector<uint8_t> copy(kMcCowPageBytes, 0);
+      if (avail > 0) {
+        std::memcpy(copy.data(), shared.data() + base,
+                    std::min<size_t>(kMcCowPageBytes, avail));
+      }
+      it = pages->emplace(page, std::move(copy)).first;
+      if (count_faults) ++stats_.data_cow_page_faults;
+    }
+    std::memcpy(it->second.data() + in_page, src, n);
+    src += n;
+    offset += static_cast<uint32_t>(n);
+    remaining -= n;
+  }
+}
+
+void McSession::ReadData(uint32_t addr, uint32_t len, uint8_t* out) const {
+  const std::vector<uint8_t>& shared = server_.shared_data();
+  uint32_t offset = addr - server_.DataBase();
+  uint32_t remaining = len;
+  while (remaining > 0) {
+    const uint32_t page = offset / kMcCowPageBytes;
+    const uint32_t in_page = offset % kMcCowPageBytes;
+    const uint32_t n =
+        std::min<uint32_t>(remaining, kMcCowPageBytes - in_page);
+    auto it = data_pages_.find(page);
+    if (it != data_pages_.end()) {
+      std::memcpy(out, it->second.data() + in_page, n);
+    } else {
+      std::memcpy(out, shared.data() + offset, n);
+    }
+    out += n;
+    offset += n;
+    remaining -= n;
+  }
+}
+
+void McSession::OverlayData(std::vector<uint8_t>* flat) const {
+  for (const auto& [page, bytes] : data_pages_) {
+    const size_t base = static_cast<size_t>(page) * kMcCowPageBytes;
+    if (base >= flat->size()) continue;
+    std::memcpy(flat->data() + base, bytes.data(),
+                std::min<size_t>(kMcCowPageBytes, flat->size() - base));
+  }
+}
+
+void McSession::RecordTextWrite(uint32_t addr,
+                                const std::vector<uint8_t>& bytes) {
+  pending_text_.push_back(PendingWrite{addr, bytes});
+  ++applied_text_ops_;
+  if (pending_text_.size() < kMcWriteFlushIntervalOps) return;
+  for (const PendingWrite& w : pending_text_) {
+    std::memcpy(stable_text_.data() + (w.addr - private_image_->text_base),
+                w.bytes.data(), w.bytes.size());
+  }
+  pending_text_.clear();
+  stable_text_ops_ = applied_text_ops_;
+  ++stats_.write_flushes;
+  ++server_.stats().write_flushes;
+  OBS_INSTANT("mc", "flush_barrier", "text_ops", stable_text_ops_);
+}
+
+void McSession::RecordDataWrite(uint32_t addr,
+                                const std::vector<uint8_t>& bytes) {
+  pending_data_.push_back(PendingWrite{addr, bytes});
+  ++applied_data_ops_;
+  if (pending_data_.size() < kMcWriteFlushIntervalOps) return;
+  for (const PendingWrite& w : pending_data_) {
+    WritePages(&stable_pages_, w.addr, w.bytes.data(), w.bytes.size(),
+               /*count_faults=*/false);
+  }
+  pending_data_.clear();
+  stable_data_ops_ = applied_data_ops_;
+  ++stats_.write_flushes;
+  ++server_.stats().write_flushes;
+  OBS_INSTANT("mc", "flush_barrier", "data_ops", stable_data_ops_);
+}
+
+void McSession::Restart() {
+  if (private_image_) private_image_->text = stable_text_;
+  data_pages_ = stable_pages_;
+  ++data_version_;
+  pending_text_.clear();
+  pending_data_.clear();
+  applied_text_ops_ = stable_text_ops_;
+  applied_data_ops_ = stable_data_ops_;
+  replay_cache_.clear();
+  temperature_ = util::OpenTable<uint32_t, uint32_t>(256);
+  ++epoch_;
+  ++stats_.restarts;
+  ++server_.stats().restarts;
+  OBS_INSTANT("mc", "restart", "epoch", epoch_, "client", client_id_);
+}
+
+Reply McSession::BatchReply(const Request& request, const Chunk& primary,
+                            const PrefetchHints& hints) {
   // Bound speculative work regardless of what the (possibly hostile) hint
   // field asks for; the byte budget is already wire-capped at 65535.
   const uint32_t depth = hints.depth > kMaxPrefetchDepth ? kMaxPrefetchDepth
@@ -167,8 +295,9 @@ Reply MemoryController::BatchReply(const Request& request, const Chunk& primary,
 
   // BFS over the static CFG from the demanded chunk. Each frontier level is
   // ranked by temperature when the policy asks for it; within equal
-  // temperature the natural order (fallthrough first) is kept, so a cold MC
-  // degrades gracefully to next-N prefetching.
+  // temperature the natural order (fallthrough first) is kept, so a cold
+  // session degrades gracefully to next-N prefetching.
+  const image::Image& text = text_view();
   std::vector<uint32_t> included{primary.orig_addr};
   const auto is_included = [&included](uint32_t addr) {
     for (uint32_t seen : included) {
@@ -177,7 +306,7 @@ Reply MemoryController::BatchReply(const Request& request, const Chunk& primary,
     return false;
   };
   uint32_t budget = hints.byte_budget;
-  std::vector<uint32_t> frontier = ChunkSuccessors(image_, primary);
+  std::vector<uint32_t> frontier = ChunkSuccessors(text, primary);
   for (uint32_t level = 0; level < depth && !frontier.empty(); ++level) {
     if (static_cast<PrefetchPolicy>(hints.policy) ==
         PrefetchPolicy::kTemperature) {
@@ -200,19 +329,21 @@ Reply MemoryController::BatchReply(const Request& request, const Chunk& primary,
       included.push_back(addr);
       if (chunk->orig_addr != addr) included.push_back(chunk->orig_addr);
       append(*chunk);
-      ++chunks_prefetched_;
-      for (uint32_t succ : ChunkSuccessors(image_, *chunk)) {
+      ++stats_.chunks_prefetched;
+      ++server_.stats().chunks_prefetched;
+      for (uint32_t succ : ChunkSuccessors(text, *chunk)) {
         next.push_back(succ);
       }
     }
     frontier = std::move(next);
   }
   reply.aux = count;
-  ++batches_served_;
+  ++stats_.batches_served;
+  ++server_.stats().batches_served;
   return reply;
 }
 
-Reply MemoryController::HandleParsed(const Request& request) {
+Reply McSession::HandleParsed(const Request& request) {
   switch (request.type) {
     case MsgType::kChunkRequest: {
       auto chunk = CutChunk(request.addr);
@@ -242,32 +373,41 @@ Reply MemoryController::HandleParsed(const Request& request) {
       return reply;
     }
     case MsgType::kDataRequest: {
-      if (request.addr < DataBase() ||
-          static_cast<uint64_t>(request.addr) + request.length > DataLimit()) {
+      if (request.addr < server_.DataBase() ||
+          static_cast<uint64_t>(request.addr) + request.length >
+              server_.DataLimit()) {
         return ErrorReply(request.seq, "data request out of range");
       }
       Reply reply;
       reply.type = MsgType::kDataReply;
       reply.seq = request.seq;
       reply.addr = request.addr;
-      const uint32_t offset = request.addr - DataBase();
-      reply.payload.assign(data_.begin() + offset,
-                           data_.begin() + offset + request.length);
+      reply.payload.resize(request.length);
+      ReadData(request.addr, request.length, reply.payload.data());
       return reply;
     }
     case MsgType::kTextWrite: {
       // Self-modifying code: the client pushes rewritten program text (the
       // "explicit invalidation" contract for dynamic linking and similar).
-      if (request.addr < image_.text_base ||
+      // The write faults this session's text private — other sessions keep
+      // reading the shared pristine image — and drops any memoized
+      // translations overlapping the written range.
+      const image::Image& text = text_view();
+      if (request.addr < text.text_base ||
           static_cast<uint64_t>(request.addr) + request.payload.size() >
-              image_.text_end() ||
+              text.text_end() ||
           request.addr % 4 != 0 || request.payload.size() % 4 != 0) {
         return ErrorReply(request.seq, "text write out of range");
       }
+      FaultTextPrivate();
       if (!request.payload.empty()) {
-        std::memcpy(image_.text.data() + (request.addr - image_.text_base),
-                    request.payload.data(), request.payload.size());
+        std::memcpy(
+            private_image_->text.data() +
+                (request.addr - private_image_->text_base),
+            request.payload.data(), request.payload.size());
       }
+      server_.InvalidateMemoRange(
+          request.addr, static_cast<uint32_t>(request.payload.size()));
       RecordTextWrite(request.addr, request.payload);
       Reply reply;
       reply.type = MsgType::kTextWriteAck;
@@ -276,16 +416,15 @@ Reply MemoryController::HandleParsed(const Request& request) {
       return reply;
     }
     case MsgType::kDataWriteback: {
-      if (request.addr < DataBase() ||
-          static_cast<uint64_t>(request.addr) + request.payload.size() > DataLimit()) {
+      if (request.addr < server_.DataBase() ||
+          static_cast<uint64_t>(request.addr) + request.payload.size() >
+              server_.DataLimit()) {
         return ErrorReply(request.seq, "writeback out of range");
       }
-      // Capture the pristine data image before its first mutation; runs
-      // that never write back data skip this copy entirely.
-      if (stable_data_.empty()) stable_data_ = data_;
       if (!request.payload.empty()) {
-        std::memcpy(data_.data() + (request.addr - DataBase()),
-                    request.payload.data(), request.payload.size());
+        WritePages(&data_pages_, request.addr, request.payload.data(),
+                   request.payload.size(), /*count_faults=*/true);
+        ++data_version_;
       }
       RecordDataWrite(request.addr, request.payload);
       Reply reply;
@@ -308,6 +447,138 @@ Reply MemoryController::HandleParsed(const Request& request) {
     }
     default:
       return ErrorReply(request.seq, "unknown request type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryController: the endpoint facade.
+
+McSession& MemoryController::session(uint32_t client_id) {
+  client_id &= kClientIdMask;
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(client_id,
+                      std::make_unique<McSession>(server_, client_id))
+             .first;
+  }
+  return *it->second;
+}
+
+const McSession* MemoryController::FindSession(uint32_t client_id) const {
+  auto it = sessions_.find(client_id & kClientIdMask);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uint8_t> MemoryController::Handle(
+    const std::vector<uint8_t>& request_bytes) {
+  return HandleRouted(-1, request_bytes);
+}
+
+std::vector<uint8_t> MemoryController::HandlePort(
+    uint32_t port, const std::vector<uint8_t>& request_bytes) {
+  return HandleRouted(static_cast<int64_t>(port & kClientIdMask),
+                      request_bytes);
+}
+
+std::vector<uint8_t> MemoryController::HandleRouted(
+    int64_t port, const std::vector<uint8_t>& request_bytes) {
+  std::vector<uint8_t> reply_bytes = HandleInner(port, request_bytes);
+  if (tap_) tap_(request_bytes, reply_bytes);
+  return reply_bytes;
+}
+
+std::vector<uint8_t> MemoryController::HandleInner(
+    int64_t port, const std::vector<uint8_t>& request_bytes) {
+  ++server_.stats().requests_served;
+  auto request = Request::Parse(request_bytes);
+  OBS_SPAN("mc", "handle",
+           "type", request.ok() ? static_cast<uint64_t>(request->type) : 0,
+           "addr", request.ok() ? request->addr : 0);
+  if (!request.ok()) {
+    // Unattributable: the seq field cannot be trusted on a corrupted frame.
+    // Seq 0 is reserved for these replies; clients never use it.
+    const uint32_t id =
+        port >= 0 ? static_cast<uint32_t>(port) : PeekClientId(request_bytes);
+    return session(id).ErrorFrame(0, request.error().message);
+  }
+  if (port >= 0 && request->client_id != static_cast<uint32_t>(port)) {
+    // Spoofed or misrouted: a frame claiming another client's id must never
+    // touch that client's session. Reject on the arrival port.
+    ++server_.stats().misrouted_frames;
+    return session(static_cast<uint32_t>(port))
+        .ErrorFrame(request->seq, "client id mismatch");
+  }
+  return session(request->client_id).HandleRequest(*request);
+}
+
+void MemoryController::Restart() {
+  for (auto& [id, s] : sessions_) s->Restart();
+}
+
+void MemoryController::RestartSession(uint32_t client_id) {
+  session(client_id).Restart();
+}
+
+const std::vector<uint8_t>& MemoryController::data() const {
+  const McSession& s0 = Session0();
+  if (legacy_data_version_ != s0.data_version()) {
+    legacy_data_ = server_.shared_data();
+    s0.OverlayData(&legacy_data_);
+    legacy_data_version_ = s0.data_version();
+  }
+  return legacy_data_;
+}
+
+void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
+                                       const std::string& prefix) const {
+  const McServerStats& s = server_.stats();
+  registry->RegisterCounter(prefix + "requests_served", &s.requests_served);
+  registry->RegisterCounter(prefix + "replays_suppressed",
+                            &s.replays_suppressed);
+  registry->RegisterCounter(prefix + "batches_served", &s.batches_served);
+  registry->RegisterCounter(prefix + "chunks_prefetched",
+                            &s.chunks_prefetched);
+  registry->RegisterCounter(prefix + "restarts", &s.restarts);
+  registry->RegisterCounter(prefix + "stale_epoch_rejects",
+                            &s.stale_epoch_rejects);
+  registry->RegisterCounter(prefix + "write_flushes", &s.write_flushes);
+  registry->RegisterCounter(prefix + "translates", &s.translates);
+  registry->RegisterCounter(prefix + "translate_memo_hits",
+                            &s.translate_memo_hits);
+  registry->RegisterCounter(prefix + "translate_memo_invalidations",
+                            &s.memo_invalidations);
+  registry->RegisterCounter(prefix + "misrouted_frames", &s.misrouted_frames);
+  registry->RegisterGauge(prefix + "sessions_active",
+                          [this] { return static_cast<double>(sessions_.size()); });
+  registry->RegisterGauge(prefix + "translate_memo_entries", [this] {
+    return static_cast<double>(server_.memo_entries());
+  });
+  // Legacy name: session 0's heat table (the single-client table).
+  if (const McSession* s0 = FindSession(0)) {
+    registry->RegisterTable(prefix + "chunk_temperature",
+                            [s0] { return s0->TemperatureRows(); });
+  }
+  // Per-session counters + heat tables: mc.s<id>.*.
+  for (const auto& [id, sess] : sessions_) {
+    const std::string sub = prefix + "s" + std::to_string(id) + ".";
+    const McSessionStats& ss = sess->stats();
+    registry->RegisterCounter(sub + "requests", &ss.requests);
+    registry->RegisterCounter(sub + "replays_suppressed",
+                              &ss.replays_suppressed);
+    registry->RegisterCounter(sub + "batches_served", &ss.batches_served);
+    registry->RegisterCounter(sub + "chunks_prefetched",
+                              &ss.chunks_prefetched);
+    registry->RegisterCounter(sub + "restarts", &ss.restarts);
+    registry->RegisterCounter(sub + "stale_epoch_rejects",
+                              &ss.stale_epoch_rejects);
+    registry->RegisterCounter(sub + "write_flushes", &ss.write_flushes);
+    registry->RegisterCounter(sub + "text_cow_faults", &ss.text_cow_faults);
+    registry->RegisterCounter(sub + "data_cow_page_faults",
+                              &ss.data_cow_page_faults);
+    const McSession* sp = sess.get();
+    registry->RegisterTable(sub + "chunk_temperature",
+                            [sp] { return sp->TemperatureRows(); });
   }
 }
 

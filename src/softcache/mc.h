@@ -5,11 +5,31 @@
 // data segments, and services chunk/data requests arriving as serialized
 // protocol frames. It has no access to the client's Machine — the only
 // coupling is the byte protocol, keeping the MC/CC split a real boundary.
+//
+// The paper's economic argument is that one powerful server amortizes its
+// cost across many cheap embedded clients, so the MC is layered:
+//
+//   McServer   — the shared core: the pristine program image, the chunker,
+//                a memoized translation cache (translate each chunk ONCE,
+//                serve the memoized artifact to every client), and the
+//                shared read-only data store.
+//   McSession  — everything per-client: boot-epoch handling, the replay
+//                cache, pending write buffers and journal watermarks,
+//                learned prefetch temperature, and copy-on-write private
+//                text/data segments (shared pages served read-only, faulted
+//                to private on the first kTextWrite / kDataWriteback).
+//   MemoryController — the endpoint facade: demultiplexes frames onto
+//                sessions by the client id packed in the type word (or by
+//                switch port via HandlePort), and keeps the single-client
+//                accessor surface (which simply reads session 0) stable.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,6 +39,10 @@
 #include "softcache/config.h"
 #include "softcache/protocol.h"
 #include "util/open_table.h"
+
+namespace sc::obs {
+class MetricsRegistry;
+}
 
 namespace sc::softcache {
 
@@ -35,44 +59,137 @@ inline bool UnpackJumpFolded(uint32_t aux) { return (aux >> 27) & 1; }
 inline uint32_t UnpackEntryWord(uint32_t aux) { return aux & 0x07ffffff; }
 
 // Flush-barrier interval: every N applied write ops of one type (text writes
-// or data writebacks) the MC folds its pending-write buffer into the stable
-// image. Clients mirror this constant to truncate their upstream journals:
-// once `floor((acked_ops)/N)*N` ops of a type are acked, that prefix is
-// durable across a crash and need never be replayed (see docs/PROTOCOL.md).
+// or data writebacks) a session folds its pending-write buffer into its
+// stable image. Clients mirror this constant to truncate their upstream
+// journals: once `floor((acked_ops)/N)*N` ops of a type are acked, that
+// prefix is durable across a crash and need never be replayed (see
+// docs/PROTOCOL.md).
 inline constexpr uint32_t kMcWriteFlushIntervalOps = 32;
 
-class MemoryController {
+// Granularity of a session's copy-on-write private data segment: data is
+// served from the server's shared pristine store until a session's first
+// writeback touches a page, which faults a private copy of just that page.
+inline constexpr uint32_t kMcCowPageBytes = 4096;
+
+// Shared-core counters. These are the server-side aggregates across every
+// session (for a single-client run they equal the per-session counters), and
+// their addresses are stable for the MC's lifetime (metrics registry).
+struct McServerStats {
+  uint64_t requests_served = 0;      // every frame handled, incl. garbage
+  uint64_t replays_suppressed = 0;   // write retransmits answered from cache
+  uint64_t batches_served = 0;       // kChunkBatchReply frames built
+  uint64_t chunks_prefetched = 0;    // speculative chunks shipped in batches
+  uint64_t restarts = 0;             // session restart (crash) events
+  uint64_t stale_epoch_rejects = 0;  // pre-restart-epoch writes rejected
+  uint64_t write_flushes = 0;        // flush barriers crossed
+  uint64_t translates = 0;           // chunk cuts actually performed
+  uint64_t translate_memo_hits = 0;  // cuts served from the memo cache
+  uint64_t memo_invalidations = 0;   // memo entries dropped by text writes
+  uint64_t misrouted_frames = 0;     // embedded client id != switch port
+};
+
+// The shared server core: immutable per-program state plus the memoized
+// translation cache. The pristine image and shared data store are never
+// mutated — client writes land in per-session copy-on-write overlays — so
+// one translation artifact is valid for every session reading shared text.
+class McServer {
  public:
-  MemoryController(const image::Image& image, Style style,
-                   uint32_t max_block_instrs, uint32_t max_trace_blocks = 1)
+  McServer(const image::Image& image, Style style, uint32_t max_block_instrs,
+           uint32_t max_trace_blocks)
       : image_(image),
         style_(style),
         max_block_instrs_(max_block_instrs),
         max_trace_blocks_(max_trace_blocks) {
-    // The MC holds the authoritative copy of ALL mutable program memory:
-    // its own Image copy for text (mutable so self-modifying programs can
-    // push updates via kTextWrite), plus data/bss/heap/stack backing store
-    // for the D-cache protocol.
+    // The server holds the authoritative copy of ALL program memory: the
+    // pristine text plus data/bss/heap/stack backing for the D-cache
+    // protocol. Sessions overlay their private writes on top.
     data_ = image.data;
     data_.resize(image::kStackTop + 16 - image.data_base, 0);
-    stable_text_ = image_.text;
   }
 
-  // Handles one request frame; returns the reply frame.
-  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request_bytes);
+  const image::Image& image() const { return image_; }
+  Style style() const { return style_; }
+  uint32_t DataBase() const { return image_.data_base; }
+  uint32_t DataLimit() const {
+    return image_.data_base + static_cast<uint32_t>(data_.size());
+  }
+  // The shared pristine data store (no session overlays applied).
+  const std::vector<uint8_t>& shared_data() const { return data_; }
 
-  // Crash model: the server process dies and comes back up. All volatile
-  // state is lost — the replay cache, the pending (unflushed) text-write and
-  // writeback buffers, and the learned prefetch temperature — while the
-  // stable program image (initial image plus every flushed write) persists.
-  // The boot epoch increments so clients can detect the restart from the
-  // epoch stamped into every reply.
+  // Memoized translation from the shared pristine text: the first request
+  // for a chunk address pays the cut, every later request (from ANY session)
+  // is a memo hit. The memo key is the requested address — the chunking
+  // style and block-size caps are fixed per server, so (addr, style,
+  // max_block_instrs) degenerates to addr alone.
+  util::Result<Chunk> CutShared(uint32_t addr);
+
+  // Un-memoized translation from a session's private text image (after that
+  // session's first kTextWrite made its text diverge from the shared copy).
+  util::Result<Chunk> CutPrivate(const image::Image& text_image,
+                                 uint32_t addr);
+
+  // Drops every memoized chunk overlapping [addr, addr+len). Called on any
+  // session's kTextWrite: the writing session stops reading shared text
+  // entirely (COW), but the write still signals that the artifact may be
+  // rebuilt, and other sessions' already-installed copies are untouched
+  // (they hold their own installed words client-side).
+  void InvalidateMemoRange(uint32_t addr, uint32_t len);
+
+  size_t memo_entries() const { return memo_.size(); }
+  McServerStats& stats() { return stats_; }
+  const McServerStats& stats() const { return stats_; }
+
+ private:
+  util::Result<Chunk> Cut(const image::Image& text_image, uint32_t addr) const;
+
+  image::Image image_;  // pristine; NEVER mutated (writes go to sessions)
+  Style style_;
+  uint32_t max_block_instrs_;
+  uint32_t max_trace_blocks_;
+  std::vector<uint8_t> data_;  // pristine shared data/bss/heap/stack
+  std::map<uint32_t, Chunk> memo_;  // requested addr -> translated chunk
+  McServerStats stats_;
+};
+
+// Per-session counters (one McSession per client id).
+struct McSessionStats {
+  uint64_t requests = 0;
+  uint64_t replays_suppressed = 0;
+  uint64_t batches_served = 0;
+  uint64_t chunks_prefetched = 0;
+  uint64_t restarts = 0;
+  uint64_t stale_epoch_rejects = 0;
+  uint64_t write_flushes = 0;
+  uint64_t text_cow_faults = 0;      // 0 or 1: private text materialized
+  uint64_t data_cow_page_faults = 0; // private data pages materialized
+};
+
+// One client's server-side state: epoch fencing, replay cache, pending
+// writes + journal watermarks, learned temperature, and the copy-on-write
+// overlays holding this client's private view of text and data.
+class McSession {
+ public:
+  McSession(McServer& server, uint32_t client_id)
+      : server_(server), client_id_(client_id) {}
+
+  // Handles one parsed request addressed to this session (epoch fence,
+  // replay cache, dispatch); returns the serialized reply frame.
+  std::vector<uint8_t> HandleRequest(const Request& request);
+
+  // A serialized kError reply stamped with this session's id and epoch; used
+  // by the facade for frames that fail to parse (seq 0 = unattributable).
+  std::vector<uint8_t> ErrorFrame(uint32_t seq, const std::string& message);
+
+  // Crash model: this session's server-side process dies and comes back up.
+  // All volatile state is lost — the replay cache, the pending (unflushed)
+  // write buffers, and the learned prefetch temperature — while the stable
+  // image (pristine state plus every flushed write) persists. The boot epoch
+  // increments so the client can detect the restart from the epoch stamped
+  // into every reply. Other sessions are unaffected.
   void Restart();
 
+  uint32_t client_id() const { return client_id_; }
   uint32_t epoch() const { return epoch_; }
-  uint64_t restarts() const { return restarts_; }
-  // Write-type requests rejected because they carried a pre-restart epoch.
-  uint64_t stale_epoch_rejects() const { return stale_epoch_rejects_; }
   // Applied = every acked write op this boot lineage; stable = the flushed
   // prefix that survives a crash. Exposed for tests and the kHelloAck
   // watermarks.
@@ -81,46 +198,31 @@ class MemoryController {
   uint64_t applied_data_ops() const { return applied_data_ops_; }
   uint64_t stable_data_ops() const { return stable_data_ops_; }
 
-  const image::Image& image() const { return image_; }
-
-  // Server-side view of a data word (tests/verification).
-  uint32_t DataBase() const { return image_.data_base; }
-  uint32_t DataLimit() const {
-    return image_.data_base + static_cast<uint32_t>(data_.size());
+  // This session's view of program text: the shared pristine image until the
+  // first kTextWrite, the private COW copy afterwards.
+  const image::Image& text_view() const {
+    return private_image_ ? *private_image_ : server_.image();
   }
-  const std::vector<uint8_t>& data() const { return data_; }
+  bool has_private_text() const { return private_image_ != nullptr; }
+  size_t private_data_pages() const { return data_pages_.size(); }
 
-  uint64_t requests_served() const { return requests_served_; }
-  // Write-type requests answered from the replay cache instead of being
-  // applied a second time (retransmitted kTextWrite / kDataWriteback).
-  uint64_t replays_suppressed() const { return replays_suppressed_; }
+  // Reads `len` bytes at `addr` through this session's data overlay (private
+  // pages where faulted, the shared store elsewhere). Caller checks bounds.
+  void ReadData(uint32_t addr, uint32_t len, uint8_t* out) const;
 
-  // Prefetch service counters: batched replies built, and extra chunks
-  // shipped speculatively inside them.
-  uint64_t batches_served() const { return batches_served_; }
-  uint64_t chunks_prefetched() const { return chunks_prefetched_; }
+  // Copies this session's private working pages over `flat` (a buffer laid
+  // out like the server's shared data store). Legacy whole-store view.
+  void OverlayData(std::vector<uint8_t>* flat) const;
+  // Increments whenever the working data overlay changes (write / restart);
+  // lets cached flat views invalidate in O(1).
+  uint64_t data_version() const { return data_version_; }
+
   // Demand reference count ("temperature") of a chunk start, as learned
-  // from past kChunkRequests (tests/benchmarks).
+  // from this session's past kChunkRequests.
   uint32_t Temperature(uint32_t addr) const {
     const uint32_t* t = temperature_.Find(addr);
     return t == nullptr ? 0 : *t;
   }
-
-  // Stable counter addresses for the metrics registry (valid for the MC's
-  // lifetime).
-  const uint64_t* requests_served_counter() const { return &requests_served_; }
-  const uint64_t* replays_suppressed_counter() const {
-    return &replays_suppressed_;
-  }
-  const uint64_t* batches_served_counter() const { return &batches_served_; }
-  const uint64_t* chunks_prefetched_counter() const {
-    return &chunks_prefetched_;
-  }
-  const uint64_t* restarts_counter() const { return &restarts_; }
-  const uint64_t* stale_epoch_rejects_counter() const {
-    return &stale_epoch_rejects_;
-  }
-  const uint64_t* write_flushes_counter() const { return &write_flushes_; }
   // (chunk start address, demand count) rows of the temperature table.
   std::vector<std::pair<uint64_t, uint64_t>> TemperatureRows() const {
     std::vector<std::pair<uint64_t, uint64_t>> rows;
@@ -131,26 +233,9 @@ class MemoryController {
     return rows;
   }
 
-  // Test-only tap observing every (request bytes, reply bytes) pair exactly
-  // as they cross the wire; used to prove kOff traffic is byte-identical to
-  // the seed protocol.
-  using FrameTap = std::function<void(const std::vector<uint8_t>& request,
-                                      const std::vector<uint8_t>& reply)>;
-  void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
+  const McSessionStats& stats() const { return stats_; }
 
  private:
-  std::vector<uint8_t> HandleInner(const std::vector<uint8_t>& request_bytes);
-  Reply HandleParsed(const Request& request);
-  Reply ErrorReply(uint32_t seq, const std::string& message) const;
-  // Extracts one chunk at `addr` with the configured chunking style.
-  util::Result<Chunk> CutChunk(uint32_t addr) const;
-  // Builds the kChunkBatchReply for a demanded chunk: walks the static CFG
-  // from `primary` up to the hinted depth, ranks candidates (temperature
-  // policy) and packs the winners behind the demanded chunk until the
-  // chunk-count/byte budgets run out.
-  Reply BatchReply(const Request& request, const Chunk& primary,
-                   const PrefetchHints& hints);
-
   // Replay cache entry: a recently applied write-type request, identified by
   // (type, seq, addr, payload checksum), with the reply it produced. An
   // unreliable transport may deliver the same write twice (duplication) or
@@ -168,34 +253,54 @@ class MemoryController {
     std::vector<uint8_t> reply_bytes;
   };
 
-  // A write applied to the working image but not yet folded into the stable
-  // image — exactly the state a crash loses.
+  // A write applied to the working overlay but not yet folded into the
+  // stable overlay — exactly the state a crash loses.
   struct PendingWrite {
     uint32_t addr = 0;
     std::vector<uint8_t> bytes;
   };
 
-  // Stamps the current epoch into the reply and serializes it.
+  using PageMap = std::map<uint32_t, std::vector<uint8_t>>;  // page index -> bytes
+
+  Reply HandleParsed(const Request& request);
+  Reply ErrorReply(uint32_t seq, const std::string& message) const;
+  // Builds the kChunkBatchReply for a demanded chunk: walks the static CFG
+  // from `primary` up to the hinted depth, ranks candidates (temperature
+  // policy) and packs the winners behind the demanded chunk until the
+  // chunk-count/byte budgets run out.
+  Reply BatchReply(const Request& request, const Chunk& primary,
+                   const PrefetchHints& hints);
+  // Translation through the server: memoized while this session reads shared
+  // text, un-memoized once it holds a private (written) text image.
+  util::Result<Chunk> CutChunk(uint32_t addr);
+
+  // Stamps this session's id + epoch into the reply and serializes it.
   std::vector<uint8_t> Finish(Reply reply) const;
+  // Materializes the private text image (first kTextWrite).
+  void FaultTextPrivate();
+  // Writes `len` bytes at `addr` into `pages`, faulting any missing page
+  // from the server's shared pristine store first.
+  void WritePages(PageMap* pages, uint32_t addr, const uint8_t* src,
+                  size_t len, bool count_faults);
   void RecordTextWrite(uint32_t addr, const std::vector<uint8_t>& bytes);
   void RecordDataWrite(uint32_t addr, const std::vector<uint8_t>& bytes);
 
-  image::Image image_;  // server-side copy; text mutable via kTextWrite
-  Style style_;
-  uint32_t max_block_instrs_;
-  uint32_t max_trace_blocks_;
-  std::vector<uint8_t> data_;
-  uint64_t requests_served_ = 0;
-  uint64_t replays_suppressed_ = 0;
+  McServer& server_;
+  uint32_t client_id_;
   std::deque<ReplayEntry> replay_cache_;
 
-  // Crash-survivable state. `stable_text_` mirrors image_.text as of the
-  // last flush barrier; `stable_data_` is materialized lazily just before
-  // the first data writeback mutates data_ (runs without a D-cache never
-  // pay the copy). The pending lists hold writes applied to the working
-  // image since the last barrier of their type.
+  // COW text: null while this session reads the shared pristine image; a
+  // private copy after its first kTextWrite. `stable_text_` mirrors the
+  // private text as of the last flush barrier.
+  std::unique_ptr<image::Image> private_image_;
   std::vector<uint8_t> stable_text_;
-  std::vector<uint8_t> stable_data_;
+
+  // COW data: private working pages overlaying the shared store, plus the
+  // stable pages (pristine + flushed writes) a crash reverts to.
+  PageMap data_pages_;
+  PageMap stable_pages_;
+  uint64_t data_version_ = 0;
+
   std::vector<PendingWrite> pending_text_;
   std::vector<PendingWrite> pending_data_;
   uint64_t applied_text_ops_ = 0;
@@ -203,16 +308,113 @@ class MemoryController {
   uint64_t applied_data_ops_ = 0;
   uint64_t stable_data_ops_ = 0;
   uint32_t epoch_ = 0;
-  uint64_t restarts_ = 0;
-  uint64_t stale_epoch_rejects_ = 0;
-  uint64_t write_flushes_ = 0;
 
   // Per-chunk demand counts (prefetch "temperature"), keyed by the chunk
-  // start address the client asked for.
+  // start address this client asked for.
   util::OpenTable<uint32_t, uint32_t> temperature_{256};
-  uint64_t batches_served_ = 0;
-  uint64_t chunks_prefetched_ = 0;
+  McSessionStats stats_;
+};
+
+// The MC endpoint: one shared server core plus a session per client id.
+// Single-client code (and every pre-multi-client test) keeps working
+// unchanged: the legacy accessors read session 0, which the constructor
+// pre-creates, and client id 0 frames serialize byte-identically to the
+// seed protocol.
+class MemoryController {
+ public:
+  MemoryController(const image::Image& image, Style style,
+                   uint32_t max_block_instrs, uint32_t max_trace_blocks = 1)
+      : server_(image, style, max_block_instrs, max_trace_blocks) {
+    session(0);  // legacy accessors are defined in terms of session 0
+  }
+
+  // Handles one request frame; returns the reply frame. Routes by the client
+  // id embedded in the frame's type word (a direct, un-switched endpoint
+  // trusts the embedded id).
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request_bytes);
+
+  // Handles a frame arriving on switch port `port`: the embedded client id
+  // must match the port, otherwise the frame is rejected as misrouted
+  // (spoofed) without touching any session's state.
+  std::vector<uint8_t> HandlePort(uint32_t port,
+                                  const std::vector<uint8_t>& request_bytes);
+
+  // Restarts every session (the whole server process dies). Single-client
+  // runs see exactly the pre-refactor crash model.
+  void Restart();
+  // Restarts one client's session; all other sessions are unaffected.
+  void RestartSession(uint32_t client_id);
+
+  McServer& server() { return server_; }
+  const McServer& server() const { return server_; }
+  // The session for `client_id`, created on first use.
+  McSession& session(uint32_t client_id);
+  // Null if no frame (or session() call) has touched that id yet.
+  const McSession* FindSession(uint32_t client_id) const;
+  size_t sessions_active() const { return sessions_.size(); }
+
+  // Registers server aggregates plus per-session counters/heat-tables under
+  // `prefix` (e.g. "mc." -> mc.requests_served, mc.s0.requests, ...).
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix = "mc.") const;
+
+  // --- Legacy single-client surface (session 0 / server aggregates) ---
+  uint32_t epoch() const { return Session0().epoch(); }
+  uint64_t restarts() const { return server_.stats().restarts; }
+  uint64_t stale_epoch_rejects() const {
+    return server_.stats().stale_epoch_rejects;
+  }
+  uint64_t applied_text_ops() const { return Session0().applied_text_ops(); }
+  uint64_t stable_text_ops() const { return Session0().stable_text_ops(); }
+  uint64_t applied_data_ops() const { return Session0().applied_data_ops(); }
+  uint64_t stable_data_ops() const { return Session0().stable_data_ops(); }
+
+  // Session 0's view of program text (the shared pristine image until its
+  // first kTextWrite).
+  const image::Image& image() const { return Session0().text_view(); }
+
+  uint32_t DataBase() const { return server_.DataBase(); }
+  uint32_t DataLimit() const { return server_.DataLimit(); }
+  // Session 0's flat view of the data store (shared store with its private
+  // pages overlaid); rebuilt lazily when the overlay changes.
+  const std::vector<uint8_t>& data() const;
+
+  uint64_t requests_served() const { return server_.stats().requests_served; }
+  uint64_t replays_suppressed() const {
+    return server_.stats().replays_suppressed;
+  }
+  uint64_t batches_served() const { return server_.stats().batches_served; }
+  uint64_t chunks_prefetched() const {
+    return server_.stats().chunks_prefetched;
+  }
+  uint32_t Temperature(uint32_t addr) const {
+    return Session0().Temperature(addr);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> TemperatureRows() const {
+    return Session0().TemperatureRows();
+  }
+
+  // Test-only tap observing every (request bytes, reply bytes) pair exactly
+  // as they cross the wire; used to prove kOff traffic is byte-identical to
+  // the seed protocol.
+  using FrameTap = std::function<void(const std::vector<uint8_t>& request,
+                                      const std::vector<uint8_t>& reply)>;
+  void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
+
+ private:
+  // port < 0 means "no switch": trust the embedded client id.
+  std::vector<uint8_t> HandleRouted(int64_t port,
+                                    const std::vector<uint8_t>& request_bytes);
+  std::vector<uint8_t> HandleInner(int64_t port,
+                                   const std::vector<uint8_t>& request_bytes);
+  const McSession& Session0() const { return *FindSession(0); }
+
+  McServer server_;
+  std::map<uint32_t, std::unique_ptr<McSession>> sessions_;
   FrameTap tap_;
+  // Cached flat data view for the legacy data() accessor.
+  mutable std::vector<uint8_t> legacy_data_;
+  mutable uint64_t legacy_data_version_ = ~0ull;
 };
 
 }  // namespace sc::softcache

@@ -25,11 +25,13 @@ uint32_t GetU32(const std::vector<uint8_t>& bytes, size_t offset) {
          static_cast<uint32_t>(bytes[offset + 3]) << 24;
 }
 
-// The type word carries the message type in its low 16 bits and the session
-// epoch in its high 16 bits. Epoch 0 (no crash has ever occurred) packs to
-// exactly the seed protocol's bytes.
-uint32_t PackTypeWord(MsgType type, uint32_t epoch) {
+// The type word carries the message type in its low 8 bits, the client id in
+// bits 15..8, and the session epoch in its high 16 bits. Client id 0 with
+// epoch 0 (single client, no crash has ever occurred) packs to exactly the
+// seed protocol's bytes.
+uint32_t PackTypeWord(MsgType type, uint32_t epoch, uint32_t client_id) {
   return (static_cast<uint32_t>(type) & kTypeMask) |
+         ((client_id & kClientIdMask) << kClientIdShift) |
          ((epoch & kEpochMask) << kEpochShift);
 }
 
@@ -49,7 +51,7 @@ std::vector<uint8_t> Request::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());
   PutU32(out, kProtocolMagic);
-  PutU32(out, PackTypeWord(type, epoch));
+  PutU32(out, PackTypeWord(type, epoch, client_id));
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, length);
@@ -74,6 +76,7 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   Request req;
   const uint32_t type_word = GetU32(bytes, 4);
   req.type = static_cast<MsgType>(type_word & kTypeMask);
+  req.client_id = (type_word >> kClientIdShift) & kClientIdMask;
   req.epoch = type_word >> kEpochShift;
   req.seq = GetU32(bytes, 8);
   req.addr = GetU32(bytes, 12);
@@ -93,7 +96,7 @@ std::vector<uint8_t> Reply::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());
   PutU32(out, kProtocolMagic);
-  PutU32(out, PackTypeWord(type, epoch));
+  PutU32(out, PackTypeWord(type, epoch, client_id));
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, aux);
@@ -162,6 +165,7 @@ util::Result<Reply> Reply::Parse(const std::vector<uint8_t>& bytes) {
   Reply reply;
   const uint32_t type_word = GetU32(bytes, 4);
   reply.type = static_cast<MsgType>(type_word & kTypeMask);
+  reply.client_id = (type_word >> kClientIdShift) & kClientIdMask;
   reply.epoch = type_word >> kEpochShift;
   reply.seq = GetU32(bytes, 8);
   reply.addr = GetU32(bytes, 12);

@@ -39,22 +39,40 @@ enum class MsgType : uint32_t {
                    // watermarks (text ops / data ops)
 };
 
-// --- Sessions and epochs (crash recovery) ---
+// --- Sessions, epochs (crash recovery) and client ids (multi-client) ---
+//
+// The type word packs three fields:
+//
+//   bits  7..0   message type
+//   bits 15..8   client id   (which MC session this frame belongs to)
+//   bits 31..16  session epoch
 //
 // The MC stamps its boot **epoch** into every reply, and clients stamp their
-// last-known epoch into every request, both riding the high 16 bits of the
-// frame's type word. The seed protocol always wrote those bits as zero, and
-// the epoch starts at zero, so a crash-free run's wire traffic is
-// byte-identical to the seed protocol (property-tested against golden
-// re-encoders in tests/prefetch_test.cpp). After an MC restart the epoch
-// increments; a client that observes a mismatched epoch in a reply knows the
-// server lost its volatile state and runs the kHello/kHelloAck handshake +
-// journal replay described in docs/PROTOCOL.md. The MC rejects write-type
-// requests carrying a stale epoch, which keeps its applied-op counters
-// exactly aligned with the clients' journal indices.
+// last-known epoch into every request, riding the high 16 bits of the
+// frame's type word. With one MC serving N cache controllers, every client
+// additionally stamps its **client id** into bits 15..8 so the server can
+// demultiplex frames onto per-client sessions (`net::Switch` routes by
+// transport port; the MC cross-checks the embedded id against the port).
+//
+// The seed protocol always wrote bits 31..8 as zero, every message type fits
+// in 8 bits, the epoch starts at zero, and the default client id is zero —
+// so a crash-free single-client run's wire traffic is byte-identical to the
+// seed protocol (property-tested against golden re-encoders in
+// tests/prefetch_test.cpp and tests/multiclient_test.cpp). After an MC
+// session restart that session's epoch increments; a client that observes a
+// mismatched epoch in a reply knows the server lost its volatile state and
+// runs the kHello/kHelloAck handshake + journal replay described in
+// docs/PROTOCOL.md. The MC rejects write-type requests carrying a stale
+// epoch, which keeps its applied-op counters exactly aligned with the
+// clients' journal indices. Epochs and crash recovery are per-session: one
+// client's crash schedule never bumps another client's epoch.
 inline constexpr uint32_t kEpochMask = 0xffff;
-inline constexpr uint32_t kTypeMask = 0xffff;
+inline constexpr uint32_t kTypeMask = 0xff;
+inline constexpr uint32_t kClientIdMask = 0xff;
+inline constexpr uint32_t kClientIdShift = 8;
 inline constexpr uint32_t kEpochShift = 16;
+// The id field is 8 bits wide, so one MC serves at most 256 sessions.
+inline constexpr uint32_t kMaxClients = kClientIdMask + 1;
 
 // --- Chunk batching (speculative prefetch) ---
 //
@@ -133,6 +151,7 @@ struct Request {
   uint32_t addr = 0;
   uint32_t length = 0;  // data requests: bytes wanted
   uint32_t epoch = 0;   // client's last-known server epoch (low 16 bits used)
+  uint32_t client_id = 0;  // MC session this frame belongs to (low 8 bits)
   // Writebacks carry payload after the fixed frame (accounted separately).
   std::vector<uint8_t> payload;
 
@@ -150,6 +169,7 @@ struct Reply {
   uint32_t aux = 0;         // chunk replies: packed exit kind | entry word
   uint32_t extra = 0;       // chunk replies: taken/callee/jump target
   uint32_t epoch = 0;       // server boot epoch (low 16 bits used)
+  uint32_t client_id = 0;   // MC session the reply belongs to (low 8 bits)
   std::vector<uint8_t> payload;
 
   uint32_t wire_bytes() const {

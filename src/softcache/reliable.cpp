@@ -50,6 +50,15 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
                     "got", reply->seq);
         continue;
       }
+      if (reply->client_id != (request.client_id & kClientIdMask)) {
+        // A seq collision with another client's session (each client owns a
+        // disjoint seq range, so this only happens under hostile traffic or
+        // a misbehaving switch). Not ours.
+        ++stats_->stale_replies;
+        OBS_INSTANT("link", "stale_reply", "want", request.seq,
+                    "got_client", reply->client_id);
+        continue;
+      }
       return std::move(*reply);
     }
     // Nothing pending matches: the request or every copy of its reply was
@@ -65,21 +74,27 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
                      std::to_string(retry_.max_attempts) + " attempts"};
 }
 
-std::unique_ptr<net::Transport> MakeMcTransport(MemoryController& mc,
-                                                net::Channel& channel,
-                                                const net::FaultConfig& fault) {
-  net::FrameHandler handler = [&mc](const std::vector<uint8_t>& bytes) {
-    return mc.Handle(bytes);
-  };
+std::unique_ptr<net::Transport> MakeTransport(net::FrameHandler handler,
+                                              net::Channel& channel,
+                                              const net::FaultConfig& fault,
+                                              std::function<void()> crash) {
   if (fault.enabled()) {
     auto transport = std::make_unique<net::FaultyTransport>(
         channel, std::move(handler), fault);
-    if (fault.crash_enabled()) {
-      transport->set_crash_handler([&mc] { mc.Restart(); });
+    if (fault.crash_enabled() && crash) {
+      transport->set_crash_handler(std::move(crash));
     }
     return transport;
   }
   return std::make_unique<net::LoopbackTransport>(channel, std::move(handler));
+}
+
+std::unique_ptr<net::Transport> MakeMcTransport(MemoryController& mc,
+                                                net::Channel& channel,
+                                                const net::FaultConfig& fault) {
+  return MakeTransport(
+      [&mc](const std::vector<uint8_t>& bytes) { return mc.Handle(bytes); },
+      channel, fault, [&mc] { mc.Restart(); });
 }
 
 }  // namespace sc::softcache

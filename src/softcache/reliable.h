@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "net/transport.h"
@@ -66,9 +67,18 @@ class ReliableLink {
   LinkStats* stats_;
 };
 
-// Builds the client->MC transport: a LoopbackTransport when `fault` is all
-// zeros (bit-identical to the historical direct-call path), otherwise a
-// FaultyTransport seeded from the config.
+// Builds a client transport over an arbitrary server endpoint (e.g. one
+// port of a net::Switch): a LoopbackTransport when `fault` is all zeros
+// (bit-identical to the historical direct-call path), otherwise a
+// FaultyTransport seeded from the config, with `crash` invoked at each
+// scheduled server crash (typically MemoryController::RestartSession).
+std::unique_ptr<net::Transport> MakeTransport(net::FrameHandler handler,
+                                              net::Channel& channel,
+                                              const net::FaultConfig& fault,
+                                              std::function<void()> crash);
+
+// The single-client convenience wrapper: frames go straight to mc.Handle
+// and a scheduled crash restarts every session (there is only one).
 std::unique_ptr<net::Transport> MakeMcTransport(MemoryController& mc,
                                                 net::Channel& channel,
                                                 const net::FaultConfig& fault);

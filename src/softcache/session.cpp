@@ -11,14 +11,16 @@ namespace sc::softcache {
 
 Session::Session(std::unique_ptr<net::Transport> transport,
                  const RetryConfig& retry, LinkStats* link_stats,
-                 SessionStats* stats, MsgType journal_type, uint32_t first_seq)
+                 SessionStats* stats, MsgType journal_type, uint32_t first_seq,
+                 uint32_t client_id)
     : link_(std::move(transport), retry, link_stats),
       retry_(retry),
       stats_(stats),
       journal_type_(journal_type),
       ack_type_(journal_type == MsgType::kTextWrite ? MsgType::kTextWriteAck
                                                     : MsgType::kWritebackAck),
-      seq_(first_seq) {
+      seq_(first_seq),
+      client_id_(client_id & kClientIdMask) {
   SC_CHECK(stats_ != nullptr);
   SC_CHECK(journal_type_ == MsgType::kTextWrite ||
            journal_type_ == MsgType::kDataWriteback);
@@ -27,6 +29,7 @@ Session::Session(std::unique_ptr<net::Transport> transport,
 util::Result<Reply> Session::CallOnce(Request& request, uint64_t* cycles) {
   request.seq = seq_++;
   request.epoch = epoch_ & kEpochMask;
+  request.client_id = client_id_;
   return link_.Call(request, cycles);
 }
 
@@ -176,6 +179,7 @@ util::Result<Reply> Session::Recover(uint64_t* cycles, const Request* original,
       captured.seq = original->seq;
       captured.addr = original->addr;
       captured.epoch = epoch_ & kEpochMask;
+      captured.client_id = client_id_;
     }
     return captured;
   }

@@ -53,11 +53,13 @@ class Session {
  public:
   // `journal_type` is the one write-type this client sends (selects which
   // kHelloAck watermark applies); `first_seq` seeds the sequence counter
-  // (each client owns a disjoint seq range). `link_stats`/`stats` must
-  // outlive the session.
+  // (each client owns a disjoint seq range); `client_id` is stamped into
+  // every outgoing frame so a shared MC routes it to this client's session
+  // (id 0 — the default — serializes byte-identically to the seed
+  // protocol). `link_stats`/`stats` must outlive the session.
   Session(std::unique_ptr<net::Transport> transport, const RetryConfig& retry,
           LinkStats* link_stats, SessionStats* stats, MsgType journal_type,
-          uint32_t first_seq);
+          uint32_t first_seq, uint32_t client_id = 0);
 
   // Invoked once per recovery, before the handshake: the owner drops any
   // state derived from pre-crash server decisions (staged prefetch chunks).
@@ -79,6 +81,7 @@ class Session {
 
   net::Transport& transport() { return link_.transport(); }
   uint32_t epoch() const { return epoch_; }
+  uint32_t client_id() const { return client_id_; }
   size_t journal_size() const { return journal_.size(); }
 
  private:
@@ -109,6 +112,7 @@ class Session {
   MsgType journal_type_;
   MsgType ack_type_;
   uint32_t seq_;
+  uint32_t client_id_;
   uint32_t epoch_ = 0;
   uint64_t next_index_ = 0;  // ordinal of the next journaled op
   std::deque<JournalEntry> journal_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -20,8 +21,21 @@ struct LinkStats {
   uint64_t retries = 0;        // retransmissions beyond the first attempt
   uint64_t timeouts = 0;       // attempts that expired with no matching reply
   uint64_t corrupt_frames = 0; // replies that failed to parse
-  uint64_t stale_replies = 0;  // parseable replies with a mismatched seq
+  uint64_t stale_replies = 0;  // parseable replies with mismatched seq/id
   uint64_t giveups = 0;        // RPCs abandoned after max_attempts
+
+  // Every stats struct registers its own fields (views over this storage;
+  // the struct must outlive the registry). `prefix` carries the full dotted
+  // path, e.g. "net.link." or "c3.net.link." for client 3 of a fleet.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "requests", &requests);
+    registry->RegisterCounter(prefix + "retries", &retries);
+    registry->RegisterCounter(prefix + "timeouts", &timeouts);
+    registry->RegisterCounter(prefix + "corrupt_frames", &corrupt_frames);
+    registry->RegisterCounter(prefix + "stale_replies", &stale_replies);
+    registry->RegisterCounter(prefix + "giveups", &giveups);
+  }
 };
 
 // Session-layer counters (one Session per client). All zero on a crash-free
@@ -35,6 +49,19 @@ struct SessionStats {
   uint64_t journal_truncated = 0;  // entries dropped as durable (flush/ack)
   uint64_t recovery_cycles = 0;    // client cycles spent inside recovery
   uint64_t recovery_failures = 0;  // recoveries abandoned after the bound
+
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "epoch_changes", &epoch_changes);
+    registry->RegisterCounter(prefix + "recoveries", &recoveries);
+    registry->RegisterCounter(prefix + "journaled_ops", &journaled_ops);
+    registry->RegisterCounter(prefix + "journal_replays", &journal_replays);
+    registry->RegisterCounter(prefix + "journal_truncated",
+                              &journal_truncated);
+    registry->RegisterCounter(prefix + "recovery_cycles", &recovery_cycles);
+    registry->RegisterCounter(prefix + "recovery_failures",
+                              &recovery_failures);
+  }
 };
 
 // Speculative-prefetch counters (CC side). Accuracy is "of the chunks the
@@ -62,6 +89,21 @@ struct PrefetchStats {
     return fetches == 0 ? 0.0
                         : static_cast<double>(hits) /
                               static_cast<double>(fetches);
+  }
+
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "batches", &batches);
+    registry->RegisterCounter(prefix + "chunks_prefetched",
+                              &chunks_prefetched);
+    registry->RegisterCounter(prefix + "staged", &staged);
+    registry->RegisterCounter(prefix + "hits", &hits);
+    registry->RegisterCounter(prefix + "demand_fetches", &demand_fetches);
+    registry->RegisterCounter(prefix + "dropped", &dropped);
+    registry->RegisterCounter(prefix + "evictions", &evictions);
+    registry->RegisterCounter(prefix + "invalidated", &invalidated);
+    registry->RegisterGauge(prefix + "accuracy", [this] { return accuracy(); });
+    registry->RegisterGauge(prefix + "coverage", [this] { return coverage(); });
   }
 };
 
@@ -110,6 +152,37 @@ struct SoftCacheStats {
 
   // Crash-recovery session counters.
   SessionStats session;
+
+  // Registers this struct's own scalars plus its nested stats blocks.
+  // `prefix` is the client-level prefix ("" for a single-client system,
+  // "c3." for client 3 of a fleet); the canonical subsystem names (cc.*,
+  // prefetch.*, net.link.*, session.*) are appended here so every consumer
+  // sees the same dotted scheme.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    const std::string cc = prefix + "cc.";
+    registry->RegisterCounter(cc + "blocks_translated", &blocks_translated);
+    registry->RegisterCounter(cc + "words_installed", &words_installed);
+    registry->RegisterCounter(cc + "evictions", &evictions);
+    registry->RegisterCounter(cc + "flushes", &flushes);
+    registry->RegisterCounter(cc + "tcmiss_traps", &tcmiss_traps);
+    registry->RegisterCounter(cc + "patch_only_misses", &patch_only_misses);
+    registry->RegisterCounter(cc + "hash_lookups", &hash_lookups);
+    registry->RegisterCounter(cc + "hash_lookup_misses", &hash_lookup_misses);
+    registry->RegisterCounter(cc + "patches_applied", &patches_applied);
+    registry->RegisterCounter(cc + "stack_walk_frames", &stack_walk_frames);
+    registry->RegisterCounter(cc + "return_addr_fixups", &return_addr_fixups);
+    registry->RegisterCounter(cc + "tcache_bytes_used_peak",
+                              &tcache_bytes_used_peak);
+    registry->RegisterCounter(cc + "extra_words_live", &extra_words_live);
+    registry->RegisterCounter(cc + "return_stub_words", &return_stub_words);
+    registry->RegisterCounter(cc + "redirector_words", &redirector_words);
+    registry->RegisterCounter(cc + "miss_cycles", &miss_cycles);
+    registry->RegisterTimeline(cc + "eviction_timeline", &eviction_timeline);
+    prefetch.RegisterMetrics(registry, prefix + "prefetch.");
+    net.RegisterMetrics(registry, prefix + "net.link.");
+    session.RegisterMetrics(registry, prefix + "session.");
+  }
 };
 
 }  // namespace sc::softcache

@@ -1,6 +1,10 @@
 #include "softcache/system.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
+#include "softcache/reliable.h"
+#include "util/check.h"
 
 namespace sc::softcache {
 
@@ -33,92 +37,14 @@ vm::RunResult SoftCacheSystem::Run(uint64_t max_instructions) {
 }
 
 void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
-  const SoftCacheStats& s = cc_->stats();
-  // CC translation/trap/rewriting activity.
-  registry->RegisterCounter("cc.blocks_translated", &s.blocks_translated);
-  registry->RegisterCounter("cc.words_installed", &s.words_installed);
-  registry->RegisterCounter("cc.evictions", &s.evictions);
-  registry->RegisterCounter("cc.flushes", &s.flushes);
-  registry->RegisterCounter("cc.tcmiss_traps", &s.tcmiss_traps);
-  registry->RegisterCounter("cc.patch_only_misses", &s.patch_only_misses);
-  registry->RegisterCounter("cc.hash_lookups", &s.hash_lookups);
-  registry->RegisterCounter("cc.hash_lookup_misses", &s.hash_lookup_misses);
-  registry->RegisterCounter("cc.patches_applied", &s.patches_applied);
-  registry->RegisterCounter("cc.stack_walk_frames", &s.stack_walk_frames);
-  registry->RegisterCounter("cc.return_addr_fixups", &s.return_addr_fixups);
-  registry->RegisterCounter("cc.tcache_bytes_used_peak",
-                            &s.tcache_bytes_used_peak);
-  registry->RegisterCounter("cc.extra_words_live", &s.extra_words_live);
-  registry->RegisterCounter("cc.return_stub_words", &s.return_stub_words);
-  registry->RegisterCounter("cc.redirector_words", &s.redirector_words);
-  registry->RegisterCounter("cc.miss_cycles", &s.miss_cycles);
-  // Prefetch staging (CC side).
-  registry->RegisterCounter("prefetch.batches", &s.prefetch.batches);
-  registry->RegisterCounter("prefetch.chunks_prefetched",
-                            &s.prefetch.chunks_prefetched);
-  registry->RegisterCounter("prefetch.staged", &s.prefetch.staged);
-  registry->RegisterCounter("prefetch.hits", &s.prefetch.hits);
-  registry->RegisterCounter("prefetch.demand_fetches",
-                            &s.prefetch.demand_fetches);
-  registry->RegisterCounter("prefetch.dropped", &s.prefetch.dropped);
-  registry->RegisterCounter("prefetch.evictions", &s.prefetch.evictions);
-  registry->RegisterCounter("prefetch.invalidated", &s.prefetch.invalidated);
-  registry->RegisterGauge("prefetch.accuracy",
-                          [&s] { return s.prefetch.accuracy(); });
-  registry->RegisterGauge("prefetch.coverage",
-                          [&s] { return s.prefetch.coverage(); });
-  // Reliable-link retry machinery.
-  registry->RegisterCounter("net.link.requests", &s.net.requests);
-  registry->RegisterCounter("net.link.retries", &s.net.retries);
-  registry->RegisterCounter("net.link.timeouts", &s.net.timeouts);
-  registry->RegisterCounter("net.link.corrupt_frames", &s.net.corrupt_frames);
-  registry->RegisterCounter("net.link.stale_replies", &s.net.stale_replies);
-  registry->RegisterCounter("net.link.giveups", &s.net.giveups);
-  // Crash-recovery session machinery.
-  registry->RegisterCounter("session.epoch_changes", &s.session.epoch_changes);
-  registry->RegisterCounter("session.recoveries", &s.session.recoveries);
-  registry->RegisterCounter("session.journaled_ops", &s.session.journaled_ops);
-  registry->RegisterCounter("session.journal_replays",
-                            &s.session.journal_replays);
-  registry->RegisterCounter("session.journal_truncated",
-                            &s.session.journal_truncated);
-  registry->RegisterCounter("session.recovery_cycles",
-                            &s.session.recovery_cycles);
-  registry->RegisterCounter("session.recovery_failures",
-                            &s.session.recovery_failures);
-  // Channel wire accounting.
-  const net::ChannelStats& ch = channel_.stats();
-  registry->RegisterCounter("net.channel.messages_to_server",
-                            &ch.messages_to_server);
-  registry->RegisterCounter("net.channel.messages_to_client",
-                            &ch.messages_to_client);
-  registry->RegisterCounter("net.channel.bytes_to_server", &ch.bytes_to_server);
-  registry->RegisterCounter("net.channel.bytes_to_client", &ch.bytes_to_client);
-  registry->RegisterCounter("net.channel.cycles", &ch.total_cycles);
-  // MC service counters.
-  registry->RegisterCounter("mc.requests_served",
-                            mc_->requests_served_counter());
-  registry->RegisterCounter("mc.replays_suppressed",
-                            mc_->replays_suppressed_counter());
-  registry->RegisterCounter("mc.batches_served", mc_->batches_served_counter());
-  registry->RegisterCounter("mc.chunks_prefetched",
-                            mc_->chunks_prefetched_counter());
-  registry->RegisterCounter("mc.restarts", mc_->restarts_counter());
-  registry->RegisterCounter("mc.stale_epoch_rejects",
-                            mc_->stale_epoch_rejects_counter());
-  registry->RegisterCounter("mc.write_flushes", mc_->write_flushes_counter());
-  // VM progress.
+  // Each subsystem registers its own block next to the stats it owns; this
+  // is just composition. The names are unchanged from when this function
+  // enumerated every counter by hand (obs_test pins them).
+  cc_->RegisterMetrics(registry, "");
+  channel_.stats().RegisterMetrics(registry, "net.channel.");
+  mc_->RegisterMetrics(registry, "mc.");
   registry->RegisterCounter("vm.instructions", machine_.instructions_counter());
   registry->RegisterCounter("vm.cycles", machine_.cycles_counter());
-  // Derived shapes.
-  registry->RegisterHistogram("cc.miss_latency_cycles", &cc_->miss_latency());
-  registry->RegisterTimeline("cc.eviction_timeline", &s.eviction_timeline);
-  registry->RegisterSeries("cc.tcache_occupancy_bytes",
-                           &cc_->occupancy_series());
-  registry->RegisterTable("cc.chunk_fetches",
-                          [this] { return cc_->ChunkFetchCounts(); });
-  registry->RegisterTable("mc.chunk_temperature",
-                          [this] { return mc_->TemperatureRows(); });
 }
 
 double SoftCacheSystem::MissRate() const {
@@ -126,6 +52,117 @@ double SoftCacheSystem::MissRate() const {
   if (instrs == 0) return 0.0;
   return static_cast<double>(stats().blocks_translated) /
          static_cast<double>(instrs);
+}
+
+MultiClientSystem::MultiClientSystem(const image::Image& image,
+                                     const MultiClientConfig& config)
+    : config_(config),
+      switch_([this](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc_->HandlePort(port, frame);
+      }) {
+  SC_CHECK_GE(config.clients, 1u) << "MultiClientSystem needs a client";
+  SC_CHECK_LE(config.clients, kMaxClients) << "exceeds 8-bit wire id space";
+  obs::EnsureEchoTracerForLogging();
+  mc_ = std::make_unique<MemoryController>(image, config.base.style,
+                                           config.base.max_block_instrs,
+                                           config.base.max_trace_blocks);
+  clients_.reserve(config.clients);
+  for (uint32_t i = 0; i < config.clients; ++i) {
+    Client client;
+    client.machine = std::make_unique<vm::Machine>();
+    client.machine->LoadImage(image);
+    client.channel = std::make_unique<net::Channel>(config.base.channel);
+
+    SoftCacheConfig cfg = config.base;
+    cfg.client_id = i;
+    if (i < config.client_faults.size()) cfg.fault = config.client_faults[i];
+    const net::FaultConfig fault = cfg.fault;
+    // Each client talks through its own switch port; a crash on that port
+    // restarts only this client's server-side session, never its neighbors'.
+    cfg.transport_factory = [this, i, fault](MemoryController&,
+                                             net::Channel& channel) {
+      return MakeTransport(switch_.Port(i), channel, fault,
+                           [this, i] { mc_->RestartSession(i); });
+    };
+    client.cc = std::make_unique<CacheController>(*client.machine, *mc_,
+                                                  *client.channel, cfg);
+    if (fault.crash_at_cycle != 0) {
+      client.cc->transport().set_cycle_source(
+          client.machine->cycles_counter());
+    }
+    // Pre-create the session so per-session metrics exist before traffic.
+    mc_->session(i);
+    clients_.push_back(std::move(client));
+  }
+  if (obs::Tracer* t = obs::tracer()) {
+    if (t->enabled()) t->SetClockSource(clients_[0].machine->cycles_counter());
+  }
+}
+
+std::vector<vm::RunResult> MultiClientSystem::RunAll(
+    uint64_t max_instructions_each) {
+  for (Client& client : clients_) {
+    if (!client.attached) {
+      client.cc->Attach();
+      client.attached = true;
+    }
+  }
+  // Deterministic round-robin on guest time: always step the laggard (the
+  // live machine with the smallest cycle count; ties break to the lowest
+  // index). Clients share no guest-visible state, so any interleaving gives
+  // each one a solo-identical execution — this rule just makes the schedule
+  // (and hence traces/metrics) reproducible.
+  for (;;) {
+    Client* next = nullptr;
+    for (Client& client : clients_) {
+      if (client.done) continue;
+      if (next == nullptr ||
+          client.machine->cycles() < next->machine->cycles()) {
+        next = &client;
+      }
+    }
+    if (next == nullptr) break;
+    const uint64_t executed = next->machine->instructions();
+    const uint64_t budget =
+        max_instructions_each > executed ? max_instructions_each - executed : 0;
+    const uint64_t quantum = std::min(config_.quantum_instructions, budget);
+    next->result = next->machine->Run(quantum);
+    if (next->result.reason != vm::StopReason::kInstrLimit ||
+        next->machine->instructions() >= max_instructions_each) {
+      next->done = true;
+    }
+  }
+  std::vector<vm::RunResult> results;
+  results.reserve(clients_.size());
+  for (Client& client : clients_) results.push_back(client.result);
+  return results;
+}
+
+bool MultiClientSystem::SyncSessions() {
+  bool ok = true;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    net::FaultConfig fault = config_.base.fault;
+    if (i < config_.client_faults.size()) fault = config_.client_faults[i];
+    if (!fault.crash_enabled()) continue;
+    if (!clients_[i].cc->SyncSession()) ok = false;
+  }
+  return ok;
+}
+
+void MultiClientSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const std::string prefix = "c" + std::to_string(i) + ".";
+    const Client& client = clients_[i];
+    client.cc->RegisterMetrics(registry, prefix);
+    client.channel->stats().RegisterMetrics(registry, prefix + "net.channel.");
+    registry->RegisterCounter(prefix + "vm.instructions",
+                              client.machine->instructions_counter());
+    registry->RegisterCounter(prefix + "vm.cycles",
+                              client.machine->cycles_counter());
+  }
+  mc_->RegisterMetrics(registry, "mc.");
+  registry->RegisterCounter("net.switch.frames",
+                            switch_.frames_switched_counter());
 }
 
 vm::RunResult RunNative(const image::Image& image, const std::string& input,

@@ -13,6 +13,7 @@
 
 #include "image/image.h"
 #include "net/channel.h"
+#include "net/switch.h"
 #include "obs/metrics.h"
 #include "softcache/cc.h"
 #include "softcache/config.h"
@@ -64,5 +65,85 @@ class SoftCacheSystem {
 vm::RunResult RunNative(const image::Image& image, const std::string& input,
                         std::string* output = nullptr,
                         uint64_t max_instructions = UINT64_MAX);
+
+// --- Multi-client: one memory controller serving N cache controllers ---
+
+struct MultiClientConfig {
+  // Number of clients (each gets its own Machine/Channel/CC and the MC
+  // session whose id equals its index). Bounded by the 8-bit wire id.
+  uint32_t clients = 1;
+  // The per-client configuration template. client_id and transport_factory
+  // are overridden per client (each client gets its index as id and a
+  // transport over its own switch port); everything else applies verbatim
+  // to every client.
+  SoftCacheConfig base;
+  // Optional per-client fault schedules: client i uses client_faults[i]
+  // when present, base.fault otherwise. Lets each client carry its own
+  // seeded loss/crash schedule (crashes restart only that client's
+  // session).
+  std::vector<net::FaultConfig> client_faults;
+  // Scheduler quantum, in guest instructions per scheduling step.
+  uint64_t quantum_instructions = 1024;
+};
+
+// N independent guest machines sharing ONE MemoryController through a
+// net::Switch, interleaved by a deterministic guest-cycle round-robin
+// scheduler: each step runs the machine whose clock is furthest behind
+// (ties break to the lowest index) for one quantum. Because every client
+// owns disjoint server-side session state and its own channel/transport,
+// each client's guest execution is bit-identical to its solo run — the
+// sharing shows up only in server-side work (memoized translations).
+class MultiClientSystem {
+ public:
+  // The image must outlive the system.
+  MultiClientSystem(const image::Image& image, const MultiClientConfig& config);
+
+  void SetInput(size_t client, std::vector<uint8_t> input) {
+    clients_[client].machine->SetInput(std::move(input));
+  }
+  void SetInput(size_t client, const std::string& input) {
+    SetInput(client, std::vector<uint8_t>(input.begin(), input.end()));
+  }
+
+  // Runs every client to halt/fault (or its per-client instruction budget)
+  // under the round-robin scheduler. Returns one result per client.
+  std::vector<vm::RunResult> RunAll(uint64_t max_instructions_each = UINT64_MAX);
+
+  // End-of-run barrier: per-client Session::Synchronize for every client
+  // running under a crash schedule. Returns false if any client failed.
+  bool SyncSessions();
+
+  size_t clients() const { return clients_.size(); }
+  vm::Machine& machine(size_t client) { return *clients_[client].machine; }
+  CacheController& cc(size_t client) { return *clients_[client].cc; }
+  net::Channel& channel(size_t client) { return *clients_[client].channel; }
+  MemoryController& mc() { return *mc_; }
+  const MemoryController& mc() const { return *mc_; }
+  net::Switch& net_switch() { return switch_; }
+  std::string OutputString(size_t client) const {
+    return clients_[client].machine->OutputString();
+  }
+
+  // Per-client metrics under "c<i>." prefixes (c0.cc.evictions,
+  // c1.net.channel.bytes_to_server, c0.vm.instructions, ...) plus the
+  // shared server under "mc." (aggregates, memo stats, per-session s<id>.*
+  // counters and heat tables) and the switch frame counter.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  struct Client {
+    std::unique_ptr<vm::Machine> machine;
+    std::unique_ptr<net::Channel> channel;
+    std::unique_ptr<CacheController> cc;
+    bool attached = false;
+    bool done = false;
+    vm::RunResult result;
+  };
+
+  MultiClientConfig config_;
+  std::unique_ptr<MemoryController> mc_;
+  net::Switch switch_;
+  std::vector<Client> clients_;
+};
 
 }  // namespace sc::softcache

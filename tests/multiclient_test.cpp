@@ -1,0 +1,496 @@
+// Multi-client MC tests: one shared McServer core serving N per-client
+// McSessions through the net::Switch demux.
+//
+// Covers the wire format (client id packing, golden id-0 frames identical to
+// the seed protocol), the memoized translation cache (two sessions, ONE
+// translate — counter-proven), per-session copy-on-write text/data isolation,
+// per-session crash isolation, switch-level spoof rejection, and end-to-end
+// bit identity: every client of a MultiClientSystem must behave exactly like
+// its solo run, including under per-client fault/crash schedules.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "minicc/compiler.h"
+#include "net/switch.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "softcache/mc.h"
+#include "softcache/protocol.h"
+#include "softcache/system.h"
+#include "tests/testing.h"
+#include "vm/machine.h"
+#include "workloads/workloads.h"
+
+namespace sc {
+namespace {
+
+using softcache::kClientIdMask;
+using softcache::kClientIdShift;
+using softcache::kEpochShift;
+using softcache::MemoryController;
+using softcache::MsgType;
+using softcache::Reply;
+using softcache::Request;
+
+image::Image LoopImage() {
+  auto img = minicc::CompileMiniC(R"(
+    int a[256];
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 256; i = i + 1) { a[i] = i * 3; }
+      for (int i = 0; i < 256; i = i + 1) { sum = sum + a[i]; }
+      return sum % 251;
+    }
+  )");
+  SC_CHECK(img.ok());
+  return std::move(*img);
+}
+
+Request ChunkReq(uint32_t addr, uint32_t client_id, uint32_t seq = 1) {
+  Request req;
+  req.type = MsgType::kChunkRequest;
+  req.seq = seq;
+  req.addr = addr;
+  req.client_id = client_id;
+  return req;
+}
+
+Reply MustParse(const std::vector<uint8_t>& bytes) {
+  auto reply = Reply::Parse(bytes);
+  SC_CHECK(reply.ok()) << reply.error().ToString();
+  return std::move(*reply);
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: client id packing and seed-protocol golden frames
+// ---------------------------------------------------------------------------
+
+TEST(ClientIdWire, RoundTripsThroughTypeWord) {
+  for (uint32_t id : {0u, 1u, 7u, 255u}) {
+    Request req = ChunkReq(0x1000, id, 42);
+    req.epoch = 3;
+    const auto bytes = req.Serialize();
+    // The id rides byte 5 of the frame (bits 15..8 of the type word).
+    EXPECT_EQ(bytes[5], id & 0xff);
+    auto parsed = Request::Parse(bytes);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->client_id, id);
+    EXPECT_EQ(parsed->epoch, 3u);
+    EXPECT_EQ(parsed->type, MsgType::kChunkRequest);
+
+    Reply reply;
+    reply.type = MsgType::kChunkReply;
+    reply.seq = 42;
+    reply.client_id = id;
+    reply.epoch = 3;
+    auto parsed_reply = Reply::Parse(reply.Serialize());
+    ASSERT_TRUE(parsed_reply.ok());
+    EXPECT_EQ(parsed_reply->client_id, id);
+  }
+}
+
+// Golden-frame test: a client-id-0, epoch-0 request must serialize to EXACTLY
+// the seed protocol's bytes, re-encoded here by hand. Any header growth or
+// field move breaks this loudly.
+TEST(ClientIdWire, IdZeroFrameMatchesSeedBytesGolden) {
+  Request req = ChunkReq(0x2040, /*client_id=*/0, /*seq=*/9);
+  req.length = 0;
+  const auto bytes = req.Serialize();
+  ASSERT_EQ(bytes.size(), softcache::kRequestBytes);
+
+  auto put = [](std::vector<uint8_t>& out, uint32_t v) {
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+  };
+  // The seed layout: magic, bare type word, seq, addr, length, checksum.
+  std::vector<uint8_t> golden;
+  put(golden, softcache::kProtocolMagic);
+  put(golden, static_cast<uint32_t>(MsgType::kChunkRequest));
+  put(golden, 9);
+  put(golden, 0x2040);
+  put(golden, 0);
+  put(golden, softcache::Checksum(golden.data(), golden.size()));
+  EXPECT_EQ(bytes, golden);
+
+  // A nonzero id diverges from the seed bytes in exactly one octet.
+  Request req1 = req;
+  req1.client_id = 1;
+  const auto bytes1 = req1.Serialize();
+  int diffs = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    if (bytes[i] != bytes1[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+  EXPECT_EQ(bytes1[5], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Shared translation memo
+// ---------------------------------------------------------------------------
+
+TEST(SharedMemo, TwoSessionsExactlyOneTranslate) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  const uint32_t entry = img.entry;
+
+  const Reply r0 = MustParse(mc.Handle(ChunkReq(entry, 0).Serialize()));
+  const Reply r1 = MustParse(mc.Handle(ChunkReq(entry, 1).Serialize()));
+
+  // Counter-proven: the second session's fetch was served from the memo.
+  EXPECT_EQ(mc.server().stats().translates, 1u);
+  EXPECT_EQ(mc.server().stats().translate_memo_hits, 1u);
+  EXPECT_EQ(mc.sessions_active(), 2u);
+
+  // Identical artifact, per-session stamping.
+  EXPECT_EQ(r0.payload, r1.payload);
+  EXPECT_EQ(r0.aux, r1.aux);
+  EXPECT_EQ(r0.extra, r1.extra);
+  EXPECT_EQ(r0.client_id, 0u);
+  EXPECT_EQ(r1.client_id, 1u);
+
+  // A third fetch of the same chunk (even from a brand-new session) still
+  // costs zero translation work.
+  MustParse(mc.Handle(ChunkReq(entry, 2).Serialize()));
+  EXPECT_EQ(mc.server().stats().translates, 1u);
+  EXPECT_EQ(mc.server().stats().translate_memo_hits, 2u);
+}
+
+TEST(SharedMemo, TextWriteInvalidatesWithoutCorruptingOtherClients) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  const uint32_t entry = img.entry;
+
+  const Reply before0 = MustParse(mc.Handle(ChunkReq(entry, 0).Serialize()));
+  MustParse(mc.Handle(ChunkReq(entry, 1).Serialize()));
+  ASSERT_EQ(mc.server().stats().translates, 1u);
+
+  // Client 1 patches the first word of the entry chunk (self-modifying
+  // code): the entry jump becomes a NOP, so its chunk now falls through.
+  isa::Instr nop;
+  nop.op = isa::Opcode::kAddi;
+  const uint32_t nop_word = isa::Encode(nop);
+  Request write;
+  write.type = MsgType::kTextWrite;
+  write.seq = 2;
+  write.addr = entry;
+  write.client_id = 1;
+  write.payload.resize(4);
+  std::memcpy(write.payload.data(), &nop_word, 4);
+  write.length = static_cast<uint32_t>(write.payload.size());
+  const Reply ack = MustParse(mc.Handle(write.Serialize()));
+  EXPECT_EQ(ack.type, MsgType::kTextWriteAck);
+
+  // The write faulted client 1 to a private text image and dropped the
+  // shared memo entry covering the written range.
+  EXPECT_TRUE(mc.session(1).has_private_text());
+  EXPECT_FALSE(mc.session(0).has_private_text());
+  EXPECT_GE(mc.server().stats().memo_invalidations, 1u);
+
+  // Client 0 re-fetches: re-translated from the PRISTINE image — the other
+  // client's write must not leak in.
+  const Reply after0 =
+      MustParse(mc.Handle(ChunkReq(entry, 0, /*seq=*/3).Serialize()));
+  EXPECT_EQ(after0.payload, before0.payload);
+  EXPECT_EQ(after0.aux, before0.aux);
+
+  // Client 1 re-fetches: sees its own patched text.
+  const Reply after1 =
+      MustParse(mc.Handle(ChunkReq(entry, 1, /*seq=*/4).Serialize()));
+  ASSERT_GE(after1.payload.size(), 4u);
+  uint32_t first_word = 0;
+  std::memcpy(&first_word, after1.payload.data(), 4);
+  EXPECT_EQ(first_word, nop_word);
+  EXPECT_NE(after1.payload, before0.payload);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write data isolation
+// ---------------------------------------------------------------------------
+
+TEST(CowData, WritebackIsPrivatePerSession) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  const uint32_t addr = mc.DataBase();
+
+  Request write;
+  write.type = MsgType::kDataWriteback;
+  write.seq = 1;
+  write.addr = addr;
+  write.client_id = 0;
+  write.payload = {0xaa, 0xbb, 0xcc, 0xdd};
+  write.length = 4;
+  MustParse(mc.Handle(write.Serialize()));
+
+  auto read_four = [&mc, addr](uint32_t client_id) {
+    Request req;
+    req.type = MsgType::kDataRequest;
+    req.seq = 7;
+    req.addr = addr;
+    req.length = 4;
+    req.client_id = client_id;
+    return MustParse(mc.Handle(req.Serialize())).payload;
+  };
+
+  // The writer reads its own bytes back; a second session still sees the
+  // pristine store; the shared store itself never changed.
+  EXPECT_EQ(read_four(0), (std::vector<uint8_t>{0xaa, 0xbb, 0xcc, 0xdd}));
+  EXPECT_EQ(read_four(1),
+            std::vector<uint8_t>(mc.server().shared_data().begin(),
+                                 mc.server().shared_data().begin() + 4));
+  EXPECT_NE(read_four(1), read_four(0));
+  EXPECT_EQ(mc.session(0).private_data_pages(), 1u);
+  EXPECT_EQ(mc.session(1).private_data_pages(), 0u);
+  EXPECT_EQ(mc.session(0).stats().data_cow_page_faults, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-session crash isolation
+// ---------------------------------------------------------------------------
+
+TEST(SessionIsolation, RestartOneSessionLeavesOthersIntact) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  const uint32_t addr = mc.DataBase();
+
+  auto write_marker = [&mc, addr](uint32_t client_id, uint8_t marker,
+                                  uint32_t epoch) {
+    Request write;
+    write.type = MsgType::kDataWriteback;
+    write.seq = 1;
+    write.addr = addr;
+    write.client_id = client_id;
+    write.epoch = epoch;
+    write.payload = {marker, marker, marker, marker};
+    write.length = 4;
+    return MustParse(mc.Handle(write.Serialize()));
+  };
+  write_marker(0, 0x11, 0);
+  write_marker(1, 0x22, 0);
+
+  mc.RestartSession(1);
+
+  // Only session 1's epoch moved, and only its unflushed write was lost.
+  EXPECT_EQ(mc.session(0).epoch(), 0u);
+  EXPECT_EQ(mc.session(1).epoch(), 1u);
+  auto read_one = [&mc, addr](uint32_t client_id) {
+    Request req;
+    req.type = MsgType::kDataRequest;
+    req.seq = 9;
+    req.addr = addr;
+    req.length = 1;
+    req.client_id = client_id;
+    req.epoch = mc.session(client_id).epoch();
+    return MustParse(mc.Handle(req.Serialize())).payload[0];
+  };
+  EXPECT_EQ(read_one(0), 0x11);
+  EXPECT_NE(read_one(1), 0x22);
+
+  // A write still stamped with session 1's pre-crash epoch is fenced off;
+  // session 0 (same epoch number!) keeps accepting its own.
+  const Reply stale = write_marker(1, 0x33, 0);
+  EXPECT_EQ(stale.type, MsgType::kError);
+  EXPECT_EQ(mc.session(1).stats().stale_epoch_rejects, 1u);
+  EXPECT_EQ(mc.session(0).stats().stale_epoch_rejects, 0u);
+  const Reply ok = write_marker(0, 0x44, 0);
+  EXPECT_EQ(ok.type, MsgType::kWritebackAck);
+  EXPECT_EQ(mc.server().stats().restarts, 1u);
+  EXPECT_EQ(mc.server().stats().stale_epoch_rejects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Switch demux: spoofed ids never reach another session
+// ---------------------------------------------------------------------------
+
+TEST(SwitchDemux, MisroutedIdIsRejectedAtArrivalPort) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  net::Switch net_switch(
+      [&mc](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc.HandlePort(port, frame);
+      });
+  net::FrameHandler port1 = net_switch.Port(1);
+
+  // A frame claiming client 2 arriving on port 1 is rejected on port 1 and
+  // never creates (or touches) session 2.
+  const Reply reply = MustParse(port1(ChunkReq(img.entry, 2).Serialize()));
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.client_id, 1u);
+  const std::string message(reply.payload.begin(), reply.payload.end());
+  EXPECT_NE(message.find("client id mismatch"), std::string::npos);
+  EXPECT_EQ(mc.server().stats().misrouted_frames, 1u);
+  EXPECT_EQ(mc.FindSession(2), nullptr);
+  EXPECT_EQ(mc.server().stats().translates, 0u);
+
+  // The correctly-stamped frame on the same port sails through.
+  const Reply good = MustParse(port1(ChunkReq(img.entry, 1).Serialize()));
+  EXPECT_EQ(good.type, MsgType::kChunkReply);
+  EXPECT_EQ(net_switch.frames_switched(), 2u);
+  EXPECT_EQ(net_switch.port_frames(1), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: N clients behave exactly like N solo runs
+// ---------------------------------------------------------------------------
+
+struct SoloBaseline {
+  vm::RunResult result;
+  std::string output;
+  uint64_t translated = 0;
+};
+
+SoloBaseline RunSolo(const image::Image& img,
+                     const softcache::SoftCacheConfig& config,
+                     const std::string& input) {
+  softcache::SoftCacheSystem solo(img, config);
+  solo.SetInput(input);
+  SoloBaseline base;
+  base.result = solo.Run();
+  if (config.fault.crash_enabled()) {
+    EXPECT_TRUE(solo.cc().SyncSession());
+  }
+  base.output = solo.OutputString();
+  base.translated = solo.stats().blocks_translated;
+  return base;
+}
+
+TEST(MultiClientSystem, CleanRunBitIdenticalToSoloWithSharedTranslation) {
+  const image::Image img = LoopImage();
+  softcache::MultiClientConfig config;
+  config.clients = 4;
+  config.base.tcache_bytes = 8 * 1024;
+
+  softcache::MultiClientSystem fleet(img, config);
+  const auto results = fleet.RunAll();
+  const SoloBaseline solo = RunSolo(img, config.base, "");
+
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].reason, vm::StopReason::kHalted) << "client " << i;
+    EXPECT_EQ(results[i].exit_code, solo.result.exit_code) << "client " << i;
+    EXPECT_EQ(results[i].instructions, solo.result.instructions)
+        << "client " << i;
+    EXPECT_EQ(results[i].cycles, solo.result.cycles) << "client " << i;
+    EXPECT_EQ(fleet.OutputString(i), solo.output) << "client " << i;
+    EXPECT_EQ(fleet.cc(i).stats().blocks_translated, solo.translated)
+        << "client " << i;
+  }
+
+  // The tentpole property: the server translated each chunk ONCE, not once
+  // per client — total server cuts equal the solo run's, and every other
+  // client's fetch was a memo hit.
+  EXPECT_EQ(fleet.mc().server().stats().translates, solo.translated);
+  EXPECT_GE(fleet.mc().server().stats().translate_memo_hits,
+            3 * solo.translated);
+  EXPECT_EQ(fleet.mc().sessions_active(), 4u);
+  EXPECT_GT(fleet.net_switch().frames_switched(), 0u);
+}
+
+TEST(MultiClientSystem, PerClientFaultSchedulesStayBitIdenticalAndIsolated) {
+  const image::Image img = LoopImage();
+  softcache::MultiClientConfig config;
+  config.clients = 3;
+  config.base.tcache_bytes = 8 * 1024;
+  config.client_faults.resize(3);
+  // Client 0: clean. Client 1: lossy link. Client 2: crashing server session.
+  config.client_faults[1].seed = 11;
+  config.client_faults[1].drop = 0.05;
+  config.client_faults[1].corrupt = 0.02;
+  config.client_faults[2].seed = 22;
+  config.client_faults[2].crash_period = 8;
+
+  softcache::MultiClientSystem fleet(img, config);
+  const auto results = fleet.RunAll();
+  EXPECT_TRUE(fleet.SyncSessions());
+
+  for (size_t i = 0; i < 3; ++i) {
+    softcache::SoftCacheConfig solo_config = config.base;
+    solo_config.fault = config.client_faults[i];
+    const SoloBaseline solo = RunSolo(img, solo_config, "");
+    EXPECT_EQ(results[i].exit_code, solo.result.exit_code) << "client " << i;
+    EXPECT_EQ(results[i].instructions, solo.result.instructions)
+        << "client " << i;
+    EXPECT_EQ(fleet.OutputString(i), solo.output) << "client " << i;
+  }
+
+  // Client 2's crashes restarted only ITS session: the fleet saw restarts,
+  // but sessions 0 and 1 never changed epoch.
+  EXPECT_GT(fleet.mc().server().stats().restarts, 0u);
+  EXPECT_EQ(fleet.mc().session(0).epoch(), 0u);
+  EXPECT_EQ(fleet.mc().session(1).epoch(), 0u);
+  EXPECT_GT(fleet.mc().session(2).epoch(), 0u);
+  EXPECT_EQ(fleet.mc().session(2).stats().restarts,
+            fleet.mc().server().stats().restarts);
+}
+
+TEST(MultiClientSystem, WorkloadInputFlowsPerClient) {
+  // Distinct inputs per client: each client's output must match ITS solo
+  // run, proving inputs don't bleed across machines.
+  auto img = minicc::CompileMiniC(R"(
+    int main() {
+      int c = getchar();
+      putchar(c + 1);
+      return c;
+    }
+  )");
+  ASSERT_TRUE(img.ok());
+  softcache::MultiClientConfig config;
+  config.clients = 2;
+  softcache::MultiClientSystem fleet(*img, config);
+  fleet.SetInput(0, std::string("A"));
+  fleet.SetInput(1, std::string("x"));
+  const auto results = fleet.RunAll();
+  EXPECT_EQ(results[0].exit_code, 'A');
+  EXPECT_EQ(results[1].exit_code, 'x');
+  EXPECT_EQ(fleet.OutputString(0), "B");
+  EXPECT_EQ(fleet.OutputString(1), "y");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: per-client labels, per-session labels, server aggregates
+// ---------------------------------------------------------------------------
+
+TEST(MultiClientSystem, MetricsCarryPerClientAndPerSessionLabels) {
+  const image::Image img = LoopImage();
+  softcache::MultiClientConfig config;
+  config.clients = 2;
+  softcache::MultiClientSystem fleet(img, config);
+  obs::MetricsRegistry registry;
+  fleet.RegisterMetrics(&registry);
+  fleet.RunAll();
+
+  const auto snap = registry.TakeSnapshot();
+  ASSERT_TRUE(snap.counters.count("c0.cc.blocks_translated"));
+  ASSERT_TRUE(snap.counters.count("c1.cc.blocks_translated"));
+  ASSERT_TRUE(snap.counters.count("c0.net.channel.bytes_to_server"));
+  ASSERT_TRUE(snap.counters.count("c1.vm.instructions"));
+  ASSERT_TRUE(snap.counters.count("mc.translates"));
+  ASSERT_TRUE(snap.counters.count("mc.translate_memo_hits"));
+  ASSERT_TRUE(snap.gauges.count("mc.sessions_active"));
+  ASSERT_TRUE(snap.counters.count("mc.s0.requests"));
+  ASSERT_TRUE(snap.counters.count("mc.s1.requests"));
+  ASSERT_TRUE(snap.counters.count("net.switch.frames"));
+
+  // Both clients ran the same program: identical per-client progress, and
+  // the switch saw every MC-bound frame.
+  EXPECT_EQ(snap.counters.at("c0.vm.instructions"),
+            snap.counters.at("c1.vm.instructions"));
+  EXPECT_GT(snap.counters.at("c0.cc.blocks_translated"), 0u);
+  EXPECT_EQ(snap.gauges.at("mc.sessions_active"), 2.0);
+  EXPECT_EQ(snap.counters.at("net.switch.frames"),
+            snap.counters.at("mc.requests_served"));
+  EXPECT_GT(snap.counters.at("mc.s1.requests"), 0u);
+  EXPECT_EQ(snap.counters.at("mc.s0.requests") +
+                snap.counters.at("mc.s1.requests"),
+            snap.counters.at("mc.requests_served"));
+  EXPECT_GT(snap.counters.at("mc.translate_memo_hits"), 0u);
+}
+
+}  // namespace
+}  // namespace sc

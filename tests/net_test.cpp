@@ -27,6 +27,24 @@ TEST(Channel, CostRoundsUp) {
   EXPECT_EQ(channel.CyclesFor(1), 4u);
 }
 
+TEST(Channel, HugeTransferDoesNotOverflowTheIntermediateProduct) {
+  // With the default 200 MHz clock and 1 Mbps link, bytes * 8 * clock_hz
+  // crosses 2^64 at ~11.5 GB. The old uint64_t arithmetic wrapped there and
+  // returned a tiny cost; the 128-bit intermediate must keep scaling.
+  ChannelConfig config;
+  config.clock_hz = 200'000'000;
+  config.bits_per_second = 1'000'000;
+  config.latency_cycles = 0;
+  Channel channel(config);
+  // 1600 cycles/byte, exact at every size below.
+  const uint64_t near_edge = (1ull << 60) / (8 * config.clock_hz) * 8;
+  EXPECT_EQ(channel.CyclesFor(near_edge), near_edge * 1600);
+  const uint64_t past_edge = 16ull << 30;  // 16 GB: over the uint64 edge
+  EXPECT_EQ(channel.CyclesFor(past_edge), past_edge * 1600);
+  // Monotonic across the boundary — the wrapped version collapsed here.
+  EXPECT_GT(channel.CyclesFor(past_edge), channel.CyclesFor(near_edge));
+}
+
 TEST(Channel, FasterLinkCostsFewerCycles) {
   ChannelConfig slow;
   slow.bits_per_second = 1'000'000;

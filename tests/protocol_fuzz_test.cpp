@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "minicc/compiler.h"
+#include "net/switch.h"
 #include "net/transport.h"
 #include "softcache/mc.h"
 #include "softcache/protocol.h"
@@ -282,6 +283,107 @@ TEST(ProtocolFuzz, HostileBatchRepliesFailCleanlyThroughCcInstallPath) {
     EXPECT_FALSE(result.fault_message.empty()) << c.name;
     ASSERT_NE(mc_ptr, nullptr);
   }
+}
+
+TEST(ProtocolFuzz, HostileClientIdsThroughTheSwitchDemux) {
+  // Frames carrying arbitrary client ids arrive on switch ports they don't
+  // belong to: every one must come back as a well-formed reply, misrouted
+  // ids must never create or touch the spoofed session, and the port's own
+  // session must keep working afterwards.
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  net::Switch net_switch(
+      [&mc](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc.HandlePort(port, frame);
+      });
+  net::FrameHandler ports[3] = {net_switch.Port(0), net_switch.Port(1),
+                                net_switch.Port(2)};
+  util::Rng rng(505);
+  uint64_t misroutes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Request request;
+    request.type = static_cast<MsgType>(rng.Below(16));
+    request.seq = static_cast<uint32_t>(1 + rng.Below(1000));
+    request.addr = static_cast<uint32_t>(rng.Below(1u << 20));
+    request.epoch = static_cast<uint32_t>(rng.Below(4));
+    request.client_id = static_cast<uint32_t>(rng.Below(256));
+    if (request.type == MsgType::kDataWriteback ||
+        request.type == MsgType::kTextWrite) {
+      request.payload.resize(rng.Below(16));
+      request.length = static_cast<uint32_t>(request.payload.size());
+    }
+    const uint32_t port = static_cast<uint32_t>(rng.Below(3));
+    const auto reply_bytes = ports[port](request.Serialize());
+    ExpectWellFormedReply(reply_bytes);
+    const auto reply = Reply::Parse(reply_bytes);
+    if (request.client_id != port) {
+      ++misroutes;
+      // Rejected at the demux: the reply is an error stamped with the PORT's
+      // session identity, never the spoofed one.
+      EXPECT_EQ(reply->type, MsgType::kError);
+      EXPECT_EQ(reply->client_id, port);
+    }
+  }
+  EXPECT_GT(misroutes, 0u);
+  EXPECT_EQ(mc.server().stats().misrouted_frames, misroutes);
+  // Only the three ports (plus the pre-created session 0) ever materialized:
+  // spoofing 253 other ids never instantiated their sessions.
+  EXPECT_LE(mc.sessions_active(), 3u);
+  for (uint32_t id = 3; id < 256; ++id) {
+    EXPECT_EQ(mc.FindSession(id), nullptr);
+  }
+  // The abused ports still serve real traffic.
+  for (uint32_t port = 0; port < 3; ++port) {
+    Request request;
+    request.type = MsgType::kChunkRequest;
+    request.seq = 5000 + port;
+    request.addr = img.entry;
+    request.client_id = port;
+    request.epoch = mc.session(port).epoch();
+    const auto reply = Reply::Parse(ports[port](request.Serialize()));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, MsgType::kChunkReply);
+  }
+}
+
+TEST(ProtocolFuzz, CrossPostedStaleEpochFramesStayFenced) {
+  // A frame replayed onto the RIGHT port but carrying a pre-restart epoch
+  // (e.g. a delayed duplicate surfacing after that session crashed) must be
+  // rejected by the epoch fence without touching any other session.
+  const image::Image img = TestImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  net::Switch net_switch(
+      [&mc](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc.HandlePort(port, frame);
+      });
+  net::FrameHandler port1 = net_switch.Port(1);
+  net::FrameHandler port2 = net_switch.Port(2);
+
+  Request write;
+  write.type = MsgType::kDataWriteback;
+  write.seq = 1;
+  write.addr = mc.DataBase();
+  write.client_id = 1;
+  write.epoch = 0;
+  write.payload = {1, 2, 3, 4};
+  write.length = 4;
+  const auto frame = write.Serialize();  // captured pre-crash
+  ASSERT_EQ(Reply::Parse(port1(frame))->type, MsgType::kWritebackAck);
+
+  mc.RestartSession(1);
+
+  // Same bytes, right port, stale epoch -> fenced.
+  const auto fenced = Reply::Parse(port1(frame));
+  EXPECT_EQ(fenced->type, MsgType::kError);
+  EXPECT_EQ(mc.session(1).stats().stale_epoch_rejects, 1u);
+  // Same bytes cross-posted to another port -> rejected as misrouted BEFORE
+  // the epoch fence; session 2's epoch state is untouched.
+  const auto crossed = Reply::Parse(port2(frame));
+  EXPECT_EQ(crossed->type, MsgType::kError);
+  EXPECT_EQ(crossed->client_id, 2u);
+  EXPECT_EQ(mc.session(2).stats().stale_epoch_rejects, 0u);
+  EXPECT_EQ(mc.session(2).stats().requests, 0u);
+  EXPECT_EQ(mc.server().stats().misrouted_frames, 1u);
 }
 
 TEST(ProtocolFuzz, ValidRequestsStillServedAfterAbuse) {

@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
       {"softcache", "style", "tcache", "trace-blocks", "evict", "dcache",
        "input", "stats", "profile", "max-instr", "dump-tcache", "help",
        "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
-       "crash-after", "crash-rate", "crash-at-cycle", "fault-seed"});
+       "crash-after", "crash-rate", "crash-at-cycle", "fault-seed", "clients",
+       "verify"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -90,7 +91,11 @@ int main(int argc, char** argv) {
                  "            [--crash-after=N]    MC crashes once on request N\n"
                  "            [--crash-rate=P]     per-request crash probability\n"
                  "            [--crash-at-cycle=C] MC crashes once at cycle C\n"
-                 "            [--fault-seed=S]     crash schedule RNG seed\n");
+                 "            [--fault-seed=S]     crash schedule RNG seed\n"
+                 "multi-client (softcache runs; one MC, N cache controllers):\n"
+                 "            [--clients=N]        N guests share one MC (N<=256)\n"
+                 "            [--verify]           re-run each client solo and\n"
+                 "                                 check bit-identical behavior\n");
     return 2;
   }
 
@@ -201,6 +206,117 @@ int main(int argc, char** argv) {
     tracer.Enable();
     obs::SetTracer(&tracer);
   }
+  const uint32_t n_clients =
+      static_cast<uint32_t>(args.GetInt("clients", 1));
+  if (n_clients > 1) {
+    if (args.Has("dcache") || args.Has("profile") || args.Has("dump-tcache")) {
+      std::fprintf(stderr,
+                   "--dcache/--profile/--dump-tcache are single-client only\n");
+      return 2;
+    }
+    softcache::MultiClientConfig mcfg;
+    mcfg.clients = n_clients;
+    mcfg.base = config;
+    for (uint32_t i = 0; i < n_clients; ++i) {
+      net::FaultConfig fault = config.fault;
+      fault.seed = config.fault.seed + i;  // distinct schedule per client
+      mcfg.client_faults.push_back(fault);
+    }
+    softcache::MultiClientSystem fleet(img, mcfg);
+    for (uint32_t i = 0; i < n_clients; ++i) fleet.SetInput(i, input);
+    obs::MetricsRegistry registry;
+    if (args.Has("metrics")) fleet.RegisterMetrics(&registry);
+    const std::vector<vm::RunResult> results = fleet.RunAll(max_instr);
+    if (args.Has("trace")) {
+      obs::SetTracer(nullptr);
+      std::ofstream out_file(args.Get("trace"));
+      if (!out_file) {
+        std::fprintf(stderr, "cannot write %s\n", args.Get("trace").c_str());
+        return 1;
+      }
+      tracer.ExportChromeJson(out_file);
+    }
+    if (args.Has("metrics")) {
+      std::ofstream out_file(args.Get("metrics"));
+      if (!out_file) {
+        std::fprintf(stderr, "cannot write %s\n", args.Get("metrics").c_str());
+        return 1;
+      }
+      out_file << registry.ToJson() << "\n";
+    }
+    bool ok = true;
+    for (uint32_t i = 0; i < n_clients; ++i) {
+      if (results[i].reason == vm::StopReason::kFault) {
+        std::fprintf(stderr, "fault (client %u): %s\n", i,
+                     results[i].fault_message.c_str());
+        ok = false;
+      }
+    }
+    if (config.fault.crash_enabled() && !fleet.SyncSessions()) {
+      std::fprintf(stderr, "fault: a client session failed to synchronize\n");
+      ok = false;
+    }
+    if (ok && args.Has("verify")) {
+      // Re-run every client alone against its own private MC with the same
+      // fault schedule; sharing must not change guest-visible behavior.
+      for (uint32_t i = 0; i < n_clients; ++i) {
+        softcache::SoftCacheConfig solo = config;
+        solo.fault = mcfg.client_faults[i];
+        softcache::SoftCacheSystem ref(img, solo);
+        ref.SetInput(input);
+        const vm::RunResult r = ref.Run(max_instr);
+        if (solo.fault.crash_enabled() && !ref.cc().SyncSession()) {
+          std::fprintf(stderr, "verify: solo run %u failed to synchronize\n", i);
+          ok = false;
+          continue;
+        }
+        if (r.exit_code != results[i].exit_code ||
+            r.instructions != results[i].instructions ||
+            ref.OutputString() != fleet.OutputString(i)) {
+          std::fprintf(stderr,
+                       "verify: client %u diverged from its solo run "
+                       "(exit %d vs %d, %llu vs %llu instrs)\n",
+                       i, results[i].exit_code, r.exit_code,
+                       (unsigned long long)results[i].instructions,
+                       (unsigned long long)r.instructions);
+          ok = false;
+        }
+      }
+      if (ok) {
+        std::fprintf(stderr, "verify: %u clients bit-identical to solo runs\n",
+                     n_clients);
+      }
+    }
+    if (args.Has("stats")) {
+      const auto& server = fleet.mc().server().stats();
+      std::fprintf(stderr, "--- multi-client stats ---\n");
+      for (uint32_t i = 0; i < n_clients; ++i) {
+        std::fprintf(stderr,
+                     "client %u: exit=%d instrs=%llu cycles=%llu "
+                     "translated=%llu\n",
+                     i, results[i].exit_code,
+                     (unsigned long long)results[i].instructions,
+                     (unsigned long long)results[i].cycles,
+                     (unsigned long long)fleet.cc(i).stats().blocks_translated);
+      }
+      std::fprintf(stderr,
+                   "server: sessions=%llu translates=%llu memo_hits=%llu "
+                   "(%.1f%% hit rate) requests=%llu\n",
+                   (unsigned long long)fleet.mc().sessions_active(),
+                   (unsigned long long)server.translates,
+                   (unsigned long long)server.translate_memo_hits,
+                   server.translates + server.translate_memo_hits == 0
+                       ? 0.0
+                       : 100.0 * (double)server.translate_memo_hits /
+                             (double)(server.translates +
+                                      server.translate_memo_hits),
+                   (unsigned long long)server.requests_served);
+    }
+    const auto& out0 = fleet.machine(0).output();
+    std::fwrite(out0.data(), 1, out0.size(), stdout);
+    return ok ? (results[0].exit_code & 0xff) : 1;
+  }
+
   softcache::SoftCacheSystem system(img, config);
   system.SetInput(std::move(input));
   obs::MetricsRegistry registry;
