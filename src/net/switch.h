@@ -8,16 +8,19 @@
 // frame spoofing another client's id is rejected at the demux boundary and
 // can never touch that client's session state.
 //
-// The switch itself is deliberately dumb: no queueing, no arbitration, no
-// cost model. Per-port cost and fault injection live in the per-client
-// Channel/Transport pair built on top of each port (exactly as in the
-// single-client stack), which keeps one client's simulated traffic shaping
-// independent of its neighbors'.
+// The switch models the shared broadcast medium between the clients and the
+// server: it carries no queueing or cost model of its own (per-port cost and
+// fault injection live in the per-client Channel/Transport pair built on top
+// of each port), but every reply crossing it is visible to an optional
+// reply observer — the hook the content-addressed shared-reply path uses to
+// let every attached client snoop every body-bearing reply.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/transport.h"
@@ -29,6 +32,13 @@ namespace sc::net {
 using PortFrameHandler = std::function<std::vector<uint8_t>(
     uint32_t port, const std::vector<uint8_t>& frame)>;
 
+// Observes every (port, request, reply) pair crossing the switch, after the
+// server handler produced the reply and before the reply is returned to the
+// arrival port — i.e. the instant the reply hits the broadcast medium.
+using ReplyObserver = std::function<void(
+    uint32_t port, const std::vector<uint8_t>& request,
+    const std::vector<uint8_t>& reply)>;
+
 class Switch {
  public:
   // Frames are routed by an 8-bit id, so a switch has at most this many
@@ -39,31 +49,84 @@ class Switch {
     SC_CHECK(server_ != nullptr);
   }
 
+  // Non-movable: Port() closures capture `this`, so the switch must stay at
+  // one address for as long as any handler it issued is alive.
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  ~Switch() { alive_ = false; }
+
   // A FrameHandler bound to `port`: every frame sent through it reaches the
-  // server tagged with that port number. The returned closure references
-  // this switch and must not outlive it.
+  // server tagged with that port number.
+  //
+  // Lifetime contract: the returned closure references this switch and must
+  // not outlive it. Invoking a handler after the switch is destroyed is
+  // checked (not UB-silent) in debug builds via the liveness flag below —
+  // transports built over a port must be torn down before the switch.
   FrameHandler Port(uint32_t port) {
     SC_CHECK_LT(port, kMaxPorts);
-    if (port >= port_frames_.size()) port_frames_.resize(port + 1, 0);
+    // Counter slots are indexed by port number, so creating ports out of
+    // order (e.g. Port(5) before Port(2)) grows the vector to cover the
+    // highest port seen; `ports_created_` tracks the real creation count
+    // separately so it never over-reports on sparse/out-of-order creation.
+    if (port >= port_frames_.size()) {
+      port_frames_.resize(port + 1, 0);
+      port_created_.resize(port + 1, false);
+    }
+    if (!port_created_[port]) {
+      port_created_[port] = true;
+      ++ports_created_;
+    }
     return [this, port](const std::vector<uint8_t>& frame) {
-      ++frames_switched_;
-      ++port_frames_[port];
-      return server_(port, frame);
+      SC_CHECK(alive_) << "switch port handler outlived its switch";
+      {
+        // Port handlers fire on their client's host thread; the counters are
+        // shared across ports, so bump them under the counter lock. (The
+        // server handler needs no lock here — it provides its own
+        // serialization, e.g. the McServerLoop.)
+        std::lock_guard<std::mutex> lock(count_mu_);
+        ++frames_switched_;
+        ++port_frames_[port];
+      }
+      std::vector<uint8_t> reply = server_(port, frame);
+      if (reply_observer_) reply_observer_(port, frame, reply);
+      return reply;
     };
   }
 
-  uint64_t frames_switched() const { return frames_switched_; }
+  // Installs the broadcast-medium observer (nullptr to clear). Fires on the
+  // thread that carried the frame; a multi-threaded caller provides its own
+  // synchronization inside the observer.
+  void set_reply_observer(ReplyObserver observer) {
+    reply_observer_ = std::move(observer);
+  }
+
+  uint64_t frames_switched() const {
+    std::lock_guard<std::mutex> lock(count_mu_);
+    return frames_switched_;
+  }
+  // Raw pointer for MetricsRegistry: snapshots are taken after the fleet has
+  // quiesced (threads joined), so the unlocked read is ordered by the join.
   const uint64_t* frames_switched_counter() const { return &frames_switched_; }
   uint64_t port_frames(uint32_t port) const {
+    std::lock_guard<std::mutex> lock(count_mu_);
     return port < port_frames_.size() ? port_frames_[port] : 0;
   }
-  // Ports a Port() handler has been created for (not all need have traffic).
-  size_t ports() const { return port_frames_.size(); }
+  // Number of ports a Port() handler has been created for (not all need have
+  // traffic). Counts actual creations, independent of creation order.
+  size_t ports() const { return ports_created_; }
+  // Highest port number created plus one (the counter-vector extent).
+  size_t port_span() const { return port_frames_.size(); }
 
  private:
   PortFrameHandler server_;
+  ReplyObserver reply_observer_;
+  mutable std::mutex count_mu_;
   uint64_t frames_switched_ = 0;
   std::vector<uint64_t> port_frames_;
+  std::vector<bool> port_created_;
+  size_t ports_created_ = 0;
+  bool alive_ = true;
 };
 
 }  // namespace sc::net

@@ -48,6 +48,10 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
   cells_bytes_ = config_.forward_cell_bytes;
   SC_CHECK_LE(cells_base_ + cells_bytes_, image::kLocalLimit);
   session_.set_quiesce_hook([this] { QuiesceForRecovery(); });
+  if (config_.shared_reply) {
+    content_store_ =
+        std::make_unique<ChunkContentStore>(config_.shared_store_bytes);
+  }
 }
 
 void CacheController::Fail(const std::string& what) {
@@ -110,7 +114,11 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
   }
 
   Request request;
-  request.type = MsgType::kChunkRequest;
+  // An opted-in client asks with kChunkSharedRequest, allowing the server to
+  // answer with a payload-less digest when the body already crossed the
+  // broadcast medium. The frame is otherwise identical to kChunkRequest.
+  request.type = config_.shared_reply ? MsgType::kChunkSharedRequest
+                                      : MsgType::kChunkRequest;
   request.addr = orig_pc;
   if (config_.prefetch.policy != PrefetchPolicy::kOff) {
     // The hint rides in the otherwise-unused length field; with the policy
@@ -132,6 +140,25 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
     return util::Error{"MC error: " + std::string(reply->payload.begin(),
                                                   reply->payload.end())};
   }
+  if (reply->type == MsgType::kChunkDigestReply) {
+    // The body crossed the medium earlier and we (should have) snooped it.
+    ++stats_.shared.digest_replies;
+    ChunkContentStore::StoredChunk stored;
+    if (content_store_ != nullptr &&
+        content_store_->Lookup(DigestFromReply(*reply), &stored)) {
+      ++stats_.shared.digest_hits;
+      stats_.shared.bytes_saved += stored.words->size();
+      OBS_INSTANT("shared", "digest_hit", "orig", orig_pc);
+      return ChunkFromWire(stored.addr, stored.aux, stored.extra,
+                           stored.words->data(),
+                           static_cast<uint32_t>(stored.words->size() / 4));
+    }
+    // The bounded store displaced the body (or the snoop never reached us):
+    // fall back to a plain kChunkRequest, which always carries a full body.
+    ++stats_.shared.digest_misses;
+    OBS_INSTANT("shared", "digest_miss", "orig", orig_pc);
+    return FetchChunkFullBody(orig_pc);
+  }
   if (reply->type == MsgType::kChunkBatchReply) {
     auto views = ParseBatchPayload(reply->payload, reply->aux);
     if (!views.ok()) return views.error();
@@ -149,6 +176,28 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
           ChunkFromWire(view.addr, view.aux, view.extra, view.words, view.nwords));
     }
     return chunk;
+  }
+  if (reply->type != MsgType::kChunkReply || reply->payload.size() % 4 != 0) {
+    return util::Error{"malformed chunk reply"};
+  }
+  return ChunkFromWire(reply->addr, reply->aux, reply->extra,
+                       reply->payload.data(),
+                       static_cast<uint32_t>(reply->payload.size() / 4));
+}
+
+util::Result<Chunk> CacheController::FetchChunkFullBody(uint32_t orig_pc) {
+  Request request;
+  request.type = MsgType::kChunkRequest;
+  request.addr = orig_pc;
+  uint64_t link_cycles = 0;
+  auto reply = session_.Call(std::move(request), &link_cycles);
+  Charge(link_cycles);
+  Charge(config_.cost.mc_service_cycles);
+  ++stats_.prefetch.demand_fetches;
+  if (!reply.ok()) return reply.error();
+  if (reply->type == MsgType::kError) {
+    return util::Error{"MC error: " + std::string(reply->payload.begin(),
+                                                  reply->payload.end())};
   }
   if (reply->type != MsgType::kChunkReply || reply->payload.size() % 4 != 0) {
     return util::Error{"malformed chunk reply"};

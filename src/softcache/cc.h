@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/channel.h"
 #include "obs/metrics.h"
 #include "softcache/config.h"
+#include "softcache/content_store.h"
 #include "softcache/mc.h"
 #include "softcache/reliable.h"
 #include "softcache/session.h"
@@ -77,6 +79,15 @@ class CacheController : public vm::TrapHandler {
 
   // The session's transport (crash-schedule wiring, tests).
   net::Transport& transport() { return session_.transport(); }
+
+  // This client's snoop store on the broadcast medium; null unless
+  // config.shared_reply is on. The fleet wiring (MultiClientSystem) feeds it
+  // from the switch's reply observer; stats() tracks its traffic under
+  // `shared.*`.
+  ChunkContentStore* content_store() { return content_store_.get(); }
+  // The owner's shared-reply stats block, for the snoop fan-out (which runs
+  // outside this class but accounts to the store's owner).
+  SharedReplyStats* shared_stats() { return &stats_.shared; }
   // End-of-run barrier: make sure every journaled text write survived any
   // crash nobody RPC'd after (no-op when the journal is empty). Returns
   // false with a fault raised on unrecoverable failure.
@@ -204,6 +215,9 @@ class CacheController : public vm::TrapHandler {
   Block* InstallSparc(const Chunk& chunk);
   Block* InstallArm(const Chunk& chunk);
   util::Result<Chunk> FetchChunk(uint32_t orig_pc);
+  // Second round trip after a digest reply whose body the snoop store no
+  // longer holds: a plain kChunkRequest, always answered with a full body.
+  util::Result<Chunk> FetchChunkFullBody(uint32_t orig_pc);
 
   // --- Prefetch staging ---
   // Prefetched chunks wait here as raw untranslated words — no tcache space,
@@ -265,6 +279,8 @@ class CacheController : public vm::TrapHandler {
   SoftCacheStats stats_;
   // Declared after stats_: the session records into stats_.net/.session.
   Session session_;
+  // Snoop store for content-addressed shared replies (null when off).
+  std::unique_ptr<ChunkContentStore> content_store_;
   // Observability series (see accessors above).
   util::Histogram miss_latency_;
   obs::Series occupancy_;

@@ -104,6 +104,18 @@ struct SoftCacheConfig {
   // protocol. Multi-client systems assign each client a distinct id.
   uint32_t client_id = 0;
 
+  // Content-addressed shared replies (broadcast-medium coalescing): when on,
+  // chunk requests go out as kChunkSharedRequest, the CC snoops every
+  // body-bearing reply on the switch into a bounded content store, and a
+  // payload-less kChunkDigestReply installs from that store. Guest output /
+  // exit / instruction counts stay bit-identical to a solo run (installs are
+  // digest-verified copies of the same artifact); only wire bytes and
+  // therefore channel cycle accounting change. Off = seed-identical traffic.
+  bool shared_reply = false;
+  // Byte bound of the snoop content store (FIFO displacement; a lost body
+  // only costs one full-body fallback fetch).
+  uint32_t shared_store_bytes = 256 * 1024;
+
   CostModel cost;
   net::ChannelConfig channel;
   // Link fault injection (all zeros = reliable loopback transport) and the

@@ -1,0 +1,55 @@
+#include "softcache/content_store.h"
+
+#include <utility>
+
+namespace sc::softcache {
+
+void ChunkContentStore::Snoop(
+    uint64_t digest, uint32_t addr, uint32_t aux, uint32_t extra,
+    std::shared_ptr<const std::vector<uint8_t>> words,
+    SharedReplyStats* stats) {
+  const uint64_t body_bytes = words == nullptr ? 0 : words->size();
+  if (body_bytes > capacity_bytes_) return;  // would displace everything
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(digest) != 0) return;  // already held
+  while (bytes_ + body_bytes > capacity_bytes_ && !fifo_.empty()) {
+    auto oldest = entries_.find(fifo_.front());
+    fifo_.pop_front();
+    if (oldest == entries_.end()) continue;
+    bytes_ -= oldest->second.words->size();
+    entries_.erase(oldest);
+    if (stats != nullptr) ++stats->store_evictions;
+  }
+  StoredChunk entry;
+  entry.addr = addr;
+  entry.aux = aux;
+  entry.extra = extra;
+  entry.words = std::move(words);
+  entries_.emplace(digest, std::move(entry));
+  fifo_.push_back(digest);
+  bytes_ += body_bytes;
+  if (stats != nullptr) {
+    ++stats->snooped_chunks;
+    stats->snooped_bytes += body_bytes;
+  }
+}
+
+bool ChunkContentStore::Lookup(uint64_t digest, StoredChunk* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+size_t ChunkContentStore::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t ChunkContentStore::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace sc::softcache

@@ -1,0 +1,72 @@
+// ChunkContentStore: a client's snoop buffer on the broadcast medium.
+//
+// On a shared bus or radio (the embedded fleets the paper targets) every
+// reply the server transmits is physically audible to every attached client.
+// The content-addressed shared-reply path exploits that: each client keeps
+// this small bounded store of chunk bodies it has overheard, keyed by the
+// 64-bit content digest of protocol.h. When the server answers one of the
+// client's own requests with a payload-less kChunkDigestReply, the client
+// installs the body from here — the bytes crossed the medium exactly once,
+// no matter how many clients demanded the chunk.
+//
+// The store is deliberately lossy: a FIFO byte bound displaces the oldest
+// bodies, and a digest the store no longer holds just costs one fallback
+// round trip with a full body (see CacheController::FetchChunk). Entries
+// share their body buffers across all clients' stores (shared_ptr), so a
+// 256-client fleet pays for each snooped body once, not 256 times.
+//
+// Thread safety: Snoop and Lookup take an internal mutex, because in
+// host-thread-parallel runs the snoop fan-out runs on whichever client
+// thread carried the frame while the owner looks up on its own thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "softcache/stats.h"
+
+namespace sc::softcache {
+
+class ChunkContentStore {
+ public:
+  // One overheard chunk body in wire form (see protocol.h kChunkReply:
+  // addr, packed meta, branch target, instruction words).
+  struct StoredChunk {
+    uint32_t addr = 0;
+    uint32_t aux = 0;
+    uint32_t extra = 0;
+    std::shared_ptr<const std::vector<uint8_t>> words;
+  };
+
+  // `capacity_bytes` bounds the sum of stored body bytes (FIFO displacement).
+  explicit ChunkContentStore(uint32_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Records one body overheard on the medium. The digest is computed once by
+  // the broadcaster (it covers addr/aux/extra/words, so it need not be
+  // recomputed per attached client). `stats` is the owning client's
+  // shared-reply block; may be null.
+  void Snoop(uint64_t digest, uint32_t addr, uint32_t aux, uint32_t extra,
+             std::shared_ptr<const std::vector<uint8_t>> words,
+             SharedReplyStats* stats);
+
+  // Fetches the stored body for `digest` if it is still resident.
+  bool Lookup(uint64_t digest, StoredChunk* out) const;
+
+  size_t entries() const;
+  uint64_t bytes() const;
+  uint32_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  const uint32_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, StoredChunk> entries_;
+  std::deque<uint64_t> fifo_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace sc::softcache

@@ -46,17 +46,55 @@ util::Result<Chunk> McServer::Cut(const image::Image& text_image,
              : ChunkProcedure(text_image, addr);
 }
 
+uint32_t McServer::ShardFor(uint32_t addr) const {
+  if (shards_ <= 1) return 0;
+  const uint32_t base = image_.text_base;
+  const uint32_t end = image_.text_end();
+  if (addr < base || addr >= end) return 0;
+  const uint32_t slice = (end - base + shards_ - 1) / shards_;
+  const uint32_t shard = slice == 0 ? 0 : (addr - base) / slice;
+  return shard >= shards_ ? shards_ - 1 : shard;
+}
+
 util::Result<Chunk> McServer::CutShared(uint32_t addr) {
-  auto it = memo_.find(addr);
-  if (it != memo_.end()) {
+  // Fleet-wide demand heat: every demand from every session bumps it (hit
+  // or miss), and the memo bound evicts its coldest entry by this signal.
+  uint32_t* heat = heat_.Find(addr);
+  if (heat != nullptr) {
+    ++*heat;
+  } else {
+    heat_.Put(addr, 1);
+  }
+  MemoShard& shard = memo_shards_[ShardFor(addr)];
+  auto it = shard.memo.find(addr);
+  if (it != shard.memo.end()) {
     ++stats_.translate_memo_hits;
+    ++shard.memo_hits;
     return it->second;
   }
   auto chunk = Cut(image_, addr);
   if (!chunk.ok()) return chunk;  // failures are cheap; not worth memoizing
   ++stats_.translates;
-  memo_.emplace(addr, *chunk);
+  ++shard.translates;
+  const size_t per_shard = std::max<size_t>(1, config_.memo_capacity / shards_);
+  if (shard.memo.size() >= per_shard) EvictColdest(&shard);
+  shard.memo.emplace(addr, *chunk);
   return chunk;
+}
+
+void McServer::EvictColdest(MemoShard* shard) {
+  auto coldest = shard->memo.begin();
+  uint32_t coldest_heat = ~0u;
+  for (auto it = shard->memo.begin(); it != shard->memo.end(); ++it) {
+    const uint32_t* h = heat_.Find(it->first);
+    const uint32_t entry_heat = h == nullptr ? 0 : *h;
+    if (entry_heat < coldest_heat) {
+      coldest_heat = entry_heat;
+      coldest = it;
+    }
+  }
+  shard->memo.erase(coldest);
+  ++stats_.memo_evictions;
 }
 
 util::Result<Chunk> McServer::CutPrivate(const image::Image& text_image,
@@ -68,17 +106,36 @@ util::Result<Chunk> McServer::CutPrivate(const image::Image& text_image,
 void McServer::InvalidateMemoRange(uint32_t addr, uint32_t len) {
   const uint64_t lo = addr;
   const uint64_t hi = static_cast<uint64_t>(addr) + len;
-  for (auto it = memo_.begin(); it != memo_.end();) {
-    const Chunk& chunk = it->second;
-    const uint64_t chunk_lo = chunk.orig_addr;
-    const uint64_t chunk_hi =
-        static_cast<uint64_t>(chunk.orig_addr) + chunk.orig_span_bytes();
-    if (chunk_lo < hi && lo < chunk_hi) {
-      ++stats_.memo_invalidations;
-      it = memo_.erase(it);
-    } else {
-      ++it;
+  // A memoized chunk's span can cross the shard boundary its start address
+  // hashed into, so every shard is scanned.
+  for (MemoShard& shard : memo_shards_) {
+    for (auto it = shard.memo.begin(); it != shard.memo.end();) {
+      const Chunk& chunk = it->second;
+      const uint64_t chunk_lo = chunk.orig_addr;
+      const uint64_t chunk_hi =
+          static_cast<uint64_t>(chunk.orig_addr) + chunk.orig_span_bytes();
+      if (chunk_lo < hi && lo < chunk_hi) {
+        ++stats_.memo_invalidations;
+        it = shard.memo.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+}
+
+size_t McServer::memo_entries() const {
+  size_t total = 0;
+  for (const MemoShard& shard : memo_shards_) total += shard.memo.size();
+  return total;
+}
+
+void McServer::PublishDigest(uint64_t digest) {
+  if (!published_.emplace(digest, 0).second) return;  // already in window
+  published_fifo_.push_back(digest);
+  if (published_fifo_.size() > config_.published_capacity) {
+    published_.erase(published_fifo_.front());
+    published_fifo_.pop_front();
   }
 }
 
@@ -268,7 +325,7 @@ void McSession::Restart() {
 }
 
 Reply McSession::BatchReply(const Request& request, const Chunk& primary,
-                            const PrefetchHints& hints) {
+                            const PrefetchHints& hints, bool publish_digests) {
   // Bound speculative work regardless of what the (possibly hostile) hint
   // field asks for; the byte budget is already wire-capped at 65535.
   const uint32_t depth = hints.depth > kMaxPrefetchDepth ? kMaxPrefetchDepth
@@ -283,13 +340,15 @@ Reply McSession::BatchReply(const Request& request, const Chunk& primary,
   reply.addr = primary.orig_addr;
   reply.extra = 0;
   uint32_t count = 0;
-  const auto append = [&reply, &count](const Chunk& chunk) {
+  const auto append = [this, &reply, &count,
+                       publish_digests](const Chunk& chunk) {
     AppendBatchChunk(&reply.payload, chunk.orig_addr,
                      PackChunkMeta(chunk.exit, chunk.entry_word,
                                    chunk.jump_folded),
                      chunk.taken_target, chunk.words.data(),
                      static_cast<uint32_t>(chunk.words.size()));
     ++count;
+    if (publish_digests) server_.PublishDigest(DigestOfChunk(chunk));
   };
   append(primary);
 
@@ -345,7 +404,13 @@ Reply McSession::BatchReply(const Request& request, const Chunk& primary,
 
 Reply McSession::HandleParsed(const Request& request) {
   switch (request.type) {
-    case MsgType::kChunkRequest: {
+    case MsgType::kChunkRequest:
+    case MsgType::kChunkSharedRequest: {
+      const bool shared = request.type == MsgType::kChunkSharedRequest;
+      if (shared) {
+        ++stats_.shared_requests;
+        ++server_.stats().shared_requests;
+      }
       auto chunk = CutChunk(request.addr);
       if (!chunk.ok()) return ErrorReply(request.seq, chunk.error().message);
       // Learn the chunk's demand "temperature" for future prefetch ranking.
@@ -355,9 +420,31 @@ Reply McSession::HandleParsed(const Request& request) {
       } else {
         temperature_.Put(chunk->orig_addr, 1);
       }
+      // Content-addressed coalescing: only for opted-in clients reading
+      // SHARED text (digests describe the pristine artifact; a COW session's
+      // private translations are never published or answered by digest).
+      const bool coalesce = shared && private_image_ == nullptr;
+      if (coalesce) {
+        const uint64_t digest = DigestOfChunk(*chunk);
+        if (server_.DigestPublished(digest)) {
+          // The body already crossed the broadcast medium; every attached
+          // client snooped it, so ship the digest alone.
+          ++stats_.digest_replies;
+          ++server_.stats().digest_replies;
+          server_.stats().digest_bytes_saved += chunk->words.size() * 4;
+          Reply reply;
+          reply.type = MsgType::kChunkDigestReply;
+          reply.seq = request.seq;
+          reply.addr = chunk->orig_addr;
+          reply.aux = static_cast<uint32_t>(digest);
+          reply.extra = static_cast<uint32_t>(digest >> 32);
+          return reply;
+        }
+      }
       const PrefetchHints hints = UnpackPrefetchHints(request.length);
       if (hints.policy != 0 && hints.max_chunks > 0) {
-        return BatchReply(request, *chunk, hints);
+        return BatchReply(request, *chunk, hints,
+                          /*publish_digests=*/coalesce);
       }
       Reply reply;
       reply.type = MsgType::kChunkReply;
@@ -370,6 +457,7 @@ Reply McSession::HandleParsed(const Request& request) {
         std::memcpy(reply.payload.data(), chunk->words.data(),
                     reply.payload.size());
       }
+      if (coalesce) server_.PublishDigest(DigestOfChunk(*chunk));
       return reply;
     }
     case MsgType::kDataRequest: {
@@ -548,12 +636,34 @@ void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
                             &s.translate_memo_hits);
   registry->RegisterCounter(prefix + "translate_memo_invalidations",
                             &s.memo_invalidations);
+  registry->RegisterCounter(prefix + "translate_memo_evictions",
+                            &s.memo_evictions);
   registry->RegisterCounter(prefix + "misrouted_frames", &s.misrouted_frames);
+  registry->RegisterCounter(prefix + "shared_requests", &s.shared_requests);
+  registry->RegisterCounter(prefix + "digest_replies", &s.digest_replies);
+  registry->RegisterCounter(prefix + "digest_bytes_saved",
+                            &s.digest_bytes_saved);
   registry->RegisterGauge(prefix + "sessions_active",
                           [this] { return static_cast<double>(sessions_.size()); });
   registry->RegisterGauge(prefix + "translate_memo_entries", [this] {
     return static_cast<double>(server_.memo_entries());
   });
+  registry->RegisterGauge(prefix + "published_digests", [this] {
+    return static_cast<double>(server_.published_digests());
+  });
+  // Per-shard translation work: mc.shard<i>.*.
+  for (uint32_t i = 0; i < server_.shards(); ++i) {
+    const std::string sub = prefix + "shard" + std::to_string(i) + ".";
+    registry->RegisterGauge(sub + "translates", [this, i] {
+      return static_cast<double>(server_.shard_translates(i));
+    });
+    registry->RegisterGauge(sub + "memo_hits", [this, i] {
+      return static_cast<double>(server_.shard_memo_hits(i));
+    });
+    registry->RegisterGauge(sub + "memo_entries", [this, i] {
+      return static_cast<double>(server_.shard_memo_entries(i));
+    });
+  }
   // Legacy name: session 0's heat table (the single-client table).
   if (const McSession* s0 = FindSession(0)) {
     registry->RegisterTable(prefix + "chunk_temperature",
@@ -576,6 +686,8 @@ void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
     registry->RegisterCounter(sub + "text_cow_faults", &ss.text_cow_faults);
     registry->RegisterCounter(sub + "data_cow_page_faults",
                               &ss.data_cow_page_faults);
+    registry->RegisterCounter(sub + "shared_requests", &ss.shared_requests);
+    registry->RegisterCounter(sub + "digest_replies", &ss.digest_replies);
     const McSession* sp = sess.get();
     registry->RegisterTable(sub + "chunk_temperature",
                             [sp] { return sp->TemperatureRows(); });

@@ -58,6 +58,19 @@ inline ExitKind UnpackExit(uint32_t aux) {
 inline bool UnpackJumpFolded(uint32_t aux) { return (aux >> 27) & 1; }
 inline uint32_t UnpackEntryWord(uint32_t aux) { return aux & 0x07ffffff; }
 
+// Content digest of a translated chunk, computed over exactly the fields a
+// chunk reply carries on the wire (addr, packed meta, branch target, words);
+// a snooping client computing ChunkDigest over the received frame's fields
+// gets the same value, so digest equality means bit-identical installed code.
+inline uint64_t DigestOfChunk(const Chunk& chunk) {
+  return ChunkDigest(
+      chunk.orig_addr,
+      PackChunkMeta(chunk.exit, chunk.entry_word, chunk.jump_folded),
+      chunk.taken_target,
+      reinterpret_cast<const uint8_t*>(chunk.words.data()),
+      chunk.words.size() * 4);
+}
+
 // Flush-barrier interval: every N applied write ops of one type (text writes
 // or data writebacks) a session folds its pending-write buffer into its
 // stable image. Clients mirror this constant to truncate their upstream
@@ -85,7 +98,32 @@ struct McServerStats {
   uint64_t translates = 0;           // chunk cuts actually performed
   uint64_t translate_memo_hits = 0;  // cuts served from the memo cache
   uint64_t memo_invalidations = 0;   // memo entries dropped by text writes
+  uint64_t memo_evictions = 0;       // memo entries displaced by the bound
   uint64_t misrouted_frames = 0;     // embedded client id != switch port
+  uint64_t shared_requests = 0;      // kChunkSharedRequest frames handled
+  uint64_t digest_replies = 0;       // coalesced (payload-less) chunk replies
+  uint64_t digest_bytes_saved = 0;   // body bytes the digest path kept off
+                                     // the wire
+};
+
+// Shared-core tuning. The defaults reproduce the single-server behavior
+// (one shard, a memo bound far above any workload's chunk population, no
+// digest coalescing unless a client asks for it).
+struct McServerConfig {
+  // Memo/chunker shards: the pristine text's address range is partitioned
+  // into `shards` contiguous slices, each owning the memo cache (and the
+  // translation work) for chunk addresses in its slice. Every chunk address
+  // maps to exactly one shard, so fleet-wide translation work stays "once
+  // per chunk" no matter how many shards serve it.
+  uint32_t shards = 1;
+  // Total memoized-translation entries across all shards. When a shard's
+  // slice of the budget fills, the entry with the lowest fleet-wide demand
+  // temperature is evicted (re-translation on a later demand is the cost of
+  // staying bounded under text-write invalidation churn).
+  size_t memo_capacity = 4096;
+  // Published-digest window: how many broadcast chunk digests the server
+  // remembers. Forgetting one only costs a redundant body transmission.
+  size_t published_capacity = 8192;
 };
 
 // The shared server core: immutable per-program state plus the memoized
@@ -95,16 +133,19 @@ struct McServerStats {
 class McServer {
  public:
   McServer(const image::Image& image, Style style, uint32_t max_block_instrs,
-           uint32_t max_trace_blocks)
+           uint32_t max_trace_blocks, const McServerConfig& config = {})
       : image_(image),
         style_(style),
         max_block_instrs_(max_block_instrs),
-        max_trace_blocks_(max_trace_blocks) {
+        max_trace_blocks_(max_trace_blocks),
+        config_(config),
+        shards_(config.shards == 0 ? 1 : config.shards) {
     // The server holds the authoritative copy of ALL program memory: the
     // pristine text plus data/bss/heap/stack backing for the D-cache
     // protocol. Sessions overlay their private writes on top.
     data_ = image.data;
     data_.resize(image::kStackTop + 16 - image.data_base, 0);
+    memo_shards_.resize(shards_);
   }
 
   const image::Image& image() const { return image_; }
@@ -135,19 +176,62 @@ class McServer {
   // (they hold their own installed words client-side).
   void InvalidateMemoRange(uint32_t addr, uint32_t len);
 
-  size_t memo_entries() const { return memo_.size(); }
+  // --- Content-addressed reply coalescing (see protocol.h) ---
+  // Records that a chunk body with this digest was transmitted on the
+  // broadcast medium (every attached client snooped it). Bounded FIFO.
+  void PublishDigest(uint64_t digest);
+  // True while the server still believes every attached client holds the
+  // body for `digest`; a false negative only costs a redundant body.
+  bool DigestPublished(uint64_t digest) const {
+    return published_.count(digest) != 0;
+  }
+
+  // The shard serving chunk address `addr`: contiguous slices of the
+  // pristine text range, addresses outside text fold into shard 0.
+  uint32_t ShardFor(uint32_t addr) const;
+  uint32_t shards() const { return shards_; }
+  uint64_t shard_translates(uint32_t shard) const {
+    return memo_shards_[shard].translates;
+  }
+  uint64_t shard_memo_hits(uint32_t shard) const {
+    return memo_shards_[shard].memo_hits;
+  }
+  size_t shard_memo_entries(uint32_t shard) const {
+    return memo_shards_[shard].memo.size();
+  }
+  size_t memo_entries() const;
+  size_t published_digests() const { return published_.size(); }
+
   McServerStats& stats() { return stats_; }
   const McServerStats& stats() const { return stats_; }
 
  private:
+  // One slice of the memoized translation cache plus its work counters.
+  struct MemoShard {
+    std::map<uint32_t, Chunk> memo;  // requested addr -> translated chunk
+    uint64_t translates = 0;
+    uint64_t memo_hits = 0;
+  };
+
   util::Result<Chunk> Cut(const image::Image& text_image, uint32_t addr) const;
+  // Displaces the lowest-heat entry of `shard` (called when a shard's slice
+  // of the memo budget is full).
+  void EvictColdest(MemoShard* shard);
 
   image::Image image_;  // pristine; NEVER mutated (writes go to sessions)
   Style style_;
   uint32_t max_block_instrs_;
   uint32_t max_trace_blocks_;
+  McServerConfig config_;
+  uint32_t shards_;
   std::vector<uint8_t> data_;  // pristine shared data/bss/heap/stack
-  std::map<uint32_t, Chunk> memo_;  // requested addr -> translated chunk
+  std::vector<MemoShard> memo_shards_;
+  // Fleet-wide demand temperature per chunk start (every CutShared demand,
+  // across all sessions); the memo bound's eviction-ranking signal.
+  util::OpenTable<uint32_t, uint32_t> heat_{256};
+  // Published-digest window (bounded FIFO).
+  std::map<uint64_t, uint8_t> published_;
+  std::deque<uint64_t> published_fifo_;
   McServerStats stats_;
 };
 
@@ -162,6 +246,8 @@ struct McSessionStats {
   uint64_t write_flushes = 0;
   uint64_t text_cow_faults = 0;      // 0 or 1: private text materialized
   uint64_t data_cow_page_faults = 0; // private data pages materialized
+  uint64_t shared_requests = 0;      // kChunkSharedRequest frames from this id
+  uint64_t digest_replies = 0;       // payload-less replies this session got
 };
 
 // One client's server-side state: epoch fencing, replay cache, pending
@@ -267,9 +353,11 @@ class McSession {
   // Builds the kChunkBatchReply for a demanded chunk: walks the static CFG
   // from `primary` up to the hinted depth, ranks candidates (temperature
   // policy) and packs the winners behind the demanded chunk until the
-  // chunk-count/byte budgets run out.
+  // chunk-count/byte budgets run out. With `publish_digests` every packed
+  // body's digest is published (the batch is about to cross the broadcast
+  // medium and be snooped fleet-wide).
   Reply BatchReply(const Request& request, const Chunk& primary,
-                   const PrefetchHints& hints);
+                   const PrefetchHints& hints, bool publish_digests);
   // Translation through the server: memoized while this session reads shared
   // text, un-memoized once it holds a private (written) text image.
   util::Result<Chunk> CutChunk(uint32_t addr);
@@ -323,8 +411,10 @@ class McSession {
 class MemoryController {
  public:
   MemoryController(const image::Image& image, Style style,
-                   uint32_t max_block_instrs, uint32_t max_trace_blocks = 1)
-      : server_(image, style, max_block_instrs, max_trace_blocks) {
+                   uint32_t max_block_instrs, uint32_t max_trace_blocks = 1,
+                   const McServerConfig& server_config = {})
+      : server_(image, style, max_block_instrs, max_trace_blocks,
+                server_config) {
     session(0);  // legacy accessors are defined in terms of session 0
   }
 

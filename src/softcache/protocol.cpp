@@ -47,6 +47,23 @@ uint32_t Checksum(const uint8_t* data, size_t len, uint32_t basis) {
   return hash;
 }
 
+uint64_t ChunkDigest(uint32_t addr, uint32_t aux, uint32_t extra,
+                     const uint8_t* words, size_t nbytes) {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint8_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  for (uint32_t field : {addr, aux, extra}) {
+    mix(static_cast<uint8_t>(field));
+    mix(static_cast<uint8_t>(field >> 8));
+    mix(static_cast<uint8_t>(field >> 16));
+    mix(static_cast<uint8_t>(field >> 24));
+  }
+  for (size_t i = 0; i < nbytes; ++i) mix(words[i]);
+  return hash;
+}
+
 std::vector<uint8_t> Request::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());

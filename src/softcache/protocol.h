@@ -37,6 +37,10 @@ enum class MsgType : uint32_t {
   kHello = 11,     // CC -> MC: session handshake (crash recovery)
   kHelloAck = 12,  // MC -> CC: addr = boot epoch, aux/extra = stable-op
                    // watermarks (text ops / data ops)
+  kChunkSharedRequest = 13,  // CC -> MC: chunk request, content-addressed
+                             // replies allowed (kChunkDigestReply)
+  kChunkDigestReply = 14,    // MC -> CC: aux/extra = chunk digest lo/hi,
+                             // no body (client holds the bytes)
 };
 
 // --- Sessions, epochs (crash recovery) and client ids (multi-client) ---
@@ -186,5 +190,31 @@ struct Reply {
 // serialized bytes of payload-less frames).
 uint32_t Checksum(const uint8_t* data, size_t len,
                   uint32_t basis = 2166136261u);
+
+// --- Content-addressed shared replies (multicast coalescing) ---
+//
+// On a broadcast medium (the embedded fleets the paper targets share a bus
+// or radio) the server transmits each chunk body ONCE: every attached client
+// snoops body-bearing replies into a small content store keyed by digest.
+// A client that opts in sends kChunkSharedRequest instead of kChunkRequest;
+// when the server knows the body already crossed the medium it answers with
+// a payload-less kChunkDigestReply (aux = digest low word, extra = digest
+// high word, addr = chunk start) and the client installs from its store. A
+// client whose store no longer holds the digest (bounded store, missed
+// snoop) falls back to a plain kChunkRequest, which is always answered with
+// a full body. Clients that never send kChunkSharedRequest never see a
+// digest reply, so seed-protocol traffic is unchanged.
+//
+// The digest is 64-bit FNV-1a over the chunk's complete wire reconstruction
+// state: addr, packed meta (aux), extra, then the instruction words. Server
+// and snooping clients compute it over identical inputs, so equality means
+// bit-identical installed code.
+uint64_t ChunkDigest(uint32_t addr, uint32_t aux, uint32_t extra,
+                     const uint8_t* words, size_t nbytes);
+
+inline uint64_t DigestFromReply(const Reply& reply) {
+  return static_cast<uint64_t>(reply.aux) |
+         (static_cast<uint64_t>(reply.extra) << 32);
+}
 
 }  // namespace sc::softcache

@@ -1,0 +1,82 @@
+#include "softcache/server_loop.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace sc::softcache {
+
+std::vector<uint8_t> McServerLoop::Submit(uint32_t port,
+                                          const std::vector<uint8_t>& frame) {
+  Ticket ticket;
+  ticket.port = port;
+  ticket.frame = &frame;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&ticket);
+  ++stats_.requests_enqueued;
+  stats_.queue_depth_sum += queue_.size();
+  stats_.max_queue_depth =
+      std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+
+  while (!ticket.done) {
+    if (!pumping_) {
+      // Become the pumper: drain the queue in arrival order. Tickets that
+      // arrive while we are inside the server core are seen on the next
+      // iteration (the queue is re-checked under mu_ every pass), so one
+      // drain services every frame queued behind ours too.
+      pumping_ = true;
+      while (!queue_.empty()) {
+        Ticket* t = queue_.front();
+        queue_.pop_front();
+        lock.unlock();
+        std::vector<uint8_t> reply;
+        {
+          std::lock_guard<std::mutex> server_lock(server_mu_);
+          reply = handler_(t->port, *t->frame);
+        }
+        lock.lock();
+        t->reply = std::move(reply);
+        t->done = true;
+      }
+      pumping_ = false;
+      ++stats_.batches_drained;
+      cv_.notify_all();
+    } else {
+      // Another thread is pumping; it will complete our ticket.
+      cv_.wait(lock);
+    }
+  }
+  return std::move(ticket.reply);
+}
+
+void McServerLoop::RunExclusive(const std::function<void()>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exclusive_sections;
+  }
+  std::lock_guard<std::mutex> server_lock(server_mu_);
+  fn();
+}
+
+void McServerLoop::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->RegisterCounter(prefix + "requests_enqueued",
+                            &stats_.requests_enqueued);
+  registry->RegisterCounter(prefix + "batches_drained",
+                            &stats_.batches_drained);
+  registry->RegisterCounter(prefix + "max_queue_depth",
+                            &stats_.max_queue_depth);
+  registry->RegisterCounter(prefix + "queue_depth_sum",
+                            &stats_.queue_depth_sum);
+  registry->RegisterCounter(prefix + "exclusive_sections",
+                            &stats_.exclusive_sections);
+  registry->RegisterGauge(prefix + "avg_queue_depth", [this] {
+    return stats_.requests_enqueued == 0
+               ? 0.0
+               : static_cast<double>(stats_.queue_depth_sum) /
+                     static_cast<double>(stats_.requests_enqueued);
+  });
+}
+
+}  // namespace sc::softcache

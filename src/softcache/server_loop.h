@@ -1,0 +1,97 @@
+// McServerLoop: the event-driven front end of the memory controller.
+//
+// The seed server was a synchronous function call: each client's transport
+// invoked MemoryController::HandlePort and got the reply on the stack. This
+// loop replaces that with an inbound request queue and an explicit pump:
+//
+//   * every arriving frame becomes a *ticket* on the inbound queue;
+//   * the first thread to find no pumper active becomes the pumper and
+//     drains the queue in arrival order — servicing its own ticket AND any
+//     other clients' tickets queued behind it (batch drain);
+//   * threads whose tickets are already queued block on a condition variable
+//     until the pumper completes them.
+//
+// Single-threaded callers (the deterministic round-robin scheduler) pass
+// through with one enqueue + one drain per frame and zero contention, so
+// replies — and therefore wire traffic and guest execution — are unchanged.
+// Multi-threaded callers (host-thread-parallel client VMs) get per-client
+// replies in flight concurrently with exactly one thread inside the server
+// core at a time; the queue-depth statistics then measure real arrival
+// concurrency at the server.
+//
+// RunExclusive serializes out-of-band server mutations (crash injection's
+// per-session restart fires on a client thread, inside its transport's Send)
+// against the pump, so a restart can never interleave with frame handling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sc::obs {
+class MetricsRegistry;
+}
+
+namespace sc::softcache {
+
+struct McServerLoopStats {
+  uint64_t requests_enqueued = 0;  // tickets admitted to the inbound queue
+  uint64_t batches_drained = 0;    // pump passes (one per queue drain)
+  uint64_t max_queue_depth = 0;    // deepest inbound queue ever observed
+  uint64_t queue_depth_sum = 0;    // sum of depth-at-enqueue (avg = sum/enq)
+  uint64_t exclusive_sections = 0; // RunExclusive invocations
+};
+
+class McServerLoop {
+ public:
+  // Handles one frame arriving on a port (MemoryController::HandlePort, or a
+  // test double). Invoked by exactly one thread at a time.
+  using PortHandler = std::function<std::vector<uint8_t>(
+      uint32_t port, const std::vector<uint8_t>& frame)>;
+
+  explicit McServerLoop(PortHandler handler) : handler_(std::move(handler)) {}
+
+  McServerLoop(const McServerLoop&) = delete;
+  McServerLoop& operator=(const McServerLoop&) = delete;
+
+  // The switch's server handler: enqueues the frame, pumps (or waits) until
+  // its reply is ready, and returns it. Safe to call from many threads.
+  std::vector<uint8_t> Submit(uint32_t port, const std::vector<uint8_t>& frame);
+
+  // Runs `fn` with the server core exclusively held (no frame handling in
+  // flight). Used for crash-schedule restarts arriving off the frame path.
+  void RunExclusive(const std::function<void()>& fn);
+
+  const McServerLoopStats& stats() const { return stats_; }
+
+  // Registers the queue counters under `prefix` (e.g. "mc.loop.").
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
+ private:
+  struct Ticket {
+    uint32_t port = 0;
+    const std::vector<uint8_t>* frame = nullptr;
+    std::vector<uint8_t> reply;
+    bool done = false;
+  };
+
+  PortHandler handler_;
+
+  // mu_ guards the queue, the pumper flag and the loop stats; server_mu_
+  // guards the server core itself (held while handling one frame or one
+  // exclusive section, never while waiting on cv_).
+  std::mutex mu_;
+  std::mutex server_mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket*> queue_;
+  bool pumping_ = false;
+  McServerLoopStats stats_;
+};
+
+}  // namespace sc::softcache

@@ -107,6 +107,30 @@ struct PrefetchStats {
   }
 };
 
+// Content-addressed shared-reply counters (CC side): the snoop store's
+// traffic plus the digest-reply fast path. All zero unless the client opted
+// in (SoftCacheConfig::shared_reply).
+struct SharedReplyStats {
+  uint64_t snooped_chunks = 0;   // bodies captured off the broadcast medium
+  uint64_t snooped_bytes = 0;    // their payload bytes
+  uint64_t store_evictions = 0;  // snooped bodies displaced by the byte bound
+  uint64_t digest_replies = 0;   // payload-less kChunkDigestReply received
+  uint64_t digest_hits = 0;      // installed straight from the snoop store
+  uint64_t digest_misses = 0;    // store had lost the body; refetched in full
+  uint64_t bytes_saved = 0;      // body bytes the digest path kept off our leg
+
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "snooped_chunks", &snooped_chunks);
+    registry->RegisterCounter(prefix + "snooped_bytes", &snooped_bytes);
+    registry->RegisterCounter(prefix + "store_evictions", &store_evictions);
+    registry->RegisterCounter(prefix + "digest_replies", &digest_replies);
+    registry->RegisterCounter(prefix + "digest_hits", &digest_hits);
+    registry->RegisterCounter(prefix + "digest_misses", &digest_misses);
+    registry->RegisterCounter(prefix + "bytes_saved", &bytes_saved);
+  }
+};
+
 struct SoftCacheStats {
   // Translation activity. `blocks_translated` is the numerator of the
   // paper's software miss-rate metric (Figure 7): blocks translated divided
@@ -147,6 +171,9 @@ struct SoftCacheStats {
   // Speculative-prefetch activity.
   PrefetchStats prefetch;
 
+  // Content-addressed shared-reply activity.
+  SharedReplyStats shared;
+
   // MC link reliability counters.
   LinkStats net;
 
@@ -180,6 +207,7 @@ struct SoftCacheStats {
     registry->RegisterCounter(cc + "miss_cycles", &miss_cycles);
     registry->RegisterTimeline(cc + "eviction_timeline", &eviction_timeline);
     prefetch.RegisterMetrics(registry, prefix + "prefetch.");
+    shared.RegisterMetrics(registry, prefix + "shared.");
     net.RegisterMetrics(registry, prefix + "net.link.");
     session.RegisterMetrics(registry, prefix + "session.");
   }

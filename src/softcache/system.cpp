@@ -1,6 +1,9 @@
 #include "softcache/system.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
 
 #include "obs/trace.h"
 #include "softcache/reliable.h"
@@ -57,15 +60,21 @@ double SoftCacheSystem::MissRate() const {
 MultiClientSystem::MultiClientSystem(const image::Image& image,
                                      const MultiClientConfig& config)
     : config_(config),
-      switch_([this](uint32_t port, const std::vector<uint8_t>& frame) {
+      // Every frame is routed through the event loop: the switch feeds the
+      // loop's inbound queue, the loop serializes entry into the server
+      // core. Single-threaded schedulers pass through with zero contention.
+      loop_([this](uint32_t port, const std::vector<uint8_t>& frame) {
         return mc_->HandlePort(port, frame);
+      }),
+      switch_([this](uint32_t port, const std::vector<uint8_t>& frame) {
+        return loop_.Submit(port, frame);
       }) {
   SC_CHECK_GE(config.clients, 1u) << "MultiClientSystem needs a client";
   SC_CHECK_LE(config.clients, kMaxClients) << "exceeds 8-bit wire id space";
   obs::EnsureEchoTracerForLogging();
-  mc_ = std::make_unique<MemoryController>(image, config.base.style,
-                                           config.base.max_block_instrs,
-                                           config.base.max_trace_blocks);
+  mc_ = std::make_unique<MemoryController>(
+      image, config.base.style, config.base.max_block_instrs,
+      config.base.max_trace_blocks, config.server);
   clients_.reserve(config.clients);
   for (uint32_t i = 0; i < config.clients; ++i) {
     Client client;
@@ -79,10 +88,14 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
     const net::FaultConfig fault = cfg.fault;
     // Each client talks through its own switch port; a crash on that port
     // restarts only this client's server-side session, never its neighbors'.
+    // The restart itself fires on the client's host thread (inside its
+    // transport's Send), so it is serialized against frame handling through
+    // the loop's exclusive section.
     cfg.transport_factory = [this, i, fault](MemoryController&,
                                              net::Channel& channel) {
-      return MakeTransport(switch_.Port(i), channel, fault,
-                           [this, i] { mc_->RestartSession(i); });
+      return MakeTransport(switch_.Port(i), channel, fault, [this, i] {
+        loop_.RunExclusive([this, i] { mc_->RestartSession(i); });
+      });
     };
     client.cc = std::make_unique<CacheController>(*client.machine, *mc_,
                                                   *client.channel, cfg);
@@ -94,8 +107,50 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
     mc_->session(i);
     clients_.push_back(std::move(client));
   }
+  if (config.base.shared_reply) {
+    // Broadcast medium: every reply the server transmits is snooped into
+    // every attached client's content store (including the requester's own).
+    switch_.set_reply_observer([this](uint32_t /*port*/,
+                                      const std::vector<uint8_t>& /*request*/,
+                                      const std::vector<uint8_t>& reply) {
+      SnoopReply(reply);
+    });
+  }
   if (obs::Tracer* t = obs::tracer()) {
     if (t->enabled()) t->SetClockSource(clients_[0].machine->cycles_counter());
+  }
+}
+
+void MultiClientSystem::SnoopReply(const std::vector<uint8_t>& reply_bytes) {
+  // Parse and digest ONCE per broadcast frame, then hand every client's
+  // store a shared reference to the same body buffer — a 256-client fleet
+  // pays one allocation and one digest per body crossing the medium.
+  auto reply = Reply::Parse(reply_bytes);
+  if (!reply.ok()) return;  // errors/acks are not snoopable bodies
+  const auto snoop_all = [this](uint32_t addr, uint32_t aux, uint32_t extra,
+                                const uint8_t* words, uint32_t nbytes) {
+    auto body = std::make_shared<const std::vector<uint8_t>>(words,
+                                                             words + nbytes);
+    const uint64_t digest = ChunkDigest(addr, aux, extra, words, nbytes);
+    for (Client& client : clients_) {
+      if (ChunkContentStore* store = client.cc->content_store()) {
+        store->Snoop(digest, addr, aux, extra, body,
+                     client.cc->shared_stats());
+      }
+    }
+  };
+  if (reply->type == MsgType::kChunkReply) {
+    if (reply->payload.size() % 4 != 0) return;
+    snoop_all(reply->addr, reply->aux, reply->extra, reply->payload.data(),
+              static_cast<uint32_t>(reply->payload.size()));
+    return;
+  }
+  if (reply->type == MsgType::kChunkBatchReply) {
+    auto views = ParseBatchPayload(reply->payload, reply->aux);
+    if (!views.ok()) return;
+    for (const BatchChunkView& view : *views) {
+      snoop_all(view.addr, view.aux, view.extra, view.words, view.nwords * 4);
+    }
   }
 }
 
@@ -106,6 +161,13 @@ std::vector<vm::RunResult> MultiClientSystem::RunAll(
       client.cc->Attach();
       client.attached = true;
     }
+  }
+  if (config_.host_threads > 1 && clients_.size() > 1) {
+    RunAllThreaded(max_instructions_each);
+    std::vector<vm::RunResult> results;
+    results.reserve(clients_.size());
+    for (Client& client : clients_) results.push_back(client.result);
+    return results;
   }
   // Deterministic round-robin on guest time: always step the laggard (the
   // live machine with the smallest cycle count; ties break to the lowest
@@ -138,6 +200,36 @@ std::vector<vm::RunResult> MultiClientSystem::RunAll(
   return results;
 }
 
+void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
+  // Host-thread parallelism trades the deterministic interleaving for
+  // concurrent per-client progress: each worker claims the next unfinished
+  // client and runs its VM to completion; the server core stays serialized
+  // through the event loop, and the snoop fan-out synchronizes per store.
+  // Guest-visible results (output/exit/instructions) remain solo-identical —
+  // clients share no guest state and the fallback path absorbs any snoop
+  // races. The global tracer is not thread-safe, so threading requires it
+  // off (the deterministic scheduler is the tracing configuration).
+  obs::Tracer* tracer = obs::tracer();
+  SC_CHECK(tracer == nullptr || !tracer->enabled())
+      << "host_threads > 1 requires tracing off";
+  std::atomic<size_t> next_client{0};
+  const auto worker = [this, max_instructions_each, &next_client] {
+    for (;;) {
+      const size_t i = next_client.fetch_add(1);
+      if (i >= clients_.size()) return;
+      Client& client = clients_[i];
+      client.result = client.machine->Run(max_instructions_each);
+      client.done = true;
+    }
+  };
+  const size_t nthreads =
+      std::min<size_t>(config_.host_threads, clients_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (size_t t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+}
+
 bool MultiClientSystem::SyncSessions() {
   bool ok = true;
   for (size_t i = 0; i < clients_.size(); ++i) {
@@ -161,6 +253,7 @@ void MultiClientSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
                               client.machine->cycles_counter());
   }
   mc_->RegisterMetrics(registry, "mc.");
+  loop_.RegisterMetrics(registry, "mc.loop.");
   registry->RegisterCounter("net.switch.frames",
                             switch_.frames_switched_counter());
 }

@@ -18,6 +18,7 @@
 #include "softcache/cc.h"
 #include "softcache/config.h"
 #include "softcache/mc.h"
+#include "softcache/server_loop.h"
 #include "vm/machine.h"
 
 namespace sc::softcache {
@@ -84,7 +85,33 @@ struct MultiClientConfig {
   std::vector<net::FaultConfig> client_faults;
   // Scheduler quantum, in guest instructions per scheduling step.
   uint64_t quantum_instructions = 1024;
+  // Server-core tuning: memo shards, memo bound, published-digest window.
+  McServerConfig server;
+  // Host threads running client VMs: 0/1 = the deterministic guest-cycle
+  // round-robin scheduler (single host thread; traces, metrics and wire
+  // traffic reproduce bit-identically). >1 = each client VM runs to
+  // completion on a pool of this many host threads, with server access
+  // serialized through the event loop. Guest results stay solo-identical
+  // either way; what threading changes is the host-side interleaving, so
+  // tracing must be off and cross-client cycle comparisons are meaningless.
+  uint32_t host_threads = 0;
 };
+
+// CLI-level validation of a --clients value: [1, kMaxClients], returning an
+// error string instead of crashing (the MultiClientSystem constructor treats
+// violations as programmer error and SC_CHECKs).
+inline bool ValidateClientCount(int64_t clients, std::string* error) {
+  if (clients < 1) {
+    *error = "clients must be >= 1";
+    return false;
+  }
+  if (clients > static_cast<int64_t>(kMaxClients)) {
+    *error = "clients must be <= " + std::to_string(kMaxClients) +
+             " (8-bit wire id space)";
+    return false;
+  }
+  return true;
+}
 
 // N independent guest machines sharing ONE MemoryController through a
 // net::Switch, interleaved by a deterministic guest-cycle round-robin
@@ -120,6 +147,7 @@ class MultiClientSystem {
   MemoryController& mc() { return *mc_; }
   const MemoryController& mc() const { return *mc_; }
   net::Switch& net_switch() { return switch_; }
+  McServerLoop& server_loop() { return loop_; }
   std::string OutputString(size_t client) const {
     return clients_[client].machine->OutputString();
   }
@@ -140,8 +168,16 @@ class MultiClientSystem {
     vm::RunResult result;
   };
 
+  // Runs every client to completion on a pool of config.host_threads host
+  // threads (the RunAll threaded branch).
+  void RunAllThreaded(uint64_t max_instructions_each);
+  // Broadcast-medium snoop: parses one reply frame and feeds every client's
+  // content store (shared_reply mode only).
+  void SnoopReply(const std::vector<uint8_t>& reply_bytes);
+
   MultiClientConfig config_;
   std::unique_ptr<MemoryController> mc_;
+  McServerLoop loop_;
   net::Switch switch_;
   std::vector<Client> clients_;
 };

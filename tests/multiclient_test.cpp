@@ -336,6 +336,200 @@ TEST(SwitchDemux, MisroutedIdIsRejectedAtArrivalPort) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet-size cap: one constant, validated at the boundary, never an assert
+// ---------------------------------------------------------------------------
+
+TEST(ClientCap, ValidateClientCountBoundaries) {
+  std::string error;
+  EXPECT_TRUE(softcache::ValidateClientCount(1, &error));
+  EXPECT_TRUE(softcache::ValidateClientCount(255, &error));
+  EXPECT_TRUE(softcache::ValidateClientCount(softcache::kMaxClients, &error));
+
+  // 257: one past the 8-bit wire id space — rejected with a message that
+  // names the actual cap (srun prints this instead of assert-crashing).
+  EXPECT_FALSE(softcache::ValidateClientCount(257, &error));
+  EXPECT_NE(error.find("256"), std::string::npos);
+  EXPECT_FALSE(softcache::ValidateClientCount(0, &error));
+  EXPECT_FALSE(softcache::ValidateClientCount(-1, &error));
+  EXPECT_FALSE(softcache::ValidateClientCount(1'000'000, &error));
+}
+
+TEST(ClientCap, FleetConstructsAtTheFullCap) {
+  // The advertised cap must actually construct: 256 machines, 256 sessions,
+  // ids 0..255 all representable in the wire id byte.
+  const image::Image img = LoopImage();
+  softcache::MultiClientConfig config;
+  config.clients = softcache::kMaxClients;
+  softcache::MultiClientSystem fleet(img, config);
+  EXPECT_EQ(fleet.mc().sessions_active(), softcache::kMaxClients);
+  EXPECT_NE(fleet.mc().FindSession(softcache::kMaxClients - 1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded translation memo: heat-ranked eviction, invalidation under churn
+// ---------------------------------------------------------------------------
+
+TEST(SharedMemo, BoundedMemoEvictsColdKeepsHot) {
+  const image::Image img = LoopImage();
+  softcache::McServerConfig server_config;
+  server_config.shards = 1;
+  server_config.memo_capacity = 4;
+  MemoryController mc(img, softcache::Style::kSparc, 64, 1, server_config);
+  const uint32_t entry = img.entry;
+  const uint32_t text_words = static_cast<uint32_t>(img.text.size() / 4);
+  ASSERT_GE(text_words, 16u) << "loop image too small for churn";
+
+  // Make the entry chunk HOT: six distinct sessions demand it.
+  for (uint32_t c = 0; c < 6; ++c) {
+    MustParse(mc.Handle(ChunkReq(entry, c, /*seq=*/c + 1).Serialize()));
+  }
+  ASSERT_EQ(mc.server().stats().translates, 1u);
+
+  // Churn: demand 12 distinct cold chunks through a 4-entry memo. The bound
+  // must hold throughout and evictions must fire...
+  for (uint32_t k = 1; k <= 12; ++k) {
+    MustParse(mc.Handle(
+        ChunkReq(img.text_base + 4 * (k % text_words), 0, /*seq=*/100 + k)
+            .Serialize()));
+    EXPECT_LE(mc.server().memo_entries(), server_config.memo_capacity);
+  }
+  EXPECT_GT(mc.server().stats().memo_evictions, 0u);
+
+  // ...but the heat signal protects the hot entry chunk: re-demanding it is
+  // still a memo hit, not a re-translation.
+  const uint64_t translates_before = mc.server().stats().translates;
+  MustParse(mc.Handle(ChunkReq(entry, 7, /*seq=*/200).Serialize()));
+  EXPECT_EQ(mc.server().stats().translates, translates_before);
+}
+
+TEST(SharedMemo, InvalidationStaysCorrectUnderEvictionChurn) {
+  // Regression: a memo entry can be EVICTED and later re-admitted; a text
+  // write must still drop the covering entry so no stale translation
+  // survives, and the sharded invalidation must walk every shard.
+  const image::Image img = LoopImage();
+  softcache::McServerConfig server_config;
+  server_config.shards = 2;
+  server_config.memo_capacity = 4;
+  MemoryController mc(img, softcache::Style::kSparc, 64, 1, server_config);
+  const uint32_t entry = img.entry;
+  const uint32_t text_words = static_cast<uint32_t>(img.text.size() / 4);
+
+  const Reply before = MustParse(mc.Handle(ChunkReq(entry, 0).Serialize()));
+  for (uint32_t k = 1; k <= 10; ++k) {
+    MustParse(mc.Handle(
+        ChunkReq(img.text_base + 4 * (k % text_words), 0, /*seq=*/k + 1)
+            .Serialize()));
+  }
+
+  // Client 1 patches the entry word; the shared memo must shed the range
+  // whether or not churn already displaced the entry.
+  isa::Instr nop;
+  nop.op = isa::Opcode::kAddi;
+  const uint32_t nop_word = isa::Encode(nop);
+  Request write;
+  write.type = MsgType::kTextWrite;
+  write.seq = 50;
+  write.addr = entry;
+  write.client_id = 1;
+  write.payload.resize(4);
+  std::memcpy(write.payload.data(), &nop_word, 4);
+  write.length = 4;
+  MustParse(mc.Handle(write.Serialize()));
+
+  // Client 0 re-fetches from pristine text: identical artifact, and the
+  // memo stays within its bound with evictions accounted.
+  const Reply after =
+      MustParse(mc.Handle(ChunkReq(entry, 0, /*seq=*/51).Serialize()));
+  EXPECT_EQ(after.payload, before.payload);
+  EXPECT_EQ(after.aux, before.aux);
+  EXPECT_LE(mc.server().memo_entries(), server_config.memo_capacity);
+  EXPECT_GT(mc.server().stats().memo_evictions, 0u);
+
+  // Client 1 sees its own patch, never the memoized pristine chunk.
+  const Reply patched =
+      MustParse(mc.Handle(ChunkReq(entry, 1, /*seq=*/52).Serialize()));
+  ASSERT_GE(patched.payload.size(), 4u);
+  uint32_t first_word = 0;
+  std::memcpy(&first_word, patched.payload.data(), 4);
+  EXPECT_EQ(first_word, nop_word);
+}
+
+// ---------------------------------------------------------------------------
+// Switch port bookkeeping: out-of-order creation, spoof property sweep
+// ---------------------------------------------------------------------------
+
+TEST(SwitchDemux, OutOfOrderPortCreationCountsPortsExactly) {
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  net::Switch net_switch(
+      [&mc](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc.HandlePort(port, frame);
+      });
+
+  // Creating port 5 before port 2 must not phantom-create ports 0..4: the
+  // port count tracks real creations while the frame table spans the
+  // highest-numbered port.
+  net::FrameHandler port5 = net_switch.Port(5);
+  net::FrameHandler port2 = net_switch.Port(2);
+  EXPECT_EQ(net_switch.ports(), 2u);
+  EXPECT_EQ(net_switch.port_span(), 6u);
+
+  MustParse(port5(ChunkReq(img.entry, 5).Serialize()));
+  MustParse(port2(ChunkReq(img.entry, 2).Serialize()));
+  MustParse(port2(ChunkReq(img.entry, 2, /*seq=*/2).Serialize()));
+  EXPECT_EQ(net_switch.port_frames(5), 1u);
+  EXPECT_EQ(net_switch.port_frames(2), 2u);
+  EXPECT_EQ(net_switch.port_frames(0), 0u);
+  EXPECT_EQ(net_switch.port_frames(99), 0u);
+  EXPECT_EQ(net_switch.frames_switched(), 3u);
+
+  // Re-requesting an existing port's handler is not a new port.
+  net::FrameHandler port5_again = net_switch.Port(5);
+  EXPECT_EQ(net_switch.ports(), 2u);
+}
+
+TEST(SwitchDemux, SpoofedIdPropertySweepNeverCrossesSessions) {
+  // Property: for EVERY (arrival port, claimed id) pair with port != id, the
+  // frame is rejected at the arrival port, charged to the arrival port's
+  // session, and the claimed session is never created by the spoof.
+  const image::Image img = LoopImage();
+  MemoryController mc(img, softcache::Style::kSparc, 64);
+  net::Switch net_switch(
+      [&mc](uint32_t port, const std::vector<uint8_t>& frame) {
+        return mc.HandlePort(port, frame);
+      });
+  constexpr uint32_t kPorts = 6;
+  std::vector<net::FrameHandler> ports;
+  for (uint32_t p = 0; p < kPorts; ++p) ports.push_back(net_switch.Port(p));
+
+  uint64_t spoofs = 0;
+  for (uint32_t port = 0; port < kPorts; ++port) {
+    for (uint32_t claimed : {0u, 1u, 3u, 5u, 17u, 255u}) {
+      const Reply reply = MustParse(ports[port](
+          ChunkReq(img.entry, claimed,
+                   /*seq=*/static_cast<uint32_t>(spoofs + 1))
+              .Serialize()));
+      if (claimed == port) {
+        EXPECT_EQ(reply.type, MsgType::kChunkReply);
+        continue;
+      }
+      ++spoofs;
+      EXPECT_EQ(reply.type, MsgType::kError)
+          << "port " << port << " claimed " << claimed;
+      EXPECT_EQ(reply.client_id, port);
+      if (claimed >= kPorts) {
+        // Sessions only exist for real ports; a spoofed id outside the
+        // fleet must not have materialized one.
+        EXPECT_EQ(mc.FindSession(claimed), nullptr);
+      }
+    }
+  }
+  EXPECT_EQ(mc.server().stats().misrouted_frames, spoofs);
+  // Spoofed frames never translated anything: only the on-port requests did.
+  EXPECT_EQ(mc.server().stats().translates, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // End to end: N clients behave exactly like N solo runs
 // ---------------------------------------------------------------------------
 

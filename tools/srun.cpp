@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
        "input", "stats", "profile", "max-instr", "dump-tcache", "help",
        "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
        "crash-after", "crash-rate", "crash-at-cycle", "fault-seed", "clients",
-       "verify"});
+       "verify", "shared-reply", "shards", "threads"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -93,9 +93,15 @@ int main(int argc, char** argv) {
                  "            [--crash-at-cycle=C] MC crashes once at cycle C\n"
                  "            [--fault-seed=S]     crash schedule RNG seed\n"
                  "multi-client (softcache runs; one MC, N cache controllers):\n"
-                 "            [--clients=N]        N guests share one MC (N<=256)\n"
+                 "            [--clients=N]        N guests share one MC (1..%u)\n"
+                 "            [--shared-reply]     content-addressed coalesced\n"
+                 "                                 replies (broadcast snooping)\n"
+                 "            [--shards=N]         server memo/translate shards\n"
+                 "            [--threads=N]        host threads for client VMs\n"
+                 "                                 (N>1 requires tracing off)\n"
                  "            [--verify]           re-run each client solo and\n"
-                 "                                 check bit-identical behavior\n");
+                 "                                 check bit-identical behavior\n",
+                 static_cast<unsigned>(softcache::kMaxClients));
     return 2;
   }
 
@@ -206,8 +212,16 @@ int main(int argc, char** argv) {
     tracer.Enable();
     obs::SetTracer(&tracer);
   }
-  const uint32_t n_clients =
-      static_cast<uint32_t>(args.GetInt("clients", 1));
+  // Validate the fleet size up front: an out-of-range --clients is a usage
+  // error reported on stderr, never an assert deep inside the system.
+  const int64_t clients_arg = static_cast<int64_t>(args.GetInt("clients", 1));
+  std::string clients_error;
+  if (!softcache::ValidateClientCount(clients_arg, &clients_error)) {
+    std::fprintf(stderr, "--clients=%lld: %s\n",
+                 static_cast<long long>(clients_arg), clients_error.c_str());
+    return 2;
+  }
+  const uint32_t n_clients = static_cast<uint32_t>(clients_arg);
   if (n_clients > 1) {
     if (args.Has("dcache") || args.Has("profile") || args.Has("dump-tcache")) {
       std::fprintf(stderr,
@@ -217,6 +231,13 @@ int main(int argc, char** argv) {
     softcache::MultiClientConfig mcfg;
     mcfg.clients = n_clients;
     mcfg.base = config;
+    mcfg.base.shared_reply = args.Has("shared-reply");
+    mcfg.server.shards = static_cast<uint32_t>(args.GetInt("shards", 1));
+    mcfg.host_threads = static_cast<uint32_t>(args.GetInt("threads", 0));
+    if (mcfg.host_threads > 1 && args.Has("trace")) {
+      std::fprintf(stderr, "--threads=N>1 requires --trace off\n");
+      return 2;
+    }
     for (uint32_t i = 0; i < n_clients; ++i) {
       net::FaultConfig fault = config.fault;
       fault.seed = config.fault.seed + i;  // distinct schedule per client
@@ -311,6 +332,26 @@ int main(int argc, char** argv) {
                              (double)(server.translates +
                                       server.translate_memo_hits),
                    (unsigned long long)server.requests_served);
+      std::fprintf(stderr,
+                   "server: shards=%u memo_entries=%llu memo_evictions=%llu\n",
+                   fleet.mc().server().shards(),
+                   (unsigned long long)fleet.mc().server().memo_entries(),
+                   (unsigned long long)server.memo_evictions);
+      if (mcfg.base.shared_reply) {
+        uint64_t wire_bytes = 0;
+        for (uint32_t i = 0; i < n_clients; ++i) {
+          wire_bytes += fleet.channel(i).stats().total_bytes();
+        }
+        std::fprintf(
+            stderr,
+            "shared-reply: requests=%llu digest_replies=%llu "
+            "bytes_saved=%llu wire_bytes=%llu (%.1f per client)\n",
+            (unsigned long long)server.shared_requests,
+            (unsigned long long)server.digest_replies,
+            (unsigned long long)server.digest_bytes_saved,
+            (unsigned long long)wire_bytes,
+            (double)wire_bytes / (double)n_clients);
+      }
     }
     const auto& out0 = fleet.machine(0).output();
     std::fwrite(out0.data(), 1, out0.size(), stdout);
