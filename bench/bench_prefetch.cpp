@@ -155,6 +155,12 @@ int main(int argc, char** argv) {
     rows.push_back(off);
     PrintRow(off, off);
 
+    // Speculative rows walk deeper than the default and under a tight byte
+    // budget, so admission is contended and the ranking policy actually
+    // decides which candidates win (with slack budgets every policy admits
+    // the whole candidate set and the rows are identical by construction).
+    config.prefetch.depth = 4;
+    config.prefetch.byte_budget = 1024;
     config.prefetch.policy = softcache::PrefetchPolicy::kNextN;
     softcache::MemoryController mc_next(img, config.style,
                                         config.max_block_instrs,

@@ -765,6 +765,10 @@ void CacheController::EvictBlock(uint64_t block_id) {
   stats_.eviction_timeline.Add(machine_.cycles());
   occupancy_.Add(machine_.cycles(), live_bytes_);
   OBS_INSTANT("cc", "evict", "orig", block.orig_addr, "bytes", block.tc_bytes);
+  // The tcache range is dead, not merely rewritten: drop any superblocks and
+  // decode-cache entries built from it now rather than waiting for the next
+  // install to overwrite the words.
+  machine_.InvalidateCode(block.tc_addr, block.tc_bytes);
 
 #ifdef SOFTCACHE_DEBUG_SCAN
   {

@@ -352,10 +352,13 @@ Reply McSession::BatchReply(const Request& request, const Chunk& primary,
   };
   append(primary);
 
-  // BFS over the static CFG from the demanded chunk. Each frontier level is
-  // ranked by temperature when the policy asks for it; within equal
-  // temperature the natural order (fallthrough first) is kept, so a cold
-  // session degrades gracefully to next-N prefetching.
+  // Candidate collection: BFS over the static CFG from the demanded chunk to
+  // `depth` levels, cutting every reachable chunk once. Admission is decided
+  // *globally* after collection — a per-level sort is degenerate whenever a
+  // frontier level fits inside the budgets (the sort can reorder a level but
+  // never change which chunks are admitted), which is exactly the regime the
+  // bundled workloads sit in with ≤2 successors per chunk. Ranking the whole
+  // candidate set lets a hot deep chunk displace a cold shallow one.
   const image::Image& text = text_view();
   std::vector<uint32_t> included{primary.orig_addr};
   const auto is_included = [&included](uint32_t addr) {
@@ -364,37 +367,55 @@ Reply McSession::BatchReply(const Request& request, const Chunk& primary,
     }
     return false;
   };
-  uint32_t budget = hints.byte_budget;
+  struct Candidate {
+    Chunk chunk;
+    uint32_t order;  // BFS discovery order: the next-N priority
+  };
+  std::vector<Candidate> candidates;
   std::vector<uint32_t> frontier = ChunkSuccessors(text, primary);
   for (uint32_t level = 0; level < depth && !frontier.empty(); ++level) {
-    if (static_cast<PrefetchPolicy>(hints.policy) ==
-        PrefetchPolicy::kTemperature) {
-      std::stable_sort(frontier.begin(), frontier.end(),
-                       [this](uint32_t a, uint32_t b) {
-                         return Temperature(a) > Temperature(b);
-                       });
-    }
     std::vector<uint32_t> next;
     for (uint32_t addr : frontier) {
-      if (count - 1 >= max_chunks) break;
+      // Bound the walk: ranking only needs enough slack over max_chunks to
+      // have something to displace.
+      if (candidates.size() >= 2 * kMaxPrefetchChunks) break;
       if (is_included(addr)) continue;
       auto chunk = CutChunk(addr);
       if (!chunk.ok()) continue;  // e.g. successor with no symbol cover
       if (is_included(chunk->orig_addr)) continue;  // ARM: same procedure
-      const uint32_t cost = kBatchChunkHeaderBytes +
-                            static_cast<uint32_t>(chunk->words.size()) * 4;
-      if (cost > budget) continue;
-      budget -= cost;
       included.push_back(addr);
       if (chunk->orig_addr != addr) included.push_back(chunk->orig_addr);
-      append(*chunk);
-      ++stats_.chunks_prefetched;
-      ++server_.stats().chunks_prefetched;
       for (uint32_t succ : ChunkSuccessors(text, *chunk)) {
         next.push_back(succ);
       }
+      candidates.push_back(Candidate{
+          std::move(*chunk), static_cast<uint32_t>(candidates.size())});
     }
     frontier = std::move(next);
+  }
+  // Rank: the temperature policy orders by observed demand heat (hotter
+  // first), falling back to BFS order on ties so a cold session degrades
+  // gracefully to next-N; next-N is plain BFS order (fallthrough first).
+  if (static_cast<PrefetchPolicy>(hints.policy) ==
+      PrefetchPolicy::kTemperature) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](const Candidate& a, const Candidate& b) {
+                       return Temperature(a.chunk.orig_addr) >
+                              Temperature(b.chunk.orig_addr);
+                     });
+  }
+  // Greedy admission under the chunk and byte budgets, in rank order.
+  uint32_t budget = hints.byte_budget;
+  for (const Candidate& cand : candidates) {
+    if (count - 1 >= max_chunks) break;
+    const uint32_t cost =
+        kBatchChunkHeaderBytes +
+        static_cast<uint32_t>(cand.chunk.words.size()) * 4;
+    if (cost > budget) continue;
+    budget -= cost;
+    append(cand.chunk);
+    ++stats_.chunks_prefetched;
+    ++server_.stats().chunks_prefetched;
   }
   reply.aux = count;
   ++stats_.batches_served;

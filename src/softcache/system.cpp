@@ -48,6 +48,13 @@ void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
   mc_->RegisterMetrics(registry, "mc.");
   registry->RegisterCounter("vm.instructions", machine_.instructions_counter());
   registry->RegisterCounter("vm.cycles", machine_.cycles_counter());
+  // Threaded-engine counters (all zero under the interpreter).
+  const vm::SbStats& sb = machine_.sb_stats();
+  registry->RegisterCounter("vm.sb.fills", &sb.fills);
+  registry->RegisterCounter("vm.sb.fill_ops", &sb.fill_ops);
+  registry->RegisterCounter("vm.sb.chains", &sb.chains);
+  registry->RegisterCounter("vm.sb.invalidations", &sb.invalidations);
+  registry->RegisterCounter("vm.sb.flushes", &sb.flushes);
 }
 
 double SoftCacheSystem::MissRate() const {
@@ -251,6 +258,13 @@ void MultiClientSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
                               client.machine->instructions_counter());
     registry->RegisterCounter(prefix + "vm.cycles",
                               client.machine->cycles_counter());
+    const vm::SbStats& sb = client.machine->sb_stats();
+    registry->RegisterCounter(prefix + "vm.sb.fills", &sb.fills);
+    registry->RegisterCounter(prefix + "vm.sb.fill_ops", &sb.fill_ops);
+    registry->RegisterCounter(prefix + "vm.sb.chains", &sb.chains);
+    registry->RegisterCounter(prefix + "vm.sb.invalidations",
+                              &sb.invalidations);
+    registry->RegisterCounter(prefix + "vm.sb.flushes", &sb.flushes);
   }
   mc_->RegisterMetrics(registry, "mc.");
   loop_.RegisterMetrics(registry, "mc.loop.");

@@ -13,8 +13,49 @@ using isa::AluOp;
 using isa::Instr;
 using isa::Opcode;
 
-Machine::Machine(uint32_t mem_bytes) : mem_(mem_bytes, 0) {
+Machine::Machine(uint32_t mem_bytes)
+    : mem_(mem_bytes, 0), engine_(DefaultEngine()) {
   SC_CHECK_GE(mem_bytes, image::kLocalBase) << "memory must cover local region";
+}
+
+void Machine::set_engine(Engine engine) {
+  if (engine == engine_) return;
+  engine_ = engine;
+  // Superblocks translated before an interpreter interlude can go stale
+  // without notice (the interpreter's guest stores rely on the decode
+  // cache's word compare, which superblocks skip), so drop them.
+  FlushSuperblocks();
+}
+
+void Machine::SetExecRange(uint32_t lo, uint32_t hi) {
+  if (exec_lo_ != lo || exec_hi_ != hi) FlushSuperblocks();
+  exec_lo_ = lo;
+  exec_hi_ = hi;
+}
+
+void Machine::set_cost_model(const CostModel& cost) {
+  FlushSuperblocks();
+  cost_ = cost;
+}
+
+void Machine::FlushSuperblocks() {
+  if (sb_cache_ != nullptr && sb_cache_->live_blocks() > 0) {
+    sb_cache_->FlushMark(&sb_stats_);
+    sb_interrupt_ = true;
+  }
+  SyncSuperblockBounds();
+}
+
+void Machine::SyncSuperblockBounds() {
+  sb_lo_ = sb_cache_ == nullptr ? UINT32_MAX : sb_cache_->lo();
+  sb_hi_ = sb_cache_ == nullptr ? 0 : sb_cache_->hi();
+}
+
+void Machine::SuperblockStoreSlow(uint32_t paddr, uint32_t size) {
+  if (sb_cache_->Invalidate(paddr, size, &sb_stats_)) {
+    sb_interrupt_ = true;
+    SyncSuperblockBounds();
+  }
 }
 
 void Machine::LoadImage(const image::Image& img) {
@@ -62,11 +103,20 @@ void Machine::WriteBlock(uint32_t addr, const void* bytes, uint32_t len) {
 }
 
 void Machine::InvalidateDecode(uint32_t addr, uint32_t len) {
-  if (decode_cache_.empty() || len == 0) return;
+  if (len == 0) return;
   if (exec_lo_ != exec_hi_ &&
       (addr >= exec_hi_ || static_cast<uint64_t>(addr) + len <= exec_lo_)) {
     return;  // outside the executable range: never fetched
   }
+  // Superblocks invalidate on the same plumbing as the decode cache: every
+  // WriteWord/WriteBlock (cache-controller install/patch/evict, recovery
+  // journal replay, COW text writes, dcache block moves) lands here.
+  if (sb_cache_ != nullptr &&
+      sb_cache_->Invalidate(addr, len, &sb_stats_)) {
+    sb_interrupt_ = true;
+    SyncSuperblockBounds();
+  }
+  if (decode_cache_.empty()) return;
   const uint32_t first = addr >> 2;
   const uint32_t last = (addr + len - 1) >> 2;
   const DecodeEntry reset{0, isa::Decode(0)};
@@ -188,6 +238,10 @@ void Machine::DoSyscall(int32_t number, uint32_t* next_pc) {
         const uint32_t paddr = TranslateData(ptr + n, 1, /*is_store=*/true);
         if (pending_stop_ != StopReason::kRunning) return;
         mem_[paddr] = input_[input_pos_++];
+        // SYS_READ can scribble over translated text (self-modifying code
+        // staged through the input stream); superblocks cannot rely on the
+        // interpreter's fetch-time word compare, so kill overlaps here.
+        if (paddr >= sb_lo_ && paddr < sb_hi_) SuperblockStoreSlow(paddr, 1);
         ++n;
       }
       regs_[isa::kRv] = n;
@@ -222,6 +276,11 @@ void Machine::DoSyscall(int32_t number, uint32_t* next_pc) {
 }
 
 RunResult Machine::Run(uint64_t max_instructions) {
+  return engine_ == Engine::kThreaded ? RunThreaded(max_instructions)
+                                      : RunInterp(max_instructions);
+}
+
+RunResult Machine::RunInterp(uint64_t max_instructions) {
   if (pending_stop_ != StopReason::kRunning) return MakeResult(pending_stop_);
   if (decode_cache_.empty()) {
     // {0, Decode(0)} satisfies the cache invariant (instr == Decode(word)),

@@ -22,10 +22,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "image/image.h"
 #include "image/layout.h"
 #include "isa/isa.h"
 #include "util/result.h"
+#include "vm/superblock.h"
 
 namespace sc::vm {
 
@@ -118,8 +121,22 @@ class Machine {
   // entry point, SP to the stack top and the heap break past bss.
   void LoadImage(const image::Image& img);
 
-  // Executes until halt, fault, or `max_instructions` retired.
+  // Executes until halt, fault, or `max_instructions` retired, on the
+  // selected engine. Both engines produce bit-identical guest-visible
+  // behavior (output, exit code, instruction and cycle counts, fault
+  // messages, hook call sequences); they differ only in host speed.
   RunResult Run(uint64_t max_instructions = UINT64_MAX);
+
+  // Engine selection. Switching engines flushes the superblock cache (the
+  // interpreter validates stale decode entries by word compare on every
+  // fetch; superblocks cannot, so anything translated before an interp
+  // interlude must be rebuilt).
+  Engine engine() const { return engine_; }
+  void set_engine(Engine engine);
+
+  // Threaded-engine counters (zero when only the interpreter ran). Stable
+  // address for the Machine's lifetime, for the metrics registry.
+  const SbStats& sb_stats() const { return sb_stats_; }
 
   // Register file access. Writes to register 0 are ignored.
   uint32_t reg(uint8_t r) const { return regs_[r]; }
@@ -137,6 +154,15 @@ class Machine {
   void WriteWord(uint32_t addr, uint32_t value);
   void ReadBlock(uint32_t addr, void* out, uint32_t len) const;
   void WriteBlock(uint32_t addr, const void* bytes, uint32_t len);
+
+  // Drops cached translations (decode-cache entries and superblocks) over
+  // [addr, addr+len) without touching memory. WriteWord/WriteBlock do this
+  // implicitly; code managers call it when text becomes *dead* rather than
+  // different — e.g. the cache controller evicting a tcache block — so stale
+  // translations don't outlive the code they were built from.
+  void InvalidateCode(uint32_t addr, uint32_t len) {
+    InvalidateDecode(addr, len);
+  }
 
   // Translates a data address through the installed data hook (identity when
   // no hook covers it). Host-side agents that must see the same memory the
@@ -157,11 +183,9 @@ class Machine {
 
   // Restrict instruction fetch to [lo, hi). Any fetch outside faults. The
   // softcache client uses this to *prove* it only ever executes from local
-  // memory. Pass lo == hi == 0 to clear.
-  void SetExecRange(uint32_t lo, uint32_t hi) {
-    exec_lo_ = lo;
-    exec_hi_ = hi;
-  }
+  // memory. Pass lo == hi == 0 to clear. Changing the range flushes the
+  // superblock cache (block formation bakes the range check in).
+  void SetExecRange(uint32_t lo, uint32_t hi);
 
   // Hook registration (non-owning; caller keeps the object alive).
   void set_fetch_observer(FetchObserver* obs) { fetch_observer_ = obs; }
@@ -184,7 +208,9 @@ class Machine {
   }
 
   const CostModel& cost_model() const { return cost_; }
-  void set_cost_model(const CostModel& cost) { cost_ = cost; }
+  // Superblocks bake per-op cycle costs in at translation time, so changing
+  // the model flushes them.
+  void set_cost_model(const CostModel& cost);
 
   // Raises an architectural fault from inside a hook (e.g. the ARM-style
   // prototype faults on unsupported indirect jumps).
@@ -195,6 +221,25 @@ class Machine {
   bool CheckDataAddr(uint32_t addr, uint32_t size);
   uint32_t TranslateData(uint32_t addr, uint32_t size, bool is_store);
   void DoSyscall(int32_t number, uint32_t* next_pc);
+
+  // The two engines behind Run(). RunInterp is the original fetch/decode/
+  // switch loop; RunThreaded (superblock.cpp) is the direct-threaded
+  // superblock engine.
+  RunResult RunInterp(uint64_t max_instructions);
+  RunResult RunThreaded(uint64_t max_instructions);
+  // Forms a superblock starting at `start` (which the caller has validated
+  // as a legal fetch address). `handlers` is the threaded dispatch table
+  // (null in the switch fallback).
+  Superblock* TranslateSuperblock(uint32_t start, const void* const* handlers);
+  // Marks every superblock dead (invalidation/flush paths and engine
+  // switches); storage is reclaimed at the dispatch loop's next iteration.
+  void FlushSuperblocks();
+  // Refreshes the [sb_lo_, sb_hi_) store fast-path bounds from the cache.
+  void SyncSuperblockBounds();
+  // A guest-side byte store landed inside the superblocked range (direct
+  // store or SYS_READ): kill overlapping blocks. Cold path of the inlined
+  // bounds check.
+  [[gnu::noinline]] void SuperblockStoreSlow(uint32_t paddr, uint32_t size);
 
   // Cold-path fault constructors. Building an ostringstream inlines a pile
   // of iostream machinery into Run()'s loop; keeping these out of line makes
@@ -226,6 +271,18 @@ class Machine {
   // Allocated lazily on the first Run() (a Machine used only as a memory
   // container pays nothing).
   std::vector<DecodeEntry> decode_cache_;
+  // Threaded engine state. The cache is allocated lazily on the first
+  // threaded Run; sb_lo_/sb_hi_ mirror its bounds so the store hot path's
+  // self-modifying-code check is two compares against locals. sb_interrupt_
+  // is raised whenever invalidation kills blocks while the threaded loop is
+  // inside one — the loop leaves the (possibly stale) block at the next op
+  // boundary and re-resolves through the dispatch loop.
+  Engine engine_;
+  std::unique_ptr<SuperblockCache> sb_cache_;
+  SbStats sb_stats_;
+  uint32_t sb_lo_ = UINT32_MAX;
+  uint32_t sb_hi_ = 0;
+  bool sb_interrupt_ = false;
   uint64_t cycles_ = 0;
   uint64_t instret_ = 0;
   CostModel cost_;

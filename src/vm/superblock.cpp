@@ -1,0 +1,828 @@
+// Superblock translation + the direct-threaded execution engine.
+//
+// Machine::RunThreaded lives here (it is a Machine member so the handlers
+// touch regs_/mem_/cycles_ directly, exactly like the interpreter loop).
+// See superblock.h for the engine contract; tests/engine_test.cpp proves
+// bit-identical behavior against the interpreter on every workload, random
+// programs, and self-modifying code.
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "util/check.h"
+#include "vm/machine.h"
+
+// Computed goto (direct threading) on GCC/Clang; a dense-switch fallback
+// keeps the engine portable and gives a second implementation to diff
+// against (-DSOFTCACHE_NO_COMPUTED_GOTO).
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SOFTCACHE_NO_COMPUTED_GOTO)
+#define SC_SB_COMPUTED_GOTO 1
+#else
+#define SC_SB_COMPUTED_GOTO 0
+#endif
+
+namespace sc::vm {
+
+using isa::AluOp;
+using isa::Instr;
+using isa::Opcode;
+
+Engine DefaultEngine() {
+  static const Engine engine = [] {
+    const char* v = std::getenv("SOFTCACHE_ENGINE");
+    if (v != nullptr &&
+        (std::strcmp(v, "threaded") == 0 || std::strcmp(v, "superblock") == 0)) {
+      return Engine::kThreaded;
+    }
+    return Engine::kInterp;
+  }();
+  return engine;
+}
+
+bool SuperblockCache::Invalidate(uint32_t addr, uint32_t len, SbStats* stats) {
+  if (live_ == 0) return false;
+  const uint64_t end = static_cast<uint64_t>(addr) + len;
+  if (addr >= hi_ || end <= lo_) return false;
+  // Full-range hit or a huge write: cheaper to flush than to scan.
+  if (addr <= lo_ && end >= hi_) {
+    FlushMark(stats);
+    return true;
+  }
+  // A block overlaps [addr, end) iff its start lies in (addr - kSbMaxBytes,
+  // end) and start + span > addr; scan that bounded window of possible
+  // starts against the index.
+  bool any = false;
+  const uint32_t first =
+      addr > kSbMaxBytes - 4 ? (addr - (kSbMaxBytes - 4)) & ~3u : 0;
+  for (uint64_t a = first; a < end; a += 4) {
+    const uint32_t start = static_cast<uint32_t>(a);
+    Superblock** p = index_.Find(start);
+    if (p == nullptr) continue;
+    Superblock* sb = *p;
+    if (!sb->valid || sb->start + sb->span <= addr) continue;
+    sb->valid = false;
+    index_.Erase(start);
+    --live_;
+    ++stats->invalidations;
+    any = true;
+  }
+  if (any) OBS_INSTANT("vm", "sb.invalidate", "addr", addr);
+  return any;
+}
+
+void SuperblockCache::FlushMark(SbStats* stats) {
+  for (Superblock& sb : pool_) sb.valid = false;
+  live_ = 0;
+  lo_ = UINT32_MAX;
+  hi_ = 0;
+  reclaim_pending_ = true;
+  ++stats->flushes;
+  OBS_INSTANT("vm", "sb.invalidate", "addr", 0);
+}
+
+namespace {
+
+bool IsTerminator(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kJ:
+    case Opcode::kJal:
+    case Opcode::kJalr:
+    case Opcode::kSys:
+    case Opcode::kHalt:
+    case Opcode::kTcMiss:
+    case Opcode::kTcJalr:
+    case Opcode::kIllegal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Superblock* Machine::TranslateSuperblock(uint32_t start,
+                                         const void* const* handlers) {
+  SuperblockCache& cache = *sb_cache_;
+  if (cache.pool_size() >= kSbMaxBlocks) {
+    // Pool exhausted (churn backstop): mark everything dead; the dispatch
+    // loop reclaims storage at its next top-of-loop.
+    cache.FlushMark(&sb_stats_);
+    sb_interrupt_ = true;
+    SyncSuperblockBounds();
+  }
+  Superblock* sb = cache.NewBlock();
+  sb->start = start;
+  uint32_t pc = start;
+  uint32_t n = 0;
+  bool terminated = false;
+  while (n < kSbMaxOps) {
+    // The caller validated `start`; later pcs re-run the interpreter's fetch
+    // checks here so execution never needs them.
+    if (pc % 4 != 0 || static_cast<uint64_t>(pc) + 4 > mem_.size() ||
+        pc < image::kNullGuardEnd) {
+      break;
+    }
+    if (exec_lo_ != exec_hi_ && (pc < exec_lo_ || pc >= exec_hi_)) break;
+    uint32_t word = 0;
+    std::memcpy(&word, mem_.data() + pc, 4);
+    const Instr in = isa::Decode(word);
+    SbOp& op = sb->ops[n++];
+    op.pc = pc;
+    op.rd = in.rd;
+    op.rs1 = in.rs1;
+    op.rs2 = in.rs2;
+    op.imm = in.imm;
+    switch (in.op) {
+      case Opcode::kAlu:
+        // SbKind mirrors AluOp order (kSbAdd..kSbRemu).
+        op.kind = static_cast<uint8_t>(kSbAdd + static_cast<int>(in.funct));
+        op.cost = in.funct == AluOp::kMul ? cost_.mul
+                  : (in.funct == AluOp::kDiv || in.funct == AluOp::kDivu ||
+                     in.funct == AluOp::kRem || in.funct == AluOp::kRemu)
+                      ? cost_.div
+                      : cost_.alu;
+        break;
+      case Opcode::kAddi:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+      case Opcode::kXori:
+      case Opcode::kSlti:
+      case Opcode::kSltiu:
+      case Opcode::kSlli:
+      case Opcode::kSrli:
+      case Opcode::kSrai:
+      case Opcode::kLui:
+        // SbKind mirrors the opcode order kAddi..kLui.
+        op.kind = static_cast<uint8_t>(
+            kSbAddi + (static_cast<int>(in.op) - static_cast<int>(Opcode::kAddi)));
+        op.cost = cost_.alu;
+        break;
+      case Opcode::kLw:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLb:
+      case Opcode::kLbu:
+        op.kind = static_cast<uint8_t>(
+            kSbLw + (static_cast<int>(in.op) - static_cast<int>(Opcode::kLw)));
+        op.cost = cost_.load;
+        break;
+      case Opcode::kSw:
+      case Opcode::kSh:
+      case Opcode::kSb:
+        op.kind = static_cast<uint8_t>(
+            kSbSw + (static_cast<int>(in.op) - static_cast<int>(Opcode::kSw)));
+        op.cost = cost_.store;
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu:
+        op.kind = static_cast<uint8_t>(
+            kSbBeq + (static_cast<int>(in.op) - static_cast<int>(Opcode::kBeq)));
+        op.cost = cost_.branch;
+        op.imm = static_cast<int32_t>(isa::BranchTarget(pc, in.imm));
+        break;
+      case Opcode::kJ:
+        op.kind = kSbJ;
+        op.cost = cost_.jump;
+        op.imm = static_cast<int32_t>(isa::BranchTarget(pc, in.imm));
+        break;
+      case Opcode::kJal:
+        op.kind = kSbJal;
+        op.cost = cost_.jump;
+        op.imm = static_cast<int32_t>(isa::BranchTarget(pc, in.imm));
+        break;
+      case Opcode::kJalr:
+        op.kind = kSbJalr;
+        op.cost = cost_.jump;
+        break;
+      case Opcode::kSys:
+        op.kind = kSbSys;
+        op.cost = cost_.syscall;
+        break;
+      case Opcode::kHalt:
+        op.kind = kSbHalt;
+        break;
+      case Opcode::kTcMiss:
+        op.kind = kSbTcMiss;
+        break;
+      case Opcode::kTcJalr:
+        op.kind = kSbTcJalr;
+        op.cost = cost_.jump;
+        break;
+      case Opcode::kIllegal:
+      default:
+        op.kind = kSbIllegal;
+        op.imm = static_cast<int32_t>(word);  // raw word for the fault text
+        break;
+    }
+    op.handler = handlers != nullptr ? handlers[op.kind] : nullptr;
+    if (IsTerminator(in.op)) {
+      terminated = true;
+      pc += 4;
+      break;
+    }
+    pc += 4;
+  }
+  sb->span = terminated ? pc - start : (n * 4);
+  if (!terminated) {
+    // Cut at kSbMaxOps or at the edge of the fetchable range: a synthetic
+    // zero-instruction terminator continues at `pc` (which, if invalid, the
+    // dispatch loop faults on with the interpreter's exact message).
+    SbOp& op = sb->ops[n++];
+    op = SbOp{};
+    op.pc = pc;
+    op.kind = kSbFallthrough;
+    op.handler = handlers != nullptr ? handlers[kSbFallthrough] : nullptr;
+  }
+  sb->n_ops = n;
+  cache.Publish(sb);
+  SyncSuperblockBounds();
+  ++sb_stats_.fills;
+  sb_stats_.fill_ops += terminated ? n : n - 1;
+  OBS_INSTANT("vm", "sb.fill", "pc", start);
+  return sb;
+}
+
+// --- The threaded inner loop ---
+//
+// Per-op bookkeeping mirrors the interpreter's exact ordering: budget check,
+// FetchObserver, instret, then the semantic action with the cycle charge at
+// the interpreter's position (e.g. before DoSyscall, after a load completes,
+// never for a faulting divide). Everything else the interpreter does per
+// instruction — fetch-address validation, the memory fetch, the decode-cache
+// probe, the opcode switch, next-pc arithmetic — is gone: it happened once,
+// at translation time.
+//
+// The retired-instruction and cycle counters live in locals (`ret`, `cyc`)
+// inside the dispatch region so straight-line ALU runs touch no Machine
+// members at all; SB_FLUSH publishes them before anything that can observe
+// the members (fault construction, syscalls, trap handlers, the data hook,
+// observers, OBS events whose tracer clock reads cycles_) and SB_RELOAD
+// reacquires them after call-outs that may Charge(). pc_ is only written
+// where someone can read it: fault paths, call-outs, and block exits.
+
+#if SC_SB_COMPUTED_GOTO
+#define SB_CASE(k) h_##k
+#define SB_NEXT()      \
+  do {                 \
+    ++op;              \
+    goto* op->handler; \
+  } while (0)
+#define SB_DISPATCH() goto* op->handler
+#else
+#define SB_CASE(k) case k
+#define SB_NEXT()  \
+  do {             \
+    ++op;          \
+    goto dispatch; \
+  } while (0)
+#define SB_DISPATCH() goto dispatch
+#endif
+
+#define SB_FLUSH() \
+  do {             \
+    instret_ = ret; \
+    cycles_ = cyc;  \
+  } while (0)
+
+#define SB_RELOAD() \
+  do {              \
+    ret = instret_; \
+    cyc = cycles_;  \
+  } while (0)
+
+#define SB_PRE()                                  \
+  do {                                            \
+    if (remaining == 0) {                         \
+      pc_ = op->pc;                               \
+      SB_FLUSH();                                 \
+      return MakeResult(StopReason::kInstrLimit); \
+    }                                             \
+    --remaining;                                  \
+    if (observer != nullptr) {                    \
+      pc_ = op->pc;                               \
+      SB_FLUSH();                                 \
+      observer->OnFetch(op->pc);                  \
+      SB_RELOAD();                                \
+      observer = fetch_observer_;                 \
+    }                                             \
+    ++ret;                                        \
+  } while (0)
+
+// Binary ALU op: `a` and `b` are the operand registers.
+#define SB_ALU(kind, expr)             \
+  SB_CASE(kind) : {                    \
+    SB_PRE();                          \
+    const uint32_t a = regs_[op->rs1]; \
+    const uint32_t b = regs_[op->rs2]; \
+    set_reg(op->rd, (expr));           \
+    cyc += op->cost;                   \
+    SB_NEXT();                         \
+  }
+
+// Immediate ALU op: `a` is rs1, `imm` the decoded immediate.
+#define SB_ALUI(kind, expr)            \
+  SB_CASE(kind) : {                    \
+    SB_PRE();                          \
+    const uint32_t a = regs_[op->rs1]; \
+    const int32_t imm = op->imm;       \
+    set_reg(op->rd, (expr));           \
+    cyc += op->cost;                   \
+    SB_NEXT();                         \
+  }
+
+// Conditional branch terminator with block chaining on both edges. pc_ is
+// only materialized on the unchained (dispatch-loop) path.
+#define SB_BRANCH(kind, cond)                 \
+  SB_CASE(kind) : {                           \
+    SB_PRE();                                 \
+    const uint32_t a = regs_[op->rs1];        \
+    const uint32_t b = regs_[op->rs2];        \
+    cyc += op->cost;                          \
+    if (cond) {                               \
+      Superblock* nxt = sb->taken;            \
+      if (nxt != nullptr && nxt->valid) {     \
+        sb = nxt;                             \
+        op = sb->ops;                         \
+        SB_DISPATCH();                        \
+      }                                       \
+      pc_ = static_cast<uint32_t>(op->imm);   \
+      chain_slot = &sb->taken;                \
+    } else {                                  \
+      Superblock* nxt = sb->fall;             \
+      if (nxt != nullptr && nxt->valid) {     \
+        sb = nxt;                             \
+        op = sb->ops;                         \
+        SB_DISPATCH();                        \
+      }                                       \
+      pc_ = op->pc + 4;                       \
+      chain_slot = &sb->fall;                 \
+    }                                         \
+    SB_FLUSH();                               \
+    goto outer;                               \
+  }
+
+// A load. The fast path (no data hook over the address) validates with an
+// inline predicate and reads mem_ directly — no out-of-line call, no member
+// flush. The hook path mirrors the interpreter's full sequence around
+// TranslateData (which may Charge miss cycles and issue RPCs whose crash
+// schedules read the cycle counter).
+#define SB_LOAD(kind, nbytes, read_stmt)                                 \
+  SB_CASE(kind) : {                                                      \
+    SB_PRE();                                                            \
+    const uint32_t vaddr = regs_[op->rs1] + static_cast<uint32_t>(op->imm); \
+    if (data_hook_ == nullptr || vaddr < data_hook_lo_ ||                \
+        vaddr >= data_hook_hi_) {                                        \
+      if (!DataAddrOk(vaddr, nbytes, mem_.size())) {                     \
+        pc_ = op->pc;                                                    \
+        SB_FLUSH();                                                      \
+        CheckDataAddr(vaddr, nbytes);                                    \
+        return MakeResult(pending_stop_);                                \
+      }                                                                  \
+      const uint32_t paddr = vaddr;                                      \
+      read_stmt;                                                         \
+      cyc += op->cost;                                                   \
+      SB_NEXT();                                                         \
+    }                                                                    \
+    pc_ = op->pc;                                                        \
+    SB_FLUSH();                                                          \
+    if (!CheckDataAddr(vaddr, nbytes)) return MakeResult(pending_stop_); \
+    const uint32_t paddr = TranslateData(vaddr, nbytes, false);          \
+    if (pending_stop_ != StopReason::kRunning) {                         \
+      return MakeResult(pending_stop_);                                  \
+    }                                                                    \
+    SB_RELOAD();                                                         \
+    read_stmt;                                                           \
+    cyc += op->cost;                                                     \
+    if (sb_interrupt_) {                                                 \
+      pc_ = op->pc + 4;                                                  \
+      SB_FLUSH();                                                        \
+      goto outer;                                                        \
+    }                                                                    \
+    SB_NEXT();                                                           \
+  }
+
+// A store. Both paths keep the self-modifying-code guard: a store landing
+// inside the superblocked text range kills overlapping blocks (two compares
+// hot, cold call on overlap) and forces a block exit if the running block
+// might be stale.
+#define SB_STORE(kind, nbytes, write_stmt)                               \
+  SB_CASE(kind) : {                                                      \
+    SB_PRE();                                                            \
+    const uint32_t vaddr = regs_[op->rs1] + static_cast<uint32_t>(op->imm); \
+    if (data_hook_ == nullptr || vaddr < data_hook_lo_ ||                \
+        vaddr >= data_hook_hi_) {                                        \
+      if (!DataAddrOk(vaddr, nbytes, mem_.size())) {                     \
+        pc_ = op->pc;                                                    \
+        SB_FLUSH();                                                      \
+        CheckDataAddr(vaddr, nbytes);                                    \
+        return MakeResult(pending_stop_);                                \
+      }                                                                  \
+      const uint32_t paddr = vaddr;                                      \
+      write_stmt;                                                        \
+      cyc += op->cost;                                                   \
+      if (paddr < sb_hi_ && paddr + nbytes > sb_lo_) {                   \
+        pc_ = op->pc;                                                    \
+        SB_FLUSH();                                                      \
+        SuperblockStoreSlow(paddr, nbytes);                              \
+        if (sb_interrupt_) {                                             \
+          pc_ = op->pc + 4;                                              \
+          goto outer;                                                    \
+        }                                                                \
+      }                                                                  \
+      SB_NEXT();                                                         \
+    }                                                                    \
+    pc_ = op->pc;                                                        \
+    SB_FLUSH();                                                          \
+    if (!CheckDataAddr(vaddr, nbytes)) return MakeResult(pending_stop_); \
+    const uint32_t paddr = TranslateData(vaddr, nbytes, true);           \
+    if (pending_stop_ != StopReason::kRunning) {                         \
+      return MakeResult(pending_stop_);                                  \
+    }                                                                    \
+    SB_RELOAD();                                                         \
+    write_stmt;                                                          \
+    cyc += op->cost;                                                     \
+    if (paddr < sb_hi_ && paddr + nbytes > sb_lo_) {                     \
+      SB_FLUSH();                                                        \
+      SuperblockStoreSlow(paddr, nbytes);                                \
+    }                                                                    \
+    if (sb_interrupt_) {                                                 \
+      pc_ = op->pc + 4;                                                  \
+      SB_FLUSH();                                                        \
+      goto outer;                                                        \
+    }                                                                    \
+    SB_NEXT();                                                           \
+  }
+
+namespace {
+
+// The interpreter's CheckDataAddr as a branch-free-ish predicate; the cold
+// caller re-runs CheckDataAddr to build the identical fault message.
+inline bool DataAddrOk(uint32_t addr, uint32_t size, uint64_t mem_size) {
+  return addr >= image::kNullGuardEnd &&
+         static_cast<uint64_t>(addr) + size <= mem_size &&
+         (size <= 1 || addr % size == 0);
+}
+
+}  // namespace
+
+RunResult Machine::RunThreaded(uint64_t max_instructions) {
+  if (pending_stop_ != StopReason::kRunning) return MakeResult(pending_stop_);
+  if (sb_cache_ == nullptr) sb_cache_ = std::make_unique<SuperblockCache>();
+
+#if SC_SB_COMPUTED_GOTO
+  // Label-address table, indexed by SbKind (same order as the enum).
+  const void* handler_table[kSbKindCount] = {
+      &&h_kSbAdd,  &&h_kSbSub,  &&h_kSbAnd,   &&h_kSbOr,     &&h_kSbXor,
+      &&h_kSbSll,  &&h_kSbSrl,  &&h_kSbSra,   &&h_kSbSlt,    &&h_kSbSltu,
+      &&h_kSbMul,  &&h_kSbDiv,  &&h_kSbDivu,  &&h_kSbRem,    &&h_kSbRemu,
+      &&h_kSbAddi, &&h_kSbAndi, &&h_kSbOri,   &&h_kSbXori,   &&h_kSbSlti,
+      &&h_kSbSltiu, &&h_kSbSlli, &&h_kSbSrli, &&h_kSbSrai,   &&h_kSbLui,
+      &&h_kSbLw,   &&h_kSbLh,   &&h_kSbLhu,   &&h_kSbLb,     &&h_kSbLbu,
+      &&h_kSbSw,   &&h_kSbSh,   &&h_kSbSb,    &&h_kSbBeq,    &&h_kSbBne,
+      &&h_kSbBlt,  &&h_kSbBge,  &&h_kSbBltu,  &&h_kSbBgeu,   &&h_kSbJ,
+      &&h_kSbJal,  &&h_kSbJalr, &&h_kSbSys,   &&h_kSbHalt,   &&h_kSbTcMiss,
+      &&h_kSbTcJalr, &&h_kSbIllegal, &&h_kSbFallthrough,
+  };
+  static_assert(kSbKindCount == 48, "handler table must match SbKind");
+  const void* const* handlers = handler_table;
+#else
+  const void* const* handlers = nullptr;
+#endif
+
+  uint64_t remaining = max_instructions;
+  uint64_t ret = instret_;
+  uint64_t cyc = cycles_;
+  FetchObserver* observer = fetch_observer_;
+  Superblock* sb = nullptr;
+  const SbOp* op = nullptr;
+  // The chain slot of the block we just left, filled once its successor is
+  // resolved so the next pass jumps block-to-block without coming back here.
+  Superblock** chain_slot = nullptr;
+
+outer:
+  // Invariant here: instret_/cycles_ members are current (every goto outer
+  // flushed); the locals are reacquired just before dispatch.
+  sb_interrupt_ = false;
+  if (sb_cache_->reclaim_pending()) {
+    // No block is executing here, so dead pool storage (which chains and the
+    // interrupted block may have pointed into) can finally be freed.
+    chain_slot = nullptr;
+    sb_cache_->Reclaim();
+    SyncSuperblockBounds();
+  }
+  if (remaining == 0) return MakeResult(StopReason::kInstrLimit);
+  if (pc_ % 4 != 0 || static_cast<uint64_t>(pc_) + 4 > mem_.size() ||
+      pc_ < image::kNullGuardEnd) {
+    return FaultHere("bad fetch address");
+  }
+  if (exec_lo_ != exec_hi_ && (pc_ < exec_lo_ || pc_ >= exec_hi_)) {
+    return FaultHere("fetch outside permitted range");
+  }
+  sb = sb_cache_->Find(pc_);
+  if (sb == nullptr) {
+    const uint64_t flushes_before = sb_stats_.flushes;
+    sb = TranslateSuperblock(pc_, handlers);
+    // A capacity flush marked every block dead — including the one
+    // chain_slot points into; drop the pending link.
+    if (sb_stats_.flushes != flushes_before) chain_slot = nullptr;
+  }
+  if (chain_slot != nullptr) {
+    *chain_slot = sb;
+    ++sb_stats_.chains;
+    OBS_INSTANT("vm", "sb.chain", "pc", pc_);
+    chain_slot = nullptr;
+  }
+  observer = fetch_observer_;
+  SB_RELOAD();
+  op = sb->ops;
+  SB_DISPATCH();
+
+#if !SC_SB_COMPUTED_GOTO
+dispatch:
+  switch (static_cast<SbKind>(op->kind))
+#endif
+  {
+    SB_ALU(kSbAdd, a + b)
+    SB_ALU(kSbSub, a - b)
+    SB_ALU(kSbAnd, a & b)
+    SB_ALU(kSbOr, a | b)
+    SB_ALU(kSbXor, a ^ b)
+    SB_ALU(kSbSll, a << (b & 31))
+    SB_ALU(kSbSrl, a >> (b & 31))
+    SB_ALU(kSbSra, static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                         static_cast<int32_t>(b & 31)))
+    SB_ALU(kSbSlt,
+           static_cast<int32_t>(a) < static_cast<int32_t>(b) ? 1u : 0u)
+    SB_ALU(kSbSltu, a < b ? 1u : 0u)
+    SB_ALU(kSbMul, a * b)
+
+    SB_CASE(kSbDiv) : {
+      SB_PRE();
+      const uint32_t a = regs_[op->rs1];
+      const uint32_t b = regs_[op->rs2];
+      if (b == 0) {
+        pc_ = op->pc;
+        SB_FLUSH();
+        return FaultHere("division by zero");
+      }
+      const int32_t sa = static_cast<int32_t>(a);
+      const int32_t sd = static_cast<int32_t>(b);
+      // INT_MIN / -1 overflows; define it as wrapping (result INT_MIN).
+      set_reg(op->rd, (sa == INT32_MIN && sd == -1)
+                          ? a
+                          : static_cast<uint32_t>(sa / sd));
+      cyc += op->cost;
+      SB_NEXT();
+    }
+    SB_CASE(kSbDivu) : {
+      SB_PRE();
+      const uint32_t a = regs_[op->rs1];
+      const uint32_t b = regs_[op->rs2];
+      if (b == 0) {
+        pc_ = op->pc;
+        SB_FLUSH();
+        return FaultHere("division by zero");
+      }
+      set_reg(op->rd, a / b);
+      cyc += op->cost;
+      SB_NEXT();
+    }
+    SB_CASE(kSbRem) : {
+      SB_PRE();
+      const uint32_t a = regs_[op->rs1];
+      const uint32_t b = regs_[op->rs2];
+      if (b == 0) {
+        pc_ = op->pc;
+        SB_FLUSH();
+        return FaultHere("division by zero");
+      }
+      const int32_t sa = static_cast<int32_t>(a);
+      const int32_t sd = static_cast<int32_t>(b);
+      set_reg(op->rd, (sa == INT32_MIN && sd == -1)
+                          ? 0u
+                          : static_cast<uint32_t>(sa % sd));
+      cyc += op->cost;
+      SB_NEXT();
+    }
+    SB_CASE(kSbRemu) : {
+      SB_PRE();
+      const uint32_t a = regs_[op->rs1];
+      const uint32_t b = regs_[op->rs2];
+      if (b == 0) {
+        pc_ = op->pc;
+        SB_FLUSH();
+        return FaultHere("division by zero");
+      }
+      set_reg(op->rd, a % b);
+      cyc += op->cost;
+      SB_NEXT();
+    }
+
+    SB_ALUI(kSbAddi, a + static_cast<uint32_t>(imm))
+    SB_ALUI(kSbAndi, a & static_cast<uint32_t>(imm))
+    SB_ALUI(kSbOri, a | static_cast<uint32_t>(imm))
+    SB_ALUI(kSbXori, a ^ static_cast<uint32_t>(imm))
+    SB_ALUI(kSbSlti, static_cast<int32_t>(a) < imm ? 1u : 0u)
+    SB_ALUI(kSbSltiu, a < static_cast<uint32_t>(imm) ? 1u : 0u)
+    SB_ALUI(kSbSlli, a << (imm & 31))
+    SB_ALUI(kSbSrli, a >> (imm & 31))
+    SB_ALUI(kSbSrai,
+            static_cast<uint32_t>(static_cast<int32_t>(a) >> (imm & 31)))
+
+    SB_CASE(kSbLui) : {
+      SB_PRE();
+      set_reg(op->rd, static_cast<uint32_t>(op->imm) << 16);
+      cyc += op->cost;
+      SB_NEXT();
+    }
+
+    SB_LOAD(kSbLw, 4, {
+      uint32_t value = 0;
+      std::memcpy(&value, mem_.data() + paddr, 4);
+      set_reg(op->rd, value);
+    })
+    SB_LOAD(kSbLh, 2, {
+      int16_t v16 = 0;
+      std::memcpy(&v16, mem_.data() + paddr, 2);
+      set_reg(op->rd, static_cast<uint32_t>(static_cast<int32_t>(v16)));
+    })
+    SB_LOAD(kSbLhu, 2, {
+      uint16_t v16 = 0;
+      std::memcpy(&v16, mem_.data() + paddr, 2);
+      set_reg(op->rd, v16);
+    })
+    SB_LOAD(kSbLb, 1, {
+      set_reg(op->rd, static_cast<uint32_t>(static_cast<int32_t>(
+                          static_cast<int8_t>(mem_[paddr]))));
+    })
+    SB_LOAD(kSbLbu, 1, { set_reg(op->rd, mem_[paddr]); })
+
+    SB_STORE(kSbSw, 4, {
+      const uint32_t value = regs_[op->rd];
+      std::memcpy(mem_.data() + paddr, &value, 4);
+    })
+    SB_STORE(kSbSh, 2, {
+      const uint16_t v16 = static_cast<uint16_t>(regs_[op->rd]);
+      std::memcpy(mem_.data() + paddr, &v16, 2);
+    })
+    SB_STORE(kSbSb, 1, { mem_[paddr] = static_cast<uint8_t>(regs_[op->rd]); })
+
+    SB_BRANCH(kSbBeq, a == b)
+    SB_BRANCH(kSbBne, a != b)
+    SB_BRANCH(kSbBlt, static_cast<int32_t>(a) < static_cast<int32_t>(b))
+    SB_BRANCH(kSbBge, static_cast<int32_t>(a) >= static_cast<int32_t>(b))
+    SB_BRANCH(kSbBltu, a < b)
+    SB_BRANCH(kSbBgeu, a >= b)
+
+    SB_CASE(kSbJ) : {
+      SB_PRE();
+      cyc += op->cost;
+      Superblock* nxt = sb->taken;
+      if (nxt != nullptr && nxt->valid) {
+        sb = nxt;
+        op = sb->ops;
+        SB_DISPATCH();
+      }
+      pc_ = static_cast<uint32_t>(op->imm);
+      chain_slot = &sb->taken;
+      SB_FLUSH();
+      goto outer;
+    }
+    SB_CASE(kSbJal) : {
+      SB_PRE();
+      set_reg(isa::kRa, op->pc + 4);
+      cyc += op->cost;
+      Superblock* nxt = sb->taken;
+      if (nxt != nullptr && nxt->valid) {
+        sb = nxt;
+        op = sb->ops;
+        SB_DISPATCH();
+      }
+      pc_ = static_cast<uint32_t>(op->imm);
+      chain_slot = &sb->taken;
+      SB_FLUSH();
+      goto outer;
+    }
+    SB_CASE(kSbJalr) : {
+      SB_PRE();
+      const uint32_t target =
+          (regs_[op->rs1] + static_cast<uint32_t>(op->imm)) & ~3u;
+      set_reg(op->rd, op->pc + 4);
+      cyc += op->cost;
+      pc_ = target;  // dynamic target: resolve through the dispatch loop
+      SB_FLUSH();
+      goto outer;
+    }
+
+    SB_CASE(kSbSys) : {
+      SB_PRE();
+      cyc += op->cost;
+      pc_ = op->pc;  // OnIcacheInvalidate receives the trapping pc
+      SB_FLUSH();
+      uint32_t next_pc = op->pc + 4;
+      DoSyscall(op->imm, &next_pc);
+      if (pending_stop_ != StopReason::kRunning) {
+        return MakeResult(pending_stop_);
+      }
+      // SYS ends the block: OnIcacheInvalidate may have evicted the very
+      // code that issued it, so always re-resolve.
+      pc_ = next_pc;
+      goto outer;
+    }
+    SB_CASE(kSbHalt) : {
+      SB_PRE();
+      pc_ = op->pc;
+      SB_FLUSH();
+      pending_stop_ = StopReason::kHalted;
+      exit_code_ = static_cast<int32_t>(regs_[isa::kA0]);
+      return MakeResult(pending_stop_);
+    }
+    SB_CASE(kSbTcMiss) : {
+      SB_PRE();
+      pc_ = op->pc;
+      SB_FLUSH();
+      if (trap_handler_ == nullptr) {
+        return FaultHere("TCMISS with no trap handler");
+      }
+      // The handler installs/patches code (killing overlapping superblocks
+      // through InvalidateDecode) and returns the resume pc.
+      pc_ = trap_handler_->OnTcMiss(*this, static_cast<uint32_t>(op->imm));
+      if (pending_stop_ != StopReason::kRunning) {
+        return MakeResult(pending_stop_);
+      }
+      goto outer;
+    }
+    SB_CASE(kSbTcJalr) : {
+      SB_PRE();
+      pc_ = op->pc;
+      if (trap_handler_ == nullptr) {
+        SB_FLUSH();
+        return FaultHere("TCJALR with no trap handler");
+      }
+      cyc += op->cost;
+      SB_FLUSH();
+      Instr in;
+      in.op = Opcode::kTcJalr;
+      in.rd = op->rd;
+      in.rs1 = op->rs1;
+      in.imm = op->imm;
+      pc_ = trap_handler_->OnTcJalr(*this, in, op->pc);
+      if (pending_stop_ != StopReason::kRunning) {
+        return MakeResult(pending_stop_);
+      }
+      goto outer;
+    }
+    SB_CASE(kSbIllegal) : {
+      SB_PRE();
+      pc_ = op->pc;
+      SB_FLUSH();
+      return FaultIllegal(static_cast<uint32_t>(op->imm));
+    }
+    SB_CASE(kSbFallthrough) : {
+      // Synthetic terminator: zero instructions, just a continuation.
+      Superblock* nxt = sb->fall;
+      if (nxt != nullptr && nxt->valid) {
+        sb = nxt;
+        op = sb->ops;
+        SB_DISPATCH();
+      }
+      pc_ = op->pc;
+      chain_slot = &sb->fall;
+      SB_FLUSH();
+      goto outer;
+    }
+#if !SC_SB_COMPUTED_GOTO
+    case kSbKindCount:
+      break;  // never emitted by TranslateSuperblock
+#endif
+  }
+#if !SC_SB_COMPUTED_GOTO
+  SC_UNREACHABLE() << "threaded dispatch fell out of the switch";
+#endif
+}
+
+#undef SB_CASE
+#undef SB_NEXT
+#undef SB_DISPATCH
+#undef SB_FLUSH
+#undef SB_RELOAD
+#undef SB_PRE
+#undef SB_ALU
+#undef SB_ALUI
+#undef SB_BRANCH
+#undef SB_LOAD
+#undef SB_STORE
+
+}  // namespace sc::vm

@@ -1,0 +1,165 @@
+// Superblock threaded-code execution engine.
+//
+// The interpreter (machine.cpp) pays a fetch -> decode-cache probe -> switch
+// dispatch for every retired instruction. This engine translates straight-line
+// runs of decoded instructions into *superblocks* — arrays of pre-decoded ops
+// ending at a control transfer (branch/jump/JALR/SYS/HALT/TCMISS/TCJALR) or at
+// kSbMaxOps — and executes them with a direct-threaded inner loop (computed
+// goto on GCC/Clang): no per-instruction fetch, no decode-cache probe, no
+// top-level switch. Superblocks chain: a block whose branch target is already
+// translated jumps straight into the successor's threaded body without going
+// back through the dispatch loop.
+//
+// Semantics contract (proven by tests/engine_test.cpp differential runs):
+// guest output, exit code, instruction count, cycle total, fault messages,
+// FetchObserver stream, TrapHandler/DataHook call sequence and SetExecRange
+// enforcement are bit-identical to the interpreter. Invalidation rides the
+// existing InvalidateDecode plumbing — every WriteWord/WriteBlock (cache
+// controller installs/patches/evictions, recovery replay, COW text writes)
+// and every guest store or SYS_READ into translated text kills overlapping
+// superblocks, so self-modifying code behaves exactly as under the
+// interpreter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/isa.h"
+#include "util/open_table.h"
+
+namespace sc::vm {
+
+// Which execution engine Machine::Run uses. The default for new machines
+// comes from the SOFTCACHE_ENGINE environment variable ("threaded" or
+// "interp"); unset means kInterp, keeping all existing traces bit-identical.
+enum class Engine : uint8_t { kInterp = 0, kThreaded };
+Engine DefaultEngine();
+
+// One threaded handler per (opcode, ALU funct) pair, so the inner loop never
+// switches on a secondary field.
+enum SbKind : uint8_t {
+  // kAlu, split by funct.
+  kSbAdd, kSbSub, kSbAnd, kSbOr, kSbXor, kSbSll, kSbSrl, kSbSra, kSbSlt,
+  kSbSltu, kSbMul, kSbDiv, kSbDivu, kSbRem, kSbRemu,
+  // Immediate forms.
+  kSbAddi, kSbAndi, kSbOri, kSbXori, kSbSlti, kSbSltiu, kSbSlli, kSbSrli,
+  kSbSrai, kSbLui,
+  // Loads / stores.
+  kSbLw, kSbLh, kSbLhu, kSbLb, kSbLbu, kSbSw, kSbSh, kSbSb,
+  // Terminators: every superblock ends with exactly one of these.
+  kSbBeq, kSbBne, kSbBlt, kSbBge, kSbBltu, kSbBgeu,
+  kSbJ, kSbJal, kSbJalr, kSbSys, kSbHalt, kSbTcMiss, kSbTcJalr, kSbIllegal,
+  // Synthetic terminator for blocks cut at kSbMaxOps or at the edge of the
+  // fetchable range: continues at `pc` through the dispatch loop.
+  kSbFallthrough,
+  kSbKindCount,
+};
+
+// A pre-decoded instruction in threaded form. `handler` is the computed-goto
+// label for `kind` (null in the portable switch fallback). `imm` holds the
+// sign-extended immediate, except for direct branches/jumps where it is the
+// precomputed *absolute* target address and for kSbIllegal where it is the
+// raw undecodable word (for the fault message).
+struct SbOp {
+  const void* handler = nullptr;
+  uint32_t pc = 0;
+  int32_t imm = 0;
+  uint32_t cost = 0;  // cycle charge, from the CostModel at translation time
+  uint8_t kind = 0;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+};
+
+// Superblock length cap. Basic blocks in the bundled workloads average well
+// under this; the cap only bounds per-block storage and invalidation scans.
+inline constexpr uint32_t kSbMaxOps = 32;
+inline constexpr uint32_t kSbMaxBytes = kSbMaxOps * 4;
+// Pool bound: translating past this many blocks (live + invalidated-but-not-
+// yet-reclaimed) flushes the whole cache. Far above any bundled workload's
+// working set; a backstop against pathological churn.
+inline constexpr uint32_t kSbMaxBlocks = 4096;
+
+struct Superblock {
+  uint32_t start = 0;   // first fetch address covered
+  uint32_t span = 0;    // bytes of guest text covered (real ops only)
+  uint32_t n_ops = 0;   // including the terminator
+  bool valid = false;
+  // Chain slots, filled lazily by the dispatch loop: the successor block for
+  // the terminator's taken edge (branch taken / J / JAL) and fallthrough
+  // edge (branch not taken / kSbFallthrough). A slot is followed only while
+  // its target's `valid` holds, so invalidation severs chains implicitly.
+  Superblock* taken = nullptr;
+  Superblock* fall = nullptr;
+  SbOp ops[kSbMaxOps + 1];  // +1 for the synthetic fallthrough terminator
+};
+
+// Counters surfaced as vm.sb.* metrics and asserted by bench_superblock.
+struct SbStats {
+  uint64_t fills = 0;          // superblocks translated
+  uint64_t fill_ops = 0;       // ops pre-decoded into superblocks
+  uint64_t chains = 0;         // chain links installed
+  uint64_t invalidations = 0;  // superblocks killed by overlapping writes
+  uint64_t flushes = 0;        // whole-cache flushes (capacity, exec range)
+};
+
+// The translated-block store: a stable-address pool plus a start-pc index.
+// Invalidation only *marks* blocks dead (chains and the currently executing
+// block may still hold pointers into the pool); reclamation is deferred to
+// the dispatch loop's next top-of-loop, when no block is executing.
+class SuperblockCache {
+ public:
+  SuperblockCache() : index_(1024) {}
+
+  Superblock* Find(uint32_t pc) {
+    Superblock** p = index_.Find(pc);
+    return p != nullptr && (*p)->valid ? *p : nullptr;
+  }
+
+  // Appends a fresh block to the pool (caller fills and then calls Publish).
+  Superblock* NewBlock() {
+    pool_.emplace_back();
+    return &pool_.back();
+  }
+  void Publish(Superblock* sb) {
+    sb->valid = true;
+    index_.Put(sb->start, sb);
+    ++live_;
+    if (sb->start < lo_) lo_ = sb->start;
+    if (sb->start + sb->span > hi_) hi_ = sb->start + sb->span;
+  }
+
+  // Kills every block overlapping [addr, addr+len). Returns true when
+  // anything died (the dispatch loop must then leave the current block).
+  bool Invalidate(uint32_t addr, uint32_t len, SbStats* stats);
+
+  // Marks every block dead and schedules pool reclamation. Never frees
+  // storage itself — see class comment.
+  void FlushMark(SbStats* stats);
+
+  bool reclaim_pending() const { return reclaim_pending_; }
+  void Reclaim() {
+    pool_.clear();
+    index_ = util::OpenTable<uint32_t, Superblock*>(1024);
+    live_ = 0;
+    lo_ = UINT32_MAX;
+    hi_ = 0;
+    reclaim_pending_ = false;
+  }
+
+  size_t pool_size() const { return pool_.size(); }
+  size_t live_blocks() const { return live_; }
+  // Conservative bounds of translated text, for the store fast-path check.
+  uint32_t lo() const { return live_ == 0 ? UINT32_MAX : lo_; }
+  uint32_t hi() const { return live_ == 0 ? 0 : hi_; }
+
+ private:
+  std::deque<Superblock> pool_;  // stable addresses; cleared only by Reclaim
+  util::OpenTable<uint32_t, Superblock*> index_;  // start pc -> block
+  size_t live_ = 0;
+  uint32_t lo_ = UINT32_MAX;  // min start over live blocks (never shrinks)
+  uint32_t hi_ = 0;           // max start+span over live blocks
+  bool reclaim_pending_ = false;
+};
+
+}  // namespace sc::vm

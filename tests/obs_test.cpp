@@ -417,6 +417,10 @@ TEST(Observability, SystemTraceCoversMissPath) {
   tracer.Enable(1 << 16);
   obs::SetTracer(&tracer);
   softcache::SoftCacheSystem system(img, config);
+  // decode_fill is an interpreter event (the threaded engine replaces the
+  // decode cache with superblock fills); pin the engine so this assertion
+  // holds regardless of SOFTCACHE_ENGINE.
+  system.machine().set_engine(vm::Engine::kInterp);
   system.SetInput(workloads::MakeInput("dijkstra", 1));
   const vm::RunResult result = system.Run();
   obs::SetTracer(nullptr);

@@ -432,5 +432,91 @@ TEST(PrefetchStaging, EvictionPressureUnderSmallTcache) {
   EXPECT_GT(run.stats().evictions + run.stats().flushes, 0u);
 }
 
+// --- Policy divergence ---
+
+// kTemperature must be able to make a *different* admission decision than
+// kNextN, not just reorder a set the budget would have admitted anyway.
+// Constructed at the protocol level so the divergence is provable: probe the
+// full candidate set, find a deep chunk the BFS-order greedy pass drops under
+// a binding byte budget, warm exactly that chunk with demand requests, and
+// show the temperature ranking admits it where next-N provably cannot
+// (admitting any earlier candidate leaves less than the hot chunk's cost).
+TEST(PrefetchPolicyDivergence, WarmDeepChunkDisplacesColdFallthrough) {
+  const image::Image img = Compile(kCallLoopProgram);
+  softcache::MemoryController mc(img, Style::kSparc, 64);
+
+  struct BatchProbe {
+    std::vector<uint32_t> addrs;   // prefetched chunk addrs, primary excluded
+    std::vector<uint32_t> costs;   // wire cost of each, header + words
+  };
+  const auto probe = [&](PrefetchPolicy policy, uint32_t depth,
+                         uint32_t max_chunks, uint32_t byte_budget) {
+    softcache::Request request;
+    request.type = MsgType::kChunkRequest;
+    request.addr = img.entry;
+    request.length = softcache::PackPrefetchHints(
+        PrefetchHints{static_cast<uint32_t>(policy), depth, max_chunks,
+                      byte_budget});
+    auto reply = softcache::Reply::Parse(mc.Handle(request.Serialize()));
+    SC_CHECK(reply.ok()) << reply.error().ToString();
+    SC_CHECK(reply->type == MsgType::kChunkBatchReply);
+    auto chunks = softcache::ParseBatchPayload(reply->payload, reply->aux);
+    SC_CHECK(chunks.ok()) << chunks.error().ToString();
+    BatchProbe result;
+    for (size_t i = 1; i < chunks->size(); ++i) {  // record 0 is the primary
+      result.addrs.push_back((*chunks)[i].addr);
+      result.costs.push_back(softcache::kBatchChunkHeaderBytes +
+                             (*chunks)[i].nwords * 4);
+    }
+    return result;
+  };
+
+  // Full candidate set in BFS order (budget far above anything admissible).
+  const BatchProbe all = probe(PrefetchPolicy::kNextN, 4, 255, 0xffff);
+  ASSERT_GE(all.addrs.size(), 2u) << "program too small to rank";
+
+  // Pick the deepest candidate with some cheaper candidate before it in BFS
+  // order, and set the budget to exactly its cost. That budget is binding by
+  // construction: the greedy pass admits the cheaper earlier chunk first,
+  // after which less than the deep chunk's cost remains.
+  size_t hot_index = 0;
+  uint32_t min_prefix_cost = all.costs[0];
+  std::vector<uint32_t> min_cost_before(all.costs.size(), 0);
+  for (size_t i = 1; i < all.costs.size(); ++i) {
+    min_cost_before[i] = min_prefix_cost;
+    min_prefix_cost = std::min(min_prefix_cost, all.costs[i]);
+    if (min_cost_before[i] <= all.costs[i]) hot_index = i;
+  }
+  ASSERT_GT(hot_index, 0u) << "candidate costs strictly decreasing; no "
+                              "binding-budget victim exists in this program";
+  const uint32_t hot = all.addrs[hot_index];
+  const uint32_t budget = all.costs[hot_index];
+
+  const BatchProbe next_n = probe(PrefetchPolicy::kNextN, 4, 255, budget);
+  ASSERT_FALSE(next_n.addrs.empty());
+  ASSERT_EQ(std::count(next_n.addrs.begin(), next_n.addrs.end(), hot), 0)
+      << "budget not binding: next-N admitted the deep chunk anyway";
+
+  // Warm exactly the dropped chunk with plain demand requests (seed-protocol
+  // frames, no hints): every other candidate stays at temperature zero.
+  for (int i = 0; i < 8; ++i) {
+    softcache::Request demand;
+    demand.type = MsgType::kChunkRequest;
+    demand.addr = hot;
+    auto reply = softcache::Reply::Parse(mc.Handle(demand.Serialize()));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, MsgType::kChunkReply);
+  }
+  EXPECT_GE(mc.Temperature(hot), 8u);
+
+  // Same binding budget, temperature ranking: the warmed chunk sorts first
+  // and consumes the whole budget — a different set, containing the chunk
+  // next-N provably dropped.
+  const BatchProbe temp = probe(PrefetchPolicy::kTemperature, 4, 255, budget);
+  EXPECT_EQ(std::count(temp.addrs.begin(), temp.addrs.end(), hot), 1)
+      << "temperature ranking did not admit the hot chunk";
+  EXPECT_NE(temp.addrs, next_n.addrs);
+}
+
 }  // namespace
 }  // namespace sc

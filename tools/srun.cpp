@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
        "input", "stats", "profile", "max-instr", "dump-tcache", "help",
        "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
        "crash-after", "crash-rate", "crash-at-cycle", "fault-seed", "clients",
-       "verify", "shared-reply", "shards", "threads"});
+       "verify", "shared-reply", "shards", "threads", "engine"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
                  "            [--softcache] [--style=sparc|arm] [--tcache=N]\n"
                  "            [--trace-blocks=N] [--evict=fifo|flush] [--dcache]\n"
                  "            [--stats] [--profile] [--max-instr=N]\n"
+                 "            [--engine=interp|threaded]  VM execution engine\n"
+                 "                 (default: SOFTCACHE_ENGINE env or interp)\n"
                  "       srun --workload=NAME [--scale=N] (instead of a program)\n"
                  "observability (softcache runs):\n"
                  "            [--prefetch=off|nextn|temp]\n"
@@ -147,9 +149,22 @@ int main(int argc, char** argv) {
   }
   const uint64_t max_instr = args.GetInt("max-instr", UINT64_MAX);
 
+  const std::string engine_name = args.Get("engine", "");
+  vm::Engine engine = vm::DefaultEngine();
+  if (engine_name == "interp") {
+    engine = vm::Engine::kInterp;
+  } else if (engine_name == "threaded") {
+    engine = vm::Engine::kThreaded;
+  } else if (!engine_name.empty()) {
+    std::fprintf(stderr, "unknown engine %s (interp|threaded)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
   if (!args.Has("softcache")) {
     // Direct ("ideal") execution, optionally profiled.
     vm::Machine machine;
+    machine.set_engine(engine);
     machine.LoadImage(img);
     machine.SetInput(std::move(input));
     profile::Profiler profiler(img);
@@ -244,7 +259,10 @@ int main(int argc, char** argv) {
       mcfg.client_faults.push_back(fault);
     }
     softcache::MultiClientSystem fleet(img, mcfg);
-    for (uint32_t i = 0; i < n_clients; ++i) fleet.SetInput(i, input);
+    for (uint32_t i = 0; i < n_clients; ++i) {
+      fleet.machine(i).set_engine(engine);
+      fleet.SetInput(i, input);
+    }
     obs::MetricsRegistry registry;
     if (args.Has("metrics")) fleet.RegisterMetrics(&registry);
     const std::vector<vm::RunResult> results = fleet.RunAll(max_instr);
@@ -359,6 +377,7 @@ int main(int argc, char** argv) {
   }
 
   softcache::SoftCacheSystem system(img, config);
+  system.machine().set_engine(engine);
   system.SetInput(std::move(input));
   obs::MetricsRegistry registry;
   if (args.Has("metrics")) system.RegisterMetrics(&registry);
