@@ -24,11 +24,16 @@
 // Flags:
 //   --smoke       one workload, clients {1, 2} only (CI crash check)
 //   --out=PATH    JSON output path (default BENCH_multiclient.json)
+//   --trace=PATH  merged Chrome trace of the first workload's 8-client fleet
+//                 run (2 clients under --smoke): one lane per client plus the
+//                 server loop/shard lanes, misses linked by flow arrows
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/trace_mux.h"
 #include "softcache/mc.h"
 #include "softcache/system.h"
 
@@ -61,7 +66,8 @@ softcache::SoftCacheConfig BaseConfig() {
 
 Row RunFleet(const workloads::WorkloadSpec& spec, const image::Image& img,
              const std::vector<uint8_t>& input, const bench::NativeRun& native,
-             const bench::CachedRun& solo, uint32_t clients) {
+             const bench::CachedRun& solo, uint32_t clients,
+             const std::string& trace_path) {
   softcache::MultiClientConfig config;
   config.clients = clients;
   config.base = BaseConfig();
@@ -69,7 +75,22 @@ Row RunFleet(const workloads::WorkloadSpec& spec, const image::Image& img,
   config.server.shards = 4;         // exercise the sharded memo/translate path
   softcache::MultiClientSystem fleet(img, config);
   for (uint32_t i = 0; i < clients; ++i) fleet.SetInput(i, input);
+  // Merged-trace export rides the same run the table row comes from: the
+  // solo-equivalence SC_CHECKs below double as proof that tracing did not
+  // perturb guest execution.
+  obs::TraceMux mux;
+  if (!trace_path.empty()) {
+    fleet.AttachTraceMux(&mux);
+    mux.EnableAll();
+  }
   const std::vector<vm::RunResult> results = fleet.RunAll(16'000'000'000ull);
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    SC_CHECK(trace_out.good()) << "cannot open " << trace_path;
+    mux.ExportChromeJson(trace_out);
+    std::printf("wrote merged fleet trace %s (%zu lanes)\n", trace_path.c_str(),
+                mux.lane_count());
+  }
 
   Row row;
   row.workload = spec.name;
@@ -158,9 +179,11 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_multiclient.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
 
   bench::PrintHeader(
@@ -194,8 +217,15 @@ int main(int argc, char** argv) {
 
     uint64_t baseline_translates = 0;
     double prev_wire_per_client = 0.0;
+    // One traced configuration per invocation: the first workload at the
+    // second fleet size (8 clients, 2 under --smoke) keeps the trace small
+    // enough to load while still showing cross-client reply coalescing.
+    const uint32_t traced_clients = fleet_sizes[1];
     for (uint32_t clients : fleet_sizes) {
-      const Row row = RunFleet(*spec, img, input, native, solo, clients);
+      const bool traced = !trace_path.empty() && name == names.front() &&
+                          clients == traced_clients;
+      const Row row = RunFleet(*spec, img, input, native, solo, clients,
+                               traced ? trace_path : std::string());
       rows.push_back(row);
       PrintRow(row);
       // The tentpole economics, part 1: server translation work must not

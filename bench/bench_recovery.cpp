@@ -10,12 +10,17 @@
 // Flags:
 //   --smoke       one workload only (CI crash check)
 //   --out=PATH    JSON output path (default BENCH_recovery.json)
+//   --trace=PATH  merged Chrome trace of a 4-client fleet under the period-64
+//                 crash schedule: each client lane shows its re-handshake and
+//                 journal replay against the shared server lanes
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "dcache/dcache.h"
+#include "obs/trace_mux.h"
 #include "softcache/mc.h"
 #include "softcache/protocol.h"
 
@@ -150,9 +155,11 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_recovery.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
 
   bench::PrintHeader(
@@ -229,6 +236,49 @@ int main(int argc, char** argv) {
       SC_CHECK(row.identical)
           << name << "/dcache+per-64 diverged from the crash-free run";
     }
+  }
+
+  // Merged-trace view of recovery: a small fleet where every client carries
+  // the period-64 crash schedule, exported through the fleet trace mux so
+  // each client lane shows its re-handshake and journal replay while the
+  // server loop/shard lanes show the restarts they recover from.
+  if (!trace_path.empty()) {
+    const std::string& name = names.front();
+    const auto* spec = workloads::FindWorkload(name);
+    SC_CHECK(spec != nullptr) << "unknown workload " << name;
+    const image::Image img = workloads::CompileWorkload(*spec);
+    const auto input = workloads::MakeInput(name, 1);
+    softcache::SoftCacheConfig solo_config = BaseConfig();
+    const bench::CachedRun solo =
+        bench::RunCachedWorkload(img, input, solo_config);
+
+    softcache::MultiClientConfig config;
+    config.clients = 4;
+    config.base = BaseConfig();
+    ApplySchedule(&config.base, kSchedules[1]);  // period-64
+    softcache::MultiClientSystem fleet(img, config);
+    for (uint32_t i = 0; i < config.clients; ++i) fleet.SetInput(i, input);
+    obs::TraceMux mux;
+    fleet.AttachTraceMux(&mux);
+    mux.EnableAll();
+    const std::vector<vm::RunResult> results =
+        fleet.RunAll(16'000'000'000ull);
+    SC_CHECK(fleet.SyncSessions()) << "traced fleet failed to synchronize";
+    for (uint32_t i = 0; i < config.clients; ++i) {
+      SC_CHECK(results[i].reason == vm::StopReason::kHalted)
+          << "traced fleet client " << i << ": " << results[i].fault_message;
+      SC_CHECK(fleet.OutputString(i) == solo.output)
+          << "traced fleet client " << i << " output diverged";
+      SC_CHECK(results[i].instructions == solo.result.instructions)
+          << "traced fleet client " << i << " instructions diverged";
+    }
+    std::ofstream trace_out(trace_path);
+    SC_CHECK(trace_out.good()) << "cannot open " << trace_path;
+    mux.ExportChromeJson(trace_out);
+    std::printf("\nwrote merged recovery trace %s (%zu lanes, %llu MC "
+                "restarts survived)\n",
+                trace_path.c_str(), mux.lane_count(),
+                static_cast<unsigned long long>(fleet.mc().restarts()));
   }
 
   WriteJson(out_path, rows);

@@ -5,18 +5,24 @@
 #include <sstream>
 #include <string>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace sc::obs {
 namespace {
 
-Tracer* g_tracer = nullptr;
+// Thread-local: each host thread has its own tracer slot, so per-client
+// lanes installed by fleet workers never alias (see trace.h contract).
+thread_local Tracer* g_tracer = nullptr;
 
 const char* PhaseName(Phase ph) {
   switch (ph) {
     case Phase::kBegin: return "B";
     case Phase::kEnd: return "E";
     case Phase::kInstant: return "i";
+    case Phase::kFlowStart: return "s";
+    case Phase::kFlowStep: return "t";
+    case Phase::kFlowEnd: return "f";
   }
   return "i";
 }
@@ -46,13 +52,20 @@ void WriteJsonString(std::ostream& out, const char* s) {
 }
 
 void WriteEvent(std::ostream& out, const TraceEvent& event, Phase ph,
-                uint64_t ts) {
+                uint64_t ts, uint64_t pid, uint64_t tid) {
   out << "{\"name\":";
   WriteJsonString(out, event.name);
   out << ",\"cat\":";
   WriteJsonString(out, event.cat);
-  out << ",\"ph\":\"" << PhaseName(ph) << "\",\"pid\":0,\"tid\":0,\"ts\":" << ts;
+  out << ",\"ph\":\"" << PhaseName(ph) << "\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"ts\":" << ts;
   if (ph == Phase::kInstant) out << ",\"s\":\"t\"";
+  if (ph == Phase::kFlowStart || ph == Phase::kFlowStep ||
+      ph == Phase::kFlowEnd) {
+    out << ",\"id\":" << event.flow_id;
+    // Bind the arrow head to the enclosing slice rather than the next one.
+    if (ph == Phase::kFlowEnd) out << ",\"bp\":\"e\"";
+  }
   if (event.arg_count > 0 && ph != Phase::kEnd) {
     out << ",\"args\":{";
     for (uint8_t i = 0; i < event.arg_count; ++i) {
@@ -74,9 +87,12 @@ void EnsureEchoTracerForLogging() {
   if (g_tracer != nullptr) return;
   if (!util::LogEnabled(util::LogLevel::kTrace)) return;
   // Process-lifetime, echo-only (no ring): events become log lines and
-  // nothing is buffered.
+  // nothing is buffered. Shared across threads (each thread's slot may
+  // point here), so it must not assert single-thread writes; LogLine
+  // serializes the actual output.
   static Tracer echo_tracer;
   echo_tracer.set_echo_log(true);
+  echo_tracer.set_thread_affine(false);
   g_tracer = &echo_tracer;
 }
 
@@ -87,7 +103,21 @@ void Tracer::Enable(size_t capacity) {
     count_ = 0;
     dropped_ = 0;
   }
+  owner_bound_ = false;
   enabled_ = true;
+}
+
+void Tracer::CheckThread() {
+  if (!thread_affine_) return;
+  if (!owner_bound_) {
+    owner_ = std::this_thread::get_id();
+    owner_bound_ = true;
+    return;
+  }
+  SC_CHECK(owner_ == std::this_thread::get_id())
+      << "trace lane written from two threads; lanes are thread-confined "
+         "(see src/obs/trace.h) — give each thread its own lane or "
+         "serialize writes and call set_thread_affine(false)";
 }
 
 void Tracer::Record(Phase ph, const char* cat, const char* name, uint8_t nargs,
@@ -114,12 +144,33 @@ void Tracer::Record(Phase ph, const char* cat, const char* name, uint8_t nargs,
     util::LogLine(util::LogLevel::kTrace, line.str());
   }
   if (!enabled_ || ring_.empty()) return;  // echo-only tracer: no buffering
+  CheckThread();
   ring_[head_] = event;
   head_ = (head_ + 1) % ring_.size();
   if (count_ < ring_.size()) {
     ++count_;
   } else {
     ++dropped_;  // overwrote the oldest event
+  }
+}
+
+void Tracer::RecordFlow(Phase ph, const char* cat, const char* name,
+                        uint64_t flow_id) {
+  if (!enabled_ || ring_.empty()) return;
+  ++seq_;
+  CheckThread();
+  TraceEvent event;
+  event.ts = Now();
+  event.flow_id = flow_id;
+  event.name = name;
+  event.cat = cat;
+  event.ph = ph;
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;
   }
 }
 
@@ -133,19 +184,28 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
   return events;
 }
 
-void Tracer::ExportChromeJson(std::ostream& out) const {
+void Tracer::ExportEventsJson(std::ostream& out, uint64_t pid, uint64_t tid,
+                              bool* first) const {
+  if (dropped_ > 0) {
+    std::fprintf(stderr,
+                 "[obs] warning: trace lane pid=%llu tid=%llu dropped %llu "
+                 "events (ring capacity %zu); raise the capacity or trace a "
+                 "shorter window\n",
+                 static_cast<unsigned long long>(pid),
+                 static_cast<unsigned long long>(tid),
+                 static_cast<unsigned long long>(dropped_), ring_.size());
+  }
   const std::vector<TraceEvent> events = Snapshot();
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  const auto emit = [&out, &first](const TraceEvent& event, Phase ph,
-                                   uint64_t ts) {
-    if (!first) out << ",\n";
-    first = false;
-    WriteEvent(out, event, ph, ts);
+  const auto emit = [&out, first, pid, tid](const TraceEvent& event, Phase ph,
+                                            uint64_t ts) {
+    if (!*first) out << ",\n";
+    *first = false;
+    WriteEvent(out, event, ph, ts, pid, tid);
   };
   // Re-balance: a wrapped ring may start with E events whose B was
   // overwritten — skip those; spans still open at the end are closed at the
-  // last timestamp so the stream always nests.
+  // last timestamp so the stream always nests. The open-span stack is local
+  // to this lane: one lane wrapping never eats another lane's E events.
   std::vector<const TraceEvent*> open;
   uint64_t last_ts = 0;
   for (const TraceEvent& event : events) {
@@ -161,13 +221,22 @@ void Tracer::ExportChromeJson(std::ostream& out) const {
         emit(event, Phase::kEnd, event.ts);
         break;
       case Phase::kInstant:
-        emit(event, Phase::kInstant, event.ts);
+      case Phase::kFlowStart:
+      case Phase::kFlowStep:
+      case Phase::kFlowEnd:
+        emit(event, event.ph, event.ts);
         break;
     }
   }
   for (size_t i = open.size(); i > 0; --i) {
     emit(*open[i - 1], Phase::kEnd, last_ts);
   }
+}
+
+void Tracer::ExportChromeJson(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  ExportEventsJson(out, /*pid=*/0, /*tid=*/0, &first);
   out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
       << "\"clock\":\"guest cycles (1 trace us = 1 cycle)\","
       << "\"dropped_events\":" << dropped_ << "}}";

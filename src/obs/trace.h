@@ -1,11 +1,11 @@
 // Structured event tracing: a low-overhead, ring-buffered recorder for
-// spans (B/E pairs) and instant events, timestamped in guest cycles, with a
-// Chrome trace-event JSON exporter (loadable in chrome://tracing and
-// Perfetto).
+// spans (B/E pairs), instant events and flow events, timestamped in guest
+// cycles, with a Chrome trace-event JSON exporter (loadable in
+// chrome://tracing and Perfetto).
 //
 // Design constraints, in priority order:
 //   * Zero cost when off. Every instrumentation site compiles to one load
-//     of the global tracer pointer and a branch; no allocation, no
+//     of the current tracer pointer and a branch; no allocation, no
 //     formatting, no string copies happen unless a tracer is installed and
 //     enabled. A test asserts that cycle counts and every stats counter are
 //     bit-identical with tracing on and off (observation never charges
@@ -16,31 +16,53 @@
 //     must be string literals (the ring stores the pointers).
 //   * Honest export. The exporter re-balances the span stream so the JSON
 //     always contains properly nested B/E pairs: orphan E events from a
-//     wrapped ring are skipped, and spans still open at export time are
-//     closed at the last recorded timestamp.
+//     wrapped ring are skipped (per lane, never across lanes), spans still
+//     open at export time are closed at the last recorded timestamp, and a
+//     lane that dropped events says so — a warning goes to stderr at export
+//     time and the count is exported in the JSON, never silently truncated.
 //
-// The simulator is single-threaded, so there is exactly one (optional)
-// global tracer and no locking. Timestamps come from an external clock
-// pointer — normally vm::Machine's cycle counter — so the whole
-// client/server timeline shares the client's notion of time.
+// Thread-confinement contract (replacing the original single-threaded
+// design): the installed tracer is a THREAD-LOCAL pointer, and each Tracer
+// ring accepts writes from exactly one thread at a time. Fleet runs under
+// `host_threads` give every client VM its own lane (a Tracer installed in
+// that worker's thread-local slot while it runs the client) and the server
+// loop its own lanes, written only under the loop's serialization mutex
+// (those lanes opt out of the single-thread assert via
+// set_thread_affine(false); their writes are ordered by the lock instead).
+// Record() asserts the rule, so a lane leaking across threads fails fast
+// instead of silently corrupting the ring. TraceMux (trace_mux.h) merges
+// lanes into one Chrome trace with proper pid/tid rows.
+//
+// Timestamps come from an external clock pointer — normally vm::Machine's
+// cycle counter — so a lane's timeline is its client's notion of time.
+// Lanes without a clock source (the server lanes) run on a manual clock:
+// AdvanceClockFloor() pushes the lane's clock forward to the guest-cycle
+// timestamp the triggering request was enqueued at, so server spans sort
+// causally after the client events that caused them.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <thread>
 #include <vector>
 
 namespace sc::obs {
 
 enum class Phase : uint8_t {
-  kBegin,    // Chrome "B"
-  kEnd,      // Chrome "E"
-  kInstant,  // Chrome "i"
+  kBegin,      // Chrome "B"
+  kEnd,        // Chrome "E"
+  kInstant,    // Chrome "i"
+  kFlowStart,  // Chrome "s" — start of a cross-lane causal arrow
+  kFlowStep,   // Chrome "t" — intermediate point of the arrow
+  kFlowEnd,    // Chrome "f" — arrow head (binds to the enclosing slice)
 };
 
 // One recorded event. `name` and `cat` must point at string literals (or
 // other storage outliving the tracer); up to two integer args ride along.
+// Flow phases additionally carry the flow id linking the arrow's points.
 struct TraceEvent {
   uint64_t ts = 0;  // guest cycles
+  uint64_t flow_id = 0;
   const char* name = nullptr;
   const char* cat = nullptr;
   const char* arg_name[2] = {nullptr, nullptr};
@@ -61,9 +83,36 @@ class Tracer {
   bool recording() const { return enabled_; }
 
   // Timestamp source (usually &machine.cycles()'s storage, via
-  // vm::Machine::cycles_counter()). Null falls back to an event sequence
-  // number, which still orders events correctly.
+  // vm::Machine::cycles_counter()). Null falls back to a manual clock: the
+  // event sequence number, raised through AdvanceClockFloor().
   void SetClockSource(const uint64_t* cycles) { clock_ = cycles; }
+
+  // Manual-clock lanes only (no clock source): raises the lane clock to at
+  // least `t`. Server lanes call this with the triggering ticket's
+  // guest-cycle enqueue timestamp so their spans sort after their cause.
+  // Monotone: a lower `t` never moves the clock backwards.
+  void AdvanceClockFloor(uint64_t t) {
+    if (t > floor_) floor_ = t;
+  }
+
+  // The timestamp the next event would get; lets callers stamp cross-lane
+  // metadata (e.g. a ticket's enqueue time) from this lane's clock.
+  uint64_t CurrentTimestamp() const {
+    if (clock_ != nullptr) return *clock_;
+    return seq_ > floor_ ? seq_ : floor_;
+  }
+
+  // Thread confinement (see file comment). Default on: the first Record()
+  // binds the ring to the calling thread and later writes from any other
+  // thread are fatal. Lanes whose writes are serialized externally (the
+  // server lanes, under the loop mutex) opt out.
+  void set_thread_affine(bool affine) { thread_affine_ = affine; }
+  bool thread_affine() const { return thread_affine_; }
+  // Re-arms the confinement check when lane ownership legitimately moves to
+  // a new thread: the threaded fleet scheduler attaches clients on the main
+  // thread, then hands each client's lane to the worker that runs it. Call
+  // only from the new owner, with the old owner provably done writing.
+  void RebindThread() { owner_bound_ = false; }
 
   // Echo mode: every recorded event is additionally emitted as one
   // SOFTCACHE_LOG trace-level log line. This is the single source of
@@ -90,8 +139,22 @@ class Tracer {
     Record(Phase::kInstant, cat, name, 2, a0, v0, a1, v1);
   }
 
+  // Flow events: one kFlowStart, any number of kFlowSteps (possibly in
+  // other lanes) and one kFlowEnd sharing `flow_id` render as an arrow
+  // connecting their enclosing slices across lanes.
+  void FlowStart(const char* cat, const char* name, uint64_t flow_id) {
+    RecordFlow(Phase::kFlowStart, cat, name, flow_id);
+  }
+  void FlowStep(const char* cat, const char* name, uint64_t flow_id) {
+    RecordFlow(Phase::kFlowStep, cat, name, flow_id);
+  }
+  void FlowEnd(const char* cat, const char* name, uint64_t flow_id) {
+    RecordFlow(Phase::kFlowEnd, cat, name, flow_id);
+  }
+
   size_t recorded_events() const { return ring_.size() == 0 ? 0 : count_; }
   uint64_t dropped_events() const { return dropped_; }
+  const uint64_t* dropped_events_counter() const { return &dropped_; }
   size_t capacity() const { return ring_.size(); }
 
   // Events in recording order (oldest first), after any ring wrap.
@@ -100,19 +163,35 @@ class Tracer {
   // Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
   // Timestamps are exported as-is: 1 trace "microsecond" == 1 guest cycle.
   // The stream is always valid JSON with balanced, properly nested B/E
-  // pairs (see class comment).
+  // pairs (see class comment). Warns on stderr when events were dropped.
   void ExportChromeJson(std::ostream& out) const;
+
+  // Emits this lane's re-balanced event stream as comma-separated Chrome
+  // event objects stamped with `pid`/`tid` (no surrounding array). `*first`
+  // suppresses the leading comma exactly once across lanes; TraceMux uses
+  // this to splice lanes into one trace. Orphan E events are skipped using
+  // THIS lane's open-span stack only — a wrapped lane never unbalances its
+  // neighbors.
+  void ExportEventsJson(std::ostream& out, uint64_t pid, uint64_t tid,
+                        bool* first) const;
 
   static constexpr size_t kDefaultCapacity = 1u << 18;
 
  private:
   void Record(Phase ph, const char* cat, const char* name, uint8_t nargs,
               const char* a0, uint64_t v0, const char* a1, uint64_t v1);
-  uint64_t Now() { return clock_ != nullptr ? *clock_ : seq_; }
+  void RecordFlow(Phase ph, const char* cat, const char* name,
+                  uint64_t flow_id);
+  void CheckThread();
+  uint64_t Now() const { return CurrentTimestamp(); }
 
   bool enabled_ = false;
   bool echo_log_ = false;
+  bool thread_affine_ = true;
+  bool owner_bound_ = false;
+  std::thread::id owner_;
   const uint64_t* clock_ = nullptr;
+  uint64_t floor_ = 0;  // manual-clock floor (AdvanceClockFloor)
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;    // next write position
   size_t count_ = 0;   // live events in the ring (<= ring_.size())
@@ -120,9 +199,11 @@ class Tracer {
   uint64_t seq_ = 0;   // fallback clock + total event ordinal
 };
 
-// Global tracer registration. Instrumentation sites call tracer() and
-// no-op on nullptr; the owner (srun, a test, a bench) installs a tracer for
-// the duration of a run and removes it afterwards.
+// Current-thread tracer registration. Instrumentation sites call tracer()
+// and no-op on nullptr; the owner (srun, a test, a bench, a fleet worker)
+// installs a tracer for the duration of a run — or of one scheduling step,
+// for per-client lanes — and removes it afterwards. The slot is
+// thread-local: installing a lane on one thread never affects another.
 void SetTracer(Tracer* tracer);
 Tracer* tracer();
 
@@ -131,6 +212,20 @@ Tracer* tracer();
 // (no --trace file) still prints the miss-path event stream as log lines.
 // Called from SoftCacheSystem; harmless to call repeatedly.
 void EnsureEchoTracerForLogging();
+
+// RAII tracer swap: installs `lane` in this thread's slot for the scope.
+// The server loop and the fleet schedulers use this to route each section
+// of work into its lane.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer* lane) : prev_(tracer()) { SetTracer(lane); }
+  ~TracerScope() { SetTracer(prev_); }
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  Tracer* prev_;
+};
 
 // RAII span: records B at construction and E at destruction iff a tracer is
 // installed and enabled at construction time.

@@ -1,0 +1,87 @@
+#include "obs/trace_mux.h"
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace sc::obs {
+namespace {
+
+void WriteJsonLabel(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer* TraceMux::AddLane(const std::string& process, const std::string& thread,
+                          uint64_t pid, uint64_t tid) {
+  lanes_.emplace_back();
+  Lane& lane = lanes_.back();
+  lane.process = process;
+  lane.thread = thread;
+  lane.pid = pid;
+  lane.tid = tid;
+  return &lane.tracer;
+}
+
+void TraceMux::EnableAll(size_t capacity) {
+  for (Lane& lane : lanes_) lane.tracer.Enable(capacity);
+}
+
+uint64_t TraceMux::TotalDropped() const {
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.tracer.dropped_events();
+  return total;
+}
+
+void TraceMux::RegisterMetrics(MetricsRegistry* registry) const {
+  for (const Lane& lane : lanes_) {
+    registry->RegisterCounter(
+        "obs.lane." + lane.process + "." + lane.thread + ".dropped_events",
+        lane.tracer.dropped_events_counter());
+  }
+}
+
+void TraceMux::ExportChromeJson(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata first: label every pid row once and every (pid, tid) row.
+  // Perfetto reads these "M" events to name the lanes.
+  for (const Lane& lane : lanes_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << lane.pid
+        << ",\"tid\":" << lane.tid << ",\"args\":{\"name\":";
+    WriteJsonLabel(out, lane.process);
+    out << "}},\n";
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << lane.pid
+        << ",\"tid\":" << lane.tid << ",\"args\":{\"name\":";
+    WriteJsonLabel(out, lane.thread);
+    out << "}}";
+  }
+  for (const Lane& lane : lanes_) {
+    lane.tracer.ExportEventsJson(out, lane.pid, lane.tid, &first);
+  }
+  out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+      << "\"clock\":\"guest cycles (1 trace us = 1 cycle)\",\"lanes\":[";
+  bool lfirst = true;
+  for (const Lane& lane : lanes_) {
+    if (!lfirst) out << ',';
+    lfirst = false;
+    out << "{\"process\":";
+    WriteJsonLabel(out, lane.process);
+    out << ",\"thread\":";
+    WriteJsonLabel(out, lane.thread);
+    out << ",\"pid\":" << lane.pid << ",\"tid\":" << lane.tid
+        << ",\"events\":" << lane.tracer.recorded_events()
+        << ",\"dropped_events\":" << lane.tracer.dropped_events() << "}";
+  }
+  out << "],\"dropped_events\":" << TotalDropped() << "}}";
+}
+
+}  // namespace sc::obs

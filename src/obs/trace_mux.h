@@ -1,0 +1,73 @@
+// TraceMux: a registry of per-agent trace lanes merged into one
+// Chrome/Perfetto trace.
+//
+// A fleet run has many timelines — one per client VM plus the server loop
+// and its memo shards — and each gets its own thread-confined Tracer ring
+// (see trace.h). The mux owns the lanes, assigns stable pid/tid rows
+// (clients are processes, server lanes are threads of process 0), emits
+// the process_name/thread_name metadata events Perfetto uses to label
+// rows, and splices every lane's re-balanced event stream into a single
+// {"traceEvents": [...]} document. Flow events recorded with the same id
+// across lanes render as arrows connecting the slices — that is how a
+// TCMISS in a client lane is visibly linked to its ticket and translate
+// spans in the server lanes.
+//
+// Lane storage is a deque so Tracer addresses stay stable across AddLane
+// calls; instrumented code holds raw lane pointers for a whole run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace sc::obs {
+
+class MetricsRegistry;
+
+class TraceMux {
+ public:
+  struct Lane {
+    std::string process;  // Perfetto process row label
+    std::string thread;   // Perfetto thread row label
+    uint64_t pid = 0;
+    uint64_t tid = 0;
+    Tracer tracer;
+  };
+
+  TraceMux() = default;
+  TraceMux(const TraceMux&) = delete;
+  TraceMux& operator=(const TraceMux&) = delete;
+
+  // Registers a lane and returns its tracer (stable address for the mux's
+  // lifetime). The (pid, tid) pair should be unique per lane; the names
+  // label the Perfetto rows.
+  Tracer* AddLane(const std::string& process, const std::string& thread,
+                  uint64_t pid, uint64_t tid);
+
+  // Enables every lane's ring at `capacity` events.
+  void EnableAll(size_t capacity = Tracer::kDefaultCapacity);
+
+  size_t lane_count() const { return lanes_.size(); }
+  const std::deque<Lane>& lanes() const { return lanes_; }
+
+  // Sum of dropped events across lanes (each lane also warns individually
+  // on export, and per-lane counts are exported in otherData).
+  uint64_t TotalDropped() const;
+
+  // Registers one obs.lane.<process>.<thread>.dropped_events counter per
+  // lane so a truncated lane is visible in the metrics JSON, not just on
+  // stderr.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
+  // Writes the merged Chrome trace: metadata events naming every lane,
+  // then each lane's re-balanced stream stamped with its pid/tid.
+  void ExportChromeJson(std::ostream& out) const;
+
+ private:
+  std::deque<Lane> lanes_;
+};
+
+}  // namespace sc::obs

@@ -99,6 +99,8 @@ Chunk ChunkFromWire(uint32_t addr, uint32_t aux, uint32_t extra,
 
 util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
   OBS_SPAN("cc", "fetch", "orig", orig_pc);
+  pending_flow_id_ = 0;
+  current_rid_ = 0;
   // Per-chunk heat: how often this client demanded each chunk start.
   if (uint32_t* heat = fetch_counts_.Find(orig_pc)) {
     ++*heat;
@@ -127,6 +129,18 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
         PrefetchHints{static_cast<uint32_t>(config_.prefetch.policy),
                       config_.prefetch.depth, config_.prefetch.max_chunks,
                       config_.prefetch.byte_budget});
+  }
+
+  // Causal tracing: stamp a rolling 4-bit request id into the frame's spare
+  // type-byte nibble and open a flow arrow from this fetch span. Only while
+  // the lane is actively recording — with tracing off the rid stays 0 and
+  // the wire bytes are byte-identical to the seed protocol.
+  if (obs::Tracer* t = obs::tracer(); t != nullptr && t->recording()) {
+    current_rid_ = next_rid_;
+    next_rid_ = next_rid_ >= kRidMask ? 1 : next_rid_ + 1;
+    request.rid = current_rid_;
+    pending_flow_id_ = FlowId(config_.client_id, current_rid_);
+    t->FlowStart("flow", "miss", pending_flow_id_);
   }
 
   uint64_t link_cycles = 0;
@@ -189,6 +203,9 @@ util::Result<Chunk> CacheController::FetchChunkFullBody(uint32_t orig_pc) {
   Request request;
   request.type = MsgType::kChunkRequest;
   request.addr = orig_pc;
+  // The digest-miss fallback is the second leg of the same miss: reuse the
+  // rid so the server-side spans of both RPCs join the same flow arrow.
+  request.rid = current_rid_;
   uint64_t link_cycles = 0;
   auto reply = session_.Call(std::move(request), &link_cycles);
   Charge(link_cycles);
@@ -324,6 +341,14 @@ CacheController::Block* CacheController::Translate(uint32_t orig_pc) {
   Block* block = nullptr;
   {
     OBS_SPAN("cc", "install", "orig", chunk->orig_addr);
+    // Close the causal arrow opened at FetchChunk: the flow ends at the
+    // install slice that makes the missed chunk executable.
+    if (pending_flow_id_ != 0) {
+      if (obs::Tracer* t = obs::tracer(); t != nullptr && t->recording()) {
+        t->FlowEnd("flow", "miss", pending_flow_id_);
+      }
+      pending_flow_id_ = 0;
+    }
     block = config_.style == Style::kSparc ? InstallSparc(*chunk)
                                            : InstallArm(*chunk);
   }
@@ -1137,6 +1162,35 @@ std::vector<std::pair<uint64_t, uint64_t>> CacheController::ChunkFetchCounts()
   return out;
 }
 
+
+std::vector<CacheController::BlockView> CacheController::SnapshotBlocks()
+    const {
+  std::vector<BlockView> views;
+  views.reserve(blocks_.size());
+  for (const auto& [tc_addr, block] : blocks_) {
+    BlockView view;
+    view.orig_addr = block.orig_addr;
+    view.orig_span = block.orig_span;
+    view.tc_addr = block.tc_addr;
+    view.tc_bytes = block.tc_bytes;
+    view.out_edges = static_cast<uint32_t>(block.out_edges.size());
+    view.in_edges = static_cast<uint32_t>(block.in_edges.size());
+    view.pinned = block.pinned;
+    views.push_back(view);
+  }
+  return views;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> CacheController::SnapshotStaged()
+    const {
+  std::vector<std::pair<uint32_t, uint32_t>> staged;
+  staged.reserve(staged_fifo_.size());
+  for (const uint32_t orig : staged_fifo_) {
+    const auto it = staged_.find(orig);
+    if (it != staged_.end()) staged.emplace_back(orig, StagedCost(it->second));
+  }
+  return staged;
+}
 
 std::string CacheController::DumpState() const {
   std::ostringstream out;

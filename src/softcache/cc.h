@@ -147,6 +147,23 @@ class CacheController : public vm::TrapHandler {
   // Debugging surface for srun --dump-tcache and failing tests.
   std::string DumpState() const;
 
+  // Machine-readable tcache occupancy row, one per resident block, for the
+  // Inspector (docs/OBSERVABILITY.md). Ordered by tcache address.
+  struct BlockView {
+    uint32_t orig_addr = 0;
+    uint32_t orig_span = 0;
+    uint32_t tc_addr = 0;
+    uint32_t tc_bytes = 0;
+    uint32_t out_edges = 0;
+    uint32_t in_edges = 0;
+    bool pinned = false;
+  };
+  std::vector<BlockView> SnapshotBlocks() const;
+  // (orig_addr, staged wire cost) per staged prefetch chunk, FIFO order.
+  std::vector<std::pair<uint32_t, uint32_t>> SnapshotStaged() const;
+  uint64_t staged_bytes() const { return staged_bytes_; }
+  const vm::Machine& machine() const { return machine_; }
+
  private:
   struct InEdge {
     uint64_t from_block;   // source block id; 0 for permanent cells
@@ -315,6 +332,13 @@ class CacheController : public vm::TrapHandler {
   std::map<uint32_t, Chunk> staged_;
   std::deque<uint32_t> staged_fifo_;
   uint64_t staged_bytes_ = 0;
+
+  // Causal tracing (see FetchChunk): rolling 4-bit request id and the flow
+  // arrow currently open between fetch and install. Touched only while the
+  // thread's trace lane is recording.
+  uint32_t next_rid_ = 1;
+  uint32_t current_rid_ = 0;
+  uint64_t pending_flow_id_ = 0;
 };
 
 }  // namespace sc::softcache

@@ -61,6 +61,26 @@ class ChunkContentStore {
   uint64_t bytes() const;
   uint32_t capacity_bytes() const { return capacity_bytes_; }
 
+  // Residency rows for the Inspector: (digest, chunk addr, body bytes) per
+  // stored body, ascending by digest (map order). Takes the internal mutex.
+  struct EntryView {
+    uint64_t digest = 0;
+    uint32_t addr = 0;
+    uint32_t bytes = 0;
+  };
+  std::vector<EntryView> SnapshotEntries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<EntryView> views;
+    views.reserve(entries_.size());
+    for (const auto& [digest, chunk] : entries_) {
+      views.push_back(EntryView{
+          digest, chunk.addr,
+          chunk.words == nullptr ? 0u
+                                 : static_cast<uint32_t>(chunk.words->size())});
+    }
+    return views;
+  }
+
  private:
   const uint32_t capacity_bytes_;
   mutable std::mutex mu_;

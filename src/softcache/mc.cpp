@@ -1,6 +1,7 @@
 #include "softcache/mc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -9,6 +10,27 @@
 
 namespace sc::softcache {
 namespace {
+
+// Adds the scope's host-ns duration to a shard's service-time histogram.
+// Host time feeds observability only (p50/p95/p99 per shard); it never
+// touches guest cycles or any snapshot-compared counter.
+class ShardServiceTimer {
+ public:
+  explicit ShardServiceTimer(util::Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ShardServiceTimer() {
+    hist_->Add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  ShardServiceTimer(const ShardServiceTimer&) = delete;
+  ShardServiceTimer& operator=(const ShardServiceTimer&) = delete;
+
+ private:
+  util::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Bounds the replay cache. A stop-and-wait client has at most one write in
 // flight, so one entry would do; a few extra make the invariant robust.
@@ -57,6 +79,8 @@ uint32_t McServer::ShardFor(uint32_t addr) const {
 }
 
 util::Result<Chunk> McServer::CutShared(uint32_t addr) {
+  const uint32_t shard_index = ShardFor(addr);
+  const ShardServiceTimer timer(&service_ns_[shard_index]);
   // Fleet-wide demand heat: every demand from every session bumps it (hit
   // or miss), and the memo bound evicts its coldest entry by this signal.
   uint32_t* heat = heat_.Find(addr);
@@ -65,7 +89,7 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   } else {
     heat_.Put(addr, 1);
   }
-  MemoShard& shard = memo_shards_[ShardFor(addr)];
+  MemoShard& shard = memo_shards_[shard_index];
   auto it = shard.memo.find(addr);
   if (it != shard.memo.end()) {
     ++stats_.translate_memo_hits;
@@ -80,6 +104,23 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   if (shard.memo.size() >= per_shard) EvictColdest(&shard);
   shard.memo.emplace(addr, *chunk);
   return chunk;
+}
+
+std::vector<McServer::MemoEntryView> McServer::SnapshotMemo() const {
+  std::vector<MemoEntryView> views;
+  for (uint32_t s = 0; s < shards_; ++s) {
+    for (const auto& [addr, chunk] : memo_shards_[s].memo) {
+      MemoEntryView view;
+      view.shard = s;
+      view.addr = addr;
+      view.span_bytes = chunk.orig_span_bytes();
+      view.words = static_cast<uint32_t>(chunk.words.size());
+      const uint32_t* heat = heat_.Find(addr);
+      view.heat = heat == nullptr ? 0 : *heat;
+      views.push_back(view);
+    }
+  }
+  return views;
 }
 
 void McServer::EvictColdest(MemoShard* shard) {
@@ -99,6 +140,9 @@ void McServer::EvictColdest(MemoShard* shard) {
 
 util::Result<Chunk> McServer::CutPrivate(const image::Image& text_image,
                                          uint32_t addr) {
+  // Private cuts are un-memoized but still shard-attributed (by address
+  // range) so a session with COW text shows up in the shard's service time.
+  const ShardServiceTimer timer(&service_ns_[ShardFor(addr)]);
   ++stats_.translates;
   return Cut(text_image, addr);
 }
@@ -604,6 +648,13 @@ std::vector<uint8_t> MemoryController::HandleInner(
   OBS_SPAN("mc", "handle",
            "type", request.ok() ? static_cast<uint64_t>(request->type) : 0,
            "addr", request.ok() ? request->addr : 0);
+  // A traced miss carries a rid: thread its causal arrow through whichever
+  // server lane (shard or loop) is installed for this frame.
+  if (request.ok() && request->rid != 0) {
+    if (obs::Tracer* t = obs::tracer(); t != nullptr && t->recording()) {
+      t->FlowStep("flow", "miss", FlowId(request->client_id, request->rid));
+    }
+  }
   if (!request.ok()) {
     // Unattributable: the seq field cannot be trusted on a corrupted frame.
     // Seq 0 is reserved for these replies; clients never use it.
@@ -684,6 +735,10 @@ void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
     registry->RegisterGauge(sub + "memo_entries", [this, i] {
       return static_cast<double>(server_.shard_memo_entries(i));
     });
+    // Host-ns service time per translation request (p50/p95/p99 in the
+    // JSON export; histograms never join snapshot determinism checks).
+    registry->RegisterHistogram(sub + "service_ns",
+                                &server_.shard_service_ns(i));
   }
   // Legacy name: session 0's heat table (the single-client table).
   if (const McSession* s0 = FindSession(0)) {

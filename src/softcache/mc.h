@@ -39,6 +39,7 @@
 #include "softcache/config.h"
 #include "softcache/protocol.h"
 #include "util/open_table.h"
+#include "util/stats.h"
 
 namespace sc::obs {
 class MetricsRegistry;
@@ -146,6 +147,9 @@ class McServer {
     data_ = image.data;
     data_.resize(image::kStackTop + 16 - image.data_base, 0);
     memo_shards_.resize(shards_);
+    // Service-time spread: one bucket per ~8 us up to 1 ms; memo hits land
+    // in the first bucket, cold cuts spread out, outliers clamp.
+    service_ns_.assign(shards_, util::Histogram(0, 1e6, 128));
   }
 
   const image::Image& image() const { return image_; }
@@ -202,6 +206,26 @@ class McServer {
   size_t memo_entries() const;
   size_t published_digests() const { return published_.size(); }
 
+  // Host nanoseconds per translation request (memo hits and cuts both
+  // count — the histogram measures what a request costs the shard, and a
+  // hit is the cheap mode). One histogram per shard; host time only, never
+  // part of snapshot determinism.
+  const util::Histogram& shard_service_ns(uint32_t shard) const {
+    return service_ns_[shard];
+  }
+
+  // Memo-cache residency rows for the Inspector: every memoized chunk with
+  // its owning shard, translated size, and fleet-wide demand heat.
+  // Deterministically ordered (shard, then address).
+  struct MemoEntryView {
+    uint32_t shard = 0;
+    uint32_t addr = 0;
+    uint32_t span_bytes = 0;
+    uint32_t words = 0;
+    uint32_t heat = 0;
+  };
+  std::vector<MemoEntryView> SnapshotMemo() const;
+
   McServerStats& stats() { return stats_; }
   const McServerStats& stats() const { return stats_; }
 
@@ -232,6 +256,8 @@ class McServer {
   // Published-digest window (bounded FIFO).
   std::map<uint64_t, uint8_t> published_;
   std::deque<uint64_t> published_fifo_;
+  // Per-shard translation service time, host ns (see shard_service_ns).
+  std::vector<util::Histogram> service_ns_;
   McServerStats stats_;
 };
 
@@ -291,6 +317,19 @@ class McSession {
   }
   bool has_private_text() const { return private_image_ != nullptr; }
   size_t private_data_pages() const { return data_pages_.size(); }
+  size_t stable_private_data_pages() const { return stable_pages_.size(); }
+  // Working-overlay page indexes (kMcCowPageBytes each), ascending; the
+  // Inspector's COW footprint rows.
+  std::vector<uint32_t> PrivateDataPageIndexes() const {
+    std::vector<uint32_t> pages;
+    pages.reserve(data_pages_.size());
+    for (const auto& [index, bytes] : data_pages_) pages.push_back(index);
+    return pages;
+  }
+  // Writes applied to the working overlay but not yet flushed (exactly what
+  // a crash would lose right now).
+  size_t pending_text_writes() const { return pending_text_.size(); }
+  size_t pending_data_writes() const { return pending_data_.size(); }
 
   // Reads `len` bytes at `addr` through this session's data overlay (private
   // pages where faulted, the shared store elsewhere). Caller checks bounds.
@@ -442,6 +481,13 @@ class MemoryController {
   // Null if no frame (or session() call) has touched that id yet.
   const McSession* FindSession(uint32_t client_id) const;
   size_t sessions_active() const { return sessions_.size(); }
+  // Active session ids, ascending (Inspector iteration).
+  std::vector<uint32_t> SessionIds() const {
+    std::vector<uint32_t> ids;
+    ids.reserve(sessions_.size());
+    for (const auto& [id, sess] : sessions_) ids.push_back(id);
+    return ids;
+  }
 
   // Registers server aggregates plus per-session counters/heat-tables under
   // `prefix` (e.g. "mc." -> mc.requests_served, mc.s0.requests, ...).

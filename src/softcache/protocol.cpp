@@ -35,7 +35,42 @@ uint32_t PackTypeWord(MsgType type, uint32_t epoch, uint32_t client_id) {
          ((epoch & kEpochMask) << kEpochShift);
 }
 
+// True for the request types whose type byte may carry a tracing rid in its
+// high nibble (see the request-id section in protocol.h).
+bool CarriesRid(uint32_t type_value) {
+  return type_value == static_cast<uint32_t>(MsgType::kChunkRequest) ||
+         type_value == static_cast<uint32_t>(MsgType::kChunkSharedRequest);
+}
+
 }  // namespace
+
+uint32_t PeekFrameClientId(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kRequestBytes) return 0;
+  if (GetU32(frame, 0) != kProtocolMagic) return 0;
+  return frame[5];  // bits 15..8 of the type word
+}
+
+uint32_t PeekFrameRid(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kRequestBytes) return 0;
+  if (GetU32(frame, 0) != kProtocolMagic) return 0;
+  const uint32_t type_byte = frame[4];
+  if (!CarriesRid(type_byte & kRidTypeMask)) return 0;
+  return type_byte >> kRidShift;
+}
+
+uint32_t PeekFrameType(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kRequestBytes) return 0;
+  if (GetU32(frame, 0) != kProtocolMagic) return 0;
+  const uint32_t type_byte = frame[4];
+  if (CarriesRid(type_byte & kRidTypeMask)) return type_byte & kRidTypeMask;
+  return type_byte;
+}
+
+uint32_t PeekFrameAddr(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kRequestBytes) return 0;
+  if (GetU32(frame, 0) != kProtocolMagic) return 0;
+  return GetU32(frame, 12);
+}
 
 uint32_t Checksum(const uint8_t* data, size_t len, uint32_t basis) {
   uint32_t hash = basis;
@@ -68,7 +103,13 @@ std::vector<uint8_t> Request::Serialize() const {
   std::vector<uint8_t> out;
   out.reserve(wire_bytes());
   PutU32(out, kProtocolMagic);
-  PutU32(out, PackTypeWord(type, epoch, client_id));
+  uint32_t type_word = PackTypeWord(type, epoch, client_id);
+  // A nonzero tracing rid rides the spare high nibble of the type byte on
+  // chunk requests; rid 0 (tracing off) leaves the seed bytes untouched.
+  if (rid != 0 && CarriesRid(static_cast<uint32_t>(type))) {
+    type_word |= (rid & kRidMask) << kRidShift;
+  }
+  PutU32(out, type_word);
   PutU32(out, seq);
   PutU32(out, addr);
   PutU32(out, length);
@@ -92,7 +133,15 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   }
   Request req;
   const uint32_t type_word = GetU32(bytes, 4);
-  req.type = static_cast<MsgType>(type_word & kTypeMask);
+  uint32_t type_value = type_word & kTypeMask;
+  // Strip a tracing rid from the high nibble of the type byte — but only
+  // when the low nibble is a chunk-request type; every other type byte is
+  // taken whole so unknown-type bytes still reach the kError path intact.
+  if ((type_value >> kRidShift) != 0 && CarriesRid(type_value & kRidTypeMask)) {
+    req.rid = type_value >> kRidShift;
+    type_value &= kRidTypeMask;
+  }
+  req.type = static_cast<MsgType>(type_value);
   req.client_id = (type_word >> kClientIdShift) & kClientIdMask;
   req.epoch = type_word >> kEpochShift;
   req.seq = GetU32(bytes, 8);

@@ -78,6 +78,42 @@ inline constexpr uint32_t kEpochShift = 16;
 // The id field is 8 bits wide, so one MC serves at most 256 sessions.
 inline constexpr uint32_t kMaxClients = kClientIdMask + 1;
 
+// --- Request ids (causal tracing) ---
+//
+// Every message type fits in 4 bits (max value 14), so the high nibble of
+// the type byte is spare on the wire. Chunk requests (kChunkRequest,
+// kChunkSharedRequest) may stamp a 4-bit rolling **request id** (1..15;
+// 0 = "no id") into that nibble so the observability layer can correlate a
+// client-lane TCMISS span with the server-lane ticket/translate spans that
+// serve it — the merged trace exporter turns matching ids into Perfetto
+// flow arrows (docs/OBSERVABILITY.md).
+//
+// Wire compatibility: the CC stamps a nonzero rid only while its trace
+// lane is actively recording, so with tracing off (and for every non-chunk
+// type) the nibble stays zero and the frame is byte-identical to the seed
+// protocol. Parse strips the nibble back out only when the low nibble is a
+// chunk-request type AND the high nibble is nonzero; all other type bytes
+// are passed through whole, so unknown-type handling is unchanged.
+inline constexpr uint32_t kRidShift = 4;
+inline constexpr uint32_t kRidMask = 0xf;
+inline constexpr uint32_t kRidTypeMask = 0xf;
+
+// Flow ids are globally unique per in-flight request across a 256-client
+// fleet: the client id makes the namespace, the rid rolls within it.
+inline uint64_t FlowId(uint32_t client_id, uint32_t rid) {
+  return (static_cast<uint64_t>(client_id & kClientIdMask) << 8) |
+         (rid & kRidMask);
+}
+
+// Frame peeks for layers that route raw frames without a full Parse (the
+// server loop's ticket queue, trace-lane routing). Return 0 on anything
+// that is not a well-formed request frame carrying the field.
+uint32_t PeekFrameClientId(const std::vector<uint8_t>& frame);
+uint32_t PeekFrameRid(const std::vector<uint8_t>& frame);
+// The rid-stripped type value (kTypeMask range) and the addr field.
+uint32_t PeekFrameType(const std::vector<uint8_t>& frame);
+uint32_t PeekFrameAddr(const std::vector<uint8_t>& frame);
+
 // --- Chunk batching (speculative prefetch) ---
 //
 // A kChunkBatchReply carries several chunks inside one framed payload: the
@@ -156,6 +192,9 @@ struct Request {
   uint32_t length = 0;  // data requests: bytes wanted
   uint32_t epoch = 0;   // client's last-known server epoch (low 16 bits used)
   uint32_t client_id = 0;  // MC session this frame belongs to (low 8 bits)
+  // Tracing request id (chunk requests only; 0 = untraced — see the
+  // request-id section above). Never affects request semantics.
+  uint32_t rid = 0;
   // Writebacks carry payload after the fixed frame (accounted separately).
   std::vector<uint8_t> payload;
 

@@ -23,6 +23,13 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
                                        uint64_t* cycles) {
   OBS_SPAN("link", "call", "seq", request.seq,
            "type", static_cast<uint64_t>(request.type));
+  // A traced miss passes through here on its way to the wire: add the
+  // transmit point of its causal flow arrow inside the link.call slice.
+  if (request.rid != 0) {
+    if (obs::Tracer* t = obs::tracer(); t != nullptr && t->recording()) {
+      t->FlowStep("flow", "miss", FlowId(request.client_id, request.rid));
+    }
+  }
   ++stats_->requests;
   const std::vector<uint8_t> frame = request.Serialize();
   uint64_t timeout = retry_.timeout_cycles;

@@ -3,14 +3,54 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "softcache/protocol.h"
 
 namespace sc::softcache {
+
+McServerLoop::McServerLoop(PortHandler handler)
+    : handler_(std::move(handler)),
+      // Queue waits are host time: sub-microsecond uncontended, tens of
+      // microseconds when many client threads arrive at once. One bucket
+      // per 8 us to 1 ms; slower outliers clamp into the last bucket.
+      queue_wait_ns_(0, 1e6, 128) {}
+
+std::vector<uint8_t> McServerLoop::Service(Ticket* t) {
+  if (loop_lane_ == nullptr || !loop_lane_->recording()) {
+    current_enqueue_ts_ = 0;
+    return handler_(t->port, *t->frame);
+  }
+  // The loop lane runs on a manual clock: raise it to the ticket's
+  // guest-cycle enqueue time so this span sorts causally after the client
+  // events that produced the frame.
+  current_enqueue_ts_ = t->enqueue_ts;
+  loop_lane_->AdvanceClockFloor(t->enqueue_ts);
+  loop_lane_->Begin("loop", "ticket", "port", t->port);
+  // A traced miss (nonzero rid nibble) gets its causal arrow routed through
+  // this ticket slice.
+  if (const uint32_t rid = PeekFrameRid(*t->frame); rid != 0) {
+    loop_lane_->FlowStep("flow", "miss",
+                         FlowId(PeekFrameClientId(*t->frame), rid));
+  }
+  std::vector<uint8_t> reply = handler_(t->port, *t->frame);
+  loop_lane_->End("loop", "ticket");
+  current_enqueue_ts_ = 0;
+  return reply;
+}
 
 std::vector<uint8_t> McServerLoop::Submit(uint32_t port,
                                           const std::vector<uint8_t>& frame) {
   Ticket ticket;
   ticket.port = port;
   ticket.frame = &frame;
+  // Stamp the enqueue moment: guest cycles from the enqueuing thread's own
+  // trace lane (its clock — no cross-thread reads), host time for the
+  // queue-wait histogram.
+  if (obs::Tracer* lane = obs::tracer();
+      lane != nullptr && lane->recording()) {
+    ticket.enqueue_ts = lane->CurrentTimestamp();
+  }
+  ticket.enqueue_host = std::chrono::steady_clock::now();
 
   std::unique_lock<std::mutex> lock(mu_);
   queue_.push_back(&ticket);
@@ -29,11 +69,15 @@ std::vector<uint8_t> McServerLoop::Submit(uint32_t port,
       while (!queue_.empty()) {
         Ticket* t = queue_.front();
         queue_.pop_front();
+        queue_wait_ns_.Add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t->enqueue_host)
+                .count()));
         lock.unlock();
         std::vector<uint8_t> reply;
         {
           std::lock_guard<std::mutex> server_lock(server_mu_);
-          reply = handler_(t->port, *t->frame);
+          reply = Service(t);
         }
         lock.lock();
         t->reply = std::move(reply);
@@ -77,6 +121,8 @@ void McServerLoop::RegisterMetrics(obs::MetricsRegistry* registry,
                : static_cast<double>(stats_.queue_depth_sum) /
                      static_cast<double>(stats_.requests_enqueued);
   });
+  // Host-time histogram: excluded from snapshot determinism on purpose.
+  registry->RegisterHistogram(prefix + "queue_wait_ns", &queue_wait_ns_);
 }
 
 }  // namespace sc::softcache

@@ -22,8 +22,17 @@
 // RunExclusive serializes out-of-band server mutations (crash injection's
 // per-session restart fires on a client thread, inside its transport's Send)
 // against the pump, so a restart can never interleave with frame handling.
+//
+// Observability: the loop owns the server's "loop" trace lane (one
+// loop.ticket span per serviced frame, written only under server_mu_ — the
+// lane opts out of the thread-affinity assert because the lock already
+// serializes it) and a host-nanosecond ticket queue-wait histogram
+// (enqueue -> handler entry). Neither ever charges guest cycles; the wait
+// histogram is host time and deliberately excluded from snapshot/delta
+// determinism checks (only counters and gauges snapshot).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,8 +42,11 @@
 #include <utility>
 #include <vector>
 
+#include "util/stats.h"
+
 namespace sc::obs {
 class MetricsRegistry;
+class Tracer;
 }
 
 namespace sc::softcache {
@@ -54,7 +66,7 @@ class McServerLoop {
   using PortHandler = std::function<std::vector<uint8_t>(
       uint32_t port, const std::vector<uint8_t>& frame)>;
 
-  explicit McServerLoop(PortHandler handler) : handler_(std::move(handler)) {}
+  explicit McServerLoop(PortHandler handler);
 
   McServerLoop(const McServerLoop&) = delete;
   McServerLoop& operator=(const McServerLoop&) = delete;
@@ -69,6 +81,20 @@ class McServerLoop {
 
   const McServerLoopStats& stats() const { return stats_; }
 
+  // The server's "loop" trace lane (owned by the TraceMux; null = untraced).
+  // The lane must have set_thread_affine(false): it is written by whichever
+  // thread pumps, always under server_mu_.
+  void set_trace_lane(obs::Tracer* lane) { loop_lane_ = lane; }
+
+  // Guest-cycle timestamp (enqueuing client's lane clock) of the ticket the
+  // pump is currently servicing; 0 when untraced. Valid only while inside
+  // the PortHandler (i.e. under server_mu_) — the downstream shard lanes use
+  // it to advance their manual clocks causally.
+  uint64_t current_ticket_enqueue_ts() const { return current_enqueue_ts_; }
+
+  // Host nanoseconds each ticket spent queued before the handler took it.
+  const util::Histogram& queue_wait_ns() const { return queue_wait_ns_; }
+
   // Registers the queue counters under `prefix` (e.g. "mc.loop.").
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const;
@@ -79,7 +105,16 @@ class McServerLoop {
     const std::vector<uint8_t>* frame = nullptr;
     std::vector<uint8_t> reply;
     bool done = false;
+    // Observability: guest-cycle time on the enqueuing thread's lane clock
+    // (0 if that thread is untraced) and host enqueue time for the
+    // queue-wait histogram.
+    uint64_t enqueue_ts = 0;
+    std::chrono::steady_clock::time_point enqueue_host;
   };
+
+  // Emits the loop-lane span + causal flow step for one ticket and runs the
+  // handler. Called with server_mu_ held.
+  std::vector<uint8_t> Service(Ticket* t);
 
   PortHandler handler_;
 
@@ -92,6 +127,10 @@ class McServerLoop {
   std::deque<Ticket*> queue_;
   bool pumping_ = false;
   McServerLoopStats stats_;
+
+  obs::Tracer* loop_lane_ = nullptr;    // written under server_mu_
+  uint64_t current_enqueue_ts_ = 0;     // written under server_mu_
+  util::Histogram queue_wait_ns_;       // written under mu_
 };
 
 }  // namespace sc::softcache

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "obs/trace.h"
@@ -70,7 +72,17 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
       // Every frame is routed through the event loop: the switch feeds the
       // loop's inbound queue, the loop serializes entry into the server
       // core. Single-threaded schedulers pass through with zero contention.
+      // With a trace mux attached, the dispatch installs the server lane
+      // the frame belongs in (the shard lane for chunk translates, the
+      // loop lane otherwise) for the duration of the handler, so server
+      // spans never land in the pumping client's lane. Lane writes happen
+      // under the loop's server mutex, matching the lanes' external
+      // serialization contract.
       loop_([this](uint32_t port, const std::vector<uint8_t>& frame) {
+        obs::Tracer* lane = ServerLaneForFrame(frame);
+        if (lane == nullptr) return mc_->HandlePort(port, frame);
+        lane->AdvanceClockFloor(loop_.current_ticket_enqueue_ts());
+        obs::TracerScope scope(lane);
         return mc_->HandlePort(port, frame);
       }),
       switch_([this](uint32_t port, const std::vector<uint8_t>& frame) {
@@ -101,7 +113,12 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
     cfg.transport_factory = [this, i, fault](MemoryController&,
                                              net::Channel& channel) {
       return MakeTransport(switch_.Port(i), channel, fault, [this, i] {
-        loop_.RunExclusive([this, i] { mc_->RestartSession(i); });
+        loop_.RunExclusive([this, i] {
+          mc_->RestartSession(i);
+          // Server-only inspection scope: the core is exclusively held but
+          // the other clients keep running on their own threads.
+          if (recovery_hook_) recovery_hook_(i);
+        });
       });
     };
     client.cc = std::make_unique<CacheController>(*client.machine, *mc_,
@@ -126,6 +143,48 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
   if (obs::Tracer* t = obs::tracer()) {
     if (t->enabled()) t->SetClockSource(clients_[0].machine->cycles_counter());
   }
+}
+
+void MultiClientSystem::AttachTraceMux(obs::TraceMux* mux) {
+  SC_CHECK(loop_lane_ == nullptr) << "AttachTraceMux called twice";
+  // Server lanes: the event loop plus one lane per memo shard, all threads
+  // of Perfetto process 0. They run on manual clocks advanced to each
+  // ticket's guest-cycle enqueue stamp, and are written from whichever
+  // thread pumps the loop — always under the loop's server mutex — so they
+  // opt out of the single-thread assert (the mutex is their confinement).
+  loop_lane_ = mux->AddLane("server", "loop", 0, 0);
+  loop_lane_->set_thread_affine(false);
+  loop_.set_trace_lane(loop_lane_);
+  const uint32_t shards = mc_->server().shards();
+  shard_lanes_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    obs::Tracer* lane =
+        mux->AddLane("server", "shard " + std::to_string(s), 0, 1 + s);
+    lane->set_thread_affine(false);
+    shard_lanes_.push_back(lane);
+  }
+  // Client lanes: one Perfetto process per VM, clocked by that machine's
+  // guest cycle counter so span timestamps read in guest time no matter
+  // which host thread runs the client.
+  client_lanes_.reserve(clients_.size());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    obs::Tracer* lane = mux->AddLane("client " + std::to_string(i), "vm",
+                                     static_cast<uint64_t>(i) + 1, 0);
+    lane->SetClockSource(clients_[i].machine->cycles_counter());
+    client_lanes_.push_back(lane);
+  }
+}
+
+obs::Tracer* MultiClientSystem::ServerLaneForFrame(
+    const std::vector<uint8_t>& frame) const {
+  if (loop_lane_ == nullptr) return nullptr;
+  const uint32_t type = PeekFrameType(frame);
+  if (!shard_lanes_.empty() &&
+      (type == static_cast<uint32_t>(MsgType::kChunkRequest) ||
+       type == static_cast<uint32_t>(MsgType::kChunkSharedRequest))) {
+    return shard_lanes_[mc_->server().ShardFor(PeekFrameAddr(frame))];
+  }
+  return loop_lane_;
 }
 
 void MultiClientSystem::SnoopReply(const std::vector<uint8_t>& reply_bytes) {
@@ -163,11 +222,15 @@ void MultiClientSystem::SnoopReply(const std::vector<uint8_t>& reply_bytes) {
 
 std::vector<vm::RunResult> MultiClientSystem::RunAll(
     uint64_t max_instructions_each) {
-  for (Client& client : clients_) {
-    if (!client.attached) {
-      client.cc->Attach();
-      client.attached = true;
-    }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    Client& client = clients_[i];
+    if (client.attached) continue;
+    // Attach under the client's own lane: the first translate/install
+    // events belong to that client's timeline, not the caller's.
+    obs::TracerScope scope(i < client_lanes_.size() ? client_lanes_[i]
+                                                    : obs::tracer());
+    client.cc->Attach();
+    client.attached = true;
   }
   if (config_.host_threads > 1 && clients_.size() > 1) {
     RunAllThreaded(max_instructions_each);
@@ -182,29 +245,50 @@ std::vector<vm::RunResult> MultiClientSystem::RunAll(
   // each one a solo-identical execution — this rule just makes the schedule
   // (and hence traces/metrics) reproducible.
   for (;;) {
-    Client* next = nullptr;
-    for (Client& client : clients_) {
-      if (client.done) continue;
-      if (next == nullptr ||
-          client.machine->cycles() < next->machine->cycles()) {
-        next = &client;
+    size_t next = clients_.size();
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i].done) continue;
+      if (next == clients_.size() ||
+          clients_[i].machine->cycles() < clients_[next].machine->cycles()) {
+        next = i;
       }
     }
-    if (next == nullptr) break;
-    const uint64_t executed = next->machine->instructions();
+    if (next == clients_.size()) break;
+    Client& client = clients_[next];
+    const uint64_t executed = client.machine->instructions();
     const uint64_t budget =
         max_instructions_each > executed ? max_instructions_each - executed : 0;
     const uint64_t quantum = std::min(config_.quantum_instructions, budget);
-    next->result = next->machine->Run(quantum);
-    if (next->result.reason != vm::StopReason::kInstrLimit ||
-        next->machine->instructions() >= max_instructions_each) {
-      next->done = true;
+    {
+      obs::TracerScope scope(next < client_lanes_.size() ? client_lanes_[next]
+                                                         : obs::tracer());
+      client.result = client.machine->Run(quantum);
     }
+    if (client.result.reason != vm::StopReason::kInstrLimit ||
+        client.machine->instructions() >= max_instructions_each) {
+      client.done = true;
+    }
+    if (inspect_every_ != 0 && inspection_hook_) MaybeInspectRoundRobin();
   }
   std::vector<vm::RunResult> results;
   results.reserve(clients_.size());
   for (Client& client : clients_) results.push_back(client.result);
   return results;
+}
+
+void MultiClientSystem::MaybeInspectRoundRobin() {
+  uint64_t fleet_min = UINT64_MAX;
+  for (const Client& client : clients_) {
+    if (client.done) continue;
+    fleet_min = std::min(fleet_min, client.machine->cycles());
+  }
+  if (fleet_min == UINT64_MAX) return;  // every client finished
+  if (next_inspect_at_ == 0) next_inspect_at_ = inspect_every_;
+  if (fleet_min < next_inspect_at_) return;
+  inspection_hook_(fleet_min);
+  // One snapshot per crossing, then re-arm above the observed minimum (a
+  // long quantum can step the fleet past several multiples at once).
+  next_inspect_at_ = (fleet_min / inspect_every_ + 1) * inspect_every_;
 }
 
 void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
@@ -214,19 +298,113 @@ void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
   // through the event loop, and the snoop fan-out synchronizes per store.
   // Guest-visible results (output/exit/instructions) remain solo-identical —
   // clients share no guest state and the fallback path absorbs any snoop
-  // races. The global tracer is not thread-safe, so threading requires it
-  // off (the deterministic scheduler is the tracing configuration).
-  obs::Tracer* tracer = obs::tracer();
-  SC_CHECK(tracer == nullptr || !tracer->enabled())
-      << "host_threads > 1 requires tracing off";
+  // races. Tracing rides per-client lanes: each worker installs the claimed
+  // client's lane into its own thread-local slot while running it, so no
+  // lane ring is ever written from two threads at once (the handoff from
+  // the attaching main thread is re-armed with RebindThread).
   std::atomic<size_t> next_client{0};
-  const auto worker = [this, max_instructions_each, &next_client] {
+
+  // Periodic-inspection safepoint (armed only when a hook is set): workers
+  // run their client in scheduler quanta and park at quantum boundaries
+  // while one worker snapshots. Parking never happens inside a server
+  // dispatch, so every in-flight ticket drains before the fleet quiesces,
+  // and the mutex hands the inspector a happens-before edge over all
+  // client state it reads.
+  const bool inspect = inspect_every_ != 0 && inspection_hook_ != nullptr;
+  std::mutex safepoint_mu;
+  std::condition_variable safepoint_cv;
+  bool inspecting = false;
+  size_t parked = 0;
+  size_t active_workers = 0;
+  uint64_t next_at = next_inspect_at_ != 0 ? next_inspect_at_ : inspect_every_;
+  enum : uint8_t { kPending, kRunning, kFinished };
+  std::vector<uint8_t> state(clients_.size(), kPending);
+  std::vector<uint64_t> published(clients_.size());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    published[i] = clients_[i].machine->cycles();
+  }
+
+  // Fleet-min guest cycles over unfinished clients (pending clients count
+  // at their attach-time clock); UINT64_MAX once everyone finished.
+  const auto fleet_min = [&] {
+    uint64_t min_cycles = UINT64_MAX;
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (state[i] == kFinished) continue;
+      min_cycles = std::min(min_cycles, published[i]);
+    }
+    return min_cycles;
+  };
+
+  // Quantum-boundary check, entered lock-free of the loop: park while
+  // another worker inspects; become the inspector once the fleet minimum
+  // crosses the threshold, waiting for every other active worker to park.
+  const auto safepoint = [&] {
+    std::unique_lock<std::mutex> lock(safepoint_mu);
+    for (;;) {
+      if (inspecting) {
+        ++parked;
+        safepoint_cv.notify_all();
+        safepoint_cv.wait(lock, [&] { return !inspecting; });
+        --parked;
+        continue;  // the threshold may already be crossed again
+      }
+      const uint64_t min_cycles = fleet_min();
+      if (min_cycles == UINT64_MAX || min_cycles < next_at) return;
+      inspecting = true;
+      safepoint_cv.wait(lock, [&] { return parked == active_workers - 1; });
+      inspection_hook_(min_cycles);
+      next_at = (min_cycles / inspect_every_ + 1) * inspect_every_;
+      inspecting = false;
+      safepoint_cv.notify_all();
+    }
+  };
+
+  const auto worker = [&] {
+    if (inspect) {
+      std::lock_guard<std::mutex> lock(safepoint_mu);
+      ++active_workers;
+    }
     for (;;) {
       const size_t i = next_client.fetch_add(1);
-      if (i >= clients_.size()) return;
+      if (i >= clients_.size()) break;
       Client& client = clients_[i];
-      client.result = client.machine->Run(max_instructions_each);
+      obs::Tracer* lane = i < client_lanes_.size() ? client_lanes_[i] : nullptr;
+      if (lane != nullptr) lane->RebindThread();
+      obs::TracerScope scope(lane != nullptr ? lane : obs::tracer());
+      if (!inspect) {
+        client.result = client.machine->Run(max_instructions_each);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(safepoint_mu);
+          state[i] = kRunning;
+        }
+        for (;;) {
+          const uint64_t executed = client.machine->instructions();
+          const uint64_t budget = max_instructions_each > executed
+                                      ? max_instructions_each - executed
+                                      : 0;
+          const uint64_t quantum =
+              std::min(config_.quantum_instructions, budget);
+          client.result = client.machine->Run(quantum);
+          const bool finished =
+              client.result.reason != vm::StopReason::kInstrLimit ||
+              client.machine->instructions() >= max_instructions_each;
+          {
+            std::lock_guard<std::mutex> lock(safepoint_mu);
+            published[i] = client.machine->cycles();
+            if (finished) state[i] = kFinished;
+          }
+          if (finished) break;
+          safepoint();
+        }
+      }
       client.done = true;
+    }
+    if (inspect) {
+      // Exiting shrinks the quorum the inspector waits for.
+      std::lock_guard<std::mutex> lock(safepoint_mu);
+      --active_workers;
+      safepoint_cv.notify_all();
     }
   };
   const size_t nthreads =
@@ -235,6 +413,7 @@ void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
   threads.reserve(nthreads);
   for (size_t t = 0; t < nthreads; ++t) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
+  next_inspect_at_ = next_at;
 }
 
 bool MultiClientSystem::SyncSessions() {

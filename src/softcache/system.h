@@ -7,6 +7,7 @@
 // for finer-grained experiments.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "net/channel.h"
 #include "net/switch.h"
 #include "obs/metrics.h"
+#include "obs/trace_mux.h"
 #include "softcache/cc.h"
 #include "softcache/config.h"
 #include "softcache/mc.h"
@@ -93,7 +95,10 @@ struct MultiClientConfig {
   // completion on a pool of this many host threads, with server access
   // serialized through the event loop. Guest results stay solo-identical
   // either way; what threading changes is the host-side interleaving, so
-  // tracing must be off and cross-client cycle comparisons are meaningless.
+  // cross-client cycle comparisons are meaningless. Tracing works under
+  // both schedulers once AttachTraceMux has split the instrumentation into
+  // thread-confined per-agent lanes; only the lane interleaving (not any
+  // guest-visible result) varies with threading.
   uint32_t host_threads = 0;
 };
 
@@ -158,6 +163,40 @@ class MultiClientSystem {
   // counters and heat tables) and the switch frame counter.
   void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
+  // --- Fleet observability wiring ---
+
+  // Splits instrumentation into per-agent trace lanes inside `mux`: one
+  // lane per client VM (process "client <i>", pid i+1, clocked by that
+  // machine's guest cycle counter) plus server lanes (the event loop at
+  // pid 0 tid 0 and one lane per memo shard at pid 0 tid 1+s, both on
+  // manual clocks advanced to each ticket's guest-cycle enqueue stamp).
+  // The schedulers install the matching lane into the thread-local tracer
+  // slot around every client step and every server dispatch, so each lane
+  // stays thread-confined even under host_threads > 1. Call once, before
+  // RunAll; `mux` must outlive this system. Enabling the lanes (and
+  // exporting the merged trace) is the caller's job via the mux.
+  void AttachTraceMux(obs::TraceMux* mux);
+
+  // Periodic live inspection: `hook` runs every time the fleet-min guest
+  // cycle count (min over unfinished clients) crosses a multiple of
+  // `every_cycles`, with every client VM quiescent — the round-robin
+  // scheduler calls it between steps; the threaded scheduler parks all
+  // workers at quantum boundaries first (a fleet-wide safepoint), so the
+  // hook may freely read any client or server state. Pass 0 to disable.
+  using InspectionHook = std::function<void(uint64_t fleet_min_cycles)>;
+  void set_inspection_hook(uint64_t every_cycles, InspectionHook hook) {
+    inspect_every_ = every_cycles;
+    inspection_hook_ = std::move(hook);
+  }
+
+  // Runs after a crash-schedule restart of `client_id`'s session, while the
+  // server core is still exclusively held (other clients keep running, so
+  // only server-side state may be read: a server-only inspection scope).
+  using RecoveryHook = std::function<void(uint32_t client_id)>;
+  void set_recovery_hook(RecoveryHook hook) {
+    recovery_hook_ = std::move(hook);
+  }
+
  private:
   struct Client {
     std::unique_ptr<vm::Machine> machine;
@@ -174,12 +213,29 @@ class MultiClientSystem {
   // Broadcast-medium snoop: parses one reply frame and feeds every client's
   // content store (shared_reply mode only).
   void SnoopReply(const std::vector<uint8_t>& reply_bytes);
+  // Picks the server lane a dispatched frame's spans belong in: the shard
+  // lane for chunk-translate requests, the loop lane for everything else.
+  // Null when no mux is attached.
+  obs::Tracer* ServerLaneForFrame(const std::vector<uint8_t>& frame) const;
+  // Round-robin-scheduler half of the periodic-inspection contract: fires
+  // the hook whenever the fleet-min cycle count crossed the next threshold.
+  void MaybeInspectRoundRobin();
 
   MultiClientConfig config_;
   std::unique_ptr<MemoryController> mc_;
   McServerLoop loop_;
   net::Switch switch_;
   std::vector<Client> clients_;
+
+  // Observability (all null/zero unless AttachTraceMux / the hook setters
+  // ran): non-owning lane pointers into the attached mux.
+  std::vector<obs::Tracer*> client_lanes_;
+  obs::Tracer* loop_lane_ = nullptr;
+  std::vector<obs::Tracer*> shard_lanes_;
+  uint64_t inspect_every_ = 0;
+  uint64_t next_inspect_at_ = 0;
+  InspectionHook inspection_hook_;
+  RecoveryHook recovery_hook_;
 };
 
 }  // namespace sc::softcache

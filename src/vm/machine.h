@@ -138,6 +138,10 @@ class Machine {
   // address for the Machine's lifetime, for the metrics registry.
   const SbStats& sb_stats() const { return sb_stats_; }
 
+  // The threaded engine's translated-block store; null until the threaded
+  // engine first runs. Inspector surface (superblock residency + chains).
+  const SuperblockCache* sb_cache() const { return sb_cache_.get(); }
+
   // Register file access. Writes to register 0 are ignored.
   uint32_t reg(uint8_t r) const { return regs_[r]; }
   void set_reg(uint8_t r, uint32_t v) {

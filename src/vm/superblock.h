@@ -149,6 +149,23 @@ class SuperblockCache {
 
   size_t pool_size() const { return pool_.size(); }
   size_t live_blocks() const { return live_; }
+
+  // Visits every live superblock in pool (translation) order, exposing the
+  // chain graph: fn(block, taken successor, fall successor) with dead
+  // successors passed as null (a chain slot is only followed while its
+  // target's `valid` holds, so the view matches what dispatch would do).
+  // Inspector surface; the pool is stable while no guest runs.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const Superblock& sb : pool_) {
+      if (!sb.valid) continue;
+      const Superblock* taken =
+          sb.taken != nullptr && sb.taken->valid ? sb.taken : nullptr;
+      const Superblock* fall =
+          sb.fall != nullptr && sb.fall->valid ? sb.fall : nullptr;
+      fn(sb, taken, fall);
+    }
+  }
   // Conservative bounds of translated text, for the store fast-path check.
   uint32_t lo() const { return live_ == 0 ? UINT32_MAX : lo_; }
   uint32_t hi() const { return live_ == 0 ? 0 : hi_; }

@@ -1,0 +1,200 @@
+// Minimal recursive-descent JSON reader for the repo's own tools.
+//
+// sctop consumes the Inspector's snapshot documents (and nothing else), so
+// this deliberately supports exactly what those documents contain: objects,
+// arrays, strings without exotic escapes, integers, booleans and null. It is
+// NOT a general-purpose parser — no floats-with-exponents round-tripping, no
+// \uXXXX decoding (kept verbatim) — and it fails closed with a position on
+// anything malformed. Zero dependencies, header-only.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sc::tools {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;  // integers up to 2^53 exact; enough for counters here
+  std::string string;
+  std::vector<JsonValue> array;
+  // Map (not vector of pairs): inspector keys are unique and lookup by name
+  // is what sctop does.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member access; returns a shared null for missing keys so lookups
+  // chain without null checks.
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue null_value;
+    if (kind != Kind::kObject) return null_value;
+    auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+  uint64_t AsU64() const {
+    return kind == Kind::kNumber && number >= 0 ? static_cast<uint64_t>(number)
+                                                : 0;
+  }
+  const std::string& AsString() const { return string; }
+};
+
+class JsonParser {
+ public:
+  // Parses one document. Returns false with `error` set on malformed input.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error) {
+    JsonParser parser(text);
+    if (!parser.ParseValue(out)) {
+      *error = parser.error_ + " at offset " + std::to_string(parser.pos_);
+      return false;
+    }
+    parser.SkipSpace();
+    if (parser.pos_ != text.size()) {
+      *error = "trailing bytes at offset " + std::to_string(parser.pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+  bool Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            // \uXXXX and friends: keep verbatim, the inspector never emits
+            // them and sctop only prints.
+            out->push_back('\\');
+            c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    return Expect('"');
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipSpace();
+        if (!Expect(':')) return false;
+        if (!ParseValue(&out->object[key])) return false;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        out->array.emplace_back();
+        if (!ParseValue(&out->array.back())) return false;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    // Number: integers and plain decimals/exponents via strtod.
+    {
+      const char* begin = text_.c_str() + pos_;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) return Fail("invalid value");
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = value;
+      pos_ += static_cast<size_t>(end - begin);
+      return true;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace sc::tools

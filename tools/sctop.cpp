@@ -1,0 +1,232 @@
+// sctop — render softcache Inspector snapshots as a terminal summary.
+//
+//   sctop snapshot.json            what do the caches hold right now?
+//   sctop new.json old.json        what changed between two snapshots?
+//
+// Snapshots come from `srun --inspect=FILE` (final state), `--inspect-every=N`
+// (periodic FILE.<seq> series) and crash recoveries; see docs/OBSERVABILITY.md
+// for the schema. The diff mode matches clients/sessions by id and tcache /
+// memo entries by original address, so it answers "which blocks were evicted
+// between these two moments" directly.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/json_min.h"
+#include "tools/tool_util.h"
+
+using sc::tools::JsonValue;
+
+namespace {
+
+std::string Pct(uint64_t part, uint64_t whole) {
+  if (whole == 0) return "-";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * (double)part / (double)whole);
+  return buf;
+}
+
+bool LoadSnapshot(const std::string& path, JsonValue* out) {
+  const auto text = sc::tools::ReadFile(path);
+  if (!text) return false;
+  std::string error;
+  if (!sc::tools::JsonParser::Parse(*text, out, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  if ((*out)["softcache_inspector"].AsU64() != 1) {
+    std::fprintf(stderr, "%s: not a softcache inspector snapshot\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void RenderClient(const JsonValue& client) {
+  const JsonValue& tcache = client["tcache"];
+  const JsonValue& staged = client["staged"];
+  const JsonValue& sb = client["superblocks"];
+  uint64_t pinned = 0;
+  for (const JsonValue& block : tcache["blocks"].array) {
+    if (block["pinned"].boolean) ++pinned;
+  }
+  std::printf(
+      "  c%-3llu cycles=%-12llu tcache %llu/%llu (%s) blocks=%zu pinned=%llu "
+      "staged=%zu sb=%llu\n",
+      (unsigned long long)client["id"].AsU64(),
+      (unsigned long long)client["cycles"].AsU64(),
+      (unsigned long long)tcache["live_bytes"].AsU64(),
+      (unsigned long long)tcache["capacity_bytes"].AsU64(),
+      Pct(tcache["live_bytes"].AsU64(), tcache["capacity_bytes"].AsU64())
+          .c_str(),
+      tcache["blocks"].array.size(), (unsigned long long)pinned,
+      staged["chunks"].array.size(), (unsigned long long)sb["live"].AsU64());
+  const JsonValue& store = client["content_store"];
+  if (store.is_object()) {
+    std::printf("       content store %llu/%llu bytes, %zu chunks\n",
+                (unsigned long long)store["bytes"].AsU64(),
+                (unsigned long long)store["capacity_bytes"].AsU64(),
+                store["chunks"].array.size());
+  }
+}
+
+void Render(const JsonValue& snap) {
+  std::printf("softcache snapshot  reason=%s seq=%llu scope=%s\n",
+              snap["reason"].AsString().c_str(),
+              (unsigned long long)snap["seq"].AsU64(),
+              snap["scope"].AsString().c_str());
+
+  const JsonValue& server = snap["server"];
+  std::printf("server: %llu shard(s), %llu memo entries, %llu published "
+              "digests\n",
+              (unsigned long long)server["shards"].AsU64(),
+              (unsigned long long)server["memo_entries"].AsU64(),
+              (unsigned long long)server["published_digests"].AsU64());
+  const auto& shard_stats = server["shard_stats"].array;
+  for (size_t s = 0; s < shard_stats.size(); ++s) {
+    std::printf("  shard %-2zu translates=%-8llu memo_hits=%-8llu entries=%llu\n",
+                s, (unsigned long long)shard_stats[s]["translates"].AsU64(),
+                (unsigned long long)shard_stats[s]["memo_hits"].AsU64(),
+                (unsigned long long)shard_stats[s]["entries"].AsU64());
+  }
+
+  // Hottest memoized chunks: top 5 by fleet demand heat.
+  std::vector<const JsonValue*> memo;
+  for (const JsonValue& entry : server["memo"].array) memo.push_back(&entry);
+  std::sort(memo.begin(), memo.end(), [](const JsonValue* a, const JsonValue* b) {
+    return (*a)["heat"].AsU64() > (*b)["heat"].AsU64();
+  });
+  for (size_t i = 0; i < memo.size() && i < 5; ++i) {
+    std::printf("  hot chunk: addr=0x%llx span=%llu heat=%llu\n",
+                (unsigned long long)(*memo[i])["addr"].AsU64(),
+                (unsigned long long)(*memo[i])["span"].AsU64(),
+                (unsigned long long)(*memo[i])["heat"].AsU64());
+  }
+
+  const auto& sessions = server["sessions"].array;
+  std::printf("sessions: %zu\n", sessions.size());
+  for (const JsonValue& session : sessions) {
+    std::printf(
+        "  s%-3llu epoch=%-3llu text=%s data_pages=%llu (stable %llu) "
+        "pending=%llu/%llu\n",
+        (unsigned long long)session["id"].AsU64(),
+        (unsigned long long)session["epoch"].AsU64(),
+        session["private_text"].boolean ? "private" : "shared",
+        (unsigned long long)session["data_pages"].AsU64(),
+        (unsigned long long)session["stable_data_pages"].AsU64(),
+        (unsigned long long)session["pending_text"].AsU64(),
+        (unsigned long long)session["pending_data"].AsU64());
+  }
+
+  const auto& clients = snap["clients"].array;
+  if (!clients.empty()) {
+    std::printf("clients: %zu\n", clients.size());
+    for (const JsonValue& client : clients) RenderClient(client);
+  }
+}
+
+// Resident-set keys for diffing: tcache blocks and memo entries by original
+// address.
+std::set<uint64_t> BlockSet(const JsonValue& client) {
+  std::set<uint64_t> set;
+  for (const JsonValue& b : client["tcache"]["blocks"].array) {
+    set.insert(b["orig"].AsU64());
+  }
+  return set;
+}
+
+void RenderDiff(const JsonValue& now, const JsonValue& then) {
+  std::printf("softcache diff  %s/%llu -> %s/%llu\n",
+              then["reason"].AsString().c_str(),
+              (unsigned long long)then["seq"].AsU64(),
+              now["reason"].AsString().c_str(),
+              (unsigned long long)now["seq"].AsU64());
+
+  // Server: memo residency churn.
+  std::set<uint64_t> memo_now, memo_then;
+  for (const JsonValue& e : now["server"]["memo"].array)
+    memo_now.insert(e["addr"].AsU64());
+  for (const JsonValue& e : then["server"]["memo"].array)
+    memo_then.insert(e["addr"].AsU64());
+  uint64_t memo_added = 0, memo_removed = 0;
+  for (uint64_t a : memo_now)
+    if (memo_then.count(a) == 0) ++memo_added;
+  for (uint64_t a : memo_then)
+    if (memo_now.count(a) == 0) ++memo_removed;
+  std::printf("server: memo %zu -> %zu (+%llu, -%llu)\n", memo_then.size(),
+              memo_now.size(), (unsigned long long)memo_added,
+              (unsigned long long)memo_removed);
+
+  // Sessions: epoch movement flags crash recoveries between snapshots.
+  std::map<uint64_t, const JsonValue*> sess_then;
+  for (const JsonValue& s : then["server"]["sessions"].array)
+    sess_then[s["id"].AsU64()] = &s;
+  for (const JsonValue& s : now["server"]["sessions"].array) {
+    auto it = sess_then.find(s["id"].AsU64());
+    if (it == sess_then.end()) continue;
+    const uint64_t e_now = s["epoch"].AsU64();
+    const uint64_t e_then = (*it->second)["epoch"].AsU64();
+    if (e_now != e_then) {
+      std::printf("  s%llu: epoch %llu -> %llu (%llu restart(s))\n",
+                  (unsigned long long)s["id"].AsU64(),
+                  (unsigned long long)e_then, (unsigned long long)e_now,
+                  (unsigned long long)(e_now - e_then));
+    }
+  }
+
+  // Clients: cycle progress and tcache churn, matched by id.
+  std::map<uint64_t, const JsonValue*> clients_then;
+  for (const JsonValue& c : then["clients"].array)
+    clients_then[c["id"].AsU64()] = &c;
+  for (const JsonValue& c : now["clients"].array) {
+    auto it = clients_then.find(c["id"].AsU64());
+    if (it == clients_then.end()) continue;
+    const JsonValue& old_client = *it->second;
+    const std::set<uint64_t> blocks_now = BlockSet(c);
+    const std::set<uint64_t> blocks_then = BlockSet(old_client);
+    uint64_t installed = 0, evicted = 0;
+    for (uint64_t a : blocks_now)
+      if (blocks_then.count(a) == 0) ++installed;
+    for (uint64_t a : blocks_then)
+      if (blocks_now.count(a) == 0) ++evicted;
+    std::printf(
+        "  c%-3llu +%llu cycles, tcache %llu -> %llu bytes, blocks +%llu "
+        "-%llu\n",
+        (unsigned long long)c["id"].AsU64(),
+        (unsigned long long)(c["cycles"].AsU64() -
+                             old_client["cycles"].AsU64()),
+        (unsigned long long)old_client["tcache"]["live_bytes"].AsU64(),
+        (unsigned long long)c["tcache"]["live_bytes"].AsU64(),
+        (unsigned long long)installed, (unsigned long long)evicted);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sc::tools::Args args(argc, argv);
+  const std::string unknown = args.FirstUnknown({"help"});
+  if (!unknown.empty() || args.Has("help") || args.positional().empty() ||
+      args.positional().size() > 2) {
+    if (!unknown.empty())
+      std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr,
+                 "usage: sctop SNAPSHOT.json [OLD.json]\n"
+                 "  one file:  summarize the snapshot\n"
+                 "  two files: diff (what changed since OLD)\n");
+    return 2;
+  }
+  JsonValue snap;
+  if (!LoadSnapshot(args.positional()[0], &snap)) return 1;
+  if (args.positional().size() == 1) {
+    Render(snap);
+    return 0;
+  }
+  JsonValue old_snap;
+  if (!LoadSnapshot(args.positional()[1], &old_snap)) return 1;
+  RenderDiff(snap, old_snap);
+  return 0;
+}

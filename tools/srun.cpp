@@ -8,6 +8,7 @@
 //   srun p.img --input=file --stats --profile
 //   srun --workload=dijkstra --softcache
 //        --trace=out.json --metrics=m.json   built-in workload, observed
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +19,9 @@
 #include "minicc/compiler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_mux.h"
 #include "profile/profiler.h"
+#include "softcache/inspector.h"
 #include "softcache/system.h"
 #include "tools/tool_util.h"
 #include "util/stats.h"
@@ -70,7 +73,8 @@ int main(int argc, char** argv) {
        "input", "stats", "profile", "max-instr", "dump-tcache", "help",
        "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
        "crash-after", "crash-rate", "crash-at-cycle", "fault-seed", "clients",
-       "verify", "shared-reply", "shards", "threads", "engine"});
+       "verify", "shared-reply", "shards", "threads", "engine", "inspect",
+       "inspect-every"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -86,8 +90,13 @@ int main(int argc, char** argv) {
                  "       srun --workload=NAME [--scale=N] (instead of a program)\n"
                  "observability (softcache runs):\n"
                  "            [--prefetch=off|nextn|temp]\n"
-                 "            [--trace=FILE]    Chrome trace-event JSON\n"
+                 "            [--trace=FILE]    Chrome trace-event JSON (fleet\n"
+                 "                              runs merge per-agent lanes)\n"
                  "            [--metrics=FILE]  metrics registry JSON\n"
+                 "            [--inspect=FILE]  cache-state snapshot on exit\n"
+                 "                              (sctop renders it)\n"
+                 "            [--inspect-every=N]  also snapshot every N guest\n"
+                 "                              cycles to FILE.<seq>\n"
                  "crash injection (softcache runs; server restarts + recovery):\n"
                  "            [--crash-period=N]   MC crashes every Nth request\n"
                  "            [--crash-after=N]    MC crashes once on request N\n"
@@ -100,7 +109,6 @@ int main(int argc, char** argv) {
                  "                                 replies (broadcast snooping)\n"
                  "            [--shards=N]         server memo/translate shards\n"
                  "            [--threads=N]        host threads for client VMs\n"
-                 "                                 (N>1 requires tracing off)\n"
                  "            [--verify]           re-run each client solo and\n"
                  "                                 check bit-identical behavior\n",
                  static_cast<unsigned>(softcache::kMaxClients));
@@ -220,13 +228,6 @@ int main(int argc, char** argv) {
   config.fault.crash_at_cycle = args.GetInt("crash-at-cycle", 0);
   config.fault.crash = std::strtod(args.Get("crash-rate", "0").c_str(), nullptr);
 
-  // Install the tracer before the system exists so construction-time events
-  // are captured and the system can bind its cycle clock.
-  obs::Tracer tracer;
-  if (args.Has("trace")) {
-    tracer.Enable();
-    obs::SetTracer(&tracer);
-  }
   // Validate the fleet size up front: an out-of-range --clients is a usage
   // error reported on stderr, never an assert deep inside the system.
   const int64_t clients_arg = static_cast<int64_t>(args.GetInt("clients", 1));
@@ -237,6 +238,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   const uint32_t n_clients = static_cast<uint32_t>(clients_arg);
+
+  // Install the single-system tracer before the system exists so
+  // construction-time events are captured and the system can bind its cycle
+  // clock. Fleet runs use per-agent lanes (TraceMux) instead.
+  obs::Tracer tracer;
+  if (args.Has("trace") && n_clients == 1) {
+    tracer.Enable();
+    obs::SetTracer(&tracer);
+  }
+
+  // Live inspection: --inspect names the final snapshot file; a nonzero
+  // --inspect-every additionally snapshots the running fleet every N guest
+  // cycles into FILE.<seq> (defaulting FILE when only the period is given).
+  const uint64_t inspect_every =
+      static_cast<uint64_t>(args.GetInt("inspect-every", 0));
+  std::string inspect_path = args.Get("inspect", "");
+  if (inspect_path.empty() && inspect_every != 0) inspect_path = "inspect.json";
+
   if (n_clients > 1) {
     if (args.Has("dcache") || args.Has("profile") || args.Has("dump-tcache")) {
       std::fprintf(stderr,
@@ -249,10 +268,6 @@ int main(int argc, char** argv) {
     mcfg.base.shared_reply = args.Has("shared-reply");
     mcfg.server.shards = static_cast<uint32_t>(args.GetInt("shards", 1));
     mcfg.host_threads = static_cast<uint32_t>(args.GetInt("threads", 0));
-    if (mcfg.host_threads > 1 && args.Has("trace")) {
-      std::fprintf(stderr, "--threads=N>1 requires --trace off\n");
-      return 2;
-    }
     for (uint32_t i = 0; i < n_clients; ++i) {
       net::FaultConfig fault = config.fault;
       fault.seed = config.fault.seed + i;  // distinct schedule per client
@@ -263,17 +278,42 @@ int main(int argc, char** argv) {
       fleet.machine(i).set_engine(engine);
       fleet.SetInput(i, input);
     }
+    obs::TraceMux mux;
+    if (args.Has("trace")) {
+      fleet.AttachTraceMux(&mux);
+      mux.EnableAll();
+    }
+    softcache::Inspector inspector(&fleet);
+    if (!inspect_path.empty()) {
+      if (inspect_every != 0) {
+        fleet.set_inspection_hook(inspect_every, [&](uint64_t) {
+          inspector.WriteFile(
+              inspect_path + "." + std::to_string(inspector.snapshots_taken()),
+              "periodic");
+        });
+      }
+      // Crash recoveries snapshot server-side state from the exclusive
+      // section (the rest of the fleet keeps running).
+      fleet.set_recovery_hook([&](uint32_t) {
+        inspector.WriteFile(
+            inspect_path + "." + std::to_string(inspector.snapshots_taken()),
+            "recovery", softcache::Inspector::Scope::kServerOnly);
+      });
+    }
     obs::MetricsRegistry registry;
-    if (args.Has("metrics")) fleet.RegisterMetrics(&registry);
+    if (args.Has("metrics")) {
+      fleet.RegisterMetrics(&registry);
+      // Lane truncation shows up in the metrics JSON, not just on stderr.
+      if (args.Has("trace")) mux.RegisterMetrics(&registry);
+    }
     const std::vector<vm::RunResult> results = fleet.RunAll(max_instr);
     if (args.Has("trace")) {
-      obs::SetTracer(nullptr);
       std::ofstream out_file(args.Get("trace"));
       if (!out_file) {
         std::fprintf(stderr, "cannot write %s\n", args.Get("trace").c_str());
         return 1;
       }
-      tracer.ExportChromeJson(out_file);
+      mux.ExportChromeJson(out_file);
     }
     if (args.Has("metrics")) {
       std::ofstream out_file(args.Get("metrics"));
@@ -294,6 +334,12 @@ int main(int argc, char** argv) {
     if (config.fault.crash_enabled() && !fleet.SyncSessions()) {
       std::fprintf(stderr, "fault: a client session failed to synchronize\n");
       ok = false;
+    }
+    if (!inspect_path.empty()) {
+      // The final snapshot always lands at the named path; a faulted run
+      // additionally freezes the at-fault state next to it.
+      if (!ok) inspector.WriteFile(inspect_path + ".fault", "fault");
+      inspector.WriteFile(inspect_path, "final");
     }
     if (ok && args.Has("verify")) {
       // Re-run every client alone against its own private MC with the same
@@ -395,7 +441,33 @@ int main(int argc, char** argv) {
     data_cache->Attach();
   }
 
-  const vm::RunResult result = system.Run(max_instr);
+  softcache::Inspector inspector(&system);
+  vm::RunResult result;
+  if (inspect_every == 0) {
+    result = system.Run(max_instr);
+  } else {
+    // Periodic inspection slices the run so snapshots land at quiescent
+    // points (no trap in flight) every time the clock crosses a threshold.
+    uint64_t next_at = inspect_every;
+    const uint64_t slice =
+        std::max<uint64_t>(std::min<uint64_t>(inspect_every / 2, 65536), 1024);
+    for (;;) {
+      const uint64_t executed = system.machine().instructions();
+      const uint64_t budget = max_instr > executed ? max_instr - executed : 0;
+      result = system.Run(std::min(slice, budget));
+      if (result.reason != vm::StopReason::kInstrLimit ||
+          system.machine().instructions() >= max_instr) {
+        break;
+      }
+      if (system.machine().cycles() >= next_at) {
+        inspector.WriteFile(
+            inspect_path + "." + std::to_string(inspector.snapshots_taken()),
+            "periodic");
+        next_at = (system.machine().cycles() / inspect_every + 1) *
+                  inspect_every;
+      }
+    }
+  }
   if (args.Has("trace")) {
     obs::SetTracer(nullptr);
     std::ofstream out_file(args.Get("trace"));
@@ -417,8 +489,13 @@ int main(int argc, char** argv) {
   std::fwrite(out.data(), 1, out.size(), stdout);
   if (result.reason == vm::StopReason::kFault) {
     std::fprintf(stderr, "fault: %s\n", result.fault_message.c_str());
+    if (!inspect_path.empty()) {
+      inspector.WriteFile(inspect_path + ".fault", "fault");
+      inspector.WriteFile(inspect_path, "final");
+    }
     return 1;
   }
+  if (!inspect_path.empty()) inspector.WriteFile(inspect_path, "final");
   if (data_cache != nullptr) {
     data_cache->FlushAll();
     if (data_cache->failed()) {
