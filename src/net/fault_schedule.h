@@ -1,0 +1,74 @@
+// FaultSchedule: the shared deterministic when-to-fire evaluator behind
+// every fault injector in the repository.
+//
+// PR 1 gave the transport seeded per-frame faults; PR 4 added crash
+// schedules (rate / after-N / every-Nth / at-cycle); the memory-fault
+// injector (softcache/integrity.h) wants the exact same four knobs over a
+// different event stream (integrity ticks instead of request arrivals).
+// This struct extracts the one evaluation order they all share so the
+// schedules stay bit-compatible:
+//
+//   1. the arrival counter increments;
+//   2. `after`  fires once, on the first arrival at/past N;
+//   3. `period` fires on every Nth arrival;
+//   4. `at_cycle` fires once, on the first arrival at/past guest cycle C
+//      (needs a cycle source; silently inert without one);
+//   5. `rate` is rolled UNCONDITIONALLY LAST, and a zero rate consumes no
+//      RNG state — so the stream of a probabilistic schedule never depends
+//      on the deterministic knobs' firings, and vice versa.
+//
+// FaultyTransport::ShouldCrash delegates here (its historical draw order is
+// exactly the above), and MemFaultInjector evaluates one schedule per fault
+// domain on an independent RNG stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sc::net {
+
+struct FaultSchedule {
+  // Knobs (all zero = never fires).
+  double rate = 0.0;       // per-arrival firing probability
+  uint64_t after = 0;      // fire once on the first arrival at/past N
+  uint64_t period = 0;     // fire on every Nth arrival
+  uint64_t at_cycle = 0;   // fire once at the first arrival at/past cycle C
+
+  // State.
+  uint64_t arrived = 0;
+  bool fired_after = false;
+  bool fired_at_cycle = false;
+
+  bool enabled() const {
+    return rate > 0 || after > 0 || period > 0 || at_cycle > 0;
+  }
+
+  // Zero-probability rolls must not consume RNG state, so the stream for a
+  // deterministic-only schedule does not depend on the rate knob.
+  static bool Roll(util::Rng& rng, double probability) {
+    if (probability <= 0.0) return false;
+    return rng.NextDouble() < probability;
+  }
+
+  // Evaluates one arrival. `cycle_source` may be null (at_cycle inert).
+  bool Due(util::Rng& rng, const uint64_t* cycle_source) {
+    ++arrived;
+    bool due = false;
+    if (after > 0 && !fired_after && arrived >= after) {
+      fired_after = true;
+      due = true;
+    }
+    if (period > 0 && arrived % period == 0) due = true;
+    if (at_cycle > 0 && !fired_at_cycle && cycle_source != nullptr &&
+        *cycle_source >= at_cycle) {
+      fired_at_cycle = true;
+      due = true;
+    }
+    // Rolled unconditionally last; see the evaluation-order contract above.
+    if (Roll(rng, rate)) due = true;
+    return due;
+  }
+};
+
+}  // namespace sc::net

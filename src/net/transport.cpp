@@ -7,7 +7,12 @@ FaultyTransport::FaultyTransport(Channel& channel, FrameHandler handler,
     : channel_(channel),
       handler_(std::move(handler)),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  crash_schedule_.rate = config.crash;
+  crash_schedule_.after = config.crash_after_requests;
+  crash_schedule_.period = config.crash_period;
+  crash_schedule_.at_cycle = config.crash_at_cycle;
+}
 
 bool FaultyTransport::Roll(double probability) {
   // Zero-probability faults must not consume RNG state, so the stream for
@@ -36,32 +41,13 @@ uint64_t FaultyTransport::Send(const std::vector<uint8_t>& frame) {
 }
 
 bool FaultyTransport::ShouldCrash() {
-  ++requests_arrived_;
-  bool crash = false;
-  if (config_.crash_after_requests > 0 && !crashed_after_requests_ &&
-      requests_arrived_ >= config_.crash_after_requests) {
-    crashed_after_requests_ = true;
-    crash = true;
-  }
-  if (config_.crash_period > 0 &&
-      requests_arrived_ % config_.crash_period == 0) {
-    crash = true;
-  }
-  if (config_.crash_at_cycle > 0 && !crashed_at_cycle_ &&
-      cycle_source_ != nullptr && *cycle_source_ >= config_.crash_at_cycle) {
-    crashed_at_cycle_ = true;
-    crash = true;
-  }
-  // Rolled unconditionally last so the RNG stream of a probabilistic crash
-  // schedule does not depend on the deterministic schedules' firings.
-  if (Roll(config_.crash)) crash = true;
-  return crash;
+  return crash_schedule_.Due(rng_, cycle_source_);
 }
 
 void FaultyTransport::DeliverToServer(const std::vector<uint8_t>& frame) {
   if (crash_handler_ && config_.crash_enabled() && ShouldCrash()) {
     ++stats_.server_crashes;
-    OBS_INSTANT("net", "crash", "arrivals", requests_arrived_);
+    OBS_INSTANT("net", "crash", "arrivals", crash_schedule_.arrived);
     crash_handler_();
     return;  // the server was down; this request died with it
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "net/fault_schedule.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -169,7 +170,8 @@ class FaultyTransport : public Transport {
 
   bool Roll(double probability);
   void FlipRandomBit(std::vector<uint8_t>* frame);
-  // Evaluates the crash schedules for one request arrival.
+  // Evaluates the crash schedules for one request arrival (delegates to the
+  // shared net::FaultSchedule evaluator; draw order is unchanged).
   bool ShouldCrash();
   // One request copy crossing the client->server leg.
   void DeliverToServer(const std::vector<uint8_t>& frame);
@@ -184,9 +186,9 @@ class FaultyTransport : public Transport {
   TransportStats stats_;
   std::function<void()> crash_handler_;
   const uint64_t* cycle_source_ = nullptr;
-  uint64_t requests_arrived_ = 0;
-  bool crashed_after_requests_ = false;
-  bool crashed_at_cycle_ = false;
+  // Crash-schedule evaluator state (knobs copied from config_ at
+  // construction; `arrived` doubles as the historical requests_arrived_).
+  FaultSchedule crash_schedule_;
 };
 
 }  // namespace sc::net

@@ -52,6 +52,18 @@ CacheController::CacheController(vm::Machine& machine, MemoryController& mc,
     content_store_ =
         std::make_unique<ChunkContentStore>(config_.shared_store_bytes);
   }
+  if (config_.integrity.enabled) {
+    // One independent fault stream per client-side domain (integrity.h).
+    inj_tcache_ = std::make_unique<MemFaultInjector>(config_.integrity.memfault,
+                                                     FaultDomain::kTcache);
+    inj_staged_ = std::make_unique<MemFaultInjector>(config_.integrity.memfault,
+                                                     FaultDomain::kStaged);
+    inj_store_ = std::make_unique<MemFaultInjector>(config_.integrity.memfault,
+                                                    FaultDomain::kStore);
+    inj_sb_ = std::make_unique<MemFaultInjector>(config_.integrity.memfault,
+                                                 FaultDomain::kSuperblock);
+    machine_.set_sb_integrity(true);
+  }
 }
 
 void CacheController::Fail(const std::string& what) {
@@ -158,8 +170,41 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
     // The body crossed the medium earlier and we (should have) snooped it.
     ++stats_.shared.digest_replies;
     ChunkContentStore::StoredChunk stored;
-    if (content_store_ != nullptr &&
-        content_store_->Lookup(DigestFromReply(*reply), &stored)) {
+    bool store_hit = false;
+    if (content_store_ != nullptr) {
+      if (config_.integrity.enabled) {
+        // Verify-on-use: a corrupted snooped body reads as a miss (and is
+        // dropped), so the full-body fallback heals it — corrupted words
+        // never reach the install path.
+        bool dropped = false;
+        store_hit = content_store_->VerifiedLookup(DigestFromReply(*reply),
+                                                   &stored, &dropped);
+        if (dropped) {
+          ++stats_.integrity.corruptions_detected;
+          ++stats_.integrity.store_drops;
+          OBS_INSTANT("cc", "store_corrupt", "orig", orig_pc);
+        }
+      } else {
+        store_hit = content_store_->Lookup(DigestFromReply(*reply), &stored);
+      }
+    }
+    if (store_hit &&
+        (orig_pc < stored.addr ||
+         orig_pc >= stored.addr + static_cast<uint32_t>(stored.words->size()))) {
+      // The digest binds the chunk's address, so a digest that resolves to a
+      // body NOT covering the demanded pc can only come from a corrupted or
+      // hostile reply. (Coverage, not equality: ARM whole-procedure chunks
+      // legitimately start at the symbol, below a mid-procedure demand.)
+      // Installing it would pollute the tcache at the wrong address and
+      // never satisfy this miss; treat it as a store miss and refetch
+      // ground truth through the full-body path instead.
+      if (config_.integrity.enabled) {
+        ++stats_.integrity.corruptions_detected;
+      }
+      OBS_INSTANT("cc", "store_addr_mismatch", "orig", orig_pc);
+      store_hit = false;
+    }
+    if (store_hit) {
       ++stats_.shared.digest_hits;
       stats_.shared.bytes_saved += stored.words->size();
       OBS_INSTANT("shared", "digest_hit", "orig", orig_pc);
@@ -181,6 +226,14 @@ util::Result<Chunk> CacheController::FetchChunk(uint32_t orig_pc) {
     // The demanded chunk leads the batch; the rest are speculative and go to
     // the staging buffer.
     const BatchChunkView& head = (*views)[0];
+    if (orig_pc < head.addr ||
+        orig_pc >= head.addr + static_cast<uint32_t>(head.nwords) * 4) {
+      // A legitimate batch always leads with the chunk covering the demanded
+      // pc (ARM procedure chunks start at the symbol, which may sit below a
+      // mid-procedure demand); anything else is a corrupted or hostile reply
+      // and must not reach install.
+      return util::Error{"batch head addr mismatch"};
+    }
     Chunk chunk =
         ChunkFromWire(head.addr, head.aux, head.extra, head.words, head.nwords);
     for (size_t i = 1; i < views->size(); ++i) {
@@ -237,6 +290,7 @@ void CacheController::UnstageAt(uint32_t orig_addr) {
   if (it == staged_.end()) return;
   staged_bytes_ -= StagedCost(it->second);
   staged_.erase(it);
+  staged_digest_.erase(orig_addr);
   for (auto fifo = staged_fifo_.begin(); fifo != staged_fifo_.end(); ++fifo) {
     if (*fifo == orig_addr) {
       staged_fifo_.erase(fifo);
@@ -265,6 +319,9 @@ void CacheController::StageChunk(Chunk&& chunk) {
   OBS_INSTANT("prefetch", "stage", "orig", chunk.orig_addr, "bytes", cost);
   staged_fifo_.push_back(chunk.orig_addr);
   staged_bytes_ += cost;
+  if (config_.integrity.enabled) {
+    staged_digest_[chunk.orig_addr] = StagedDigest(chunk);
+  }
   staged_.emplace(chunk.orig_addr, std::move(chunk));
   ++stats_.prefetch.staged;
 }
@@ -284,6 +341,19 @@ bool CacheController::TakeStaged(uint32_t orig_pc, Chunk* out) {
     }
   }
   if (it == staged_.end()) return false;
+  if (config_.integrity.enabled) {
+    // Verify-on-use: corrupted staged words must never reach the install
+    // path. A mismatch discards the chunk and the miss goes over the wire.
+    const auto dig = staged_digest_.find(it->first);
+    if (dig == staged_digest_.end() ||
+        dig->second != StagedDigest(it->second)) {
+      ++stats_.integrity.corruptions_detected;
+      ++stats_.integrity.staged_drops;
+      OBS_INSTANT("cc", "staged_corrupt", "orig", it->first);
+      UnstageAt(it->first);
+      return false;
+    }
+  }
   *out = std::move(it->second);
   out->entry_word = (orig_pc - out->orig_addr) / 4;
   const uint32_t key = it->first;
@@ -358,6 +428,23 @@ CacheController::Block* CacheController::Translate(uint32_t orig_pc) {
     Charge(static_cast<uint64_t>(config_.cost.install_cycles_per_word) *
            (block->tc_bytes / 4));
     occupancy_.Add(machine_.cycles(), live_bytes_);
+    if (config_.integrity.enabled) {
+      // Stamp after the last install-time write so the digest covers the
+      // final bytes; later patches restamp through RefreshDigestAt.
+      block->digest = BlockDigest(*block);
+      if (pending_heal_.erase(block->orig_addr) != 0) {
+        ++stats_.integrity.heals;
+        OBS_INSTANT("cc", "heal", "orig", block->orig_addr);
+      }
+      if (poisoned_origs_.count(block->orig_addr) != 0) {
+        // Degradation ladder, rung 1: this chunk keeps getting corrupted;
+        // run it per-instruction under the threaded engine from now on.
+        machine_.PoisonCodeRange(block->tc_addr, block->tc_bytes);
+        block->poisoned = true;
+        ++stats_.integrity.poisoned_blocks;
+        OBS_INSTANT("cc", "poison", "orig", block->orig_addr);
+      }
+    }
   }
   return block;
 }
@@ -648,8 +735,16 @@ CacheController::Block* CacheController::FindResident(uint32_t orig_pc,
 CacheController::Resolution CacheController::ResolveEntry(uint32_t orig_pc) {
   Resolution res;
   if (Block* resident = FindResident(orig_pc, &res.tc_addr)) {
-    res.block = resident;
-    return res;
+    // Verify-on-use: the block's bytes must still match their install
+    // stamp before control is allowed to enter them.
+    if (!config_.integrity.enabled || VerifyResident(resident)) {
+      res.block = resident;
+      return res;
+    }
+    // The corrupted copy was quarantined; unless the heal budget died with
+    // it, fall through to the miss path and refetch a pristine copy.
+    res.tc_addr = 0;
+    if (integrity_fatal_) return res;  // fault raised
   }
   // Miss: fetch and translate.
   Block* block = Translate(orig_pc);
@@ -784,6 +879,9 @@ void CacheController::EvictBlock(uint64_t block_id) {
   if (config_.style == Style::kSparc) {
     FixStaleReturnAddresses(block);
   }
+  if (block.poisoned) {
+    machine_.UnpoisonCodeRange(block.tc_addr, block.tc_bytes);
+  }
   live_bytes_ -= block.tc_bytes;
   stats_.extra_words_live -= block.slot_words;
   ++stats_.evictions;
@@ -857,6 +955,7 @@ void CacheController::FreeStub(uint32_t stub_id) {
 
 void CacheController::WriteStubWord(uint32_t addr, uint32_t stub_id) {
   machine_.WriteWord(addr, isa::EncTcMiss(stub_id));
+  RefreshDigestAt(addr);
 }
 
 void CacheController::LinkEdge(const StubInfo& stub, Block& target,
@@ -881,6 +980,7 @@ void CacheController::LinkEdge(const StubInfo& stub, Block& target,
       break;
   }
   ++stats_.patches_applied;
+  RefreshDigestAt(stub.patch_addr);
   OBS_INSTANT("cc", "patch", "addr", stub.patch_addr, "target", target_tc);
   target.in_edges.push_back(InEdge{stub.from_block, stub.patch_addr, stub.kind,
                                    stub.miss_slot, stub.target_orig});
@@ -900,6 +1000,7 @@ void CacheController::UnlinkEdge(const InEdge& edge) {
     Instr in = isa::Decode(machine_.ReadWord(edge.patch_addr));
     in.imm = isa::OffsetFor(edge.patch_addr, edge.miss_slot);
     machine_.WriteWord(edge.patch_addr, isa::Encode(in));
+    RefreshDigestAt(edge.patch_addr);
   }
   if (edge.from_block != 0) {
     Block* source = BlockById(edge.from_block);
@@ -1339,6 +1440,192 @@ void CacheController::CheckInvariants() const {
   SC_CHECK_EQ(staged_fifo_.size(), staged_.size());
   SC_CHECK_EQ(staged_total, staged_bytes_);
   SC_CHECK_LE(staged_bytes_, config_.prefetch.staging_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity fault domain: digests, scrubbing, quarantine, and healing.
+
+uint64_t CacheController::BlockDigest(const Block& block) const {
+  // Covers the installed tcache bytes exactly as the machine will execute
+  // them, so any link/unlink patch must restamp (RefreshDigestAt).
+  return ChunkDigest(block.orig_addr, block.tc_addr, block.tc_bytes,
+                     machine_.mem_data() + block.tc_addr, block.tc_bytes);
+}
+
+uint64_t CacheController::StagedDigest(const Chunk& chunk) const {
+  return ChunkDigest(chunk.orig_addr, 0, chunk.taken_target,
+                     reinterpret_cast<const uint8_t*>(chunk.words.data()),
+                     chunk.words.size() * 4);
+}
+
+void CacheController::RefreshDigestAt(uint32_t addr) {
+  if (!config_.integrity.enabled) return;
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return;
+  --it;
+  Block& block = it->second;
+  if (addr < block.tc_addr || addr >= block.tc_addr + block.tc_bytes) return;
+  block.digest = BlockDigest(block);
+}
+
+uint32_t CacheController::AnyResidentTcacheByteForTest() const {
+  const uint32_t pc = machine_.pc();
+  for (const auto& [tc, block] : blocks_) {
+    if (pc >= block.tc_addr && pc < block.tc_addr + block.tc_bytes) continue;
+    return block.tc_addr + block.tc_bytes / 2;
+  }
+  return 0;
+}
+
+bool CacheController::VerifyResident(Block* block) {
+  if (BlockDigest(*block) == block->digest) return true;
+  ++stats_.integrity.corruptions_detected;
+  OBS_INSTANT("cc", "corrupt", "orig", block->orig_addr);
+  Quarantine(block);
+  return false;
+}
+
+bool CacheController::Quarantine(Block* block) {
+  const uint32_t orig = block->orig_addr;
+  ++stats_.integrity.quarantines;
+  const uint32_t heals_of_this = ++heal_counts_[orig];
+  OBS_INSTANT("cc", "quarantine", "orig", orig);
+  EvictBlock(block->id);  // unlinks edges, fixes stale returns, invalidates
+  if (quarantine_hook_) quarantine_hook_(orig);
+  if (config_.integrity.max_heal_attempts != 0 &&
+      stats_.integrity.quarantines > config_.integrity.max_heal_attempts) {
+    ++stats_.integrity.heal_failures;
+    integrity_fatal_ = true;
+    Fail("integrity: heal budget exhausted (" +
+         std::to_string(stats_.integrity.quarantines) + " quarantines)");
+    return false;
+  }
+  pending_heal_.insert(orig);
+  if (config_.integrity.poison_after != 0 &&
+      heals_of_this >= config_.integrity.poison_after) {
+    poisoned_origs_.insert(orig);
+  }
+  return true;
+}
+
+void CacheController::ScrubCachedState() {
+  ++stats_.integrity.scrubs;
+  OBS_SPAN("cc", "scrub");
+  // Client SRAM domains charge guest cycles for the scan (the embedded CPU
+  // walks its own tcache and staging buffer); the cross-client content store
+  // and the host-side decoded superblocks do not.
+  uint64_t charged_words = 0;
+  // Collect first, quarantine after: Quarantine's unlink patches restamp
+  // OTHER blocks' digests (RefreshDigestAt), and must never restamp a block
+  // we have already decided is corrupt.
+  std::vector<uint64_t> corrupt_ids;
+  for (auto& [tc, block] : blocks_) {
+    charged_words += block.tc_bytes / 4;
+    if (BlockDigest(block) != block.digest) corrupt_ids.push_back(block.id);
+  }
+  for (uint64_t id : corrupt_ids) {
+    Block* block = BlockById(id);
+    if (block == nullptr) continue;  // evicted by an earlier quarantine
+    ++stats_.integrity.corruptions_detected;
+    OBS_INSTANT("cc", "corrupt", "orig", block->orig_addr);
+    if (!Quarantine(block)) return;  // heal budget exhausted: machine faulted
+  }
+  std::vector<uint32_t> corrupt_staged;
+  for (const auto& [orig, chunk] : staged_) {
+    charged_words += chunk.words.size();
+    auto it = staged_digest_.find(orig);
+    if (it == staged_digest_.end() || StagedDigest(chunk) != it->second) {
+      corrupt_staged.push_back(orig);
+    }
+  }
+  for (uint32_t orig : corrupt_staged) {
+    ++stats_.integrity.corruptions_detected;
+    ++stats_.integrity.staged_drops;
+    OBS_INSTANT("cc", "staged_corrupt", "orig", orig);
+    UnstageAt(orig);
+  }
+  stats_.integrity.scrubbed_words += charged_words;
+  Charge(charged_words / 16);  // wide compare: 16 words per guest cycle
+  if (content_store_ != nullptr) {
+    uint64_t store_words = 0;
+    const uint32_t dropped = content_store_->ScrubIntegrity(&store_words);
+    stats_.integrity.scrubbed_words += store_words;
+    stats_.integrity.corruptions_detected += dropped;
+    stats_.integrity.store_drops += dropped;
+  }
+  uint64_t sb_words = 0;
+  const uint32_t killed = machine_.ScrubSuperblocks(&sb_words);
+  stats_.integrity.scrubbed_words += sb_words;
+  stats_.integrity.corruptions_detected += killed;
+  stats_.integrity.sb_drops += killed;
+}
+
+bool CacheController::IntegrityTick() {
+  if (!config_.integrity.enabled || integrity_fatal_) return false;
+  ++stats_.integrity.ticks;
+  const bool scrub_tick = config_.integrity.scrub_every != 0 &&
+                          stats_.integrity.ticks %
+                                  config_.integrity.scrub_every ==
+                              0;
+  if (config_.integrity.memfault.enabled()) {
+    const uint64_t* cyc = machine_.cycles_counter();
+    // Every domain's Due() is drawn unconditionally each tick so each RNG
+    // stream advances as a pure function of tick count, independent of what
+    // the other domains (or cache occupancy) happen to do.
+    if (inj_staged_->Due(cyc) && !staged_.empty()) {
+      util::Rng& rng = inj_staged_->rng();
+      auto victim = staged_.begin();
+      std::advance(victim, static_cast<long>(rng.Below(staged_.size())));
+      if (!victim->second.words.empty()) {
+        const uint64_t bit = rng.Below(victim->second.words.size() * 32);
+        victim->second.words[bit / 32] ^= 1u << (bit % 32);
+        ++stats_.integrity.flips_injected;
+        OBS_INSTANT("cc", "mem_flip", "domain", 1, "orig", victim->first);
+      }
+    }
+    if (content_store_ != nullptr && inj_store_->Due(cyc)) {
+      if (content_store_->CorruptBit(inj_store_->rng())) {
+        ++stats_.integrity.flips_injected;
+        OBS_INSTANT("cc", "mem_flip", "domain", 2);
+      }
+    }
+    // Executable domains are injected only on scrub ticks: the flip lands
+    // and the scrub below detects it within the same tick, so no corrupted
+    // instruction is ever reachable by the engine between ticks.
+    if (scrub_tick) {
+      if (inj_tcache_->Due(cyc) && !blocks_.empty()) {
+        util::Rng& rng = inj_tcache_->rng();
+        auto victim = blocks_.begin();
+        std::advance(victim, static_cast<long>(rng.Below(blocks_.size())));
+        const Block& block = victim->second;
+        const uint64_t bit = rng.Below(static_cast<uint64_t>(block.tc_bytes) * 8);
+        // Model restriction: spare the block the program counter currently
+        // sits in. Quarantining it at a scrub boundary would strand the pc
+        // in freed tcache memory, and detecting execution *out of* the
+        // corrupted word is beyond a software-only scrub (a real SoC leans
+        // on ECC traps there). The victim/bit draws are consumed either
+        // way, so the schedule stays a pure function of the tick count.
+        const uint32_t pc = machine_.pc();
+        if (pc < block.tc_addr || pc >= block.tc_addr + block.tc_bytes) {
+          // Poke raw memory, not WriteWord: a real SRAM fault does not pass
+          // through the write-invalidate path. The interpreter's decode
+          // cache self-validates by word compare; superblocks are killed by
+          // the same-tick scrub.
+          machine_.mem_data()[block.tc_addr + bit / 8] ^=
+              static_cast<uint8_t>(1u << (bit % 8));
+          ++stats_.integrity.flips_injected;
+          OBS_INSTANT("cc", "mem_flip", "domain", 0, "orig", block.orig_addr);
+        }
+      }
+      if (inj_sb_->Due(cyc) && machine_.CorruptSuperblockBit(inj_sb_->rng())) {
+        ++stats_.integrity.flips_injected;
+        OBS_INSTANT("cc", "mem_flip", "domain", 3);
+      }
+    }
+  }
+  if (!scrub_tick) return false;
+  ScrubCachedState();
+  return true;
 }
 
 }  // namespace sc::softcache

@@ -34,8 +34,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,30 @@ class CacheController : public vm::TrapHandler {
   // crash nobody RPC'd after (no-op when the journal is empty). Returns
   // false with a fault raised on unrecoverable failure.
   bool SyncSession();
+
+  // --- Integrity fault domain (config.integrity; see integrity.h) ---
+  // One integrity tick: evaluates the per-domain fault injectors and, every
+  // scrub_every-th tick, runs the background scrub over every client-side
+  // cached artifact (tcache blocks, staged chunks, content-store bodies,
+  // decoded superblocks). The schedulers call this once per client quantum
+  // (quantum_instructions retired), so the tick stream is a pure function
+  // of this client's instruction count — identical across engines and
+  // schedulers. Returns true when this tick ran a scrub pass (the system
+  // layer scrubs the server memo on the same cadence where safe). No-op
+  // returning false when integrity is off.
+  bool IntegrityTick();
+  bool integrity_enabled() const { return config_.integrity.enabled; }
+  // Fires after a corrupted tcache block is quarantined (evicted), with the
+  // chunk's original address — srun hooks a post-quarantine Inspector
+  // snapshot here. Called before the heal refetch, so the snapshot shows
+  // the degraded cache.
+  void set_quarantine_hook(std::function<void(uint32_t orig_addr)> hook) {
+    quarantine_hook_ = std::move(hook);
+  }
+  // Test hook: the address of a byte inside some resident tcache block that
+  // does NOT contain the machine's current pc (0 when nothing qualifies).
+  // Lets integrity tests plant a corruption without knowing the layout.
+  uint32_t AnyResidentTcacheByteForTest() const;
 
   // --- Derived observability series (exported via SoftCacheSystem::
   // RegisterMetrics; all observation-only — never charges guest cycles) ---
@@ -183,6 +209,12 @@ class CacheController : public vm::TrapHandler {
     uint32_t slot_words = 0;
     ExitKind exit = ExitKind::kNone;
     bool pinned = false;  // exempt from eviction (Pin/Unpin)
+    // Integrity stamp over the installed tcache words (0 with integrity
+    // off); refreshed after every legitimate patch write. `poisoned` marks
+    // a block installed under the degradation ladder (its tcache range is
+    // poisoned on the machine; eviction unpoisons).
+    uint64_t digest = 0;
+    bool poisoned = false;
     uint32_t taken_orig = 0;
     uint32_t fall_orig = 0;
     uint32_t slot_a = 0;  // 0 = absent
@@ -289,6 +321,43 @@ class CacheController : public vm::TrapHandler {
 
   Block* BlockById(uint64_t id);
   void Fail(const std::string& what);
+
+  // --- Integrity internals ---
+  // FNV-1a over the block's current tcache bytes (ChunkDigest keyed by the
+  // original address, so two blocks with equal bytes still differ).
+  uint64_t BlockDigest(const Block& block) const;
+  // A legitimate patch wrote `addr`: restamp the containing block, if any.
+  void RefreshDigestAt(uint32_t addr);
+  // Verify-on-use: true when the block's bytes match its stamp. On
+  // mismatch the block is quarantined (possibly raising the heal-budget
+  // fault) and false is returned — the caller refetches via the miss path.
+  bool VerifyResident(Block* block);
+  // Evicts a corrupted block, records the heal debt, and advances the
+  // degradation ladder. Returns false when the heal budget is exhausted
+  // (a fault has been raised).
+  bool Quarantine(Block* block);
+  // The background scrub pass: walk every domain, quarantine/drop
+  // mismatches, charge the walk.
+  void ScrubCachedState();
+  uint64_t StagedDigest(const Chunk& chunk) const;
+
+  // Per-domain injectors (null with integrity off).
+  std::unique_ptr<MemFaultInjector> inj_tcache_;
+  std::unique_ptr<MemFaultInjector> inj_staged_;
+  std::unique_ptr<MemFaultInjector> inj_store_;
+  std::unique_ptr<MemFaultInjector> inj_sb_;
+  // Chunks quarantined and awaiting their heal reinstall (keyed by original
+  // address), the per-chunk quarantine counts driving the poison ladder,
+  // and the chunks demoted to per-instruction dispatch.
+  std::set<uint32_t> pending_heal_;
+  std::map<uint32_t, uint32_t> heal_counts_;
+  std::set<uint32_t> poisoned_origs_;
+  // Digest per staged prefetch chunk, keyed like staged_.
+  std::map<uint32_t, uint64_t> staged_digest_;
+  std::function<void(uint32_t)> quarantine_hook_;
+  // Latched when the heal budget is exhausted: the run is degrading to a
+  // clean Fail, so no further verification/healing work happens.
+  bool integrity_fatal_ = false;
 
   vm::Machine& machine_;
   MemoryController& mc_;

@@ -15,6 +15,7 @@
 
 #include "net/channel.h"
 #include "net/transport.h"
+#include "softcache/integrity.h"
 #include "softcache/reliable.h"
 
 namespace sc::softcache {
@@ -115,6 +116,12 @@ struct SoftCacheConfig {
   // Byte bound of the snoop content store (FIFO displacement; a lost body
   // only costs one full-body fallback fetch).
   uint32_t shared_store_bytes = 256 * 1024;
+
+  // Integrity fault domain: digest stamping + verify-on-use + periodic
+  // scrub over every client-side cached artifact, plus an optional seeded
+  // bit-flip storm. Off by default: the hot paths skip all digest work and
+  // the schedulers never slice for integrity ticks.
+  IntegrityConfig integrity;
 
   CostModel cost;
   net::ChannelConfig channel;

@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "softcache/protocol.h"
+
 namespace sc::softcache {
+
+namespace {
+
+// Recomputes the content digest a stored entry is keyed by.
+uint64_t EntryDigest(const ChunkContentStore::StoredChunk& entry) {
+  static const std::vector<uint8_t> kEmpty;
+  const std::vector<uint8_t>& body =
+      entry.words == nullptr ? kEmpty : *entry.words;
+  return ChunkDigest(entry.addr, entry.aux, entry.extra, body.data(),
+                     body.size());
+}
+
+}  // namespace
 
 void ChunkContentStore::Snoop(
     uint64_t digest, uint32_t addr, uint32_t aux, uint32_t extra,
@@ -40,6 +55,59 @@ bool ChunkContentStore::Lookup(uint64_t digest, StoredChunk* out) const {
   if (it == entries_.end()) return false;
   *out = it->second;
   return true;
+}
+
+bool ChunkContentStore::VerifiedLookup(uint64_t digest, StoredChunk* out,
+                                       bool* dropped_corrupt) {
+  if (dropped_corrupt != nullptr) *dropped_corrupt = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  if (EntryDigest(it->second) != digest) {
+    // Corrupted body: erase so the fallback fetch re-snoops a clean copy.
+    // The stale fifo id is tolerated by Snoop's displacement loop.
+    bytes_ -= it->second.words == nullptr ? 0 : it->second.words->size();
+    entries_.erase(it);
+    if (dropped_corrupt != nullptr) *dropped_corrupt = true;
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+bool ChunkContentStore::CorruptBit(util::Rng& rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return false;
+  auto it = entries_.begin();
+  std::advance(it, static_cast<long>(rng.Below(entries_.size())));
+  StoredChunk& entry = it->second;
+  if (entry.words == nullptr || entry.words->empty()) return false;
+  // Private corrupted copy: the body buffer is shared with every other
+  // client's store, and a fault in this client's SRAM must not corrupt
+  // theirs (it would also race their lookups).
+  auto corrupted = std::make_shared<std::vector<uint8_t>>(*entry.words);
+  const uint64_t bit = rng.Below(corrupted->size() * 8);
+  (*corrupted)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  entry.words = std::move(corrupted);
+  return true;
+}
+
+uint32_t ChunkContentStore::ScrubIntegrity(uint64_t* words_scanned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const uint64_t body_bytes =
+        it->second.words == nullptr ? 0 : it->second.words->size();
+    if (words_scanned != nullptr) *words_scanned += body_bytes / 4;
+    if (EntryDigest(it->second) == it->first) {
+      ++it;
+      continue;
+    }
+    bytes_ -= body_bytes;
+    it = entries_.erase(it);
+    ++dropped;
+  }
+  return dropped;
 }
 
 size_t ChunkContentStore::entries() const {

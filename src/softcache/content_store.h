@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "softcache/stats.h"
+#include "util/rng.h"
 
 namespace sc::softcache {
 
@@ -56,6 +57,23 @@ class ChunkContentStore {
 
   // Fetches the stored body for `digest` if it is still resident.
   bool Lookup(uint64_t digest, StoredChunk* out) const;
+
+  // Integrity variant: recomputes the stored body's content digest and
+  // treats a mismatch as a miss, erasing the corrupted entry (the fallback
+  // full-body fetch then heals it the same way a displaced body would).
+  // `dropped_corrupt` (may be null) reports whether an entry was dropped.
+  bool VerifiedLookup(uint64_t digest, StoredChunk* out, bool* dropped_corrupt);
+
+  // Fault injection: flips one bit in a uniformly chosen stored body.
+  // The entry's buffer is replaced with a corrupted private copy — bodies
+  // are shared across every client's store, and only THIS store's copy is
+  // hit by this store's fault stream. False when the store is empty.
+  bool CorruptBit(util::Rng& rng);
+
+  // Background scrub: verifies every entry against its digest key, erasing
+  // mismatches. Returns entries dropped; `words_scanned` (may be null)
+  // accumulates body words walked.
+  uint32_t ScrubIntegrity(uint64_t* words_scanned);
 
   size_t entries() const;
   uint64_t bytes() const;

@@ -1,0 +1,54 @@
+#include "softcache/integrity.h"
+
+namespace sc::softcache {
+
+namespace {
+
+// Fixed per-domain salts (arbitrary odd 64-bit constants): xor-ing the user
+// seed keeps every domain's stream independent while the whole storm stays
+// a pure function of MemFaultConfig::seed.
+uint64_t DomainSalt(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kTcache:
+      return 0x7463616368650001ull;  // "tcache"
+    case FaultDomain::kStaged:
+      return 0x7374616765640003ull;  // "staged"
+    case FaultDomain::kStore:
+      return 0x73746f7265000005ull;  // "store"
+    case FaultDomain::kSuperblock:
+      return 0x7375706572620007ull;  // "superb"
+    case FaultDomain::kMemo:
+      return 0x6d656d6f00000009ull;  // "memo"
+  }
+  return 0x6465666175780b0bull;
+}
+
+}  // namespace
+
+MemFaultInjector::MemFaultInjector(const MemFaultConfig& config,
+                                   FaultDomain domain)
+    : rng_(config.seed ^ DomainSalt(domain)) {
+  schedule_.rate = config.rate;
+  schedule_.after = config.after;
+  schedule_.period = config.period;
+  schedule_.at_cycle = config.at_cycle;
+}
+
+void IntegrityStats::RegisterMetrics(obs::MetricsRegistry* registry,
+                                     const std::string& prefix) const {
+  registry->RegisterCounter(prefix + "ticks", &ticks);
+  registry->RegisterCounter(prefix + "flips_injected", &flips_injected);
+  registry->RegisterCounter(prefix + "scrubs", &scrubs);
+  registry->RegisterCounter(prefix + "scrubbed_words", &scrubbed_words);
+  registry->RegisterCounter(prefix + "corruptions_detected",
+                            &corruptions_detected);
+  registry->RegisterCounter(prefix + "quarantines", &quarantines);
+  registry->RegisterCounter(prefix + "heals", &heals);
+  registry->RegisterCounter(prefix + "staged_drops", &staged_drops);
+  registry->RegisterCounter(prefix + "store_drops", &store_drops);
+  registry->RegisterCounter(prefix + "sb_drops", &sb_drops);
+  registry->RegisterCounter(prefix + "poisoned_blocks", &poisoned_blocks);
+  registry->RegisterCounter(prefix + "heal_failures", &heal_failures);
+}
+
+}  // namespace sc::softcache

@@ -81,6 +81,13 @@ uint32_t McServer::ShardFor(uint32_t addr) const {
 util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   const uint32_t shard_index = ShardFor(addr);
   const ShardServiceTimer timer(&service_ns_[shard_index]);
+  // Server memo fault stream: one injection opportunity per translate
+  // arrival (the memo has no scheduler quanta to tick on). Healing is
+  // guest-invisible, so arrival-order differences across schedulers only
+  // move server-side counters, never client output.
+  if (memo_inj_ != nullptr && memo_inj_->Due(nullptr)) {
+    if (CorruptMemoBit()) ++stats_.memo_flips_injected;
+  }
   // Fleet-wide demand heat: every demand from every session bumps it (hit
   // or miss), and the memo bound evicts its coldest entry by this signal.
   uint32_t* heat = heat_.Find(addr);
@@ -92,9 +99,25 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   MemoShard& shard = memo_shards_[shard_index];
   auto it = shard.memo.find(addr);
   if (it != shard.memo.end()) {
-    ++stats_.translate_memo_hits;
-    ++shard.memo_hits;
-    return it->second;
+    // Verify-on-hit: the memoized artifact is never trusted. A mismatch is
+    // healed by re-cutting from the pristine image — the one store
+    // corruption cannot reach — so the requester always receives clean
+    // bytes, fault storm or not.
+    if (DigestOfChunk(it->second.chunk) == it->second.digest) {
+      ++stats_.translate_memo_hits;
+      ++shard.memo_hits;
+      return it->second.chunk;
+    }
+    ++stats_.memo_corruptions_detected;
+    OBS_INSTANT("mc", "memo_corrupt", "addr", addr);
+    auto healed = Cut(image_, addr);
+    SC_CHECK(healed.ok()) << "pristine re-cut failed for memoized addr";
+    ++stats_.memo_heals;
+    ++stats_.translates;
+    ++shard.translates;
+    it->second.chunk = *healed;
+    it->second.digest = DigestOfChunk(*healed);
+    return healed;
   }
   auto chunk = Cut(image_, addr);
   if (!chunk.ok()) return chunk;  // failures are cheap; not worth memoizing
@@ -102,19 +125,19 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   ++shard.translates;
   const size_t per_shard = std::max<size_t>(1, config_.memo_capacity / shards_);
   if (shard.memo.size() >= per_shard) EvictColdest(&shard);
-  shard.memo.emplace(addr, *chunk);
+  shard.memo.emplace(addr, MemoEntry{*chunk, DigestOfChunk(*chunk)});
   return chunk;
 }
 
 std::vector<McServer::MemoEntryView> McServer::SnapshotMemo() const {
   std::vector<MemoEntryView> views;
   for (uint32_t s = 0; s < shards_; ++s) {
-    for (const auto& [addr, chunk] : memo_shards_[s].memo) {
+    for (const auto& [addr, entry] : memo_shards_[s].memo) {
       MemoEntryView view;
       view.shard = s;
       view.addr = addr;
-      view.span_bytes = chunk.orig_span_bytes();
-      view.words = static_cast<uint32_t>(chunk.words.size());
+      view.span_bytes = entry.chunk.orig_span_bytes();
+      view.words = static_cast<uint32_t>(entry.chunk.words.size());
       const uint32_t* heat = heat_.Find(addr);
       view.heat = heat == nullptr ? 0 : *heat;
       views.push_back(view);
@@ -154,7 +177,7 @@ void McServer::InvalidateMemoRange(uint32_t addr, uint32_t len) {
   // hashed into, so every shard is scanned.
   for (MemoShard& shard : memo_shards_) {
     for (auto it = shard.memo.begin(); it != shard.memo.end();) {
-      const Chunk& chunk = it->second;
+      const Chunk& chunk = it->second.chunk;
       const uint64_t chunk_lo = chunk.orig_addr;
       const uint64_t chunk_hi =
           static_cast<uint64_t>(chunk.orig_addr) + chunk.orig_span_bytes();
@@ -164,6 +187,45 @@ void McServer::InvalidateMemoRange(uint32_t addr, uint32_t len) {
       } else {
         ++it;
       }
+    }
+  }
+}
+
+bool McServer::CorruptMemoBit() {
+  size_t total = 0;
+  for (const MemoShard& shard : memo_shards_) total += shard.memo.size();
+  if (total == 0) return false;
+  util::Rng& rng = memo_inj_->rng();
+  size_t k = rng.Below(total);
+  for (MemoShard& shard : memo_shards_) {
+    if (k >= shard.memo.size()) {
+      k -= shard.memo.size();
+      continue;
+    }
+    auto it = shard.memo.begin();
+    std::advance(it, static_cast<long>(k));
+    Chunk& chunk = it->second.chunk;
+    if (chunk.words.empty()) return false;
+    const uint64_t bit = rng.Below(chunk.words.size() * 32);
+    chunk.words[bit / 32] ^= 1u << (bit % 32);
+    OBS_INSTANT("mc", "memo_flip", "addr", it->first);
+    return true;
+  }
+  return false;
+}
+
+void McServer::ScrubMemo() {
+  ++stats_.memo_scrubs;
+  for (MemoShard& shard : memo_shards_) {
+    for (auto& [addr, entry] : shard.memo) {
+      if (DigestOfChunk(entry.chunk) == entry.digest) continue;
+      ++stats_.memo_corruptions_detected;
+      OBS_INSTANT("mc", "memo_corrupt", "addr", addr);
+      auto healed = Cut(image_, addr);
+      SC_CHECK(healed.ok()) << "pristine re-cut failed for memoized addr";
+      ++stats_.memo_heals;
+      entry.chunk = *healed;
+      entry.digest = DigestOfChunk(*healed);
     }
   }
 }
@@ -715,6 +777,12 @@ void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->RegisterCounter(prefix + "digest_replies", &s.digest_replies);
   registry->RegisterCounter(prefix + "digest_bytes_saved",
                             &s.digest_bytes_saved);
+  registry->RegisterCounter(prefix + "memo.flips_injected",
+                            &s.memo_flips_injected);
+  registry->RegisterCounter(prefix + "memo.corruptions_detected",
+                            &s.memo_corruptions_detected);
+  registry->RegisterCounter(prefix + "memo.heals", &s.memo_heals);
+  registry->RegisterCounter(prefix + "memo.scrubs", &s.memo_scrubs);
   registry->RegisterGauge(prefix + "sessions_active",
                           [this] { return static_cast<double>(sessions_.size()); });
   registry->RegisterGauge(prefix + "translate_memo_entries", [this] {

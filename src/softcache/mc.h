@@ -37,6 +37,7 @@
 #include "image/layout.h"
 #include "softcache/chunker.h"
 #include "softcache/config.h"
+#include "softcache/integrity.h"
 #include "softcache/protocol.h"
 #include "util/open_table.h"
 #include "util/stats.h"
@@ -105,6 +106,11 @@ struct McServerStats {
   uint64_t digest_replies = 0;       // coalesced (payload-less) chunk replies
   uint64_t digest_bytes_saved = 0;   // body bytes the digest path kept off
                                      // the wire
+  // Server-side integrity fault domain (the memoized translation cache).
+  uint64_t memo_flips_injected = 0;      // bits flipped into memo entries
+  uint64_t memo_corruptions_detected = 0;  // digest mismatches found
+  uint64_t memo_heals = 0;           // entries re-cut from the pristine image
+  uint64_t memo_scrubs = 0;          // background memo scrub passes
 };
 
 // Shared-core tuning. The defaults reproduce the single-server behavior
@@ -125,6 +131,16 @@ struct McServerConfig {
   // Published-digest window: how many broadcast chunk digests the server
   // remembers. Forgetting one only costs a redundant body transmission.
   size_t published_capacity = 8192;
+  // Server-side memory-fault injection into memoized translations, ticked
+  // once per CutShared arrival. The memo is NOT trusted either way: every
+  // entry is digest-stamped on insert and verified on every hit, with a
+  // mismatch healed by re-translating from the pristine image (invisible
+  // to the requesting client beyond server-side counters).
+  MemFaultConfig memfault;
+  // Event-loop backpressure bound: the deepest the McServerLoop ticket
+  // queue may grow before submitters defer (0 = unbounded, the historical
+  // behavior). See server_loop.h.
+  size_t max_queue = 0;
 };
 
 // The shared server core: immutable per-program state plus the memoized
@@ -150,6 +166,10 @@ class McServer {
     // Service-time spread: one bucket per ~8 us up to 1 ms; memo hits land
     // in the first bucket, cold cuts spread out, outliers clamp.
     service_ns_.assign(shards_, util::Histogram(0, 1e6, 128));
+    if (config_.memfault.enabled()) {
+      memo_inj_ = std::make_unique<MemFaultInjector>(config_.memfault,
+                                                     FaultDomain::kMemo);
+    }
   }
 
   const image::Image& image() const { return image_; }
@@ -172,6 +192,14 @@ class McServer {
   // session's first kTextWrite made its text diverge from the shared copy).
   util::Result<Chunk> CutPrivate(const image::Image& text_image,
                                  uint32_t addr);
+
+  // Background memo scrub: verifies every memoized entry against its
+  // install-time digest, healing mismatches by re-cutting from the pristine
+  // image (the server's stable store — corruption can never propagate past
+  // it). Guest-invisible; counters only. Called from single-threaded
+  // schedulers at client scrub boundaries; host-thread-parallel runs rely
+  // on the verify-on-hit path alone.
+  void ScrubMemo();
 
   // Drops every memoized chunk overlapping [addr, addr+len). Called on any
   // session's kTextWrite: the writing session stops reading shared text
@@ -230,9 +258,17 @@ class McServer {
   const McServerStats& stats() const { return stats_; }
 
  private:
+  // One memoized translation plus the content digest stamped at insert.
+  // The digest reuses DigestOfChunk, so "memo entry verifies" and "reply
+  // frame verifies client-side" are the same 64-bit statement.
+  struct MemoEntry {
+    Chunk chunk;
+    uint64_t digest = 0;
+  };
+
   // One slice of the memoized translation cache plus its work counters.
   struct MemoShard {
-    std::map<uint32_t, Chunk> memo;  // requested addr -> translated chunk
+    std::map<uint32_t, MemoEntry> memo;  // requested addr -> translation
     uint64_t translates = 0;
     uint64_t memo_hits = 0;
   };
@@ -241,6 +277,9 @@ class McServer {
   // Displaces the lowest-heat entry of `shard` (called when a shard's slice
   // of the memo budget is full).
   void EvictColdest(MemoShard* shard);
+  // Fault injection: flips one bit in a uniformly chosen memoized chunk's
+  // words. False when the memo is empty.
+  bool CorruptMemoBit();
 
   image::Image image_;  // pristine; NEVER mutated (writes go to sessions)
   Style style_;
@@ -253,6 +292,8 @@ class McServer {
   // Fleet-wide demand temperature per chunk start (every CutShared demand,
   // across all sessions); the memo bound's eviction-ranking signal.
   util::OpenTable<uint32_t, uint32_t> heat_{256};
+  // Server memo fault stream (null = no injection configured).
+  std::unique_ptr<MemFaultInjector> memo_inj_;
   // Published-digest window (bounded FIFO).
   std::map<uint64_t, uint8_t> published_;
   std::deque<uint64_t> published_fifo_;

@@ -12,7 +12,10 @@ namespace sc::softcache {
 
 ReliableLink::ReliableLink(std::unique_ptr<net::Transport> transport,
                            const RetryConfig& retry, LinkStats* stats)
-    : transport_(std::move(transport)), retry_(retry), stats_(stats) {
+    : transport_(std::move(transport)),
+      retry_(retry),
+      stats_(stats),
+      jitter_rng_(retry.jitter_seed) {
   SC_CHECK(transport_ != nullptr);
   SC_CHECK(stats_ != nullptr);
   SC_CHECK_GT(retry_.max_attempts, 0u);
@@ -33,16 +36,22 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
   ++stats_->requests;
   const std::vector<uint8_t> frame = request.Serialize();
   uint64_t timeout = retry_.timeout_cycles;
+  // Cycles this call has charged so far — the attempt deadline's clock.
+  uint64_t spent = 0;
+  const auto charge = [&](uint64_t c) {
+    *cycles += c;
+    spent += c;
+  };
   for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++stats_->retries;
       OBS_INSTANT("link", "retry", "seq", request.seq, "attempt", attempt);
     }
-    *cycles += transport_->Send(frame);
+    charge(transport_->Send(frame));
     std::vector<uint8_t> reply_bytes;
     uint64_t recv_cycles = 0;
     while (transport_->Recv(&reply_bytes, &recv_cycles)) {
-      *cycles += recv_cycles;
+      charge(recv_cycles);
       auto reply = Reply::Parse(reply_bytes);
       if (!reply.ok()) {
         ++stats_->corrupt_frames;
@@ -71,9 +80,29 @@ util::Result<Reply> ReliableLink::Call(const Request& request,
     // Nothing pending matches: the request or every copy of its reply was
     // lost. Wait out the backoff and retransmit.
     ++stats_->timeouts;
-    OBS_INSTANT("link", "timeout", "seq", request.seq, "waited", timeout);
-    *cycles += timeout;
+    uint64_t wait = timeout;
+    if (retry_.backoff_jitter > 0) {
+      // Scale by a uniform factor in [1-j, 1+j). Drawn only on this branch,
+      // so jitter-off calls replay the historical stream bit-identically.
+      const double factor = 1.0 - retry_.backoff_jitter +
+                            2.0 * retry_.backoff_jitter *
+                                jitter_rng_.NextDouble();
+      wait = std::max<uint64_t>(1, static_cast<uint64_t>(
+                                       static_cast<double>(timeout) * factor));
+    }
+    OBS_INSTANT("link", "timeout", "seq", request.seq, "waited", wait);
+    charge(wait);
     timeout = std::min(timeout * 2, retry_.max_timeout_cycles);
+    if (retry_.attempt_deadline_cycles != 0 &&
+        spent >= retry_.attempt_deadline_cycles) {
+      // Hard deadline: the op has stalled the guest long enough. Give up
+      // now rather than burn the remaining attempt budget.
+      ++stats_->giveups;
+      OBS_INSTANT("link", "giveup", "seq", request.seq, "deadline", spent);
+      return util::Error{"transport: deadline after " +
+                         std::to_string(attempt + 1) + " attempts (" +
+                         std::to_string(spent) + " cycles)"};
+    }
   }
   ++stats_->giveups;
   OBS_INSTANT("link", "giveup", "seq", request.seq);

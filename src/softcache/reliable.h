@@ -24,6 +24,7 @@
 #include "net/transport.h"
 #include "softcache/protocol.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace sc::softcache {
 
@@ -45,6 +46,18 @@ struct RetryConfig {
   // one logical operation may trigger before the Session degrades to a
   // clean error — covers crash schedules that keep firing mid-recovery.
   uint32_t max_recovery_attempts = 8;
+  // Hard per-op deadline, in client cycles charged by ONE Call (sends,
+  // deliveries and backoff waits). A call that reaches the deadline gives
+  // up even with retransmission attempts left, so the worst-case stall a
+  // dead server can impose is bounded in guest time, not just in attempt
+  // count. 0 = unbounded (the historical behavior).
+  uint64_t attempt_deadline_cycles = 0;
+  // Backoff jitter fraction in [0, 1): each wait is scaled by a uniform
+  // factor in [1-jitter, 1+jitter) drawn from a seeded stream, decorrelating
+  // the retry storms of clients that lost the same broadcast. 0 = the exact
+  // historical deterministic doubling (the jitter stream is never drawn).
+  double backoff_jitter = 0.0;
+  uint64_t jitter_seed = 1;
 };
 
 class ReliableLink {
@@ -65,6 +78,7 @@ class ReliableLink {
   std::unique_ptr<net::Transport> transport_;
   RetryConfig retry_;
   LinkStats* stats_;
+  util::Rng jitter_rng_;  // drawn only when backoff_jitter > 0
 };
 
 // Builds a client transport over an arbitrary server endpoint (e.g. one

@@ -8,8 +8,9 @@
 
 namespace sc::softcache {
 
-McServerLoop::McServerLoop(PortHandler handler)
+McServerLoop::McServerLoop(PortHandler handler, size_t max_queue)
     : handler_(std::move(handler)),
+      max_queue_(max_queue),
       // Queue waits are host time: sub-microsecond uncontended, tens of
       // microseconds when many client threads arrive at once. One bucket
       // per 8 us to 1 ms; slower outliers clamp into the last bucket.
@@ -53,6 +54,14 @@ std::vector<uint8_t> McServerLoop::Submit(uint32_t port,
   ticket.enqueue_host = std::chrono::steady_clock::now();
 
   std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: defer while the queue sits at its bound. The waiter holds
+  // no queued ticket, so the pump (run by an admitted ticket's owner) always
+  // has a live thread to drain the queue — deferral cannot deadlock. The
+  // single-threaded schedulers never defer: their queue depth is at most 1.
+  if (max_queue_ != 0 && queue_.size() >= max_queue_) {
+    ++stats_.requests_deferred;
+    cv_.wait(lock, [this] { return queue_.size() < max_queue_; });
+  }
   queue_.push_back(&ticket);
   ++stats_.requests_enqueued;
   stats_.queue_depth_sum += queue_.size();
@@ -69,6 +78,10 @@ std::vector<uint8_t> McServerLoop::Submit(uint32_t port,
       while (!queue_.empty()) {
         Ticket* t = queue_.front();
         queue_.pop_front();
+        // Dropping below the bound re-admits one deferred submitter.
+        if (max_queue_ != 0 && queue_.size() + 1 == max_queue_) {
+          cv_.notify_all();
+        }
         queue_wait_ns_.Add(static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t->enqueue_host)
@@ -115,6 +128,12 @@ void McServerLoop::RegisterMetrics(obs::MetricsRegistry* registry,
                             &stats_.queue_depth_sum);
   registry->RegisterCounter(prefix + "exclusive_sections",
                             &stats_.exclusive_sections);
+  registry->RegisterCounter(prefix + "requests_deferred",
+                            &stats_.requests_deferred);
+  registry->RegisterGauge(prefix + "queue_depth", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(queue_.size());
+  });
   registry->RegisterGauge(prefix + "avg_queue_depth", [this] {
     return stats_.requests_enqueued == 0
                ? 0.0

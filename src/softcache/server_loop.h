@@ -57,6 +57,7 @@ struct McServerLoopStats {
   uint64_t max_queue_depth = 0;    // deepest inbound queue ever observed
   uint64_t queue_depth_sum = 0;    // sum of depth-at-enqueue (avg = sum/enq)
   uint64_t exclusive_sections = 0; // RunExclusive invocations
+  uint64_t requests_deferred = 0;  // submits parked by the queue bound
 };
 
 class McServerLoop {
@@ -66,7 +67,13 @@ class McServerLoop {
   using PortHandler = std::function<std::vector<uint8_t>(
       uint32_t port, const std::vector<uint8_t>& frame)>;
 
-  explicit McServerLoop(PortHandler handler);
+  // `max_queue` bounds the inbound ticket queue (0 = unbounded, the
+  // historical behavior). A submitter arriving at a full queue defers —
+  // parks on the condition variable WITHOUT holding a queued ticket — and
+  // retries once the pump drains the depth below the bound, so the server's
+  // memory footprint under a flood is bounded while the pump itself can
+  // always make progress (no admitted ticket ever waits on admission).
+  explicit McServerLoop(PortHandler handler, size_t max_queue = 0);
 
   McServerLoop(const McServerLoop&) = delete;
   McServerLoop& operator=(const McServerLoop&) = delete;
@@ -117,11 +124,13 @@ class McServerLoop {
   std::vector<uint8_t> Service(Ticket* t);
 
   PortHandler handler_;
+  const size_t max_queue_;
 
   // mu_ guards the queue, the pumper flag and the loop stats; server_mu_
   // guards the server core itself (held while handling one frame or one
-  // exclusive section, never while waiting on cv_).
-  std::mutex mu_;
+  // exclusive section, never while waiting on cv_). Mutable so the
+  // queue-depth gauge can lock from const registration lambdas.
+  mutable std::mutex mu_;
   std::mutex server_mu_;
   std::condition_variable cv_;
   std::deque<Ticket*> queue_;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "softcache/integrity.h"
 
 namespace sc::softcache {
 
@@ -35,6 +36,9 @@ struct LinkStats {
     registry->RegisterCounter(prefix + "corrupt_frames", &corrupt_frames);
     registry->RegisterCounter(prefix + "stale_replies", &stale_replies);
     registry->RegisterCounter(prefix + "giveups", &giveups);
+    // Event-name alias: the `link.gaveup` OBS instant and this counter
+    // should read the same on a dashboard.
+    registry->RegisterCounter(prefix + "gaveup", &giveups);
   }
 };
 
@@ -174,6 +178,9 @@ struct SoftCacheStats {
   // Content-addressed shared-reply activity.
   SharedReplyStats shared;
 
+  // Memory-fault / integrity activity (client domains).
+  IntegrityStats integrity;
+
   // MC link reliability counters.
   LinkStats net;
 
@@ -208,6 +215,7 @@ struct SoftCacheStats {
     registry->RegisterTimeline(cc + "eviction_timeline", &eviction_timeline);
     prefetch.RegisterMetrics(registry, prefix + "prefetch.");
     shared.RegisterMetrics(registry, prefix + "shared.");
+    integrity.RegisterMetrics(registry, prefix + "mem.fault.");
     net.RegisterMetrics(registry, prefix + "net.link.");
     session.RegisterMetrics(registry, prefix + "session.");
   }

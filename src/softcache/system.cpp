@@ -14,7 +14,8 @@
 namespace sc::softcache {
 
 SoftCacheSystem::SoftCacheSystem(const image::Image& image,
-                                 const SoftCacheConfig& config)
+                                 const SoftCacheConfig& config,
+                                 const McServerConfig& server_config)
     : channel_(config.channel) {
   // SOFTCACHE_LOG=3 with no explicit tracer: install the echo-only tracer
   // so the miss-path event stream still appears as log lines.
@@ -22,11 +23,17 @@ SoftCacheSystem::SoftCacheSystem(const image::Image& image,
   machine_.LoadImage(image);
   mc_ = std::make_unique<MemoryController>(image, config.style,
                                            config.max_block_instrs,
-                                           config.max_trace_blocks);
+                                           config.max_trace_blocks,
+                                           server_config);
   cc_ = std::make_unique<CacheController>(machine_, *mc_, channel_, config);
   if (config.fault.crash_at_cycle != 0) {
     // Cycle-triggered crash schedules need to see guest time.
     cc_->transport().set_cycle_source(machine_.cycles_counter());
+  }
+  if (config.integrity.enabled) {
+    integrity_quantum_ = config.integrity.quantum_instructions == 0
+                             ? 1024
+                             : config.integrity.quantum_instructions;
   }
   if (obs::Tracer* t = obs::tracer()) {
     if (t->enabled()) t->SetClockSource(machine_.cycles_counter());
@@ -38,7 +45,25 @@ vm::RunResult SoftCacheSystem::Run(uint64_t max_instructions) {
     cc_->Attach();
     attached_ = true;
   }
-  return machine_.Run(max_instructions);
+  if (integrity_quantum_ == 0) return machine_.Run(max_instructions);
+  // Integrity slicing: the machine runs one integrity quantum at a time,
+  // with one tick evaluated between quanta (never after the final, partial
+  // one). A client scrub pass also scrubs the server memo — in solo and
+  // round-robin runs the memo's scrub points are deterministic; the
+  // threaded scheduler leans on verify-on-hit instead.
+  vm::RunResult result;
+  for (;;) {
+    const uint64_t executed = machine_.instructions();
+    const uint64_t budget =
+        max_instructions > executed ? max_instructions - executed : 0;
+    const uint64_t quantum = std::min(integrity_quantum_, budget);
+    result = machine_.Run(quantum);
+    if (result.reason != vm::StopReason::kInstrLimit ||
+        machine_.instructions() >= max_instructions) {
+      return result;
+    }
+    if (cc_->IntegrityTick()) mc_->server().ScrubMemo();
+  }
 }
 
 void SoftCacheSystem::RegisterMetrics(obs::MetricsRegistry* registry) const {
@@ -78,13 +103,15 @@ MultiClientSystem::MultiClientSystem(const image::Image& image,
       // spans never land in the pumping client's lane. Lane writes happen
       // under the loop's server mutex, matching the lanes' external
       // serialization contract.
-      loop_([this](uint32_t port, const std::vector<uint8_t>& frame) {
-        obs::Tracer* lane = ServerLaneForFrame(frame);
-        if (lane == nullptr) return mc_->HandlePort(port, frame);
-        lane->AdvanceClockFloor(loop_.current_ticket_enqueue_ts());
-        obs::TracerScope scope(lane);
-        return mc_->HandlePort(port, frame);
-      }),
+      loop_(
+          [this](uint32_t port, const std::vector<uint8_t>& frame) {
+            obs::Tracer* lane = ServerLaneForFrame(frame);
+            if (lane == nullptr) return mc_->HandlePort(port, frame);
+            lane->AdvanceClockFloor(loop_.current_ticket_enqueue_ts());
+            obs::TracerScope scope(lane);
+            return mc_->HandlePort(port, frame);
+          },
+          config.server.max_queue),
       switch_([this](uint32_t port, const std::vector<uint8_t>& frame) {
         return loop_.Submit(port, frame);
       }) {
@@ -267,6 +294,11 @@ std::vector<vm::RunResult> MultiClientSystem::RunAll(
     if (client.result.reason != vm::StopReason::kInstrLimit ||
         client.machine->instructions() >= max_instructions_each) {
       client.done = true;
+    } else if (client.cc->integrity_enabled()) {
+      // One integrity tick per quantum stepped — the same per-client tick
+      // stream a solo run of this client produces. Memo scrub points follow
+      // the clients' scrub ticks, as in the solo scheduler.
+      if (client.cc->IntegrityTick()) mc_->server().ScrubMemo();
     }
     if (inspect_every_ != 0 && inspection_hook_) MaybeInspectRoundRobin();
   }
@@ -311,6 +343,11 @@ void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
   // and the mutex hands the inspector a happens-before edge over all
   // client state it reads.
   const bool inspect = inspect_every_ != 0 && inspection_hook_ != nullptr;
+  // Integrity also forces quantum slicing (the tick cadence), but needs no
+  // safepoint: each tick touches only the ticking client's own state plus
+  // the internally locked content store. The server memo is not scrubbed
+  // under threads — its verify-on-hit path alone guarantees clean replies.
+  const bool integrity = config_.base.integrity.enabled;
   std::mutex safepoint_mu;
   std::condition_variable safepoint_cv;
   bool inspecting = false;
@@ -371,7 +408,7 @@ void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
       obs::Tracer* lane = i < client_lanes_.size() ? client_lanes_[i] : nullptr;
       if (lane != nullptr) lane->RebindThread();
       obs::TracerScope scope(lane != nullptr ? lane : obs::tracer());
-      if (!inspect) {
+      if (!inspect && !integrity) {
         client.result = client.machine->Run(max_instructions_each);
       } else {
         {
@@ -395,7 +432,8 @@ void MultiClientSystem::RunAllThreaded(uint64_t max_instructions_each) {
             if (finished) state[i] = kFinished;
           }
           if (finished) break;
-          safepoint();
+          if (integrity) client.cc->IntegrityTick();
+          if (inspect) safepoint();
         }
       }
       client.done = true;

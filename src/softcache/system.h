@@ -27,8 +27,10 @@ namespace sc::softcache {
 
 class SoftCacheSystem {
  public:
-  // The image must outlive the system.
-  SoftCacheSystem(const image::Image& image, const SoftCacheConfig& config = {});
+  // The image must outlive the system. `server_config` tunes the server core
+  // (memo shards/bound, and the server-side memo fault stream).
+  SoftCacheSystem(const image::Image& image, const SoftCacheConfig& config = {},
+                  const McServerConfig& server_config = {});
 
   // Provides the program's input stream (SYS_READ / SYS_GETCHAR).
   void SetInput(std::vector<uint8_t> input) { machine_.SetInput(std::move(input)); }
@@ -36,7 +38,12 @@ class SoftCacheSystem {
     machine_.SetInput(std::vector<uint8_t>(input.begin(), input.end()));
   }
 
-  // Runs until halt/fault or the instruction budget is exhausted.
+  // Runs until halt/fault or the instruction budget is exhausted. With
+  // integrity enabled the run is sliced into integrity quanta: after every
+  // quantum the CC evaluates one integrity tick (fault injection +
+  // verify/scrub), and the server memo is scrubbed whenever the client
+  // scrubbed — the tick stream is a pure function of the instruction count,
+  // so it replays identically under the multi-client schedulers.
   vm::RunResult Run(uint64_t max_instructions = UINT64_MAX);
 
   vm::Machine& machine() { return machine_; }
@@ -61,6 +68,8 @@ class SoftCacheSystem {
   std::unique_ptr<MemoryController> mc_;
   std::unique_ptr<CacheController> cc_;
   bool attached_ = false;
+  // Instructions per integrity tick; 0 = integrity off (unsliced Run).
+  uint64_t integrity_quantum_ = 0;
 };
 
 // Runs `image` natively (no software cache) with the given input; the

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <memory>
@@ -142,6 +143,35 @@ class Machine {
   // engine first runs. Inspector surface (superblock residency + chains).
   const SuperblockCache* sb_cache() const { return sb_cache_.get(); }
 
+  // Superblock integrity stamping: when on, TranslateSuperblock records an
+  // SbDigest in every block and ScrubSuperblocks can verify the cache.
+  // Toggling flushes (pre-existing blocks carry no stamp). Bit-identity:
+  // stamping changes no guest-visible behavior, only host work.
+  void set_sb_integrity(bool on);
+  bool sb_integrity() const { return sb_integrity_; }
+
+  // Verifies every live superblock against its stamp, invalidating
+  // mismatches so corrupted decoded code is retranslated from guest memory
+  // instead of executed. Returns blocks killed; `words_scanned` (may be
+  // null) accumulates ops walked. No-op unless set_sb_integrity(true).
+  uint32_t ScrubSuperblocks(uint64_t* words_scanned);
+
+  // Fault injection for the superblock domain: flips one bit in a random
+  // live block's decoded form (see SuperblockCache::CorruptBit). Returns
+  // false when nothing is live — e.g. under the interpreter engine.
+  bool CorruptSuperblockBit(util::Rng& rng);
+
+  // Degradation ladder: while [addr, addr+len) is poisoned, superblock
+  // formation cuts blocks to a single real op over those words, so the
+  // threaded engine executes them per-instruction (interpreter-equivalent
+  // dispatch granularity, bit-identical semantics). Existing blocks over
+  // the range are invalidated. The softcache quarantine path poisons a
+  // tcache range after repeated corruption of the same chunk.
+  void PoisonCodeRange(uint32_t addr, uint32_t len);
+  void UnpoisonCodeRange(uint32_t addr, uint32_t len);
+  bool CodePoisoned(uint32_t pc) const { return InPoison(pc); }
+  size_t poison_range_count() const { return poison_.size(); }
+
   // Register file access. Writes to register 0 are ignored.
   uint32_t reg(uint8_t r) const { return regs_[r]; }
   void set_reg(uint8_t r, uint32_t v) {
@@ -244,6 +274,14 @@ class Machine {
   // store or SYS_READ): kill overlapping blocks. Cold path of the inlined
   // bounds check.
   [[gnu::noinline]] void SuperblockStoreSlow(uint32_t paddr, uint32_t size);
+  // True when `pc` lies inside any poisoned code range (linear scan; the
+  // ladder keeps at most a handful of ranges live).
+  bool InPoison(uint32_t pc) const {
+    for (const auto& r : poison_) {
+      if (pc >= r.first && pc < r.second) return true;
+    }
+    return false;
+  }
 
   // Cold-path fault constructors. Building an ostringstream inlines a pile
   // of iostream machinery into Run()'s loop; keeping these out of line makes
@@ -287,6 +325,10 @@ class Machine {
   uint32_t sb_lo_ = UINT32_MAX;
   uint32_t sb_hi_ = 0;
   bool sb_interrupt_ = false;
+  // Integrity state: digest stamping toggle + poisoned [lo, hi) code ranges
+  // (degradation ladder; see PoisonCodeRange).
+  bool sb_integrity_ = false;
+  std::vector<std::pair<uint32_t, uint32_t>> poison_;
   uint64_t cycles_ = 0;
   uint64_t instret_ = 0;
   CostModel cost_;

@@ -82,6 +82,64 @@ void SuperblockCache::FlushMark(SbStats* stats) {
   OBS_INSTANT("vm", "sb.invalidate", "addr", 0);
 }
 
+uint64_t SbDigest(const Superblock& sb) {
+  // FNV-1a 64, matching the constants of softcache's ChunkDigest; only
+  // semantic fields are mixed (see the declaration comment).
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(sb.start);
+  mix(sb.span);
+  mix(sb.n_ops);
+  for (uint32_t i = 0; i < sb.n_ops; ++i) {
+    const SbOp& op = sb.ops[i];
+    mix(op.pc);
+    mix(static_cast<uint32_t>(op.imm));
+    mix(op.cost);
+    mix((static_cast<uint64_t>(op.kind) << 24) |
+        (static_cast<uint64_t>(op.rd) << 16) |
+        (static_cast<uint64_t>(op.rs1) << 8) | op.rs2);
+  }
+  return h;
+}
+
+uint32_t SuperblockCache::ScrubCorrupt(SbStats* stats,
+                                       uint64_t* words_scanned) {
+  uint32_t corrupt = 0;
+  for (Superblock& sb : pool_) {
+    if (!sb.valid) continue;
+    if (words_scanned != nullptr) *words_scanned += sb.n_ops;
+    if (sb.digest == SbDigest(sb)) continue;
+    sb.valid = false;
+    index_.Erase(sb.start);
+    --live_;
+    ++stats->invalidations;
+    ++corrupt;
+  }
+  if (corrupt > 0) OBS_INSTANT("vm", "sb.scrub_kill", "blocks", corrupt);
+  return corrupt;
+}
+
+bool SuperblockCache::CorruptBit(util::Rng& rng) {
+  if (live_ == 0) return false;
+  uint64_t k = rng.Below(live_);
+  for (Superblock& sb : pool_) {
+    if (!sb.valid) continue;
+    if (k > 0) {
+      --k;
+      continue;
+    }
+    SbOp& op = sb.ops[rng.Below(sb.n_ops)];
+    op.imm ^= static_cast<int32_t>(1u << rng.Below(32));
+    return true;
+  }
+  return false;  // unreachable while live_ is consistent
+}
+
 namespace {
 
 bool IsTerminator(Opcode op) {
@@ -108,6 +166,53 @@ bool IsTerminator(Opcode op) {
 
 }  // namespace
 
+void Machine::set_sb_integrity(bool on) {
+  if (sb_integrity_ == on) return;
+  sb_integrity_ = on;
+  // Pre-existing blocks carry no stamp (or a stale toggle's stamps);
+  // rebuild everything under the new policy.
+  FlushSuperblocks();
+}
+
+uint32_t Machine::ScrubSuperblocks(uint64_t* words_scanned) {
+  if (!sb_integrity_ || sb_cache_ == nullptr) return 0;
+  const uint32_t killed = sb_cache_->ScrubCorrupt(&sb_stats_, words_scanned);
+  if (killed > 0) SyncSuperblockBounds();
+  return killed;
+}
+
+bool Machine::CorruptSuperblockBit(util::Rng& rng) {
+  if (sb_cache_ == nullptr) return false;
+  return sb_cache_->CorruptBit(rng);
+}
+
+void Machine::PoisonCodeRange(uint32_t addr, uint32_t len) {
+  if (len == 0) return;
+  poison_.emplace_back(addr, addr + len);
+  // Existing multi-op blocks over the range must be re-formed under the cut.
+  if (sb_cache_ != nullptr &&
+      sb_cache_->Invalidate(addr, len, &sb_stats_)) {
+    sb_interrupt_ = true;
+    SyncSuperblockBounds();
+  }
+  OBS_INSTANT("vm", "sb.poison", "addr", addr);
+}
+
+void Machine::UnpoisonCodeRange(uint32_t addr, uint32_t len) {
+  const uint64_t end = static_cast<uint64_t>(addr) + len;
+  for (size_t i = 0; i < poison_.size();) {
+    if (poison_[i].first >= addr && poison_[i].second <= end) {
+      poison_[i] = poison_.back();
+      poison_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  // 1-op blocks formed under the cut stay valid — they are semantically
+  // correct, just conservative — and the caller (eviction) invalidates the
+  // range anyway before new code lands there.
+}
+
 Superblock* Machine::TranslateSuperblock(uint32_t start,
                                          const void* const* handlers) {
   SuperblockCache& cache = *sb_cache_;
@@ -131,6 +236,9 @@ Superblock* Machine::TranslateSuperblock(uint32_t start,
       break;
     }
     if (exec_lo_ != exec_hi_ && (pc < exec_lo_ || pc >= exec_hi_)) break;
+    // Degradation-ladder cut: a clean run never extends into a poisoned
+    // word (it gets its own block), see the matching post-append cut below.
+    if (!poison_.empty() && n > 0 && InPoison(pc)) break;
     uint32_t word = 0;
     std::memcpy(&word, mem_.data() + pc, 4);
     const Instr in = isa::Decode(word);
@@ -233,6 +341,10 @@ Superblock* Machine::TranslateSuperblock(uint32_t start,
       break;
     }
     pc += 4;
+    // Degradation-ladder cut: a poisoned op ends its block immediately, so
+    // blocks over poisoned words carry exactly one real instruction and the
+    // threaded engine dispatches them one at a time.
+    if (!poison_.empty() && InPoison(op.pc)) break;
   }
   sb->span = terminated ? pc - start : (n * 4);
   if (!terminated) {
@@ -246,6 +358,7 @@ Superblock* Machine::TranslateSuperblock(uint32_t start,
     op.handler = handlers != nullptr ? handlers[kSbFallthrough] : nullptr;
   }
   sb->n_ops = n;
+  if (sb_integrity_) sb->digest = SbDigest(*sb);
   cache.Publish(sb);
   SyncSuperblockBounds();
   ++sb_stats_.fills;

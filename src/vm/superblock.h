@@ -26,6 +26,7 @@
 
 #include "isa/isa.h"
 #include "util/open_table.h"
+#include "util/rng.h"
 
 namespace sc::vm {
 
@@ -91,8 +92,18 @@ struct Superblock {
   // its target's `valid` holds, so invalidation severs chains implicitly.
   Superblock* taken = nullptr;
   Superblock* fall = nullptr;
+  // Integrity stamp over the semantic op fields (SbDigest), computed at
+  // translation time when Machine::set_sb_integrity is on; 0 otherwise.
+  // The scrub walk (ScrubCorrupt) invalidates any block whose recomputed
+  // digest mismatches, so a bit flip in the decoded form never executes.
+  uint64_t digest = 0;
   SbOp ops[kSbMaxOps + 1];  // +1 for the synthetic fallthrough terminator
 };
+
+// FNV-1a over the block's semantic content: start/span/n_ops plus every
+// op's pc, imm, cost, kind and register fields. Handler pointers and chain
+// slots are deliberately excluded (host addresses; chains mutate benignly).
+uint64_t SbDigest(const Superblock& sb);
 
 // Counters surfaced as vm.sb.* metrics and asserted by bench_superblock.
 struct SbStats {
@@ -132,6 +143,18 @@ class SuperblockCache {
   // Kills every block overlapping [addr, addr+len). Returns true when
   // anything died (the dispatch loop must then leave the current block).
   bool Invalidate(uint32_t addr, uint32_t len, SbStats* stats);
+
+  // Integrity scrub: recomputes SbDigest over every live block and kills
+  // mismatches (counted as invalidations). Returns the number killed;
+  // `words_scanned` (may be null) accumulates ops walked. Only meaningful
+  // when blocks were stamped (Machine::set_sb_integrity).
+  uint32_t ScrubCorrupt(SbStats* stats, uint64_t* words_scanned);
+
+  // Fault injection: flips one random bit in a uniformly chosen live
+  // block's decoded immediate. Returns false when no block is live (the
+  // interpreter engine, or an empty cache). Draws come only from `rng`, so
+  // the caller's other fault streams are never perturbed.
+  bool CorruptBit(util::Rng& rng);
 
   // Marks every block dead and schedules pool reclamation. Never frees
   // storage itself — see class comment.

@@ -646,6 +646,37 @@ TEST(MultiClientSystem, WorkloadInputFlowsPerClient) {
   EXPECT_EQ(fleet.OutputString(1), "y");
 }
 
+TEST(MultiClientSystem, BoundedQueueSurvives256ClientFlood) {
+  // The full wire-id space of clients hammering one server through a
+  // 4-deep bounded ticket queue on a thread pool: no deadlock, no
+  // unbounded queue growth, and every client still gets its solo-identical
+  // result.
+  const image::Image img = LoopImage();
+  softcache::MultiClientConfig config;
+  config.clients = softcache::kMaxClients;
+  config.base.tcache_bytes = 8 * 1024;
+  config.server.max_queue = 4;
+  config.host_threads = 8;
+
+  softcache::MultiClientSystem fleet(img, config);
+  const auto results = fleet.RunAll();
+  const SoloBaseline solo = RunSolo(img, config.base, "");
+
+  ASSERT_EQ(results.size(), static_cast<size_t>(softcache::kMaxClients));
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].reason, vm::StopReason::kHalted)
+        << "client " << i << ": " << results[i].fault_message;
+    EXPECT_EQ(results[i].exit_code, solo.result.exit_code) << "client " << i;
+    EXPECT_EQ(results[i].instructions, solo.result.instructions)
+        << "client " << i;
+  }
+  const auto& loop_stats = fleet.server_loop().stats();
+  EXPECT_EQ(loop_stats.requests_enqueued,
+            fleet.mc().server().stats().requests_served);
+  // The bound held: the inbound queue never grew past max_queue.
+  EXPECT_LE(loop_stats.max_queue_depth, 4u);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics: per-client labels, per-session labels, server aggregates
 // ---------------------------------------------------------------------------

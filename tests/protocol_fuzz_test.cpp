@@ -386,6 +386,153 @@ TEST(ProtocolFuzz, CrossPostedStaleEpochFramesStayFenced) {
   EXPECT_EQ(mc.server().stats().misrouted_frames, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Corrupted digest/batch replies against the integrity-enabled install path
+// ---------------------------------------------------------------------------
+
+// A transport that rewrites kChunkSharedRequest answers into hostile
+// kChunkDigestReply frames (everything else served by the real MC):
+// the CC must treat every crafted digest as untrusted and heal through
+// the full-body fallback, never silently installing someone else's body.
+class HostileDigestTransport : public net::Transport {
+ public:
+  using Craft = std::function<Reply(const Request&)>;
+  HostileDigestTransport(MemoryController& mc, Craft craft)
+      : mc_(mc), craft_(std::move(craft)) {}
+
+  uint64_t Send(const std::vector<uint8_t>& frame) override {
+    ++stats_.frames_sent;
+    auto request = Request::Parse(frame);
+    SC_CHECK(request.ok());
+    if (request->type == MsgType::kChunkSharedRequest) {
+      Reply evil = craft_(*request);
+      evil.seq = request->seq;
+      inbox_.push_back(evil.Serialize());
+    } else {
+      inbox_.push_back(mc_.Handle(frame));
+    }
+    return 0;
+  }
+  bool Recv(std::vector<uint8_t>* frame, uint64_t* cycles) override {
+    if (inbox_.empty()) return false;
+    *frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    *cycles = 0;
+    ++stats_.frames_delivered;
+    return true;
+  }
+  const net::TransportStats& stats() const override { return stats_; }
+
+ private:
+  MemoryController& mc_;
+  Craft craft_;
+  std::deque<std::vector<uint8_t>> inbox_;
+  net::TransportStats stats_;
+};
+
+TEST(ProtocolFuzz, CorruptedDigestRepliesHealThroughFullBodyFallback) {
+  // Every shared request is answered with a digest that matches nothing
+  // (bit-flipped per request). With integrity checking on, the CC must
+  // fall back to a full-body fetch for every single one and still produce
+  // the correct run — zero silent installs, zero faults.
+  const image::Image img = TestImage();
+
+  softcache::SoftCacheConfig clean_config;
+  softcache::SoftCacheSystem clean(img, clean_config);
+  const vm::RunResult clean_result = clean.Run(1'000'000);
+  ASSERT_EQ(clean_result.reason, vm::StopReason::kHalted);
+
+  softcache::SoftCacheConfig config;
+  config.shared_reply = true;
+  config.integrity.enabled = true;
+  config.transport_factory =
+      [&](MemoryController& mc,
+          net::Channel&) -> std::unique_ptr<net::Transport> {
+    return std::make_unique<HostileDigestTransport>(
+        mc, [](const Request& r) {
+          Reply evil;
+          evil.type = MsgType::kChunkDigestReply;
+          // A digest nothing in the run ever published: both words are
+          // address-derived garbage.
+          evil.aux = r.addr ^ 0xdeadbeef;
+          evil.extra = ~r.addr;
+          return evil;
+        });
+  };
+  softcache::SoftCacheSystem system(img, config);
+  const vm::RunResult result = system.Run(1'000'000);
+  EXPECT_EQ(result.reason, vm::StopReason::kHalted) << result.fault_message;
+  EXPECT_EQ(result.exit_code, clean_result.exit_code);
+  EXPECT_EQ(system.OutputString(), clean.OutputString());
+  // Every crafted digest read as a miss and healed through the fallback.
+  EXPECT_GT(system.stats().shared.digest_replies, 0u);
+  EXPECT_EQ(system.stats().shared.digest_misses,
+            system.stats().shared.digest_replies);
+  EXPECT_EQ(system.stats().shared.digest_hits, 0u);
+}
+
+TEST(ProtocolFuzz, HostileBatchRepliesFailCleanlyWithIntegrityOn) {
+  // The same hostile batch payloads as above, but with the integrity layer
+  // stamping/verifying installs: every corruption must still be rejected
+  // before execution (clean Fail), never silently installed — and the
+  // digest machinery must not mask the parse errors.
+  const image::Image img = TestImage();
+  struct Case {
+    const char* name;
+    HostileBatchTransport::Craft craft;
+  };
+  const auto batch = [](uint32_t count, std::vector<uint8_t> payload) {
+    Reply reply;
+    reply.type = MsgType::kChunkBatchReply;
+    reply.aux = count;
+    reply.payload = std::move(payload);
+    return reply;
+  };
+  const std::vector<Case> kCases = {
+      {"short sub-chunk header",
+       [&](const Request&) { return batch(2, std::vector<uint8_t>(8, 0xaa)); }},
+      {"word count overflows payload",
+       [&](const Request& r) {
+         std::vector<uint8_t> payload(16, 0);
+         payload[0] = static_cast<uint8_t>(r.addr);
+         payload[12] = 0xff;
+         payload[13] = 0xff;
+         return batch(1, payload);
+       }},
+      {"head addr is not the demanded addr",
+       [&](const Request& r) {
+         // A structurally valid one-chunk batch whose head claims a
+         // different address: must be rejected by the addr binding, not
+         // installed at the attacker's address.
+         std::vector<uint8_t> payload(16, 0);
+         const uint32_t addr = r.addr + 0x40;
+         payload[0] = static_cast<uint8_t>(addr);
+         payload[1] = static_cast<uint8_t>(addr >> 8);
+         payload[2] = static_cast<uint8_t>(addr >> 16);
+         payload[3] = static_cast<uint8_t>(addr >> 24);
+         return batch(1, payload);
+       }},
+      {"empty batch",
+       [&](const Request&) { return batch(0, std::vector<uint8_t>{}); }},
+  };
+
+  for (const Case& c : kCases) {
+    softcache::SoftCacheConfig config;
+    config.integrity.enabled = true;
+    config.transport_factory =
+        [&](MemoryController& mc,
+            net::Channel&) -> std::unique_ptr<net::Transport> {
+      return std::make_unique<HostileBatchTransport>(mc, c.craft);
+    };
+    softcache::SoftCacheSystem system(img, config);
+    const vm::RunResult result = system.Run(1'000'000);
+    EXPECT_EQ(result.reason, vm::StopReason::kFault) << c.name;
+    EXPECT_FALSE(result.fault_message.empty()) << c.name;
+    EXPECT_EQ(system.stats().blocks_translated, 0u)
+        << c.name << ": a hostile batch reached the install path";
+  }
+}
+
 TEST(ProtocolFuzz, ValidRequestsStillServedAfterAbuse) {
   // After a storm of garbage, the server must still answer real requests.
   const image::Image img = TestImage();

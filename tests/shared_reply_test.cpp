@@ -8,6 +8,8 @@
 // code and instruction counts stay bit-identical to the solo run.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -282,6 +284,44 @@ TEST(ServerLoop, ConcurrentSubmittersOneAtATimeInCore) {
   // Batch drains can only merge tickets, never lose them.
   EXPECT_LE(loop.stats().batches_drained, loop.stats().requests_enqueued);
   EXPECT_GE(loop.stats().max_queue_depth, 1u);
+}
+
+TEST(ServerLoop, BoundedQueueDefersInsteadOfGrowing) {
+  // A deliberately slow handler and 8 hot submitters against a 2-deep
+  // queue: the bound must hold (depth never exceeds it), every deferred
+  // submitter must eventually get its own reply, and deferral must
+  // actually engage under this much pressure.
+  McServerLoop loop(
+      [](uint32_t port, const std::vector<uint8_t>& frame) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::vector<uint8_t> reply = frame;
+        reply.push_back(static_cast<uint8_t>(port));
+        return reply;
+      },
+      /*max_queue=*/2);
+  constexpr int kThreads = 8;
+  constexpr int kFramesEach = 50;
+  std::atomic<int> wrong_replies{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&loop, &wrong_replies, t] {
+      for (int i = 0; i < kFramesEach; ++i) {
+        const std::vector<uint8_t> frame = {static_cast<uint8_t>(t),
+                                            static_cast<uint8_t>(i)};
+        const auto reply = loop.Submit(static_cast<uint32_t>(t), frame);
+        if (reply.size() != 3 || reply[0] != t || reply[1] != (i & 0xff) ||
+            reply[2] != t) {
+          ++wrong_replies;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong_replies.load(), 0);
+  EXPECT_EQ(loop.stats().requests_enqueued,
+            static_cast<uint64_t>(kThreads * kFramesEach));
+  EXPECT_LE(loop.stats().max_queue_depth, 2u);
+  EXPECT_GT(loop.stats().requests_deferred, 0u);
 }
 
 TEST(ServerLoop, RunExclusiveSerializesAgainstFrames) {

@@ -231,6 +231,87 @@ TEST(ReliableLink, GivesUpAfterBoundedBackoff) {
   EXPECT_EQ(cycles, 150u);
 }
 
+TEST(ReliableLink, DeadlineCapsStallUnderTotalLoss) {
+  // Same black hole, but a per-op cycle deadline: the link must stop as
+  // soon as the charged cycles cross the deadline, long before the attempt
+  // budget runs out, and say so in the error.
+  auto transport = std::make_unique<ScriptedTransport>(
+      [](const std::vector<uint8_t>&, std::deque<std::vector<uint8_t>>*) {});
+  ScriptedTransport* raw = transport.get();
+  RetryConfig retry;
+  retry.timeout_cycles = 10;
+  retry.max_timeout_cycles = 1000;
+  retry.max_attempts = 1000;
+  retry.attempt_deadline_cycles = 100;
+  LinkStats stats;
+  ReliableLink link(std::move(transport), retry, &stats);
+  uint64_t cycles = 0;
+  auto reply = link.Call(ChunkRequest(1, 0x1000), &cycles);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_NE(reply.error().message.find("deadline"), std::string::npos)
+      << reply.error().message;
+  EXPECT_EQ(stats.giveups, 1u);
+  // Waits 10 + 20 + 40 + 80 = 150: the first total at/past the deadline.
+  EXPECT_EQ(cycles, 150u);
+  EXPECT_EQ(raw->stats().frames_sent, 4u);
+}
+
+TEST(ReliableLink, JitterDecorrelatesBackoffButStaysSeeded) {
+  auto make_link = [](uint64_t seed, double jitter, LinkStats* stats,
+                      uint64_t* cycles) {
+    auto transport = std::make_unique<ScriptedTransport>(
+        [](const std::vector<uint8_t>&,
+           std::deque<std::vector<uint8_t>>*) {});
+    RetryConfig retry;
+    retry.timeout_cycles = 1000;
+    retry.max_timeout_cycles = 100000;
+    retry.max_attempts = 6;
+    retry.backoff_jitter = jitter;
+    retry.jitter_seed = seed;
+    ReliableLink link(std::move(transport), retry, stats);
+    auto reply = link.Call(ChunkRequest(1, 0x1000), cycles);
+    EXPECT_FALSE(reply.ok());
+  };
+  // jitter = 0 reproduces the exact historical doubling.
+  LinkStats s0;
+  uint64_t base = 0;
+  make_link(1, 0.0, &s0, &base);
+  EXPECT_EQ(base, 1000u + 2000 + 4000 + 8000 + 16000 + 32000);
+  // Same seed, same jittered schedule; different seed, different schedule.
+  LinkStats s1, s2, s3;
+  uint64_t a = 0, b = 0, c = 0;
+  make_link(7, 0.5, &s1, &a);
+  make_link(7, 0.5, &s2, &b);
+  make_link(8, 0.5, &s3, &c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Every jittered total stays inside the [0.5x, 1.5x) envelope.
+  EXPECT_GE(a, base / 2);
+  EXPECT_LT(a, base + base / 2);
+  EXPECT_GE(c, base / 2);
+  EXPECT_LT(c, base + base / 2);
+}
+
+TEST(ReliableLink, TotalLossDegradesToCleanFailEndToEnd) {
+  // 100% frame loss: the guest cannot make progress past its first miss,
+  // and the run must degrade to a clean Fail (a fault with the transport's
+  // giveup message), not a hang or a crash.
+  const image::Image img = TestImage();
+  softcache::SoftCacheConfig config;
+  config.fault.seed = 3;
+  config.fault.drop = 1.0;
+  config.retry.timeout_cycles = 10;
+  config.retry.max_timeout_cycles = 1000;
+  config.retry.max_attempts = 8;
+  config.retry.attempt_deadline_cycles = 500;
+  softcache::SoftCacheSystem system(img, config);
+  const vm::RunResult result = system.Run(1'000'000);
+  EXPECT_EQ(result.reason, vm::StopReason::kFault);
+  EXPECT_NE(result.fault_message.find("transport:"), std::string::npos)
+      << result.fault_message;
+  EXPECT_GT(system.stats().net.giveups, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // MC replay cache (write idempotency)
 // ---------------------------------------------------------------------------

@@ -62,6 +62,60 @@ void PrintSoftCacheStats(softcache::SoftCacheSystem& system,
   std::fprintf(stderr, "network:            %llu msgs, %s\n",
                (unsigned long long)net.total_messages(),
                util::HumanBytes(net.total_bytes()).c_str());
+  const auto& integrity = stats.integrity;
+  if (integrity.ticks != 0) {
+    std::fprintf(stderr,
+                 "integrity:          %llu ticks, %llu flips, %llu detected, "
+                 "%llu heals, %llu scrubs (%llu words)\n",
+                 (unsigned long long)integrity.ticks,
+                 (unsigned long long)integrity.flips_injected,
+                 (unsigned long long)integrity.corruptions_detected,
+                 (unsigned long long)integrity.heals,
+                 (unsigned long long)integrity.scrubs,
+                 (unsigned long long)integrity.scrubbed_words);
+  }
+}
+
+// Parses a --memfaults spec: comma-separated knob=value pairs out of
+// {rate, period, after, at-cycle, seed}, e.g.
+// --memfaults=rate=0.001,seed=7. Returns false with `error` set on any
+// unknown knob or malformed value.
+bool ParseMemFaults(const std::string& spec, softcache::MemFaultConfig* out,
+                    std::string* error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      *error = "expected knob=value, got '" + pair + "'";
+      return false;
+    }
+    const std::string knob = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    if (knob == "rate") {
+      out->rate = std::strtod(value.c_str(), &end);
+    } else if (knob == "period") {
+      out->period = std::strtoull(value.c_str(), &end, 10);
+    } else if (knob == "after") {
+      out->after = std::strtoull(value.c_str(), &end, 10);
+    } else if (knob == "at-cycle") {
+      out->at_cycle = std::strtoull(value.c_str(), &end, 10);
+    } else if (knob == "seed") {
+      out->seed = std::strtoull(value.c_str(), &end, 10);
+    } else {
+      *error = "unknown knob '" + knob + "'";
+      return false;
+    }
+    if (end == value.c_str() || *end != '\0') {
+      *error = "malformed value '" + value + "' for " + knob;
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -74,7 +128,7 @@ int main(int argc, char** argv) {
        "workload", "scale", "prefetch", "trace", "metrics", "crash-period",
        "crash-after", "crash-rate", "crash-at-cycle", "fault-seed", "clients",
        "verify", "shared-reply", "shards", "threads", "engine", "inspect",
-       "inspect-every"});
+       "inspect-every", "memfaults", "scrub-every"});
   const bool use_workload = args.Has("workload");
   const size_t want_positional = use_workload ? 0 : 1;
   if (!unknown.empty() || args.Has("help") ||
@@ -97,6 +151,15 @@ int main(int argc, char** argv) {
                  "                              (sctop renders it)\n"
                  "            [--inspect-every=N]  also snapshot every N guest\n"
                  "                              cycles to FILE.<seq>\n"
+                 "memory-fault injection (softcache runs; self-healing cache):\n"
+                 "            [--memfaults=rate=R,period=N,after=N,\n"
+                 "                         at-cycle=C,seed=S]\n"
+                 "                 seeded bit flips into cached state (tcache,\n"
+                 "                 staged chunks, content store, superblocks,\n"
+                 "                 server memo); enables integrity checking\n"
+                 "            [--scrub-every=N]    background integrity scrub\n"
+                 "                 every N integrity ticks (also enables\n"
+                 "                 integrity checking; default 8)\n"
                  "crash injection (softcache runs; server restarts + recovery):\n"
                  "            [--crash-period=N]   MC crashes every Nth request\n"
                  "            [--crash-after=N]    MC crashes once on request N\n"
@@ -228,6 +291,23 @@ int main(int argc, char** argv) {
   config.fault.crash_at_cycle = args.GetInt("crash-at-cycle", 0);
   config.fault.crash = std::strtod(args.Get("crash-rate", "0").c_str(), nullptr);
 
+  // Integrity fault domain: either flag turns on digest stamping,
+  // verify-on-use and the background scrub; --memfaults adds the storm.
+  if (args.Has("memfaults")) {
+    std::string error;
+    if (!ParseMemFaults(args.Get("memfaults"), &config.integrity.memfault,
+                        &error)) {
+      std::fprintf(stderr, "--memfaults: %s\n", error.c_str());
+      return 2;
+    }
+    config.integrity.enabled = true;
+  }
+  if (args.Has("scrub-every")) {
+    config.integrity.scrub_every =
+        static_cast<uint32_t>(args.GetInt("scrub-every", 8));
+    config.integrity.enabled = true;
+  }
+
   // Validate the fleet size up front: an out-of-range --clients is a usage
   // error reported on stderr, never an assert deep inside the system.
   const int64_t clients_arg = static_cast<int64_t>(args.GetInt("clients", 1));
@@ -267,6 +347,9 @@ int main(int argc, char** argv) {
     mcfg.base = config;
     mcfg.base.shared_reply = args.Has("shared-reply");
     mcfg.server.shards = static_cast<uint32_t>(args.GetInt("shards", 1));
+    // The server memo rides the same fault schedule (its own salted RNG
+    // stream), so --memfaults storms every layer of the stack at once.
+    mcfg.server.memfault = config.integrity.memfault;
     mcfg.host_threads = static_cast<uint32_t>(args.GetInt("threads", 0));
     for (uint32_t i = 0; i < n_clients; ++i) {
       net::FaultConfig fault = config.fault;
@@ -284,6 +367,22 @@ int main(int argc, char** argv) {
       mux.EnableAll();
     }
     softcache::Inspector inspector(&fleet);
+    uint32_t quarantine_snaps = 0;
+    if (!inspect_path.empty() && config.integrity.enabled &&
+        mcfg.host_threads <= 1) {
+      // Freeze the post-quarantine cache state next to the regular
+      // snapshots (sctop diffs them against the final/healed snapshot).
+      // Capped so a corruption storm cannot flood the directory; skipped
+      // under --threads, where a worker thread cannot quiesce the fleet.
+      for (uint32_t i = 0; i < n_clients; ++i) {
+        fleet.cc(i).set_quarantine_hook([&](uint32_t) {
+          if (quarantine_snaps >= 8) return;
+          inspector.WriteFile(
+              inspect_path + ".q" + std::to_string(quarantine_snaps++),
+              "quarantine");
+        });
+      }
+    }
     if (!inspect_path.empty()) {
       if (inspect_every != 0) {
         fleet.set_inspection_hook(inspect_every, [&](uint64_t) {
@@ -422,7 +521,9 @@ int main(int argc, char** argv) {
     return ok ? (results[0].exit_code & 0xff) : 1;
   }
 
-  softcache::SoftCacheSystem system(img, config);
+  softcache::McServerConfig server_config;
+  server_config.memfault = config.integrity.memfault;
+  softcache::SoftCacheSystem system(img, config, server_config);
   system.machine().set_engine(engine);
   system.SetInput(std::move(input));
   obs::MetricsRegistry registry;
@@ -442,6 +543,15 @@ int main(int argc, char** argv) {
   }
 
   softcache::Inspector inspector(&system);
+  uint32_t quarantine_snaps = 0;
+  if (!inspect_path.empty() && config.integrity.enabled) {
+    system.cc().set_quarantine_hook([&](uint32_t) {
+      if (quarantine_snaps >= 8) return;
+      inspector.WriteFile(
+          inspect_path + ".q" + std::to_string(quarantine_snaps++),
+          "quarantine");
+    });
+  }
   vm::RunResult result;
   if (inspect_every == 0) {
     result = system.Run(max_instr);
