@@ -41,9 +41,9 @@ using ReplyObserver = std::function<void(
 
 class Switch {
  public:
-  // Frames are routed by an 8-bit id, so a switch has at most this many
+  // Frames are routed by a 12-bit id, so a switch has at most this many
   // ports (mirrors softcache::kMaxClients without depending on it).
-  static constexpr uint32_t kMaxPorts = 256;
+  static constexpr uint32_t kMaxPorts = 4096;
 
   explicit Switch(PortFrameHandler server) : server_(std::move(server)) {
     SC_CHECK(server_ != nullptr);

@@ -26,8 +26,9 @@ uint64_t DomainSalt(FaultDomain domain) {
 }  // namespace
 
 MemFaultInjector::MemFaultInjector(const MemFaultConfig& config,
-                                   FaultDomain domain)
-    : rng_(config.seed ^ DomainSalt(domain)) {
+                                   FaultDomain domain, uint32_t substream)
+    : rng_(config.seed ^ DomainSalt(domain) ^
+           (substream * 0x9e3779b97f4a7c15ull)) {
   schedule_.rate = config.rate;
   schedule_.after = config.after;
   schedule_.period = config.period;

@@ -75,7 +75,12 @@ enum class FaultDomain : uint32_t {
 
 class MemFaultInjector {
  public:
-  MemFaultInjector(const MemFaultConfig& config, FaultDomain domain);
+  // `substream` splits one domain's storm into independent per-slice
+  // streams (e.g. one per server memo shard) that are each still a pure
+  // function of the config seed; substream 0 is byte-identical to the
+  // historical single-stream injector.
+  MemFaultInjector(const MemFaultConfig& config, FaultDomain domain,
+                   uint32_t substream = 0);
 
   // Evaluates one injection opportunity; true = flip a bit now. The cycle
   // source (may be null) feeds the at-cycle knob.

@@ -41,10 +41,11 @@ constexpr size_t kReplayCacheEntries = 64;
 constexpr uint32_t kMaxPrefetchDepth = 8;
 constexpr uint32_t kMaxPrefetchChunks = 32;
 
-// Best-effort client id of a frame that failed to parse: the id octet sits
-// at byte 5 of the type word. Only trusted enough to pick which session
-// stamps the error reply — a hostile id here can at worst create an idle
-// session (bounded by kMaxClients).
+// Best-effort client id of a frame that failed to parse: the 12-bit id sits
+// at bits 19..8 of the type word (byte 5 plus the low nibble of byte 6).
+// Only trusted enough to pick which session stamps the error reply — a
+// hostile id here can at worst create an idle session (bounded by
+// kMaxClients).
 uint32_t PeekClientId(const std::vector<uint8_t>& bytes) {
   if (bytes.size() < 8) return 0;
   uint32_t magic = static_cast<uint32_t>(bytes[0]) |
@@ -52,7 +53,8 @@ uint32_t PeekClientId(const std::vector<uint8_t>& bytes) {
                    static_cast<uint32_t>(bytes[2]) << 16 |
                    static_cast<uint32_t>(bytes[3]) << 24;
   if (magic != kProtocolMagic) return 0;
-  return bytes[5];
+  return static_cast<uint32_t>(bytes[5]) |
+         (static_cast<uint32_t>(bytes[6] & 0x0f) << 8);
 }
 
 }  // namespace
@@ -80,23 +82,32 @@ uint32_t McServer::ShardFor(uint32_t addr) const {
 
 util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   const uint32_t shard_index = ShardFor(addr);
-  const ShardServiceTimer timer(&service_ns_[shard_index]);
-  // Server memo fault stream: one injection opportunity per translate
-  // arrival (the memo has no scheduler quanta to tick on). Healing is
-  // guest-invisible, so arrival-order differences across schedulers only
-  // move server-side counters, never client output.
-  if (memo_inj_ != nullptr && memo_inj_->Due(nullptr)) {
-    if (CorruptMemoBit()) ++stats_.memo_flips_injected;
+  MemoShard& shard = memo_shards_[shard_index];
+  // The slice's own lock covers everything the demand touches — memo map,
+  // heat table, fault stream, service histogram — so demands landing in
+  // different shards run fully in parallel. The only lock acquired while
+  // holding it is the stats_mu_ leaf (BumpStats).
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const ShardServiceTimer timer(&shard.service_ns);
+  // Per-shard memo fault stream: one injection opportunity per translate
+  // arrival in this slice (the memo has no scheduler quanta to tick on).
+  // Healing is guest-invisible, so arrival-order differences across
+  // schedulers only move server-side counters, never client output.
+  if (shard.inj != nullptr && shard.inj->Due(nullptr)) {
+    if (CorruptMemoBit(&shard)) {
+      BumpStats([](McServerStats& s) { ++s.memo_flips_injected; });
+    }
   }
   // Fleet-wide demand heat: every demand from every session bumps it (hit
   // or miss), and the memo bound evicts its coldest entry by this signal.
-  uint32_t* heat = heat_.Find(addr);
+  // Keyed by chunk start address, so slicing the table per shard changes
+  // nothing about the values — only who owns them.
+  uint32_t* heat = shard.heat.Find(addr);
   if (heat != nullptr) {
     ++*heat;
   } else {
-    heat_.Put(addr, 1);
+    shard.heat.Put(addr, 1);
   }
-  MemoShard& shard = memo_shards_[shard_index];
   auto it = shard.memo.find(addr);
   if (it != shard.memo.end()) {
     // Verify-on-hit: the memoized artifact is never trusted. A mismatch is
@@ -104,16 +115,18 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
     // corruption cannot reach — so the requester always receives clean
     // bytes, fault storm or not.
     if (DigestOfChunk(it->second.chunk) == it->second.digest) {
-      ++stats_.translate_memo_hits;
+      BumpStats([](McServerStats& s) { ++s.translate_memo_hits; });
       ++shard.memo_hits;
       return it->second.chunk;
     }
-    ++stats_.memo_corruptions_detected;
     OBS_INSTANT("mc", "memo_corrupt", "addr", addr);
     auto healed = Cut(image_, addr);
     SC_CHECK(healed.ok()) << "pristine re-cut failed for memoized addr";
-    ++stats_.memo_heals;
-    ++stats_.translates;
+    BumpStats([](McServerStats& s) {
+      ++s.memo_corruptions_detected;
+      ++s.memo_heals;
+      ++s.translates;
+    });
     ++shard.translates;
     it->second.chunk = *healed;
     it->second.digest = DigestOfChunk(*healed);
@@ -121,7 +134,7 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
   }
   auto chunk = Cut(image_, addr);
   if (!chunk.ok()) return chunk;  // failures are cheap; not worth memoizing
-  ++stats_.translates;
+  BumpStats([](McServerStats& s) { ++s.translates; });
   ++shard.translates;
   const size_t per_shard = std::max<size_t>(1, config_.memo_capacity / shards_);
   if (shard.memo.size() >= per_shard) EvictColdest(&shard);
@@ -130,15 +143,20 @@ util::Result<Chunk> McServer::CutShared(uint32_t addr) {
 }
 
 std::vector<McServer::MemoEntryView> McServer::SnapshotMemo() const {
+  // Locks one slice at a time, ascending — a point-in-time view per shard.
+  // Deterministic snapshots additionally run at quiescence (the Inspector's
+  // safepoint / park-all contract), where the locks are uncontended.
   std::vector<MemoEntryView> views;
   for (uint32_t s = 0; s < shards_; ++s) {
-    for (const auto& [addr, entry] : memo_shards_[s].memo) {
+    const MemoShard& shard = memo_shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [addr, entry] : shard.memo) {
       MemoEntryView view;
       view.shard = s;
       view.addr = addr;
       view.span_bytes = entry.chunk.orig_span_bytes();
       view.words = static_cast<uint32_t>(entry.chunk.words.size());
-      const uint32_t* heat = heat_.Find(addr);
+      const uint32_t* heat = shard.heat.Find(addr);
       view.heat = heat == nullptr ? 0 : *heat;
       views.push_back(view);
     }
@@ -150,7 +168,7 @@ void McServer::EvictColdest(MemoShard* shard) {
   auto coldest = shard->memo.begin();
   uint32_t coldest_heat = ~0u;
   for (auto it = shard->memo.begin(); it != shard->memo.end(); ++it) {
-    const uint32_t* h = heat_.Find(it->first);
+    const uint32_t* h = shard->heat.Find(it->first);
     const uint32_t entry_heat = h == nullptr ? 0 : *h;
     if (entry_heat < coldest_heat) {
       coldest_heat = entry_heat;
@@ -158,72 +176,84 @@ void McServer::EvictColdest(MemoShard* shard) {
     }
   }
   shard->memo.erase(coldest);
-  ++stats_.memo_evictions;
+  BumpStats([](McServerStats& s) { ++s.memo_evictions; });
 }
 
 util::Result<Chunk> McServer::CutPrivate(const image::Image& text_image,
                                          uint32_t addr) {
   // Private cuts are un-memoized but still shard-attributed (by address
   // range) so a session with COW text shows up in the shard's service time.
-  const ShardServiceTimer timer(&service_ns_[ShardFor(addr)]);
-  ++stats_.translates;
-  return Cut(text_image, addr);
+  // The cut itself reads only the session's private image and immutable
+  // per-server config, so the slice lock is needed for the histogram alone.
+  const auto start = std::chrono::steady_clock::now();
+  BumpStats([](McServerStats& s) { ++s.translates; });
+  auto chunk = Cut(text_image, addr);
+  MemoShard& shard = memo_shards_[ShardFor(addr)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.service_ns.Add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return chunk;
 }
 
 void McServer::InvalidateMemoRange(uint32_t addr, uint32_t len) {
   const uint64_t lo = addr;
   const uint64_t hi = static_cast<uint64_t>(addr) + len;
   // A memoized chunk's span can cross the shard boundary its start address
-  // hashed into, so every shard is scanned.
+  // hashed into, so every shard is scanned — locking one slice at a time in
+  // ascending index order (no two shard locks are ever held together).
+  // A demand racing in behind the scan can only re-memoize from the
+  // PRISTINE text, which this write never touched (the writer went COW), so
+  // a "late" re-insert is still a valid artifact.
+  uint64_t dropped = 0;
   for (MemoShard& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.memo.begin(); it != shard.memo.end();) {
       const Chunk& chunk = it->second.chunk;
       const uint64_t chunk_lo = chunk.orig_addr;
       const uint64_t chunk_hi =
           static_cast<uint64_t>(chunk.orig_addr) + chunk.orig_span_bytes();
       if (chunk_lo < hi && lo < chunk_hi) {
-        ++stats_.memo_invalidations;
+        ++dropped;
         it = shard.memo.erase(it);
       } else {
         ++it;
       }
     }
   }
+  if (dropped != 0) {
+    BumpStats([dropped](McServerStats& s) { s.memo_invalidations += dropped; });
+  }
 }
 
-bool McServer::CorruptMemoBit() {
-  size_t total = 0;
-  for (const MemoShard& shard : memo_shards_) total += shard.memo.size();
-  if (total == 0) return false;
-  util::Rng& rng = memo_inj_->rng();
-  size_t k = rng.Below(total);
-  for (MemoShard& shard : memo_shards_) {
-    if (k >= shard.memo.size()) {
-      k -= shard.memo.size();
-      continue;
-    }
-    auto it = shard.memo.begin();
-    std::advance(it, static_cast<long>(k));
-    Chunk& chunk = it->second.chunk;
-    if (chunk.words.empty()) return false;
-    const uint64_t bit = rng.Below(chunk.words.size() * 32);
-    chunk.words[bit / 32] ^= 1u << (bit % 32);
-    OBS_INSTANT("mc", "memo_flip", "addr", it->first);
-    return true;
-  }
-  return false;
+bool McServer::CorruptMemoBit(MemoShard* shard) {
+  if (shard->memo.empty()) return false;
+  util::Rng& rng = shard->inj->rng();
+  size_t k = rng.Below(shard->memo.size());
+  auto it = shard->memo.begin();
+  std::advance(it, static_cast<long>(k));
+  Chunk& chunk = it->second.chunk;
+  if (chunk.words.empty()) return false;
+  const uint64_t bit = rng.Below(chunk.words.size() * 32);
+  chunk.words[bit / 32] ^= 1u << (bit % 32);
+  OBS_INSTANT("mc", "memo_flip", "addr", it->first);
+  return true;
 }
 
 void McServer::ScrubMemo() {
-  ++stats_.memo_scrubs;
+  BumpStats([](McServerStats& s) { ++s.memo_scrubs; });
   for (MemoShard& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [addr, entry] : shard.memo) {
       if (DigestOfChunk(entry.chunk) == entry.digest) continue;
-      ++stats_.memo_corruptions_detected;
       OBS_INSTANT("mc", "memo_corrupt", "addr", addr);
       auto healed = Cut(image_, addr);
       SC_CHECK(healed.ok()) << "pristine re-cut failed for memoized addr";
-      ++stats_.memo_heals;
+      BumpStats([](McServerStats& s) {
+        ++s.memo_corruptions_detected;
+        ++s.memo_heals;
+      });
       entry.chunk = *healed;
       entry.digest = DigestOfChunk(*healed);
     }
@@ -232,11 +262,15 @@ void McServer::ScrubMemo() {
 
 size_t McServer::memo_entries() const {
   size_t total = 0;
-  for (const MemoShard& shard : memo_shards_) total += shard.memo.size();
+  for (const MemoShard& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.memo.size();
+  }
   return total;
 }
 
 void McServer::PublishDigest(uint64_t digest) {
+  std::lock_guard<std::mutex> lock(published_mu_);
   if (!published_.emplace(digest, 0).second) return;  // already in window
   published_fifo_.push_back(digest);
   if (published_fifo_.size() > config_.published_capacity) {
@@ -261,7 +295,7 @@ std::vector<uint8_t> McSession::HandleRequest(const Request& request) {
   // reply carries the current epoch, so the client learns about the restart.
   if (request.epoch != (epoch_ & kEpochMask)) {
     ++stats_.stale_epoch_rejects;
-    ++server_.stats().stale_epoch_rejects;
+    server_.BumpStats([](McServerStats& st) { ++st.stale_epoch_rejects; });
     return Finish(ErrorReply(request.seq, "stale epoch write"));
   }
 
@@ -277,7 +311,7 @@ std::vector<uint8_t> McSession::HandleRequest(const Request& request) {
         entry.addr == request.addr &&
         entry.payload_checksum == key_checksum && entry.epoch == epoch_) {
       ++stats_.replays_suppressed;
-      ++server_.stats().replays_suppressed;
+      server_.BumpStats([](McServerStats& st) { ++st.replays_suppressed; });
       return entry.reply_bytes;
     }
   }
@@ -394,7 +428,7 @@ void McSession::RecordTextWrite(uint32_t addr,
   pending_text_.clear();
   stable_text_ops_ = applied_text_ops_;
   ++stats_.write_flushes;
-  ++server_.stats().write_flushes;
+  server_.BumpStats([](McServerStats& st) { ++st.write_flushes; });
   OBS_INSTANT("mc", "flush_barrier", "text_ops", stable_text_ops_);
 }
 
@@ -410,7 +444,7 @@ void McSession::RecordDataWrite(uint32_t addr,
   pending_data_.clear();
   stable_data_ops_ = applied_data_ops_;
   ++stats_.write_flushes;
-  ++server_.stats().write_flushes;
+  server_.BumpStats([](McServerStats& st) { ++st.write_flushes; });
   OBS_INSTANT("mc", "flush_barrier", "data_ops", stable_data_ops_);
 }
 
@@ -426,7 +460,7 @@ void McSession::Restart() {
   temperature_ = util::OpenTable<uint32_t, uint32_t>(256);
   ++epoch_;
   ++stats_.restarts;
-  ++server_.stats().restarts;
+  server_.BumpStats([](McServerStats& st) { ++st.restarts; });
   OBS_INSTANT("mc", "restart", "epoch", epoch_, "client", client_id_);
 }
 
@@ -521,11 +555,11 @@ Reply McSession::BatchReply(const Request& request, const Chunk& primary,
     budget -= cost;
     append(cand.chunk);
     ++stats_.chunks_prefetched;
-    ++server_.stats().chunks_prefetched;
+    server_.BumpStats([](McServerStats& st) { ++st.chunks_prefetched; });
   }
   reply.aux = count;
   ++stats_.batches_served;
-  ++server_.stats().batches_served;
+  server_.BumpStats([](McServerStats& st) { ++st.batches_served; });
   return reply;
 }
 
@@ -536,7 +570,7 @@ Reply McSession::HandleParsed(const Request& request) {
       const bool shared = request.type == MsgType::kChunkSharedRequest;
       if (shared) {
         ++stats_.shared_requests;
-        ++server_.stats().shared_requests;
+        server_.BumpStats([](McServerStats& st) { ++st.shared_requests; });
       }
       auto chunk = CutChunk(request.addr);
       if (!chunk.ok()) return ErrorReply(request.seq, chunk.error().message);
@@ -557,8 +591,11 @@ Reply McSession::HandleParsed(const Request& request) {
           // The body already crossed the broadcast medium; every attached
           // client snooped it, so ship the digest alone.
           ++stats_.digest_replies;
-          ++server_.stats().digest_replies;
-          server_.stats().digest_bytes_saved += chunk->words.size() * 4;
+          const uint64_t saved = chunk->words.size() * 4;
+          server_.BumpStats([saved](McServerStats& st) {
+            ++st.digest_replies;
+            st.digest_bytes_saved += saved;
+          });
           Reply reply;
           reply.type = MsgType::kChunkDigestReply;
           reply.seq = request.seq;
@@ -670,6 +707,9 @@ Reply McSession::HandleParsed(const Request& request) {
 
 McSession& MemoryController::session(uint32_t client_id) {
   client_id &= kClientIdMask;
+  // sessions_mu_ guards the MAP only; the returned session object is owned
+  // by its client's (serialized, stop-and-wait) frame path.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end()) {
     it = sessions_
@@ -681,6 +721,7 @@ McSession& MemoryController::session(uint32_t client_id) {
 }
 
 const McSession* MemoryController::FindSession(uint32_t client_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(client_id & kClientIdMask);
   return it == sessions_.end() ? nullptr : it->second.get();
 }
@@ -699,13 +740,16 @@ std::vector<uint8_t> MemoryController::HandlePort(
 std::vector<uint8_t> MemoryController::HandleRouted(
     int64_t port, const std::vector<uint8_t>& request_bytes) {
   std::vector<uint8_t> reply_bytes = HandleInner(port, request_bytes);
-  if (tap_) tap_(request_bytes, reply_bytes);
+  if (tap_) {
+    std::lock_guard<std::mutex> lock(tap_mu_);
+    tap_(request_bytes, reply_bytes);
+  }
   return reply_bytes;
 }
 
 std::vector<uint8_t> MemoryController::HandleInner(
     int64_t port, const std::vector<uint8_t>& request_bytes) {
-  ++server_.stats().requests_served;
+  server_.BumpStats([](McServerStats& st) { ++st.requests_served; });
   auto request = Request::Parse(request_bytes);
   OBS_SPAN("mc", "handle",
            "type", request.ok() ? static_cast<uint64_t>(request->type) : 0,
@@ -727,7 +771,7 @@ std::vector<uint8_t> MemoryController::HandleInner(
   if (port >= 0 && request->client_id != static_cast<uint32_t>(port)) {
     // Spoofed or misrouted: a frame claiming another client's id must never
     // touch that client's session. Reject on the arrival port.
-    ++server_.stats().misrouted_frames;
+    server_.BumpStats([](McServerStats& st) { ++st.misrouted_frames; });
     return session(static_cast<uint32_t>(port))
         .ErrorFrame(request->seq, "client id mismatch");
   }
@@ -735,6 +779,9 @@ std::vector<uint8_t> MemoryController::HandleInner(
 }
 
 void MemoryController::Restart() {
+  // Whole-server crash: callers route this through the loop's park-all
+  // exclusive section, so no frame is in flight while sessions reset.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   for (auto& [id, s] : sessions_) s->Restart();
 }
 
@@ -783,8 +830,9 @@ void MemoryController::RegisterMetrics(obs::MetricsRegistry* registry,
                             &s.memo_corruptions_detected);
   registry->RegisterCounter(prefix + "memo.heals", &s.memo_heals);
   registry->RegisterCounter(prefix + "memo.scrubs", &s.memo_scrubs);
-  registry->RegisterGauge(prefix + "sessions_active",
-                          [this] { return static_cast<double>(sessions_.size()); });
+  registry->RegisterGauge(prefix + "sessions_active", [this] {
+    return static_cast<double>(sessions_active());
+  });
   registry->RegisterGauge(prefix + "translate_memo_entries", [this] {
     return static_cast<double>(server_.memo_entries());
   });

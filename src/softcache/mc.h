@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,6 +90,12 @@ inline constexpr uint32_t kMcCowPageBytes = 4096;
 // Shared-core counters. These are the server-side aggregates across every
 // session (for a single-client run they equal the per-session counters), and
 // their addresses are stable for the MC's lifetime (metrics registry).
+//
+// Ownership: every field is written only under McServer::stats_mu_ (via
+// McServer::BumpStats) — one owning lock per counter, no field is ever
+// touched under two different locks. Readers (tests, benches, the metrics
+// registry) read the plain fields at quiescence: after the run, or inside a
+// park-all exclusive section / fleet safepoint when no frame is in flight.
 struct McServerStats {
   uint64_t requests_served = 0;      // every frame handled, incl. garbage
   uint64_t replays_suppressed = 0;   // write retransmits answered from cache
@@ -137,16 +144,34 @@ struct McServerConfig {
   // mismatch healed by re-translating from the pristine image (invisible
   // to the requesting client beyond server-side counters).
   MemFaultConfig memfault;
-  // Event-loop backpressure bound: the deepest the McServerLoop ticket
-  // queue may grow before submitters defer (0 = unbounded, the historical
+  // Event-loop backpressure bound: the deepest any McServerLoop lane queue
+  // may grow before submitters defer (0 = unbounded, the historical
   // behavior). See server_loop.h.
   size_t max_queue = 0;
+  // Dedicated server worker threads draining the per-shard lane queues.
+  // 0 = the legacy borrowed-thread pump (a single lane drained by whichever
+  // client thread submits; exactly one frame in the core at a time). With
+  // workers >= 1 the loop routes each frame to its shard's lane and `workers`
+  // dedicated threads drain the lanes with static ownership
+  // (lane l -> worker l % workers), so translations in different shards
+  // proceed concurrently. Requires workers <= shards (validated at the CLI;
+  // the MultiClientSystem constructor SC_CHECKs).
+  uint32_t workers = 0;
 };
 
 // The shared server core: immutable per-program state plus the memoized
 // translation cache. The pristine image and shared data store are never
 // mutated — client writes land in per-session copy-on-write overlays — so
 // one translation artifact is valid for every session reading shared text.
+//
+// Concurrency: there is NO core-wide lock. Each memo shard is an
+// independently owned slice — its mutex covers that slice's memo map, heat
+// table, fault-injector stream and service-time histogram — so translations
+// in different address ranges proceed concurrently. The only cross-shard
+// state is the published-digest window (its own leaf mutex) and the
+// aggregate stats (stats_mu_, also a leaf). At most one shard lock is ever
+// held at a time (range scans lock shards one-by-one in ascending index
+// order); the full lock-order table lives in docs/DESIGN.md.
 class McServer {
  public:
   McServer(const image::Image& image, Style style, uint32_t max_block_instrs,
@@ -156,19 +181,22 @@ class McServer {
         max_block_instrs_(max_block_instrs),
         max_trace_blocks_(max_trace_blocks),
         config_(config),
-        shards_(config.shards == 0 ? 1 : config.shards) {
+        shards_(config.shards == 0 ? 1 : config.shards),
+        memo_shards_(shards_) {
     // The server holds the authoritative copy of ALL program memory: the
     // pristine text plus data/bss/heap/stack backing for the D-cache
     // protocol. Sessions overlay their private writes on top.
     data_ = image.data;
     data_.resize(image::kStackTop + 16 - image.data_base, 0);
-    memo_shards_.resize(shards_);
-    // Service-time spread: one bucket per ~8 us up to 1 ms; memo hits land
-    // in the first bucket, cold cuts spread out, outliers clamp.
-    service_ns_.assign(shards_, util::Histogram(0, 1e6, 128));
     if (config_.memfault.enabled()) {
-      memo_inj_ = std::make_unique<MemFaultInjector>(config_.memfault,
-                                                     FaultDomain::kMemo);
+      // One independent fault stream per shard slice (substream = shard
+      // index), so concurrent shards never contend on — or perturb — each
+      // other's RNG. Shard 0's stream is byte-identical to the historical
+      // single-stream injector.
+      for (uint32_t s = 0; s < shards_; ++s) {
+        memo_shards_[s].inj = std::make_unique<MemFaultInjector>(
+            config_.memfault, FaultDomain::kMemo, s);
+      }
     }
   }
 
@@ -215,6 +243,7 @@ class McServer {
   // True while the server still believes every attached client holds the
   // body for `digest`; a false negative only costs a redundant body.
   bool DigestPublished(uint64_t digest) const {
+    std::lock_guard<std::mutex> lock(published_mu_);
     return published_.count(digest) != 0;
   }
 
@@ -223,23 +252,30 @@ class McServer {
   uint32_t ShardFor(uint32_t addr) const;
   uint32_t shards() const { return shards_; }
   uint64_t shard_translates(uint32_t shard) const {
+    std::lock_guard<std::mutex> lock(memo_shards_[shard].mu);
     return memo_shards_[shard].translates;
   }
   uint64_t shard_memo_hits(uint32_t shard) const {
+    std::lock_guard<std::mutex> lock(memo_shards_[shard].mu);
     return memo_shards_[shard].memo_hits;
   }
   size_t shard_memo_entries(uint32_t shard) const {
+    std::lock_guard<std::mutex> lock(memo_shards_[shard].mu);
     return memo_shards_[shard].memo.size();
   }
   size_t memo_entries() const;
-  size_t published_digests() const { return published_.size(); }
+  size_t published_digests() const {
+    std::lock_guard<std::mutex> lock(published_mu_);
+    return published_.size();
+  }
 
   // Host nanoseconds per translation request (memo hits and cuts both
   // count — the histogram measures what a request costs the shard, and a
-  // hit is the cheap mode). One histogram per shard; host time only, never
-  // part of snapshot determinism.
+  // hit is the cheap mode). One histogram per shard, written under that
+  // shard's mutex; host time only, never part of snapshot determinism, and
+  // only exported at quiescence.
   const util::Histogram& shard_service_ns(uint32_t shard) const {
-    return service_ns_[shard];
+    return memo_shards_[shard].service_ns;
   }
 
   // Memo-cache residency rows for the Inspector: every memoized chunk with
@@ -254,8 +290,17 @@ class McServer {
   };
   std::vector<MemoEntryView> SnapshotMemo() const;
 
-  McServerStats& stats() { return stats_; }
+  // Quiescent read surface (see the McServerStats ownership comment).
   const McServerStats& stats() const { return stats_; }
+
+  // The one write path for the aggregate stats: every mutation happens
+  // under stats_mu_, a leaf lock (safe to take while holding a shard mutex,
+  // never the other way around).
+  template <typename F>
+  void BumpStats(F&& f) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    f(stats_);
+  }
 
  private:
   // One memoized translation plus the content digest stamped at insert.
@@ -266,20 +311,35 @@ class McServer {
     uint64_t digest = 0;
   };
 
-  // One slice of the memoized translation cache plus its work counters.
+  // One independently owned slice of the server core: the memoized
+  // translations for this shard's address range, the demand-heat table that
+  // ranks their eviction, the shard's integrity fault stream, and its
+  // service-time histogram — all guarded by the slice's own mutex, so two
+  // shards never serialize against each other.
   struct MemoShard {
+    mutable std::mutex mu;
     std::map<uint32_t, MemoEntry> memo;  // requested addr -> translation
+    // Demand temperature per chunk start in this shard's range (every
+    // CutShared demand, across all sessions); the eviction-ranking signal.
+    util::OpenTable<uint32_t, uint32_t> heat{256};
+    // This shard's memo fault stream (null = no injection configured).
+    std::unique_ptr<MemFaultInjector> inj;
+    // Service-time spread: one bucket per ~8 us up to 1 ms; memo hits land
+    // in the first bucket, cold cuts spread out, outliers clamp.
+    util::Histogram service_ns{0, 1e6, 128};
     uint64_t translates = 0;
     uint64_t memo_hits = 0;
   };
 
   util::Result<Chunk> Cut(const image::Image& text_image, uint32_t addr) const;
   // Displaces the lowest-heat entry of `shard` (called when a shard's slice
-  // of the memo budget is full).
+  // of the memo budget is full). Caller holds shard->mu.
   void EvictColdest(MemoShard* shard);
-  // Fault injection: flips one bit in a uniformly chosen memoized chunk's
-  // words. False when the memo is empty.
-  bool CorruptMemoBit();
+  // Fault injection: flips one bit in a uniformly chosen memoized chunk of
+  // `shard` (the slice the triggering demand hit — each slice is its own
+  // fault domain). False when that slice's memo is empty. Caller holds
+  // shard->mu.
+  bool CorruptMemoBit(MemoShard* shard);
 
   image::Image image_;  // pristine; NEVER mutated (writes go to sessions)
   Style style_;
@@ -288,17 +348,18 @@ class McServer {
   McServerConfig config_;
   uint32_t shards_;
   std::vector<uint8_t> data_;  // pristine shared data/bss/heap/stack
-  std::vector<MemoShard> memo_shards_;
-  // Fleet-wide demand temperature per chunk start (every CutShared demand,
-  // across all sessions); the memo bound's eviction-ranking signal.
-  util::OpenTable<uint32_t, uint32_t> heat_{256};
-  // Server memo fault stream (null = no injection configured).
-  std::unique_ptr<MemFaultInjector> memo_inj_;
-  // Published-digest window (bounded FIFO).
+  // Deque, not vector: slices hold mutexes (non-movable) and their
+  // addresses must stay stable for the registry's histogram pointers.
+  mutable std::deque<MemoShard> memo_shards_;
+  // Published-digest window (bounded FIFO). Deliberately cross-shard: a
+  // digest names content, not an address range, and the window must answer
+  // "did this body ever cross the broadcast medium" fleet-wide. Guarded by
+  // its own leaf mutex (never held together with any other lock).
+  mutable std::mutex published_mu_;
   std::map<uint64_t, uint8_t> published_;
   std::deque<uint64_t> published_fifo_;
-  // Per-shard translation service time, host ns (see shard_service_ns).
-  std::vector<util::Histogram> service_ns_;
+  // Aggregate-stat leaf lock; see BumpStats.
+  std::mutex stats_mu_;
   McServerStats stats_;
 };
 
@@ -517,13 +578,22 @@ class MemoryController {
 
   McServer& server() { return server_; }
   const McServer& server() const { return server_; }
-  // The session for `client_id`, created on first use.
+  // The session for `client_id`, created on first use. The returned
+  // reference is stable for the controller's lifetime (the map holds
+  // unique_ptrs); only the map itself is guarded (sessions_mu_) — the
+  // session OBJECT is owned by its client's frame path (stop-and-wait keeps
+  // at most one frame per client in flight) plus the loop's park-all
+  // exclusive section for restarts.
   McSession& session(uint32_t client_id);
   // Null if no frame (or session() call) has touched that id yet.
   const McSession* FindSession(uint32_t client_id) const;
-  size_t sessions_active() const { return sessions_.size(); }
+  size_t sessions_active() const {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    return sessions_.size();
+  }
   // Active session ids, ascending (Inspector iteration).
   std::vector<uint32_t> SessionIds() const {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
     std::vector<uint32_t> ids;
     ids.reserve(sessions_.size());
     for (const auto& [id, sess] : sessions_) ids.push_back(id);
@@ -587,7 +657,13 @@ class MemoryController {
   const McSession& Session0() const { return *FindSession(0); }
 
   McServer server_;
+  // Guards the session MAP only (lookup/insert); held never across a
+  // handler, so frame handling for different clients proceeds concurrently.
+  mutable std::mutex sessions_mu_;
   std::map<uint32_t, std::unique_ptr<McSession>> sessions_;
+  // The tap is a test-only observation point; serialize it so taps written
+  // for single-threaded tests stay correct under concurrent handlers.
+  std::mutex tap_mu_;
   FrameTap tap_;
   // Cached flat data view for the legacy data() accessor.
   mutable std::vector<uint8_t> legacy_data_;

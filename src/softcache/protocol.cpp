@@ -47,7 +47,10 @@ bool CarriesRid(uint32_t type_value) {
 uint32_t PeekFrameClientId(const std::vector<uint8_t>& frame) {
   if (frame.size() < kRequestBytes) return 0;
   if (GetU32(frame, 0) != kProtocolMagic) return 0;
-  return frame[5];  // bits 15..8 of the type word
+  // Bits 19..8 of the type word: the low byte plus the low nibble of the
+  // next byte (the epoch occupies bits 31..20).
+  return static_cast<uint32_t>(frame[5]) |
+         (static_cast<uint32_t>(frame[6] & 0x0f) << 8);
 }
 
 uint32_t PeekFrameRid(const std::vector<uint8_t>& frame) {
@@ -143,7 +146,7 @@ util::Result<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   }
   req.type = static_cast<MsgType>(type_value);
   req.client_id = (type_word >> kClientIdShift) & kClientIdMask;
-  req.epoch = type_word >> kEpochShift;
+  req.epoch = (type_word >> kEpochShift) & kEpochMask;
   req.seq = GetU32(bytes, 8);
   req.addr = GetU32(bytes, 12);
   req.length = GetU32(bytes, 16);
@@ -232,7 +235,7 @@ util::Result<Reply> Reply::Parse(const std::vector<uint8_t>& bytes) {
   const uint32_t type_word = GetU32(bytes, 4);
   reply.type = static_cast<MsgType>(type_word & kTypeMask);
   reply.client_id = (type_word >> kClientIdShift) & kClientIdMask;
-  reply.epoch = type_word >> kEpochShift;
+  reply.epoch = (type_word >> kEpochShift) & kEpochMask;
   reply.seq = GetU32(bytes, 8);
   reply.addr = GetU32(bytes, 12);
   reply.aux = GetU32(bytes, 16);

@@ -48,15 +48,20 @@ enum class MsgType : uint32_t {
 // The type word packs three fields:
 //
 //   bits  7..0   message type
-//   bits 15..8   client id   (which MC session this frame belongs to)
-//   bits 31..16  session epoch
+//   bits 19..8   client id   (which MC session this frame belongs to)
+//   bits 31..20  session epoch
 //
 // The MC stamps its boot **epoch** into every reply, and clients stamp their
-// last-known epoch into every request, riding the high 16 bits of the
-// frame's type word. With one MC serving N cache controllers, every client
-// additionally stamps its **client id** into bits 15..8 so the server can
+// last-known epoch into every request, riding the high bits of the frame's
+// type word. With one MC serving N cache controllers, every client
+// additionally stamps its **client id** into bits 19..8 so the server can
 // demultiplex frames onto per-client sessions (`net::Switch` routes by
 // transport port; the MC cross-checks the embedded id against the port).
+// The epoch rides bits 31..20. The id/epoch split is 12/12: fleet-scale
+// serving needs thousands of sessions, while the epoch only needs to make
+// restarts *detectable* — it compares masked on both sides, so a 12-bit
+// wraparound is handled exactly like the old 16-bit one (a client would
+// have to sleep through 4096 restarts of its own session to alias).
 //
 // The seed protocol always wrote bits 31..8 as zero, every message type fits
 // in 8 bits, the epoch starts at zero, and the default client id is zero —
@@ -70,12 +75,12 @@ enum class MsgType : uint32_t {
 // epoch, which keeps its applied-op counters exactly aligned with the
 // clients' journal indices. Epochs and crash recovery are per-session: one
 // client's crash schedule never bumps another client's epoch.
-inline constexpr uint32_t kEpochMask = 0xffff;
+inline constexpr uint32_t kEpochMask = 0xfff;
 inline constexpr uint32_t kTypeMask = 0xff;
-inline constexpr uint32_t kClientIdMask = 0xff;
+inline constexpr uint32_t kClientIdMask = 0xfff;
 inline constexpr uint32_t kClientIdShift = 8;
-inline constexpr uint32_t kEpochShift = 16;
-// The id field is 8 bits wide, so one MC serves at most 256 sessions.
+inline constexpr uint32_t kEpochShift = 20;
+// The id field is 12 bits wide, so one MC serves at most 4096 sessions.
 inline constexpr uint32_t kMaxClients = kClientIdMask + 1;
 
 // --- Request ids (causal tracing) ---
@@ -98,7 +103,7 @@ inline constexpr uint32_t kRidShift = 4;
 inline constexpr uint32_t kRidMask = 0xf;
 inline constexpr uint32_t kRidTypeMask = 0xf;
 
-// Flow ids are globally unique per in-flight request across a 256-client
+// Flow ids are globally unique per in-flight request across a 4096-client
 // fleet: the client id makes the namespace, the rid rolls within it.
 inline uint64_t FlowId(uint32_t client_id, uint32_t rid) {
   return (static_cast<uint64_t>(client_id & kClientIdMask) << 8) |
@@ -190,8 +195,8 @@ struct Request {
   uint32_t seq = 0;
   uint32_t addr = 0;
   uint32_t length = 0;  // data requests: bytes wanted
-  uint32_t epoch = 0;   // client's last-known server epoch (low 16 bits used)
-  uint32_t client_id = 0;  // MC session this frame belongs to (low 8 bits)
+  uint32_t epoch = 0;   // client's last-known server epoch (low 12 bits used)
+  uint32_t client_id = 0;  // MC session this frame belongs to (low 12 bits)
   // Tracing request id (chunk requests only; 0 = untraced — see the
   // request-id section above). Never affects request semantics.
   uint32_t rid = 0;
@@ -211,8 +216,8 @@ struct Reply {
   uint32_t addr = 0;        // original address of the chunk/block
   uint32_t aux = 0;         // chunk replies: packed exit kind | entry word
   uint32_t extra = 0;       // chunk replies: taken/callee/jump target
-  uint32_t epoch = 0;       // server boot epoch (low 16 bits used)
-  uint32_t client_id = 0;   // MC session the reply belongs to (low 8 bits)
+  uint32_t epoch = 0;       // server boot epoch (low 12 bits used)
+  uint32_t client_id = 0;   // MC session the reply belongs to (low 12 bits)
   std::vector<uint8_t> payload;
 
   uint32_t wire_bytes() const {

@@ -286,9 +286,10 @@ TEST(PrefetchOffProperty, WireTrafficIsByteIdenticalToSeedProtocol) {
   EXPECT_EQ(system.mc().batches_served(), 0u);
 }
 
-// The epoch stamp rides the upper 16 bits of the type word (PROTOCOL section
-// "sessions"): re-encode stamped frames longhand and require bit-equality,
-// and show that epoch 0 degenerates to the seed encoding.
+// The epoch stamp rides the upper 12 bits of the type word and the client id
+// the 12 below it (PROTOCOL section "sessions"): re-encode stamped frames
+// longhand and require bit-equality, and show that epoch 0 degenerates to the
+// seed encoding.
 TEST(PrefetchOffProperty, EpochStampMatchesGoldenTypeWordPacking) {
   softcache::Request request;
   request.type = MsgType::kDataWriteback;
@@ -299,7 +300,7 @@ TEST(PrefetchOffProperty, EpochStampMatchesGoldenTypeWordPacking) {
   request.epoch = 0x0102;
   EXPECT_EQ(request.Serialize(),
             GoldenRequest(static_cast<uint32_t>(MsgType::kDataWriteback) |
-                              (0x0102u << 16),
+                              (0x0102u << softcache::kEpochShift),
                           77, 0x2000, 4, request.payload));
   auto parsed = softcache::Request::Parse(request.Serialize());
   ASSERT_TRUE(parsed.ok());
@@ -313,7 +314,7 @@ TEST(PrefetchOffProperty, EpochStampMatchesGoldenTypeWordPacking) {
   reply.epoch = 0x0102;
   EXPECT_EQ(reply.Serialize(),
             GoldenReply(static_cast<uint32_t>(MsgType::kWritebackAck) |
-                            (0x0102u << 16),
+                            (0x0102u << softcache::kEpochShift),
                         77, 0x2000, 0, 0, {}));
   auto parsed_reply = softcache::Reply::Parse(reply.Serialize());
   ASSERT_TRUE(parsed_reply.ok());
